@@ -1,0 +1,479 @@
+// Benchmarks regenerating the paper's evaluation (§4):
+//
+//   - BenchmarkTable1_*: cost of 200 inter-bundle calls under the four
+//     communication models (local, RMI local, Incommunicado, I-JVM).
+//   - BenchmarkFig1_*: the four micro-benchmarks, Shared (LadyVM
+//     baseline) vs Isolated (I-JVM).
+//   - BenchmarkFig2_*: the SPEC JVM98-analogue workloads in both modes.
+//   - BenchmarkFig3_*: memory consumption of the Felix-like and
+//     Equinox-like OSGi configurations in both modes (reported as a
+//     custom heap-bytes metric).
+//   - BenchmarkAblation*: the design-choice ablations from DESIGN.md §5.
+//
+// Absolute numbers are host-dependent; compare Shared vs Isolated within
+// one run (cmd/benchtable prints the ratio tables).
+package ijvm
+
+import (
+	"testing"
+
+	"ijvm/internal/core"
+	"ijvm/internal/heap"
+	"ijvm/internal/interp"
+	"ijvm/internal/osgi"
+	"ijvm/internal/rpc"
+	"ijvm/internal/syslib"
+	"ijvm/internal/workloads"
+)
+
+const table1Calls = 200
+
+func modeLabel(mode core.Mode) string {
+	if mode == core.ModeShared {
+		return "Baseline"
+	}
+	return "IJVM"
+}
+
+// --- Table 1 ---------------------------------------------------------------
+
+// BenchmarkTable1_LocalCall measures 200 direct drag calls inside one
+// isolate (the event object is shared by reference).
+func BenchmarkTable1_LocalCall(b *testing.B) {
+	r, err := workloads.NewMicroRunner(core.ModeIsolated, workloads.MicroIntra, table1Calls)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if r, err = r.WithDriver(workloads.DragDriverMethod); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable1_IJVMCall measures 200 inter-isolate direct drag calls
+// (thread migration; the event object is shared by reference).
+func BenchmarkTable1_IJVMCall(b *testing.B) {
+	r, err := workloads.NewMicroRunner(core.ModeIsolated, workloads.MicroInter, table1Calls)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if r, err = r.WithDriver(workloads.DragDriverMethod); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// table1RPCEnv prepares the service pair used by the RPC baselines.
+func table1RPCEnv(b *testing.B) (*interp.VM, *core.Isolate, *core.Isolate, heap.Value, *workloads.Runner) {
+	b.Helper()
+	r, err := workloads.NewMicroRunner(core.ModeIsolated, workloads.MicroInter, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	vm := r.VM()
+	world := vm.World()
+	callee := world.IsolateByID(0) // harness creates callee first
+	caller := r.Isolate()
+	svcClass, err := callee.Loader().Lookup(workloads.ServiceClassName)
+	if err != nil {
+		b.Fatal(err)
+	}
+	makeM, err := svcClass.LookupMethod("make", "()Ljava/lang/Object;")
+	if err != nil {
+		b.Fatal(err)
+	}
+	recv, th, err := vm.CallRoot(callee, makeM, nil, 1_000_000)
+	if err != nil || th.Failure() != nil {
+		b.Fatalf("make: %v", err)
+	}
+	return vm, caller, callee, recv, r
+}
+
+// dragEvent allocates the event object the drag calls pass across the
+// bundle boundary (shared by reference in direct calls; copied or
+// serialized by the RPC baselines).
+func dragEvent(b *testing.B, vm *interp.VM, iso *core.Isolate) heap.Value {
+	b.Helper()
+	objClass, err := vm.Registry().Bootstrap().Lookup(interp.ClassObject)
+	if err != nil {
+		b.Fatal(err)
+	}
+	arr, err := vm.AllocArrayIn(objClass, 8, iso)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		arr.Elems[i] = heap.IntVal(int64(i) * 10)
+	}
+	str, err := vm.NewStringObject(iso, "drag-event")
+	if err != nil {
+		b.Fatal(err)
+	}
+	arr.Elems[4] = heap.RefVal(str)
+	return heap.RefVal(arr)
+}
+
+// BenchmarkTable1_Incommunicado measures 200 drag calls through the
+// MVM-style link (per-call deep copy of the event + thread handoff).
+func BenchmarkTable1_Incommunicado(b *testing.B) {
+	vm, caller, callee, recv, _ := table1RPCEnv(b)
+	svcClass, _ := callee.Loader().Lookup(workloads.ServiceClassName)
+	dragM, _ := svcClass.LookupMethod("drag", "(Ljava/lang/Object;)I")
+	link := rpc.NewLink(vm, caller, callee, dragM, recv)
+	defer link.Close()
+	args := []heap.Value{dragEvent(b, vm, caller)}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for c := 0; c < table1Calls; c++ {
+			if _, err := link.Call(args); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkTable1_RMI measures 200 drag calls with per-call
+// serialization of the event over loopback TCP.
+func BenchmarkTable1_RMI(b *testing.B) {
+	vm, caller, callee, recv, _ := table1RPCEnv(b)
+	svcClass, _ := callee.Loader().Lookup(workloads.ServiceClassName)
+	dragM, _ := svcClass.LookupMethod("drag", "(Ljava/lang/Object;)I")
+	srv, err := rpc.NewRMIServer(vm, callee, dragM, recv)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	client, err := rpc.NewRMIClient(vm, caller, srv.Addr())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer client.Close()
+	args := []heap.Value{dragEvent(b, vm, caller)}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for c := 0; c < table1Calls; c++ {
+			if _, err := client.Call(args); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// --- Figure 1 ----------------------------------------------------------------
+
+const fig1Iters = 100_000
+
+func benchMicro(b *testing.B, mode core.Mode, kind workloads.MicroKind) {
+	r, err := workloads.NewMicroRunner(mode, kind, fig1Iters)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/fig1Iters, "ns/operation")
+}
+
+func BenchmarkFig1_IntraCall_Baseline(b *testing.B) {
+	benchMicro(b, core.ModeShared, workloads.MicroIntra)
+}
+func BenchmarkFig1_IntraCall_IJVM(b *testing.B) {
+	benchMicro(b, core.ModeIsolated, workloads.MicroIntra)
+}
+func BenchmarkFig1_InterCall_Baseline(b *testing.B) {
+	benchMicro(b, core.ModeShared, workloads.MicroInter)
+}
+func BenchmarkFig1_InterCall_IJVM(b *testing.B) {
+	benchMicro(b, core.ModeIsolated, workloads.MicroInter)
+}
+func BenchmarkFig1_Alloc_Baseline(b *testing.B) { benchMicro(b, core.ModeShared, workloads.MicroAlloc) }
+func BenchmarkFig1_Alloc_IJVM(b *testing.B)     { benchMicro(b, core.ModeIsolated, workloads.MicroAlloc) }
+func BenchmarkFig1_StaticAccess_Baseline(b *testing.B) {
+	benchMicro(b, core.ModeShared, workloads.MicroStatic)
+}
+func BenchmarkFig1_StaticAccess_IJVM(b *testing.B) {
+	benchMicro(b, core.ModeIsolated, workloads.MicroStatic)
+}
+
+// --- Figure 2 -----------------------------------------------------------------
+
+func benchSpec(b *testing.B, mode core.Mode, name string) {
+	spec := workloads.SpecByName(name)
+	if spec == nil {
+		b.Fatalf("unknown spec workload %s", name)
+	}
+	r, err := workloads.NewSpecRunner(mode, *spec, spec.DefaultN)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig2_Compress_Baseline(b *testing.B)  { benchSpec(b, core.ModeShared, "compress") }
+func BenchmarkFig2_Compress_IJVM(b *testing.B)      { benchSpec(b, core.ModeIsolated, "compress") }
+func BenchmarkFig2_Jess_Baseline(b *testing.B)      { benchSpec(b, core.ModeShared, "jess") }
+func BenchmarkFig2_Jess_IJVM(b *testing.B)          { benchSpec(b, core.ModeIsolated, "jess") }
+func BenchmarkFig2_DB_Baseline(b *testing.B)        { benchSpec(b, core.ModeShared, "db") }
+func BenchmarkFig2_DB_IJVM(b *testing.B)            { benchSpec(b, core.ModeIsolated, "db") }
+func BenchmarkFig2_Javac_Baseline(b *testing.B)     { benchSpec(b, core.ModeShared, "javac") }
+func BenchmarkFig2_Javac_IJVM(b *testing.B)         { benchSpec(b, core.ModeIsolated, "javac") }
+func BenchmarkFig2_Mpegaudio_Baseline(b *testing.B) { benchSpec(b, core.ModeShared, "mpegaudio") }
+func BenchmarkFig2_Mpegaudio_IJVM(b *testing.B)     { benchSpec(b, core.ModeIsolated, "mpegaudio") }
+func BenchmarkFig2_Mtrt_Baseline(b *testing.B)      { benchSpec(b, core.ModeShared, "mtrt") }
+func BenchmarkFig2_Mtrt_IJVM(b *testing.B)          { benchSpec(b, core.ModeIsolated, "mtrt") }
+func BenchmarkFig2_Jack_Baseline(b *testing.B)      { benchSpec(b, core.ModeShared, "jack") }
+func BenchmarkFig2_Jack_IJVM(b *testing.B)          { benchSpec(b, core.ModeIsolated, "jack") }
+
+// --- Figure 3 -------------------------------------------------------------------
+
+// benchFig3 boots an OSGi configuration and reports its live heap bytes;
+// wall time measures startup cost, the heap-bytes metric is the figure's
+// y-axis.
+func benchFig3(b *testing.B, mode core.Mode, specs func() []osgi.BundleSpec) {
+	var lastBytes int64
+	for i := 0; i < b.N; i++ {
+		vm := interp.NewVM(interp.Options{Mode: mode, HeapLimit: 256 << 20})
+		if err := syslib.Install(vm); err != nil {
+			b.Fatal(err)
+		}
+		fw, err := osgi.NewFramework(vm)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := osgi.InstallAndStart(fw, specs()); err != nil {
+			b.Fatal(err)
+		}
+		vm.CollectGarbage(nil)
+		lastBytes = vm.MemoryFootprint()
+	}
+	b.ReportMetric(float64(lastBytes), "memory-bytes")
+}
+
+func BenchmarkFig3_Felix_Baseline(b *testing.B)   { benchFig3(b, core.ModeShared, osgi.FelixConfig) }
+func BenchmarkFig3_Felix_IJVM(b *testing.B)       { benchFig3(b, core.ModeIsolated, osgi.FelixConfig) }
+func BenchmarkFig3_Equinox_Baseline(b *testing.B) { benchFig3(b, core.ModeShared, osgi.EquinoxConfig) }
+func BenchmarkFig3_Equinox_IJVM(b *testing.B)     { benchFig3(b, core.ModeIsolated, osgi.EquinoxConfig) }
+
+// --- Ablations ---------------------------------------------------------------------
+
+// BenchmarkAblationCPUAccounting_PerCall measures the inter-isolate call
+// loop under the per-call timestamping strategy the paper rejected
+// (§3.2): two clock reads plus an account update on every isolate switch.
+func BenchmarkAblationCPUAccounting_PerCall(b *testing.B) {
+	benchInterWithOptions(b, interp.Options{Mode: core.ModeIsolated, PerCallCPUAccounting: true})
+}
+
+// BenchmarkAblationCPUAccounting_Sampling is the adopted design.
+func BenchmarkAblationCPUAccounting_Sampling(b *testing.B) {
+	benchInterWithOptions(b, interp.Options{Mode: core.ModeIsolated})
+}
+
+func benchInterWithOptions(b *testing.B, opts interp.Options) {
+	b.Helper()
+	// Rebuild the MicroInter environment with custom options.
+	vm := interp.NewVM(opts)
+	if err := syslib.Install(vm); err != nil {
+		b.Fatal(err)
+	}
+	calleeLoader := vm.Registry().NewLoader("callee")
+	callee, err := vm.World().NewIsolate("callee", calleeLoader)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := calleeLoader.DefineAll(workloads.ServiceClasses()); err != nil {
+		b.Fatal(err)
+	}
+	callerLoader := vm.Registry().NewLoader("caller")
+	caller, err := vm.World().NewIsolate("caller", callerLoader)
+	if err != nil {
+		b.Fatal(err)
+	}
+	callerLoader.AddDelegate(calleeLoader)
+	if err := callerLoader.DefineAll(workloads.CallerClasses()); err != nil {
+		b.Fatal(err)
+	}
+	svcClass, _ := calleeLoader.Lookup(workloads.ServiceClassName)
+	makeM, _ := svcClass.LookupMethod("make", "()Ljava/lang/Object;")
+	recv, th, err := vm.CallRoot(callee, makeM, nil, 1_000_000)
+	if err != nil || th.Failure() != nil {
+		b.Fatalf("make: %v", err)
+	}
+	callerClass, _ := callerLoader.Lookup(workloads.CallerClassName)
+	bindM, _ := callerClass.LookupMethod("bind", "(Ljava/lang/Object;)V")
+	if _, th, err := vm.CallRoot(caller, bindM, []heap.Value{recv}, 1_000_000); err != nil || th.Failure() != nil {
+		b.Fatalf("bind: %v", err)
+	}
+	driver, _ := callerClass.LookupMethod(workloads.MicroDriverMethod, workloads.MicroDriverDesc)
+	args := []heap.Value{heap.IntVal(fig1Iters)}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, th, err := vm.CallRoot(caller, driver, args, 0); err != nil || th.Failure() != nil {
+			b.Fatalf("run: %v", err)
+		}
+	}
+}
+
+// BenchmarkAblationGCAccounting measures a full collection over a large
+// live graph with and without the per-isolate charging pass.
+func BenchmarkAblationGCAccounting_On(b *testing.B)  { benchGCAblation(b, false) }
+func BenchmarkAblationGCAccounting_Off(b *testing.B) { benchGCAblation(b, true) }
+
+func benchGCAblation(b *testing.B, disable bool) {
+	b.Helper()
+	vm := interp.NewVM(interp.Options{
+		Mode:                core.ModeIsolated,
+		HeapLimit:           512 << 20,
+		DisableAccountingGC: disable,
+	})
+	if err := syslib.Install(vm); err != nil {
+		b.Fatal(err)
+	}
+	l := vm.Registry().NewLoader("main")
+	iso, err := vm.World().NewIsolate("main", l)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Build a large pinned live graph: 200 arrays of 1000 objects each.
+	objClass, err := vm.Registry().Bootstrap().Lookup(interp.ClassObject)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		arr, err := vm.AllocArrayIn(objClass, 1000, iso)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for j := range arr.Elems {
+			obj, err := vm.AllocObjectIn(objClass, iso)
+			if err != nil {
+				b.Fatal(err)
+			}
+			arr.Elems[j] = heap.RefVal(obj)
+		}
+		vm.Pin(iso.ID(), arr)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		vm.CollectGarbage(nil)
+	}
+	b.ReportMetric(float64(vm.Heap().NumObjects()), "live-objects")
+}
+
+// BenchmarkAblationPreciseAccounting contrasts the adopted first-tracer
+// accounting (one global trace, folded into the GC) with the rejected
+// precise accounting (one full trace per isolate, shared objects charged
+// to every sharer) over the same live graph — the §3.2 trade-off.
+func BenchmarkAblationPreciseAccounting_FirstTracer(b *testing.B) {
+	vm := buildSharedGraphVM(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		vm.CollectGarbage(nil)
+	}
+}
+
+func BenchmarkAblationPreciseAccounting_Precise(b *testing.B) {
+	vm := buildSharedGraphVM(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		vm.PreciseAccounting()
+	}
+}
+
+// buildSharedGraphVM pins a graph with heavy cross-isolate sharing: four
+// isolates, each holding private arrays plus references into a shared
+// region.
+func buildSharedGraphVM(b *testing.B) *interp.VM {
+	b.Helper()
+	vm := interp.NewVM(interp.Options{Mode: core.ModeIsolated, HeapLimit: 512 << 20})
+	if err := syslib.Install(vm); err != nil {
+		b.Fatal(err)
+	}
+	objClass, err := vm.Registry().Bootstrap().Lookup(interp.ClassObject)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Shared region: 50 arrays of 200 objects.
+	var shared []*heap.Object
+	mkIso := func(name string) *core.Isolate {
+		iso, err := vm.NewIsolate(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return iso
+	}
+	iso0 := mkIso("runtime")
+	for i := 0; i < 50; i++ {
+		arr, err := vm.AllocArrayIn(objClass, 200, iso0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for j := range arr.Elems {
+			o, err := vm.AllocObjectIn(objClass, iso0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			arr.Elems[j] = heap.RefVal(o)
+		}
+		shared = append(shared, arr)
+	}
+	for k := 0; k < 4; k++ {
+		iso := mkIso("bundle" + string(rune('A'+k)))
+		for i := 0; i < 25; i++ {
+			priv, err := vm.AllocArrayIn(objClass, 100, iso)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for j := range priv.Elems {
+				if j%2 == 0 {
+					priv.Elems[j] = heap.RefVal(shared[(i+j)%len(shared)])
+				} else {
+					o, err := vm.AllocObjectIn(objClass, iso)
+					if err != nil {
+						b.Fatal(err)
+					}
+					priv.Elems[j] = heap.RefVal(o)
+				}
+			}
+			vm.Pin(iso.ID(), priv)
+		}
+	}
+	return vm
+}
+
+// BenchmarkAblationIsolateSwitch contrasts the same call loop with and
+// without an isolate boundary (thread migration cost in isolation).
+func BenchmarkAblationIsolateSwitch_SameIsolate(b *testing.B) {
+	benchMicro(b, core.ModeIsolated, workloads.MicroIntra)
+}
+
+func BenchmarkAblationIsolateSwitch_CrossIsolate(b *testing.B) {
+	benchMicro(b, core.ModeIsolated, workloads.MicroInter)
+}
+
+// BenchmarkAblationTCM contrasts static access through the single shared
+// mirror (baseline) with the per-isolate task-class-mirror indirection.
+func BenchmarkAblationTCM_SharedMirror(b *testing.B) {
+	benchMicro(b, core.ModeShared, workloads.MicroStatic)
+}
+
+func BenchmarkAblationTCM_TaskClassMirror(b *testing.B) {
+	benchMicro(b, core.ModeIsolated, workloads.MicroStatic)
+}

@@ -1,0 +1,77 @@
+// Command attacks runs the §4.3 robustness suite — the eight attacks that
+// cover the JVM-level OSGi vulnerabilities — on the baseline VM and on
+// I-JVM, and prints the paper's outcome table.
+//
+// Usage:
+//
+//	attacks [-only A3] [-mode shared|isolated|both]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ijvm/internal/attacks"
+	"ijvm/internal/core"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "attacks:", err)
+		os.Exit(1)
+	}
+}
+
+func run(argv []string) error {
+	fs := flag.NewFlagSet("attacks", flag.ContinueOnError)
+	only := fs.String("only", "", "run a single attack (A1..A8, X9)")
+	mode := fs.String("mode", "both", "shared, isolated or both")
+	ext := fs.Bool("ext", false, "include the extension attacks (X9: IO flood)")
+	if err := fs.Parse(argv); err != nil {
+		return err
+	}
+
+	var modes []core.Mode
+	switch *mode {
+	case "shared":
+		modes = []core.Mode{core.ModeShared}
+	case "isolated":
+		modes = []core.Mode{core.ModeIsolated}
+	case "both":
+		modes = []core.Mode{core.ModeShared, core.ModeIsolated}
+	default:
+		return fmt.Errorf("unknown mode %q", *mode)
+	}
+
+	list := attacks.All()
+	if *ext {
+		list = append(list, attacks.Extensions()...)
+	}
+	if *only != "" {
+		a := attacks.ByID(*only)
+		if a == nil {
+			return fmt.Errorf("unknown attack %q", *only)
+		}
+		list = []attacks.Attack{*a}
+	}
+
+	fmt.Println("Robustness evaluation (paper §4.3): Sun JVM baseline vs I-JVM")
+	fmt.Println()
+	for _, m := range modes {
+		label := "Sun JVM (baseline, shared mode)"
+		if m == core.ModeIsolated {
+			label = "I-JVM (isolated mode)"
+		}
+		fmt.Println("==", label)
+		for _, a := range list {
+			r, err := a.Run(m)
+			if err != nil {
+				return fmt.Errorf("%s under %s: %w", a.ID, m, err)
+			}
+			fmt.Println("  ", r.String())
+		}
+		fmt.Println()
+	}
+	return nil
+}

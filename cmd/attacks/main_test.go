@@ -1,0 +1,30 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunSingleAttackBothModes(t *testing.T) {
+	if err := run([]string{"-only", "A1"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunModeSelection(t *testing.T) {
+	if err := run([]string{"-only", "A2", "-mode", "isolated"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-only", "A2", "-mode", "shared"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run([]string{"-only", "A99"}); err == nil || !strings.Contains(err.Error(), "unknown attack") {
+		t.Fatalf("err = %v", err)
+	}
+	if err := run([]string{"-mode", "bogus"}); err == nil || !strings.Contains(err.Error(), "unknown mode") {
+		t.Fatalf("err = %v", err)
+	}
+}

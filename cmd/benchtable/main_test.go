@@ -1,0 +1,28 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFig3Table(t *testing.T) {
+	if err := run([]string{"-fig3"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFlagValidation(t *testing.T) {
+	err := run([]string{})
+	if err == nil || !strings.Contains(err.Error(), "at least one") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestTable1Quick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing table skipped in -short mode")
+	}
+	if err := run([]string{"-table1", "-reps", "1"}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,86 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeProgram(t *testing.T, src string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "prog.jasm")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const testProgram = `
+.class t/Main
+.method run (I)I static
+    iload 0
+    iconst 2
+    imul
+    ireturn
+.end
+`
+
+func TestRunProgram(t *testing.T) {
+	path := writeProgram(t, testProgram)
+	for _, mode := range []string{"shared", "isolated"} {
+		if err := run([]string{"-mode", mode, "-n", "21", path}); err != nil {
+			t.Fatalf("mode %s: %v", mode, err)
+		}
+	}
+}
+
+func TestRunWithStatsAndDump(t *testing.T) {
+	path := writeProgram(t, testProgram)
+	if err := run([]string{"-stats", "-n", "5", path}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-dump", path}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	path := writeProgram(t, testProgram)
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"no file", []string{}, "exactly one"},
+		{"bad mode", []string{"-mode", "bogus", path}, "unknown mode"},
+		{"missing file", []string{"/does/not/exist.jasm"}, "no such file"},
+		{"missing method", []string{"-method", "nope", path}, "no static entry method"},
+		{"missing class", []string{"-class", "no/Such", path}, "not found"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := run(tc.args)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("err = %v, want substring %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestRunUncaughtExceptionSurfaces(t *testing.T) {
+	path := writeProgram(t, `
+.class t/Boom
+.method run ()V static
+    iconst 1
+    iconst 0
+    idiv
+    pop
+    return
+.end
+`)
+	err := run([]string{path})
+	if err == nil || !strings.Contains(err.Error(), "ArithmeticException") {
+		t.Fatalf("err = %v", err)
+	}
+}

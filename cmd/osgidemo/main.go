@@ -1,0 +1,200 @@
+// Command osgidemo reproduces §4.1's motivation experiment: the Felix
+// paint-demo analogue, where the drawing area and the shapes are separate
+// bundles and a single shape drag from the upper-left to the bottom-right
+// of the canvas produces roughly two hundred inter-bundle calls.
+//
+// Usage:
+//
+//	osgidemo [-mode shared|isolated] [-steps 200] [-shapes 3]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ijvm/internal/bytecode"
+	"ijvm/internal/classfile"
+	"ijvm/internal/core"
+	"ijvm/internal/heap"
+	"ijvm/internal/interp"
+	"ijvm/internal/osgi"
+	"ijvm/internal/syslib"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "osgidemo:", err)
+		os.Exit(1)
+	}
+}
+
+func run(argv []string) error {
+	fs := flag.NewFlagSet("osgidemo", flag.ContinueOnError)
+	mode := fs.String("mode", "isolated", "vm mode: shared or isolated")
+	steps := fs.Int64("steps", 200, "drag steps (one inter-bundle call each)")
+	nShapes := fs.Int("shapes", 3, "number of shape bundles")
+	if err := fs.Parse(argv); err != nil {
+		return err
+	}
+	vmMode := core.ModeIsolated
+	if *mode == "shared" {
+		vmMode = core.ModeShared
+	}
+
+	vm := interp.NewVM(interp.Options{Mode: vmMode})
+	if err := syslib.Install(vm); err != nil {
+		return err
+	}
+	fw, err := osgi.NewFramework(vm)
+	if err != nil {
+		return err
+	}
+
+	// Shape bundles: each exports a shape service the canvas drags.
+	shapeNames := make([]string, 0, *nShapes)
+	for i := 0; i < *nShapes; i++ {
+		name := fmt.Sprintf("shape%d", i)
+		b, err := fw.Install(shapeManifest(name), shapeClasses(name))
+		if err != nil {
+			return err
+		}
+		if _, err := fw.Start(b); err != nil {
+			return err
+		}
+		shapeNames = append(shapeNames, name)
+	}
+
+	// The canvas bundle imports every shape package.
+	canvas, err := fw.Install(canvasManifest(shapeNames), canvasClasses(shapeNames))
+	if err != nil {
+		return err
+	}
+	if _, err := fw.Start(canvas); err != nil {
+		return err
+	}
+
+	// Drag each shape across the canvas.
+	canvasClass, err := canvas.Loader().Lookup("paint/Canvas")
+	if err != nil {
+		return err
+	}
+	dragM, err := canvasClass.LookupMethod("dragAll", "(I)I")
+	if err != nil {
+		return err
+	}
+	total, th, err := vm.CallRoot(canvas.Isolate(), dragM, []heap.Value{heap.IntVal(*steps)}, 0)
+	if err != nil {
+		return err
+	}
+	if th.Failure() != nil {
+		return fmt.Errorf("drag failed: %s", th.FailureString())
+	}
+
+	fmt.Printf("Paint demo (%s mode): dragged %d shapes for %d steps; checksum %d\n",
+		vmMode, *nShapes, *steps, total.I)
+	if vmMode == core.ModeIsolated {
+		fmt.Println("\nInter-bundle calls observed per bundle (the §4.1 measurement):")
+		for _, b := range fw.Bundles() {
+			acc := b.Isolate().Account()
+			fmt.Printf("  %-10s in=%-6d out=%-6d\n", b.Name(), acc.InterBundleCallsIn, acc.InterBundleCallsOut)
+		}
+		fmt.Printf("\nA full drag makes ~%d inter-bundle calls per shape — the reason\n", *steps)
+		fmt.Println("OSGi needs direct-call-speed communication (Table 1).")
+	} else {
+		fmt.Println("Baseline mode: no isolates, so no per-bundle call accounting exists.")
+	}
+	return nil
+}
+
+func shapeManifest(name string) osgi.Manifest {
+	return osgi.Manifest{
+		Name:      name,
+		Version:   "1.0.0",
+		Exports:   []string{"shapes/" + name},
+		Activator: "shapes/" + name + "/Activator",
+	}
+}
+
+// shapeClasses builds one shape bundle: a Shape service with a move(dx)
+// callback, registered under svc/<name>.
+func shapeClasses(name string) []*classfile.Class {
+	pkg := "shapes/" + name
+	shapeName := pkg + "/Shape"
+	actName := pkg + "/Activator"
+	shape := classfile.NewClass(shapeName).
+		Field("x", classfile.KindInt).
+		Field("y", classfile.KindInt).
+		Method(classfile.InitName, "()V", classfile.FlagPublic, func(a *bytecode.Assembler) {
+			a.ALoad(0).InvokeSpecial(classfile.ObjectClassName, classfile.InitName, "()V").Return()
+		}).
+		// move(d): one drag step — the inter-bundle call the canvas makes.
+		Method("move", "(I)I", classfile.FlagPublic, func(a *bytecode.Assembler) {
+			a.ALoad(0).ALoad(0).GetField(shapeName, "x").ILoad(1).IAdd().PutField(shapeName, "x")
+			a.ALoad(0).ALoad(0).GetField(shapeName, "y").ILoad(1).IAdd().PutField(shapeName, "y")
+			a.ALoad(0).GetField(shapeName, "x").ALoad(0).GetField(shapeName, "y").IAdd().IReturn()
+		}).MustBuild()
+	activator := classfile.NewClass(actName).
+		Method("start", "(Lijvm/osgi/BundleContext;)V", classfile.FlagPublic|classfile.FlagStatic, func(a *bytecode.Assembler) {
+			a.ALoad(0).Str("svc/" + name)
+			a.New(shapeName).Dup().InvokeSpecial(shapeName, classfile.InitName, "()V")
+			a.InvokeVirtual("ijvm/osgi/BundleContext", "registerService", "(Ljava/lang/String;Ljava/lang/Object;)V")
+			a.Return()
+		}).MustBuild()
+	return []*classfile.Class{shape, activator}
+}
+
+func canvasManifest(shapeNames []string) osgi.Manifest {
+	imports := make([]string, len(shapeNames))
+	for i, n := range shapeNames {
+		imports[i] = "shapes/" + n
+	}
+	return osgi.Manifest{
+		Name:      "canvas",
+		Version:   "1.0.0",
+		Imports:   imports,
+		Activator: "paint/Activator",
+	}
+}
+
+// canvasClasses builds the drawing-area bundle: on start it looks every
+// shape service up; dragAll(steps) drags each shape step by step.
+func canvasClasses(shapeNames []string) []*classfile.Class {
+	const cn = "paint/Canvas"
+	canvas := classfile.NewClass(cn).
+		StaticField("shapes", classfile.KindRef).
+		Method("install", "(Lijvm/osgi/BundleContext;)V", classfile.FlagStatic, func(a *bytecode.Assembler) {
+			a.Const(int64(len(shapeNames))).NewArray("").PutStatic(cn, "shapes")
+			for i, n := range shapeNames {
+				a.GetStatic(cn, "shapes").Const(int64(i))
+				a.ALoad(0).Str("svc/"+n).
+					InvokeVirtual("ijvm/osgi/BundleContext", "getService", "(Ljava/lang/String;)Ljava/lang/Object;")
+				a.ArrayStore()
+			}
+			a.Return()
+		}).
+		Method("dragAll", "(I)I", classfile.FlagStatic, func(a *bytecode.Assembler) {
+			// for each shape: for (s = 0; s < steps; s++) sum = shape.move(1)
+			a.Const(0).IStore(1) // shape index
+			a.Const(0).IStore(3) // sum
+			a.Label("shapes")
+			a.ILoad(1).GetStatic(cn, "shapes").ArrayLength().IfICmpGe("done")
+			a.Const(0).IStore(2) // step
+			a.Label("steps")
+			a.ILoad(2).ILoad(0).IfICmpGe("next")
+			a.GetStatic(cn, "shapes").ILoad(1).ArrayLoad()
+			a.Const(1).InvokeVirtual(shapeClassOf(shapeNames[0]), "move", "(I)I").IStore(3)
+			a.IInc(2, 1).Goto("steps")
+			a.Label("next")
+			a.IInc(1, 1).Goto("shapes")
+			a.Label("done")
+			a.ILoad(3).IReturn()
+		}).MustBuild()
+	activator := classfile.NewClass("paint/Activator").
+		Method("start", "(Lijvm/osgi/BundleContext;)V", classfile.FlagPublic|classfile.FlagStatic, func(a *bytecode.Assembler) {
+			a.ALoad(0).InvokeStatic(cn, "install", "(Lijvm/osgi/BundleContext;)V").Return()
+		}).MustBuild()
+	return []*classfile.Class{canvas, activator}
+}
+
+func shapeClassOf(name string) string { return "shapes/" + name + "/Shape" }

@@ -1,0 +1,12 @@
+package main
+
+import "testing"
+
+func TestPaintDemoBothModes(t *testing.T) {
+	if err := run([]string{"-steps", "10", "-shapes", "2"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-mode", "shared", "-steps", "10"}); err != nil {
+		t.Fatal(err)
+	}
+}

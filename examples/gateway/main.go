@@ -1,0 +1,181 @@
+// Gateway: the next-generation home-gateway scenario that motivates the
+// paper (§1): trusted service bundles run alongside a dynamically
+// downloaded third-party bundle that turns out to be malicious. Under
+// I-JVM the administrator's detector loop reads the per-bundle resource
+// accounts, identifies the hog, kills its isolate (notifying the others
+// with a StoppedBundleEvent), and the platform keeps serving.
+//
+//	go run ./examples/gateway
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"ijvm"
+	"ijvm/internal/core"
+	"ijvm/internal/osgi"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "gateway:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	vm, err := ijvm.New(ijvm.Options{
+		Mode:       ijvm.ModeIsolated,
+		HeapLimit:  16 << 20,
+		MaxThreads: 64,
+	})
+	if err != nil {
+		return err
+	}
+	fw, err := osgi.NewFramework(vm.Inner())
+	if err != nil {
+		return err
+	}
+
+	// Trusted gateway services.
+	weather := fw.MustInstall(osgi.Manifest{
+		Name: "weather", Version: "2.1.0",
+		Exports: []string{"gw/weather"}, Activator: "gw/weather/Activator",
+	}, weatherClasses())
+	if _, err := fw.Start(weather); err != nil {
+		return err
+	}
+	fmt.Println("gateway up: weather service ACTIVE")
+
+	// A third-party bundle is downloaded and started... and it hoards
+	// memory.
+	rogue := fw.MustInstall(osgi.Manifest{
+		Name: "free-screensaver", Version: "0.0.1",
+	}, rogueClasses())
+	if _, err := fw.Start(rogue); err != nil {
+		return err
+	}
+	fmt.Println("third-party bundle installed: free-screensaver 0.0.1")
+
+	// The rogue bundle runs its payload in a background thread.
+	rc, err := rogue.Loader().Lookup("rogue/Hoarder")
+	if err != nil {
+		return err
+	}
+	hm, err := rc.LookupMethod("hoard", "()V")
+	if err != nil {
+		return err
+	}
+	rt, err := vm.Inner().SpawnThread("rogue:hoard", rogue.Isolate(), hm, nil)
+	if err != nil {
+		return err
+	}
+	vm.Inner().RunUntil(rt, 100_000_000)
+
+	// The weather service suffers: its allocation fails.
+	ok, err := callWeather(vm, weather)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("weather service healthy during the attack: %v\n", ok)
+
+	// The administrator's loop: snapshot, detect, kill.
+	th := core.Thresholds{MaxLiveBytes: 4 << 20}
+	findings := fw.DetectOffenders(th)
+	if len(findings) == 0 {
+		return fmt.Errorf("detector found nothing — unexpected")
+	}
+	fmt.Println("\nadministrator dashboard:")
+	for _, snap := range fw.AdminSnapshot() {
+		fmt.Printf("  isolate %-18s live=%8dB alloc=%9dB threads=%d gcs=%d\n",
+			snap.IsolateName, snap.LiveBytes, snap.AllocatedBytes,
+			snap.ThreadsCreated, snap.GCActivations)
+	}
+	offender := fw.BundleByIsolateID(findings[0].IsolateID)
+	fmt.Printf("\ndetector: %s\n", findings[0])
+	if err := fw.KillBundle(offender); err != nil {
+		return err
+	}
+	vm.Inner().Run(1_000_000) // drain the killed bundle's threads
+	vm.GC(nil)
+	fmt.Printf("administrator killed %q; heap after reclaim: %d bytes\n",
+		offender.Name(), vm.Inner().Heap().Used())
+
+	// The platform keeps serving.
+	ok, err = callWeather(vm, weather)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("weather service healthy after recovery: %v\n", ok)
+	if !ok {
+		return fmt.Errorf("weather service did not recover")
+	}
+	return nil
+}
+
+func callWeather(vm *ijvm.VM, b *osgi.Bundle) (bool, error) {
+	c, err := b.Loader().Lookup("gw/weather/Service")
+	if err != nil {
+		return false, err
+	}
+	m, err := c.LookupMethod("forecast", "()I")
+	if err != nil {
+		return false, err
+	}
+	v, th, err := vm.Inner().CallRoot(b.Isolate(), m, nil, 10_000_000)
+	if err != nil {
+		return false, err
+	}
+	if th.Failure() != nil {
+		return false, nil
+	}
+	return v.I == 1, nil
+}
+
+// weatherClasses: a service that allocates a working buffer per request —
+// exactly the kind of bystander a memory hog starves.
+func weatherClasses() []*ijvm.Class {
+	const cn = "gw/weather/Service"
+	svc := ijvm.NewClass(cn).
+		Method("forecast", "()I", ijvm.FlagStatic|ijvm.FlagPublic, func(a *ijvm.Asm) {
+			a.Label("try")
+			a.Const(512).NewArray("").Pop() // per-request working buffer
+			a.Const(1).IReturn()
+			a.Label("endtry")
+			a.Label("catch")
+			a.Pop().Const(0).IReturn()
+			a.Handler("try", "endtry", "catch", "java/lang/OutOfMemoryError")
+		}).MustBuild()
+	activator := ijvm.NewClass("gw/weather/Activator").
+		Method("start", "(Lijvm/osgi/BundleContext;)V", ijvm.FlagPublic|ijvm.FlagStatic, func(a *ijvm.Asm) {
+			a.ALoad(0).Str("svc/weather").Str("ready").
+				InvokeVirtual("ijvm/osgi/BundleContext", "registerService",
+					"(Ljava/lang/String;Ljava/lang/Object;)V")
+			a.Return()
+		}).
+		// The weather bundle is a good citizen: on a StoppedBundleEvent
+		// it would drop references to the dying bundle (it holds none).
+		Method("bundleStopped", "(Ljava/lang/String;)V", ijvm.FlagPublic|ijvm.FlagStatic, func(a *ijvm.Asm) {
+			a.Return()
+		}).MustBuild()
+	return []*ijvm.Class{svc, activator}
+}
+
+// rogueClasses: retains 1KB arrays in a static until the heap is full.
+func rogueClasses() []*ijvm.Class {
+	const cn = "rogue/Hoarder"
+	c := ijvm.NewClass(cn).
+		StaticField("hoard", ijvm.KindRef).
+		Method("hoard", "()V", ijvm.FlagStatic|ijvm.FlagPublic, func(a *ijvm.Asm) {
+			a.Const(32768).NewArray("").PutStatic(cn, "hoard")
+			a.Const(0).IStore(0)
+			a.Label("loop")
+			a.ILoad(0).Const(32768).IfICmpGe("done")
+			a.GetStatic(cn, "hoard").ILoad(0).Const(128).NewArray("").ArrayStore()
+			a.IInc(0, 1).Goto("loop")
+			a.Label("done")
+			a.Return()
+		}).MustBuild()
+	return []*ijvm.Class{c}
+}

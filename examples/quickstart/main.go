@@ -1,0 +1,80 @@
+// Quickstart: build a class with the public API, run it inside an
+// isolate under I-JVM semantics, and read the isolate's resource
+// account.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"ijvm"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "quickstart:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	// An I-JVM instance with the system library installed.
+	vm, err := ijvm.New(ijvm.Options{Mode: ijvm.ModeIsolated})
+	if err != nil {
+		return err
+	}
+
+	// The first isolate becomes Isolate0 (the privileged one — in an
+	// OSGi deployment this is the framework's isolate).
+	main, err := vm.NewIsolate("main")
+	if err != nil {
+		return err
+	}
+
+	// Define a class: fib(n), iteratively, plus a greeting.
+	class := ijvm.NewClass("demo/Fib").
+		Method("fib", "(I)I", ijvm.FlagStatic, func(a *ijvm.Asm) {
+			// a=0, b=1; n times: a, b = b, a+b; return a
+			a.Const(0).IStore(1)
+			a.Const(1).IStore(2)
+			a.Label("loop")
+			a.ILoad(0).IfLe("done")
+			a.ILoad(1).ILoad(2).IAdd().IStore(3) // t = a+b
+			a.ILoad(2).IStore(1)                 // a = b
+			a.ILoad(3).IStore(2)                 // b = t
+			a.IInc(0, -1)
+			a.Goto("loop")
+			a.Label("done")
+			a.ILoad(1).IReturn()
+		}).
+		Method("hello", "()V", ijvm.FlagStatic, func(a *ijvm.Asm) {
+			a.Str("hello from inside the I-JVM").
+				InvokeStatic("java/lang/System", "println", "(Ljava/lang/String;)V").
+				Return()
+		}).MustBuild()
+	if err := main.Define(class); err != nil {
+		return err
+	}
+
+	// Run the greeting, then fib(30).
+	if _, _, err := main.Call("demo/Fib", "hello", nil); err != nil {
+		return err
+	}
+	v, _, err := main.Call("demo/Fib", "fib", []ijvm.Value{ijvm.IntVal(30)})
+	if err != nil {
+		return err
+	}
+
+	fmt.Print(vm.Output())
+	fmt.Printf("fib(30) = %d\n", v.I)
+
+	// Every isolate carries a live resource account (the basis of the
+	// paper's DoS detection).
+	vm.GC(main)
+	snap := main.Snapshot()
+	fmt.Printf("isolate %q: %d instructions, %d bytes allocated, %d live bytes, %d threads\n",
+		snap.IsolateName, snap.Instructions, snap.AllocatedBytes, snap.LiveBytes, snap.ThreadsCreated)
+	return nil
+}

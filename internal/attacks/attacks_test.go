@@ -1,0 +1,99 @@
+package attacks_test
+
+import (
+	"testing"
+
+	"ijvm/internal/attacks"
+	"ijvm/internal/core"
+)
+
+// TestAttackOutcomesMatchPaperTable reproduces the §4.3 outcome table:
+// every attack compromises the baseline VM, and I-JVM either neutralizes
+// it outright (A1, A2 — isolation) or lets the administrator detect and
+// kill the offender with the victim recovering (A3-A8).
+func TestAttackOutcomesMatchPaperTable(t *testing.T) {
+	type expectation struct {
+		baselineVictimOK bool // victim keeps working on the baseline
+		needsDetection   bool // I-JVM relies on the admin loop
+	}
+	expect := map[string]expectation{
+		"A1": {baselineVictimOK: false, needsDetection: false},
+		"A2": {baselineVictimOK: false, needsDetection: false},
+		"A3": {baselineVictimOK: false, needsDetection: true},
+		"A4": {baselineVictimOK: true, needsDetection: true}, // progresses slowly
+		"A5": {baselineVictimOK: false, needsDetection: true},
+		"A6": {baselineVictimOK: true, needsDetection: true}, // progresses slowly
+		"A7": {baselineVictimOK: false, needsDetection: true},
+		"A8": {baselineVictimOK: false, needsDetection: true},
+	}
+
+	for _, a := range attacks.All() {
+		a := a
+		exp := expect[a.ID]
+		t.Run(a.ID+"/baseline", func(t *testing.T) {
+			r, err := a.Run(core.ModeShared)
+			if err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			if !r.PlatformCompromised {
+				t.Errorf("baseline must be compromised by %s: %s", a.ID, r)
+			}
+			if r.VictimOK != exp.baselineVictimOK {
+				t.Errorf("baseline victimOK = %v, want %v: %s", r.VictimOK, exp.baselineVictimOK, r)
+			}
+			if r.Detected || r.OffenderKilled {
+				t.Errorf("baseline has no detection/termination, got: %s", r)
+			}
+		})
+		t.Run(a.ID+"/ijvm", func(t *testing.T) {
+			r, err := a.Run(core.ModeIsolated)
+			if err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			if !r.VictimOK {
+				t.Errorf("I-JVM victim must keep working for %s: %s", a.ID, r)
+			}
+			if exp.needsDetection && (!r.Detected || !r.OffenderKilled) {
+				t.Errorf("I-JVM admin must detect and kill for %s: %s", a.ID, r)
+			}
+		})
+	}
+}
+
+// TestAttackRegistry sanity-checks the attack catalogue.
+func TestAttackRegistry(t *testing.T) {
+	all := attacks.All()
+	if len(all) != 8 {
+		t.Fatalf("expected 8 attacks, got %d", len(all))
+	}
+	for _, a := range all {
+		if attacks.ByID(a.ID) == nil {
+			t.Errorf("ByID(%s) lost the attack", a.ID)
+		}
+	}
+	if attacks.ByID("X9") == nil {
+		t.Error("extension attack X9 missing from ByID")
+	}
+	if attacks.ByID("A9") != nil {
+		t.Error("ByID must return nil for unknown attacks")
+	}
+}
+
+// TestExtensionIOFlood covers the X9 extension attack: unattributable on
+// the baseline, detected through the I/O byte counters under I-JVM.
+func TestExtensionIOFlood(t *testing.T) {
+	base, err := attacks.RunX9(core.ModeShared)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !base.PlatformCompromised || base.Detected {
+		t.Fatalf("baseline = %s", base)
+	}
+	iso, err := attacks.RunX9(core.ModeIsolated)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !iso.Detected || !iso.OffenderKilled || !iso.VictimOK {
+		t.Fatalf("isolated = %s", iso)
+	}
+}

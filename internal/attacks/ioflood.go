@@ -1,0 +1,106 @@
+package attacks
+
+import (
+	"fmt"
+
+	"ijvm/internal/bytecode"
+	"ijvm/internal/classfile"
+	"ijvm/internal/core"
+	"ijvm/internal/heap"
+	"ijvm/internal/osgi"
+)
+
+// RunX9 executes the I/O-flood extension attack (not part of the paper's
+// §4.3 suite; it exercises the connection and I/O-byte accounting
+// dimensions of §3.2 that the eight original attacks leave untested): a
+// malicious bundle opens connections and pumps bytes through them,
+// saturating the gateway's uplink. The baseline has no per-bundle I/O
+// attribution; I-JVM's JRes-style instrumentation charges every byte to
+// the writing isolate and the administrator kills the flooder.
+func RunX9(mode core.Mode) (Result, error) {
+	res := Result{ID: "X9", Name: "connection/IO flood (extension)", Mode: mode}
+	const cn = "malice/Flood"
+	flood := classfile.NewClass(cn).
+		Method("attack", "(I)I", classfile.FlagStatic|classfile.FlagPublic, func(a *bytecode.Assembler) {
+			// for i in 0..n: c = open("uplink"); c.writeBytes(64KiB); c.close()
+			a.Const(0).IStore(1)
+			a.Const(0).IStore(2)
+			a.Label("loop")
+			a.ILoad(1).ILoad(0).IfICmpGe("done")
+			a.Str("uplink").InvokeStatic("ijvm/io/Connection", "open",
+				"(Ljava/lang/String;)Lijvm/io/Connection;").AStore(3)
+			a.ALoad(3).Const(65536).InvokeVirtual("ijvm/io/Connection", "writeBytes", "(I)I").
+				ILoad(2).IAdd().IStore(2)
+			a.ALoad(3).InvokeVirtual("ijvm/io/Connection", "close", "()V")
+			a.IInc(1, 1).Goto("loop")
+			a.Label("done")
+			a.ILoad(2).IReturn()
+		}).MustBuild()
+	// The victim performs a modest upload and just needs its I/O to keep
+	// being attributable (under the baseline, nothing distinguishes it
+	// from the flooder).
+	victim := classfile.NewClass("victim/Upload").
+		Method("upload", "()I", classfile.FlagStatic|classfile.FlagPublic, func(a *bytecode.Assembler) {
+			a.Str("uplink").InvokeStatic("ijvm/io/Connection", "open",
+				"(Ljava/lang/String;)Lijvm/io/Connection;").AStore(0)
+			a.ALoad(0).Str("telemetry").InvokeVirtual("ijvm/io/Connection", "write",
+				"(Ljava/lang/String;)I").IStore(1)
+			a.ALoad(0).InvokeVirtual("ijvm/io/Connection", "close", "()V")
+			a.ILoad(1).IReturn()
+		}).MustBuild()
+
+	e, err := newEnv(mode)
+	if err != nil {
+		return res, err
+	}
+	victimB, err := e.fw.Install(osgi.Manifest{Name: "victim"}, []*classfile.Class{victim})
+	if err != nil {
+		return res, err
+	}
+	malice, err := e.fw.Install(osgi.Manifest{Name: "malice"}, []*classfile.Class{flood})
+	if err != nil {
+		return res, err
+	}
+
+	// The victim uploads before the flood.
+	if n, err := e.callVictim(victimB, "victim/Upload", "upload"); err != nil || n != 9 {
+		return res, fmt.Errorf("victim upload before flood: %d, %v", n, err)
+	}
+
+	mc, _ := malice.Loader().Lookup(cn)
+	am, _ := mc.LookupMethod("attack", "(I)I")
+	at, err := e.vm.SpawnThread("malice:flood", malice.Isolate(), am,
+		[]heap.Value{heap.IntVal(2048)})
+	if err != nil {
+		return res, err
+	}
+	e.vm.RunUntil(at, 50_000_000)
+	res.PlatformCompromised = true // ~128 MiB pushed through the uplink
+
+	if mode == core.ModeIsolated {
+		th := thresholds()
+		th.MaxIOBytes = 16 << 20
+		th.MaxConnections = 0 // rely on the byte counter
+		detected, offender, err := e.detectAndKill(th)
+		if err != nil {
+			return res, err
+		}
+		res.Detected = detected
+		res.OffenderKilled = offender == "malice"
+		n, err := e.callVictim(victimB, "victim/Upload", "upload")
+		if err != nil {
+			return res, err
+		}
+		res.VictimOK = n == 9
+		flooded := malice.Isolate().Account().IOBytesWritten
+		res.Notes = fmt.Sprintf("flooder charged %d IO bytes; admin killed %q", flooded, offender)
+	} else {
+		n, err := e.callVictim(victimB, "victim/Upload", "upload")
+		if err != nil {
+			return res, err
+		}
+		res.VictimOK = n == 9
+		res.Notes = "bytes flow unattributed; the flooder cannot be identified"
+	}
+	return res, nil
+}

@@ -1,0 +1,234 @@
+package attacks
+
+import (
+	"fmt"
+
+	"ijvm/internal/bytecode"
+	"ijvm/internal/classfile"
+	"ijvm/internal/core"
+	"ijvm/internal/heap"
+	"ijvm/internal/osgi"
+)
+
+// victimDataClasses builds the A1 victim: a static table of objects,
+// initialized in <clinit>, that the bundle's code depends on.
+func victimDataClasses() []*classfile.Class {
+	const cn = "victim/Data"
+	c := classfile.NewClass(cn).
+		StaticField("table", classfile.KindRef).
+		Method(classfile.ClinitName, "()V", classfile.FlagStatic, func(a *bytecode.Assembler) {
+			// table = new Object[4]; table[i] = new Object();
+			a.Const(4).NewArray("").PutStatic(cn, "table")
+			for i := int64(0); i < 4; i++ {
+				a.GetStatic(cn, "table").Const(i)
+				a.New(classfile.ObjectClassName).Dup().
+					InvokeSpecial(classfile.ObjectClassName, classfile.InitName, "()V")
+				a.ArrayStore()
+			}
+			a.Return()
+		}).
+		// use(): works on the elements of the array; returns 1 when every
+		// element is intact, 0 when any was nulled (the paper's bundle A
+		// would throw a NullPointerException at this point).
+		Method("use", "()I", classfile.FlagStatic|classfile.FlagPublic, func(a *bytecode.Assembler) {
+			a.Const(0).IStore(0)
+			a.Label("loop")
+			a.ILoad(0).Const(4).IfICmpGe("ok")
+			a.GetStatic(cn, "table").ILoad(0).ArrayLoad().IfNull("corrupted")
+			a.IInc(0, 1).Goto("loop")
+			a.Label("ok")
+			a.Const(1).IReturn()
+			a.Label("corrupted")
+			a.Const(0).IReturn()
+		}).MustBuild()
+	return []*classfile.Class{c}
+}
+
+// maliceA1Classes builds the A1 attacker: it discovers victim/Data.table
+// at "compile time" (a direct getstatic) and nulls its contents.
+func maliceA1Classes() []*classfile.Class {
+	const cn = "malice/NullWriter"
+	c := classfile.NewClass(cn).
+		Method("attack", "()V", classfile.FlagStatic|classfile.FlagPublic, func(a *bytecode.Assembler) {
+			a.GetStatic("victim/Data", "table").AStore(0)
+			a.Const(0).IStore(1)
+			a.Label("loop")
+			a.ILoad(1).ALoad(0).ArrayLength().IfICmpGe("done")
+			a.ALoad(0).ILoad(1).Null().ArrayStore()
+			a.IInc(1, 1).Goto("loop")
+			a.Label("done")
+			a.Return()
+		}).MustBuild()
+	return []*classfile.Class{c}
+}
+
+// RunA1 executes attack A1 (modification of a static variable). On the
+// baseline, the shared static table is corrupted and the victim breaks;
+// under I-JVM the attacker only ever sees its own task-class-mirror copy.
+func RunA1(mode core.Mode) (Result, error) {
+	res := Result{ID: "A1", Name: "static variable corruption", Mode: mode}
+	e, err := newEnv(mode)
+	if err != nil {
+		return res, err
+	}
+	victim, err := e.fw.Install(osgi.Manifest{Name: "victim", Exports: []string{"victim"}}, victimDataClasses())
+	if err != nil {
+		return res, err
+	}
+	malice, err := e.fw.Install(osgi.Manifest{Name: "malice", Imports: []string{"victim"}}, maliceA1Classes())
+	if err != nil {
+		return res, err
+	}
+	if err := e.fw.Resolve(malice); err != nil {
+		return res, err
+	}
+
+	use := func() (int64, error) {
+		c, err := victim.Loader().Lookup("victim/Data")
+		if err != nil {
+			return 0, err
+		}
+		m, err := c.LookupMethod("use", "()I")
+		if err != nil {
+			return 0, err
+		}
+		v, th, err := e.vm.CallRoot(victim.Isolate(), m, nil, 1_000_000)
+		if err != nil {
+			return 0, err
+		}
+		if th.Failure() != nil {
+			return 0, fmt.Errorf("victim failed: %s", th.FailureString())
+		}
+		return v.I, nil
+	}
+
+	before, err := use()
+	if err != nil {
+		return res, err
+	}
+	if before != 1 {
+		return res, fmt.Errorf("victim broken before attack (use=%d)", before)
+	}
+
+	mc, err := malice.Loader().Lookup("malice/NullWriter")
+	if err != nil {
+		return res, err
+	}
+	am, err := mc.LookupMethod("attack", "()V")
+	if err != nil {
+		return res, err
+	}
+	if _, th, err := e.vm.CallRoot(malice.Isolate(), am, nil, 1_000_000); err != nil {
+		return res, err
+	} else if th.Failure() != nil {
+		return res, fmt.Errorf("attack failed to run: %s", th.FailureString())
+	}
+
+	after, err := use()
+	if err != nil {
+		return res, err
+	}
+	res.VictimOK = after == 1
+	res.PlatformCompromised = after == 0
+	if res.PlatformCompromised {
+		res.Notes = "shared static table corrupted; victim observes null elements"
+	} else {
+		res.Notes = "attacker nulled its own task-class-mirror copy; victim unaffected"
+	}
+	return res, nil
+}
+
+// victimLockClasses builds the A2 victim: a static synchronized method,
+// i.e. one that locks the java.lang.Class object of its class.
+func victimLockClasses() []*classfile.Class {
+	const cn = "victim/Lock"
+	c := classfile.NewClass(cn).
+		Method("work", "()I", classfile.FlagStatic|classfile.FlagPublic|classfile.FlagSynchronized,
+			func(a *bytecode.Assembler) {
+				a.Const(1).IReturn()
+			}).MustBuild()
+	return []*classfile.Class{c}
+}
+
+// maliceA2Classes builds the A2 attacker: it grabs the monitor of the
+// victim's Class object and holds it forever.
+func maliceA2Classes() []*classfile.Class {
+	const cn = "malice/LockHolder"
+	c := classfile.NewClass(cn).
+		Method(classfile.InitName, "()V", classfile.FlagPublic, func(a *bytecode.Assembler) {
+			a.ALoad(0).InvokeSpecial(classfile.ObjectClassName, classfile.InitName, "()V").Return()
+		}).
+		Method("run", "()V", classfile.FlagPublic, func(a *bytecode.Assembler) {
+			a.ClassConst("victim/Lock").MonitorEnter()
+			// Hold the lock forever.
+			a.Const(0).InvokeStatic("java/lang/Thread", "sleep", "(I)V")
+			a.Return()
+		}).MustBuild()
+	return []*classfile.Class{c}
+}
+
+// RunA2 executes attack A2 (synchronized method / synchronized block). On
+// the baseline both bundles see the same Class object, so the victim's
+// static synchronized method blocks forever; under I-JVM each isolate has
+// its own Class object and the victim proceeds.
+func RunA2(mode core.Mode) (Result, error) {
+	res := Result{ID: "A2", Name: "lock on shared Class object", Mode: mode}
+	e, err := newEnv(mode)
+	if err != nil {
+		return res, err
+	}
+	victim, err := e.fw.Install(osgi.Manifest{Name: "victim", Exports: []string{"victim"}}, victimLockClasses())
+	if err != nil {
+		return res, err
+	}
+	malice, err := e.fw.Install(osgi.Manifest{Name: "malice", Imports: []string{"victim"}}, maliceA2Classes())
+	if err != nil {
+		return res, err
+	}
+	if err := e.fw.Resolve(malice); err != nil {
+		return res, err
+	}
+
+	// Attacker thread takes the lock and parks holding it.
+	mc, err := malice.Loader().Lookup("malice/LockHolder")
+	if err != nil {
+		return res, err
+	}
+	runM, err := mc.LookupMethod("run", "()V")
+	if err != nil {
+		return res, err
+	}
+	holder, err := e.vm.AllocObjectIn(mc, malice.Isolate())
+	if err != nil {
+		return res, err
+	}
+	if _, err := e.vm.SpawnThread("malice:lockholder", malice.Isolate(), runM,
+		[]heap.Value{heap.RefVal(holder)}); err != nil {
+		return res, err
+	}
+	e.vm.Run(100_000) // let the attacker acquire and park
+
+	// Victim calls its static synchronized method.
+	vc, err := victim.Loader().Lookup("victim/Lock")
+	if err != nil {
+		return res, err
+	}
+	workM, err := vc.LookupMethod("work", "()I")
+	if err != nil {
+		return res, err
+	}
+	vt, err := e.vm.SpawnThread("victim:work", victim.Isolate(), workM, nil)
+	if err != nil {
+		return res, err
+	}
+	e.vm.RunUntil(vt, 2_000_000)
+
+	res.VictimOK = vt.Done() && vt.Failure() == nil && vt.Result().I == 1
+	res.PlatformCompromised = !vt.Done()
+	if res.PlatformCompromised {
+		res.Notes = "victim blocked forever on its own Class object's monitor"
+	} else {
+		res.Notes = "per-isolate Class objects: attacker holds its own copy's monitor only"
+	}
+	return res, nil
+}

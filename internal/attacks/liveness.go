@@ -1,0 +1,315 @@
+package attacks
+
+import (
+	"fmt"
+
+	"ijvm/internal/bytecode"
+	"ijvm/internal/classfile"
+	"ijvm/internal/core"
+	"ijvm/internal/heap"
+	"ijvm/internal/osgi"
+)
+
+// RunA6 executes attack A6 (standalone infinite loop). The baseline has
+// no CPU accounting: other bundles progress slowly and the administrator
+// cannot identify the spinner. I-JVM samples the isolate reference of
+// running threads; the spinner dominates the samples and is killed.
+func RunA6(mode core.Mode) (Result, error) {
+	res := Result{ID: "A6", Name: "standalone infinite loop", Mode: mode}
+	const cn = "malice/Spin"
+	spin := classfile.NewClass(cn).
+		Method("attack", "()V", classfile.FlagStatic|classfile.FlagPublic, func(a *bytecode.Assembler) {
+			a.Const(0).IStore(0)
+			a.Label("loop")
+			a.IInc(0, 1)
+			a.Goto("loop")
+		}).MustBuild()
+	compute := classfile.NewClass("victim/Compute").
+		Method("compute", "()I", classfile.FlagStatic|classfile.FlagPublic, func(a *bytecode.Assembler) {
+			a.Const(0).IStore(0).Const(0).IStore(1)
+			a.Label("loop")
+			a.ILoad(0).Const(10000).IfICmpGe("done")
+			a.ILoad(1).ILoad(0).IAdd().IStore(1)
+			a.IInc(0, 1).Goto("loop")
+			a.Label("done")
+			a.Const(1).IReturn()
+		}).MustBuild()
+
+	e, err := newEnv(mode)
+	if err != nil {
+		return res, err
+	}
+	victim, err := e.fw.Install(osgi.Manifest{Name: "victim"}, []*classfile.Class{compute})
+	if err != nil {
+		return res, err
+	}
+	malice, err := e.fw.Install(osgi.Manifest{Name: "malice"}, []*classfile.Class{spin})
+	if err != nil {
+		return res, err
+	}
+
+	mc, _ := malice.Loader().Lookup(cn)
+	am, _ := mc.LookupMethod("attack", "()V")
+	if _, err := e.vm.SpawnThread("malice:spin", malice.Isolate(), am, nil); err != nil {
+		return res, err
+	}
+	// Let the spinner monopolize the CPU for a while.
+	e.vm.Run(3_000_000)
+	res.PlatformCompromised = true // the loop never terminates by itself
+
+	if mode == core.ModeIsolated {
+		detected, offender, err := e.detectAndKill(thresholds())
+		if err != nil {
+			return res, err
+		}
+		res.Detected = detected
+		res.OffenderKilled = offender == "malice"
+		e.vm.Run(100_000) // deliver the staged StoppedIsolateException
+		during, err := e.callVictim(victim, "victim/Compute", "compute")
+		if err != nil {
+			return res, err
+		}
+		res.VictimOK = during == 1 && e.vm.LiveThreads() == 0
+		res.Notes = fmt.Sprintf("cpu-share flagged %q; spinner terminated", offender)
+	} else {
+		during, err := e.callVictim(victim, "victim/Compute", "compute")
+		if err != nil {
+			return res, err
+		}
+		res.VictimOK = during == 1
+		res.Notes = "spinner shares the CPU unattributed; it can never be stopped"
+	}
+	return res, nil
+}
+
+// hangServiceClasses builds the A7 callee: service.hang() sleeps forever
+// (the paper's bundle B calling Thread.sleep(0)).
+func hangServiceClasses() []*classfile.Class {
+	const cn = "bsvc/Hang"
+	c := classfile.NewClass(cn).
+		Method(classfile.InitName, "()V", classfile.FlagPublic, func(a *bytecode.Assembler) {
+			a.ALoad(0).InvokeSpecial(classfile.ObjectClassName, classfile.InitName, "()V").Return()
+		}).
+		Method("hang", "()V", classfile.FlagPublic, func(a *bytecode.Assembler) {
+			a.Const(0).InvokeStatic("java/lang/Thread", "sleep", "(I)V").Return()
+		}).
+		Method("make", "()Ljava/lang/Object;", classfile.FlagStatic|classfile.FlagPublic, func(a *bytecode.Assembler) {
+			a.New(cn).Dup().InvokeSpecial(cn, classfile.InitName, "()V").AReturn()
+		}).MustBuild()
+	return []*classfile.Class{c}
+}
+
+// hangCallerClasses builds the A7 caller, prepared per §3.4's rule for
+// bundle writers: it catches any Throwable around the inter-bundle call.
+// callB returns 1 on a normal return and 2 when an exception (the
+// StoppedIsolateException after the admin kill) brought control back.
+func hangCallerClasses() []*classfile.Class {
+	const cn = "avictim/Caller"
+	c := classfile.NewClass(cn).
+		StaticField("svc", classfile.KindRef).
+		Method("bind", "(Ljava/lang/Object;)V", classfile.FlagStatic|classfile.FlagPublic, func(a *bytecode.Assembler) {
+			a.ALoad(0).PutStatic(cn, "svc").Return()
+		}).
+		Method("callB", "()I", classfile.FlagStatic|classfile.FlagPublic, func(a *bytecode.Assembler) {
+			a.Label("try")
+			a.GetStatic(cn, "svc").CheckCast("bsvc/Hang").
+				InvokeVirtual("bsvc/Hang", "hang", "()V")
+			a.Const(1).IReturn()
+			a.Label("endtry")
+			a.Label("catch")
+			a.Pop().Const(2).IReturn()
+			a.Handler("try", "endtry", "catch", "")
+		}).MustBuild()
+	return []*classfile.Class{c}
+}
+
+// RunA7 executes attack A7 (hanging thread): bundle A calls bundle B and
+// B never returns. Baseline: A's thread is stuck forever. I-JVM: the
+// sleeping-thread gauge points at B; killing B interrupts the sleep and A
+// catches StoppedIsolateException.
+func RunA7(mode core.Mode) (Result, error) {
+	res := Result{ID: "A7", Name: "hanging thread", Mode: mode}
+	e, err := newEnv(mode)
+	if err != nil {
+		return res, err
+	}
+	bundleB, err := e.fw.Install(osgi.Manifest{Name: "malice", Exports: []string{"bsvc"}}, hangServiceClasses())
+	if err != nil {
+		return res, err
+	}
+	bundleA, err := e.fw.Install(osgi.Manifest{Name: "victim", Imports: []string{"bsvc"}}, hangCallerClasses())
+	if err != nil {
+		return res, err
+	}
+	if err := e.fw.Resolve(bundleA); err != nil {
+		return res, err
+	}
+
+	// Create B's service and bind it into A.
+	bc, _ := bundleB.Loader().Lookup("bsvc/Hang")
+	makeM, _ := bc.LookupMethod("make", "()Ljava/lang/Object;")
+	svc, th, err := e.vm.CallRoot(bundleB.Isolate(), makeM, nil, 1_000_000)
+	if err != nil || th.Failure() != nil {
+		return res, fmt.Errorf("creating service: %v", err)
+	}
+	ac, _ := bundleA.Loader().Lookup("avictim/Caller")
+	bindM, _ := ac.LookupMethod("bind", "(Ljava/lang/Object;)V")
+	if _, th, err := e.vm.CallRoot(bundleA.Isolate(), bindM, []heap.Value{svc}, 1_000_000); err != nil || th.Failure() != nil {
+		return res, fmt.Errorf("binding service: %v", err)
+	}
+
+	// A calls B; the call hangs inside B.
+	callM, _ := ac.LookupMethod("callB", "()I")
+	at, err := e.vm.SpawnThread("victim:callB", bundleA.Isolate(), callM, nil)
+	if err != nil {
+		return res, err
+	}
+	e.vm.RunUntil(at, 2_000_000)
+	if at.Done() {
+		return res, fmt.Errorf("call into hanging service returned prematurely")
+	}
+	res.PlatformCompromised = true // execution never returns on its own
+
+	if mode == core.ModeIsolated {
+		th := thresholds()
+		th.MaxSleepingThreads = 1
+		detected, offender, err := e.detectAndKill(th)
+		if err != nil {
+			return res, err
+		}
+		res.Detected = detected
+		res.OffenderKilled = offender == "malice"
+		e.vm.RunUntil(at, 2_000_000)
+		res.VictimOK = at.Done() && at.Failure() == nil && at.Result().I == 2
+		res.Notes = fmt.Sprintf("sleeping-thread gauge flagged %q; control returned to the caller", offender)
+	} else {
+		res.VictimOK = false
+		res.Notes = "execution never returns to the caller; no admin remedy exists"
+	}
+	return res, nil
+}
+
+// RunA8 executes attack A8 (lack of termination support): bundle B hands
+// bundle A a reference to an internal object, then mounts a denial of
+// service. The administrator unloads B. Baseline: unloading is impossible
+// and the attack keeps running. I-JVM: B's isolate is killed, every entry
+// into its code throws, and its code provably never executes again.
+func RunA8(mode core.Mode) (Result, error) {
+	res := Result{ID: "A8", Name: "lack of termination support", Mode: mode}
+	const bn = "bsvc/Internal"
+	internal := classfile.NewClass(bn).
+		Field("secret", classfile.KindInt).
+		Method(classfile.InitName, "()V", classfile.FlagPublic, func(a *bytecode.Assembler) {
+			a.ALoad(0).InvokeSpecial(classfile.ObjectClassName, classfile.InitName, "()V")
+			a.ALoad(0).Const(99).PutField(bn, "secret")
+			a.Return()
+		}).
+		Method("peek", "()I", classfile.FlagPublic, func(a *bytecode.Assembler) {
+			a.ALoad(0).GetField(bn, "secret").IReturn()
+		}).
+		Method("make", "()Ljava/lang/Object;", classfile.FlagStatic|classfile.FlagPublic, func(a *bytecode.Assembler) {
+			a.New(bn).Dup().InvokeSpecial(bn, classfile.InitName, "()V").AReturn()
+		}).
+		Method("attack", "()V", classfile.FlagStatic|classfile.FlagPublic, func(a *bytecode.Assembler) {
+			a.Label("loop")
+			a.Goto("loop")
+		}).MustBuild()
+
+	const an = "avictim/Holder"
+	holder := classfile.NewClass(an).
+		StaticField("ref", classfile.KindRef).
+		Method("store", "(Ljava/lang/Object;)V", classfile.FlagStatic|classfile.FlagPublic, func(a *bytecode.Assembler) {
+			a.ALoad(0).PutStatic(an, "ref").Return()
+		}).
+		// poke(): calls a method on the stored internal object of B;
+		// returns its value, or -1 when the call throws (B killed).
+		Method("poke", "()I", classfile.FlagStatic|classfile.FlagPublic, func(a *bytecode.Assembler) {
+			a.Label("try")
+			a.GetStatic(an, "ref").CheckCast(bn).InvokeVirtual(bn, "peek", "()I").IReturn()
+			a.Label("endtry")
+			a.Label("catch")
+			a.Pop().Const(-1).IReturn()
+			a.Handler("try", "endtry", "catch", "")
+		}).
+		Method("release", "()V", classfile.FlagStatic|classfile.FlagPublic, func(a *bytecode.Assembler) {
+			a.Null().PutStatic(an, "ref").Return()
+		}).MustBuild()
+
+	e, err := newEnv(mode)
+	if err != nil {
+		return res, err
+	}
+	bundleB, err := e.fw.Install(osgi.Manifest{Name: "malice", Exports: []string{"bsvc"}},
+		[]*classfile.Class{internal})
+	if err != nil {
+		return res, err
+	}
+	bundleA, err := e.fw.Install(osgi.Manifest{Name: "victim", Imports: []string{"bsvc"}},
+		[]*classfile.Class{holder})
+	if err != nil {
+		return res, err
+	}
+	if err := e.fw.Resolve(bundleA); err != nil {
+		return res, err
+	}
+
+	// B hands its internal object to A, which stores it.
+	bc, _ := bundleB.Loader().Lookup(bn)
+	makeM, _ := bc.LookupMethod("make", "()Ljava/lang/Object;")
+	obj, th, err := e.vm.CallRoot(bundleB.Isolate(), makeM, nil, 1_000_000)
+	if err != nil || th.Failure() != nil {
+		return res, fmt.Errorf("creating internal object: %v", err)
+	}
+	ac, _ := bundleA.Loader().Lookup(an)
+	storeM, _ := ac.LookupMethod("store", "(Ljava/lang/Object;)V")
+	if _, th, err := e.vm.CallRoot(bundleA.Isolate(), storeM, []heap.Value{obj}, 1_000_000); err != nil || th.Failure() != nil {
+		return res, fmt.Errorf("storing reference: %v", err)
+	}
+
+	// B mounts its denial of service.
+	attackM, _ := bc.LookupMethod("attack", "()V")
+	if _, err := e.vm.SpawnThread("malice:dos", bundleB.Isolate(), attackM, nil); err != nil {
+		return res, err
+	}
+	e.vm.Run(1_000_000)
+
+	if mode == core.ModeIsolated {
+		// The administrator unloads B; after the kill, B code must never
+		// execute again — verified with an execution trace.
+		if err := e.fw.KillBundle(bundleB); err != nil {
+			return res, err
+		}
+		res.Detected = true
+		res.OffenderKilled = true
+		executed := false
+		e.vm.TraceMethodEntry = func(m *classfile.Method, iso *core.Isolate) {
+			if iso == bundleB.Isolate() {
+				executed = true
+			}
+		}
+		e.vm.Run(1_000_000) // the DoS thread dies here
+		poked, err := e.callVictim(bundleA, an, "poke")
+		if err != nil {
+			return res, err
+		}
+		res.PlatformCompromised = false
+		res.VictimOK = poked == -1 && !executed && e.vm.LiveThreads() == 0
+		// Once A releases the reference, B's memory is reclaimed and the
+		// isolate disposed (§3.3 / §3.4 rule 3).
+		releaseM, _ := ac.LookupMethod("release", "()V")
+		if _, _, err := e.vm.CallRoot(bundleA.Isolate(), releaseM, nil, 1_000_000); err != nil {
+			return res, err
+		}
+		e.vm.CollectGarbage(nil)
+		res.Notes = fmt.Sprintf("B's code never ran post-kill; B disposed=%v after A released its reference",
+			bundleB.Isolate().Disposed())
+	} else {
+		// Unloading is impossible on the baseline; the attack keeps
+		// consuming the platform.
+		err := e.fw.KillBundle(bundleB)
+		res.PlatformCompromised = true
+		res.VictimOK = false
+		res.Notes = fmt.Sprintf("unload attempt: %v; the DoS loop keeps running", err)
+	}
+	return res, nil
+}

@@ -1,0 +1,300 @@
+package attacks
+
+import (
+	"fmt"
+
+	"ijvm/internal/bytecode"
+	"ijvm/internal/classfile"
+	"ijvm/internal/core"
+	"ijvm/internal/osgi"
+)
+
+// victimAllocClasses builds a victim that just needs to allocate: it
+// returns 1 on success and 0 when allocation fails with
+// OutOfMemoryError.
+func victimAllocClasses() []*classfile.Class {
+	const cn = "victim/Alloc"
+	c := classfile.NewClass(cn).
+		Method("tryAlloc", "()I", classfile.FlagStatic|classfile.FlagPublic, func(a *bytecode.Assembler) {
+			a.Label("try")
+			a.Const(256).NewArray("").Pop()
+			a.Const(1).IReturn()
+			a.Label("endtry")
+			a.Label("catch")
+			a.Pop().Const(0).IReturn()
+			a.Handler("try", "endtry", "catch", "java/lang/OutOfMemoryError")
+		}).MustBuild()
+	return []*classfile.Class{c}
+}
+
+// victimSpawnClasses builds a victim that needs a thread: trySpawn
+// returns 1 when Thread.start succeeds and 0 on OutOfMemoryError.
+func victimSpawnClasses() []*classfile.Class {
+	const cn = "victim/Spawn"
+	worker := classfile.NewClass("victim/Noop").
+		Method(classfile.InitName, "()V", classfile.FlagPublic, func(a *bytecode.Assembler) {
+			a.ALoad(0).InvokeSpecial(classfile.ObjectClassName, classfile.InitName, "()V").Return()
+		}).
+		Method("run", "()V", classfile.FlagPublic, func(a *bytecode.Assembler) {
+			a.Return()
+		}).MustBuild()
+	c := classfile.NewClass(cn).
+		Method("trySpawn", "()I", classfile.FlagStatic|classfile.FlagPublic, func(a *bytecode.Assembler) {
+			a.Label("try")
+			a.New("java/lang/Thread").Dup()
+			a.New("victim/Noop").Dup().InvokeSpecial("victim/Noop", classfile.InitName, "()V")
+			a.InvokeSpecial("java/lang/Thread", classfile.InitName, "(Ljava/lang/Object;)V").AStore(0)
+			a.ALoad(0).InvokeVirtual("java/lang/Thread", "start", "()V")
+			a.ALoad(0).InvokeVirtual("java/lang/Thread", "join", "()V")
+			a.Const(1).IReturn()
+			a.Label("endtry")
+			a.Label("catch")
+			a.Pop().Const(0).IReturn()
+			a.Handler("try", "endtry", "catch", "java/lang/OutOfMemoryError")
+		}).MustBuild()
+	return []*classfile.Class{worker, c}
+}
+
+// callVictim invokes a victim's nullary int method on its isolate.
+func (e *env) callVictim(b *osgi.Bundle, className, method string) (int64, error) {
+	c, err := b.Loader().Lookup(className)
+	if err != nil {
+		return 0, err
+	}
+	m, err := c.LookupMethod(method, "()I")
+	if err != nil {
+		return 0, err
+	}
+	v, th, err := e.vm.CallRoot(b.Isolate(), m, nil, 10_000_000)
+	if err != nil {
+		return 0, err
+	}
+	if th.Failure() != nil {
+		return 0, fmt.Errorf("victim %s.%s failed: %s", className, method, th.FailureString())
+	}
+	return v.I, nil
+}
+
+// RunA3 executes attack A3 (memory exhaustion): the attacker retains
+// arrays in a static until the heap fills. Baseline: the victim's next
+// allocation fails with OutOfMemoryError. I-JVM: the administrator reads
+// per-bundle live memory, kills the hog, the GC reclaims its retained
+// objects, and the victim allocates normally.
+func RunA3(mode core.Mode) (Result, error) {
+	res := Result{ID: "A3", Name: "memory exhaustion", Mode: mode}
+	const cn = "malice/Hog"
+	hog := classfile.NewClass(cn).
+		StaticField("hoard", classfile.KindRef).
+		StaticField("next", classfile.KindInt).
+		Method("attack", "()V", classfile.FlagStatic|classfile.FlagPublic, func(a *bytecode.Assembler) {
+			// hoard = new Object[16384]; fill with 1KB arrays until OOM.
+			a.Const(16384).NewArray("").PutStatic(cn, "hoard")
+			a.Const(0).IStore(0)
+			a.Label("loop")
+			a.ILoad(0).Const(16384).IfICmpGe("done")
+			a.GetStatic(cn, "hoard").ILoad(0).Const(128).NewArray("").ArrayStore()
+			a.IInc(0, 1).Goto("loop")
+			a.Label("done")
+			a.Return()
+		}).MustBuild()
+
+	e, err := newEnv(mode)
+	if err != nil {
+		return res, err
+	}
+	victim, err := e.fw.Install(osgi.Manifest{Name: "victim"}, victimAllocClasses())
+	if err != nil {
+		return res, err
+	}
+	malice, err := e.fw.Install(osgi.Manifest{Name: "malice"}, []*classfile.Class{hog})
+	if err != nil {
+		return res, err
+	}
+
+	// The attack thread dies with an uncaught OutOfMemoryError once the
+	// heap is full; the hoard stays referenced by the attacker's static.
+	mc, _ := malice.Loader().Lookup(cn)
+	am, _ := mc.LookupMethod("attack", "()V")
+	at, err := e.vm.SpawnThread("malice:hog", malice.Isolate(), am, nil)
+	if err != nil {
+		return res, err
+	}
+	e.vm.RunUntil(at, 200_000_000)
+
+	during, err := e.callVictim(victim, "victim/Alloc", "tryAlloc")
+	if err != nil {
+		return res, err
+	}
+	res.PlatformCompromised = during == 0
+
+	if mode == core.ModeIsolated {
+		th := thresholds()
+		detected, offender, err := e.detectAndKill(th)
+		if err != nil {
+			return res, err
+		}
+		res.Detected = detected
+		res.OffenderKilled = offender == "malice"
+		e.vm.CollectGarbage(nil) // reclaim the killed bundle's hoard
+		after, err := e.callVictim(victim, "victim/Alloc", "tryAlloc")
+		if err != nil {
+			return res, err
+		}
+		res.VictimOK = after == 1
+		res.Notes = fmt.Sprintf("admin killed %q; heap used after reclaim: %d bytes", offender, e.vm.Heap().Used())
+	} else {
+		res.VictimOK = during == 1
+		res.Notes = "all bundles share the full heap; no per-bundle usage is attributable"
+	}
+	return res, nil
+}
+
+// RunA4 executes attack A4 (exponential object creation): the attacker
+// allocates garbage, repeatedly triggering collections. I-JVM counts GC
+// activations per bundle; the administrator kills the churner.
+func RunA4(mode core.Mode) (Result, error) {
+	res := Result{ID: "A4", Name: "exponential object creation", Mode: mode}
+	const cn = "malice/Churn"
+	churn := classfile.NewClass(cn).
+		Method("attack", "()V", classfile.FlagStatic|classfile.FlagPublic, func(a *bytecode.Assembler) {
+			// 4000 unreferenced 32KB arrays: ~125MB of garbage through an
+			// 8MB heap => dozens of collections.
+			a.Const(0).IStore(0)
+			a.Label("loop")
+			a.ILoad(0).Const(4000).IfICmpGe("done")
+			a.Const(4096).NewArray("").Pop()
+			a.IInc(0, 1).Goto("loop")
+			a.Label("done")
+			a.Return()
+		}).MustBuild()
+
+	e, err := newEnv(mode)
+	if err != nil {
+		return res, err
+	}
+	victim, err := e.fw.Install(osgi.Manifest{Name: "victim"}, victimAllocClasses())
+	if err != nil {
+		return res, err
+	}
+	malice, err := e.fw.Install(osgi.Manifest{Name: "malice"}, []*classfile.Class{churn})
+	if err != nil {
+		return res, err
+	}
+
+	mc, _ := malice.Loader().Lookup(cn)
+	am, _ := mc.LookupMethod("attack", "()V")
+	at, err := e.vm.SpawnThread("malice:churn", malice.Isolate(), am, nil)
+	if err != nil {
+		return res, err
+	}
+	e.vm.RunUntil(at, 100_000_000)
+
+	gcs := e.vm.Heap().GCCount()
+	res.PlatformCompromised = gcs > 5 // the churner forced frequent collections
+
+	if mode == core.ModeIsolated {
+		detected, offender, err := e.detectAndKill(thresholds())
+		if err != nil {
+			return res, err
+		}
+		res.Detected = detected
+		res.OffenderKilled = offender == "malice"
+		after, err := e.callVictim(victim, "victim/Alloc", "tryAlloc")
+		if err != nil {
+			return res, err
+		}
+		res.VictimOK = after == 1
+		res.Notes = fmt.Sprintf("%d collections attributed to the churner; admin killed %q", gcs, offender)
+	} else {
+		after, err := e.callVictim(victim, "victim/Alloc", "tryAlloc")
+		if err != nil {
+			return res, err
+		}
+		res.VictimOK = after == 1 // survives, but the platform thrashed
+		res.Notes = fmt.Sprintf("%d collections with no attribution; non-offending bundles progress slowly", gcs)
+	}
+	return res, nil
+}
+
+// RunA5 executes attack A5 (recursive thread creation): the attacker
+// spawns sleeping threads until the platform limit. Baseline: the victim
+// cannot create threads anymore. I-JVM: per-bundle thread counts identify
+// the spawner; killing it interrupts and reaps its threads.
+func RunA5(mode core.Mode) (Result, error) {
+	res := Result{ID: "A5", Name: "recursive thread creation", Mode: mode}
+	sleeper := classfile.NewClass("malice/Sleeper").
+		Method(classfile.InitName, "()V", classfile.FlagPublic, func(a *bytecode.Assembler) {
+			a.ALoad(0).InvokeSpecial(classfile.ObjectClassName, classfile.InitName, "()V").Return()
+		}).
+		Method("run", "()V", classfile.FlagPublic, func(a *bytecode.Assembler) {
+			a.Const(0).InvokeStatic("java/lang/Thread", "sleep", "(I)V").Return()
+		}).MustBuild()
+	const cn = "malice/Spawner"
+	spawner := classfile.NewClass(cn).
+		Method("attack", "()I", classfile.FlagStatic|classfile.FlagPublic, func(a *bytecode.Assembler) {
+			a.Const(0).IStore(0)
+			a.Label("try")
+			a.Label("loop")
+			a.ILoad(0).Const(200).IfICmpGe("done")
+			a.New("java/lang/Thread").Dup()
+			a.New("malice/Sleeper").Dup().InvokeSpecial("malice/Sleeper", classfile.InitName, "()V")
+			a.InvokeSpecial("java/lang/Thread", classfile.InitName, "(Ljava/lang/Object;)V")
+			a.InvokeVirtual("java/lang/Thread", "start", "()V")
+			a.IInc(0, 1).Goto("loop")
+			a.Label("done")
+			a.ILoad(0).IReturn()
+			a.Label("endtry")
+			a.Label("catch")
+			a.Pop().ILoad(0).IReturn()
+			a.Handler("try", "endtry", "catch", "java/lang/OutOfMemoryError")
+		}).MustBuild()
+
+	e, err := newEnv(mode)
+	if err != nil {
+		return res, err
+	}
+	victim, err := e.fw.Install(osgi.Manifest{Name: "victim"}, victimSpawnClasses())
+	if err != nil {
+		return res, err
+	}
+	malice, err := e.fw.Install(osgi.Manifest{Name: "malice"},
+		[]*classfile.Class{sleeper, spawner})
+	if err != nil {
+		return res, err
+	}
+
+	mc, _ := malice.Loader().Lookup(cn)
+	am, _ := mc.LookupMethod("attack", "()I")
+	at, err := e.vm.SpawnThread("malice:spawner", malice.Isolate(), am, nil)
+	if err != nil {
+		return res, err
+	}
+	e.vm.RunUntil(at, 50_000_000)
+
+	during, err := e.callVictim(victim, "victim/Spawn", "trySpawn")
+	if err != nil {
+		return res, err
+	}
+	res.PlatformCompromised = during == 0
+
+	if mode == core.ModeIsolated {
+		detected, offender, err := e.detectAndKill(thresholds())
+		if err != nil {
+			return res, err
+		}
+		res.Detected = detected
+		res.OffenderKilled = offender == "malice"
+		// Drain the interrupted sleeper threads so their slots free up.
+		e.vm.Run(5_000_000)
+		after, err := e.callVictim(victim, "victim/Spawn", "trySpawn")
+		if err != nil {
+			return res, err
+		}
+		res.VictimOK = after == 1
+		res.Notes = fmt.Sprintf("admin killed %q; %d threads reaped", offender, e.vm.LiveThreads())
+	} else {
+		res.VictimOK = during == 1
+		res.Notes = "thread limit exhausted platform-wide; creator not attributable"
+	}
+	return res, nil
+}

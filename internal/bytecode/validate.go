@@ -1,0 +1,138 @@
+package bytecode
+
+import (
+	"errors"
+	"fmt"
+)
+
+// stackDelta returns (pops, pushes) for an instruction, with invocation
+// effects approximated (the pool is not visible at this layer; the
+// interpreter's operand stacks grow on demand, so MaxStack is a
+// preallocation hint only).
+func stackDelta(in Instr) (pops, pushes int) {
+	switch in.Op {
+	case OpIConst, OpFConst, OpLdcString, OpLdcClass, OpAConstNull,
+		OpILoad, OpFLoad, OpALoad:
+		return 0, 1
+	case OpPop, OpIStore, OpFStore, OpAStore,
+		OpIfEq, OpIfNe, OpIfLt, OpIfLe, OpIfGt, OpIfGe, OpIfNull, OpIfNonNull,
+		OpIReturn, OpFReturn, OpAReturn, OpMonitorEnter, OpMonitorExit, OpAThrow, OpPutStatic:
+		return 1, 0
+	case OpDup:
+		return 1, 2
+	case OpDupX1:
+		return 2, 3
+	case OpSwap:
+		return 2, 2
+	case OpIAdd, OpISub, OpIMul, OpIDiv, OpIRem, OpIShl, OpIShr, OpIUshr,
+		OpIAnd, OpIOr, OpIXor, OpFAdd, OpFSub, OpFMul, OpFDiv, OpFCmp:
+		return 2, 1
+	case OpGetStatic:
+		return 0, 1
+	case OpINeg, OpFNeg, OpI2F, OpF2I, OpArrayLength, OpInstanceOf, OpCheckCast,
+		OpNewArray, OpGetField:
+		return 1, 1
+	case OpIfICmpEq, OpIfICmpNe, OpIfICmpLt, OpIfICmpLe, OpIfICmpGt, OpIfICmpGe,
+		OpIfACmpEq, OpIfACmpNe:
+		return 2, 0
+	case OpPutField:
+		return 2, 0
+	case OpArrayLoad:
+		return 2, 1
+	case OpArrayStore:
+		return 3, 0
+	case OpNew:
+		return 0, 1
+	case OpInvokeStatic, OpInvokeVirtual, OpInvokeSpecial:
+		// Approximate: assume net +1 for sizing purposes.
+		return 0, 1
+	default:
+		return 0, 0
+	}
+}
+
+// estimateMaxStack computes a preallocation hint for frame operand stacks
+// by a linear pass that ignores control flow (safe because interpreter
+// stacks grow dynamically).
+func estimateMaxStack(code *Code) int {
+	height, maxHeight := 0, 4
+	for _, in := range code.Instrs {
+		pops, pushes := stackDelta(in)
+		height -= pops
+		if height < 0 {
+			height = 0
+		}
+		height += pushes
+		if height > maxHeight {
+			maxHeight = height
+		}
+		if in.Op.IsTerminator() {
+			height = 0
+		}
+	}
+	return maxHeight
+}
+
+// Validate performs structural checks on assembled code: branch targets in
+// range, non-negative pool indices, local slots within MaxLocals, handler
+// ranges well-formed, and no fall-through past the last instruction.
+func Validate(code *Code) error {
+	if code == nil {
+		return errors.New("bytecode: nil code")
+	}
+	n := int32(len(code.Instrs))
+	if n == 0 {
+		return errors.New("bytecode: empty code body")
+	}
+	var errs []error
+	for pc, in := range code.Instrs {
+		if !in.Op.Valid() {
+			errs = append(errs, fmt.Errorf("pc %d: invalid opcode %d", pc, in.Op))
+			continue
+		}
+		if in.Op.IsBranch() && (in.A < 0 || in.A >= n) {
+			errs = append(errs, fmt.Errorf("pc %d: %s target %d out of range [0,%d)", pc, in.Op, in.A, n))
+		}
+		if in.Op.UsesPool() && in.A < 0 {
+			errs = append(errs, fmt.Errorf("pc %d: %s negative pool index %d", pc, in.Op, in.A))
+		}
+		if in.Op.UsesLocal() {
+			if in.A < 0 || int(in.A) >= code.MaxLocals {
+				errs = append(errs, fmt.Errorf("pc %d: %s local slot %d outside [0,%d)", pc, in.Op, in.A, code.MaxLocals))
+			}
+		}
+	}
+	last := code.Instrs[n-1]
+	if !last.Op.IsTerminator() {
+		errs = append(errs, fmt.Errorf("pc %d: code may fall off the end (last op %s)", n-1, last.Op))
+	}
+	for i, h := range code.Handlers {
+		if h.Start < 0 || h.End > n || h.Start >= h.End {
+			errs = append(errs, fmt.Errorf("handler %d: bad range [%d,%d)", i, h.Start, h.End))
+		}
+		if h.Target < 0 || h.Target >= n {
+			errs = append(errs, fmt.Errorf("handler %d: target %d out of range", i, h.Target))
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// Disassemble renders code as one instruction per line, prefixed with the
+// instruction index, in a form the text assembler can reparse.
+func Disassemble(code *Code) string {
+	if code == nil {
+		return ""
+	}
+	out := make([]byte, 0, len(code.Instrs)*16)
+	for pc, in := range code.Instrs {
+		out = append(out, fmt.Sprintf("%4d: %s\n", pc, in.String())...)
+	}
+	for _, h := range code.Handlers {
+		catch := h.CatchClass
+		if catch == "" {
+			catch = "*"
+		}
+		out = append(out, fmt.Sprintf("      .catch %s [%d,%d) -> %d\n", catch, h.Start, h.End, h.Target)...)
+	}
+	return string(out)
+}

@@ -1,0 +1,192 @@
+package classfile
+
+import (
+	"errors"
+	"fmt"
+
+	"ijvm/internal/bytecode"
+)
+
+// ObjectClassName is the root of the class hierarchy.
+const ObjectClassName = "java/lang/Object"
+
+// ClassBuilder assembles a Class definition: fields, methods (with bodies
+// written through bytecode.Assembler) and metadata. It is the programmatic
+// equivalent of a .class file; bundles, workloads and attacks define their
+// code through it.
+type ClassBuilder struct {
+	class   *Class
+	methods []*methodBuilder
+	errs    []error
+}
+
+type methodBuilder struct {
+	method *Method
+	asm    *bytecode.Assembler
+}
+
+// NewClass starts a class definition with java/lang/Object as the default
+// superclass.
+func NewClass(name string) *ClassBuilder {
+	super := ObjectClassName
+	if name == ObjectClassName {
+		super = "" // the root of the hierarchy has no superclass
+	}
+	return &ClassBuilder{
+		class: &Class{
+			Name:      name,
+			SuperName: super,
+			Pool:      NewConstantPool(),
+		},
+	}
+}
+
+// Super sets the superclass name.
+func (b *ClassBuilder) Super(name string) *ClassBuilder {
+	b.class.SuperName = name
+	return b
+}
+
+// Implements records interface names (used by instanceof/checkcast).
+func (b *ClassBuilder) Implements(names ...string) *ClassBuilder {
+	b.class.Interfaces = append(b.class.Interfaces, names...)
+	return b
+}
+
+// SetFlags ORs flags into the class flags.
+func (b *ClassBuilder) SetFlags(flags Flags) *ClassBuilder {
+	b.class.Flags |= flags
+	return b
+}
+
+// Field declares an instance field.
+func (b *ClassBuilder) Field(name string, kind Kind) *ClassBuilder {
+	b.class.Fields = append(b.class.Fields, &Field{
+		Class: b.class, Name: name, Kind: kind,
+	})
+	return b
+}
+
+// StaticField declares a static field.
+func (b *ClassBuilder) StaticField(name string, kind Kind) *ClassBuilder {
+	b.class.StaticFields = append(b.class.StaticFields, &Field{
+		Class: b.class, Name: name, Kind: kind, Static: true, Flags: FlagStatic,
+	})
+	return b
+}
+
+// Method declares a bytecode method and invokes body with an assembler
+// bound to the class constant pool. Parameter slots (receiver at 0 for
+// instance methods, then declared parameters) are reserved automatically.
+func (b *ClassBuilder) Method(name, desc string, flags Flags, body func(a *bytecode.Assembler)) *ClassBuilder {
+	d, err := ParseDescriptor(desc)
+	if err != nil {
+		b.errs = append(b.errs, fmt.Errorf("method %s.%s: %w", b.class.Name, name, err))
+		return b
+	}
+	m := &Method{Class: b.class, Name: name, Desc: d, Flags: flags}
+	asm := bytecode.NewAssembler(b.class.Pool)
+	nParams := d.NumParams()
+	if !flags.Has(FlagStatic) {
+		nParams++ // receiver occupies slot 0
+	}
+	asm.ReserveLocals(nParams)
+	body(asm)
+	b.class.Methods = append(b.class.Methods, m)
+	b.methods = append(b.methods, &methodBuilder{method: m, asm: asm})
+	return b
+}
+
+// Pool exposes the class's constant pool so external assemblers (the text
+// assembler) can intern references while emitting code for this class.
+func (b *ClassBuilder) Pool() *ConstantPool { return b.class.Pool }
+
+// RawMethod declares a method whose body was assembled externally against
+// this builder's Pool. The code must already be validated.
+func (b *ClassBuilder) RawMethod(name, desc string, flags Flags, code *bytecode.Code) *ClassBuilder {
+	d, err := ParseDescriptor(desc)
+	if err != nil {
+		b.errs = append(b.errs, fmt.Errorf("raw method %s.%s: %w", b.class.Name, name, err))
+		return b
+	}
+	nParams := d.NumParams()
+	if !flags.Has(FlagStatic) {
+		nParams++
+	}
+	if code != nil && code.MaxLocals < nParams {
+		code.MaxLocals = nParams
+	}
+	b.class.Methods = append(b.class.Methods, &Method{
+		Class: b.class, Name: name, Desc: d, Flags: flags, Code: code,
+	})
+	return b
+}
+
+// NativeMethod declares a host-implemented method. fn must be an
+// interp.NativeFunc; it is stored untyped to keep this package independent
+// of the interpreter.
+func (b *ClassBuilder) NativeMethod(name, desc string, flags Flags, fn any) *ClassBuilder {
+	d, err := ParseDescriptor(desc)
+	if err != nil {
+		b.errs = append(b.errs, fmt.Errorf("native method %s.%s: %w", b.class.Name, name, err))
+		return b
+	}
+	b.class.Methods = append(b.class.Methods, &Method{
+		Class: b.class, Name: name, Desc: d, Flags: flags | FlagNative, Native: fn,
+	})
+	return b
+}
+
+// Build assembles all method bodies, validates them, and returns the
+// finished class. The class still needs to be defined through a loader
+// before it can run.
+func (b *ClassBuilder) Build() (*Class, error) {
+	errs := append([]error(nil), b.errs...)
+	for _, mb := range b.methods {
+		code, err := mb.asm.Finish()
+		if err != nil {
+			errs = append(errs, fmt.Errorf("method %s: %w", mb.method.QualifiedName(), err))
+			continue
+		}
+		if err := bytecode.Validate(code); err != nil {
+			errs = append(errs, fmt.Errorf("method %s: %w", mb.method.QualifiedName(), err))
+			continue
+		}
+		mb.method.Code = code
+	}
+	seen := make(map[string]bool, len(b.class.Methods))
+	for _, m := range b.class.Methods {
+		if seen[m.Sig()] {
+			errs = append(errs, fmt.Errorf("duplicate method %s", m.QualifiedName()))
+		}
+		seen[m.Sig()] = true
+	}
+	fieldSeen := make(map[string]bool, len(b.class.Fields)+len(b.class.StaticFields))
+	for _, f := range b.class.Fields {
+		if fieldSeen[f.Name] {
+			errs = append(errs, fmt.Errorf("duplicate field %s", f.QualifiedName()))
+		}
+		fieldSeen[f.Name] = true
+	}
+	for _, f := range b.class.StaticFields {
+		if fieldSeen[f.Name] {
+			errs = append(errs, fmt.Errorf("duplicate field %s", f.QualifiedName()))
+		}
+		fieldSeen[f.Name] = true
+	}
+	if len(errs) > 0 {
+		return nil, errors.Join(errs...)
+	}
+	b.class.buildIndexes()
+	return b.class, nil
+}
+
+// MustBuild is Build for compiled-in class definitions; it panics on
+// error.
+func (b *ClassBuilder) MustBuild() *Class {
+	c, err := b.Build()
+	if err != nil {
+		panic("classfile: build " + b.class.Name + ": " + err.Error())
+	}
+	return c
+}

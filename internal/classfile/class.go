@@ -1,0 +1,252 @@
+package classfile
+
+import (
+	"fmt"
+
+	"ijvm/internal/bytecode"
+)
+
+// Flags carries access and property flags for classes, methods and fields.
+type Flags uint16
+
+// Flag bits.
+const (
+	FlagPublic Flags = 1 << iota
+	FlagPrivate
+	FlagStatic
+	FlagFinal
+	FlagNative
+	FlagSynchronized
+	FlagAbstract
+	FlagInterface
+	FlagSystem // defined by the bootstrap loader (Java System Library)
+)
+
+// Has reports whether all bits in mask are set.
+func (f Flags) Has(mask Flags) bool { return f&mask == mask }
+
+// Field describes one declared field. Instance fields receive a slot index
+// in the object's field array at link time (superclass fields first);
+// static fields receive a slot in the class's static area.
+type Field struct {
+	Class  *Class
+	Name   string
+	Kind   Kind
+	Flags  Flags
+	Slot   int
+	Static bool
+}
+
+// QualifiedName returns "class.field" for diagnostics.
+func (f *Field) QualifiedName() string { return f.Class.Name + "." + f.Name }
+
+// Method describes one declared method. Exactly one of Code and Native is
+// set: Code for bytecode methods, Native for methods implemented by the
+// host (the Java System Library). Native holds an interp.NativeFunc; it is
+// typed as any here to keep this package free of interpreter dependencies.
+type Method struct {
+	Class  *Class
+	Name   string
+	Desc   Descriptor
+	Flags  Flags
+	Code   *bytecode.Code
+	Native any
+
+	// ID is a process-unique method identifier assigned at link time, used
+	// by execution traces and the termination engine.
+	ID int
+}
+
+// QualifiedName returns "class.name(desc)" for diagnostics.
+func (m *Method) QualifiedName() string {
+	return m.Class.Name + "." + m.Name + m.Desc.Raw()
+}
+
+// IsStatic reports whether the method has no receiver.
+func (m *Method) IsStatic() bool { return m.Flags.Has(FlagStatic) }
+
+// IsNative reports whether the method is host-implemented.
+func (m *Method) IsNative() bool { return m.Flags.Has(FlagNative) }
+
+// IsSynchronized reports whether the method acquires a monitor on entry:
+// the receiver for instance methods, the class object for static methods.
+func (m *Method) IsSynchronized() bool { return m.Flags.Has(FlagSynchronized) }
+
+// Sig returns the "name+descriptor" key used for method lookup.
+func (m *Method) Sig() string { return m.Name + m.Desc.Raw() }
+
+// Class is the runtime representation of one loaded class. Per the paper,
+// the class structure itself is shared between isolates; everything
+// isolate-private (static variable values, the java.lang.Class object, the
+// initialization state) lives in the task class mirror, which is stored in
+// the VM's statics tables indexed by StaticsID.
+type Class struct {
+	Name       string
+	SuperName  string
+	Super      *Class
+	Interfaces []string
+	Flags      Flags
+	Pool       *ConstantPool
+
+	// Declared members (not including superclass members).
+	Fields       []*Field
+	StaticFields []*Field
+	Methods      []*Method
+
+	// Link-time state, populated by the loader.
+	Linked         bool
+	NumFieldSlots  int // instance slots including superclasses
+	NumStaticSlots int // static slots declared by this class only
+	StaticsID      int // index into the VM statics tables
+	LoaderID       int // defining class loader (isolate association)
+	Clinit         *Method
+	// HasFinalizer is set when the class (or a superclass) declares
+	// finalize()V; instances are finalized before reclamation.
+	HasFinalizer bool
+
+	methodsBySig  map[string]*Method
+	resolveCache  map[string]*Method
+	fieldsByName  map[string]*Field
+	staticsByName map[string]*Field
+}
+
+// IsSystem reports whether the class belongs to the Java System Library
+// (bootstrap loader). System code executes in the caller's isolate and its
+// frames are skipped during GC accounting.
+func (c *Class) IsSystem() bool { return c.Flags.Has(FlagSystem) }
+
+// DeclaredMethod returns the method declared directly on c with the given
+// name and descriptor, or nil.
+func (c *Class) DeclaredMethod(name, desc string) *Method {
+	return c.methodsBySig[name+desc]
+}
+
+// LookupMethod resolves name+descriptor against c and its superclasses.
+// The descriptor may be in any spelling accepted by ParseDescriptor; it is
+// canonicalized before matching (declared signatures are stored
+// canonically).
+func (c *Class) LookupMethod(name, desc string) (*Method, error) {
+	sig := name + desc
+	if m, ok := c.resolveCache[sig]; ok {
+		if m == nil {
+			return nil, &NoSuchMethodError{Class: c.Name, Name: name, Desc: desc}
+		}
+		return m, nil
+	}
+	key := sig
+	if parsed, err := ParseDescriptor(desc); err == nil {
+		key = name + parsed.Raw()
+	}
+	for k := c; k != nil; k = k.Super {
+		if m, ok := k.methodsBySig[key]; ok {
+			c.cacheMethod(sig, m)
+			return m, nil
+		}
+	}
+	c.cacheMethod(sig, nil)
+	return nil, &NoSuchMethodError{Class: c.Name, Name: name, Desc: desc}
+}
+
+func (c *Class) cacheMethod(sig string, m *Method) {
+	if c.resolveCache == nil {
+		c.resolveCache = make(map[string]*Method)
+	}
+	c.resolveCache[sig] = m
+}
+
+// LookupField resolves an instance field by name against c and its
+// superclasses.
+func (c *Class) LookupField(name string) (*Field, error) {
+	for k := c; k != nil; k = k.Super {
+		if f, ok := k.fieldsByName[name]; ok {
+			return f, nil
+		}
+	}
+	return nil, &NoSuchFieldError{Class: c.Name, Name: name}
+}
+
+// LookupStaticField resolves a static field by name against c and its
+// superclasses.
+func (c *Class) LookupStaticField(name string) (*Field, error) {
+	for k := c; k != nil; k = k.Super {
+		if f, ok := k.staticsByName[name]; ok {
+			return f, nil
+		}
+	}
+	return nil, &NoSuchFieldError{Class: c.Name, Name: name, Static: true}
+}
+
+// IsSubclassOf reports whether c is other or a subclass of other, or
+// whether c declares other as an interface anywhere along its superclass
+// chain.
+func (c *Class) IsSubclassOf(other *Class) bool {
+	if other == nil {
+		return false
+	}
+	for k := c; k != nil; k = k.Super {
+		if k == other {
+			return true
+		}
+		for _, ifname := range k.Interfaces {
+			if ifname == other.Name {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// buildIndexes populates the lookup maps; called by the loader at link
+// time and by the builder.
+func (c *Class) buildIndexes() {
+	c.methodsBySig = make(map[string]*Method, len(c.Methods))
+	for _, m := range c.Methods {
+		c.methodsBySig[m.Sig()] = m
+		if m.Name == ClinitName {
+			c.Clinit = m
+		}
+	}
+	c.fieldsByName = make(map[string]*Field, len(c.Fields))
+	for _, f := range c.Fields {
+		c.fieldsByName[f.Name] = f
+	}
+	c.staticsByName = make(map[string]*Field, len(c.StaticFields))
+	for _, f := range c.StaticFields {
+		c.staticsByName[f.Name] = f
+	}
+}
+
+// Well-known member names.
+const (
+	// ClinitName is the class initializer run once per isolate (per task
+	// class mirror) before the first static access.
+	ClinitName = "<clinit>"
+	// InitName is the instance constructor name.
+	InitName = "<init>"
+)
+
+// NoSuchMethodError reports a failed method resolution.
+type NoSuchMethodError struct {
+	Class string
+	Name  string
+	Desc  string
+}
+
+func (e *NoSuchMethodError) Error() string {
+	return fmt.Sprintf("no such method %s.%s%s", e.Class, e.Name, e.Desc)
+}
+
+// NoSuchFieldError reports a failed field resolution.
+type NoSuchFieldError struct {
+	Class  string
+	Name   string
+	Static bool
+}
+
+func (e *NoSuchFieldError) Error() string {
+	kind := "field"
+	if e.Static {
+		kind = "static field"
+	}
+	return fmt.Sprintf("no such %s %s.%s", kind, e.Class, e.Name)
+}

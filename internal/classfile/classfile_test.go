@@ -1,0 +1,229 @@
+package classfile_test
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"ijvm/internal/bytecode"
+	"ijvm/internal/classfile"
+)
+
+func TestParseDescriptorBasics(t *testing.T) {
+	cases := []struct {
+		in        string
+		params    int
+		ret       classfile.Kind
+		canonical string
+	}{
+		{"()V", 0, classfile.KindVoid, "()V"},
+		{"(I)I", 1, classfile.KindInt, "(I)I"},
+		{"(IF)F", 2, classfile.KindFloat, "(IF)F"},
+		{"(Ljava/lang/String;)V", 1, classfile.KindVoid, "(Ljava/lang/String;)V"},
+		{"([I)[I", 1, classfile.KindRef, "(Ljava/lang/Object;)Ljava/lang/Object;"},
+		{"(Z)Z", 1, classfile.KindInt, "(I)I"},
+		{"(JD)J", 2, classfile.KindInt, "(IF)I"},
+		{"(BCS)V", 3, classfile.KindVoid, "(III)V"},
+	}
+	for _, tc := range cases {
+		d, err := classfile.ParseDescriptor(tc.in)
+		if err != nil {
+			t.Errorf("%q: %v", tc.in, err)
+			continue
+		}
+		if d.NumParams() != tc.params || d.Return != tc.ret {
+			t.Errorf("%q: params=%d ret=%v, want %d %v", tc.in, d.NumParams(), d.Return, tc.params, tc.ret)
+		}
+		if d.Raw() != tc.canonical {
+			t.Errorf("%q: canonical = %q, want %q", tc.in, d.Raw(), tc.canonical)
+		}
+	}
+}
+
+func TestParseDescriptorErrors(t *testing.T) {
+	for _, bad := range []string{
+		"", "I", "()", "(I", "(Q)V", "()VV", "(Lfoo)V", "(L;)V", "()Ix", "([", "()[",
+	} {
+		if _, err := classfile.ParseDescriptor(bad); err == nil {
+			t.Errorf("ParseDescriptor(%q) accepted invalid input", bad)
+		}
+	}
+}
+
+// TestQuickDescriptorRoundTrip: Format(Parse(Format(d))) is a fixpoint
+// for randomly generated descriptors.
+func TestQuickDescriptorRoundTrip(t *testing.T) {
+	gen := func(r *rand.Rand) classfile.Descriptor {
+		var d classfile.Descriptor
+		n := r.Intn(6)
+		for i := 0; i < n; i++ {
+			switch r.Intn(3) {
+			case 0:
+				d.Params = append(d.Params, classfile.Param{Kind: classfile.KindInt})
+			case 1:
+				d.Params = append(d.Params, classfile.Param{Kind: classfile.KindFloat})
+			default:
+				d.Params = append(d.Params, classfile.Param{
+					Kind: classfile.KindRef, Class: "pkg/C" + string(rune('A'+r.Intn(26))),
+				})
+			}
+		}
+		switch r.Intn(4) {
+		case 0:
+			d.Return = classfile.KindVoid
+		case 1:
+			d.Return = classfile.KindInt
+		case 2:
+			d.Return = classfile.KindFloat
+		default:
+			d.Return = classfile.KindRef
+			d.ReturnClass = "pkg/R"
+		}
+		return d
+	}
+	fn := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		d := gen(r)
+		s1 := classfile.FormatDescriptor(d)
+		parsed, err := classfile.ParseDescriptor(s1)
+		if err != nil {
+			return false
+		}
+		return classfile.FormatDescriptor(parsed) == s1 && parsed.Raw() == s1
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConstantPoolInterning(t *testing.T) {
+	p := classfile.NewConstantPool()
+	s1 := p.StringIndex("hello")
+	s2 := p.StringIndex("hello")
+	s3 := p.StringIndex("world")
+	if s1 != s2 {
+		t.Error("same string interned twice")
+	}
+	if s1 == s3 {
+		t.Error("distinct strings aliased")
+	}
+	c1 := p.ClassIndex("a/B")
+	f1 := p.FieldIndex("a/B", "x")
+	m1 := p.MethodIndex("a/B", "m", "()V")
+	m2 := p.MethodIndex("a/B", "m", "(I)V")
+	if c1 == f1 || f1 == m1 || m1 == m2 {
+		t.Error("pool entries aliased across kinds/descriptors")
+	}
+	if _, err := p.Entry(0); err == nil {
+		t.Error("index 0 must be invalid")
+	}
+	if _, err := p.Entry(int32(p.Len())); err == nil {
+		t.Error("out-of-range index accepted")
+	}
+	e, err := p.Entry(m2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Kind != classfile.PoolMethodRef || e.Descriptor != "(I)V" {
+		t.Fatalf("entry = %+v", e)
+	}
+}
+
+func buildHierarchy(t *testing.T) (*classfile.Class, *classfile.Class) {
+	t.Helper()
+	base := classfile.NewClass("h/Base").
+		Field("a", classfile.KindInt).
+		StaticField("sa", classfile.KindRef).
+		Method("m", "()I", classfile.FlagPublic, func(asm *bytecode.Assembler) {
+			asm.Const(1).IReturn()
+		}).MustBuild()
+	derived := classfile.NewClass("h/Derived").Super("h/Base").
+		Implements("h/Iface").
+		Field("b", classfile.KindInt).
+		Method("m", "()I", classfile.FlagPublic, func(asm *bytecode.Assembler) {
+			asm.Const(2).IReturn()
+		}).
+		Method("n", "()I", classfile.FlagPublic, func(asm *bytecode.Assembler) {
+			asm.Const(3).IReturn()
+		}).MustBuild()
+	return base, derived
+}
+
+func TestClassMemberLookupAcrossHierarchy(t *testing.T) {
+	base, derived := buildHierarchy(t)
+	derived.Super = base // manual link for a loader-free test
+	base.Linked = true
+
+	if m, err := derived.LookupMethod("m", "()I"); err != nil || m.Class != derived {
+		t.Fatalf("override lookup: %v, class %v", err, m.Class.Name)
+	}
+	if m, err := derived.LookupMethod("n", "()I"); err != nil || m.Class != derived {
+		t.Fatalf("own method: %v", err)
+	}
+	if _, err := derived.LookupMethod("missing", "()I"); err == nil {
+		t.Fatal("missing method resolved")
+	}
+	var nsm *classfile.NoSuchMethodError
+	if _, err := derived.LookupMethod("missing", "()I"); err != nil {
+		if !strings.Contains(err.Error(), "no such method") {
+			t.Fatalf("error text: %v", err)
+		}
+		_ = nsm
+	}
+	if f, err := base.LookupStaticField("sa"); err != nil || !f.Static {
+		t.Fatalf("static field: %v", err)
+	}
+	if _, err := base.LookupField("sa"); err == nil {
+		t.Fatal("static field resolved as instance field")
+	}
+	if !derived.IsSubclassOf(base) || base.IsSubclassOf(derived) {
+		t.Fatal("IsSubclassOf broken")
+	}
+	iface := classfile.NewClass("h/Iface").SetFlags(classfile.FlagInterface).MustBuild()
+	if !derived.IsSubclassOf(iface) {
+		t.Fatal("interface membership by name not honored")
+	}
+}
+
+func TestBuilderRejectsDuplicates(t *testing.T) {
+	_, err := classfile.NewClass("d/C").
+		Field("x", classfile.KindInt).
+		Field("x", classfile.KindInt).
+		Build()
+	if err == nil || !strings.Contains(err.Error(), "duplicate field") {
+		t.Fatalf("err = %v", err)
+	}
+	_, err = classfile.NewClass("d/C").
+		Method("m", "()V", 0, func(a *bytecode.Assembler) { a.Return() }).
+		Method("m", "()V", 0, func(a *bytecode.Assembler) { a.Return() }).
+		Build()
+	if err == nil || !strings.Contains(err.Error(), "duplicate method") {
+		t.Fatalf("err = %v", err)
+	}
+	_, err = classfile.NewClass("d/C").
+		Method("m", "not-a-descriptor", 0, func(a *bytecode.Assembler) { a.Return() }).
+		Build()
+	if err == nil {
+		t.Fatal("bad descriptor accepted")
+	}
+	_, err = classfile.NewClass("d/C").
+		Method("m", "()V", 0, func(a *bytecode.Assembler) { a.Goto("missing") }).
+		Build()
+	if err == nil {
+		t.Fatal("unassemblable body accepted")
+	}
+}
+
+func TestBuilderReservesParameterLocals(t *testing.T) {
+	c := classfile.NewClass("d/P").
+		Method("stat", "(II)V", classfile.FlagStatic, func(a *bytecode.Assembler) { a.Return() }).
+		Method("inst", "(I)V", 0, func(a *bytecode.Assembler) { a.Return() }).
+		MustBuild()
+	if got := c.Methods[0].Code.MaxLocals; got < 2 {
+		t.Fatalf("static (II)V MaxLocals = %d, want >= 2", got)
+	}
+	if got := c.Methods[1].Code.MaxLocals; got < 2 {
+		t.Fatalf("instance (I)V MaxLocals = %d, want >= 2 (receiver + arg)", got)
+	}
+}

@@ -1,0 +1,133 @@
+package classfile
+
+import "fmt"
+
+// PoolEntryKind discriminates constant pool entries.
+type PoolEntryKind uint8
+
+// Pool entry kinds.
+const (
+	PoolString PoolEntryKind = iota + 1
+	PoolClassRef
+	PoolFieldRef
+	PoolMethodRef
+)
+
+// PoolEntry is one symbolic constant-pool entry. Symbolic references are
+// resolved lazily by the class loader; resolved pointers are cached in the
+// Resolved* fields.
+type PoolEntry struct {
+	Kind PoolEntryKind
+
+	// PoolString.
+	Str string
+
+	// PoolClassRef, PoolFieldRef, PoolMethodRef.
+	ClassName string
+
+	// PoolFieldRef, PoolMethodRef.
+	Name string
+
+	// PoolMethodRef.
+	Descriptor string
+
+	// Resolution caches, populated at link time by the loader.
+	ResolvedClass  *Class
+	ResolvedField  *Field
+	ResolvedMethod *Method
+
+	// ResolvedMirror caches the task class mirror after the first
+	// initialized access — valid only in Shared mode, where one mirror
+	// exists per class. This models the baseline JVM's ability to fold
+	// the initialization check and mirror lookup away after JIT
+	// compilation; I-JVM cannot cache it because the mirror depends on
+	// the current isolate of the thread (§3.1: "the just in time
+	// compiler cannot remove all of the class initialization checks,
+	// because the code compiled must be reentrant"). Typed as any to
+	// keep this package independent of the core package.
+	ResolvedMirror any
+}
+
+// ConstantPool is the symbolic constant pool of one class. It implements
+// bytecode.Pool so assemblers can intern references while emitting code.
+type ConstantPool struct {
+	Entries []PoolEntry
+
+	strings map[string]int32
+	classes map[string]int32
+	fields  map[string]int32
+	methods map[string]int32
+}
+
+// NewConstantPool returns an empty pool. Index 0 is reserved as an
+// always-invalid entry so that a zero pool index in an instruction is a
+// loud error rather than a silent reference to a real entry.
+func NewConstantPool() *ConstantPool {
+	return &ConstantPool{
+		Entries: make([]PoolEntry, 1),
+		strings: make(map[string]int32),
+		classes: make(map[string]int32),
+		fields:  make(map[string]int32),
+		methods: make(map[string]int32),
+	}
+}
+
+// StringIndex interns the string constant s.
+func (p *ConstantPool) StringIndex(s string) int32 {
+	if idx, ok := p.strings[s]; ok {
+		return idx
+	}
+	idx := int32(len(p.Entries))
+	p.Entries = append(p.Entries, PoolEntry{Kind: PoolString, Str: s})
+	p.strings[s] = idx
+	return idx
+}
+
+// ClassIndex interns a symbolic class reference.
+func (p *ConstantPool) ClassIndex(name string) int32 {
+	if idx, ok := p.classes[name]; ok {
+		return idx
+	}
+	idx := int32(len(p.Entries))
+	p.Entries = append(p.Entries, PoolEntry{Kind: PoolClassRef, ClassName: name})
+	p.classes[name] = idx
+	return idx
+}
+
+// FieldIndex interns a symbolic field reference.
+func (p *ConstantPool) FieldIndex(class, name string) int32 {
+	key := class + "." + name
+	if idx, ok := p.fields[key]; ok {
+		return idx
+	}
+	idx := int32(len(p.Entries))
+	p.Entries = append(p.Entries, PoolEntry{Kind: PoolFieldRef, ClassName: class, Name: name})
+	p.fields[key] = idx
+	return idx
+}
+
+// MethodIndex interns a symbolic method reference.
+func (p *ConstantPool) MethodIndex(class, name, descriptor string) int32 {
+	key := class + "." + name + descriptor
+	if idx, ok := p.methods[key]; ok {
+		return idx
+	}
+	idx := int32(len(p.Entries))
+	p.Entries = append(p.Entries, PoolEntry{
+		Kind: PoolMethodRef, ClassName: class, Name: name, Descriptor: descriptor,
+	})
+	p.methods[key] = idx
+	return idx
+}
+
+// Entry returns the entry at idx, or an error when idx is out of range or
+// the reserved index 0.
+func (p *ConstantPool) Entry(idx int32) (*PoolEntry, error) {
+	if idx <= 0 || int(idx) >= len(p.Entries) {
+		return nil, fmt.Errorf("constant pool index %d out of range [1,%d)", idx, len(p.Entries))
+	}
+	return &p.Entries[idx], nil
+}
+
+// Len returns the number of entries including the reserved slot 0.
+func (p *ConstantPool) Len() int { return len(p.Entries) }

@@ -1,0 +1,70 @@
+package core
+
+// Account holds the mutable per-isolate resource counters the paper's
+// resource accounting maintains (§3.2). Memory counters live in the heap
+// (creator-charged allocation counters plus GC-recomputed live usage) and
+// are merged into Snapshot by the World.
+type Account struct {
+	// CPUSamples counts scheduler samples that observed a thread running
+	// in this isolate (§3.2, "CPU time": the chosen sampling design).
+	CPUSamples int64
+	// Instructions counts instructions executed while the current isolate
+	// was this isolate. It is the exact counterpart of CPUSamples, kept
+	// for the §4.4 precision experiments and the per-call accounting
+	// ablation.
+	Instructions int64
+	// ThreadsCreated counts threads created by the isolate ("threads are
+	// charged to their creator").
+	ThreadsCreated int64
+	// ThreadsLive is the number of created-by-this-isolate threads that
+	// have not terminated.
+	ThreadsLive int64
+	// SleepingThreads is a gauge of threads currently blocked in
+	// sleep/wait while executing this isolate's code (attack A7
+	// detection).
+	SleepingThreads int64
+	// GCActivations counts collections triggered by this isolate's
+	// allocations or explicit System.gc calls (attack A4 detection).
+	GCActivations int64
+	// IOBytesRead and IOBytesWritten count connection I/O performed while
+	// executing in the isolate (JRes-style instrumentation of the few
+	// system classes that touch connections).
+	IOBytesRead    int64
+	IOBytesWritten int64
+	// ConnectionsOpened counts connection objects created by the isolate.
+	ConnectionsOpened int64
+	// InterBundleCallsIn counts inter-isolate calls that entered this
+	// isolate (paint-demo metric, §4.1).
+	InterBundleCallsIn int64
+	// InterBundleCallsOut counts inter-isolate calls made from this
+	// isolate.
+	InterBundleCallsOut int64
+	// CPUTicks accumulates per-call virtual time when the (ablation-only)
+	// per-call timestamping accounting strategy is enabled.
+	CPUTicks int64
+	// FinalizersRun counts finalizer invocations scheduled on behalf of
+	// the isolate's dead objects (part of the GC-churn cost attack A4
+	// inflicts).
+	FinalizersRun int64
+}
+
+// Snapshot is an immutable copy of one isolate's resource usage, combining
+// the interpreter-maintained Account with the heap's memory views.
+type Snapshot struct {
+	IsolateID   int32
+	IsolateName string
+	State       LifeState
+
+	Account
+
+	// AllocatedObjects/AllocatedBytes are monotonic creator-charged
+	// allocation counters.
+	AllocatedObjects int64
+	AllocatedBytes   int64
+	// LiveObjects/LiveBytes/LiveConnections are the per-isolate usage
+	// recomputed by the last accounting GC ("first isolate that
+	// references it" charging).
+	LiveObjects     int64
+	LiveBytes       int64
+	LiveConnections int64
+}

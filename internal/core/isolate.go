@@ -1,0 +1,151 @@
+// Package core implements the paper's primary contribution: lightweight
+// isolates for OSGi bundles inside a single JVM. It provides
+//
+//   - the Isolate abstraction built from a class loader (§3.1), including
+//     Isolate0 with elevated rights;
+//   - task class mirrors: per-isolate static variables, initialization
+//     state and java.lang.Class objects (§3.1);
+//   - per-isolate interned-string pools (§3.5);
+//   - per-isolate resource accounts: CPU samples, threads, connections,
+//     I/O, GC activations, allocated and live memory (§3.2);
+//   - the isolate termination state machine (§3.3): killed isolates have
+//     their methods poisoned and their frames made unable to catch
+//     StoppedIsolateException.
+//
+// The interpreter (internal/interp) consults this package on every static
+// access, method call and allocation; the scheduler drives CPU sampling.
+package core
+
+import (
+	"fmt"
+
+	"ijvm/internal/heap"
+	"ijvm/internal/loader"
+)
+
+// Rights is the permission set of an isolate. Isolate0 — the isolate of
+// the OSGi runtime — holds all rights; standard bundle isolates hold none
+// (paper §3.1).
+type Rights uint8
+
+// Right bits.
+const (
+	// RightSpawnIsolate permits creating new isolates.
+	RightSpawnIsolate Rights = 1 << iota
+	// RightKillIsolate permits terminating other isolates.
+	RightKillIsolate
+	// RightShutdown permits shutting down the entire platform.
+	RightShutdown
+)
+
+// AllRights is the right set of Isolate0.
+const AllRights = RightSpawnIsolate | RightKillIsolate | RightShutdown
+
+// Has reports whether all bits in mask are present.
+func (r Rights) Has(mask Rights) bool { return r&mask == mask }
+
+// LifeState tracks an isolate through its lifecycle.
+type LifeState uint8
+
+// Isolate life states.
+const (
+	// StateLive is the normal running state.
+	StateLive LifeState = iota + 1
+	// StateKilled means termination has been requested: methods are
+	// poisoned, threads executing the isolate's code receive
+	// StoppedIsolateException, but objects may still be referenced by
+	// other isolates.
+	StateKilled
+	// StateDisposed means no live object charged to the isolate remains;
+	// the isolate has been removed from memory (paper §3.3, last
+	// paragraph).
+	StateDisposed
+)
+
+// String returns the state name.
+func (s LifeState) String() string {
+	switch s {
+	case StateLive:
+		return "live"
+	case StateKilled:
+		return "killed"
+	case StateDisposed:
+		return "disposed"
+	default:
+		return "invalid"
+	}
+}
+
+// Isolate is one protection domain. In I-JVM mode each bundle class loader
+// gets its own isolate; in Shared (baseline) mode a single isolate spans
+// the whole VM.
+type Isolate struct {
+	id     heap.IsolateID
+	name   string
+	loader *loader.Loader
+	rights Rights
+	state  LifeState
+
+	account Account
+
+	// strings is the per-isolate interned-string pool (§3.5: "each bundle
+	// has its map of strings, therefore the == operator does not work for
+	// strings allocated by different bundles").
+	strings map[string]*heap.Object
+}
+
+// ID returns the isolate's accounting ID (0 for Isolate0).
+func (iso *Isolate) ID() heap.IsolateID { return iso.id }
+
+// Name returns the isolate's diagnostic name.
+func (iso *Isolate) Name() string { return iso.name }
+
+// Loader returns the class loader the isolate is built from.
+func (iso *Isolate) Loader() *loader.Loader { return iso.loader }
+
+// Rights returns the isolate's permission set.
+func (iso *Isolate) Rights() Rights { return iso.rights }
+
+// State returns the isolate's life state.
+func (iso *Isolate) State() LifeState { return iso.state }
+
+// Killed reports whether termination has been requested (or completed).
+func (iso *Isolate) Killed() bool { return iso.state != StateLive }
+
+// Disposed reports whether the isolate has been fully reclaimed.
+func (iso *Isolate) Disposed() bool { return iso.state == StateDisposed }
+
+// IsIsolate0 reports whether this is the OSGi runtime's isolate.
+func (iso *Isolate) IsIsolate0() bool { return iso.id == 0 }
+
+// Account returns a pointer to the isolate's mutable resource account; the
+// interpreter updates it in place.
+func (iso *Isolate) Account() *Account { return &iso.account }
+
+// InternedString returns the isolate-private interned object for s, if
+// any.
+func (iso *Isolate) InternedString(s string) (*heap.Object, bool) {
+	obj, ok := iso.strings[s]
+	return obj, ok
+}
+
+// SetInternedString records the isolate-private interned object for s.
+func (iso *Isolate) SetInternedString(s string, obj *heap.Object) {
+	iso.strings[s] = obj
+}
+
+// StringPoolRoots appends the interned strings to roots (GC accounting
+// step 2) and returns the extended slice.
+func (iso *Isolate) StringPoolRoots(roots []*heap.Object) []*heap.Object {
+	for _, obj := range iso.strings {
+		roots = append(roots, obj)
+	}
+	return roots
+}
+
+// NumInternedStrings returns the size of the isolate's string pool.
+func (iso *Isolate) NumInternedStrings() int { return len(iso.strings) }
+
+func (iso *Isolate) String() string {
+	return fmt.Sprintf("isolate %d (%s, %s)", iso.id, iso.name, iso.state)
+}

@@ -1,0 +1,60 @@
+package core
+
+import (
+	"ijvm/internal/classfile"
+	"ijvm/internal/heap"
+)
+
+// InitState is the class initialization state carried by a task class
+// mirror. Initialization runs once per (class, isolate) pair in I-JVM mode
+// and once per class in Shared mode.
+type InitState uint8
+
+// Initialization states.
+const (
+	// InitNone means <clinit> has not started for this mirror.
+	InitNone InitState = iota
+	// InitRunning means <clinit> is executing (re-entrant accesses from
+	// the initializing thread proceed, as in the JVM).
+	InitRunning
+	// InitDone means the mirror is ready.
+	InitDone
+)
+
+// TaskClassMirror is the per-isolate projection of one class (§3.1,
+// following MVM): the initialization state, the static variable slots, and
+// the isolate-private java.lang.Class object. I-JVM indexes the mirror
+// array of a class with the current isolate reference of the thread;
+// Shared mode keeps exactly one mirror per class.
+type TaskClassMirror struct {
+	State   InitState
+	Statics []heap.Value
+	// ClassObject is the isolate-private java.lang.Class instance,
+	// allocated lazily on first ldc_class.
+	ClassObject *heap.Object
+	// InitThread is the VM thread currently running <clinit>, for
+	// re-entrancy (0 when none).
+	InitThread int64
+}
+
+func newMirror(c *classfile.Class) *TaskClassMirror {
+	statics := make([]heap.Value, c.NumStaticSlots)
+	for i, f := range c.StaticFields {
+		statics[i] = heap.ZeroOf(f.Kind)
+	}
+	return &TaskClassMirror{Statics: statics}
+}
+
+// Roots appends the mirror's references (statics and the Class object) to
+// roots for GC accounting (step 2) and returns the extended slice.
+func (m *TaskClassMirror) Roots(roots []*heap.Object) []*heap.Object {
+	for i := range m.Statics {
+		if r := m.Statics[i].R; r != nil {
+			roots = append(roots, r)
+		}
+	}
+	if m.ClassObject != nil {
+		roots = append(roots, m.ClassObject)
+	}
+	return roots
+}

@@ -1,0 +1,350 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"ijvm/internal/classfile"
+	"ijvm/internal/heap"
+	"ijvm/internal/loader"
+)
+
+// Mode selects the isolation behaviour of the VM.
+type Mode uint8
+
+// VM modes.
+const (
+	// ModeShared is the baseline JVM: one global set of static variables,
+	// one interned-string pool, shared java.lang.Class objects, no
+	// resource accounting and no isolate termination. It reproduces the
+	// LadyVM/Sun-JVM behaviour the paper compares against.
+	ModeShared Mode = iota + 1
+	// ModeIsolated is I-JVM: one isolate per application class loader,
+	// task class mirrors, thread migration, accounting and termination.
+	ModeIsolated
+)
+
+// String returns the mode name.
+func (m Mode) String() string {
+	switch m {
+	case ModeShared:
+		return "shared"
+	case ModeIsolated:
+		return "isolated"
+	default:
+		return "invalid"
+	}
+}
+
+// ErrNoRight is returned when an isolate attempts a privileged operation
+// (spawn/kill/shutdown) without holding the corresponding right.
+var ErrNoRight = errors.New("core: isolate lacks the required right")
+
+// ErrKilled is returned when an operation targets a killed isolate.
+var ErrKilled = errors.New("core: isolate is killed")
+
+// World owns the isolates of one VM and the task-class-mirror storage. The
+// interpreter calls Mirror on every static access; everything else is
+// management-plane.
+type World struct {
+	mode     Mode
+	registry *loader.Registry
+
+	isolates   []*Isolate
+	byLoaderID map[int]*Isolate
+	// byLoaderSlice is the hot-path variant of byLoaderID, indexed by
+	// loader ID (nil entries for loaders without isolates).
+	byLoaderSlice []*Isolate
+	// mirrors[staticsID][isolateID], grown lazily. In Shared mode the
+	// inner slice has exactly one entry.
+	mirrors [][]*TaskClassMirror
+}
+
+// NewWorld creates the isolate world for one VM.
+func NewWorld(mode Mode, registry *loader.Registry) *World {
+	return &World{
+		mode:       mode,
+		registry:   registry,
+		byLoaderID: make(map[int]*Isolate),
+	}
+}
+
+// Mode returns the isolation mode.
+func (w *World) Mode() Mode { return w.mode }
+
+// Isolated reports whether I-JVM mechanisms are active.
+func (w *World) Isolated() bool { return w.mode == ModeIsolated }
+
+// NewIsolate creates an isolate for a class loader. The first isolate
+// created becomes Isolate0 with all rights (paper §3.1); in Shared mode
+// only Isolate0 may exist.
+func (w *World) NewIsolate(name string, l *loader.Loader) (*Isolate, error) {
+	if l == nil {
+		return nil, errors.New("core: isolate requires a class loader")
+	}
+	if l.IsBootstrap() {
+		return nil, errors.New("core: the bootstrap loader cannot form an isolate")
+	}
+	if _, dup := w.byLoaderID[l.ID()]; dup {
+		return nil, fmt.Errorf("core: loader %s already has an isolate", l.Name())
+	}
+	if w.mode == ModeShared && len(w.isolates) > 0 {
+		return nil, errors.New("core: shared mode supports a single isolate")
+	}
+	iso := &Isolate{
+		id:      heap.IsolateID(len(w.isolates)),
+		name:    name,
+		loader:  l,
+		state:   StateLive,
+		strings: make(map[string]*heap.Object),
+	}
+	if iso.id == 0 {
+		iso.rights = AllRights
+	}
+	w.isolates = append(w.isolates, iso)
+	w.byLoaderID[l.ID()] = iso
+	for len(w.byLoaderSlice) <= l.ID() {
+		w.byLoaderSlice = append(w.byLoaderSlice, nil)
+	}
+	w.byLoaderSlice[l.ID()] = iso
+	return iso, nil
+}
+
+// IsolateForLoaderID is the hot-path variant of IsolateForLoader used by
+// the interpreter's invoke sequence; it returns nil for the bootstrap
+// loader and for loaders without isolates.
+func (w *World) IsolateForLoaderID(id int) *Isolate {
+	if id <= 0 || id >= len(w.byLoaderSlice) {
+		return nil
+	}
+	return w.byLoaderSlice[id]
+}
+
+// Isolate0 returns the OSGi runtime's isolate, or nil before it exists.
+func (w *World) Isolate0() *Isolate {
+	if len(w.isolates) == 0 {
+		return nil
+	}
+	return w.isolates[0]
+}
+
+// IsolateByID returns the isolate with the given accounting ID, or nil.
+func (w *World) IsolateByID(id heap.IsolateID) *Isolate {
+	if id < 0 || int(id) >= len(w.isolates) {
+		return nil
+	}
+	return w.isolates[id]
+}
+
+// IsolateForLoader returns the isolate built from loader l, or nil for
+// the bootstrap loader (system code executes in the caller's isolate).
+func (w *World) IsolateForLoader(l *loader.Loader) *Isolate {
+	if l == nil || l.IsBootstrap() {
+		return nil
+	}
+	return w.byLoaderID[l.ID()]
+}
+
+// IsolateForClass returns the isolate owning a class, or nil for system
+// classes.
+func (w *World) IsolateForClass(c *classfile.Class) *Isolate {
+	if c.IsSystem() {
+		return nil
+	}
+	return w.byLoaderID[c.LoaderID]
+}
+
+// Isolates returns all isolates in creation order (a copy).
+func (w *World) Isolates() []*Isolate {
+	return append([]*Isolate(nil), w.isolates...)
+}
+
+// NumIsolates returns the number of isolates created so far.
+func (w *World) NumIsolates() int { return len(w.isolates) }
+
+// Mirror returns the task class mirror of class c for isolate iso,
+// creating it lazily. This is the getstatic/putstatic hot path: in
+// Isolated mode it performs the paper's two extra loads (current isolate,
+// then the mirror array entry); in Shared mode isolates collapse to a
+// single mirror.
+func (w *World) Mirror(c *classfile.Class, iso *Isolate) *TaskClassMirror {
+	sid := c.StaticsID
+	if sid >= len(w.mirrors) {
+		grown := make([][]*TaskClassMirror, sid+16)
+		copy(grown, w.mirrors)
+		w.mirrors = grown
+	}
+	row := w.mirrors[sid]
+	idx := 0
+	if w.mode == ModeIsolated {
+		idx = int(iso.id)
+	}
+	if idx >= len(row) {
+		grownRow := make([]*TaskClassMirror, idx+4)
+		copy(grownRow, row)
+		w.mirrors[sid] = grownRow
+		row = grownRow
+	}
+	m := row[idx]
+	if m == nil {
+		m = newMirror(c)
+		row[idx] = m
+	}
+	return m
+}
+
+// MirrorIfPresent returns the mirror without creating it.
+func (w *World) MirrorIfPresent(c *classfile.Class, iso *Isolate) *TaskClassMirror {
+	sid := c.StaticsID
+	if sid >= len(w.mirrors) {
+		return nil
+	}
+	row := w.mirrors[sid]
+	idx := 0
+	if w.mode == ModeIsolated {
+		idx = int(iso.id)
+	}
+	if idx >= len(row) {
+		return nil
+	}
+	return row[idx]
+}
+
+// MirrorRootSets builds the GC accounting root contribution of every
+// isolate's mirrors and string pools (paper §3.2, step 2). The returned
+// map is keyed by isolate ID.
+func (w *World) MirrorRootSets() map[heap.IsolateID][]*heap.Object {
+	out := make(map[heap.IsolateID][]*heap.Object, len(w.isolates))
+	for _, iso := range w.isolates {
+		// Killed isolates contribute no roots: "all the objects
+		// referenced by the terminating isolate are reclaimed by the
+		// garbage collector, with the exception of objects shared with
+		// other bundles" (§3.3) — shared objects survive through the
+		// other isolates' roots.
+		if iso.Killed() {
+			continue
+		}
+		out[iso.id] = iso.StringPoolRoots(nil)
+	}
+	for sid, row := range w.mirrors {
+		class := w.registry.ClassByStaticsID(sid)
+		if class == nil {
+			continue
+		}
+		for idx, m := range row {
+			if m == nil {
+				continue
+			}
+			isoID := heap.IsolateID(idx)
+			if w.mode == ModeShared {
+				isoID = 0
+			}
+			if iso := w.IsolateByID(isoID); iso == nil || iso.Killed() {
+				continue
+			}
+			out[isoID] = m.Roots(out[isoID])
+		}
+	}
+	return out
+}
+
+// Modelled sizes of the VM-internal structures that Figure 3 accounts
+// for: "(i) the array of task class mirrors for each class and (ii) a
+// per-isolate set of strings and statistics information" (§4.2).
+const (
+	mirrorRowBytes   = 24 // slice header per class
+	mirrorSlotBytes  = 8  // one row entry (pointer)
+	mirrorBytes      = 56 // TaskClassMirror struct
+	staticSlotBytes  = 16 // one static variable slot (tagged value)
+	isolateBytes     = 96 // Isolate struct
+	accountBytes     = 14 * 8
+	stringEntryBytes = 48 // string pool map entry (key header + pointer)
+)
+
+// StructFootprint returns the modelled byte size of the isolation
+// metadata: task-class-mirror arrays, per-isolate string pools and
+// statistics. Together with the heap's Used() this is the memory measure
+// of Figure 3 — in Shared mode every class has exactly one mirror, while
+// I-JVM pays one mirror per (class, accessing isolate) plus per-isolate
+// pools and accounts.
+func (w *World) StructFootprint() int64 {
+	var total int64
+	for _, row := range w.mirrors {
+		if row == nil {
+			continue
+		}
+		total += mirrorRowBytes + mirrorSlotBytes*int64(len(row))
+		for _, m := range row {
+			if m == nil {
+				continue
+			}
+			total += mirrorBytes + staticSlotBytes*int64(len(m.Statics))
+		}
+	}
+	for _, iso := range w.isolates {
+		total += isolateBytes + accountBytes
+		total += stringEntryBytes * int64(len(iso.strings))
+	}
+	return total
+}
+
+// Kill marks an isolate as killed. The caller (the interpreter's
+// termination engine) is responsible for patching thread stacks and
+// poisoning methods; killer must hold RightKillIsolate unless it is nil
+// (host-initiated administrative kill).
+func (w *World) Kill(killer, target *Isolate) error {
+	if target == nil {
+		return errors.New("core: kill nil isolate")
+	}
+	if killer != nil && !killer.rights.Has(RightKillIsolate) {
+		return fmt.Errorf("%w: %s cannot kill %s", ErrNoRight, killer.name, target.name)
+	}
+	if target.state != StateLive {
+		return fmt.Errorf("%w: %s", ErrKilled, target.name)
+	}
+	target.state = StateKilled
+	return nil
+}
+
+// UpdateDisposal promotes killed isolates with no remaining live charged
+// objects to StateDisposed ("an isolate is only removed from memory when
+// there is no remaining object whose class is defined by the isolate",
+// §3.3). Call after an accounting collection.
+func (w *World) UpdateDisposal(h *heap.Heap) {
+	for _, iso := range w.isolates {
+		if iso.state != StateKilled {
+			continue
+		}
+		if h.LiveStatsFor(iso.id).Objects == 0 {
+			iso.state = StateDisposed
+		}
+	}
+}
+
+// Snapshot builds a point-in-time resource snapshot of one isolate,
+// merging the interpreter-maintained account with the heap's memory
+// views.
+func (w *World) Snapshot(iso *Isolate, h *heap.Heap) Snapshot {
+	alloc := h.AllocStatsFor(iso.id)
+	live := h.LiveStatsFor(iso.id)
+	return Snapshot{
+		IsolateID:        int32(iso.id),
+		IsolateName:      iso.name,
+		State:            iso.state,
+		Account:          iso.account,
+		AllocatedObjects: alloc.Objects,
+		AllocatedBytes:   alloc.Bytes,
+		LiveObjects:      live.Objects,
+		LiveBytes:        live.Bytes,
+		LiveConnections:  live.Connections,
+	}
+}
+
+// Snapshots returns snapshots of all isolates in creation order.
+func (w *World) Snapshots(h *heap.Heap) []Snapshot {
+	out := make([]Snapshot, 0, len(w.isolates))
+	for _, iso := range w.isolates {
+		out = append(out, w.Snapshot(iso, h))
+	}
+	return out
+}

@@ -1,0 +1,148 @@
+package heap
+
+// RootSet is the accounting root set of one isolate: the isolate's interned
+// strings, static variables, java.lang.Class objects, and the objects
+// referenced by stack frames executing in the isolate (paper §3.2, steps 2
+// and 3). Root sets are traced in slice order and an object is charged to
+// the first isolate that reaches it (step 4).
+type RootSet struct {
+	Isolate IsolateID
+	Refs    []*Object
+}
+
+// CollectResult summarizes one accounting collection.
+type CollectResult struct {
+	FreedObjects int64
+	FreedBytes   int64
+	LiveObjects  int64
+	LiveBytes    int64
+	// PendingFinalize lists unreachable objects whose finalize() must run
+	// before they can be reclaimed. They (and their subgraphs) survived
+	// this collection; the VM schedules their finalizers, and the next
+	// collection frees them unless the finalizer resurrected them.
+	PendingFinalize []*Object
+}
+
+// Collect runs a stop-the-world mark-sweep collection implementing the
+// paper's accounting algorithm:
+//
+//  1. per-isolate memory/connection usage is reset to zero;
+//  2. each isolate's roots (statics, strings, Class objects) are added;
+//  3. stack frames contribute roots attributed to the frame's isolate
+//     (system-library frames excluded — the caller builds the root sets);
+//  4. roots are traced per isolate; an object is charged to the first
+//     isolate that references it.
+//
+// Unreachable objects with unexecuted finalizers are kept alive (charged
+// to their creator) and reported in PendingFinalize; everything else
+// unmarked is swept.
+func (h *Heap) Collect(rootSets []RootSet) CollectResult {
+	h.gcCount++
+
+	// Step 1: reset per-isolate live accounting.
+	h.liveByIso = make(map[IsolateID]*LiveStats, len(rootSets))
+
+	// Steps 2-4: trace each isolate's roots in order; first marker is
+	// charged.
+	var stack []*Object
+	for _, rs := range rootSets {
+		stats := h.liveStats(rs.Isolate)
+		for _, root := range rs.Refs {
+			stack = h.traceFrom(stack, root, rs.Isolate, stats)
+		}
+	}
+
+	// Finalization: unreachable finalizable objects survive one more
+	// cycle, charged to their creator, with their subgraph resurrected.
+	var res CollectResult
+	for _, o := range h.objects {
+		if o.mark || o.finalized || o.Class == nil || !o.Class.HasFinalizer {
+			continue
+		}
+		o.finalized = true
+		res.PendingFinalize = append(res.PendingFinalize, o)
+		stack = h.traceFrom(stack, o, o.Creator, h.liveStats(o.Creator))
+	}
+
+	// Sweep.
+	live := h.objects[:0]
+	for _, o := range h.objects {
+		if o.mark {
+			o.mark = false
+			live = append(live, o)
+			res.LiveObjects++
+			res.LiveBytes += o.size
+			continue
+		}
+		o.dead = true
+		res.FreedObjects++
+		res.FreedBytes += o.size
+	}
+	// Clear the tail so swept objects become collectible by the host GC.
+	for i := len(live); i < len(h.objects); i++ {
+		h.objects[i] = nil
+	}
+	h.objects = live
+	h.used -= res.FreedBytes
+	return res
+}
+
+func (h *Heap) liveStats(iso IsolateID) *LiveStats {
+	s, ok := h.liveByIso[iso]
+	if !ok {
+		s = &LiveStats{}
+		h.liveByIso[iso] = s
+	}
+	return s
+}
+
+// traceFrom marks the subgraph of root, charging newly marked objects to
+// iso. It returns the (reused) scratch stack.
+func (h *Heap) traceFrom(stack []*Object, root *Object, iso IsolateID, stats *LiveStats) []*Object {
+	if root == nil || root.mark {
+		return stack
+	}
+	stack = append(stack[:0], root)
+	for len(stack) > 0 {
+		o := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if o.mark {
+			continue
+		}
+		o.mark = true
+		o.Charged = iso
+		stats.Objects++
+		stats.Bytes += o.size
+		if o.IsConnection {
+			stats.Connections++
+		}
+		for i := range o.Fields {
+			if r := o.Fields[i].R; r != nil && !r.mark {
+				stack = append(stack, r)
+			}
+		}
+		for i := range o.Elems {
+			if r := o.Elems[i].R; r != nil && !r.mark {
+				stack = append(stack, r)
+			}
+		}
+		if holder, ok := o.Native.(RefHolder); ok {
+			for _, r := range holder.Refs() {
+				if r != nil && !r.mark {
+					stack = append(stack, r)
+				}
+			}
+		}
+	}
+	return stack
+}
+
+// RefHolder is implemented by native payloads (collections) that hold
+// object references the collector must trace.
+type RefHolder interface {
+	Refs() []*Object
+}
+
+// Dead reports whether the object was swept by a previous collection. Used
+// by tests asserting GC soundness.
+func (o *Object) Dead() bool { return o.dead }

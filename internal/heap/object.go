@@ -1,0 +1,89 @@
+package heap
+
+import "ijvm/internal/classfile"
+
+// IsolateID identifies an isolate for accounting purposes. Isolate0 (the
+// OSGi runtime) is ID 0; the baseline ("Shared") VM runs everything in
+// Isolate0.
+type IsolateID int32
+
+// NoIsolate marks an object not yet charged to any isolate.
+const NoIsolate IsolateID = -1
+
+// ObjectHeaderBytes is the modelled per-object header size. The paper
+// reports that a java.lang.Object instance occupies 28 bytes in LadyVM and
+// I-JVM; we reproduce that constant.
+const ObjectHeaderBytes = 28
+
+// ValueSlotBytes is the modelled size of one field or array slot.
+const ValueSlotBytes = 8
+
+// Monitor is the lock state of an object. Blocking and wait queues are
+// managed by the scheduler; the heap only records ownership.
+type Monitor struct {
+	// Owner is the owning thread ID, or 0 when unlocked.
+	Owner int64
+	// Count is the recursive acquisition count.
+	Count int32
+}
+
+// Object is one heap object or array. Strings and other system-library
+// objects carry their payload in Native.
+type Object struct {
+	Class  *classfile.Class
+	Fields []Value
+	Elems  []Value // non-nil for arrays
+	Native any     // string payload, native collection state, connections…
+
+	Monitor Monitor
+
+	// Creator is the isolate that allocated the object; allocation is
+	// charged to it immediately (paper §3.2, "Memory and connections").
+	Creator IsolateID
+	// Charged is the isolate the last accounting GC charged the object to
+	// ("the first isolate that references it"), or NoIsolate before the
+	// first collection.
+	Charged IsolateID
+
+	// IsConnection marks connection-like objects (FileDescriptor/Socket)
+	// that are counted separately per isolate.
+	IsConnection bool
+
+	// IdentityHash is the lazily assigned Object.hashCode value (0 means
+	// unassigned); the system library assigns it from a deterministic VM
+	// counter.
+	IdentityHash int64
+
+	size  int64
+	extra int64 // native payload size included in size
+	mark  bool
+	dead  bool
+	// finalized marks objects whose finalizer has been scheduled; a
+	// finalizer runs at most once, and the object is reclaimed by the
+	// following collection (unless the finalizer resurrected it).
+	finalized bool
+}
+
+// Finalized reports whether the object's finalizer has been scheduled.
+func (o *Object) Finalized() bool { return o.finalized }
+
+// Size returns the modelled byte size of the object.
+func (o *Object) Size() int64 { return o.size }
+
+// IsArray reports whether the object is an array.
+func (o *Object) IsArray() bool { return o.Elems != nil }
+
+// SetNativeSize records the modelled size of the native payload (for
+// strings: the byte length) and adjusts the object's total size. It must
+// only be called through Heap.ResizeNative so the heap's used-byte count
+// stays consistent; it is exported for the heap's own use.
+func (o *Object) computeSize() int64 {
+	return ObjectHeaderBytes + ValueSlotBytes*int64(len(o.Fields)+len(o.Elems)) + o.extra
+}
+
+// StringValue returns the native string payload. The boolean reports
+// whether the object is a string.
+func (o *Object) StringValue() (string, bool) {
+	s, ok := o.Native.(string)
+	return s, ok
+}

@@ -1,0 +1,85 @@
+// Package heap implements the object heap of the virtual machine: tagged
+// values, objects with monitors, per-isolate allocation metering, and the
+// stop-the-world mark-sweep collector that implements the paper's
+// accounting algorithm (§3.2): per-isolate roots are traced in isolate
+// order and every live object is charged to the first isolate that
+// references it.
+package heap
+
+import (
+	"fmt"
+
+	"ijvm/internal/classfile"
+)
+
+// Value is one tagged VM value: a 64-bit integer, a 64-bit float, or an
+// object reference (possibly null).
+type Value struct {
+	Kind classfile.Kind
+	I    int64
+	F    float64
+	R    *Object
+}
+
+// IntVal returns an integer value.
+func IntVal(v int64) Value { return Value{Kind: classfile.KindInt, I: v} }
+
+// BoolVal returns 1 for true and 0 for false as an integer value.
+func BoolVal(b bool) Value {
+	if b {
+		return IntVal(1)
+	}
+	return IntVal(0)
+}
+
+// FloatVal returns a float value.
+func FloatVal(v float64) Value { return Value{Kind: classfile.KindFloat, F: v} }
+
+// RefVal returns a reference value (obj may be nil for null).
+func RefVal(obj *Object) Value { return Value{Kind: classfile.KindRef, R: obj} }
+
+// Null returns the null reference.
+func Null() Value { return Value{Kind: classfile.KindRef} }
+
+// Void returns the absent value used for void returns.
+func Void() Value { return Value{Kind: classfile.KindVoid} }
+
+// IsRef reports whether the value is a reference (including null).
+func (v Value) IsRef() bool { return v.Kind == classfile.KindRef }
+
+// IsNull reports whether the value is the null reference.
+func (v Value) IsNull() bool { return v.Kind == classfile.KindRef && v.R == nil }
+
+// Bool interprets an integer value as a boolean.
+func (v Value) Bool() bool { return v.I != 0 }
+
+// String renders the value for diagnostics.
+func (v Value) String() string {
+	switch v.Kind {
+	case classfile.KindInt:
+		return fmt.Sprintf("int:%d", v.I)
+	case classfile.KindFloat:
+		return fmt.Sprintf("float:%g", v.F)
+	case classfile.KindRef:
+		if v.R == nil {
+			return "null"
+		}
+		return "ref:" + v.R.Class.Name
+	case classfile.KindVoid:
+		return "void"
+	default:
+		return "invalid"
+	}
+}
+
+// ZeroOf returns the zero value for a declared kind (0, 0.0 or null).
+func ZeroOf(k classfile.Kind) Value {
+	switch k {
+	case classfile.KindInt:
+		return IntVal(0)
+	case classfile.KindFloat:
+		return FloatVal(0)
+	default:
+		return Null()
+	}
+}

@@ -1,0 +1,197 @@
+package interp_test
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"ijvm/internal/bytecode"
+	"ijvm/internal/classfile"
+	"ijvm/internal/core"
+	"ijvm/internal/heap"
+	"ijvm/internal/interp"
+)
+
+// runExpect builds run()I from body, executes it, and asserts the result
+// or the uncaught exception class.
+func runExpect(t *testing.T, body func(a *bytecode.Assembler)) (heap.Value, *interp.Thread) {
+	t.Helper()
+	vm, iso := newVM(t, core.ModeIsolated)
+	c := define(t, iso, classfile.NewClass("edge/Main").
+		Method("run", "()I", classfile.FlagStatic, body).MustBuild())
+	m := findMethod(t, c, "run")
+	v, th, err := vm.CallRoot(iso, m, nil, 1_000_000)
+	if err != nil {
+		t.Fatalf("host error: %v", err)
+	}
+	return v, th
+}
+
+func expectValue(t *testing.T, want int64, body func(a *bytecode.Assembler)) {
+	t.Helper()
+	v, th := runExpect(t, body)
+	if th.Failure() != nil {
+		t.Fatalf("uncaught: %s", th.FailureString())
+	}
+	if v.I != want {
+		t.Fatalf("got %d, want %d", v.I, want)
+	}
+}
+
+func expectThrow(t *testing.T, wantClass string, body func(a *bytecode.Assembler)) {
+	t.Helper()
+	_, th := runExpect(t, body)
+	if th.Failure() == nil {
+		t.Fatalf("expected %s, got normal return", wantClass)
+	}
+	if got := th.FailureString(); !strings.Contains(got, wantClass) {
+		t.Fatalf("failure = %q, want %s", got, wantClass)
+	}
+}
+
+func TestStackManipulationOps(t *testing.T) {
+	// swap: 1 2 -> 2 1 -> 2 - 1 = 1... ISub computes (second-from-top -
+	// top): push 1, push 2, swap -> stack [2,1]; isub -> 2-1 = 1.
+	expectValue(t, 1, func(a *bytecode.Assembler) {
+		a.Const(1).Const(2).Swap().ISub().IReturn()
+	})
+	// dup_x1: a b -> b a b. With a=5, b=3: 3 5 3; iadd -> 3, (5+3)=8;
+	// imul -> 24.
+	expectValue(t, 24, func(a *bytecode.Assembler) {
+		a.Const(5).Const(3).DupX1().IAdd().IMul().IReturn()
+	})
+}
+
+func TestArithmeticEdgeCases(t *testing.T) {
+	expectThrow(t, "ArithmeticException", func(a *bytecode.Assembler) {
+		a.Const(1).Const(0).IRem().IReturn()
+	})
+	// Shift counts are masked to 6 bits (64-bit ints).
+	expectValue(t, 2, func(a *bytecode.Assembler) {
+		a.Const(1).Const(65).IShl().IReturn()
+	})
+	// Unsigned shift of a negative value.
+	expectValue(t, int64(uint64(math.MaxUint64)>>1), func(a *bytecode.Assembler) {
+		a.Const(-1).Const(1).IUshr().IReturn()
+	})
+	// Negation and float conversion round-trip.
+	expectValue(t, -7, func(a *bytecode.Assembler) {
+		a.Const(7).INeg().I2F().F2I().IReturn()
+	})
+}
+
+func TestFloatComparison(t *testing.T) {
+	expectValue(t, -1, func(a *bytecode.Assembler) {
+		a.FConst(1.5).FConst(2.5).FCmp().IReturn()
+	})
+	expectValue(t, 0, func(a *bytecode.Assembler) {
+		a.FConst(2.5).FConst(2.5).FCmp().IReturn()
+	})
+	expectValue(t, 1, func(a *bytecode.Assembler) {
+		a.FConst(3.5).FConst(2.5).FCmp().IReturn()
+	})
+}
+
+func TestArrayEdgeCases(t *testing.T) {
+	expectThrow(t, "NegativeArraySizeException", func(a *bytecode.Assembler) {
+		a.Const(-1).NewArray("").Pop().Const(0).IReturn()
+	})
+	expectThrow(t, "ArrayIndexOutOfBoundsException", func(a *bytecode.Assembler) {
+		a.Const(2).NewArray("").Const(5).ArrayLoad().Pop().Const(0).IReturn()
+	})
+	expectThrow(t, "ArrayIndexOutOfBoundsException", func(a *bytecode.Assembler) {
+		a.Const(2).NewArray("").Const(-1).Const(0).ArrayStore().Const(0).IReturn()
+	})
+	expectThrow(t, "NullPointerException", func(a *bytecode.Assembler) {
+		a.Null().ArrayLength().IReturn()
+	})
+	// arraylength on a non-array object.
+	expectThrow(t, "ClassCastException", func(a *bytecode.Assembler) {
+		a.New(classfile.ObjectClassName).Dup().
+			InvokeSpecial(classfile.ObjectClassName, classfile.InitName, "()V")
+		a.ArrayLength().IReturn()
+	})
+}
+
+func TestCastsAndInstanceOf(t *testing.T) {
+	// instanceof on null is 0; checkcast on null passes.
+	expectValue(t, 0, func(a *bytecode.Assembler) {
+		a.Null().InstanceOf(classfile.ObjectClassName).IReturn()
+	})
+	expectValue(t, 7, func(a *bytecode.Assembler) {
+		a.Null().CheckCast("java/lang/String").Pop().Const(7).IReturn()
+	})
+	// A String is an Object but not an Integer.
+	expectValue(t, 1, func(a *bytecode.Assembler) {
+		a.Str("x").InstanceOf(classfile.ObjectClassName).IReturn()
+	})
+	expectThrow(t, "ClassCastException", func(a *bytecode.Assembler) {
+		a.Str("x").CheckCast("java/lang/Integer").Pop().Const(0).IReturn()
+	})
+}
+
+func TestMonitorIllegalStates(t *testing.T) {
+	expectThrow(t, "IllegalMonitorStateException", func(a *bytecode.Assembler) {
+		a.New(classfile.ObjectClassName).Dup().
+			InvokeSpecial(classfile.ObjectClassName, classfile.InitName, "()V")
+		a.MonitorExit().Const(0).IReturn()
+	})
+	expectThrow(t, "NullPointerException", func(a *bytecode.Assembler) {
+		a.Null().MonitorEnter().Const(0).IReturn()
+	})
+	// Recursive acquisition works.
+	expectValue(t, 1, func(a *bytecode.Assembler) {
+		a.New(classfile.ObjectClassName).Dup().
+			InvokeSpecial(classfile.ObjectClassName, classfile.InitName, "()V").AStore(0)
+		a.ALoad(0).MonitorEnter()
+		a.ALoad(0).MonitorEnter()
+		a.ALoad(0).MonitorExit()
+		a.ALoad(0).MonitorExit()
+		a.Const(1).IReturn()
+	})
+}
+
+func TestAThrowNull(t *testing.T) {
+	expectThrow(t, "NullPointerException", func(a *bytecode.Assembler) {
+		a.Null().AThrow()
+	})
+}
+
+func TestNullFieldAccess(t *testing.T) {
+	vm, iso := newVM(t, core.ModeIsolated)
+	define(t, iso, classfile.NewClass("edge/Holder").
+		Field("x", classfile.KindInt).MustBuild())
+	c := define(t, iso, classfile.NewClass("edge/NullField").
+		Method("run", "()I", classfile.FlagStatic, func(a *bytecode.Assembler) {
+			a.Null().GetField("edge/Holder", "x").IReturn()
+		}).MustBuild())
+	m := findMethod(t, c, "run")
+	_, th, err := vm.CallRoot(iso, m, nil, 100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if th.Failure() == nil || !strings.Contains(th.FailureString(), "NullPointerException") {
+		t.Fatalf("failure = %v", th.FailureString())
+	}
+}
+
+func TestFinallyStyleHandlerNesting(t *testing.T) {
+	// Inner handler catches Arithmetic, rethrows as RuntimeException;
+	// outer catch-all converts to a code.
+	expectValue(t, 99, func(a *bytecode.Assembler) {
+		a.Label("outer")
+		a.Label("inner")
+		a.Const(1).Const(0).IDiv().IReturn()
+		a.Label("endinner")
+		a.Label("innerh")
+		a.Pop()
+		a.New("java/lang/RuntimeException").Dup().Str("wrapped").
+			InvokeSpecial("java/lang/RuntimeException", classfile.InitName, "(Ljava/lang/String;)V")
+		a.AThrow()
+		a.Label("endouter")
+		a.Label("outerh")
+		a.Pop().Const(99).IReturn()
+		a.Handler("inner", "endinner", "innerh", "java/lang/ArithmeticException")
+		a.Handler("outer", "endouter", "outerh", "java/lang/RuntimeException")
+	})
+}

@@ -1,0 +1,174 @@
+package interp_test
+
+import (
+	"testing"
+
+	"ijvm/internal/bytecode"
+	"ijvm/internal/classfile"
+	"ijvm/internal/core"
+	"ijvm/internal/heap"
+)
+
+// finalizableClass declares finalize()V that bumps a static counter and
+// optionally resurrects the receiver into a static.
+func finalizableClass(name string, resurrect bool) *classfile.Class {
+	b := classfile.NewClass(name).
+		StaticField("finalized", classfile.KindInt).
+		StaticField("keeper", classfile.KindRef).
+		Method(classfile.InitName, "()V", classfile.FlagPublic, func(a *bytecode.Assembler) {
+			a.ALoad(0).InvokeSpecial(classfile.ObjectClassName, classfile.InitName, "()V").Return()
+		}).
+		Method("finalize", "()V", classfile.FlagPublic, func(a *bytecode.Assembler) {
+			a.GetStatic(name, "finalized").Const(1).IAdd().PutStatic(name, "finalized")
+			if resurrect {
+				a.ALoad(0).PutStatic(name, "keeper")
+			}
+			a.Return()
+		})
+	return b.MustBuild()
+}
+
+func staticInt(t *testing.T, vm vmLike, c *classfile.Class, iso *core.Isolate, name string) int64 {
+	t.Helper()
+	f, err := c.LookupStaticField(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return vm.World().Mirror(c, iso).Statics[f.Slot].I
+}
+
+// vmLike is the slice of interp.VM these helpers need.
+type vmLike interface {
+	World() *core.World
+}
+
+func TestFinalizerRunsOnceAndObjectIsReclaimed(t *testing.T) {
+	vm, iso := newVM(t, core.ModeIsolated)
+	c := define(t, iso, finalizableClass("fin/Once", false))
+
+	// Allocate an instance and drop it.
+	driver := define(t, iso, classfile.NewClass("fin/Driver").
+		Method("make", "()V", classfile.FlagStatic, func(a *bytecode.Assembler) {
+			a.New("fin/Once").Dup().InvokeSpecial("fin/Once", classfile.InitName, "()V").Pop()
+			a.Return()
+		}).MustBuild())
+	m := findMethod(t, driver, "make")
+	if _, th, err := vm.CallRoot(iso, m, nil, 100_000); err != nil || th.Failure() != nil {
+		t.Fatalf("%v", err)
+	}
+
+	// First GC: the object is unreachable but finalizable -> kept,
+	// finalizer scheduled.
+	res1 := vm.CollectGarbage(nil)
+	if len(res1.PendingFinalize) != 1 {
+		t.Fatalf("pending finalizers = %d, want 1", len(res1.PendingFinalize))
+	}
+	obj := res1.PendingFinalize[0]
+	if obj.Dead() {
+		t.Fatal("finalizable object swept before its finalizer ran")
+	}
+	vm.Run(100_000) // run the finalizer thread
+	if got := staticInt(t, vm, c, iso, "finalized"); got != 1 {
+		t.Fatalf("finalize ran %d times, want 1", got)
+	}
+
+	// Second GC: now it is reclaimed, and the finalizer does not rerun.
+	res2 := vm.CollectGarbage(nil)
+	if len(res2.PendingFinalize) != 0 {
+		t.Fatalf("finalizer rescheduled: %d", len(res2.PendingFinalize))
+	}
+	if !obj.Dead() {
+		t.Fatal("object not reclaimed after finalization")
+	}
+	vm.Run(100_000)
+	if got := staticInt(t, vm, c, iso, "finalized"); got != 1 {
+		t.Fatalf("finalize reran: %d", got)
+	}
+}
+
+func TestFinalizerResurrection(t *testing.T) {
+	vm, iso := newVM(t, core.ModeIsolated)
+	c := define(t, iso, finalizableClass("fin/Zombie", true))
+	driver := define(t, iso, classfile.NewClass("fin/Driver2").
+		Method("make", "()V", classfile.FlagStatic, func(a *bytecode.Assembler) {
+			a.New("fin/Zombie").Dup().InvokeSpecial("fin/Zombie", classfile.InitName, "()V").Pop()
+			a.Return()
+		}).MustBuild())
+	m := findMethod(t, driver, "make")
+	if _, th, err := vm.CallRoot(iso, m, nil, 100_000); err != nil || th.Failure() != nil {
+		t.Fatalf("%v", err)
+	}
+
+	res := vm.CollectGarbage(nil)
+	if len(res.PendingFinalize) != 1 {
+		t.Fatalf("pending = %d", len(res.PendingFinalize))
+	}
+	obj := res.PendingFinalize[0]
+	vm.Run(100_000) // finalize() stores `this` into the keeper static
+
+	// The object is now reachable again: it survives collections, but
+	// its finalizer never runs a second time (JVM semantics).
+	vm.CollectGarbage(nil)
+	if obj.Dead() {
+		t.Fatal("resurrected object was swept")
+	}
+	if got := staticInt(t, vm, c, iso, "finalized"); got != 1 {
+		t.Fatalf("finalize count = %d", got)
+	}
+	// Dropping the keeper reference lets the next GC reclaim it for
+	// good, silently.
+	vm.World().Mirror(c, iso).Statics[func() int {
+		f, _ := c.LookupStaticField("keeper")
+		return f.Slot
+	}()] = heap.Null()
+	res = vm.CollectGarbage(nil)
+	if len(res.PendingFinalize) != 0 {
+		t.Fatal("finalizer scheduled twice")
+	}
+	if !obj.Dead() {
+		t.Fatal("zombie survived without references")
+	}
+}
+
+func TestKilledIsolateObjectsAreNotFinalized(t *testing.T) {
+	vm, _ := newVM(t, core.ModeIsolated) // isolate0 = "main"
+	bundle, err := vm.NewIsolate("bundle")
+	if err != nil {
+		t.Fatal(err)
+	}
+	define(t, bundle, finalizableClass("fin/Killed", false))
+	c, err := bundle.Loader().Lookup("fin/Killed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	driver := classfile.NewClass("fin/Driver3").
+		Method("make", "()V", classfile.FlagStatic, func(a *bytecode.Assembler) {
+			a.New("fin/Killed").Dup().InvokeSpecial("fin/Killed", classfile.InitName, "()V").Pop()
+			a.Return()
+		}).MustBuild()
+	if err := bundle.Loader().Define(driver); err != nil {
+		t.Fatal(err)
+	}
+	m, _ := driver.LookupMethod("make", "()V")
+	if _, th, err := vm.CallRoot(bundle, m, nil, 100_000); err != nil || th.Failure() != nil {
+		t.Fatalf("%v", err)
+	}
+	if err := vm.KillIsolate(nil, bundle); err != nil {
+		t.Fatal(err)
+	}
+	res := vm.CollectGarbage(nil)
+	// The object is still *queued* by the heap (it cannot know about
+	// isolates), but the VM refuses to run killed code: no finalizer
+	// thread is spawned and the account stays zero.
+	vm.Run(100_000)
+	if bundle.Account().FinalizersRun != 0 {
+		t.Fatal("killed isolate's finalizer ran")
+	}
+	_ = res
+	// The next collection reclaims it without ever executing its code.
+	vm.CollectGarbage(nil)
+	mirror := vm.World().MirrorIfPresent(c, bundle)
+	if mirror != nil && mirror.Statics[0].I != 0 {
+		t.Fatal("finalize body executed for a killed isolate")
+	}
+}

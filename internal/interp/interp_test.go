@@ -1,0 +1,288 @@
+package interp_test
+
+import (
+	"strings"
+	"testing"
+
+	"ijvm/internal/bytecode"
+	"ijvm/internal/classfile"
+	"ijvm/internal/core"
+	"ijvm/internal/heap"
+	"ijvm/internal/interp"
+	"ijvm/internal/syslib"
+)
+
+// newVM builds a VM with syslib installed and one isolate.
+func newVM(t *testing.T, mode core.Mode) (*interp.VM, *core.Isolate) {
+	t.Helper()
+	vm := interp.NewVM(interp.Options{Mode: mode})
+	if err := syslib.Install(vm); err != nil {
+		t.Fatalf("install syslib: %v", err)
+	}
+	iso, err := vm.NewIsolate("main")
+	if err != nil {
+		t.Fatalf("new isolate: %v", err)
+	}
+	return vm, iso
+}
+
+func define(t *testing.T, iso *core.Isolate, c *classfile.Class) *classfile.Class {
+	t.Helper()
+	if err := iso.Loader().Define(c); err != nil {
+		t.Fatalf("define %s: %v", c.Name, err)
+	}
+	return c
+}
+
+func callStatic(t *testing.T, vm *interp.VM, iso *core.Isolate, c *classfile.Class, name string, args ...heap.Value) heap.Value {
+	t.Helper()
+	m := findMethod(t, c, name)
+	v, th, err := vm.CallRoot(iso, m, args, 50_000_000)
+	if err != nil {
+		t.Fatalf("call %s: %v", name, err)
+	}
+	if th.Failure() != nil {
+		t.Fatalf("call %s: uncaught %s", name, th.FailureString())
+	}
+	return v
+}
+
+func findMethod(t *testing.T, c *classfile.Class, name string) *classfile.Method {
+	t.Helper()
+	for _, m := range c.Methods {
+		if m.Name == name {
+			return m
+		}
+	}
+	t.Fatalf("method %s not found in %s", name, c.Name)
+	return nil
+}
+
+func TestArithmeticLoop(t *testing.T) {
+	vm, iso := newVM(t, core.ModeIsolated)
+	c := define(t, iso, classfile.NewClass("demo/Sum").
+		Method("sum", "(I)I", classfile.FlagStatic, func(a *bytecode.Assembler) {
+			// int s = 0; for (i = 1; i <= n; i++) s += i; return s;
+			a.Const(0).IStore(1)
+			a.Const(1).IStore(2)
+			a.Label("loop")
+			a.ILoad(2).ILoad(0).IfICmpGt("done")
+			a.ILoad(1).ILoad(2).IAdd().IStore(1)
+			a.IInc(2, 1)
+			a.Goto("loop")
+			a.Label("done")
+			a.ILoad(1).IReturn()
+		}).MustBuild())
+	v := callStatic(t, vm, iso, c, "sum", heap.IntVal(100))
+	if v.I != 5050 {
+		t.Fatalf("sum(100) = %d, want 5050", v.I)
+	}
+}
+
+func TestObjectFieldsAndVirtualDispatch(t *testing.T) {
+	vm, iso := newVM(t, core.ModeIsolated)
+	base := define(t, iso, classfile.NewClass("demo/Base").
+		Method(classfile.InitName, "()V", classfile.FlagPublic, func(a *bytecode.Assembler) {
+			a.ALoad(0).InvokeSpecial(classfile.ObjectClassName, classfile.InitName, "()V").Return()
+		}).
+		Method("value", "()I", classfile.FlagPublic, func(a *bytecode.Assembler) {
+			a.Const(1).IReturn()
+		}).MustBuild())
+	_ = base
+	define(t, iso, classfile.NewClass("demo/Derived").Super("demo/Base").
+		Field("x", classfile.KindInt).
+		Method(classfile.InitName, "(I)V", classfile.FlagPublic, func(a *bytecode.Assembler) {
+			a.ALoad(0).InvokeSpecial("demo/Base", classfile.InitName, "()V")
+			a.ALoad(0).ILoad(1).PutField("demo/Derived", "x")
+			a.Return()
+		}).
+		Method("value", "()I", classfile.FlagPublic, func(a *bytecode.Assembler) {
+			a.ALoad(0).GetField("demo/Derived", "x").IReturn()
+		}).MustBuild())
+	main := define(t, iso, classfile.NewClass("demo/Main").
+		Method("run", "()I", classfile.FlagStatic, func(a *bytecode.Assembler) {
+			// Base b = new Derived(41); return b.value() + 1;
+			a.New("demo/Derived").Dup().Const(41).
+				InvokeSpecial("demo/Derived", classfile.InitName, "(I)V").
+				AStore(0)
+			a.ALoad(0).InvokeVirtual("demo/Base", "value", "()I")
+			a.Const(1).IAdd().IReturn()
+		}).MustBuild())
+	v := callStatic(t, vm, iso, main, "run")
+	if v.I != 42 {
+		t.Fatalf("run() = %d, want 42", v.I)
+	}
+}
+
+func TestStaticInitializerRunsOncePerIsolate(t *testing.T) {
+	vm, iso := newVM(t, core.ModeIsolated)
+	c := define(t, iso, classfile.NewClass("demo/Counted").
+		StaticField("n", classfile.KindInt).
+		Method(classfile.ClinitName, "()V", classfile.FlagStatic, func(a *bytecode.Assembler) {
+			a.GetStatic("demo/Counted", "n").Const(1).IAdd().PutStatic("demo/Counted", "n")
+			a.Return()
+		}).
+		Method("get", "()I", classfile.FlagStatic, func(a *bytecode.Assembler) {
+			a.GetStatic("demo/Counted", "n").IReturn()
+		}).MustBuild())
+	for i := 0; i < 3; i++ {
+		if v := callStatic(t, vm, iso, c, "get"); v.I != 1 {
+			t.Fatalf("iteration %d: n = %d, want 1 (clinit must run once)", i, v.I)
+		}
+	}
+}
+
+func TestExceptionHandling(t *testing.T) {
+	vm, iso := newVM(t, core.ModeIsolated)
+	c := define(t, iso, classfile.NewClass("demo/Div").
+		Method("safeDiv", "(II)I", classfile.FlagStatic, func(a *bytecode.Assembler) {
+			a.Label("try")
+			a.ILoad(0).ILoad(1).IDiv().IReturn()
+			a.Label("endtry")
+			a.Label("catch")
+			a.Pop().Const(-1).IReturn()
+			a.Handler("try", "endtry", "catch", interp.ClassArithmeticException)
+		}).MustBuild())
+	if v := callStatic(t, vm, iso, c, "safeDiv", heap.IntVal(10), heap.IntVal(2)); v.I != 5 {
+		t.Fatalf("safeDiv(10,2) = %d, want 5", v.I)
+	}
+	if v := callStatic(t, vm, iso, c, "safeDiv", heap.IntVal(10), heap.IntVal(0)); v.I != -1 {
+		t.Fatalf("safeDiv(10,0) = %d, want -1 (caught)", v.I)
+	}
+}
+
+func TestUncaughtExceptionTerminatesThread(t *testing.T) {
+	vm, iso := newVM(t, core.ModeIsolated)
+	c := define(t, iso, classfile.NewClass("demo/Boom").
+		Method("boom", "()V", classfile.FlagStatic, func(a *bytecode.Assembler) {
+			a.Null().InvokeVirtual(classfile.ObjectClassName, "hashCode", "()I").Pop().Return()
+		}).MustBuild())
+	m := findMethod(t, c, "boom")
+	_, th, err := vm.CallRoot(iso, m, nil, 1_000_000)
+	if err != nil {
+		t.Fatalf("host error: %v", err)
+	}
+	if th.Failure() == nil {
+		t.Fatal("expected uncaught NullPointerException")
+	}
+	if got := th.FailureString(); !strings.Contains(got, "NullPointerException") {
+		t.Fatalf("failure = %q, want NullPointerException", got)
+	}
+}
+
+func TestStringsAndOutput(t *testing.T) {
+	vm, iso := newVM(t, core.ModeIsolated)
+	c := define(t, iso, classfile.NewClass("demo/Hello").
+		Method("hello", "()V", classfile.FlagStatic, func(a *bytecode.Assembler) {
+			a.Str("hello").Str(" world").
+				InvokeVirtual("java/lang/String", "concat", "(Ljava/lang/String;)Ljava/lang/String;").
+				InvokeStatic("java/lang/System", "println", "(Ljava/lang/String;)V").
+				Return()
+		}).MustBuild())
+	callStatic(t, vm, iso, c, "hello")
+	if got := vm.Output(); got != "hello world\n" {
+		t.Fatalf("output = %q, want %q", got, "hello world\n")
+	}
+}
+
+func TestThreadsAndJoin(t *testing.T) {
+	vm, iso := newVM(t, core.ModeIsolated)
+	define(t, iso, classfile.NewClass("demo/Worker").
+		StaticField("total", classfile.KindInt).
+		Method(classfile.InitName, "()V", classfile.FlagPublic, func(a *bytecode.Assembler) {
+			a.ALoad(0).InvokeSpecial(classfile.ObjectClassName, classfile.InitName, "()V").Return()
+		}).
+		Method("run", "()V", classfile.FlagPublic, func(a *bytecode.Assembler) {
+			a.GetStatic("demo/Worker", "total").Const(1).IAdd().PutStatic("demo/Worker", "total")
+			a.Return()
+		}).MustBuild())
+	main := define(t, iso, classfile.NewClass("demo/ThreadMain").
+		Method("spawn", "()I", classfile.FlagStatic, func(a *bytecode.Assembler) {
+			// Thread t = new Thread(new Worker()); t.start(); t.join();
+			a.New("java/lang/Thread").Dup()
+			a.New("demo/Worker").Dup().InvokeSpecial("demo/Worker", classfile.InitName, "()V")
+			a.InvokeSpecial("java/lang/Thread", classfile.InitName, "(Ljava/lang/Object;)V")
+			a.AStore(0)
+			a.ALoad(0).InvokeVirtual("java/lang/Thread", "start", "()V")
+			a.ALoad(0).InvokeVirtual("java/lang/Thread", "join", "()V")
+			a.GetStatic("demo/Worker", "total").IReturn()
+		}).MustBuild())
+	if v := callStatic(t, vm, iso, main, "spawn"); v.I != 1 {
+		t.Fatalf("total = %d, want 1", v.I)
+	}
+	snap := vm.SnapshotOf(iso)
+	if snap.ThreadsCreated < 2 { // main thread + worker
+		t.Fatalf("ThreadsCreated = %d, want >= 2", snap.ThreadsCreated)
+	}
+}
+
+func TestMonitorMutualExclusion(t *testing.T) {
+	vm, iso := newVM(t, core.ModeIsolated)
+	// Two threads increment a shared counter 1000 times each inside a
+	// monitor; final count must be 2000 (and without races by
+	// construction, this exercises enter/exit paths and blocking).
+	define(t, iso, classfile.NewClass("demo/Locker").
+		StaticField("count", classfile.KindInt).
+		StaticField("lock", classfile.KindRef).
+		Method(classfile.InitName, "()V", classfile.FlagPublic, func(a *bytecode.Assembler) {
+			a.ALoad(0).InvokeSpecial(classfile.ObjectClassName, classfile.InitName, "()V").Return()
+		}).
+		Method("run", "()V", classfile.FlagPublic, func(a *bytecode.Assembler) {
+			a.Const(0).IStore(1)
+			a.Label("loop")
+			a.ILoad(1).Const(1000).IfICmpGe("done")
+			a.GetStatic("demo/Locker", "lock").MonitorEnter()
+			a.GetStatic("demo/Locker", "count").Const(1).IAdd().PutStatic("demo/Locker", "count")
+			a.GetStatic("demo/Locker", "lock").MonitorExit()
+			a.IInc(1, 1)
+			a.Goto("loop")
+			a.Label("done")
+			a.Return()
+		}).MustBuild())
+	main := define(t, iso, classfile.NewClass("demo/LockMain").
+		Method("main", "()I", classfile.FlagStatic, func(a *bytecode.Assembler) {
+			// lock = new Object();
+			a.New(classfile.ObjectClassName).Dup().
+				InvokeSpecial(classfile.ObjectClassName, classfile.InitName, "()V").
+				PutStatic("demo/Locker", "lock")
+			// t1 = new Thread(new Locker()); t1.start(); same for t2.
+			a.New("java/lang/Thread").Dup()
+			a.New("demo/Locker").Dup().InvokeSpecial("demo/Locker", classfile.InitName, "()V")
+			a.InvokeSpecial("java/lang/Thread", classfile.InitName, "(Ljava/lang/Object;)V").AStore(0)
+			a.New("java/lang/Thread").Dup()
+			a.New("demo/Locker").Dup().InvokeSpecial("demo/Locker", classfile.InitName, "()V")
+			a.InvokeSpecial("java/lang/Thread", classfile.InitName, "(Ljava/lang/Object;)V").AStore(1)
+			a.ALoad(0).InvokeVirtual("java/lang/Thread", "start", "()V")
+			a.ALoad(1).InvokeVirtual("java/lang/Thread", "start", "()V")
+			a.ALoad(0).InvokeVirtual("java/lang/Thread", "join", "()V")
+			a.ALoad(1).InvokeVirtual("java/lang/Thread", "join", "()V")
+			a.GetStatic("demo/Locker", "count").IReturn()
+		}).MustBuild())
+	if v := callStatic(t, vm, iso, main, "main"); v.I != 2000 {
+		t.Fatalf("count = %d, want 2000", v.I)
+	}
+}
+
+func TestGCCollectsGarbage(t *testing.T) {
+	vm, iso := newVM(t, core.ModeIsolated)
+	c := define(t, iso, classfile.NewClass("demo/Alloc").
+		Method("churn", "(I)V", classfile.FlagStatic, func(a *bytecode.Assembler) {
+			a.Label("loop")
+			a.ILoad(0).IfLe("done")
+			a.New(classfile.ObjectClassName).Pop()
+			a.IInc(0, -1)
+			a.Goto("loop")
+			a.Label("done")
+			a.Return()
+		}).MustBuild())
+	callStatic(t, vm, iso, c, "churn", heap.IntVal(1000))
+	before := vm.Heap().Used()
+	vm.CollectGarbage(iso)
+	after := vm.Heap().Used()
+	if after >= before {
+		t.Fatalf("GC freed nothing: before=%d after=%d", before, after)
+	}
+	if vm.SnapshotOf(iso).GCActivations != 1 {
+		t.Fatalf("GCActivations = %d, want 1", vm.SnapshotOf(iso).GCActivations)
+	}
+}

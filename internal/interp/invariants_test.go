@@ -1,0 +1,207 @@
+package interp_test
+
+import (
+	"testing"
+
+	"ijvm/internal/bytecode"
+	"ijvm/internal/classfile"
+	"ijvm/internal/core"
+	"ijvm/internal/heap"
+	"ijvm/internal/interp"
+	"ijvm/internal/syslib"
+)
+
+// TestInstructionAccountingSumsToTotal: in isolated mode, the per-isolate
+// instruction counters must partition the global counter exactly — every
+// instruction is charged to exactly one isolate.
+func TestInstructionAccountingSumsToTotal(t *testing.T) {
+	vm := interp.NewVM(interp.Options{Mode: core.ModeIsolated, Quantum: 137})
+	syslib.MustInstall(vm)
+	var isolates []*core.Isolate
+	for _, name := range []string{"runtime", "a", "b", "c"} {
+		iso, err := vm.NewIsolate(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		isolates = append(isolates, iso)
+	}
+	// Three bundles spin different amounts concurrently.
+	for i, iso := range isolates[1:] {
+		cn := "inv/W" + string(rune('0'+i))
+		c := classfile.NewClass(cn).
+			Method("work", "(I)I", classfile.FlagStatic, func(a *bytecode.Assembler) {
+				a.Const(0).IStore(1)
+				a.Label("loop")
+				a.ILoad(1).ILoad(0).IfICmpGe("done")
+				a.IInc(1, 1).Goto("loop")
+				a.Label("done")
+				a.ILoad(1).IReturn()
+			}).MustBuild()
+		if err := iso.Loader().Define(c); err != nil {
+			t.Fatal(err)
+		}
+		m, _ := c.LookupMethod("work", "(I)I")
+		if _, err := vm.SpawnThread("w", iso, m, []heap.Value{heap.IntVal(int64(1000 * (i + 1)))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res := vm.Run(0)
+	if !res.AllDone {
+		t.Fatalf("run = %+v", res)
+	}
+	var sum int64
+	for _, iso := range isolates {
+		sum += iso.Account().Instructions
+	}
+	if sum != vm.TotalInstructions() {
+		t.Fatalf("per-isolate sum %d != total %d", sum, vm.TotalInstructions())
+	}
+	if res.Instructions != vm.TotalInstructions() {
+		t.Fatalf("run result %d != total %d", res.Instructions, vm.TotalInstructions())
+	}
+}
+
+// TestInterBundleCallSymmetry: calls-out summed over callers equals
+// calls-in summed over callees.
+func TestInterBundleCallSymmetry(t *testing.T) {
+	vm := interp.NewVM(interp.Options{Mode: core.ModeIsolated})
+	syslib.MustInstall(vm)
+	if _, err := vm.NewIsolate("runtime"); err != nil {
+		t.Fatal(err)
+	}
+	svcIso, err := vm.NewIsolate("svc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := classfile.NewClass("sym/Svc").
+		Method("f", "(I)I", classfile.FlagStatic|classfile.FlagPublic, func(a *bytecode.Assembler) {
+			a.ILoad(0).Const(1).IAdd().IReturn()
+		}).MustBuild()
+	if err := svcIso.Loader().Define(svc); err != nil {
+		t.Fatal(err)
+	}
+	var drivers []*core.Isolate
+	for i := 0; i < 3; i++ {
+		iso, err := vm.NewIsolate("drv" + string(rune('0'+i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		iso.Loader().AddDelegate(svcIso.Loader())
+		cn := "sym/D" + string(rune('0'+i))
+		c := classfile.NewClass(cn).
+			Method("loop", "(I)I", classfile.FlagStatic, func(a *bytecode.Assembler) {
+				a.Const(0).IStore(1).Const(0).IStore(2)
+				a.Label("loop")
+				a.ILoad(1).ILoad(0).IfICmpGe("done")
+				a.ILoad(1).InvokeStatic("sym/Svc", "f", "(I)I").IStore(2)
+				a.IInc(1, 1).Goto("loop")
+				a.Label("done")
+				a.ILoad(2).IReturn()
+			}).MustBuild()
+		if err := iso.Loader().Define(c); err != nil {
+			t.Fatal(err)
+		}
+		m, _ := c.LookupMethod("loop", "(I)I")
+		if _, err := vm.SpawnThread("drv", iso, m, []heap.Value{heap.IntVal(int64(100 * (i + 1)))}); err != nil {
+			t.Fatal(err)
+		}
+		drivers = append(drivers, iso)
+	}
+	if res := vm.Run(0); !res.AllDone {
+		t.Fatalf("run = %+v", res)
+	}
+	var out int64
+	for _, iso := range drivers {
+		out += iso.Account().InterBundleCallsOut
+	}
+	in := svcIso.Account().InterBundleCallsIn
+	if out != in || out != 100+200+300 {
+		t.Fatalf("calls out %d, in %d, want 600 each", out, in)
+	}
+}
+
+// TestThreadPruningKeepsSchedulerCorrect: spawning many short-lived
+// threads across repeated runs must not corrupt scheduling or accounting.
+func TestThreadPruningKeepsSchedulerCorrect(t *testing.T) {
+	vm := interp.NewVM(interp.Options{Mode: core.ModeIsolated})
+	syslib.MustInstall(vm)
+	iso, err := vm.NewIsolate("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := classfile.NewClass("pr/W").
+		Method("one", "()I", classfile.FlagStatic, func(a *bytecode.Assembler) {
+			a.Const(1).IReturn()
+		}).MustBuild()
+	if err := iso.Loader().Define(c); err != nil {
+		t.Fatal(err)
+	}
+	m, _ := c.LookupMethod("one", "()I")
+	for i := 0; i < 500; i++ {
+		v, th, err := vm.CallRoot(iso, m, nil, 10_000)
+		if err != nil || th.Failure() != nil || v.I != 1 {
+			t.Fatalf("iteration %d: %v %v", i, err, v)
+		}
+	}
+	if got := len(vm.Threads()); got > 300 {
+		t.Fatalf("done threads not pruned: %d retained", got)
+	}
+	if vm.LiveThreads() != 0 {
+		t.Fatalf("live threads = %d", vm.LiveThreads())
+	}
+}
+
+// TestGCDuringDeepExecutionKeepsFrameRoots: a tiny heap forces
+// collections while a deep recursive computation holds live references in
+// many frames; nothing live may be swept.
+func TestGCDuringDeepExecutionKeepsFrameRoots(t *testing.T) {
+	vm := interp.NewVM(interp.Options{Mode: core.ModeIsolated, HeapLimit: 64 << 10, MaxFrameDepth: 4096})
+	syslib.MustInstall(vm)
+	iso, err := vm.NewIsolate("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const cn = "gc/Deep"
+	// deep(n): allocates a 2-slot array holding the recursive result,
+	// plus garbage, and checks the chain on the way back up.
+	c := classfile.NewClass(cn).
+		Method("deep", "(I)Ljava/lang/Object;", classfile.FlagStatic, func(a *bytecode.Assembler) {
+			a.ILoad(0).IfGt("recurse")
+			a.Const(2).NewArray("").AReturn()
+			a.Label("recurse")
+			// garbage pressure
+			a.Const(64).NewArray("").Pop()
+			a.Const(2).NewArray("").AStore(1)
+			a.ALoad(1).Const(0).ILoad(0).Const(1).ISub().InvokeStatic(cn, "deep", "(I)Ljava/lang/Object;").ArrayStore()
+			a.ALoad(1).AReturn()
+		}).
+		Method("run", "(I)I", classfile.FlagStatic, func(a *bytecode.Assembler) {
+			// Walk the returned chain and count its length.
+			a.ILoad(0).InvokeStatic(cn, "deep", "(I)Ljava/lang/Object;").AStore(1)
+			a.Const(0).IStore(2)
+			a.Label("walk")
+			a.ALoad(1).Const(0).ArrayLoad().IfNull("done")
+			a.ALoad(1).Const(0).ArrayLoad().AStore(1)
+			a.IInc(2, 1).Goto("walk")
+			a.Label("done")
+			a.ILoad(2).IReturn()
+		}).MustBuild()
+	if err := iso.Loader().Define(c); err != nil {
+		t.Fatal(err)
+	}
+	m, _ := c.LookupMethod("run", "(I)I")
+	const depth = 200
+	v, th, err := vm.CallRoot(iso, m, []heap.Value{heap.IntVal(depth)}, 10_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if th.Failure() != nil {
+		t.Fatalf("uncaught: %s", th.FailureString())
+	}
+	if v.I != depth {
+		t.Fatalf("chain length = %d, want %d (GC dropped live frame roots?)", v.I, depth)
+	}
+	if vm.Heap().GCCount() == 0 {
+		t.Fatal("test expected allocation pressure to force collections")
+	}
+}

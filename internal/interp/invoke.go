@@ -1,0 +1,260 @@
+package interp
+
+import (
+	"errors"
+	"fmt"
+
+	"ijvm/internal/classfile"
+	"ijvm/internal/core"
+	"ijvm/internal/heap"
+)
+
+// ErrTooManyThreads is returned by SpawnThread when the thread limit is
+// reached; the Thread.start native converts it into
+// java/lang/OutOfMemoryError, as real JVMs do (attack A5).
+var ErrTooManyThreads = errors.New("interp: thread limit reached")
+
+// resolveClassFrom resolves a class name through the loader of the
+// referencing class (bundle-scoped resolution with bootstrap delegation
+// and OSGi wiring).
+func (vm *VM) resolveClassFrom(from *classfile.Class, name string) (*classfile.Class, error) {
+	l := vm.registry.Loader(from.LoaderID)
+	if l == nil {
+		return nil, fmt.Errorf("class %s has no loader", from.Name)
+	}
+	return l.Lookup(name)
+}
+
+// resolveMethodEntry resolves a MethodRef pool entry relative to the
+// frame's class, caching the result.
+func (vm *VM) resolveMethodEntry(f *Frame, entry *classfile.PoolEntry) (*classfile.Method, error) {
+	if entry.ResolvedMethod != nil {
+		return entry.ResolvedMethod, nil
+	}
+	class, err := vm.resolveClassFrom(f.method.Class, entry.ClassName)
+	if err != nil {
+		return nil, err
+	}
+	m, err := class.LookupMethod(entry.Name, entry.Descriptor)
+	if err != nil {
+		return nil, err
+	}
+	entry.ResolvedClass = class
+	entry.ResolvedMethod = m
+	return m, nil
+}
+
+// SpawnThread creates a new green thread whose entry point is method m
+// with the given arguments, charged to creator. The first instruction runs
+// at the next scheduling opportunity.
+func (vm *VM) SpawnThread(name string, creator *core.Isolate, m *classfile.Method, args []heap.Value) (*Thread, error) {
+	if creator == nil {
+		return nil, errors.New("interp: SpawnThread requires a creator isolate")
+	}
+	if vm.liveThreads >= vm.opts.MaxThreads {
+		return nil, fmt.Errorf("%w (%d live)", ErrTooManyThreads, vm.liveThreads)
+	}
+	vm.nextThreadID++
+	t := &Thread{
+		id:             vm.nextThreadID,
+		name:           name,
+		vm:             vm,
+		state:          StateRunnable,
+		cur:            creator,
+		creator:        creator,
+		lastSwitchTick: vm.clock,
+	}
+	creator.Account().ThreadsCreated++
+	creator.Account().ThreadsLive++
+	vm.liveThreads++
+	vm.threads = append(vm.threads, t)
+	if err := vm.pushFrame(t, m, args, nil); err != nil {
+		vm.finishThread(t)
+		t.err = err
+		return nil, err
+	}
+	return t, nil
+}
+
+// Threads returns all threads ever created (including finished ones).
+func (vm *VM) Threads() []*Thread { return append([]*Thread(nil), vm.threads...) }
+
+// LiveThreads returns the number of unfinished threads.
+func (vm *VM) LiveThreads() int { return vm.liveThreads }
+
+// pushFrame activates method m on thread t with the given argument
+// values (receiver first for instance methods). isoOverride forces the
+// frame's isolate (used by <clinit>, which must execute in the accessing
+// isolate so static writes hit that isolate's mirror).
+//
+// This is the thread-migration point of §3.1: when the callee's class
+// belongs to a different isolate, the thread's isolate reference is
+// updated and the caller's recorded for restoration on return. System
+// library classes never migrate. A call into a killed isolate throws
+// StoppedIsolateException (the paper's method poisoning).
+func (vm *VM) pushFrame(t *Thread, m *classfile.Method, args []heap.Value, isoOverride *core.Isolate) error {
+	if len(t.frames) >= vm.opts.MaxFrameDepth {
+		return vm.Throw(t, ClassStackOverflowError, m.QualifiedName())
+	}
+	frameIso := t.cur
+	var callerIso *core.Isolate
+	if isoOverride != nil {
+		frameIso = isoOverride
+	} else if !m.Class.IsSystem() {
+		classIso := vm.world.IsolateForLoaderID(m.Class.LoaderID)
+		if classIso != nil {
+			if classIso.Killed() {
+				return vm.Throw(t, ClassStoppedIsolateException, "call into killed isolate "+classIso.Name())
+			}
+			if classIso != t.cur && vm.world.Isolated() {
+				// Inter-isolate call: migrate the thread.
+				callerIso = t.cur
+				if vm.opts.PerCallCPUAccounting {
+					vm.chargePerCallCPU(t, t.cur)
+				}
+				t.cur = classIso
+				frameIso = classIso
+				classIso.Account().InterBundleCallsIn++
+				if callerIso != nil {
+					callerIso.Account().InterBundleCallsOut++
+				}
+			} else {
+				frameIso = classIso
+			}
+		}
+	}
+	if frameIso == nil {
+		return fmt.Errorf("pushFrame %s: no isolate for frame", m.QualifiedName())
+	}
+	code := m.Code
+	if code == nil {
+		return fmt.Errorf("pushFrame %s: bytecode method without code", m.QualifiedName())
+	}
+	nLocals := code.MaxLocals
+	if n := len(args); n > nLocals {
+		nLocals = n
+	}
+	f := &Frame{
+		method:    m,
+		iso:       frameIso,
+		locals:    make([]heap.Value, nLocals),
+		stack:     make([]heap.Value, 0, code.MaxStack),
+		callerIso: callerIso,
+	}
+	copy(f.locals, args)
+	for i := len(args); i < nLocals; i++ {
+		f.locals[i] = heap.Null()
+	}
+	if m.IsSynchronized() {
+		mon, err := vm.syncMonitorFor(t, m, args)
+		if err != nil {
+			return err
+		}
+		f.needsMonitor = mon
+	}
+	t.frames = append(t.frames, f)
+	if vm.TraceMethodEntry != nil {
+		vm.TraceMethodEntry(m, frameIso)
+	}
+	return nil
+}
+
+// syncMonitorFor returns the monitor a synchronized method must hold: the
+// receiver for instance methods, the (per-isolate!) java.lang.Class object
+// for static methods. Per-isolate Class objects are exactly why attack A2
+// cannot block a foreign bundle under I-JVM.
+func (vm *VM) syncMonitorFor(t *Thread, m *classfile.Method, args []heap.Value) (*heap.Object, error) {
+	if m.IsStatic() {
+		return vm.ClassObjectFor(m.Class, t.cur)
+	}
+	if len(args) == 0 || args[0].R == nil {
+		return nil, fmt.Errorf("synchronized instance method %s without receiver", m.QualifiedName())
+	}
+	return args[0].R, nil
+}
+
+// returnFromFrame completes the top frame with a return value (Void for
+// void returns) and resumes the caller. Returning into a frame of a killed
+// isolate raises StoppedIsolateException instead of delivering the value
+// (the paper's patched return pointers, §3.3).
+func (vm *VM) returnFromFrame(t *Thread, v heap.Value) error {
+	f := t.top()
+	isClinit := f.clinitMirror != nil
+	vm.popFrame(t, f)
+	nf := t.top()
+	if nf == nil {
+		t.result = v
+		vm.finishThread(t)
+		return nil
+	}
+	if nf.iso != nil && nf.iso.Killed() {
+		return vm.Throw(t, ClassStoppedIsolateException, "return into killed isolate "+nf.iso.Name())
+	}
+	if isClinit {
+		// The triggering instruction re-executes; nothing is pushed.
+		return nil
+	}
+	if v.Kind != voidKind && f.method.Desc.Return != classfile.KindVoid {
+		nf.push(v)
+	}
+	return nil
+}
+
+// ensureInitialized guarantees the task class mirror chain of c (supers
+// first) is initialized for isolate iso, pushing a <clinit> frame when
+// needed. It returns true when execution of the triggering instruction may
+// proceed; false means the instruction must re-execute later (a <clinit>
+// frame was pushed, or another thread is initializing).
+func (vm *VM) ensureInitialized(t *Thread, c *classfile.Class, iso *core.Isolate) (bool, error) {
+	for {
+		var target *classfile.Class
+		for k := c; k != nil; k = k.Super {
+			m := vm.world.Mirror(k, iso)
+			switch m.State {
+			case core.InitNone:
+				target = k // deepest iteration wins: topmost uninitialized super
+			case core.InitRunning:
+				if m.InitThread != t.id {
+					// Another thread is initializing; retry later.
+					return false, nil
+				}
+			}
+		}
+		if target == nil {
+			return true, nil
+		}
+		mirror := vm.world.Mirror(target, iso)
+		if target.Clinit == nil {
+			mirror.State = core.InitDone
+			continue
+		}
+		mirror.State = core.InitRunning
+		mirror.InitThread = t.id
+		if err := vm.pushFrame(t, target.Clinit, nil, iso); err != nil {
+			mirror.State = core.InitDone
+			mirror.InitThread = 0
+			return false, err
+		}
+		clinitFrame := t.top()
+		clinitFrame.clinitMirror = mirror
+		return false, nil
+	}
+}
+
+// CallRoot spawns a thread for method m, runs the scheduler until that
+// thread finishes (or the budget is exhausted), and returns its result.
+// Convenience for hosts (examples, OSGi framework, benchmarks).
+func (vm *VM) CallRoot(iso *core.Isolate, m *classfile.Method, args []heap.Value, budget int64) (heap.Value, *Thread, error) {
+	t, err := vm.SpawnThread("call:"+m.Name, iso, m, args)
+	if err != nil {
+		return heap.Value{}, nil, err
+	}
+	res := vm.RunUntil(t, budget)
+	if t.err != nil {
+		return heap.Value{}, t, t.err
+	}
+	if !t.Done() {
+		return heap.Value{}, t, fmt.Errorf("thread %d did not finish: %v (budget %d, result %+v)", t.id, t.state, budget, res)
+	}
+	return t.result, t, nil
+}

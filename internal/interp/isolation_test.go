@@ -1,0 +1,434 @@
+package interp_test
+
+import (
+	"testing"
+
+	"ijvm/internal/bytecode"
+	"ijvm/internal/classfile"
+	"ijvm/internal/core"
+	"ijvm/internal/heap"
+	"ijvm/internal/interp"
+	"ijvm/internal/syslib"
+)
+
+// twoIsolateVM builds a VM with two wired isolates ("alpha" imports
+// "beta"'s classes).
+func twoIsolateVM(t *testing.T, mode core.Mode) (*interp.VM, *core.Isolate, *core.Isolate) {
+	t.Helper()
+	vm := interp.NewVM(interp.Options{Mode: mode})
+	syslib.MustInstall(vm)
+	if mode == core.ModeShared {
+		world, err := vm.NewIsolate("world")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return vm, world, world
+	}
+	// Isolate0 is a separate runtime isolate so alpha and beta are
+	// standard (killable) isolates.
+	if _, err := vm.NewIsolate("runtime"); err != nil {
+		t.Fatal(err)
+	}
+	beta, err := vm.NewIsolate("beta")
+	if err != nil {
+		t.Fatal(err)
+	}
+	alpha, err := vm.NewIsolate("alpha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return vm, alpha, beta
+}
+
+// TestPerIsolateStaticsAndClinit verifies the task-class-mirror core
+// semantics (§3.1): each isolate sees its own copy of a class's statics,
+// initialized by its own <clinit> run.
+func TestPerIsolateStaticsAndClinit(t *testing.T) {
+	vm := interp.NewVM(interp.Options{Mode: core.ModeIsolated})
+	syslib.MustInstall(vm)
+	owner, err := vm.NewIsolate("owner")
+	if err != nil {
+		t.Fatal(err)
+	}
+	other, err := vm.NewIsolate("other")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const cn = "iso/Data"
+	data := classfile.NewClass(cn).
+		StaticField("v", classfile.KindInt).
+		StaticField("inits", classfile.KindInt).
+		Method(classfile.ClinitName, "()V", classfile.FlagStatic, func(a *bytecode.Assembler) {
+			a.Const(100).PutStatic(cn, "v")
+			a.GetStatic(cn, "inits").Const(1).IAdd().PutStatic(cn, "inits")
+			a.Return()
+		}).
+		Method("set", "(I)V", classfile.FlagStatic|classfile.FlagPublic, func(a *bytecode.Assembler) {
+			a.ILoad(0).PutStatic(cn, "v").Return()
+		}).
+		Method("get", "()I", classfile.FlagStatic|classfile.FlagPublic, func(a *bytecode.Assembler) {
+			a.GetStatic(cn, "v").IReturn()
+		}).MustBuild()
+	if err := owner.Loader().Define(data); err != nil {
+		t.Fatal(err)
+	}
+	other.Loader().AddDelegate(owner.Loader())
+	// The foreign isolate accesses owner's statics *directly* (the A1
+	// pattern): getstatic/putstatic in its own code use its own mirror.
+	// Calling owner's methods would migrate the thread and operate on
+	// owner's mirror instead — tested separately.
+	probe := classfile.NewClass("iso/Probe").
+		Method("set", "(I)V", classfile.FlagStatic|classfile.FlagPublic, func(a *bytecode.Assembler) {
+			a.ILoad(0).PutStatic(cn, "v").Return()
+		}).
+		Method("get", "()I", classfile.FlagStatic|classfile.FlagPublic, func(a *bytecode.Assembler) {
+			a.GetStatic(cn, "v").IReturn()
+		}).MustBuild()
+	if err := other.Loader().Define(probe); err != nil {
+		t.Fatal(err)
+	}
+
+	call := func(iso *core.Isolate, class *classfile.Class, name string, args ...heap.Value) int64 {
+		t.Helper()
+		m, err := class.LookupMethod(name, map[string]string{"set": "(I)V", "get": "()I"}[name])
+		if err != nil {
+			t.Fatal(err)
+		}
+		v, th, err := vm.CallRoot(iso, m, args, 1_000_000)
+		if err != nil || th.Failure() != nil {
+			t.Fatalf("%s: %v / %s", name, err, th.FailureString())
+		}
+		return v.I
+	}
+
+	// Both isolates see the clinit value independently.
+	if v := call(owner, data, "get"); v != 100 {
+		t.Fatalf("owner initial = %d", v)
+	}
+	if v := call(other, probe, "get"); v != 100 {
+		t.Fatalf("other initial = %d", v)
+	}
+	// A direct write by one isolate never reaches the other.
+	call(owner, data, "set", heap.IntVal(7))
+	if v := call(other, probe, "get"); v != 100 {
+		t.Fatalf("static leaked across isolates: other sees %d", v)
+	}
+	if v := call(owner, data, "get"); v != 7 {
+		t.Fatalf("owner lost its write: %d", v)
+	}
+	// Thread migration contrast: calling owner's *method* from the other
+	// isolate migrates and writes owner's copy (§3.1).
+	call(other, data, "set", heap.IntVal(55))
+	if v := call(owner, data, "get"); v != 55 {
+		t.Fatalf("migrated call must write the callee's mirror, owner sees %d", v)
+	}
+	if v := call(other, probe, "get"); v != 100 {
+		t.Fatalf("other's own mirror must be untouched by the migrated call, sees %d", v)
+	}
+	// <clinit> ran once per isolate (its own counter is per-isolate too).
+	ownerMirror := vm.World().Mirror(data, owner)
+	otherMirror := vm.World().Mirror(data, other)
+	if ownerMirror == otherMirror {
+		t.Fatal("mirrors must differ")
+	}
+	if ownerMirror.Statics[1].I != 1 || otherMirror.Statics[1].I != 1 {
+		t.Fatalf("clinit counts: owner=%d other=%d", ownerMirror.Statics[1].I, otherMirror.Statics[1].I)
+	}
+}
+
+// TestStringIdentityAcrossIsolates reproduces the §3.5 caveat: the same
+// literal interned from two bundles yields distinct objects in I-JVM
+// (reference equality fails, equals works); in Shared mode both see one
+// object.
+func TestStringIdentityAcrossIsolates(t *testing.T) {
+	for _, mode := range []core.Mode{core.ModeShared, core.ModeIsolated} {
+		t.Run(mode.String(), func(t *testing.T) {
+			vm, alpha, beta := twoIsolateVM(t, mode)
+			a1, err := vm.InternString(alpha, "shared-literal")
+			if err != nil {
+				t.Fatal(err)
+			}
+			a2, err := vm.InternString(alpha, "shared-literal")
+			if err != nil {
+				t.Fatal(err)
+			}
+			b1, err := vm.InternString(beta, "shared-literal")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a1 != a2 {
+				t.Fatal("intern must be stable within an isolate")
+			}
+			if mode == core.ModeIsolated && a1 == b1 {
+				t.Fatal("I-JVM: literals must not be shared across isolates")
+			}
+			if mode == core.ModeShared && a1 != b1 {
+				t.Fatal("baseline: literals must be shared")
+			}
+		})
+	}
+}
+
+// TestClassObjectsPerIsolate verifies java.lang.Class objects are
+// isolate-private in I-JVM (the fix for attack A2).
+func TestClassObjectsPerIsolate(t *testing.T) {
+	vm := interp.NewVM(interp.Options{Mode: core.ModeIsolated})
+	syslib.MustInstall(vm)
+	i1, _ := vm.NewIsolate("one")
+	i2, _ := vm.NewIsolate("two")
+	objClass, err := vm.Registry().Bootstrap().Lookup(interp.ClassObject)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1, err := vm.ClassObjectFor(objClass, i1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := vm.ClassObjectFor(objClass, i2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1 == c2 {
+		t.Fatal("Class objects must be isolate-private")
+	}
+	c1again, err := vm.ClassObjectFor(objClass, i1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1 != c1again {
+		t.Fatal("Class object identity must be stable per isolate")
+	}
+}
+
+// interCallEnv builds alpha -> beta service wiring with a method that
+// throws on demand.
+func interCallEnv(t *testing.T) (*interp.VM, *core.Isolate, *core.Isolate, *classfile.Class) {
+	t.Helper()
+	vm, alpha, beta := twoIsolateVM(t, core.ModeIsolated)
+	const svc = "b/Svc"
+	svcClass := classfile.NewClass(svc).
+		Method("boom", "()V", classfile.FlagStatic|classfile.FlagPublic, func(a *bytecode.Assembler) {
+			a.New("java/lang/RuntimeException").Dup().Str("from beta").
+				InvokeSpecial("java/lang/RuntimeException", classfile.InitName, "(Ljava/lang/String;)V")
+			a.AThrow()
+		}).
+		Method("ok", "()I", classfile.FlagStatic|classfile.FlagPublic, func(a *bytecode.Assembler) {
+			a.Const(5).IReturn()
+		}).MustBuild()
+	if err := beta.Loader().Define(svcClass); err != nil {
+		t.Fatal(err)
+	}
+	alpha.Loader().AddDelegate(beta.Loader())
+	const drv = "a/Drv"
+	drvClass := classfile.NewClass(drv).
+		Method("catchBoom", "()I", classfile.FlagStatic|classfile.FlagPublic, func(a *bytecode.Assembler) {
+			a.Label("try")
+			a.InvokeStatic(svc, "boom", "()V")
+			a.Const(0).IReturn()
+			a.Label("endtry")
+			a.Label("catch")
+			a.Pop()
+			// After catching, the thread must be back in alpha: calling
+			// ok() counts as a fresh inter-isolate call.
+			a.InvokeStatic(svc, "ok", "()I").IReturn()
+			a.Handler("try", "endtry", "catch", "")
+		}).MustBuild()
+	if err := alpha.Loader().Define(drvClass); err != nil {
+		t.Fatal(err)
+	}
+	return vm, alpha, beta, drvClass
+}
+
+// TestIsolateRestoredAcrossExceptionUnwind verifies the thread-migration
+// return path also holds when an exception unwinds across the isolate
+// boundary (§3.1 + §3.3 interplay).
+func TestIsolateRestoredAcrossExceptionUnwind(t *testing.T) {
+	vm, alpha, beta, drvClass := interCallEnv(t)
+	m, err := drvClass.LookupMethod("catchBoom", "()I")
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := beta.Account().InterBundleCallsIn
+	v, th, err := vm.CallRoot(alpha, m, nil, 1_000_000)
+	if err != nil || th.Failure() != nil {
+		t.Fatalf("%v / %s", err, th.FailureString())
+	}
+	if v.I != 5 {
+		t.Fatalf("result = %d, want 5", v.I)
+	}
+	// Two entries into beta: boom (which threw) and ok.
+	if got := beta.Account().InterBundleCallsIn - before; got != 2 {
+		t.Fatalf("beta entries = %d, want 2", got)
+	}
+}
+
+// TestKillWhileThreadInsideIsolate verifies §3.3: a thread currently
+// executing the killed isolate's code receives StoppedIsolateException at
+// the next safepoint, and a prepared caller catches it.
+func TestKillWhileThreadInsideIsolate(t *testing.T) {
+	vm, alpha, beta := twoIsolateVM(t, core.ModeIsolated)
+	const svc = "b/Spin"
+	svcClass := classfile.NewClass(svc).
+		Method("spin", "()V", classfile.FlagStatic|classfile.FlagPublic, func(a *bytecode.Assembler) {
+			a.Label("loop")
+			a.Goto("loop")
+		}).MustBuild()
+	if err := beta.Loader().Define(svcClass); err != nil {
+		t.Fatal(err)
+	}
+	alpha.Loader().AddDelegate(beta.Loader())
+	const drv = "a/Caller"
+	drvClass := classfile.NewClass(drv).
+		Method("call", "()I", classfile.FlagStatic|classfile.FlagPublic, func(a *bytecode.Assembler) {
+			a.Label("try")
+			a.InvokeStatic(svc, "spin", "()V")
+			a.Const(0).IReturn()
+			a.Label("endtry")
+			a.Label("catch")
+			a.InstanceOf(interp.ClassStoppedIsolateException).IReturn()
+			a.Handler("try", "endtry", "catch", "")
+		}).MustBuild()
+	if err := alpha.Loader().Define(drvClass); err != nil {
+		t.Fatal(err)
+	}
+	m, _ := drvClass.LookupMethod("call", "()I")
+	th, err := vm.SpawnThread("caller", alpha, m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm.RunUntil(th, 100_000)
+	if th.Done() {
+		t.Fatal("spin returned early")
+	}
+	if th.CurrentIsolate() != beta {
+		t.Fatalf("thread in %s, want beta", th.CurrentIsolate().Name())
+	}
+	if err := vm.KillIsolate(nil, beta); err != nil {
+		t.Fatal(err)
+	}
+	vm.RunUntil(th, 1_000_000)
+	if !th.Done() || th.Failure() != nil {
+		t.Fatalf("done=%v failure=%s", th.Done(), th.FailureString())
+	}
+	if th.Result().I != 1 {
+		t.Fatal("caller must catch a StoppedIsolateException")
+	}
+	if th.CurrentIsolate() != alpha {
+		t.Fatal("thread must be migrated back to the caller's isolate")
+	}
+}
+
+// TestKillIsolateRequiresIsolatedMode covers the mode guard.
+func TestKillIsolateRequiresIsolatedMode(t *testing.T) {
+	vm, _, beta := twoIsolateVM(t, core.ModeShared)
+	if err := vm.KillIsolate(nil, beta); err == nil {
+		t.Fatal("shared-mode kill must fail")
+	}
+}
+
+// TestKillIsolate0Refused covers the Isolate0 protection.
+func TestKillIsolate0Refused(t *testing.T) {
+	vm := interp.NewVM(interp.Options{Mode: core.ModeIsolated})
+	syslib.MustInstall(vm)
+	iso0, _ := vm.NewIsolate("runtime")
+	if err := vm.KillIsolate(nil, iso0); err == nil {
+		t.Fatal("Isolate0 kill must be refused")
+	}
+}
+
+// TestInstructionAccountingFollowsMigration verifies per-isolate
+// instruction counters track the executing isolate, not the thread's
+// creator.
+func TestInstructionAccountingFollowsMigration(t *testing.T) {
+	vm, alpha, beta, drvClass := interCallEnv(t)
+	m, _ := drvClass.LookupMethod("catchBoom", "()I")
+	a0 := alpha.Account().Instructions
+	b0 := beta.Account().Instructions
+	if _, th, err := vm.CallRoot(alpha, m, nil, 1_000_000); err != nil || th.Failure() != nil {
+		t.Fatalf("%v", err)
+	}
+	if alpha.Account().Instructions <= a0 {
+		t.Fatal("alpha executed instructions but none were charged")
+	}
+	if beta.Account().Instructions <= b0 {
+		t.Fatal("beta executed instructions but none were charged")
+	}
+}
+
+// TestStackOverflowRaisesGuestError covers the frame-depth guard.
+func TestStackOverflowRaisesGuestError(t *testing.T) {
+	vm := interp.NewVM(interp.Options{Mode: core.ModeIsolated, MaxFrameDepth: 32})
+	syslib.MustInstall(vm)
+	iso, _ := vm.NewIsolate("main")
+	const cn = "so/Rec"
+	c := classfile.NewClass(cn).
+		Method("rec", "(I)I", classfile.FlagStatic, func(a *bytecode.Assembler) {
+			a.ILoad(0).Const(1).IAdd().InvokeStatic(cn, "rec", "(I)I").IReturn()
+		}).MustBuild()
+	if err := iso.Loader().Define(c); err != nil {
+		t.Fatal(err)
+	}
+	m, _ := c.LookupMethod("rec", "(I)I")
+	_, th, err := vm.CallRoot(iso, m, []heap.Value{heap.IntVal(0)}, 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if th.Failure() == nil || th.Failure().Class.Name != interp.ClassStackOverflowError {
+		t.Fatalf("failure = %v", th.FailureString())
+	}
+}
+
+// TestDeadlockDetection: two threads blocked on monitors held by each
+// other are reported as a deadlock by the scheduler.
+func TestDeadlockDetection(t *testing.T) {
+	vm := interp.NewVM(interp.Options{Mode: core.ModeIsolated})
+	syslib.MustInstall(vm)
+	iso, _ := vm.NewIsolate("main")
+	const cn = "dl/T"
+	c := classfile.NewClass(cn).
+		StaticField("a", classfile.KindRef).
+		StaticField("b", classfile.KindRef).
+		Method(classfile.InitName, "()V", classfile.FlagPublic, func(a *bytecode.Assembler) {
+			a.ALoad(0).InvokeSpecial(classfile.ObjectClassName, classfile.InitName, "()V").Return()
+		}).
+		// run(): lock a, yield, lock b (the partner does the reverse).
+		Method("run", "()V", classfile.FlagPublic, func(a *bytecode.Assembler) {
+			a.GetStatic(cn, "a").MonitorEnter()
+			a.Const(10).InvokeStatic("java/lang/Thread", "sleep", "(I)V")
+			a.GetStatic(cn, "b").MonitorEnter()
+			a.Return()
+		}).
+		Method("runRev", "()V", classfile.FlagPublic|classfile.FlagStatic, func(a *bytecode.Assembler) {
+			a.GetStatic(cn, "b").MonitorEnter()
+			a.Const(10).InvokeStatic("java/lang/Thread", "sleep", "(I)V")
+			a.GetStatic(cn, "a").MonitorEnter()
+			a.Return()
+		}).
+		Method("setup", "()V", classfile.FlagPublic|classfile.FlagStatic, func(a *bytecode.Assembler) {
+			a.New(classfile.ObjectClassName).Dup().
+				InvokeSpecial(classfile.ObjectClassName, classfile.InitName, "()V").PutStatic(cn, "a")
+			a.New(classfile.ObjectClassName).Dup().
+				InvokeSpecial(classfile.ObjectClassName, classfile.InitName, "()V").PutStatic(cn, "b")
+			a.Return()
+		}).MustBuild()
+	if err := iso.Loader().Define(c); err != nil {
+		t.Fatal(err)
+	}
+	setup, _ := c.LookupMethod("setup", "()V")
+	if _, th, err := vm.CallRoot(iso, setup, nil, 100_000); err != nil || th.Failure() != nil {
+		t.Fatal(err)
+	}
+	runM, _ := c.LookupMethod("run", "()V")
+	obj, _ := vm.AllocObjectIn(c, iso)
+	if _, err := vm.SpawnThread("t1", iso, runM, []heap.Value{heap.RefVal(obj)}); err != nil {
+		t.Fatal(err)
+	}
+	revM, _ := c.LookupMethod("runRev", "()V")
+	if _, err := vm.SpawnThread("t2", iso, revM, nil); err != nil {
+		t.Fatal(err)
+	}
+	res := vm.Run(10_000_000)
+	if !res.Deadlocked {
+		t.Fatalf("expected deadlock, got %+v", res)
+	}
+}

@@ -1,0 +1,153 @@
+package interp
+
+import (
+	"fmt"
+
+	"ijvm/internal/heap"
+)
+
+// tryAcquireMonitor attempts to lock obj for t without blocking. It
+// returns true on success (including recursive acquisition).
+func (vm *VM) tryAcquireMonitor(t *Thread, obj *heap.Object) bool {
+	m := &obj.Monitor
+	switch m.Owner {
+	case 0:
+		m.Owner = t.id
+		m.Count = 1
+		return true
+	case t.id:
+		m.Count++
+		return true
+	default:
+		return false
+	}
+}
+
+// blockOnMonitor parks t until obj's monitor is free (attack A2 is exactly
+// a thread parked here forever in the baseline VM).
+func (vm *VM) blockOnMonitor(t *Thread, obj *heap.Object) {
+	t.state = StateBlockedMonitor
+	t.blockedOn = obj
+}
+
+// releaseMonitor fully releases one recursion level of obj held by t;
+// used by monitorexit and frame unwinding of synchronized methods.
+func (vm *VM) releaseMonitor(t *Thread, obj *heap.Object) {
+	m := &obj.Monitor
+	if m.Owner != t.id {
+		// Unwinding a frame whose monitor was force-released (isolate
+		// termination) — nothing to do.
+		return
+	}
+	m.Count--
+	if m.Count <= 0 {
+		m.Owner = 0
+		m.Count = 0
+	}
+}
+
+// monitorExitChecked implements the monitorexit bytecode with the
+// IllegalMonitorStateException check.
+func (vm *VM) monitorExitChecked(t *Thread, obj *heap.Object) (ok bool) {
+	if obj.Monitor.Owner != t.id {
+		return false
+	}
+	vm.releaseMonitor(t, obj)
+	return true
+}
+
+// MonitorWait implements Object.wait(timeoutTicks): the calling thread
+// must own the monitor; it releases it fully, parks, and re-acquires on
+// wake. timeoutTicks <= 0 waits until notified or interrupted.
+func (vm *VM) MonitorWait(t *Thread, obj *heap.Object, timeoutTicks int64) error {
+	m := &obj.Monitor
+	if m.Owner != t.id {
+		return fmt.Errorf("wait without ownership")
+	}
+	t.savedLock = m.Count
+	m.Owner = 0
+	m.Count = 0
+	t.state = StateWaitingMonitor
+	t.waitingOn = obj
+	if timeoutTicks > 0 {
+		t.wakeAt = vm.clock + timeoutTicks
+	} else {
+		t.wakeAt = SleepForever
+	}
+	vm.addSleepGauge(t)
+	vm.waiters[obj] = append(vm.waiters[obj], t)
+	return nil
+}
+
+// MonitorNotify wakes one (or all) waiters of obj; woken threads move to
+// the blocked-on-monitor state and re-acquire before returning from wait.
+func (vm *VM) MonitorNotify(t *Thread, obj *heap.Object, all bool) error {
+	if obj.Monitor.Owner != t.id {
+		return fmt.Errorf("notify without ownership")
+	}
+	waiters := vm.waiters[obj]
+	if len(waiters) == 0 {
+		return nil
+	}
+	n := 1
+	if all {
+		n = len(waiters)
+	}
+	for i := 0; i < n; i++ {
+		vm.wakeWaiter(waiters[i], obj)
+	}
+	rest := waiters[n:]
+	if len(rest) == 0 {
+		delete(vm.waiters, obj)
+	} else {
+		vm.waiters[obj] = append([]*Thread(nil), rest...)
+	}
+	return nil
+}
+
+// wakeWaiter transitions a waiting thread to monitor re-acquisition.
+func (vm *VM) wakeWaiter(w *Thread, obj *heap.Object) {
+	if w.state != StateWaitingMonitor {
+		return
+	}
+	vm.removeSleepGauge(w)
+	w.state = StateBlockedMonitor
+	w.blockedOn = obj
+	w.waitingOn = nil
+	w.wakeAt = 0
+}
+
+// removeWaiter drops t from obj's wait set (timeout/interrupt paths).
+func (vm *VM) removeWaiter(t *Thread, obj *heap.Object) {
+	waiters := vm.waiters[obj]
+	for i, w := range waiters {
+		if w == t {
+			vm.waiters[obj] = append(waiters[:i], waiters[i+1:]...)
+			break
+		}
+	}
+	if len(vm.waiters[obj]) == 0 {
+		delete(vm.waiters, obj)
+	}
+}
+
+// addSleepGauge bumps the sleeping-threads gauge of the isolate the
+// thread is currently executing in (attack A7 detection: "I-JVM inspects
+// the current bundle of each thread and counts the number of sleeping
+// threads in a bundle").
+func (vm *VM) addSleepGauge(t *Thread) {
+	if t.cur == nil || t.sleepGauge != nil {
+		return
+	}
+	t.cur.Account().SleepingThreads++
+	t.sleepGauge = t.cur
+}
+
+// removeSleepGauge undoes addSleepGauge.
+func (vm *VM) removeSleepGauge(t *Thread) {
+	if t.sleepGauge == nil {
+		return
+	}
+	t.sleepGauge.Account().SleepingThreads--
+	t.sleepGauge = nil
+}

@@ -1,0 +1,220 @@
+package interp_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ijvm/internal/bytecode"
+	"ijvm/internal/classfile"
+	"ijvm/internal/core"
+	"ijvm/internal/heap"
+	"ijvm/internal/interp"
+	"ijvm/internal/syslib"
+)
+
+// exprNode is a random integer expression with a Go-side oracle value.
+type exprNode struct {
+	emit func(a *bytecode.Assembler)
+	val  int64
+}
+
+// genExpr builds a random expression tree of bounded depth over two
+// int parameters.
+func genExpr(r *rand.Rand, depth int, p0, p1 int64) exprNode {
+	if depth == 0 || r.Intn(3) == 0 {
+		switch r.Intn(3) {
+		case 0:
+			c := int64(r.Intn(201) - 100)
+			return exprNode{func(a *bytecode.Assembler) { a.Const(c) }, c}
+		case 1:
+			return exprNode{func(a *bytecode.Assembler) { a.ILoad(0) }, p0}
+		default:
+			return exprNode{func(a *bytecode.Assembler) { a.ILoad(1) }, p1}
+		}
+	}
+	left := genExpr(r, depth-1, p0, p1)
+	right := genExpr(r, depth-1, p0, p1)
+	type binop struct {
+		op   bytecode.Opcode
+		eval func(a, b int64) (int64, bool)
+	}
+	ops := []binop{
+		{bytecode.OpIAdd, func(a, b int64) (int64, bool) { return a + b, true }},
+		{bytecode.OpISub, func(a, b int64) (int64, bool) { return a - b, true }},
+		{bytecode.OpIMul, func(a, b int64) (int64, bool) { return a * b, true }},
+		{bytecode.OpIAnd, func(a, b int64) (int64, bool) { return a & b, true }},
+		{bytecode.OpIOr, func(a, b int64) (int64, bool) { return a | b, true }},
+		{bytecode.OpIXor, func(a, b int64) (int64, bool) { return a ^ b, true }},
+		{bytecode.OpIDiv, func(a, b int64) (int64, bool) {
+			if b == 0 {
+				return 0, false
+			}
+			return a / b, true
+		}},
+		{bytecode.OpIRem, func(a, b int64) (int64, bool) {
+			if b == 0 {
+				return 0, false
+			}
+			return a % b, true
+		}},
+		{bytecode.OpIShl, func(a, b int64) (int64, bool) { return a << (uint64(b) & 63), true }},
+	}
+	for {
+		op := ops[r.Intn(len(ops))]
+		v, ok := op.eval(left.val, right.val)
+		if !ok {
+			// Avoid division by zero: re-roll the operator.
+			continue
+		}
+		emitOp := op.op
+		return exprNode{
+			emit: func(a *bytecode.Assembler) {
+				left.emit(a)
+				right.emit(a)
+				a.Nop() // exercise pc handling between operands
+				switch emitOp {
+				case bytecode.OpIAdd:
+					a.IAdd()
+				case bytecode.OpISub:
+					a.ISub()
+				case bytecode.OpIMul:
+					a.IMul()
+				case bytecode.OpIAnd:
+					a.IAnd()
+				case bytecode.OpIOr:
+					a.IOr()
+				case bytecode.OpIXor:
+					a.IXor()
+				case bytecode.OpIDiv:
+					a.IDiv()
+				case bytecode.OpIRem:
+					a.IRem()
+				case bytecode.OpIShl:
+					a.IShl()
+				}
+			},
+			val: v,
+		}
+	}
+}
+
+// TestQuickExpressionOracle compiles random integer expressions to
+// bytecode and checks the interpreter agrees with the host-side oracle,
+// in both modes.
+func TestQuickExpressionOracle(t *testing.T) {
+	classCounter := 0
+	fn := func(seed int64, p0raw, p1raw int16) bool {
+		r := rand.New(rand.NewSource(seed))
+		p0, p1 := int64(p0raw), int64(p1raw)
+		expr := genExpr(r, 4, p0, p1)
+
+		for _, mode := range []core.Mode{core.ModeShared, core.ModeIsolated} {
+			vm := interp.NewVM(interp.Options{Mode: mode})
+			if err := syslib.Install(vm); err != nil {
+				return false
+			}
+			iso, err := vm.NewIsolate("main")
+			if err != nil {
+				return false
+			}
+			classCounter++
+			c := classfile.NewClass("q/Expr").
+				Method("run", "(II)I", classfile.FlagStatic, func(a *bytecode.Assembler) {
+					expr.emit(a)
+					a.IReturn()
+				}).MustBuild()
+			if err := iso.Loader().Define(c); err != nil {
+				return false
+			}
+			m, err := c.LookupMethod("run", "(II)I")
+			if err != nil {
+				return false
+			}
+			v, th, err := vm.CallRoot(iso, m, []heap.Value{heap.IntVal(p0), heap.IntVal(p1)}, 1_000_000)
+			if err != nil || th.Failure() != nil {
+				return false
+			}
+			if v.I != expr.val {
+				t.Logf("seed %d mode %v: got %d, oracle %d", seed, mode, v.I, expr.val)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickBranchOracle compiles random comparison chains and checks
+// branch semantics against the oracle.
+func TestQuickBranchOracle(t *testing.T) {
+	type cmpCase struct {
+		op   bytecode.Opcode
+		eval func(a, b int64) bool
+	}
+	cases := []cmpCase{
+		{bytecode.OpIfICmpEq, func(a, b int64) bool { return a == b }},
+		{bytecode.OpIfICmpNe, func(a, b int64) bool { return a != b }},
+		{bytecode.OpIfICmpLt, func(a, b int64) bool { return a < b }},
+		{bytecode.OpIfICmpLe, func(a, b int64) bool { return a <= b }},
+		{bytecode.OpIfICmpGt, func(a, b int64) bool { return a > b }},
+		{bytecode.OpIfICmpGe, func(a, b int64) bool { return a >= b }},
+	}
+	fn := func(seed int64, araw, braw int8) bool {
+		r := rand.New(rand.NewSource(seed))
+		av, bv := int64(araw), int64(braw)
+		tc := cases[r.Intn(len(cases))]
+		want := int64(0)
+		if tc.eval(av, bv) {
+			want = 1
+		}
+		op := tc.op
+
+		vm := interp.NewVM(interp.Options{Mode: core.ModeIsolated})
+		if err := syslib.Install(vm); err != nil {
+			return false
+		}
+		iso, err := vm.NewIsolate("main")
+		if err != nil {
+			return false
+		}
+		c := classfile.NewClass("q/Branch").
+			Method("run", "(II)I", classfile.FlagStatic, func(a *bytecode.Assembler) {
+				a.ILoad(0).ILoad(1)
+				a.Label("_pre") // labels are cheap; keeps structure obvious
+				switch op {
+				case bytecode.OpIfICmpEq:
+					a.IfICmpEq("yes")
+				case bytecode.OpIfICmpNe:
+					a.IfICmpNe("yes")
+				case bytecode.OpIfICmpLt:
+					a.IfICmpLt("yes")
+				case bytecode.OpIfICmpLe:
+					a.IfICmpLe("yes")
+				case bytecode.OpIfICmpGt:
+					a.IfICmpGt("yes")
+				case bytecode.OpIfICmpGe:
+					a.IfICmpGe("yes")
+				}
+				a.Const(0).IReturn()
+				a.Label("yes").Const(1).IReturn()
+			}).MustBuild()
+		if err := iso.Loader().Define(c); err != nil {
+			return false
+		}
+		m, err := c.LookupMethod("run", "(II)I")
+		if err != nil {
+			return false
+		}
+		v, th, err := vm.CallRoot(iso, m, []heap.Value{heap.IntVal(av), heap.IntVal(bv)}, 100_000)
+		if err != nil || th.Failure() != nil {
+			return false
+		}
+		return v.I == want
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,306 @@
+package interp
+
+import "math"
+
+// RunResult summarizes one scheduler run.
+type RunResult struct {
+	// Instructions executed during this run.
+	Instructions int64
+	// AllDone reports that every thread finished.
+	AllDone bool
+	// BudgetExhausted reports that the instruction budget ran out first —
+	// the "freeze" detector for baseline denial-of-service attacks.
+	BudgetExhausted bool
+	// Deadlocked reports that live threads remain but none can ever
+	// become runnable (all parked forever).
+	Deadlocked bool
+	// TargetDone reports that RunUntil's target thread finished.
+	TargetDone bool
+	// Shutdown reports that the platform was shut down during the run.
+	Shutdown bool
+}
+
+// Run executes runnable threads until all threads finish, the platform
+// shuts down, the system deadlocks, or budget instructions have executed.
+// budget <= 0 means unlimited.
+func (vm *VM) Run(budget int64) RunResult {
+	return vm.run(budget, nil)
+}
+
+// RunUntil is Run, stopping early once target finishes.
+func (vm *VM) RunUntil(target *Thread, budget int64) RunResult {
+	return vm.run(budget, target)
+}
+
+func (vm *VM) run(budget int64, target *Thread) RunResult {
+	if budget <= 0 {
+		budget = math.MaxInt64
+	}
+	vm.pruneDoneThreads()
+	var res RunResult
+	isolated := vm.world.Isolated()
+	for {
+		if vm.shutdown {
+			res.Shutdown = true
+			return res
+		}
+		if target != nil && target.Done() {
+			res.TargetDone = true
+			return res
+		}
+		if res.Instructions >= budget {
+			res.BudgetExhausted = true
+			return res
+		}
+		t := vm.pickRunnable()
+		if t == nil {
+			if vm.liveThreads == 0 {
+				res.AllDone = true
+				return res
+			}
+			if !vm.advanceClock() {
+				res.Deadlocked = true
+				return res
+			}
+			continue
+		}
+		quantum := int64(vm.opts.Quantum)
+		if remaining := budget - res.Instructions; remaining < quantum {
+			quantum = remaining
+		}
+		for i := int64(0); i < quantum && t.state == StateRunnable; i++ {
+			err := vm.stepThread(t)
+			res.Instructions++
+			vm.clock++
+			vm.totalInstrs++
+			if isolated {
+				cur := t.cur
+				cur.Account().Instructions++
+				vm.instrSinceSample++
+				if vm.instrSinceSample >= vm.opts.SampleEvery {
+					vm.instrSinceSample = 0
+					// The paper's CPU accounting: sample the isolate
+					// reference of the running thread (§3.2).
+					cur.Account().CPUSamples++
+				}
+			}
+			if err != nil {
+				t.err = err
+				vm.finishThread(t)
+				break
+			}
+			if vm.shutdown || (target != nil && target.Done()) {
+				break
+			}
+		}
+	}
+}
+
+// pruneDoneThreads drops finished threads from the scheduler list once
+// they dominate it, keeping long-lived VMs (benchmark loops, the OSGi
+// shell) from scanning ever-growing dead entries. Host references to
+// pruned Thread handles stay valid.
+func (vm *VM) pruneDoneThreads() {
+	done := len(vm.threads) - vm.liveThreads
+	if done < 64 || done < len(vm.threads)/2 {
+		return
+	}
+	live := vm.threads[:0]
+	for _, t := range vm.threads {
+		if !t.Done() {
+			live = append(live, t)
+		}
+	}
+	for i := len(live); i < len(vm.threads); i++ {
+		vm.threads[i] = nil
+	}
+	vm.threads = live
+	vm.rrIndex = 0
+}
+
+// pickRunnable promotes wakeable threads and returns the next runnable
+// thread in round-robin order, or nil.
+func (vm *VM) pickRunnable() *Thread {
+	n := len(vm.threads)
+	if n == 0 {
+		return nil
+	}
+	for scan := 0; scan < n; scan++ {
+		vm.rrIndex++
+		t := vm.threads[(vm.rrIndex)%n]
+		switch t.state {
+		case StateRunnable:
+			return t
+		case StateSleeping:
+			if t.wakeAt != SleepForever && vm.clock >= t.wakeAt {
+				vm.wakeFromSleep(t)
+				return t
+			}
+		case StateBlockedMonitor:
+			if vm.promoteBlocked(t) {
+				return t
+			}
+		case StateWaitingMonitor:
+			if t.wakeAt != SleepForever && t.wakeAt > 0 && vm.clock >= t.wakeAt {
+				// Timed wait elapsed: leave the wait set and contend for
+				// the monitor again.
+				obj := t.waitingOn
+				vm.removeWaiter(t, obj)
+				vm.wakeWaiter(t, obj)
+				if vm.promoteBlocked(t) {
+					return t
+				}
+			}
+		case StateWaitingJoin:
+			if t.joinOn == nil || t.joinOn.Done() {
+				vm.removeSleepGauge(t)
+				t.state = StateRunnable
+				t.joinOn = nil
+				return t
+			}
+		}
+	}
+	return nil
+}
+
+// promoteBlocked attempts to hand a free monitor to a blocked thread. For
+// wait-reacquisition (savedLock > 0) the saved recursion count is
+// restored; for monitorenter retries the instruction re-executes.
+func (vm *VM) promoteBlocked(t *Thread) bool {
+	obj := t.blockedOn
+	if obj == nil {
+		t.state = StateRunnable
+		return true
+	}
+	if obj.Monitor.Owner != 0 && obj.Monitor.Owner != t.id {
+		return false
+	}
+	if t.savedLock > 0 {
+		// Complete the Object.wait reacquisition atomically.
+		obj.Monitor.Owner = t.id
+		obj.Monitor.Count = t.savedLock
+		t.savedLock = 0
+		t.blockedOn = nil
+		t.state = StateRunnable
+		return true
+	}
+	// monitorenter retry: just make it runnable; the instruction
+	// reattempts acquisition.
+	t.blockedOn = nil
+	t.state = StateRunnable
+	return true
+}
+
+// wakeFromSleep transitions a sleeping thread to runnable.
+func (vm *VM) wakeFromSleep(t *Thread) {
+	vm.removeSleepGauge(t)
+	t.state = StateRunnable
+	t.wakeAt = 0
+}
+
+// advanceClock jumps the virtual clock to the earliest wake deadline of a
+// parked thread. It returns false when no thread can ever wake (true
+// deadlock).
+func (vm *VM) advanceClock() bool {
+	earliest := int64(math.MaxInt64)
+	for _, t := range vm.threads {
+		switch t.state {
+		case StateSleeping, StateWaitingMonitor:
+			if t.wakeAt != SleepForever && t.wakeAt > 0 && t.wakeAt < earliest {
+				earliest = t.wakeAt
+			}
+		}
+	}
+	if earliest == math.MaxInt64 {
+		return false
+	}
+	if earliest > vm.clock {
+		vm.clock = earliest
+	}
+	return true
+}
+
+// Sleep parks the calling thread for d virtual ticks (SleepForever for an
+// unbounded sleep). Used by the Thread.sleep native.
+func (vm *VM) Sleep(t *Thread, d int64) {
+	t.state = StateSleeping
+	if d == SleepForever {
+		t.wakeAt = SleepForever
+	} else {
+		t.wakeAt = vm.clock + d
+	}
+	vm.addSleepGauge(t)
+	t.StageResumeVoid()
+}
+
+// Join parks the calling thread until other finishes.
+func (vm *VM) Join(t *Thread, other *Thread) {
+	if other == nil || other.Done() {
+		return
+	}
+	t.state = StateWaitingJoin
+	t.joinOn = other
+	vm.addSleepGauge(t)
+	t.StageResumeVoid()
+}
+
+// InterruptThread sets the interrupt flag and wakes the thread with
+// InterruptedException if it is parked in sleep, wait or join. Threads
+// blocked on monitor acquisition are not interruptible, as in the JVM.
+func (vm *VM) InterruptThread(t *Thread) error {
+	t.interrupted = true
+	switch t.state {
+	case StateSleeping, StateWaitingJoin:
+		vm.removeSleepGauge(t)
+		t.state = StateRunnable
+		t.wakeAt = 0
+		t.joinOn = nil
+		return vm.stageInterrupted(t)
+	case StateWaitingMonitor:
+		obj := t.waitingOn
+		vm.removeWaiter(t, obj)
+		vm.removeSleepGauge(t)
+		t.state = StateBlockedMonitor
+		t.blockedOn = obj
+		t.waitingOn = nil
+		return vm.stageInterrupted(t)
+	default:
+		return nil
+	}
+}
+
+func (vm *VM) stageInterrupted(t *Thread) error {
+	obj, err := vm.NewThrowable(t.CurrentIsolateOrZero(), ClassInterruptedException, "interrupted")
+	if err != nil {
+		return err
+	}
+	t.interrupted = false
+	t.StageResumeThrow(obj)
+	return nil
+}
+
+// ForceWakeAll wakes every parked thread of an isolate with the given
+// exception class; used by the termination engine for threads blocked in
+// system-library calls below killed-isolate frames (§3.3: "I-JVM sets the
+// interrupted flag of the thread so that I/O or sleep calls are
+// interrupted").
+func (vm *VM) forceInterrupt(t *Thread) error {
+	switch t.state {
+	case StateSleeping, StateWaitingJoin, StateWaitingMonitor:
+		return vm.InterruptThread(t)
+	case StateBlockedMonitor:
+		// A thread blocked entering a monitor of a killed isolate's
+		// object is released with the exception staged; it never
+		// acquires.
+		t.blockedOn = nil
+		t.state = StateRunnable
+		obj, err := vm.NewThrowable(t.CurrentIsolateOrZero(), ClassStoppedIsolateException, "monitor owner stopped")
+		if err != nil {
+			return err
+		}
+		t.StageResumeThrow(obj)
+		return nil
+	default:
+		return nil
+	}
+}

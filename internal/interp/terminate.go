@@ -1,0 +1,95 @@
+package interp
+
+import (
+	"errors"
+	"fmt"
+
+	"ijvm/internal/core"
+)
+
+// KillIsolate terminates an isolate (§3.3). The sequence mirrors the
+// paper's signal-based protocol, with the cooperative scheduler boundary
+// as the safepoint where "signals" are delivered:
+//
+//  1. The isolate is marked killed. From now on, any frame push for one of
+//     its methods throws StoppedIsolateException (the equivalent of
+//     refusing to JIT new methods and patching compiled entry points).
+//  2. Every thread's stack is inspected. A thread whose *top* frame
+//     belongs to the killed isolate receives StoppedIsolateException
+//     immediately. A thread parked in a system-library call (sleep, wait,
+//     join, I/O) with a killed-isolate frame below is interrupted so the
+//     blocking call aborts. Threads deeper in other isolates are left
+//     alone: the patched "return pointers" are modelled by the return-path
+//     check in returnFromFrame, which throws when control would re-enter a
+//     killed frame.
+//  3. Monitors held by frames of the killed isolate are force-released so
+//     other bundles do not inherit the isolate's deadlocks; threads
+//     blocked on those monitors are released with the exception staged.
+//
+// killer must hold RightKillIsolate (Isolate0); a nil killer is a
+// host-level administrative action.
+func (vm *VM) KillIsolate(killer, target *core.Isolate) error {
+	if vm.world.Mode() != core.ModeIsolated {
+		return errors.New("interp: isolate termination requires isolated mode")
+	}
+	if target != nil && target.IsIsolate0() {
+		return errors.New("interp: Isolate0 cannot be killed")
+	}
+	if err := vm.world.Kill(killer, target); err != nil {
+		return err
+	}
+
+	for _, t := range vm.threads {
+		if t.state == StateDone {
+			continue
+		}
+		if err := vm.patchThreadForKill(t, target); err != nil {
+			return fmt.Errorf("patching thread %d: %w", t.id, err)
+		}
+	}
+	return nil
+}
+
+// patchThreadForKill applies the §3.3 stack treatment to one thread.
+func (vm *VM) patchThreadForKill(t *Thread, target *core.Isolate) error {
+	involved := false
+	for _, f := range t.frames {
+		if f.iso == target {
+			involved = true
+			// Force-release monitors held by killed frames.
+			if f.lockedMonitor != nil && f.lockedMonitor.Monitor.Owner == t.id {
+				f.lockedMonitor.Monitor.Owner = 0
+				f.lockedMonitor.Monitor.Count = 0
+				f.lockedMonitor = nil
+			}
+		}
+	}
+	// Threads whose current isolate is the target have killed code on
+	// top (possibly under system-library natives).
+	onTop := t.cur == target
+	if !involved && !onTop {
+		// The thread may still be blocked on a monitor owned by a killed
+		// frame — the force-release above (from another thread's walk)
+		// lets the scheduler promote it naturally.
+		return nil
+	}
+	switch t.state {
+	case StateRunnable:
+		if onTop {
+			// Equivalent of the signal handler finding the top frame in
+			// the terminating isolate: throw at the next safepoint.
+			obj, err := vm.NewThrowable(t.CurrentIsolateOrZero(), ClassStoppedIsolateException,
+				"isolate "+target.Name()+" stopped")
+			if err != nil {
+				return err
+			}
+			t.StageResumeThrow(obj)
+		}
+		return nil
+	default:
+		// Parked in a blocking system call with killed-isolate frames on
+		// the stack: interrupt it (Spring-style protection-domain
+		// termination).
+		return vm.forceInterrupt(t)
+	}
+}

@@ -1,0 +1,235 @@
+// Package interp implements the execution engine of the VM: frames,
+// operand stacks, the bytecode interpreter, a cooperative green-thread
+// scheduler with a virtual clock, monitors, exception dispatch, and the
+// I-JVM hooks the paper adds to LadyVM: the isolate switch on
+// inter-isolate calls (§3.1), CPU sampling and allocation accounting
+// (§3.2), and the isolate termination engine (§3.3).
+package interp
+
+import (
+	"fmt"
+
+	"ijvm/internal/classfile"
+	"ijvm/internal/core"
+	"ijvm/internal/heap"
+)
+
+// ThreadState enumerates scheduler states of a VM thread.
+type ThreadState uint8
+
+// Thread states.
+const (
+	// StateRunnable threads are eligible for scheduling.
+	StateRunnable ThreadState = iota + 1
+	// StateSleeping threads wait for the virtual clock (Thread.sleep).
+	StateSleeping
+	// StateBlockedMonitor threads wait to acquire an object monitor.
+	StateBlockedMonitor
+	// StateWaitingMonitor threads are parked in Object.wait.
+	StateWaitingMonitor
+	// StateWaitingJoin threads wait for another thread to finish.
+	StateWaitingJoin
+	// StateDone threads have finished (normally or with an uncaught
+	// exception).
+	StateDone
+)
+
+// String returns the state name.
+func (s ThreadState) String() string {
+	switch s {
+	case StateRunnable:
+		return "runnable"
+	case StateSleeping:
+		return "sleeping"
+	case StateBlockedMonitor:
+		return "blocked"
+	case StateWaitingMonitor:
+		return "waiting"
+	case StateWaitingJoin:
+		return "joining"
+	case StateDone:
+		return "done"
+	default:
+		return "invalid"
+	}
+}
+
+// SleepForever is the wake deadline of an unbounded sleep or wait.
+const SleepForever int64 = -1
+
+// Frame is one activation record. Every frame records the isolate it
+// executes in: bundle frames carry their class's isolate, system-library
+// frames carry the caller's isolate (paper §3.1 — "classes from the Java
+// System Library are not executed in a special isolate but in the isolate
+// that called it"), which also gives the GC accounting rule of §3.2 step 3
+// for free.
+type Frame struct {
+	method *classfile.Method
+	iso    *core.Isolate
+
+	locals []heap.Value
+	stack  []heap.Value
+	pc     int32
+
+	// callerIso, when non-nil, is the isolate to restore into the
+	// thread's current-isolate reference when this frame returns (thread
+	// migration, §3.1).
+	callerIso *core.Isolate
+
+	// needsMonitor is the monitor a synchronized method must acquire
+	// before its first instruction; cleared once acquired.
+	needsMonitor *heap.Object
+	// lockedMonitor is released when the frame exits (normally or by
+	// unwinding).
+	lockedMonitor *heap.Object
+
+	// clinitMirror, when non-nil, marks this frame as a <clinit>
+	// activation; the mirror transitions to InitDone when the frame
+	// returns.
+	clinitMirror *core.TaskClassMirror
+}
+
+// Method returns the frame's method.
+func (f *Frame) Method() *classfile.Method { return f.method }
+
+// Isolate returns the isolate the frame executes in.
+func (f *Frame) Isolate() *core.Isolate { return f.iso }
+
+func (f *Frame) push(v heap.Value) { f.stack = append(f.stack, v) }
+
+func (f *Frame) pop() (heap.Value, error) {
+	n := len(f.stack)
+	if n == 0 {
+		return heap.Value{}, fmt.Errorf("operand stack underflow in %s at pc %d", f.method.QualifiedName(), f.pc)
+	}
+	v := f.stack[n-1]
+	f.stack = f.stack[:n-1]
+	return v, nil
+}
+
+func (f *Frame) peek() (heap.Value, error) {
+	n := len(f.stack)
+	if n == 0 {
+		return heap.Value{}, fmt.Errorf("operand stack underflow in %s at pc %d", f.method.QualifiedName(), f.pc)
+	}
+	return f.stack[n-1], nil
+}
+
+// Thread is one green thread. The scheduler multiplexes threads onto the
+// host goroutine that calls VM.Run; a thread's isolate reference (cur)
+// migrates on inter-isolate calls exactly as in the paper.
+type Thread struct {
+	id   int64
+	name string
+	vm   *VM
+
+	frames []*Frame
+	state  ThreadState
+
+	// cur is the isolate the thread currently executes in — the "isolate
+	// reference" of §3.1 that inter-isolate calls update and CPU sampling
+	// reads.
+	cur *core.Isolate
+	// creator is the isolate that created the thread; thread creation is
+	// charged to it (§3.2, "Threads").
+	creator *core.Isolate
+
+	// Park bookkeeping.
+	wakeAt    int64        // virtual deadline for Sleeping/timed waits; SleepForever for unbounded
+	blockedOn *heap.Object // monitor being acquired (BlockedMonitor)
+	waitingOn *heap.Object // monitor waited on (WaitingMonitor)
+	savedLock int32        // recursion count to restore after wait
+	joinOn    *Thread
+	// sleepGauge, when non-nil, is the isolate whose SleepingThreads
+	// gauge was incremented when this thread parked.
+	sleepGauge *core.Isolate
+
+	interrupted bool
+
+	// lastSwitchTick is the virtual time of the last isolate switch, used
+	// only by the per-call CPU accounting ablation.
+	lastSwitchTick int64
+
+	// Pending native resume: when a blocking native (sleep, wait, join,
+	// I/O) returns control to the scheduler, the value or exception to be
+	// delivered on wake is staged here.
+	resumeValue heap.Value
+	resumeKind  resumeKind
+	resumeThrow *heap.Object
+
+	// threadObj is the guest java/lang/Thread object representing this
+	// thread, when one exists.
+	threadObj *heap.Object
+
+	// Completion.
+	result  heap.Value
+	failure *heap.Object // uncaught guest exception
+	err     error        // host-level execution error (VM bug or invalid code)
+}
+
+type resumeKind uint8
+
+const (
+	resumeNone resumeKind = iota
+	resumePushValue
+	resumePushVoid
+	resumeThrowKind
+)
+
+// ID returns the thread's VM-unique ID (>= 1).
+func (t *Thread) ID() int64 { return t.id }
+
+// Name returns the thread's diagnostic name.
+func (t *Thread) Name() string { return t.name }
+
+// State returns the scheduler state.
+func (t *Thread) State() ThreadState { return t.state }
+
+// Done reports whether the thread has finished.
+func (t *Thread) Done() bool { return t.state == StateDone }
+
+// CurrentIsolate returns the isolate the thread currently executes in.
+func (t *Thread) CurrentIsolate() *core.Isolate { return t.cur }
+
+// Creator returns the isolate that created the thread.
+func (t *Thread) Creator() *core.Isolate { return t.creator }
+
+// Result returns the value produced by the thread's entry method.
+func (t *Thread) Result() heap.Value { return t.result }
+
+// Failure returns the uncaught guest exception that terminated the
+// thread, or nil.
+func (t *Thread) Failure() *heap.Object { return t.failure }
+
+// Err returns the host-level error that aborted the thread, or nil. Host
+// errors indicate invalid bytecode or a VM defect, not guest exceptions.
+func (t *Thread) Err() error { return t.err }
+
+// Interrupted reports the thread's interrupt flag.
+func (t *Thread) Interrupted() bool { return t.interrupted }
+
+// GuestObject returns the guest java/lang/Thread object, or nil.
+func (t *Thread) GuestObject() *heap.Object { return t.threadObj }
+
+// SetGuestObject associates the guest java/lang/Thread object with this VM
+// thread (set by the Thread.start / Thread.currentThread natives).
+func (t *Thread) SetGuestObject(obj *heap.Object) { t.threadObj = obj }
+
+// Depth returns the current frame count.
+func (t *Thread) Depth() int { return len(t.frames) }
+
+// top returns the active frame, or nil for an empty stack.
+func (t *Thread) top() *Frame {
+	if len(t.frames) == 0 {
+		return nil
+	}
+	return t.frames[len(t.frames)-1]
+}
+
+// FailureString renders the uncaught exception for diagnostics.
+func (t *Thread) FailureString() string {
+	if t.failure == nil {
+		return ""
+	}
+	return t.vm.describeThrowable(t.failure)
+}

@@ -1,0 +1,512 @@
+package interp
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"ijvm/internal/classfile"
+	"ijvm/internal/core"
+	"ijvm/internal/heap"
+	"ijvm/internal/loader"
+)
+
+// Well-known class names the interpreter raises or consults directly.
+// They are defined by the system library (internal/syslib).
+const (
+	ClassObject    = "java/lang/Object"
+	ClassString    = "java/lang/String"
+	ClassClass     = "java/lang/Class"
+	ClassThread    = "java/lang/Thread"
+	ClassThrowable = "java/lang/Throwable"
+
+	ClassNullPointerException = "java/lang/NullPointerException"
+	ClassArithmeticException  = "java/lang/ArithmeticException"
+	ClassArrayIndexException  = "java/lang/ArrayIndexOutOfBoundsException"
+	ClassClassCastException   = "java/lang/ClassCastException"
+	ClassNegativeArraySize    = "java/lang/NegativeArraySizeException"
+	ClassIllegalMonitorState  = "java/lang/IllegalMonitorStateException"
+	ClassInterruptedException = "java/lang/InterruptedException"
+	ClassOutOfMemoryError     = "java/lang/OutOfMemoryError"
+	ClassStackOverflowError   = "java/lang/StackOverflowError"
+
+	// ClassStoppedIsolateException is I-JVM's termination exception
+	// (§3.3). The terminating isolate cannot catch it: handlers in frames
+	// belonging to a killed isolate are ignored during unwinding.
+	ClassStoppedIsolateException = "ijvm/isolate/StoppedIsolateException"
+)
+
+// Options configures a VM.
+type Options struct {
+	// Mode selects Shared (baseline JVM) or Isolated (I-JVM) semantics.
+	Mode core.Mode
+	// HeapLimit is the heap capacity in modelled bytes (0 selects the
+	// heap default).
+	HeapLimit int64
+	// MaxThreads caps live threads; exceeding it raises
+	// OutOfMemoryError, as real JVMs do (attack A5). 0 selects 4096.
+	MaxThreads int
+	// Quantum is the scheduler time slice in instructions (0 selects
+	// 1000).
+	Quantum int
+	// SampleEvery is the CPU-sampling period in instructions (0 selects
+	// 127). Sampling only runs in Isolated mode.
+	SampleEvery int
+	// MaxFrameDepth caps the frame stack (0 selects 1024).
+	MaxFrameDepth int
+	// PerCallCPUAccounting enables the ablation-only accounting strategy
+	// the paper rejected (§3.2): charge exact virtual time on every
+	// inter-isolate call boundary instead of sampling.
+	PerCallCPUAccounting bool
+	// DisableAccountingGC turns the GC's per-isolate charging pass off
+	// (ablation).
+	DisableAccountingGC bool
+}
+
+func (o *Options) normalize() {
+	if o.Mode == 0 {
+		o.Mode = core.ModeIsolated
+	}
+	if o.MaxThreads <= 0 {
+		o.MaxThreads = 4096
+	}
+	if o.Quantum <= 0 {
+		o.Quantum = 1000
+	}
+	if o.SampleEvery <= 0 {
+		o.SampleEvery = 127
+	}
+	if o.MaxFrameDepth <= 0 {
+		o.MaxFrameDepth = 1024
+	}
+}
+
+// VM is one virtual machine instance: registry, isolate world, heap,
+// threads and scheduler state. A VM is not safe for concurrent use; the
+// cooperative scheduler runs on the goroutine that calls Run.
+type VM struct {
+	opts     Options
+	registry *loader.Registry
+	world    *core.World
+	heap     *heap.Heap
+
+	threads      []*Thread
+	nextThreadID int64
+	liveThreads  int
+	rrIndex      int
+
+	// clock is the virtual time in ticks; it advances by one per executed
+	// instruction and jumps forward when all threads sleep.
+	clock            int64
+	instrSinceSample int
+	totalInstrs      int64
+
+	// pinned holds host-side references (OSGi registry, RPC endpoints)
+	// that act as GC roots attributed to an isolate.
+	pinned map[heap.IsolateID][]*heap.Object
+
+	// waiters tracks Object.wait sets per monitor object.
+	waiters map[*heap.Object][]*Thread
+
+	// out captures guest System.out.
+	out strings.Builder
+
+	// wellKnown caches bootstrap classes by name.
+	wellKnown map[string]*classfile.Class
+
+	// TraceMethodEntry, when set, observes every frame push (used by
+	// termination tests to prove killed code never runs again).
+	TraceMethodEntry func(m *classfile.Method, iso *core.Isolate)
+
+	// Host services the system library uses (installed by syslib).
+	connHost ConnectionHost
+
+	shutdown bool
+	rng      uint64
+}
+
+// ConnectionHost backs the guest's connection I/O (the simulated network
+// and filesystem substrate).
+type ConnectionHost interface {
+	// Open returns an opaque endpoint for a connection name.
+	Open(name string) (ConnectionEndpoint, error)
+}
+
+// ConnectionEndpoint is one open guest connection.
+type ConnectionEndpoint interface {
+	Read(n int) ([]byte, error)
+	Write(b []byte) (int, error)
+	Close() error
+}
+
+// NewVM creates an empty VM. The system library must be installed (see
+// internal/syslib) and at least one isolate created before code can run.
+func NewVM(opts Options) *VM {
+	opts.normalize()
+	registry := loader.NewRegistry()
+	h := heap.New(opts.HeapLimit)
+	if opts.Mode == core.ModeShared {
+		// The baseline JVM performs no per-bundle resource accounting.
+		h.SetAllocTracking(false)
+	}
+	return &VM{
+		opts:      opts,
+		registry:  registry,
+		world:     core.NewWorld(opts.Mode, registry),
+		heap:      h,
+		pinned:    make(map[heap.IsolateID][]*heap.Object),
+		waiters:   make(map[*heap.Object][]*Thread),
+		wellKnown: make(map[string]*classfile.Class),
+		rng:       0x9E3779B97F4A7C15,
+	}
+}
+
+// Options returns the VM's effective options.
+func (vm *VM) Options() Options { return vm.opts }
+
+// Registry returns the class-loader registry.
+func (vm *VM) Registry() *loader.Registry { return vm.registry }
+
+// World returns the isolate world.
+func (vm *VM) World() *core.World { return vm.world }
+
+// Heap returns the heap.
+func (vm *VM) Heap() *heap.Heap { return vm.heap }
+
+// Clock returns the virtual time in ticks.
+func (vm *VM) Clock() int64 { return vm.clock }
+
+// TotalInstructions returns the number of instructions executed so far.
+func (vm *VM) TotalInstructions() int64 { return vm.totalInstrs }
+
+// Output returns everything the guest printed to System.out.
+func (vm *VM) Output() string { return vm.out.String() }
+
+// AppendOutput appends to the captured System.out stream (used by
+// system-library print natives).
+func (vm *VM) AppendOutput(s string) { vm.out.WriteString(s) }
+
+// ResetOutput clears the captured output.
+func (vm *VM) ResetOutput() { vm.out.Reset() }
+
+// SetConnectionHost installs the I/O substrate used by guest connections.
+func (vm *VM) SetConnectionHost(h ConnectionHost) { vm.connHost = h }
+
+// ConnectionHostRef returns the installed I/O substrate (nil if none).
+func (vm *VM) ConnectionHostRef() ConnectionHost { return vm.connHost }
+
+// Shutdown marks the platform as shut down (System.exit / admin action);
+// the scheduler stops at the next boundary.
+func (vm *VM) Shutdown() { vm.shutdown = true }
+
+// IsShutdown reports whether the platform has been shut down.
+func (vm *VM) IsShutdown() bool { return vm.shutdown }
+
+// NewIsolate creates an application class loader and its isolate. The
+// first call creates Isolate0.
+func (vm *VM) NewIsolate(name string) (*core.Isolate, error) {
+	l := vm.registry.NewLoader(name)
+	return vm.world.NewIsolate(name, l)
+}
+
+// Pin registers a host-held reference as a GC root charged to iso (OSGi
+// service registry entries, RPC endpoints).
+func (vm *VM) Pin(iso heap.IsolateID, obj *heap.Object) {
+	if obj == nil {
+		return
+	}
+	vm.pinned[iso] = append(vm.pinned[iso], obj)
+}
+
+// Unpin removes a previously pinned reference.
+func (vm *VM) Unpin(iso heap.IsolateID, obj *heap.Object) {
+	refs := vm.pinned[iso]
+	for i, r := range refs {
+		if r == obj {
+			vm.pinned[iso] = append(refs[:i], refs[i+1:]...)
+			return
+		}
+	}
+}
+
+// lookupWellKnown resolves a bootstrap class by name with caching.
+func (vm *VM) lookupWellKnown(name string) (*classfile.Class, error) {
+	if c, ok := vm.wellKnown[name]; ok {
+		return c, nil
+	}
+	c, err := vm.registry.Bootstrap().Lookup(name)
+	if err != nil {
+		return nil, fmt.Errorf("system library class missing (is syslib installed?): %w", err)
+	}
+	vm.wellKnown[name] = c
+	return c, nil
+}
+
+// InternString returns the interned string object for s in isolate iso.
+// In Isolated mode every isolate has a private pool (paper §3.1/§3.5); in
+// Shared mode the single isolate's pool is global.
+func (vm *VM) InternString(iso *core.Isolate, s string) (*heap.Object, error) {
+	if iso == nil {
+		return nil, errors.New("interp: InternString requires an isolate")
+	}
+	if obj, ok := iso.InternedString(s); ok {
+		return obj, nil
+	}
+	strClass, err := vm.lookupWellKnown(ClassString)
+	if err != nil {
+		return nil, err
+	}
+	obj, err := vm.allocStringRaw(strClass, s, iso)
+	if err != nil {
+		return nil, err
+	}
+	iso.SetInternedString(s, obj)
+	return obj, nil
+}
+
+// NewStringObject allocates a fresh (non-interned) guest string.
+func (vm *VM) NewStringObject(iso *core.Isolate, s string) (*heap.Object, error) {
+	strClass, err := vm.lookupWellKnown(ClassString)
+	if err != nil {
+		return nil, err
+	}
+	return vm.allocStringRaw(strClass, s, iso)
+}
+
+// ClassObjectFor returns the per-isolate java.lang.Class object of class c
+// (Shared mode: the single shared one), allocating it lazily in the
+// class's task class mirror.
+func (vm *VM) ClassObjectFor(c *classfile.Class, iso *core.Isolate) (*heap.Object, error) {
+	m := vm.world.Mirror(c, iso)
+	if m.ClassObject != nil {
+		return m.ClassObject, nil
+	}
+	classClass, err := vm.lookupWellKnown(ClassClass)
+	if err != nil {
+		return nil, err
+	}
+	obj, err := vm.allocNativeRaw(classClass, c, 0, false, iso)
+	if err != nil {
+		return nil, err
+	}
+	m.ClassObject = obj
+	return obj, nil
+}
+
+// --- Allocation with GC-on-pressure -------------------------------------
+
+// allocRetry runs fn, and on heap exhaustion triggers an accounting
+// collection charged to iso and retries once. The second failure is
+// surfaced to the caller, which raises OutOfMemoryError in the guest.
+func (vm *VM) allocRetry(iso *core.Isolate, fn func() (*heap.Object, error)) (*heap.Object, error) {
+	obj, err := fn()
+	if err == nil {
+		return obj, nil
+	}
+	if !errors.Is(err, heap.ErrOutOfMemory) {
+		return nil, err
+	}
+	vm.CollectGarbage(iso)
+	return fn()
+}
+
+func (vm *VM) allocStringRaw(class *classfile.Class, s string, iso *core.Isolate) (*heap.Object, error) {
+	return vm.allocRetry(iso, func() (*heap.Object, error) {
+		return vm.heap.AllocString(class, s, iso.ID())
+	})
+}
+
+func (vm *VM) allocNativeRaw(class *classfile.Class, payload any, size int64, conn bool, iso *core.Isolate) (*heap.Object, error) {
+	return vm.allocRetry(iso, func() (*heap.Object, error) {
+		return vm.heap.AllocNative(class, payload, size, conn, iso.ID())
+	})
+}
+
+// AllocObjectIn allocates an instance of class charged to iso, collecting
+// on pressure.
+func (vm *VM) AllocObjectIn(class *classfile.Class, iso *core.Isolate) (*heap.Object, error) {
+	return vm.allocRetry(iso, func() (*heap.Object, error) {
+		return vm.heap.AllocObject(class, iso.ID())
+	})
+}
+
+// AllocArrayIn allocates an array charged to iso, collecting on pressure.
+func (vm *VM) AllocArrayIn(class *classfile.Class, n int, iso *core.Isolate) (*heap.Object, error) {
+	return vm.allocRetry(iso, func() (*heap.Object, error) {
+		return vm.heap.AllocArray(class, n, iso.ID())
+	})
+}
+
+// AllocNativeIn allocates a native-payload object charged to iso.
+func (vm *VM) AllocNativeIn(class *classfile.Class, payload any, size int64, conn bool, iso *core.Isolate) (*heap.Object, error) {
+	if conn {
+		iso.Account().ConnectionsOpened++
+	}
+	return vm.allocNativeRaw(class, payload, size, conn, iso)
+}
+
+// --- Garbage collection ---------------------------------------------------
+
+// CollectGarbage runs the paper's accounting collection (§3.2): roots are
+// the per-isolate mirrors and string pools (step 2) plus every thread
+// frame attributed to the frame's isolate (step 3), traced in isolate-ID
+// order so an object is charged to the first isolate referencing it (step
+// 4). triggeredBy, when non-nil, is charged one GC activation.
+func (vm *VM) CollectGarbage(triggeredBy *core.Isolate) heap.CollectResult {
+	if triggeredBy != nil {
+		triggeredBy.Account().GCActivations++
+	}
+	rootSets := vm.buildRootSets()
+	res := vm.heap.Collect(rootSets)
+	vm.world.UpdateDisposal(vm.heap)
+	vm.scheduleFinalizers(res.PendingFinalize)
+	return res
+}
+
+// scheduleFinalizers spawns one finalizer thread per pending object,
+// charged to the object's creator isolate (finalization work is part of
+// what attack A4 monopolizes the CPU with). Objects of killed isolates
+// are not finalized — their code must never run again (§3.3).
+func (vm *VM) scheduleFinalizers(pending []*heap.Object) {
+	for _, obj := range pending {
+		iso := vm.world.IsolateByID(obj.Creator)
+		if iso == nil || iso.Killed() {
+			continue
+		}
+		m, err := obj.Class.LookupMethod(loader.FinalizeName, "()V")
+		if err != nil {
+			continue
+		}
+		t, err := vm.SpawnThread("finalizer:"+obj.Class.Name, iso, m, []heap.Value{heap.RefVal(obj)})
+		if err != nil {
+			continue // thread limit reached: the object stays resurrected
+		}
+		_ = t
+		iso.Account().FinalizersRun++
+	}
+}
+
+// PreciseAccounting runs the precise per-isolate accounting pass (shared
+// objects charged to every isolate reaching them) over the same root sets
+// CollectGarbage uses — the strategy the paper rejected for its cost
+// (§3.2); kept as an ablation and for administrators who want an exact
+// view on demand.
+func (vm *VM) PreciseAccounting() map[heap.IsolateID]*heap.PreciseStats {
+	return vm.heap.PreciseAccounting(vm.buildRootSets())
+}
+
+// buildRootSets assembles the accounting root sets: per-isolate mirrors
+// and string pools (step 2), pinned host references, and thread frames
+// attributed to the frame's isolate (step 3), ordered by isolate ID so
+// charging follows the paper's first-tracer rule (step 4).
+func (vm *VM) buildRootSets() []heap.RootSet {
+	rootsByIso := vm.world.MirrorRootSets()
+	for iso, objs := range vm.pinned {
+		rootsByIso[iso] = append(rootsByIso[iso], objs...)
+	}
+	for _, t := range vm.threads {
+		if t.state == StateDone {
+			continue
+		}
+		// Thread-identity roots belong to the creator.
+		creatorID := t.creator.ID()
+		if t.threadObj != nil {
+			rootsByIso[creatorID] = append(rootsByIso[creatorID], t.threadObj)
+		}
+		if t.resumeThrow != nil {
+			rootsByIso[creatorID] = append(rootsByIso[creatorID], t.resumeThrow)
+		}
+		if r := t.resumeValue.R; r != nil {
+			rootsByIso[creatorID] = append(rootsByIso[creatorID], r)
+		}
+		if t.blockedOn != nil {
+			rootsByIso[creatorID] = append(rootsByIso[creatorID], t.blockedOn)
+		}
+		if t.waitingOn != nil {
+			rootsByIso[creatorID] = append(rootsByIso[creatorID], t.waitingOn)
+		}
+		for _, f := range t.frames {
+			isoID := f.iso.ID()
+			refs := rootsByIso[isoID]
+			for i := range f.locals {
+				if r := f.locals[i].R; r != nil {
+					refs = append(refs, r)
+				}
+			}
+			for i := range f.stack {
+				if r := f.stack[i].R; r != nil {
+					refs = append(refs, r)
+				}
+			}
+			if f.lockedMonitor != nil {
+				refs = append(refs, f.lockedMonitor)
+			}
+			if f.needsMonitor != nil {
+				refs = append(refs, f.needsMonitor)
+			}
+			rootsByIso[isoID] = refs
+		}
+	}
+	rootSets := make([]heap.RootSet, 0, len(rootsByIso))
+	if vm.opts.DisableAccountingGC {
+		// Ablation: single undifferentiated root set.
+		var all []*heap.Object
+		for _, refs := range rootsByIso {
+			all = append(all, refs...)
+		}
+		rootSets = append(rootSets, heap.RootSet{Isolate: 0, Refs: all})
+	} else {
+		for _, iso := range vm.world.Isolates() {
+			if refs, ok := rootsByIso[iso.ID()]; ok {
+				rootSets = append(rootSets, heap.RootSet{Isolate: iso.ID(), Refs: refs})
+			}
+		}
+	}
+	return rootSets
+}
+
+// MemoryFootprint returns the Figure 3 memory measure: live guest heap
+// plus the isolation metadata (task class mirrors, per-isolate string
+// pools and statistics). Run CollectGarbage first for a post-GC figure.
+func (vm *VM) MemoryFootprint() int64 {
+	return vm.heap.Used() + vm.world.StructFootprint()
+}
+
+// Snapshots returns per-isolate resource snapshots (refreshing nothing;
+// call CollectGarbage first for up-to-date live memory).
+func (vm *VM) Snapshots() []core.Snapshot {
+	return vm.world.Snapshots(vm.heap)
+}
+
+// SnapshotOf returns the snapshot of one isolate.
+func (vm *VM) SnapshotOf(iso *core.Isolate) core.Snapshot {
+	return vm.world.Snapshot(iso, vm.heap)
+}
+
+// NextRand returns a deterministic pseudo-random uint64 (xorshift*), used
+// by native methods that need randomness while keeping runs reproducible.
+func (vm *VM) NextRand() uint64 {
+	vm.rng ^= vm.rng >> 12
+	vm.rng ^= vm.rng << 25
+	vm.rng ^= vm.rng >> 27
+	return vm.rng * 0x2545F4914F6CDD1D
+}
+
+// describeThrowable renders "Class: message" for an exception object.
+func (vm *VM) describeThrowable(obj *heap.Object) string {
+	if obj == nil {
+		return "<nil throwable>"
+	}
+	msg := ""
+	if f, err := obj.Class.LookupField("message"); err == nil {
+		if mv := obj.Fields[f.Slot]; mv.R != nil {
+			if s, ok := mv.R.StringValue(); ok {
+				msg = s
+			}
+		}
+	}
+	if msg == "" {
+		return obj.Class.Name
+	}
+	return obj.Class.Name + ": " + msg
+}

@@ -1,0 +1,58 @@
+package limits_test
+
+import (
+	"testing"
+
+	"ijvm/internal/limits"
+)
+
+// TestCPUDistributionChargesCallee reproduces §4.4 experiment 1: sampling
+// charges the majority of the loop's CPU to the callee (the paper
+// measured roughly 75%/25%; the exact split depends on the callee/caller
+// instruction ratio).
+func TestCPUDistributionChargesCallee(t *testing.T) {
+	callee, caller, err := limits.CPUDistribution(200_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if callee <= caller {
+		t.Fatalf("callee share %.1f%% must exceed caller share %.1f%%", callee, caller)
+	}
+	if callee < 50 || callee > 95 {
+		t.Fatalf("callee share %.1f%% outside the plausible band", callee)
+	}
+}
+
+// TestGCAttributionChargesCallee reproduces §4.4 experiment 2: the
+// collections forced by per-call allocations inside the service are
+// charged to the service, not to the driving loop.
+func TestGCAttributionChargesCallee(t *testing.T) {
+	// 200k calls x 1KB garbage through a 64MB heap forces several GCs.
+	svcGCs, drvGCs, err := limits.GCAttribution(200_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if svcGCs == 0 {
+		t.Fatal("expected collections to be triggered on behalf of the service")
+	}
+	if drvGCs != 0 {
+		t.Fatalf("driver charged %d GCs; allocations happen inside the callee", drvGCs)
+	}
+}
+
+// TestSharedMemoryChargedToCaller reproduces §4.4 experiment 3: the large
+// object returned by the service and retained by the caller is charged to
+// the caller after collection.
+func TestSharedMemoryChargedToCaller(t *testing.T) {
+	const slots = 100_000 // ~800KB payload
+	svcBytes, drvBytes, err := limits.SharedMemoryCharge(slots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if drvBytes < slots*8 {
+		t.Fatalf("driver charged %d bytes, want >= %d (it retains the payload)", drvBytes, slots*8)
+	}
+	if svcBytes >= slots*8 {
+		t.Fatalf("service charged %d bytes for an object it does not retain", svcBytes)
+	}
+}

@@ -1,0 +1,189 @@
+package loader_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"ijvm/internal/bytecode"
+	"ijvm/internal/classfile"
+	"ijvm/internal/loader"
+)
+
+func simpleClass(name, super string) *classfile.Class {
+	b := classfile.NewClass(name)
+	if super != "" {
+		b.Super(super)
+	}
+	b.Field("x", classfile.KindInt)
+	b.StaticField("s", classfile.KindInt)
+	b.Method("m", "()V", classfile.FlagStatic, func(a *bytecode.Assembler) { a.Return() })
+	return b.MustBuild()
+}
+
+func newRegistryWithObject(t *testing.T) *loader.Registry {
+	t.Helper()
+	r := loader.NewRegistry()
+	obj := classfile.NewClass(classfile.ObjectClassName).MustBuild()
+	if err := r.Bootstrap().Define(obj); err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestLinkAssignsSlotsAcrossHierarchy(t *testing.T) {
+	r := newRegistryWithObject(t)
+	l := r.NewLoader("app")
+	base := simpleClass("a/Base", "")
+	if err := l.Define(base); err != nil {
+		t.Fatal(err)
+	}
+	derived := simpleClass("a/Derived", "a/Base")
+	if err := l.Define(derived); err != nil {
+		t.Fatal(err)
+	}
+	if base.NumFieldSlots != 1 || derived.NumFieldSlots != 2 {
+		t.Fatalf("field slots: base=%d derived=%d", base.NumFieldSlots, derived.NumFieldSlots)
+	}
+	if derived.Fields[0].Slot != 1 {
+		t.Fatalf("derived field slot = %d, want 1", derived.Fields[0].Slot)
+	}
+	if base.StaticsID == derived.StaticsID {
+		t.Fatal("statics IDs must be unique")
+	}
+	if derived.Super != base {
+		t.Fatal("superclass not resolved")
+	}
+	if base.LoaderID != l.ID() {
+		t.Fatal("loader ID not recorded")
+	}
+}
+
+func TestBootstrapClassesAreSystem(t *testing.T) {
+	r := newRegistryWithObject(t)
+	obj, err := r.Bootstrap().Lookup(classfile.ObjectClassName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !obj.IsSystem() {
+		t.Fatal("bootstrap class must carry FlagSystem")
+	}
+	l := r.NewLoader("app")
+	c := simpleClass("a/C", "")
+	if err := l.Define(c); err != nil {
+		t.Fatal(err)
+	}
+	if c.IsSystem() {
+		t.Fatal("application class must not carry FlagSystem")
+	}
+}
+
+func TestLookupDelegation(t *testing.T) {
+	r := newRegistryWithObject(t)
+	exporter := r.NewLoader("exporter")
+	if err := exporter.Define(simpleClass("exp/C", "")); err != nil {
+		t.Fatal(err)
+	}
+	importer := r.NewLoader("importer")
+
+	// Without wiring: not visible.
+	if _, err := importer.Lookup("exp/C"); err == nil {
+		t.Fatal("class visible without delegation")
+	}
+	var cnf *loader.ClassNotFoundError
+	if _, err := importer.Lookup("exp/C"); !errors.As(err, &cnf) {
+		t.Fatalf("error type: %v", err)
+	}
+
+	importer.AddDelegate(exporter)
+	if _, err := importer.Lookup("exp/C"); err != nil {
+		t.Fatalf("delegation failed: %v", err)
+	}
+	// Bootstrap always wins.
+	if c, err := importer.Lookup(classfile.ObjectClassName); err != nil || !c.IsSystem() {
+		t.Fatalf("bootstrap lookup: %v", err)
+	}
+	// Self/nil delegation is ignored.
+	importer.AddDelegate(importer)
+	importer.AddDelegate(nil)
+	importer.AddDelegate(exporter) // duplicate
+}
+
+func TestDefineRejectsDuplicatesAndRelinks(t *testing.T) {
+	r := newRegistryWithObject(t)
+	l := r.NewLoader("app")
+	c := simpleClass("a/C", "")
+	if err := l.Define(c); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Define(c); err == nil || !strings.Contains(err.Error(), "already defined") {
+		t.Fatalf("relink err = %v", err)
+	}
+	dup := simpleClass("a/C", "")
+	if err := l.Define(dup); err == nil || !strings.Contains(err.Error(), "duplicate class") {
+		t.Fatalf("duplicate err = %v", err)
+	}
+	if err := l.Define(simpleClass("a/D", "missing/Super")); err == nil {
+		t.Fatal("missing superclass accepted")
+	}
+}
+
+func TestDefineAllOrdersBySuperclass(t *testing.T) {
+	r := newRegistryWithObject(t)
+	l := r.NewLoader("app")
+	// Deliberately reversed order.
+	classes := []*classfile.Class{
+		simpleClass("o/C", "o/B"),
+		simpleClass("o/B", "o/A"),
+		simpleClass("o/A", ""),
+	}
+	if err := l.DefineAll(classes); err != nil {
+		t.Fatal(err)
+	}
+	if l.NumClasses() != 3 {
+		t.Fatalf("defined %d classes", l.NumClasses())
+	}
+	names := []string{}
+	for _, c := range l.Classes() {
+		names = append(names, c.Name)
+	}
+	if names[0] != "o/A" || names[2] != "o/C" {
+		t.Fatalf("Classes() = %v", names)
+	}
+}
+
+func TestDefineAllDetectsCycles(t *testing.T) {
+	r := newRegistryWithObject(t)
+	l := r.NewLoader("app")
+	err := l.DefineAll([]*classfile.Class{
+		simpleClass("c/A", "c/B"),
+		simpleClass("c/B", "c/A"),
+	})
+	if err == nil || !strings.Contains(err.Error(), "cycle") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRegistryAccessors(t *testing.T) {
+	r := newRegistryWithObject(t)
+	l1 := r.NewLoader("one")
+	if r.NumLoaders() != 2 {
+		t.Fatalf("loaders = %d", r.NumLoaders())
+	}
+	if r.Loader(l1.ID()) != l1 || r.Loader(99) != nil || r.Loader(-1) != nil {
+		t.Fatal("Loader accessor broken")
+	}
+	c := simpleClass("x/C", "")
+	if err := l1.Define(c); err != nil {
+		t.Fatal(err)
+	}
+	if r.ClassByStaticsID(c.StaticsID) != c {
+		t.Fatal("ClassByStaticsID broken")
+	}
+	if r.ClassByStaticsID(1000) != nil {
+		t.Fatal("out-of-range StaticsID accepted")
+	}
+	if r.NumClasses() != 2 { // Object + x/C
+		t.Fatalf("NumClasses = %d", r.NumClasses())
+	}
+}

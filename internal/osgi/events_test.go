@@ -1,0 +1,149 @@
+package osgi_test
+
+import (
+	"testing"
+
+	"ijvm/internal/bytecode"
+	"ijvm/internal/classfile"
+	"ijvm/internal/core"
+	"ijvm/internal/osgi"
+)
+
+// listenerSpec builds a bundle whose activator records every
+// serviceChanged event in statics.
+func listenerSpec() ([]*classfile.Class, osgi.Manifest) {
+	const cn = "listener/Activator"
+	act := classfile.NewClass(cn).
+		StaticField("registered", classfile.KindInt).
+		StaticField("unregistered", classfile.KindInt).
+		StaticField("lastName", classfile.KindRef).
+		Method("start", "(Lijvm/osgi/BundleContext;)V", classfile.FlagPublic|classfile.FlagStatic,
+			func(a *bytecode.Assembler) { a.Return() }).
+		Method("serviceChanged", "(Ljava/lang/String;I)V", classfile.FlagPublic|classfile.FlagStatic,
+			func(a *bytecode.Assembler) {
+				a.ALoad(0).PutStatic(cn, "lastName")
+				a.ILoad(1).Const(1).IfICmpNe("unreg")
+				a.GetStatic(cn, "registered").Const(1).IAdd().PutStatic(cn, "registered")
+				a.Return()
+				a.Label("unreg")
+				a.GetStatic(cn, "unregistered").Const(1).IAdd().PutStatic(cn, "unregistered")
+				a.Return()
+			}).MustBuild()
+	return []*classfile.Class{act}, osgi.Manifest{Name: "listener", Activator: cn}
+}
+
+// TestServiceEventsDelivered verifies register/unregister events reach
+// listener bundles, and that the origin bundle is not notified of its
+// own registrations.
+func TestServiceEventsDelivered(t *testing.T) {
+	f := newFramework(t, core.ModeIsolated)
+	lClasses, lMan := listenerSpec()
+	listener := f.MustInstall(lMan, lClasses)
+	if _, err := f.Start(listener); err != nil {
+		t.Fatal(err)
+	}
+
+	pClasses, pMan := providerSpec()
+	provider := f.MustInstall(pMan, pClasses)
+	if _, err := f.Start(provider); err != nil {
+		t.Fatal(err)
+	}
+
+	readStatic := func(slotName string) int64 {
+		class, err := listener.Loader().Lookup("listener/Activator")
+		if err != nil {
+			t.Fatal(err)
+		}
+		field, err := class.LookupStaticField(slotName)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mirror := f.VM().World().Mirror(class, listener.Isolate())
+		return mirror.Statics[field.Slot].I
+	}
+
+	if got := readStatic("registered"); got != 1 {
+		t.Fatalf("registered events = %d, want 1", got)
+	}
+	if got := readStatic("unregistered"); got != 0 {
+		t.Fatalf("unregistered events = %d, want 0", got)
+	}
+
+	// Killing the provider unregisters its service -> one event.
+	if err := f.KillBundle(provider); err != nil {
+		t.Fatal(err)
+	}
+	if got := readStatic("unregistered"); got != 1 {
+		t.Fatalf("unregistered events after kill = %d, want 1", got)
+	}
+}
+
+// TestHangingActivatorDoesNotFreezeFramework verifies §3.4 rule 1: start
+// runs in a fresh thread, so a malicious activator that never returns
+// cannot freeze the OSGi runtime.
+func TestHangingActivatorDoesNotFreezeFramework(t *testing.T) {
+	f := newFramework(t, core.ModeIsolated)
+	f.LifecycleBudget = 200_000 // keep the test fast
+	const cn = "hang/Activator"
+	act := classfile.NewClass(cn).
+		Method("start", "(Lijvm/osgi/BundleContext;)V", classfile.FlagPublic|classfile.FlagStatic,
+			func(a *bytecode.Assembler) {
+				a.Label("loop")
+				a.Goto("loop")
+			}).MustBuild()
+	hang := f.MustInstall(osgi.Manifest{Name: "hang", Activator: cn}, []*classfile.Class{act})
+	th, err := f.Start(hang)
+	if err != nil {
+		t.Fatalf("framework must survive a hanging start: %v", err)
+	}
+	if th == nil || th.Done() {
+		t.Fatal("the hanging start thread must still be parked/running")
+	}
+	if hang.State() != osgi.StateActive {
+		t.Fatalf("bundle state = %s", hang.State())
+	}
+
+	// The framework remains fully operational: another bundle installs
+	// and starts normally.
+	pClasses, pMan := providerSpec()
+	provider := f.MustInstall(pMan, pClasses)
+	if _, err := f.Start(provider); err != nil {
+		t.Fatal(err)
+	}
+	if provider.State() != osgi.StateActive {
+		t.Fatal("provider blocked by the hanging activator")
+	}
+	// And the administrator can still kill the hanging bundle.
+	if err := f.KillBundle(hang); err != nil {
+		t.Fatal(err)
+	}
+	f.VM().Run(1_000_000)
+	if !th.Done() {
+		t.Fatal("hanging start thread must die after the kill")
+	}
+}
+
+// TestStopUnregistersServices covers the stop path's registry cleanup.
+func TestStopUnregistersServices(t *testing.T) {
+	f := newFramework(t, core.ModeIsolated)
+	pClasses, pMan := providerSpec()
+	provider := f.MustInstall(pMan, pClasses)
+	if _, err := f.Start(provider); err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Registry().Names()) != 1 {
+		t.Fatal("service not registered")
+	}
+	if _, err := f.Stop(provider); err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Registry().Names()) != 0 {
+		t.Fatal("stop must unregister the bundle's services")
+	}
+	if err := f.Uninstall(provider); err != nil {
+		t.Fatal(err)
+	}
+	if provider.State() != osgi.StateUninstalled {
+		t.Fatalf("state = %s", provider.State())
+	}
+}

@@ -1,0 +1,214 @@
+package osgi_test
+
+import (
+	"testing"
+
+	"ijvm/internal/bytecode"
+	"ijvm/internal/classfile"
+	"ijvm/internal/core"
+	"ijvm/internal/heap"
+	"ijvm/internal/interp"
+	"ijvm/internal/osgi"
+	"ijvm/internal/syslib"
+)
+
+func newFramework(t *testing.T, mode core.Mode) *osgi.Framework {
+	t.Helper()
+	vm := interp.NewVM(interp.Options{Mode: mode})
+	syslib.MustInstall(vm)
+	f, err := osgi.NewFramework(vm)
+	if err != nil {
+		t.Fatalf("framework: %v", err)
+	}
+	return f
+}
+
+// providerSpec builds a bundle exporting a Counter service.
+func providerSpec() ([]*classfile.Class, osgi.Manifest) {
+	counter := classfile.NewClass("provider/Counter").
+		Field("n", classfile.KindInt).
+		Method(classfile.InitName, "()V", classfile.FlagPublic, func(a *bytecode.Assembler) {
+			a.ALoad(0).InvokeSpecial(classfile.ObjectClassName, classfile.InitName, "()V").Return()
+		}).
+		Method("inc", "(I)I", classfile.FlagPublic, func(a *bytecode.Assembler) {
+			a.ALoad(0).ALoad(0).GetField("provider/Counter", "n").ILoad(1).IAdd().
+				PutField("provider/Counter", "n")
+			a.ALoad(0).GetField("provider/Counter", "n").IReturn()
+		}).MustBuild()
+	activator := classfile.NewClass("provider/Activator").
+		Method("start", "(Lijvm/osgi/BundleContext;)V", classfile.FlagPublic|classfile.FlagStatic, func(a *bytecode.Assembler) {
+			a.ALoad(0).Str("svc/counter")
+			a.New("provider/Counter").Dup().InvokeSpecial("provider/Counter", classfile.InitName, "()V")
+			a.InvokeVirtual("ijvm/osgi/BundleContext", "registerService", "(Ljava/lang/String;Ljava/lang/Object;)V")
+			a.Return()
+		}).MustBuild()
+	return []*classfile.Class{counter, activator}, osgi.Manifest{
+		Name:      "provider",
+		Version:   "1.0.0",
+		Exports:   []string{"provider"},
+		Activator: "provider/Activator",
+	}
+}
+
+// consumerSpec builds a bundle that calls the Counter service n times.
+func consumerSpec() ([]*classfile.Class, osgi.Manifest) {
+	consumer := classfile.NewClass("consumer/Client").
+		StaticField("ctx", classfile.KindRef).
+		Method("setCtx", "(Lijvm/osgi/BundleContext;)V", classfile.FlagStatic, func(a *bytecode.Assembler) {
+			a.ALoad(0).PutStatic("consumer/Client", "ctx").Return()
+		}).
+		Method("drive", "(I)I", classfile.FlagStatic, func(a *bytecode.Assembler) {
+			// Counter c = (Counter) ctx.getService("svc/counter");
+			a.GetStatic("consumer/Client", "ctx").Str("svc/counter").
+				InvokeVirtual("ijvm/osgi/BundleContext", "getService", "(Ljava/lang/String;)Ljava/lang/Object;").
+				CheckCast("provider/Counter").AStore(1)
+			// for (i = 0; i < n; i++) last = c.inc(1);
+			a.Const(0).IStore(2).Const(0).IStore(3)
+			a.Label("loop")
+			a.ILoad(2).ILoad(0).IfICmpGe("done")
+			a.ALoad(1).Const(1).InvokeVirtual("provider/Counter", "inc", "(I)I").IStore(3)
+			a.IInc(2, 1).Goto("loop")
+			a.Label("done")
+			a.ILoad(3).IReturn()
+		}).MustBuild()
+	activator := classfile.NewClass("consumer/Activator").
+		Method("start", "(Lijvm/osgi/BundleContext;)V", classfile.FlagPublic|classfile.FlagStatic, func(a *bytecode.Assembler) {
+			a.ALoad(0).InvokeStatic("consumer/Client", "setCtx", "(Lijvm/osgi/BundleContext;)V").Return()
+		}).MustBuild()
+	return []*classfile.Class{consumer, activator}, osgi.Manifest{
+		Name:      "consumer",
+		Version:   "1.0.0",
+		Imports:   []string{"provider"},
+		Activator: "consumer/Activator",
+	}
+}
+
+func TestServiceCallAcrossBundles(t *testing.T) {
+	for _, mode := range []core.Mode{core.ModeShared, core.ModeIsolated} {
+		t.Run(mode.String(), func(t *testing.T) {
+			f := newFramework(t, mode)
+			pClasses, pMan := providerSpec()
+			cClasses, cMan := consumerSpec()
+			provider := f.MustInstall(pMan, pClasses)
+			consumer := f.MustInstall(cMan, cClasses)
+			if _, err := f.Start(provider); err != nil {
+				t.Fatalf("start provider: %v", err)
+			}
+			if _, err := f.Start(consumer); err != nil {
+				t.Fatalf("start consumer: %v", err)
+			}
+
+			driveClass, err := consumer.Loader().Lookup("consumer/Client")
+			if err != nil {
+				t.Fatal(err)
+			}
+			m, err := driveClass.LookupMethod("drive", "(I)I")
+			if err != nil {
+				t.Fatal(err)
+			}
+			v, th, err := f.VM().CallRoot(consumer.Isolate(), m, []heap.Value{heap.IntVal(200)}, 10_000_000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if th.Failure() != nil {
+				t.Fatalf("uncaught: %s", th.FailureString())
+			}
+			if v.I != 200 {
+				t.Fatalf("drive(200) = %d, want 200", v.I)
+			}
+
+			if mode == core.ModeIsolated {
+				// The drag loop makes 200 inter-bundle calls into the
+				// provider (§4.1's paint-demo metric).
+				in := provider.Isolate().Account().InterBundleCallsIn
+				if in < 200 {
+					t.Fatalf("provider InterBundleCallsIn = %d, want >= 200", in)
+				}
+				if provider.Isolate() == consumer.Isolate() {
+					t.Fatal("bundles must have distinct isolates in isolated mode")
+				}
+			} else if provider.Isolate() != consumer.Isolate() {
+				t.Fatal("bundles must share the world isolate in shared mode")
+			}
+		})
+	}
+}
+
+func TestKillBundleStopsItsCode(t *testing.T) {
+	f := newFramework(t, core.ModeIsolated)
+	pClasses, pMan := providerSpec()
+	cClasses, cMan := consumerSpec()
+	provider := f.MustInstall(pMan, pClasses)
+	consumer := f.MustInstall(cMan, cClasses)
+	if _, err := f.Start(provider); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Start(consumer); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.KillBundle(provider); err != nil {
+		t.Fatalf("kill: %v", err)
+	}
+	if !provider.Isolate().Killed() {
+		t.Fatal("provider isolate must be killed")
+	}
+	// Calling into the killed bundle must raise StoppedIsolateException,
+	// never execute provider code.
+	executed := false
+	f.VM().TraceMethodEntry = func(m *classfile.Method, iso *core.Isolate) {
+		if iso == provider.Isolate() {
+			executed = true
+		}
+	}
+	driveClass, err := consumer.Loader().Lookup("consumer/Client")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := driveClass.LookupMethod("drive", "(I)I")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The service was unregistered on kill, so getService returns null
+	// and checkcast passes null; inc() on null receiver throws NPE — or,
+	// if the consumer cached a reference, the call throws
+	// StoppedIsolateException. Either way provider code never runs.
+	_, th, err := f.VM().CallRoot(consumer.Isolate(), m, []heap.Value{heap.IntVal(5)}, 10_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if th.Failure() == nil {
+		t.Fatal("expected a failure after provider kill")
+	}
+	if executed {
+		t.Fatal("killed bundle's code executed")
+	}
+}
+
+func TestSyntheticConfigsInstall(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		specs []osgi.BundleSpec
+	}{
+		{"felix", osgi.FelixConfig()},
+		{"equinox", osgi.EquinoxConfig()},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			f := newFramework(t, core.ModeIsolated)
+			bundles, err := osgi.InstallAndStart(f, tc.specs)
+			if err != nil {
+				t.Fatalf("install: %v", err)
+			}
+			if len(bundles) != len(tc.specs) {
+				t.Fatalf("installed %d of %d bundles", len(bundles), len(tc.specs))
+			}
+			for _, b := range bundles {
+				if b.State() != osgi.StateActive {
+					t.Fatalf("bundle %s state = %s, want ACTIVE", b.Name(), b.State())
+				}
+			}
+			if got := len(f.Registry().Names()); got != len(tc.specs) {
+				t.Fatalf("registered services = %d, want %d", got, len(tc.specs))
+			}
+		})
+	}
+}

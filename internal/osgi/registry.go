@@ -1,0 +1,113 @@
+package osgi
+
+import (
+	"fmt"
+	"sort"
+
+	"ijvm/internal/heap"
+	"ijvm/internal/interp"
+)
+
+// ServiceRegistry is the OSGi name service (§3.4): bundles "register
+// object references in a name service and find foreign references" through
+// it. Handing a reference out through the registry is the explicit sharing
+// mechanism of I-JVM — after that, calls on the service are direct method
+// calls with thread migration.
+type ServiceRegistry struct {
+	vm       *interp.VM
+	services map[string]*serviceEntry
+	// onChange queues a service event for deferred dispatch (set by the
+	// framework).
+	onChange func(name string, eventType int64, origin *Bundle)
+}
+
+type serviceEntry struct {
+	name   string
+	obj    *heap.Object
+	owner  *Bundle
+	usedBy map[int]bool // bundle IDs that looked the service up
+}
+
+func newServiceRegistry(vm *interp.VM) *ServiceRegistry {
+	return &ServiceRegistry{vm: vm, services: make(map[string]*serviceEntry)}
+}
+
+// Register publishes a service object under a name, owned by a bundle.
+// The registry entry pins the object as a GC root charged to the owner.
+func (r *ServiceRegistry) Register(name string, obj *heap.Object, owner *Bundle) error {
+	if obj == nil {
+		return fmt.Errorf("osgi: registering nil service %q", name)
+	}
+	if _, dup := r.services[name]; dup {
+		return fmt.Errorf("osgi: service %q already registered", name)
+	}
+	r.services[name] = &serviceEntry{
+		name:   name,
+		obj:    obj,
+		owner:  owner,
+		usedBy: make(map[int]bool),
+	}
+	r.vm.Pin(owner.iso.ID(), obj)
+	if r.onChange != nil {
+		r.onChange(name, 1 /* ServiceRegistered */, owner)
+	}
+	return nil
+}
+
+// Get returns the service object, or nil when unknown. user records the
+// looking-up bundle for diagnostics.
+func (r *ServiceRegistry) Get(name string, user *Bundle) *heap.Object {
+	e, ok := r.services[name]
+	if !ok {
+		return nil
+	}
+	if user != nil {
+		e.usedBy[user.id] = true
+	}
+	return e.obj
+}
+
+// Unregister removes a service by name.
+func (r *ServiceRegistry) Unregister(name string) {
+	e, ok := r.services[name]
+	if !ok {
+		return
+	}
+	r.vm.Unpin(e.owner.iso.ID(), e.obj)
+	delete(r.services, name)
+	if r.onChange != nil {
+		r.onChange(name, 2 /* ServiceUnregistered */, e.owner)
+	}
+}
+
+// unregisterOwnedBy drops every service owned by a bundle (bundle kill /
+// uninstall path).
+func (r *ServiceRegistry) unregisterOwnedBy(b *Bundle) {
+	for name, e := range r.services {
+		if e.owner == b {
+			r.vm.Unpin(e.owner.iso.ID(), e.obj)
+			delete(r.services, name)
+			if r.onChange != nil {
+				r.onChange(name, 2 /* ServiceUnregistered */, b)
+			}
+		}
+	}
+}
+
+// Names returns the registered service names, sorted.
+func (r *ServiceRegistry) Names() []string {
+	out := make([]string, 0, len(r.services))
+	for name := range r.services {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// OwnerOf returns the owning bundle of a service, or nil.
+func (r *ServiceRegistry) OwnerOf(name string) *Bundle {
+	if e, ok := r.services[name]; ok {
+		return e.owner
+	}
+	return nil
+}

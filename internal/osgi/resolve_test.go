@@ -1,0 +1,117 @@
+package osgi_test
+
+import (
+	"strings"
+	"testing"
+
+	"ijvm/internal/bytecode"
+	"ijvm/internal/classfile"
+	"ijvm/internal/core"
+	"ijvm/internal/osgi"
+)
+
+func trivialClasses(pkg string) []*classfile.Class {
+	c := classfile.NewClass(pkg+"/Impl").
+		Method("noop", "()V", classfile.FlagStatic, func(a *bytecode.Assembler) { a.Return() }).
+		MustBuild()
+	return []*classfile.Class{c}
+}
+
+func TestResolveFailsForMissingImport(t *testing.T) {
+	f := newFramework(t, core.ModeIsolated)
+	b, err := f.Install(osgi.Manifest{Name: "needy", Imports: []string{"absent/pkg"}},
+		trivialClasses("needy"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = f.Resolve(b)
+	if err == nil || !strings.Contains(err.Error(), "no bundle exports") {
+		t.Fatalf("err = %v", err)
+	}
+	if b.State() != osgi.StateInstalled {
+		t.Fatalf("state = %s, want INSTALLED", b.State())
+	}
+	// Installing the exporter later lets resolution succeed.
+	exp, err := f.Install(osgi.Manifest{Name: "exporter", Exports: []string{"absent/pkg"}},
+		trivialClasses("absent/pkg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = exp
+	if err := f.Resolve(b); err != nil {
+		t.Fatalf("resolve after exporter installed: %v", err)
+	}
+	if b.State() != osgi.StateResolved {
+		t.Fatalf("state = %s, want RESOLVED", b.State())
+	}
+}
+
+func TestResolveSkipsKilledExporters(t *testing.T) {
+	f := newFramework(t, core.ModeIsolated)
+	exp1, err := f.Install(osgi.Manifest{Name: "exp1", Exports: []string{"shared/pkg"}},
+		trivialClasses("shared/pkg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.KillBundle(exp1); err != nil {
+		t.Fatal(err)
+	}
+	importer, err := f.Install(osgi.Manifest{Name: "imp", Imports: []string{"shared/pkg"}},
+		trivialClasses("imp"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The only exporter is dead: resolution must fail rather than wire
+	// to a killed bundle.
+	if err := f.Resolve(importer); err == nil {
+		t.Fatal("resolution wired to a killed exporter")
+	}
+}
+
+func TestInstallRejectsDuplicatesAndEmptyNames(t *testing.T) {
+	f := newFramework(t, core.ModeIsolated)
+	if _, err := f.Install(osgi.Manifest{}, nil); err == nil {
+		t.Fatal("empty manifest accepted")
+	}
+	if _, err := f.Install(osgi.Manifest{Name: "dup"}, trivialClasses("dup")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Install(osgi.Manifest{Name: "dup"}, trivialClasses("dup2")); err == nil {
+		t.Fatal("duplicate bundle name accepted")
+	}
+}
+
+func TestUninstallRequiresStopped(t *testing.T) {
+	f := newFramework(t, core.ModeIsolated)
+	pClasses, pMan := providerSpec()
+	provider := f.MustInstall(pMan, pClasses)
+	if _, err := f.Start(provider); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Uninstall(provider); err == nil {
+		t.Fatal("uninstall of an ACTIVE bundle accepted")
+	}
+	if _, err := f.Stop(provider); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Uninstall(provider); err != nil {
+		t.Fatal(err)
+	}
+	// An uninstalled bundle cannot resolve or restart.
+	if err := f.Resolve(provider); err == nil {
+		t.Fatal("resolve of uninstalled bundle accepted")
+	}
+}
+
+func TestBundleManifestIsCopied(t *testing.T) {
+	f := newFramework(t, core.ModeIsolated)
+	b, err := f.Install(osgi.Manifest{Name: "m", Exports: []string{"p"}}, trivialClasses("p"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	man := b.Manifest()
+	man.Exports[0] = "hijacked"
+	if got := b.Manifest().Exports[0]; got != "p" {
+		t.Fatalf("manifest aliased: %q", got)
+	}
+}

@@ -1,0 +1,155 @@
+package osgi_test
+
+import (
+	"strings"
+	"testing"
+
+	"ijvm/internal/core"
+	"ijvm/internal/osgi"
+)
+
+func shellEnv(t *testing.T) (*osgi.Framework, *osgi.Shell) {
+	t.Helper()
+	f := newFramework(t, core.ModeIsolated)
+	if _, err := osgi.InstallAndStart(f, osgi.FelixConfig()); err != nil {
+		t.Fatal(err)
+	}
+	return f, osgi.NewShell(f)
+}
+
+func execute(t *testing.T, s *osgi.Shell, cmd string) string {
+	t.Helper()
+	var sb strings.Builder
+	if err := s.Execute(&sb, cmd); err != nil {
+		t.Fatalf("%q: %v", cmd, err)
+	}
+	return sb.String()
+}
+
+func TestShellBundlesAndServices(t *testing.T) {
+	_, s := shellEnv(t)
+	out := execute(t, s, "bundles")
+	for _, want := range []string{"administration", "shell", "repository", "ACTIVE"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("bundles output missing %q:\n%s", want, out)
+		}
+	}
+	out = execute(t, s, "services")
+	if !strings.Contains(out, "svc/administration") {
+		t.Errorf("services output missing registration:\n%s", out)
+	}
+}
+
+func TestShellStatsAndMem(t *testing.T) {
+	_, s := shellEnv(t)
+	out := execute(t, s, "stats")
+	if !strings.Contains(out, "osgi-framework") || !strings.Contains(out, "LIVE-B") {
+		t.Errorf("stats output:\n%s", out)
+	}
+	out = execute(t, s, "mem")
+	if !strings.Contains(out, "heap:") || !strings.Contains(out, "footprint:") {
+		t.Errorf("mem output:\n%s", out)
+	}
+	out = execute(t, s, "precise")
+	if !strings.Contains(out, "SHARED-B") {
+		t.Errorf("precise output:\n%s", out)
+	}
+	out = execute(t, s, "threads")
+	if !strings.Contains(out, "STATE") {
+		t.Errorf("threads output:\n%s", out)
+	}
+	execute(t, s, "gc")
+}
+
+func TestShellLifecycleAndKill(t *testing.T) {
+	f, s := shellEnv(t)
+	out := execute(t, s, "kill shell")
+	if !strings.Contains(out, "kill shell") {
+		t.Errorf("kill output:\n%s", out)
+	}
+	b := f.BundleByName("shell")
+	if !b.Isolate().Killed() {
+		t.Fatal("shell bundle not killed")
+	}
+	out = execute(t, s, "bundles")
+	if !strings.Contains(out, "killed") && !strings.Contains(out, "disposed") {
+		t.Errorf("killed state not shown:\n%s", out)
+	}
+	// Errors for unknown bundles and commands.
+	var sb strings.Builder
+	if err := s.Execute(&sb, "kill nosuch"); err == nil {
+		t.Fatal("kill of unknown bundle accepted")
+	}
+	if err := s.Execute(&sb, "frobnicate"); err == nil {
+		t.Fatal("unknown command accepted")
+	}
+	if err := s.Execute(&sb, ""); err != nil {
+		t.Fatal("empty line must be a no-op")
+	}
+	execute(t, s, "help")
+	execute(t, s, "detect")
+}
+
+func TestAutoAdminKillsHog(t *testing.T) {
+	f := newFramework(t, core.ModeIsolated)
+	// Reuse the attack-style hog via a synthetic bundle holding memory.
+	spec := osgi.ManagementBundle("innocent", 2, 4, 16)
+	if _, err := osgi.InstallAndStart(f, []osgi.BundleSpec{spec}); err != nil {
+		t.Fatal(err)
+	}
+	hogSpec := osgi.ManagementBundle("hog", 2, 4, 1<<17) // huge static tables
+	if _, err := osgi.InstallAndStart(f, []osgi.BundleSpec{hogSpec}); err != nil {
+		t.Fatal(err)
+	}
+
+	admin := osgi.NewAutoAdmin(f, osgi.AdminPolicy{
+		Thresholds: core.Thresholds{MaxLiveBytes: 1 << 20},
+		Protected:  []string{"innocent"},
+	})
+	actions, err := admin.Tick()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(actions) != 1 || !actions[0].Killed || actions[0].Bundle != "hog" {
+		t.Fatalf("actions = %v", actions)
+	}
+	if !f.BundleByName("hog").Isolate().Killed() {
+		t.Fatal("hog not killed")
+	}
+	if f.BundleByName("innocent").Isolate().Killed() {
+		t.Fatal("innocent bundle killed")
+	}
+	// A second tick is a no-op: the offender is dead and reclaimed.
+	actions, err = admin.Tick()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(actions) != 0 {
+		t.Fatalf("second tick acted: %v", actions)
+	}
+	if admin.Kills() != 1 || len(admin.Log()) != 1 {
+		t.Fatalf("kills=%d log=%d", admin.Kills(), len(admin.Log()))
+	}
+}
+
+func TestAutoAdminDryRunAndBudget(t *testing.T) {
+	f := newFramework(t, core.ModeIsolated)
+	hog := osgi.ManagementBundle("hog", 2, 4, 1<<17)
+	if _, err := osgi.InstallAndStart(f, []osgi.BundleSpec{hog}); err != nil {
+		t.Fatal(err)
+	}
+	admin := osgi.NewAutoAdmin(f, osgi.AdminPolicy{
+		Thresholds: core.Thresholds{MaxLiveBytes: 1 << 20},
+		DryRun:     true,
+	})
+	actions, err := admin.Tick()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(actions) != 1 || actions[0].Killed {
+		t.Fatalf("dry run acted: %v", actions)
+	}
+	if f.BundleByName("hog").Isolate().Killed() {
+		t.Fatal("dry run killed a bundle")
+	}
+}

@@ -1,0 +1,135 @@
+package osgi
+
+import (
+	"fmt"
+
+	"ijvm/internal/bytecode"
+	"ijvm/internal/classfile"
+)
+
+// BundleSpec couples a manifest with its class set; used by the synthetic
+// platform configurations that reproduce Figure 3.
+type BundleSpec struct {
+	Manifest Manifest
+	Classes  []*classfile.Class
+}
+
+// ManagementBundle synthesizes a management bundle in the style of
+// Felix/Equinox support bundles (administration, shell, repository, ...):
+// nClasses classes, each with static state initialized in <clinit>, string
+// constants, instance methods, and an activator that allocates working
+// state and registers a service. The memory it occupies scales with its
+// parameters, which is what Figure 3 measures.
+func ManagementBundle(name string, nClasses, stringsPerClass, staticArrayLen int) BundleSpec {
+	pkg := "mgmt/" + name
+	activatorName := pkg + "/Activator"
+	classes := make([]*classfile.Class, 0, nClasses+1)
+
+	for ci := 0; ci < nClasses; ci++ {
+		cname := fmt.Sprintf("%s/Component%d", pkg, ci)
+		b := classfile.NewClass(cname)
+		b.StaticField("table", classfile.KindRef)
+		b.StaticField("hits", classfile.KindInt)
+		b.Field("state", classfile.KindInt)
+		b.Method(classfile.ClinitName, "()V", classfile.FlagStatic, func(a *bytecode.Assembler) {
+			// table = new Object[staticArrayLen]; plus intern strings.
+			a.Const(int64(staticArrayLen)).NewArray("").PutStatic(cname, "table")
+			for si := 0; si < stringsPerClass; si++ {
+				a.Str(fmt.Sprintf("%s.const.%d.%s", cname, si, padding)).Pop()
+			}
+			a.Return()
+		})
+		b.Method(classfile.InitName, "()V", classfile.FlagPublic, func(a *bytecode.Assembler) {
+			a.ALoad(0).InvokeSpecial(classfile.ObjectClassName, classfile.InitName, "()V").Return()
+		})
+		b.Method("touch", "(I)I", classfile.FlagPublic, func(a *bytecode.Assembler) {
+			a.GetStatic(cname, "hits").Const(1).IAdd().PutStatic(cname, "hits")
+			a.ALoad(0).ILoad(1).PutField(cname, "state")
+			a.ALoad(0).GetField(cname, "state").IReturn()
+		})
+		classes = append(classes, b.MustBuild())
+	}
+
+	act := classfile.NewClass(activatorName)
+	act.StaticField("workset", classfile.KindRef)
+	act.Method(classfile.InitName, "()V", classfile.FlagPublic, func(a *bytecode.Assembler) {
+		a.ALoad(0).InvokeSpecial(classfile.ObjectClassName, classfile.InitName, "()V").Return()
+	})
+	act.Method("start", "(Lijvm/osgi/BundleContext;)V", classfile.FlagPublic|classfile.FlagStatic, func(a *bytecode.Assembler) {
+		// workset = new ArrayList(); fill with components; register self
+		// as a service.
+		a.New("java/util/ArrayList").Dup().
+			InvokeSpecial("java/util/ArrayList", classfile.InitName, "()V").
+			PutStatic(activatorName, "workset")
+		for ci := 0; ci < nClasses; ci++ {
+			cname := fmt.Sprintf("%s/Component%d", pkg, ci)
+			a.GetStatic(activatorName, "workset")
+			a.New(cname).Dup().InvokeSpecial(cname, classfile.InitName, "()V")
+			a.InvokeVirtual("java/util/ArrayList", "add", "(Ljava/lang/Object;)Z").Pop()
+		}
+		a.ALoad(0).Str("svc/"+name).GetStatic(activatorName, "workset").
+			InvokeVirtual("ijvm/osgi/BundleContext", "registerService", "(Ljava/lang/String;Ljava/lang/Object;)V")
+		a.Return()
+	})
+	act.Method("stop", "(Lijvm/osgi/BundleContext;)V", classfile.FlagPublic|classfile.FlagStatic, func(a *bytecode.Assembler) {
+		a.Null().PutStatic(activatorName, "workset")
+		a.Return()
+	})
+	classes = append(classes, act.MustBuild())
+
+	return BundleSpec{
+		Manifest: Manifest{
+			Name:      name,
+			Version:   "1.0.0",
+			Exports:   []string{pkg},
+			Activator: activatorName,
+		},
+		Classes: classes,
+	}
+}
+
+// padding lengthens synthetic string constants so string-pool footprints
+// are visible in the memory measurements.
+const padding = "........................................"
+
+// FelixConfig is the paper's Felix base configuration: the OSGi runtime
+// plus three management bundles (administration, shell, repository) —
+// §4.2, Figure 3.
+func FelixConfig() []BundleSpec {
+	return []BundleSpec{
+		ManagementBundle("administration", 6, 12, 64),
+		ManagementBundle("shell", 4, 16, 32),
+		ManagementBundle("repository", 8, 10, 96),
+	}
+}
+
+// EquinoxConfig is the paper's Equinox base configuration: the OSGi
+// runtime plus twenty-two management bundles — §4.2, Figure 3.
+func EquinoxConfig() []BundleSpec {
+	specs := make([]BundleSpec, 0, 22)
+	for i := 0; i < 22; i++ {
+		specs = append(specs, ManagementBundle(
+			fmt.Sprintf("equinox-mgmt-%02d", i),
+			3+i%5,  // 3-7 classes
+			8+i%9,  // 8-16 strings per class
+			32+i*4, // growing static tables
+		))
+	}
+	return specs
+}
+
+// InstallAndStart installs, resolves and starts every spec in order.
+func InstallAndStart(f *Framework, specs []BundleSpec) ([]*Bundle, error) {
+	bundles := make([]*Bundle, 0, len(specs))
+	for _, spec := range specs {
+		b, err := f.Install(spec.Manifest, spec.Classes)
+		if err != nil {
+			return bundles, err
+		}
+		if _, err := f.Start(b); err != nil {
+			return bundles, err
+		}
+		bundles = append(bundles, b)
+	}
+	return bundles, nil
+}

@@ -1,0 +1,81 @@
+// Package rpc implements the two inter-isolate communication baselines of
+// Table 1:
+//
+//   - an Incommunicado-like link (MVM isolate communication): deep copy of
+//     the argument object graph into the callee's space plus a synchronous
+//     thread handoff;
+//   - an RMI-like local call: full serialization of arguments and results
+//     over a loopback TCP connection to a server goroutine.
+//
+// Both contrast with I-JVM's direct calls (thread migration, no copying),
+// which are measured at the interpreter level by the workloads package.
+package rpc
+
+import (
+	"fmt"
+
+	"ijvm/internal/core"
+	"ijvm/internal/heap"
+	"ijvm/internal/interp"
+)
+
+// DeepCopyValue copies a value graph into the target isolate's space:
+// objects are re-allocated (charged to target), fields and array elements
+// copied recursively, cycles preserved via a memo table. This is the
+// parameter-copy obligation that isolate-based communication models impose
+// and I-JVM avoids (§1: "copying parameters implies modifying legacy
+// bundles ... Since the OSGi platform uses communication between bundles
+// heavily, using RPCs would induce a non negligible overhead").
+func DeepCopyValue(vm *interp.VM, v heap.Value, target *core.Isolate) (heap.Value, error) {
+	memo := make(map[*heap.Object]*heap.Object)
+	return deepCopy(vm, v, target, memo)
+}
+
+func deepCopy(vm *interp.VM, v heap.Value, target *core.Isolate, memo map[*heap.Object]*heap.Object) (heap.Value, error) {
+	if !v.IsRef() || v.R == nil {
+		return v, nil
+	}
+	if dup, ok := memo[v.R]; ok {
+		return heap.RefVal(dup), nil
+	}
+	src := v.R
+	if s, isStr := src.StringValue(); isStr {
+		dup, err := vm.NewStringObject(target, s)
+		if err != nil {
+			return heap.Value{}, err
+		}
+		memo[src] = dup
+		return heap.RefVal(dup), nil
+	}
+	if src.IsArray() {
+		dup, err := vm.AllocArrayIn(src.Class, len(src.Elems), target)
+		if err != nil {
+			return heap.Value{}, err
+		}
+		memo[src] = dup
+		for i := range src.Elems {
+			cv, err := deepCopy(vm, src.Elems[i], target, memo)
+			if err != nil {
+				return heap.Value{}, err
+			}
+			dup.Elems[i] = cv
+		}
+		return heap.RefVal(dup), nil
+	}
+	if src.Native != nil {
+		return heap.Value{}, fmt.Errorf("rpc: cannot copy native-payload object of class %s", src.Class.Name)
+	}
+	dup, err := vm.AllocObjectIn(src.Class, target)
+	if err != nil {
+		return heap.Value{}, err
+	}
+	memo[src] = dup
+	for i := range src.Fields {
+		cv, err := deepCopy(vm, src.Fields[i], target, memo)
+		if err != nil {
+			return heap.Value{}, err
+		}
+		dup.Fields[i] = cv
+	}
+	return heap.RefVal(dup), nil
+}

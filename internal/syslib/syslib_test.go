@@ -1,0 +1,362 @@
+package syslib_test
+
+import (
+	"strings"
+	"testing"
+
+	"ijvm/internal/bytecode"
+	"ijvm/internal/classfile"
+	"ijvm/internal/core"
+	"ijvm/internal/heap"
+	"ijvm/internal/interp"
+	"ijvm/internal/syslib"
+)
+
+// runSnippet builds a single static method ()I with the given body, runs
+// it and returns its value.
+func runSnippet(t *testing.T, body func(a *bytecode.Assembler)) (heap.Value, *interp.VM) {
+	t.Helper()
+	vm := interp.NewVM(interp.Options{Mode: core.ModeIsolated})
+	syslib.MustInstall(vm)
+	iso, err := vm.NewIsolate("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := classfile.NewClass("snip/Main").
+		Method("run", "()I", classfile.FlagStatic, body).MustBuild()
+	if err := iso.Loader().Define(c); err != nil {
+		t.Fatal(err)
+	}
+	m, err := c.LookupMethod("run", "()I")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, th, err := vm.CallRoot(iso, m, nil, 20_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if th.Failure() != nil {
+		t.Fatalf("uncaught: %s", th.FailureString())
+	}
+	return v, vm
+}
+
+func TestStringOperations(t *testing.T) {
+	v, _ := runSnippet(t, func(a *bytecode.Assembler) {
+		// "hello".concat(" world").length() + "hello".startsWith("he") +
+		// "abcabc".indexOf("ca")
+		a.Str("hello").Str(" world").
+			InvokeVirtual("java/lang/String", "concat", "(Ljava/lang/String;)Ljava/lang/String;").
+			InvokeVirtual("java/lang/String", "length", "()I")
+		a.Str("hello").Str("he").
+			InvokeVirtual("java/lang/String", "startsWith", "(Ljava/lang/String;)Z").
+			IAdd()
+		a.Str("abcabc").Str("ca").
+			InvokeVirtual("java/lang/String", "indexOf", "(Ljava/lang/String;)I").
+			IAdd()
+		a.IReturn()
+	})
+	if v.I != 11+1+2 {
+		t.Fatalf("string ops = %d, want 14", v.I)
+	}
+}
+
+func TestStringEqualsVsIdentity(t *testing.T) {
+	v, _ := runSnippet(t, func(a *bytecode.Assembler) {
+		// Within one isolate: interned literals are identical AND equal.
+		a.Str("x").Str("x").IfACmpNe("bad")
+		a.Str("x").Str("x").
+			InvokeVirtual("java/lang/String", "equals", "(Ljava/lang/Object;)Z").
+			IfEq("bad")
+		// substring creates a fresh object: equal but not identical.
+		a.Str("xy").Const(0).Const(1).
+			InvokeVirtual("java/lang/String", "substring", "(II)Ljava/lang/String;").
+			AStore(0)
+		a.ALoad(0).Str("x").IfACmpEq("bad")
+		a.ALoad(0).Str("x").
+			InvokeVirtual("java/lang/String", "equals", "(Ljava/lang/Object;)Z").
+			IfEq("bad")
+		// intern() maps it back to the pool object.
+		a.ALoad(0).InvokeVirtual("java/lang/String", "intern", "()Ljava/lang/String;").
+			Str("x").IfACmpNe("bad")
+		a.Const(1).IReturn()
+		a.Label("bad")
+		a.Const(0).IReturn()
+	})
+	if v.I != 1 {
+		t.Fatal("string identity/equality semantics broken")
+	}
+}
+
+func TestStringBuilder(t *testing.T) {
+	v, vm := runSnippet(t, func(a *bytecode.Assembler) {
+		const sb = "java/lang/StringBuilder"
+		a.New(sb).Dup().InvokeSpecial(sb, classfile.InitName, "()V").AStore(0)
+		a.ALoad(0).Str("n=").InvokeVirtual(sb, "append", "(Ljava/lang/String;)Ljava/lang/StringBuilder;").Pop()
+		a.ALoad(0).Const(42).InvokeVirtual(sb, "appendInt", "(I)Ljava/lang/StringBuilder;").Pop()
+		a.ALoad(0).InvokeVirtual(sb, "toString", "()Ljava/lang/String;").
+			InvokeStatic("java/lang/System", "println", "(Ljava/lang/String;)V")
+		a.ALoad(0).InvokeVirtual(sb, "lengthOf", "()I").IReturn()
+	})
+	if v.I != 4 {
+		t.Fatalf("builder length = %d, want 4", v.I)
+	}
+	if got := vm.Output(); got != "n=42\n" {
+		t.Fatalf("output = %q", got)
+	}
+}
+
+func TestArrayListAndInteger(t *testing.T) {
+	v, _ := runSnippet(t, func(a *bytecode.Assembler) {
+		const list = "java/util/ArrayList"
+		a.New(list).Dup().InvokeSpecial(list, classfile.InitName, "()V").AStore(0)
+		// add(Integer.valueOf(10)); addInt(32); size + get(0).intValue + getInt(1)
+		a.ALoad(0).Const(10).InvokeStatic("java/lang/Integer", "valueOf", "(I)Ljava/lang/Integer;").
+			InvokeVirtual(list, "add", "(Ljava/lang/Object;)Z").Pop()
+		a.ALoad(0).Const(32).InvokeVirtual(list, "addInt", "(I)Z").Pop()
+		a.ALoad(0).InvokeVirtual(list, "size", "()I")
+		a.ALoad(0).Const(0).InvokeVirtual(list, "get", "(I)Ljava/lang/Object;").
+			CheckCast("java/lang/Integer").
+			InvokeVirtual("java/lang/Integer", "intValue", "()I").IAdd()
+		a.ALoad(0).Const(1).InvokeVirtual(list, "getInt", "(I)I").IAdd()
+		a.IReturn()
+	})
+	if v.I != 2+10+32 {
+		t.Fatalf("list/integer = %d, want 44", v.I)
+	}
+}
+
+func TestHashMap(t *testing.T) {
+	v, _ := runSnippet(t, func(a *bytecode.Assembler) {
+		const m = "java/util/HashMap"
+		a.New(m).Dup().InvokeSpecial(m, classfile.InitName, "()V").AStore(0)
+		a.ALoad(0).Str("k1").Const(7).InvokeStatic("java/lang/Integer", "valueOf", "(I)Ljava/lang/Integer;").
+			InvokeVirtual(m, "put", "(Ljava/lang/String;Ljava/lang/Object;)V")
+		a.ALoad(0).Str("k2").Str("v2").InvokeVirtual(m, "put", "(Ljava/lang/String;Ljava/lang/Object;)V")
+		a.ALoad(0).Str("k1").InvokeVirtual(m, "containsKey", "(Ljava/lang/String;)Z")
+		a.ALoad(0).InvokeVirtual(m, "size", "()I").IAdd()
+		a.ALoad(0).Str("k1").InvokeVirtual(m, "get", "(Ljava/lang/String;)Ljava/lang/Object;").
+			CheckCast("java/lang/Integer").InvokeVirtual("java/lang/Integer", "intValue", "()I").IAdd()
+		a.ALoad(0).Str("k2").InvokeVirtual(m, "remove", "(Ljava/lang/String;)V")
+		a.ALoad(0).InvokeVirtual(m, "size", "()I").IAdd()
+		a.ALoad(0).Str("missing").InvokeVirtual(m, "get", "(Ljava/lang/String;)Ljava/lang/Object;").
+			IfNull("ok")
+		a.Const(-100).IReturn()
+		a.Label("ok")
+		a.IReturn()
+	})
+	if v.I != 1+2+7+1 {
+		t.Fatalf("map = %d, want 11", v.I)
+	}
+}
+
+func TestMathHelpers(t *testing.T) {
+	v, _ := runSnippet(t, func(a *bytecode.Assembler) {
+		a.Const(3).Const(9).InvokeStatic("java/lang/Math", "min", "(II)I")
+		a.Const(3).Const(9).InvokeStatic("java/lang/Math", "max", "(II)I").IAdd()
+		a.Const(-5).InvokeStatic("java/lang/Math", "abs", "(I)I").IAdd()
+		a.FConst(16).InvokeStatic("java/lang/Math", "sqrt", "(F)F").F2I().IAdd()
+		a.IReturn()
+	})
+	if v.I != 3+9+5+4 {
+		t.Fatalf("math = %d, want 21", v.I)
+	}
+}
+
+func TestConnectionIOCharged(t *testing.T) {
+	v, vm := runSnippet(t, func(a *bytecode.Assembler) {
+		const conn = "ijvm/io/Connection"
+		a.Str("tcp://example").InvokeStatic(conn, "open", "(Ljava/lang/String;)Lijvm/io/Connection;").AStore(0)
+		a.ALoad(0).Str("ping").InvokeVirtual(conn, "write", "(Ljava/lang/String;)I")
+		a.ALoad(0).Const(100).InvokeVirtual(conn, "writeBytes", "(I)I").IAdd()
+		a.ALoad(0).Const(64).InvokeVirtual(conn, "read", "(I)I").IAdd()
+		a.ALoad(0).InvokeVirtual(conn, "close", "()V")
+		a.IReturn()
+	})
+	if v.I != 4+100+64 {
+		t.Fatalf("io = %d, want 168", v.I)
+	}
+	snaps := vm.Snapshots()
+	if len(snaps) != 1 {
+		t.Fatalf("snapshots = %d", len(snaps))
+	}
+	if snaps[0].IOBytesWritten != 104 || snaps[0].IOBytesRead != 64 {
+		t.Fatalf("io accounting = w%d r%d, want w104 r64", snaps[0].IOBytesWritten, snaps[0].IOBytesRead)
+	}
+	if snaps[0].ConnectionsOpened != 1 {
+		t.Fatalf("connections = %d", snaps[0].ConnectionsOpened)
+	}
+}
+
+func TestSystemExitDeniedToBundles(t *testing.T) {
+	// The snippet's isolate is Isolate0, which MAY exit; verify the
+	// denial path with a second isolate.
+	vm := interp.NewVM(interp.Options{Mode: core.ModeIsolated})
+	syslib.MustInstall(vm)
+	if _, err := vm.NewIsolate("runtime"); err != nil {
+		t.Fatal(err)
+	}
+	bundle, err := vm.NewIsolate("bundle")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := classfile.NewClass("b/Exit").
+		Method("run", "()I", classfile.FlagStatic, func(a *bytecode.Assembler) {
+			a.Label("try")
+			a.Const(1).InvokeStatic("java/lang/System", "exit", "(I)V")
+			a.Const(0).IReturn()
+			a.Label("endtry")
+			a.Label("catch")
+			a.Pop().Const(1).IReturn()
+			a.Handler("try", "endtry", "catch", "java/lang/SecurityException")
+		}).MustBuild()
+	if err := bundle.Loader().Define(c); err != nil {
+		t.Fatal(err)
+	}
+	m, _ := c.LookupMethod("run", "()I")
+	v, th, err := vm.CallRoot(bundle, m, nil, 1_000_000)
+	if err != nil || th.Failure() != nil {
+		t.Fatalf("%v / %s", err, th.FailureString())
+	}
+	if v.I != 1 {
+		t.Fatal("bundle's System.exit must raise SecurityException")
+	}
+	if vm.IsShutdown() {
+		t.Fatal("platform must not shut down")
+	}
+}
+
+func TestObjectHashCodeStableAndToString(t *testing.T) {
+	v, vm := runSnippet(t, func(a *bytecode.Assembler) {
+		a.New(classfile.ObjectClassName).Dup().
+			InvokeSpecial(classfile.ObjectClassName, classfile.InitName, "()V").AStore(0)
+		a.ALoad(0).InvokeVirtual(classfile.ObjectClassName, "hashCode", "()I").IStore(1)
+		a.ALoad(0).InvokeVirtual(classfile.ObjectClassName, "hashCode", "()I").IStore(2)
+		a.ILoad(1).ILoad(2).IfICmpNe("bad")
+		a.ALoad(0).InvokeVirtual(classfile.ObjectClassName, "toString", "()Ljava/lang/String;").
+			InvokeStatic("java/lang/System", "println", "(Ljava/lang/String;)V")
+		a.ILoad(1).IfNe("ok")
+		a.Label("bad")
+		a.Const(0).IReturn()
+		a.Label("ok")
+		a.Const(1).IReturn()
+	})
+	if v.I != 1 {
+		t.Fatal("hashCode must be stable and non-zero")
+	}
+	if !strings.Contains(vm.Output(), "java/lang/Object@") {
+		t.Fatalf("toString output = %q", vm.Output())
+	}
+}
+
+func TestWaitNotify(t *testing.T) {
+	// A producer thread notifies a consumer waiting on a shared lock.
+	vm := interp.NewVM(interp.Options{Mode: core.ModeIsolated})
+	syslib.MustInstall(vm)
+	iso, err := vm.NewIsolate("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const cn = "wn/Main"
+	c := classfile.NewClass(cn).
+		StaticField("lock", classfile.KindRef).
+		StaticField("flag", classfile.KindInt).
+		Method(classfile.InitName, "()V", classfile.FlagPublic, func(a *bytecode.Assembler) {
+			a.ALoad(0).InvokeSpecial(classfile.ObjectClassName, classfile.InitName, "()V").Return()
+		}).
+		// run(): producer — set flag, notify.
+		Method("run", "()V", classfile.FlagPublic, func(a *bytecode.Assembler) {
+			a.GetStatic(cn, "lock").MonitorEnter()
+			a.Const(1).PutStatic(cn, "flag")
+			a.GetStatic(cn, "lock").InvokeVirtual(classfile.ObjectClassName, "notifyAll", "()V")
+			a.GetStatic(cn, "lock").MonitorExit()
+			a.Return()
+		}).
+		// main(): consumer — wait until flag set.
+		Method("main", "()I", classfile.FlagStatic, func(a *bytecode.Assembler) {
+			a.New(classfile.ObjectClassName).Dup().
+				InvokeSpecial(classfile.ObjectClassName, classfile.InitName, "()V").
+				PutStatic(cn, "lock")
+			// start the producer
+			a.New("java/lang/Thread").Dup()
+			a.New(cn).Dup().InvokeSpecial(cn, classfile.InitName, "()V")
+			a.InvokeSpecial("java/lang/Thread", classfile.InitName, "(Ljava/lang/Object;)V").AStore(0)
+			a.GetStatic(cn, "lock").MonitorEnter()
+			a.ALoad(0).InvokeVirtual("java/lang/Thread", "start", "()V")
+			a.Label("check")
+			a.GetStatic(cn, "flag").IfNe("got")
+			a.GetStatic(cn, "lock").InvokeVirtual(classfile.ObjectClassName, "wait", "()V")
+			a.Goto("check")
+			a.Label("got")
+			a.GetStatic(cn, "lock").MonitorExit()
+			a.GetStatic(cn, "flag").IReturn()
+		}).MustBuild()
+	if err := iso.Loader().Define(c); err != nil {
+		t.Fatal(err)
+	}
+	m, _ := c.LookupMethod("main", "()I")
+	v, th, err := vm.CallRoot(iso, m, nil, 10_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if th.Failure() != nil {
+		t.Fatalf("uncaught: %s", th.FailureString())
+	}
+	if v.I != 1 {
+		t.Fatalf("flag = %d, want 1", v.I)
+	}
+}
+
+func TestThreadInterruptWakesSleeper(t *testing.T) {
+	vm := interp.NewVM(interp.Options{Mode: core.ModeIsolated})
+	syslib.MustInstall(vm)
+	iso, err := vm.NewIsolate("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const cn = "ti/Sleeper"
+	c := classfile.NewClass(cn).
+		StaticField("woke", classfile.KindInt).
+		Method(classfile.InitName, "()V", classfile.FlagPublic, func(a *bytecode.Assembler) {
+			a.ALoad(0).InvokeSpecial(classfile.ObjectClassName, classfile.InitName, "()V").Return()
+		}).
+		Method("run", "()V", classfile.FlagPublic, func(a *bytecode.Assembler) {
+			a.Label("try")
+			a.Const(0).InvokeStatic("java/lang/Thread", "sleep", "(I)V") // forever
+			a.Goto("end")
+			a.Label("endtry")
+			a.Label("catch")
+			a.Pop()
+			a.Const(1).PutStatic(cn, "woke")
+			a.Label("end")
+			a.Return()
+			a.Handler("try", "endtry", "catch", "java/lang/InterruptedException")
+		}).MustBuild()
+	if err := iso.Loader().Define(c); err != nil {
+		t.Fatal(err)
+	}
+	runM, _ := c.LookupMethod("run", "()V")
+	obj, err := vm.AllocObjectIn(c, iso)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sleeper, err := vm.SpawnThread("sleeper", iso, runM, []heap.Value{heap.RefVal(obj)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm.Run(10_000)
+	if sleeper.State() != interp.StateSleeping {
+		t.Fatalf("state = %v, want sleeping", sleeper.State())
+	}
+	if err := vm.InterruptThread(sleeper); err != nil {
+		t.Fatal(err)
+	}
+	vm.RunUntil(sleeper, 1_000_000)
+	if !sleeper.Done() || sleeper.Failure() != nil {
+		t.Fatalf("sleeper done=%v failure=%v", sleeper.Done(), sleeper.FailureString())
+	}
+	mirror := vm.World().Mirror(c, iso)
+	if mirror.Statics[0].I != 1 {
+		t.Fatal("InterruptedException handler did not run")
+	}
+}

@@ -1,0 +1,175 @@
+package textasm
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"ijvm/internal/bytecode"
+	"ijvm/internal/classfile"
+)
+
+// Print renders classes back into .jasm source that Parse accepts,
+// closing the assemble/disassemble loop (used by cmd/ijvm -dump and the
+// round-trip property tests). Native methods cannot be printed; they are
+// emitted as comments.
+func Print(classes []*classfile.Class) string {
+	var b strings.Builder
+	for i, c := range classes {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		printClass(&b, c)
+	}
+	return b.String()
+}
+
+func printClass(b *strings.Builder, c *classfile.Class) {
+	fmt.Fprintf(b, ".class %s\n", c.Name)
+	if c.SuperName != "" && c.SuperName != classfile.ObjectClassName {
+		fmt.Fprintf(b, ".super %s\n", c.SuperName)
+	}
+	for _, ifname := range c.Interfaces {
+		fmt.Fprintf(b, ".implements %s\n", ifname)
+	}
+	for _, f := range c.Fields {
+		fmt.Fprintf(b, ".field %s %s\n", f.Name, kindChar(f.Kind))
+	}
+	for _, f := range c.StaticFields {
+		fmt.Fprintf(b, ".static %s %s\n", f.Name, kindChar(f.Kind))
+	}
+	for _, m := range c.Methods {
+		printMethod(b, c, m)
+	}
+}
+
+func kindChar(k classfile.Kind) string {
+	switch k {
+	case classfile.KindInt:
+		return "I"
+	case classfile.KindFloat:
+		return "F"
+	default:
+		return "A"
+	}
+}
+
+func methodFlags(flags classfile.Flags) string {
+	var parts []string
+	if flags.Has(classfile.FlagStatic) {
+		parts = append(parts, "static")
+	}
+	if flags.Has(classfile.FlagPublic) {
+		parts = append(parts, "public")
+	}
+	if flags.Has(classfile.FlagSynchronized) {
+		parts = append(parts, "synchronized")
+	}
+	if len(parts) == 0 {
+		return ""
+	}
+	return " " + strings.Join(parts, " ")
+}
+
+func printMethod(b *strings.Builder, c *classfile.Class, m *classfile.Method) {
+	if m.IsNative() {
+		fmt.Fprintf(b, "; native method %s%s elided\n", m.Name, m.Desc.Raw())
+		return
+	}
+	fmt.Fprintf(b, ".method %s %s%s\n", m.Name, m.Desc.Raw(), methodFlags(m.Flags))
+	code := m.Code
+	labels := collectLabels(code)
+	for pc, in := range code.Instrs {
+		if name, ok := labels[int32(pc)]; ok {
+			fmt.Fprintf(b, "%s:\n", name)
+		}
+		fmt.Fprintf(b, "    %s\n", renderInstr(c, in, labels))
+	}
+	// A label that targets one past the last instruction cannot occur
+	// (validated code), but handler end labels can point there.
+	if name, ok := labels[int32(len(code.Instrs))]; ok {
+		fmt.Fprintf(b, "%s:\n", name)
+	}
+	for _, h := range code.Handlers {
+		catch := h.CatchClass
+		if catch == "" {
+			catch = "*"
+		}
+		fmt.Fprintf(b, ".catch %s %s %s %s\n",
+			catch, labels[h.Start], labels[h.End], labels[h.Target])
+	}
+	b.WriteString(".end\n")
+}
+
+// collectLabels assigns stable label names to every branch target and
+// handler boundary.
+func collectLabels(code *bytecode.Code) map[int32]string {
+	targets := make(map[int32]bool)
+	for _, in := range code.Instrs {
+		if in.Op.IsBranch() {
+			targets[in.A] = true
+		}
+	}
+	for _, h := range code.Handlers {
+		targets[h.Start] = true
+		targets[h.End] = true
+		targets[h.Target] = true
+	}
+	pcs := make([]int32, 0, len(targets))
+	for pc := range targets {
+		pcs = append(pcs, pc)
+	}
+	sort.Slice(pcs, func(i, j int) bool { return pcs[i] < pcs[j] })
+	labels := make(map[int32]string, len(pcs))
+	for i, pc := range pcs {
+		labels[pc] = fmt.Sprintf("L%d", i)
+	}
+	return labels
+}
+
+func renderInstr(c *classfile.Class, in bytecode.Instr, labels map[int32]string) string {
+	op := in.Op
+	switch {
+	case op == bytecode.OpIConst:
+		return fmt.Sprintf("iconst %d", in.I)
+	case op == bytecode.OpFConst:
+		return "fconst " + strconv.FormatFloat(in.F, 'g', -1, 64)
+	case op == bytecode.OpIInc:
+		return fmt.Sprintf("iinc %d %d", in.A, in.B)
+	case op.UsesLocal():
+		return fmt.Sprintf("%s %d", op, in.A)
+	case op.IsBranch():
+		return fmt.Sprintf("%s %s", op, labels[in.A])
+	case op.UsesPool():
+		return renderPoolInstr(c, in)
+	default:
+		return op.String()
+	}
+}
+
+func renderPoolInstr(c *classfile.Class, in bytecode.Instr) string {
+	entry, err := c.Pool.Entry(in.A)
+	if err != nil {
+		if in.Op == bytecode.OpNewArray && in.A == 0 {
+			return "newarray"
+		}
+		return fmt.Sprintf("; unprintable %s (pool %d)", in.Op, in.A)
+	}
+	switch in.Op {
+	case bytecode.OpLdcString:
+		return fmt.Sprintf("ldc_string %q", entry.Str)
+	case bytecode.OpLdcClass:
+		return "ldc_class " + entry.ClassName
+	case bytecode.OpGetStatic, bytecode.OpPutStatic, bytecode.OpGetField, bytecode.OpPutField:
+		return fmt.Sprintf("%s %s.%s", in.Op, entry.ClassName, entry.Name)
+	case bytecode.OpInvokeStatic, bytecode.OpInvokeVirtual, bytecode.OpInvokeSpecial:
+		return fmt.Sprintf("%s %s.%s%s", in.Op, entry.ClassName, entry.Name, entry.Descriptor)
+	case bytecode.OpNew, bytecode.OpInstanceOf, bytecode.OpCheckCast:
+		return fmt.Sprintf("%s %s", in.Op, entry.ClassName)
+	case bytecode.OpNewArray:
+		return "newarray " + entry.ClassName
+	default:
+		return fmt.Sprintf("; unprintable %s", in.Op)
+	}
+}

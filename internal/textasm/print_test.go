@@ -1,0 +1,144 @@
+package textasm_test
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"ijvm/internal/classfile"
+	"ijvm/internal/core"
+	"ijvm/internal/heap"
+	"ijvm/internal/interp"
+	"ijvm/internal/syslib"
+	"ijvm/internal/textasm"
+)
+
+// runProgram executes className.run(n) from parsed classes.
+func runProgram(t *testing.T, classes []*classfile.Class, className string, n int64) int64 {
+	t.Helper()
+	vm := interp.NewVM(interp.Options{Mode: core.ModeIsolated})
+	syslib.MustInstall(vm)
+	iso, err := vm.NewIsolate("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := iso.Loader().DefineAll(classes); err != nil {
+		t.Fatal(err)
+	}
+	class, err := iso.Loader().Lookup(className)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := class.LookupMethod("run", "(I)I")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, th, err := vm.CallRoot(iso, m, []heap.Value{heap.IntVal(n)}, 10_000_000)
+	if err != nil || th.Failure() != nil {
+		t.Fatalf("%v / %s", err, th.FailureString())
+	}
+	return v.I
+}
+
+// TestPrintParseRoundTripPreservesSemantics: parse -> print -> parse must
+// yield a program with identical behaviour and identical instruction
+// streams.
+func TestPrintParseRoundTripPreservesSemantics(t *testing.T) {
+	sources := map[string]struct {
+		src   string
+		class string
+		n     int64
+		want  int64
+	}{
+		"sum":   {sumProgram, "demo/Sum", 100, 5050},
+		"multi": {multiClassProgram, "demo/Main", 34, 42},
+	}
+	for name, tc := range sources {
+		t.Run(name, func(t *testing.T) {
+			first, err := textasm.Parse(tc.src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			printed := textasm.Print(first)
+			second, err := textasm.Parse(printed)
+			if err != nil {
+				t.Fatalf("reparse failed: %v\nprinted:\n%s", err, printed)
+			}
+			if len(first) != len(second) {
+				t.Fatalf("class count changed: %d -> %d", len(first), len(second))
+			}
+			// Structural check: same opcode streams.
+			for ci := range first {
+				if len(first[ci].Methods) != len(second[ci].Methods) {
+					t.Fatalf("method count changed in %s", first[ci].Name)
+				}
+				for mi := range first[ci].Methods {
+					a, b := first[ci].Methods[mi].Code, second[ci].Methods[mi].Code
+					if len(a.Instrs) != len(b.Instrs) {
+						t.Fatalf("instr count changed in %s", first[ci].Methods[mi].QualifiedName())
+					}
+					for pc := range a.Instrs {
+						if a.Instrs[pc].Op != b.Instrs[pc].Op {
+							t.Fatalf("op changed at %s pc %d: %v -> %v",
+								first[ci].Methods[mi].QualifiedName(), pc, a.Instrs[pc].Op, b.Instrs[pc].Op)
+						}
+					}
+				}
+			}
+			// Behavioural check (fresh class sets: classes link once).
+			third, err := textasm.Parse(tc.src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fourth, err := textasm.Parse(printed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got1 := runProgram(t, third, tc.class, tc.n)
+			got2 := runProgram(t, fourth, tc.class, tc.n)
+			if got1 != tc.want || got2 != tc.want {
+				t.Fatalf("results: original=%d reprinted=%d want=%d", got1, got2, tc.want)
+			}
+		})
+	}
+}
+
+// TestPrintHandlesExceptionTables round-trips the catch program.
+func TestPrintHandlesExceptionTables(t *testing.T) {
+	first, err := textasm.Parse(catchProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	printed := textasm.Print(first)
+	if !strings.Contains(printed, ".catch java/lang/ArithmeticException") {
+		t.Fatalf("handler lost:\n%s", printed)
+	}
+	reparsed, err := textasm.Parse(printed)
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, printed)
+	}
+	got := runProgram(t, reparsed, "demo/Catch", 0)
+	if got != -1 {
+		t.Fatalf("run(0) = %d, want -1 via handler", got)
+	}
+}
+
+// TestPrintRoundTripSieveFile round-trips the shipped example program.
+func TestPrintRoundTripSieveFile(t *testing.T) {
+	src, err := os.ReadFile("../../examples/programs/sieve.jasm")
+	if err != nil {
+		t.Skipf("example program unavailable: %v", err)
+	}
+	first, err := textasm.Parse(string(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	printed := textasm.Print(first)
+	reparsed, err := textasm.Parse(printed)
+	if err != nil {
+		t.Fatalf("reparse: %v", err)
+	}
+	if got := runProgram(t, reparsed, "demo/Sieve", 1000); got != 168 {
+		t.Fatalf("primes(1000) = %d, want 168", got)
+	}
+}

@@ -1,0 +1,95 @@
+package textasm_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ijvm/internal/core"
+	"ijvm/internal/heap"
+	"ijvm/internal/interp"
+	"ijvm/internal/syslib"
+	"ijvm/internal/textasm"
+)
+
+// TestShippedPrograms keeps every example .jasm program assembling and
+// producing its documented result in both VM modes.
+func TestShippedPrograms(t *testing.T) {
+	programs := []struct {
+		file   string
+		class  string
+		method string
+		desc   string
+		n      int64
+		want   int64 // ignored for ()V entries
+		isVoid bool
+	}{
+		{"sieve.jasm", "demo/Sieve", "run", "(I)I", 1000, 168, false},
+		{"sieve.jasm", "demo/Sieve", "run", "(I)I", 100, 25, false},
+		{"quicksort.jasm", "demo/Quicksort", "run", "(I)I", 300, 0, false},
+		{"hello.jasm", "demo/Hello", "main", "()V", 0, 0, true},
+	}
+	for _, p := range programs {
+		for _, mode := range []core.Mode{core.ModeShared, core.ModeIsolated} {
+			name := p.file + "/" + mode.String()
+			if !p.isVoid {
+				name += "/" + itoa(p.n)
+			}
+			t.Run(name, func(t *testing.T) {
+				src, err := os.ReadFile(filepath.Join("../../examples/programs", p.file))
+				if err != nil {
+					t.Fatal(err)
+				}
+				classes, err := textasm.Parse(string(src))
+				if err != nil {
+					t.Fatal(err)
+				}
+				vm := interp.NewVM(interp.Options{Mode: mode})
+				syslib.MustInstall(vm)
+				iso, err := vm.NewIsolate("main")
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := iso.Loader().DefineAll(classes); err != nil {
+					t.Fatal(err)
+				}
+				class, err := iso.Loader().Lookup(p.class)
+				if err != nil {
+					t.Fatal(err)
+				}
+				m, err := class.LookupMethod(p.method, p.desc)
+				if err != nil {
+					t.Fatal(err)
+				}
+				var args []heap.Value
+				if !p.isVoid {
+					args = []heap.Value{heap.IntVal(p.n)}
+				}
+				v, th, err := vm.CallRoot(iso, m, args, 50_000_000)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if th.Failure() != nil {
+					t.Fatalf("uncaught: %s", th.FailureString())
+				}
+				if !p.isVoid && v.I != p.want {
+					t.Fatalf("%s(%d) = %d, want %d", p.method, p.n, v.I, p.want)
+				}
+			})
+		}
+	}
+}
+
+func itoa(n int64) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

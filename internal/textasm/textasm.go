@@ -1,0 +1,607 @@
+// Package textasm parses a textual assembly format (".jasm") into class
+// definitions, giving the cmd/ijvm tool a source format to run. The format
+// is line-oriented:
+//
+//	.class demo/Hello                ; start a class (until the next .class)
+//	.super java/lang/Object          ; optional superclass
+//	.implements some/Interface       ; optional, repeatable
+//	.field name I                    ; instance field (I, F or A)
+//	.static name A                   ; static field
+//	.method run (I)I static          ; start a method; flags: static,
+//	                                 ; public, synchronized
+//	    iconst 0
+//	    istore 1
+//	loop:                            ; labels end with ':'
+//	    iload 1
+//	    iload 0
+//	    if_icmpge done
+//	    iinc 1 1
+//	    goto loop
+//	done:
+//	    iload 1
+//	    ireturn
+//	.catch java/lang/Throwable try endtry handler   ; exception table entry
+//	.end                             ; end of method
+//
+// Operand syntax per opcode family:
+//
+//	iconst 42                fconst 2.5
+//	ldc_string "text"        ldc_class pkg/Name
+//	iload/istore/... N       iinc N delta
+//	branch ops: label name
+//	getstatic pkg/C.field    (same for putstatic/getfield/putfield)
+//	invokestatic pkg/C.m(I)I (same for invokevirtual/invokespecial)
+//	new pkg/C                newarray [pkg/C]   instanceof/checkcast pkg/C
+//
+// Comments start with ';' and run to end of line.
+package textasm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"ijvm/internal/bytecode"
+	"ijvm/internal/classfile"
+)
+
+// ParseError reports a syntax error with its line number.
+type ParseError struct {
+	Line int
+	Msg  string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("line %d: %s", e.Line, e.Msg)
+}
+
+// Parse assembles a .jasm source into class definitions.
+func Parse(src string) ([]*classfile.Class, error) {
+	p := &parser{}
+	for i, raw := range strings.Split(src, "\n") {
+		line := stripComment(raw)
+		if line == "" {
+			continue
+		}
+		if err := p.line(i+1, line); err != nil {
+			return nil, err
+		}
+	}
+	if p.method != nil {
+		return nil, &ParseError{Line: p.methodLine, Msg: "method missing .end"}
+	}
+	if err := p.flushClass(); err != nil {
+		return nil, err
+	}
+	if len(p.classes) == 0 {
+		return nil, fmt.Errorf("textasm: no classes defined")
+	}
+	return p.classes, nil
+}
+
+// stripComment removes a trailing comment. A ';' begins a comment only at
+// the start of the line or after whitespace — a ';' glued to preceding
+// text is part of a method descriptor ("Ljava/lang/String;").
+func stripComment(line string) string {
+	inStr := false
+	for i := 0; i < len(line); i++ {
+		switch line[i] {
+		case '"':
+			inStr = !inStr
+		case ';':
+			if inStr {
+				continue
+			}
+			if i == 0 || line[i-1] == ' ' || line[i-1] == '\t' {
+				return strings.TrimSpace(line[:i])
+			}
+		}
+	}
+	return strings.TrimSpace(line)
+}
+
+// tokenize splits on whitespace, keeping quoted strings as one token
+// (quotes retained).
+func tokenize(line string) []string {
+	var out []string
+	var cur strings.Builder
+	inStr := false
+	flush := func() {
+		if cur.Len() > 0 {
+			out = append(out, cur.String())
+			cur.Reset()
+		}
+	}
+	for i := 0; i < len(line); i++ {
+		c := line[i]
+		switch {
+		case c == '"':
+			inStr = !inStr
+			cur.WriteByte(c)
+		case (c == ' ' || c == '\t') && !inStr:
+			flush()
+		default:
+			cur.WriteByte(c)
+		}
+	}
+	flush()
+	return out
+}
+
+func parseKind(s string) (classfile.Kind, error) {
+	switch s {
+	case "I":
+		return classfile.KindInt, nil
+	case "F":
+		return classfile.KindFloat, nil
+	case "A":
+		return classfile.KindRef, nil
+	default:
+		return 0, fmt.Errorf("unknown field kind %q (want I, F or A)", s)
+	}
+}
+
+type pendingMethod struct {
+	name  string
+	desc  string
+	flags classfile.Flags
+	asm   *bytecode.Assembler
+}
+
+type parser struct {
+	classes []*classfile.Class
+
+	builder    *classfile.ClassBuilder
+	className  string
+	methods    []*pendingMethod
+	method     *pendingMethod
+	methodLine int
+}
+
+func (p *parser) errf(line int, format string, args ...any) error {
+	return &ParseError{Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) line(n int, line string) error {
+	if strings.HasSuffix(line, ":") && !strings.HasPrefix(line, ".") {
+		if p.method == nil {
+			return p.errf(n, "label outside method")
+		}
+		p.method.asm.Label(strings.TrimSuffix(line, ":"))
+		return nil
+	}
+	fields := tokenize(line)
+	if len(fields) == 0 {
+		return nil
+	}
+	switch fields[0] {
+	case ".class":
+		if p.method != nil {
+			return p.errf(n, ".class inside method")
+		}
+		if err := p.flushClass(); err != nil {
+			return err
+		}
+		if len(fields) != 2 {
+			return p.errf(n, ".class needs a name")
+		}
+		p.className = fields[1]
+		p.builder = classfile.NewClass(fields[1])
+		return nil
+	case ".super":
+		if p.builder == nil || len(fields) != 2 {
+			return p.errf(n, ".super needs an open class and a name")
+		}
+		p.builder.Super(fields[1])
+		return nil
+	case ".implements":
+		if p.builder == nil || len(fields) != 2 {
+			return p.errf(n, ".implements needs an open class and a name")
+		}
+		p.builder.Implements(fields[1])
+		return nil
+	case ".field", ".static":
+		if p.builder == nil || len(fields) != 3 {
+			return p.errf(n, "%s needs an open class, a name and a kind", fields[0])
+		}
+		kind, err := parseKind(fields[2])
+		if err != nil {
+			return p.errf(n, "%v", err)
+		}
+		if fields[0] == ".field" {
+			p.builder.Field(fields[1], kind)
+		} else {
+			p.builder.StaticField(fields[1], kind)
+		}
+		return nil
+	case ".method":
+		if p.builder == nil {
+			return p.errf(n, ".method outside class")
+		}
+		if p.method != nil {
+			return p.errf(n, "nested .method (missing .end?)")
+		}
+		if len(fields) < 3 {
+			return p.errf(n, ".method needs a name and a descriptor")
+		}
+		var flags classfile.Flags
+		for _, f := range fields[3:] {
+			switch f {
+			case "static":
+				flags |= classfile.FlagStatic
+			case "public":
+				flags |= classfile.FlagPublic
+			case "synchronized":
+				flags |= classfile.FlagSynchronized
+			default:
+				return p.errf(n, "unknown method flag %q", f)
+			}
+		}
+		d, err := classfile.ParseDescriptor(fields[2])
+		if err != nil {
+			return p.errf(n, "%v", err)
+		}
+		asm := bytecode.NewAssembler(p.builder.Pool())
+		nParams := d.NumParams()
+		if !flags.Has(classfile.FlagStatic) {
+			nParams++
+		}
+		asm.ReserveLocals(nParams)
+		p.method = &pendingMethod{name: fields[1], desc: fields[2], flags: flags, asm: asm}
+		p.methodLine = n
+		return nil
+	case ".end":
+		if p.method == nil {
+			return p.errf(n, ".end outside method")
+		}
+		p.methods = append(p.methods, p.method)
+		p.method = nil
+		return nil
+	case ".catch":
+		if p.method == nil {
+			return p.errf(n, ".catch outside method")
+		}
+		if len(fields) != 5 {
+			return p.errf(n, ".catch needs: class start end handler")
+		}
+		catch := fields[1]
+		if catch == "*" {
+			catch = ""
+		}
+		p.method.asm.Handler(fields[2], fields[3], fields[4], catch)
+		return nil
+	}
+	if p.method == nil {
+		return p.errf(n, "instruction outside method: %q", line)
+	}
+	return p.instruction(n, fields)
+}
+
+func (p *parser) flushClass() error {
+	if p.builder == nil {
+		return nil
+	}
+	for _, m := range p.methods {
+		code, err := m.asm.Finish()
+		if err != nil {
+			return fmt.Errorf("class %s method %s: %w", p.className, m.name, err)
+		}
+		if err := bytecode.Validate(code); err != nil {
+			return fmt.Errorf("class %s method %s: %w", p.className, m.name, err)
+		}
+		p.builder.RawMethod(m.name, m.desc, m.flags, code)
+	}
+	class, err := p.builder.Build()
+	if err != nil {
+		return err
+	}
+	p.classes = append(p.classes, class)
+	p.builder = nil
+	p.methods = nil
+	return nil
+}
+
+// splitMember splits "pkg/Class.member" into class and member.
+func splitMember(s string) (string, string, error) {
+	i := strings.LastIndexByte(s, '.')
+	if i <= 0 || i == len(s)-1 {
+		return "", "", fmt.Errorf("expected class.member, got %q", s)
+	}
+	return s[:i], s[i+1:], nil
+}
+
+// splitMethodRef splits "pkg/Class.name(desc)ret" into its three parts.
+func splitMethodRef(s string) (class, name, desc string, err error) {
+	paren := strings.IndexByte(s, '(')
+	if paren < 0 {
+		return "", "", "", fmt.Errorf("method reference %q missing descriptor", s)
+	}
+	head := s[:paren]
+	desc = s[paren:]
+	dot := strings.LastIndexByte(head, '.')
+	if dot <= 0 || dot == len(head)-1 {
+		return "", "", "", fmt.Errorf("expected class.method(desc), got %q", s)
+	}
+	return head[:dot], head[dot+1:], desc, nil
+}
+
+// instruction assembles one instruction line.
+func (p *parser) instruction(n int, fields []string) error {
+	a := p.method.asm
+	mnemonic := fields[0]
+	op, ok := bytecode.OpcodeByName(mnemonic)
+	if !ok {
+		return p.errf(n, "unknown mnemonic %q", mnemonic)
+	}
+	args := fields[1:]
+	needArgs := func(k int) error {
+		if len(args) != k {
+			return p.errf(n, "%s expects %d operand(s), got %d", mnemonic, k, len(args))
+		}
+		return nil
+	}
+	intArg := func(i int) (int64, error) {
+		v, err := strconv.ParseInt(args[i], 10, 64)
+		if err != nil {
+			return 0, p.errf(n, "%s: bad integer %q", mnemonic, args[i])
+		}
+		return v, nil
+	}
+
+	switch {
+	case op == bytecode.OpIConst:
+		if err := needArgs(1); err != nil {
+			return err
+		}
+		v, err := intArg(0)
+		if err != nil {
+			return err
+		}
+		a.Const(v)
+	case op == bytecode.OpFConst:
+		if err := needArgs(1); err != nil {
+			return err
+		}
+		f, err := strconv.ParseFloat(args[0], 64)
+		if err != nil {
+			return p.errf(n, "fconst: bad float %q", args[0])
+		}
+		a.FConst(f)
+	case op == bytecode.OpLdcString:
+		if err := needArgs(1); err != nil {
+			return err
+		}
+		s := args[0]
+		if len(s) < 2 || s[0] != '"' || s[len(s)-1] != '"' {
+			return p.errf(n, "ldc_string expects a quoted string")
+		}
+		a.Str(s[1 : len(s)-1])
+	case op == bytecode.OpLdcClass:
+		if err := needArgs(1); err != nil {
+			return err
+		}
+		a.ClassConst(args[0])
+	case op == bytecode.OpIInc:
+		if err := needArgs(2); err != nil {
+			return err
+		}
+		slot, err := intArg(0)
+		if err != nil {
+			return err
+		}
+		delta, err := intArg(1)
+		if err != nil {
+			return err
+		}
+		a.IInc(int(slot), int32(delta))
+	case op.UsesLocal():
+		if err := needArgs(1); err != nil {
+			return err
+		}
+		slot, err := intArg(0)
+		if err != nil {
+			return err
+		}
+		switch op {
+		case bytecode.OpILoad:
+			a.ILoad(int(slot))
+		case bytecode.OpFLoad:
+			a.FLoad(int(slot))
+		case bytecode.OpALoad:
+			a.ALoad(int(slot))
+		case bytecode.OpIStore:
+			a.IStore(int(slot))
+		case bytecode.OpFStore:
+			a.FStore(int(slot))
+		case bytecode.OpAStore:
+			a.AStore(int(slot))
+		}
+	case op.IsBranch():
+		if err := needArgs(1); err != nil {
+			return err
+		}
+		p.emitBranch(op, args[0])
+	case op == bytecode.OpGetStatic, op == bytecode.OpPutStatic,
+		op == bytecode.OpGetField, op == bytecode.OpPutField:
+		if err := needArgs(1); err != nil {
+			return err
+		}
+		class, member, err := splitMember(args[0])
+		if err != nil {
+			return p.errf(n, "%s: %v", mnemonic, err)
+		}
+		switch op {
+		case bytecode.OpGetStatic:
+			a.GetStatic(class, member)
+		case bytecode.OpPutStatic:
+			a.PutStatic(class, member)
+		case bytecode.OpGetField:
+			a.GetField(class, member)
+		case bytecode.OpPutField:
+			a.PutField(class, member)
+		}
+	case op == bytecode.OpInvokeStatic, op == bytecode.OpInvokeVirtual, op == bytecode.OpInvokeSpecial:
+		if err := needArgs(1); err != nil {
+			return err
+		}
+		class, name, desc, err := splitMethodRef(args[0])
+		if err != nil {
+			return p.errf(n, "%s: %v", mnemonic, err)
+		}
+		switch op {
+		case bytecode.OpInvokeStatic:
+			a.InvokeStatic(class, name, desc)
+		case bytecode.OpInvokeVirtual:
+			a.InvokeVirtual(class, name, desc)
+		case bytecode.OpInvokeSpecial:
+			a.InvokeSpecial(class, name, desc)
+		}
+	case op == bytecode.OpNew, op == bytecode.OpInstanceOf, op == bytecode.OpCheckCast:
+		if err := needArgs(1); err != nil {
+			return err
+		}
+		switch op {
+		case bytecode.OpNew:
+			a.New(args[0])
+		case bytecode.OpInstanceOf:
+			a.InstanceOf(args[0])
+		case bytecode.OpCheckCast:
+			a.CheckCast(args[0])
+		}
+	case op == bytecode.OpNewArray:
+		elem := ""
+		if len(args) == 1 {
+			elem = args[0]
+		} else if len(args) > 1 {
+			return p.errf(n, "newarray takes at most one operand")
+		}
+		a.NewArray(elem)
+	default:
+		// Operand-free instructions.
+		if len(args) != 0 {
+			return p.errf(n, "%s takes no operands", mnemonic)
+		}
+		p.emitPlain(op)
+	}
+	return nil
+}
+
+// emitBranch dispatches a branch mnemonic to the assembler.
+func (p *parser) emitBranch(op bytecode.Opcode, label string) {
+	a := p.method.asm
+	switch op {
+	case bytecode.OpGoto:
+		a.Goto(label)
+	case bytecode.OpIfEq:
+		a.IfEq(label)
+	case bytecode.OpIfNe:
+		a.IfNe(label)
+	case bytecode.OpIfLt:
+		a.IfLt(label)
+	case bytecode.OpIfLe:
+		a.IfLe(label)
+	case bytecode.OpIfGt:
+		a.IfGt(label)
+	case bytecode.OpIfGe:
+		a.IfGe(label)
+	case bytecode.OpIfICmpEq:
+		a.IfICmpEq(label)
+	case bytecode.OpIfICmpNe:
+		a.IfICmpNe(label)
+	case bytecode.OpIfICmpLt:
+		a.IfICmpLt(label)
+	case bytecode.OpIfICmpLe:
+		a.IfICmpLe(label)
+	case bytecode.OpIfICmpGt:
+		a.IfICmpGt(label)
+	case bytecode.OpIfICmpGe:
+		a.IfICmpGe(label)
+	case bytecode.OpIfACmpEq:
+		a.IfACmpEq(label)
+	case bytecode.OpIfACmpNe:
+		a.IfACmpNe(label)
+	case bytecode.OpIfNull:
+		a.IfNull(label)
+	case bytecode.OpIfNonNull:
+		a.IfNonNull(label)
+	}
+}
+
+// emitPlain dispatches an operand-free mnemonic.
+func (p *parser) emitPlain(op bytecode.Opcode) {
+	a := p.method.asm
+	switch op {
+	case bytecode.OpNop:
+		a.Nop()
+	case bytecode.OpAConstNull:
+		a.Null()
+	case bytecode.OpPop:
+		a.Pop()
+	case bytecode.OpDup:
+		a.Dup()
+	case bytecode.OpDupX1:
+		a.DupX1()
+	case bytecode.OpSwap:
+		a.Swap()
+	case bytecode.OpIAdd:
+		a.IAdd()
+	case bytecode.OpISub:
+		a.ISub()
+	case bytecode.OpIMul:
+		a.IMul()
+	case bytecode.OpIDiv:
+		a.IDiv()
+	case bytecode.OpIRem:
+		a.IRem()
+	case bytecode.OpINeg:
+		a.INeg()
+	case bytecode.OpIShl:
+		a.IShl()
+	case bytecode.OpIShr:
+		a.IShr()
+	case bytecode.OpIUshr:
+		a.IUshr()
+	case bytecode.OpIAnd:
+		a.IAnd()
+	case bytecode.OpIOr:
+		a.IOr()
+	case bytecode.OpIXor:
+		a.IXor()
+	case bytecode.OpFAdd:
+		a.FAdd()
+	case bytecode.OpFSub:
+		a.FSub()
+	case bytecode.OpFMul:
+		a.FMul()
+	case bytecode.OpFDiv:
+		a.FDiv()
+	case bytecode.OpFNeg:
+		a.FNeg()
+	case bytecode.OpFCmp:
+		a.FCmp()
+	case bytecode.OpI2F:
+		a.I2F()
+	case bytecode.OpF2I:
+		a.F2I()
+	case bytecode.OpReturn:
+		a.Return()
+	case bytecode.OpIReturn:
+		a.IReturn()
+	case bytecode.OpFReturn:
+		a.FReturn()
+	case bytecode.OpAReturn:
+		a.AReturn()
+	case bytecode.OpArrayLength:
+		a.ArrayLength()
+	case bytecode.OpArrayLoad:
+		a.ArrayLoad()
+	case bytecode.OpArrayStore:
+		a.ArrayStore()
+	case bytecode.OpMonitorEnter:
+		a.MonitorEnter()
+	case bytecode.OpMonitorExit:
+		a.MonitorExit()
+	case bytecode.OpAThrow:
+		a.AThrow()
+	}
+}

@@ -1,0 +1,210 @@
+package textasm_test
+
+import (
+	"strings"
+	"testing"
+
+	"ijvm/internal/core"
+	"ijvm/internal/heap"
+	"ijvm/internal/interp"
+	"ijvm/internal/syslib"
+	"ijvm/internal/textasm"
+)
+
+const sumProgram = `
+; sum 1..n
+.class demo/Sum
+.method run (I)I static
+    iconst 0
+    istore 1
+    iconst 1
+    istore 2
+loop:
+    iload 2
+    iload 0
+    if_icmpgt done
+    iload 1
+    iload 2
+    iadd
+    istore 1
+    iinc 2 1
+    goto loop
+done:
+    iload 1
+    ireturn
+.end
+`
+
+func TestParseAndRunSum(t *testing.T) {
+	classes, err := textasm.Parse(sumProgram)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if len(classes) != 1 || classes[0].Name != "demo/Sum" {
+		t.Fatalf("unexpected classes: %v", classes)
+	}
+	vm := interp.NewVM(interp.Options{Mode: core.ModeIsolated})
+	syslib.MustInstall(vm)
+	iso, err := vm.NewIsolate("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := iso.Loader().DefineAll(classes); err != nil {
+		t.Fatal(err)
+	}
+	m, err := classes[0].LookupMethod("run", "(I)I")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, th, err := vm.CallRoot(iso, m, []heap.Value{heap.IntVal(100)}, 1_000_000)
+	if err != nil || th.Failure() != nil {
+		t.Fatalf("run: %v / %s", err, th.FailureString())
+	}
+	if v.I != 5050 {
+		t.Fatalf("run(100) = %d, want 5050", v.I)
+	}
+}
+
+const multiClassProgram = `
+.class demo/Pair
+.field a I
+.field b I
+.method <init> (II)V public
+    aload 0
+    invokespecial java/lang/Object.<init>()V
+    aload 0
+    iload 1
+    putfield demo/Pair.a
+    aload 0
+    iload 2
+    putfield demo/Pair.b
+    return
+.end
+.method sum ()I public
+    aload 0
+    getfield demo/Pair.a
+    aload 0
+    getfield demo/Pair.b
+    iadd
+    ireturn
+.end
+
+.class demo/Main
+.static last I
+.method run (I)I static
+    new demo/Pair
+    dup
+    iload 0
+    iconst 8
+    invokespecial demo/Pair.<init>(II)V
+    invokevirtual demo/Pair.sum()I
+    putstatic demo/Main.last
+    getstatic demo/Main.last
+    ireturn
+.end
+`
+
+func TestParseMultiClassWithFieldsAndStrings(t *testing.T) {
+	classes, err := textasm.Parse(multiClassProgram)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if len(classes) != 2 {
+		t.Fatalf("got %d classes, want 2", len(classes))
+	}
+	vm := interp.NewVM(interp.Options{Mode: core.ModeIsolated})
+	syslib.MustInstall(vm)
+	iso, err := vm.NewIsolate("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := iso.Loader().DefineAll(classes); err != nil {
+		t.Fatal(err)
+	}
+	mainClass := classes[1]
+	m, err := mainClass.LookupMethod("run", "(I)I")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, th, err := vm.CallRoot(iso, m, []heap.Value{heap.IntVal(34)}, 1_000_000)
+	if err != nil || th.Failure() != nil {
+		t.Fatalf("run: %v / %s", err, th.FailureString())
+	}
+	if v.I != 42 {
+		t.Fatalf("run(34) = %d, want 42", v.I)
+	}
+}
+
+const catchProgram = `
+.class demo/Catch
+.method run (I)I static
+try:
+    iconst 10
+    iload 0
+    idiv
+    ireturn
+endtry:
+handler:
+    pop
+    iconst -1
+    ireturn
+.catch java/lang/ArithmeticException try endtry handler
+.end
+`
+
+func TestParseExceptionHandler(t *testing.T) {
+	classes, err := textasm.Parse(catchProgram)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	vm := interp.NewVM(interp.Options{Mode: core.ModeIsolated})
+	syslib.MustInstall(vm)
+	iso, err := vm.NewIsolate("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := iso.Loader().DefineAll(classes); err != nil {
+		t.Fatal(err)
+	}
+	m, err := classes[0].LookupMethod("run", "(I)I")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, _, err := vm.CallRoot(iso, m, []heap.Value{heap.IntVal(0)}, 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.I != -1 {
+		t.Fatalf("run(0) = %d, want -1 (handler)", v.I)
+	}
+	v, _, err = vm.CallRoot(iso, m, []heap.Value{heap.IntVal(2)}, 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.I != 5 {
+		t.Fatalf("run(2) = %d, want 5", v.I)
+	}
+}
+
+func TestParseErrorsCarryLineNumbers(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want string
+	}{
+		{"unknown mnemonic", ".class c\n.method m ()V static\nbogus\n.end", "unknown mnemonic"},
+		{"label outside method", "oops:\n", "label outside method"},
+		{"missing end", ".class c\n.method m ()V static\nreturn\n", "missing .end"},
+		{"instruction outside method", ".class c\nreturn", "instruction outside method"},
+		{"bad flag", ".class c\n.method m ()V bogusflag\n.end", "unknown method flag"},
+		{"no classes", "; just a comment", "no classes"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := textasm.Parse(tc.src)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error = %v, want substring %q", err, tc.want)
+			}
+		})
+	}
+}

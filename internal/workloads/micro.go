@@ -1,0 +1,203 @@
+// Package workloads defines the benchmark programs of the evaluation:
+// the four micro-benchmarks of Figure 1 (intra-isolate call, inter-isolate
+// call, object allocation, static variable access), the seven SPEC
+// JVM98-analogue macro workloads of Figure 2, and the service pair used by
+// Table 1 and the paint demo.
+package workloads
+
+import (
+	"ijvm/internal/bytecode"
+	"ijvm/internal/classfile"
+)
+
+// Micro-benchmark driver convention: a static method "run(I)I" performing
+// n iterations of the measured operation and returning a checksum.
+const (
+	// MicroDriverMethod is the driver entry point name.
+	MicroDriverMethod = "run"
+	// MicroDriverDesc is the driver descriptor.
+	MicroDriverDesc = "(I)I"
+)
+
+// ServiceClassName is the callee service used by the inter-isolate micro
+// benchmark, Table 1 and the paint demo.
+const ServiceClassName = "micro/callee/Service"
+
+// ServiceClasses builds the callee bundle: a trivial service whose inc
+// method is the measured inter-bundle call target.
+func ServiceClasses() []*classfile.Class {
+	svc := classfile.NewClass(ServiceClassName).
+		Field("total", classfile.KindInt).
+		Method(classfile.InitName, "()V", classfile.FlagPublic, func(a *bytecode.Assembler) {
+			a.ALoad(0).InvokeSpecial(classfile.ObjectClassName, classfile.InitName, "()V").Return()
+		}).
+		// inc(x): total += x; return total — one field read/write, as in
+		// the paint demo's shape-drag callback.
+		Method("inc", "(I)I", classfile.FlagPublic, func(a *bytecode.Assembler) {
+			a.ALoad(0).ALoad(0).GetField(ServiceClassName, "total").ILoad(1).IAdd().
+				PutField(ServiceClassName, "total")
+			a.ALoad(0).GetField(ServiceClassName, "total").IReturn()
+		}).
+		// fstatic(x): the static-call variant.
+		Method("fstatic", "(I)I", classfile.FlagPublic|classfile.FlagStatic, func(a *bytecode.Assembler) {
+			a.ILoad(0).Const(1).IAdd().IReturn()
+		}).
+		// drag(event): the paint-demo shaped call — the drawing area
+		// hands the shape an event object on every drag step (§4.1). A
+		// direct call shares the event by reference; the RPC baselines
+		// must copy or serialize it.
+		Method("drag", "(Ljava/lang/Object;)I", classfile.FlagPublic, func(a *bytecode.Assembler) {
+			a.ALoad(0).ALoad(0).GetField(ServiceClassName, "total").Const(1).IAdd().
+				PutField(ServiceClassName, "total")
+			a.ALoad(1).ArrayLength().ALoad(0).GetField(ServiceClassName, "total").IAdd().IReturn()
+		}).
+		// make(): guest-side factory so harnesses can construct the
+		// instance inside the callee's isolate.
+		Method("make", "()Ljava/lang/Object;", classfile.FlagPublic|classfile.FlagStatic, func(a *bytecode.Assembler) {
+			a.New(ServiceClassName).Dup().
+				InvokeSpecial(ServiceClassName, classfile.InitName, "()V").AReturn()
+		}).MustBuild()
+	return []*classfile.Class{svc}
+}
+
+// CallerClassName is the driver class of the inter-isolate call bench.
+const CallerClassName = "micro/caller/Driver"
+
+// CallerClasses builds the caller bundle: run(n) performs n virtual calls
+// on a Service instance reachable through the static "svc" field (set up
+// by the harness or by calling bind()).
+func CallerClasses() []*classfile.Class {
+	driver := classfile.NewClass(CallerClassName).
+		StaticField("svc", classfile.KindRef).
+		// bind(s): installs the callee service instance.
+		Method("bind", "(Ljava/lang/Object;)V", classfile.FlagStatic, func(a *bytecode.Assembler) {
+			a.ALoad(0).CheckCast(ServiceClassName).PutStatic(CallerClassName, "svc").Return()
+		}).
+		// run(n): for (i=0..n) sum = svc.inc(1) — each call migrates the
+		// thread into the callee's isolate and back.
+		Method(MicroDriverMethod, MicroDriverDesc, classfile.FlagStatic, func(a *bytecode.Assembler) {
+			a.Const(0).IStore(1) // i
+			a.Const(0).IStore(2) // sum
+			a.GetStatic(CallerClassName, "svc").AStore(3)
+			a.Label("loop")
+			a.ILoad(1).ILoad(0).IfICmpGe("done")
+			a.ALoad(3).Const(1).InvokeVirtual(ServiceClassName, "inc", "(I)I").IStore(2)
+			a.IInc(1, 1)
+			a.Goto("loop")
+			a.Label("done")
+			a.ILoad(2).IReturn()
+		}).
+		// rundrag(n): the Table 1 loop — n drag calls passing an event
+		// object across the bundle boundary by reference.
+		Method(DragDriverMethod, MicroDriverDesc, classfile.FlagStatic, func(a *bytecode.Assembler) {
+			a.Const(8).NewArray("").AStore(3) // event = new Object[8]
+			a.GetStatic(CallerClassName, "svc").AStore(4)
+			a.Const(0).IStore(1)
+			a.Const(0).IStore(2)
+			a.Label("loop")
+			a.ILoad(1).ILoad(0).IfICmpGe("done")
+			a.ALoad(4).ALoad(3).InvokeVirtual(ServiceClassName, "drag", "(Ljava/lang/Object;)I").IStore(2)
+			a.IInc(1, 1)
+			a.Goto("loop")
+			a.Label("done")
+			a.ILoad(2).IReturn()
+		}).MustBuild()
+	return []*classfile.Class{driver}
+}
+
+// DragDriverMethod is the Table 1 drag-loop entry point present on both
+// the inter-isolate caller and the intra-isolate driver.
+const DragDriverMethod = "rundrag"
+
+// IntraClassName is the driver of the intra-isolate call bench.
+const IntraClassName = "micro/intra/Driver"
+
+// IntraCallClasses builds a single bundle whose driver calls a method of
+// its own isolate n times — the "two test instructions" overhead case of
+// §4.2.
+func IntraCallClasses() []*classfile.Class {
+	driver := classfile.NewClass(IntraClassName).
+		Field("total", classfile.KindInt).
+		Method(classfile.InitName, "()V", classfile.FlagPublic, func(a *bytecode.Assembler) {
+			a.ALoad(0).InvokeSpecial(classfile.ObjectClassName, classfile.InitName, "()V").Return()
+		}).
+		Method("inc", "(I)I", classfile.FlagPublic, func(a *bytecode.Assembler) {
+			a.ALoad(0).ALoad(0).GetField(IntraClassName, "total").ILoad(1).IAdd().
+				PutField(IntraClassName, "total")
+			a.ALoad(0).GetField(IntraClassName, "total").IReturn()
+		}).
+		Method("drag", "(Ljava/lang/Object;)I", classfile.FlagPublic, func(a *bytecode.Assembler) {
+			a.ALoad(0).ALoad(0).GetField(IntraClassName, "total").Const(1).IAdd().
+				PutField(IntraClassName, "total")
+			a.ALoad(1).ArrayLength().ALoad(0).GetField(IntraClassName, "total").IAdd().IReturn()
+		}).
+		Method(MicroDriverMethod, MicroDriverDesc, classfile.FlagStatic, func(a *bytecode.Assembler) {
+			a.New(IntraClassName).Dup().InvokeSpecial(IntraClassName, classfile.InitName, "()V").AStore(3)
+			a.Const(0).IStore(1)
+			a.Const(0).IStore(2)
+			a.Label("loop")
+			a.ILoad(1).ILoad(0).IfICmpGe("done")
+			a.ALoad(3).Const(1).InvokeVirtual(IntraClassName, "inc", "(I)I").IStore(2)
+			a.IInc(1, 1)
+			a.Goto("loop")
+			a.Label("done")
+			a.ILoad(2).IReturn()
+		}).
+		Method(DragDriverMethod, MicroDriverDesc, classfile.FlagStatic, func(a *bytecode.Assembler) {
+			a.New(IntraClassName).Dup().InvokeSpecial(IntraClassName, classfile.InitName, "()V").AStore(4)
+			a.Const(8).NewArray("").AStore(3)
+			a.Const(0).IStore(1)
+			a.Const(0).IStore(2)
+			a.Label("loop")
+			a.ILoad(1).ILoad(0).IfICmpGe("done")
+			a.ALoad(4).ALoad(3).InvokeVirtual(IntraClassName, "drag", "(Ljava/lang/Object;)I").IStore(2)
+			a.IInc(1, 1)
+			a.Goto("loop")
+			a.Label("done")
+			a.ILoad(2).IReturn()
+		}).MustBuild()
+	return []*classfile.Class{driver}
+}
+
+// AllocClassName is the driver of the object-allocation bench.
+const AllocClassName = "micro/alloc/Driver"
+
+// AllocClasses builds the allocation micro benchmark: run(n) allocates n
+// java.lang.Object instances (28 bytes each, as in the paper) without
+// retaining them.
+func AllocClasses() []*classfile.Class {
+	driver := classfile.NewClass(AllocClassName).
+		Method(MicroDriverMethod, MicroDriverDesc, classfile.FlagStatic, func(a *bytecode.Assembler) {
+			a.Const(0).IStore(1)
+			a.Label("loop")
+			a.ILoad(1).ILoad(0).IfICmpGe("done")
+			a.New(classfile.ObjectClassName).Pop()
+			a.IInc(1, 1)
+			a.Goto("loop")
+			a.Label("done")
+			a.ILoad(1).IReturn()
+		}).MustBuild()
+	return []*classfile.Class{driver}
+}
+
+// StaticClassName is the driver of the static-access bench.
+const StaticClassName = "micro/statics/Driver"
+
+// StaticAccessClasses builds the static-variable access benchmark: run(n)
+// performs n getstatic+putstatic pairs — the task-class-mirror double
+// indirection hot path of §3.1.
+func StaticAccessClasses() []*classfile.Class {
+	driver := classfile.NewClass(StaticClassName).
+		StaticField("counter", classfile.KindInt).
+		Method(MicroDriverMethod, MicroDriverDesc, classfile.FlagStatic, func(a *bytecode.Assembler) {
+			a.Const(0).IStore(1)
+			a.Label("loop")
+			a.ILoad(1).ILoad(0).IfICmpGe("done")
+			a.GetStatic(StaticClassName, "counter").Const(1).IAdd().PutStatic(StaticClassName, "counter")
+			a.IInc(1, 1)
+			a.Goto("loop")
+			a.Label("done")
+			a.GetStatic(StaticClassName, "counter").IReturn()
+		}).MustBuild()
+	return []*classfile.Class{driver}
+}

@@ -1,0 +1,353 @@
+package workloads
+
+import (
+	"ijvm/internal/bytecode"
+	"ijvm/internal/classfile"
+)
+
+// Spec describes one SPEC JVM98-analogue macro workload (Figure 2). Each
+// workload is a bundle-sized class set with a static driver
+// "run(I)I" whose result is a deterministic checksum, letting tests assert
+// that Shared and Isolated modes compute identical results.
+type Spec struct {
+	// Name is the SPEC program the workload models.
+	Name string
+	// Profile describes the dominant operation mix being reproduced.
+	Profile string
+	// Driver is the entry class; the entry method is run(I)I.
+	Driver string
+	// DefaultN is the iteration count used by Figure 2.
+	DefaultN int64
+	// Classes builds a fresh class set (class objects are single-use:
+	// they link into exactly one loader).
+	Classes func() []*classfile.Class
+}
+
+// SpecJVM98 returns the seven workloads modelling the SPEC JVM98 suite.
+func SpecJVM98() []Spec {
+	return []Spec{
+		{
+			Name:     "compress",
+			Profile:  "array scans, integer ops, run-length encoding",
+			Driver:   "spec/compress/Main",
+			DefaultN: 20,
+			Classes:  compressClasses,
+		},
+		{
+			Name:     "jess",
+			Profile:  "rule-condition branching over a fact base",
+			Driver:   "spec/jess/Main",
+			DefaultN: 400,
+			Classes:  jessClasses,
+		},
+		{
+			Name:     "db",
+			Profile:  "record objects, field access, sort/lookup passes",
+			Driver:   "spec/db/Main",
+			DefaultN: 150,
+			Classes:  dbClasses,
+		},
+		{
+			Name:     "javac",
+			Profile:  "string scanning and tokenization (native-heavy)",
+			Driver:   "spec/javac/Main",
+			DefaultN: 300,
+			Classes:  javacClasses,
+		},
+		{
+			Name:     "mpegaudio",
+			Profile:  "float filter kernels",
+			Driver:   "spec/mpegaudio/Main",
+			DefaultN: 3000,
+			Classes:  mpegClasses,
+		},
+		{
+			Name:     "mtrt",
+			Profile:  "float vector math, ray-sphere intersection",
+			Driver:   "spec/mtrt/Main",
+			DefaultN: 1500,
+			Classes:  mtrtClasses,
+		},
+		{
+			Name:     "jack",
+			Profile:  "string building and allocation churn",
+			Driver:   "spec/jack/Main",
+			DefaultN: 250,
+			Classes:  jackClasses,
+		},
+	}
+}
+
+// SpecByName returns the workload with the given name, or nil.
+func SpecByName(name string) *Spec {
+	specs := SpecJVM98()
+	for i := range specs {
+		if specs[i].Name == name {
+			return &specs[i]
+		}
+	}
+	return nil
+}
+
+// compress: run-length encode a synthetic 4096-entry buffer n times.
+func compressClasses() []*classfile.Class {
+	const cn = "spec/compress/Main"
+	main := classfile.NewClass(cn).
+		Method(MicroDriverMethod, MicroDriverDesc, classfile.FlagStatic, func(a *bytecode.Assembler) {
+			// locals: 0=n 1=data 2=checksum 3=iter 4=i 5=v 6=run 7=t
+			a.Const(4096).NewArray("").AStore(1)
+			// fill: data[i] = (i/7) & 255
+			a.Const(0).IStore(4)
+			a.Label("fill")
+			a.ILoad(4).Const(4096).IfICmpGe("filled")
+			a.ALoad(1).ILoad(4).ILoad(4).Const(7).IDiv().Const(255).IAnd().ArrayStore()
+			a.IInc(4, 1).Goto("fill")
+			a.Label("filled")
+			a.Const(0).IStore(2)
+			a.Const(0).IStore(3)
+			a.Label("outer")
+			a.ILoad(3).ILoad(0).IfICmpGe("done")
+			a.Const(0).IStore(4)
+			a.Label("inner")
+			a.ILoad(4).Const(4096).IfICmpGe("enditer")
+			// v = data[i]; run = 1
+			a.ALoad(1).ILoad(4).ArrayLoad().IStore(5)
+			a.Const(1).IStore(6)
+			a.Label("scan")
+			// t = i + run; if (t >= 4096 || data[t] != v || run >= 255) break
+			a.ILoad(4).ILoad(6).IAdd().IStore(7)
+			a.ILoad(7).Const(4096).IfICmpGe("endscan")
+			a.ALoad(1).ILoad(7).ArrayLoad().ILoad(5).IfICmpNe("endscan")
+			a.ILoad(6).Const(255).IfICmpGe("endscan")
+			a.IInc(6, 1).Goto("scan")
+			a.Label("endscan")
+			// checksum += v + run; i += run
+			a.ILoad(2).ILoad(5).IAdd().ILoad(6).IAdd().IStore(2)
+			a.ILoad(4).ILoad(6).IAdd().IStore(4)
+			a.Goto("inner")
+			a.Label("enditer")
+			a.IInc(3, 1).Goto("outer")
+			a.Label("done")
+			a.ILoad(2).IReturn()
+		}).MustBuild()
+	return []*classfile.Class{main}
+}
+
+// jess: branch-heavy rule evaluation over a fact base.
+func jessClasses() []*classfile.Class {
+	const cn = "spec/jess/Main"
+	main := classfile.NewClass(cn).
+		Method(MicroDriverMethod, MicroDriverDesc, classfile.FlagStatic, func(a *bytecode.Assembler) {
+			// locals: 0=n 1=facts 2=derived 3=iter 4=i 5=f
+			a.Const(512).NewArray("").AStore(1)
+			a.Const(0).IStore(4)
+			a.Label("fill")
+			a.ILoad(4).Const(512).IfICmpGe("filled")
+			a.ALoad(1).ILoad(4).ILoad(4).Const(17).IMul().Const(256).IRem().ArrayStore()
+			a.IInc(4, 1).Goto("fill")
+			a.Label("filled")
+			a.Const(0).IStore(2)
+			a.Const(0).IStore(3)
+			a.Label("outer")
+			a.ILoad(3).ILoad(0).IfICmpGe("done")
+			a.Const(0).IStore(4)
+			a.Label("inner")
+			a.ILoad(4).Const(512).IfICmpGe("enditer")
+			a.ALoad(1).ILoad(4).ArrayLoad().IStore(5)
+			// rule 1: even and > 64  -> derived += f >> 1
+			a.ILoad(5).Const(1).IAnd().IfNe("rule2")
+			a.ILoad(5).Const(64).IfICmpLe("rule2")
+			a.ILoad(2).ILoad(5).Const(1).IShr().IAdd().IStore(2)
+			a.Goto("next")
+			a.Label("rule2")
+			// rule 2: f % 3 == 0 -> derived += f * 2
+			a.ILoad(5).Const(3).IRem().IfNe("rule3")
+			a.ILoad(2).ILoad(5).Const(2).IMul().IAdd().IStore(2)
+			a.Goto("next")
+			a.Label("rule3")
+			a.IInc(2, 1)
+			a.Label("next")
+			a.IInc(4, 1).Goto("inner")
+			a.Label("enditer")
+			a.IInc(3, 1).Goto("outer")
+			a.Label("done")
+			a.ILoad(2).IReturn()
+		}).MustBuild()
+	return []*classfile.Class{main}
+}
+
+// db: record objects with field traffic, a bubble pass and lookups.
+func dbClasses() []*classfile.Class {
+	const rec = "spec/db/Record"
+	const cn = "spec/db/Main"
+	record := classfile.NewClass(rec).
+		Field("key", classfile.KindInt).
+		Field("val", classfile.KindInt).
+		Method(classfile.InitName, "(II)V", classfile.FlagPublic, func(a *bytecode.Assembler) {
+			a.ALoad(0).InvokeSpecial(classfile.ObjectClassName, classfile.InitName, "()V")
+			a.ALoad(0).ILoad(1).PutField(rec, "key")
+			a.ALoad(0).ILoad(2).PutField(rec, "val")
+			a.Return()
+		}).MustBuild()
+	main := classfile.NewClass(cn).
+		Method(MicroDriverMethod, MicroDriverDesc, classfile.FlagStatic, func(a *bytecode.Assembler) {
+			// locals: 0=n 1=tab 2=acc 3=iter 4=i 5=tmpA 6=tmpB
+			a.Const(256).NewArray(rec).AStore(1)
+			a.Const(0).IStore(4)
+			a.Label("fill")
+			a.ILoad(4).Const(256).IfICmpGe("filled")
+			a.ALoad(1).ILoad(4)
+			a.New(rec).Dup().ILoad(4).Const(73).IMul().Const(256).IRem().ILoad(4).
+				InvokeSpecial(rec, classfile.InitName, "(II)V")
+			a.ArrayStore()
+			a.IInc(4, 1).Goto("fill")
+			a.Label("filled")
+			a.Const(0).IStore(2)
+			a.Const(0).IStore(3)
+			a.Label("outer")
+			a.ILoad(3).ILoad(0).IfICmpGe("done")
+			// bubble pass: one sweep comparing adjacent keys
+			a.Const(0).IStore(4)
+			a.Label("sweep")
+			a.ILoad(4).Const(255).IfICmpGe("swept")
+			a.ALoad(1).ILoad(4).ArrayLoad().AStore(5)
+			a.ALoad(1).ILoad(4).Const(1).IAdd().ArrayLoad().AStore(6)
+			a.ALoad(5).GetField(rec, "key").ALoad(6).GetField(rec, "key").IfICmpLe("noswap")
+			a.ALoad(1).ILoad(4).ALoad(6).ArrayStore()
+			a.ALoad(1).ILoad(4).Const(1).IAdd().ALoad(5).ArrayStore()
+			a.Label("noswap")
+			a.IInc(4, 1).Goto("sweep")
+			a.Label("swept")
+			// lookups: acc += tab[iter % 256].val + tab[0].key
+			a.ILoad(2).ALoad(1).ILoad(3).Const(256).IRem().ArrayLoad().GetField(rec, "val").IAdd().IStore(2)
+			a.ILoad(2).ALoad(1).Const(0).ArrayLoad().GetField(rec, "key").IAdd().IStore(2)
+			a.IInc(3, 1).Goto("outer")
+			a.Label("done")
+			a.ILoad(2).IReturn()
+		}).MustBuild()
+	return []*classfile.Class{record, main}
+}
+
+// javac: tokenization of a constant source string (native string calls).
+func javacClasses() []*classfile.Class {
+	const cn = "spec/javac/Main"
+	const src = "class Foo { int x = 42 ; int y = x + 7 ; void m ( ) { y = y * x ; } } " +
+		"class Bar extends Foo { float z = 3 ; int w ( int a ) { return a + 1 ; } }"
+	main := classfile.NewClass(cn).
+		Method(MicroDriverMethod, MicroDriverDesc, classfile.FlagStatic, func(a *bytecode.Assembler) {
+			// locals: 0=n 1=src 2=tokens 3=iter 4=i 5=state 6=len 7=c
+			a.Str(src).AStore(1)
+			a.ALoad(1).InvokeVirtual("java/lang/String", "length", "()I").IStore(6)
+			a.Const(0).IStore(2)
+			a.Const(0).IStore(3)
+			a.Label("outer")
+			a.ILoad(3).ILoad(0).IfICmpGe("done")
+			a.Const(0).IStore(4)
+			a.Const(0).IStore(5)
+			a.Label("inner")
+			a.ILoad(4).ILoad(6).IfICmpGe("flush")
+			a.ALoad(1).ILoad(4).InvokeVirtual("java/lang/String", "charAt", "(I)I").IStore(7)
+			// if (c == ' ') { if (state != 0) tokens++; state = 0 } else state = 1
+			a.ILoad(7).Const(32).IfICmpNe("word")
+			a.ILoad(5).IfEq("cont")
+			a.IInc(2, 1)
+			a.Label("cont")
+			a.Const(0).IStore(5)
+			a.Goto("next")
+			a.Label("word")
+			a.Const(1).IStore(5)
+			a.Label("next")
+			a.IInc(4, 1).Goto("inner")
+			a.Label("flush")
+			a.ILoad(5).IfEq("enditer")
+			a.IInc(2, 1)
+			a.Label("enditer")
+			a.IInc(3, 1).Goto("outer")
+			a.Label("done")
+			a.ILoad(2).IReturn()
+		}).MustBuild()
+	return []*classfile.Class{main}
+}
+
+// mpegaudio: a 32-tap float filter kernel.
+func mpegClasses() []*classfile.Class {
+	const cn = "spec/mpegaudio/Main"
+	main := classfile.NewClass(cn).
+		Method(MicroDriverMethod, MicroDriverDesc, classfile.FlagStatic, func(a *bytecode.Assembler) {
+			// locals: 0=n 1=iter 2=k 3(float slot)=acc 4(float)=x
+			a.FConst(0).FStore(3)
+			a.Const(0).IStore(1)
+			a.Label("outer")
+			a.ILoad(1).ILoad(0).IfICmpGe("done")
+			a.Const(0).IStore(2)
+			a.Label("taps")
+			a.ILoad(2).Const(32).IfICmpGe("enditer")
+			// x = k * 0.5; acc = acc*0.98 + x*x - x
+			a.ILoad(2).I2F().FConst(0.5).FMul().FStore(4)
+			a.FLoad(3).FConst(0.98).FMul().FLoad(4).FLoad(4).FMul().FAdd().FLoad(4).FSub().FStore(3)
+			a.IInc(2, 1).Goto("taps")
+			a.Label("enditer")
+			a.IInc(1, 1).Goto("outer")
+			a.Label("done")
+			a.FLoad(3).F2I().IReturn()
+		}).MustBuild()
+	return []*classfile.Class{main}
+}
+
+// mtrt: ray-sphere intersection tests in float math.
+func mtrtClasses() []*classfile.Class {
+	const cn = "spec/mtrt/Main"
+	main := classfile.NewClass(cn).
+		Method(MicroDriverMethod, MicroDriverDesc, classfile.FlagStatic, func(a *bytecode.Assembler) {
+			// locals: 0=n 1=iter 2=k 3=hits 4(f)=dx 5(f)=b 6(f)=disc
+			a.Const(0).IStore(3)
+			a.Const(0).IStore(1)
+			a.Label("outer")
+			a.ILoad(1).ILoad(0).IfICmpGe("done")
+			a.Const(0).IStore(2)
+			a.Label("rays")
+			a.ILoad(2).Const(16).IfICmpGe("enditer")
+			// dx = (k - 8) * 0.25; b = dx*2 - 1; disc = b*b - dx
+			a.ILoad(2).Const(8).ISub().I2F().FConst(0.25).FMul().FStore(4)
+			a.FLoad(4).FConst(2).FMul().FConst(1).FSub().FStore(5)
+			a.FLoad(5).FLoad(5).FMul().FLoad(4).FSub().FStore(6)
+			// if (disc > 0) hits++
+			a.FLoad(6).FConst(0).FCmp().IfLe("miss")
+			a.IInc(3, 1)
+			a.Label("miss")
+			a.IInc(2, 1).Goto("rays")
+			a.Label("enditer")
+			a.IInc(1, 1).Goto("outer")
+			a.Label("done")
+			a.ILoad(3).IReturn()
+		}).MustBuild()
+	return []*classfile.Class{main}
+}
+
+// jack: allocation-heavy string generation via StringBuilder.
+func jackClasses() []*classfile.Class {
+	const cn = "spec/jack/Main"
+	const sb = "java/lang/StringBuilder"
+	main := classfile.NewClass(cn).
+		Method(MicroDriverMethod, MicroDriverDesc, classfile.FlagStatic, func(a *bytecode.Assembler) {
+			// locals: 0=n 1=iter 2=k 3=len 4=sb
+			a.Const(0).IStore(3)
+			a.Const(0).IStore(1)
+			a.Label("outer")
+			a.ILoad(1).ILoad(0).IfICmpGe("done")
+			a.New(sb).Dup().InvokeSpecial(sb, classfile.InitName, "()V").AStore(4)
+			a.Const(0).IStore(2)
+			a.Label("emit")
+			a.ILoad(2).Const(16).IfICmpGe("enditer")
+			a.ALoad(4).ILoad(2).InvokeVirtual(sb, "appendInt", "(I)Ljava/lang/StringBuilder;").
+				Str(",").InvokeVirtual(sb, "append", "(Ljava/lang/String;)Ljava/lang/StringBuilder;").Pop()
+			a.IInc(2, 1).Goto("emit")
+			a.Label("enditer")
+			a.ILoad(3).ALoad(4).InvokeVirtual(sb, "toString", "()Ljava/lang/String;").
+				InvokeVirtual("java/lang/String", "length", "()I").IAdd().IStore(3)
+			a.IInc(1, 1).Goto("outer")
+			a.Label("done")
+			a.ILoad(3).IReturn()
+		}).MustBuild()
+	return []*classfile.Class{main}
+}
