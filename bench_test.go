@@ -15,13 +15,17 @@
 package ijvm
 
 import (
+	"fmt"
 	"testing"
 
+	"ijvm/internal/bytecode"
+	"ijvm/internal/classfile"
 	"ijvm/internal/core"
 	"ijvm/internal/heap"
 	"ijvm/internal/interp"
 	"ijvm/internal/osgi"
 	"ijvm/internal/rpc"
+	"ijvm/internal/sched"
 	"ijvm/internal/syslib"
 	"ijvm/internal/workloads"
 )
@@ -476,4 +480,94 @@ func BenchmarkAblationTCM_SharedMirror(b *testing.B) {
 
 func BenchmarkAblationTCM_TaskClassMirror(b *testing.B) {
 	benchMicro(b, core.ModeIsolated, workloads.MicroStatic)
+}
+
+// --- Concurrent isolate scheduler ---------------------------------------
+
+// concurrencyBenchIsolates/Iters size the scheduler benchmark: N
+// independent bundles, each spinning a fixed loop, so the concurrent
+// speedup is bounded only by scheduler overhead and worker count.
+const (
+	concurrencyBenchIsolates = 8
+	concurrencyBenchIters    = 200_000
+)
+
+// spinBenchClass builds the per-isolate compute loop.
+func spinBenchClass(name string) *classfile.Class {
+	return classfile.NewClass(name).
+		Method("run", "(I)I", classfile.FlagStatic|classfile.FlagPublic, func(a *bytecode.Assembler) {
+			a.Const(0).IStore(1)
+			a.Label("loop")
+			a.ILoad(1).ILoad(0).IfICmpGe("done")
+			a.IInc(1, 1).Goto("loop")
+			a.Label("done")
+			a.ILoad(1).IReturn()
+		}).MustBuild()
+}
+
+// benchSchedulerRun measures aggregate instruction throughput of the
+// same multi-bundle workload under three engines: the baseline shared
+// VM's cooperative loop, I-JVM's cooperative loop, and I-JVM on the
+// concurrent isolate scheduler with a worker pool. Compare the
+// Minstr/s metric across the three.
+func benchSchedulerRun(b *testing.B, mode core.Mode, workers int) {
+	b.Helper()
+	var instrs int64
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		vm := interp.NewVM(interp.Options{Mode: mode})
+		syslib.MustInstall(vm)
+		for k := 0; k < concurrencyBenchIsolates; k++ {
+			iso, err := vm.NewIsolate(fmt.Sprintf("bundle%d", k))
+			if err != nil {
+				// Shared mode has a single isolate; reuse it.
+				iso = vm.World().Isolate0()
+				if iso == nil {
+					b.Fatal(err)
+				}
+			}
+			cn := fmt.Sprintf("bench/Spin%d", k)
+			loader := iso.Loader()
+			if mode == core.ModeShared {
+				loader = vm.Registry().NewLoader(fmt.Sprintf("loader%d", k))
+			}
+			if err := loader.Define(spinBenchClass(cn)); err != nil {
+				b.Fatal(err)
+			}
+			c, _ := loader.Lookup(cn)
+			m, _ := c.LookupMethod("run", "(I)I")
+			if _, err := vm.SpawnThread(fmt.Sprintf("spin%d", k), iso, m,
+				[]heap.Value{heap.IntVal(concurrencyBenchIters)}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StartTimer()
+		var res interp.RunResult
+		if workers > 0 {
+			res = sched.Run(vm, workers, 0)
+		} else {
+			res = vm.Run(0)
+		}
+		if !res.AllDone {
+			b.Fatalf("run did not finish: %+v", res)
+		}
+		instrs += res.Instructions
+	}
+	b.ReportMetric(float64(instrs)/1e6/b.Elapsed().Seconds(), "Minstr/s")
+}
+
+func BenchmarkScheduler_Shared_Sequential(b *testing.B) {
+	benchSchedulerRun(b, core.ModeShared, 0)
+}
+func BenchmarkScheduler_IJVM_Sequential(b *testing.B) {
+	benchSchedulerRun(b, core.ModeIsolated, 0)
+}
+func BenchmarkScheduler_IJVM_Concurrent2(b *testing.B) {
+	benchSchedulerRun(b, core.ModeIsolated, 2)
+}
+func BenchmarkScheduler_IJVM_Concurrent4(b *testing.B) {
+	benchSchedulerRun(b, core.ModeIsolated, 4)
+}
+func BenchmarkScheduler_IJVM_Concurrent8(b *testing.B) {
+	benchSchedulerRun(b, core.ModeIsolated, 8)
 }

@@ -3,15 +3,20 @@
 // bundles and a single shape drag from the upper-left to the bottom-right
 // of the canvas produces roughly two hundred inter-bundle calls.
 //
+// With -workers N the drag runs on the concurrent isolate scheduler: one
+// drag thread per shape, shapes dragged in parallel across N workers,
+// with the per-isolate result table printed afterwards.
+//
 // Usage:
 //
-//	osgidemo [-mode shared|isolated] [-steps 200] [-shapes 3]
+//	osgidemo [-mode shared|isolated] [-steps 200] [-shapes 3] [-workers 0]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"ijvm/internal/bytecode"
 	"ijvm/internal/classfile"
@@ -19,6 +24,7 @@ import (
 	"ijvm/internal/heap"
 	"ijvm/internal/interp"
 	"ijvm/internal/osgi"
+	"ijvm/internal/sched"
 	"ijvm/internal/syslib"
 )
 
@@ -34,6 +40,7 @@ func run(argv []string) error {
 	mode := fs.String("mode", "isolated", "vm mode: shared or isolated")
 	steps := fs.Int64("steps", 200, "drag steps (one inter-bundle call each)")
 	nShapes := fs.Int("shapes", 3, "number of shape bundles")
+	workers := fs.Int("workers", 0, "run the drag on the concurrent isolate scheduler with this many workers (0 = sequential)")
 	if err := fs.Parse(argv); err != nil {
 		return err
 	}
@@ -79,25 +86,62 @@ func run(argv []string) error {
 	if err != nil {
 		return err
 	}
-	dragM, err := canvasClass.LookupMethod("dragAll", "(I)I")
-	if err != nil {
-		return err
+	var checksum int64
+	if *workers > 0 {
+		// Concurrent drag: one thread per shape, executed by the isolate
+		// scheduler — each drag migrates between the canvas shard and its
+		// shape's shard on every move() call.
+		dragOneM, err := canvasClass.LookupMethod("dragOne", "(II)I")
+		if err != nil {
+			return err
+		}
+		var threads []*interp.Thread
+		for i := 0; i < *nShapes; i++ {
+			th, err := vm.SpawnThread(fmt.Sprintf("drag%d", i), canvas.Isolate(), dragOneM,
+				[]heap.Value{heap.IntVal(int64(i)), heap.IntVal(*steps)})
+			if err != nil {
+				return err
+			}
+			threads = append(threads, th)
+		}
+		start := time.Now()
+		res := sched.Run(vm, *workers, 0)
+		elapsed := time.Since(start)
+		for i, th := range threads {
+			if th.Failure() != nil {
+				return fmt.Errorf("drag %d failed: %s", i, th.FailureString())
+			}
+			checksum += th.Result().I
+		}
+		fmt.Printf("Paint demo (%s mode, %d workers): dragged %d shapes for %d steps; checksum %d\n",
+			vmMode, *workers, *nShapes, *steps, checksum)
+		fmt.Printf("%d instructions in %v (%.1f Minstr/s)\n\nPer-isolate run results:\n",
+			res.Instructions, elapsed, float64(res.Instructions)/1e6/elapsed.Seconds())
+		for _, ir := range res.PerIsolate {
+			fmt.Printf("  %-10s instructions=%-10d killed=%-5v threads-left=%d\n",
+				ir.Name, ir.Instructions, ir.Killed, ir.ThreadsRemaining)
+		}
+	} else {
+		dragM, err := canvasClass.LookupMethod("dragAll", "(I)I")
+		if err != nil {
+			return err
+		}
+		total, th, err := vm.CallRoot(canvas.Isolate(), dragM, []heap.Value{heap.IntVal(*steps)}, 0)
+		if err != nil {
+			return err
+		}
+		if th.Failure() != nil {
+			return fmt.Errorf("drag failed: %s", th.FailureString())
+		}
+		checksum = total.I
+		fmt.Printf("Paint demo (%s mode): dragged %d shapes for %d steps; checksum %d\n",
+			vmMode, *nShapes, *steps, checksum)
 	}
-	total, th, err := vm.CallRoot(canvas.Isolate(), dragM, []heap.Value{heap.IntVal(*steps)}, 0)
-	if err != nil {
-		return err
-	}
-	if th.Failure() != nil {
-		return fmt.Errorf("drag failed: %s", th.FailureString())
-	}
-
-	fmt.Printf("Paint demo (%s mode): dragged %d shapes for %d steps; checksum %d\n",
-		vmMode, *nShapes, *steps, total.I)
 	if vmMode == core.ModeIsolated {
 		fmt.Println("\nInter-bundle calls observed per bundle (the §4.1 measurement):")
 		for _, b := range fw.Bundles() {
 			acc := b.Isolate().Account()
-			fmt.Printf("  %-10s in=%-6d out=%-6d\n", b.Name(), acc.InterBundleCallsIn, acc.InterBundleCallsOut)
+			fmt.Printf("  %-10s in=%-6d out=%-6d\n", b.Name(), acc.InterBundleCallsIn.Load(), acc.InterBundleCallsOut.Load())
 		}
 		fmt.Printf("\nA full drag makes ~%d inter-bundle calls per shape — the reason\n", *steps)
 		fmt.Println("OSGi needs direct-call-speed communication (Table 1).")
@@ -172,6 +216,19 @@ func canvasClasses(shapeNames []string) []*classfile.Class {
 				a.ArrayStore()
 			}
 			a.Return()
+		}).
+		// dragOne(i, steps): drag a single shape — the unit the concurrent
+		// scheduler runs one thread (and shard handoff chain) per shape on.
+		Method("dragOne", "(II)I", classfile.FlagStatic, func(a *bytecode.Assembler) {
+			a.Const(0).IStore(2) // step
+			a.Const(0).IStore(3) // sum
+			a.Label("steps")
+			a.ILoad(2).ILoad(1).IfICmpGe("done")
+			a.GetStatic(cn, "shapes").ILoad(0).ArrayLoad()
+			a.Const(1).InvokeVirtual(shapeClassOf(shapeNames[0]), "move", "(I)I").IStore(3)
+			a.IInc(2, 1).Goto("steps")
+			a.Label("done")
+			a.ILoad(3).IReturn()
 		}).
 		Method("dragAll", "(I)I", classfile.FlagStatic, func(a *bytecode.Assembler) {
 			// for each shape: for (s = 0; s < steps; s++) sum = shape.move(1)

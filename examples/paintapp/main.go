@@ -81,7 +81,7 @@ func run() error {
 	for _, b := range fw.Bundles() {
 		acc := b.Isolate().Account()
 		fmt.Printf("  %-8s calls-in=%-5d calls-out=%-5d\n",
-			b.Name(), acc.InterBundleCallsIn, acc.InterBundleCallsOut)
+			b.Name(), acc.InterBundleCallsIn.Load(), acc.InterBundleCallsOut.Load())
 	}
 	fmt.Println()
 	fmt.Println("every one of those calls is a direct method call with thread")

@@ -1,0 +1,3 @@
+module ijvm
+
+go 1.22

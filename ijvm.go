@@ -37,6 +37,7 @@ import (
 	"ijvm/internal/heap"
 	"ijvm/internal/interp"
 	"ijvm/internal/loader"
+	"ijvm/internal/sched"
 	"ijvm/internal/syslib"
 )
 
@@ -66,6 +67,8 @@ type (
 	Thread = interp.Thread
 	// RunResult summarizes a scheduler run.
 	RunResult = interp.RunResult
+	// IsolateRun is one isolate's slice of a concurrent run's result.
+	IsolateRun = interp.IsolateRun
 	// Mode selects Shared (baseline) or Isolated (I-JVM) semantics.
 	Mode = core.Mode
 	// Flags carries class/method/field access flags.
@@ -300,12 +303,31 @@ func (i *Isolate) Spawn(className, methodName string, args []Value) (*Thread, er
 // live-memory numbers).
 func (i *Isolate) Snapshot() Snapshot { return i.vm.inner.SnapshotOf(i.iso) }
 
-// Run drives the scheduler for at most budget instructions (0 =
-// unlimited).
+// Run drives the cooperative sequential scheduler for at most budget
+// instructions (0 = unlimited).
 func (vm *VM) Run(budget int64) RunResult { return vm.inner.Run(budget) }
 
 // RunUntil drives the scheduler until t finishes or budget is exhausted.
 func (vm *VM) RunUntil(t *Thread, budget int64) RunResult { return vm.inner.RunUntil(t, budget) }
+
+// RunConcurrent executes the VM's live threads on a bounded pool of
+// workers instead of the cooperative loop: each isolate forms a shard,
+// shards run in parallel (threads migrate between shards on
+// inter-isolate calls), and the per-isolate instruction budgets are
+// refilled round-robin. workers <= 0 selects GOMAXPROCS; budget <= 0
+// means unlimited.
+//
+// The returned RunResult carries a PerIsolate slice with each isolate's
+// executed instructions, kill state and remaining threads.
+//
+// RunConcurrent must not overlap with Run/RunUntil or a second
+// RunConcurrent on the same VM. Host-side administration — Snapshots,
+// Detect, Kill, GC — is safe to call from other goroutines while it
+// runs; Kill takes effect mid-run through the scheduler's
+// stop-the-world safepoint.
+func (vm *VM) RunConcurrent(workers int, budget int64) RunResult {
+	return sched.Run(vm.inner, workers, budget)
+}
 
 // GC runs an accounting collection; triggeredBy may be nil.
 func (vm *VM) GC(triggeredBy *Isolate) {

@@ -3,6 +3,7 @@ package ijvm_test
 import (
 	"strings"
 	"testing"
+	"time"
 
 	"ijvm"
 )
@@ -175,5 +176,66 @@ func TestFacadeLookupErrors(t *testing.T) {
 		Method("m", "()V", ijvm.FlagStatic, func(a *ijvm.Asm) { a.Return() }).MustBuild())
 	if _, err := iso.LookupMethod("e/C", "nope"); err == nil {
 		t.Fatal("missing method accepted")
+	}
+}
+
+// TestFacadeRunConcurrent covers the public concurrent-scheduler entry
+// point: independent isolates finish in parallel with per-isolate
+// results, and a host-side Kill lands mid-run through the scheduler's
+// stop-the-world safepoint.
+func TestFacadeRunConcurrent(t *testing.T) {
+	vm := ijvm.MustNew(ijvm.Options{})
+	spin := func(name string, iters int64) (*ijvm.Isolate, *ijvm.Thread) {
+		iso := vm.MustNewIsolate(name)
+		cn := "c/" + name
+		iso.MustDefine(ijvm.NewClass(cn).
+			Method("run", "()I", ijvm.FlagStatic, func(a *ijvm.Asm) {
+				a.Const(0).IStore(0)
+				a.Label("loop")
+				a.ILoad(0).Const(iters).IfICmpGe("done")
+				a.IInc(0, 1).Goto("loop")
+				a.Label("done")
+				a.ILoad(0).IReturn()
+			}).MustBuild())
+		th, err := iso.Spawn(cn, "run", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return iso, th
+	}
+	_, t1 := spin("worker1", 50_000)
+	_, t2 := spin("worker2", 50_000)
+	victim, t3 := spin("victim", 2_000_000_000) // effectively endless
+
+	done := make(chan ijvm.RunResult, 1)
+	go func() { done <- vm.RunConcurrent(3, 0) }()
+	// Administer only a run we have observed: the scheduler's safepoint
+	// machinery exists once instructions start flowing.
+	for vm.Inner().TotalInstructions() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	if err := vm.Kill(victim); err != nil {
+		t.Fatal(err)
+	}
+	res := <-done
+	if !res.AllDone {
+		t.Fatalf("run result: %+v", res)
+	}
+	if t1.Result().I != 50_000 || t2.Result().I != 50_000 {
+		t.Fatalf("worker results: %d, %d", t1.Result().I, t2.Result().I)
+	}
+	if !t3.Done() {
+		t.Fatal("killed isolate's thread still running")
+	}
+	if t3.Failure() == nil {
+		t.Fatal("killed isolate's thread must die of StoppedIsolateException")
+	}
+	if len(res.PerIsolate) != 3 {
+		t.Fatalf("PerIsolate = %+v", res.PerIsolate)
+	}
+	for _, ir := range res.PerIsolate {
+		if ir.Name == "victim" && !ir.Killed {
+			t.Fatalf("victim not marked killed: %+v", ir)
+		}
 	}
 }

@@ -10,11 +10,22 @@ package attacks
 import (
 	"fmt"
 
+	"ijvm/internal/classfile"
 	"ijvm/internal/core"
+	"ijvm/internal/heap"
 	"ijvm/internal/interp"
 	"ijvm/internal/osgi"
+	"ijvm/internal/sched"
 	"ijvm/internal/syslib"
 )
+
+// ConcurrentWorkers, when set to a positive value, makes every attack
+// environment drive its scheduler phases through the concurrent isolate
+// scheduler (internal/sched) with that many workers instead of the
+// sequential cooperative loop. The concurrency test suite uses it to
+// re-run the §4.3 scenarios under RunConcurrent; it is not safe to
+// change while attacks are running.
+var ConcurrentWorkers = 0
 
 // Result captures one attack execution.
 type Result struct {
@@ -100,10 +111,54 @@ func RunAll(mode core.Mode) ([]Result, error) {
 	return out, nil
 }
 
-// env is one attack environment: a fresh VM and OSGi framework.
+// env is one attack environment: a fresh VM and OSGi framework. workers
+// > 0 selects the concurrent scheduler for every drive phase.
 type env struct {
-	vm *interp.VM
-	fw *osgi.Framework
+	vm      *interp.VM
+	fw      *osgi.Framework
+	workers int
+}
+
+// run drives the scheduler for at most budget instructions.
+func (e *env) run(budget int64) {
+	if e.workers > 0 {
+		sched.Run(e.vm, e.workers, budget)
+	} else {
+		e.vm.Run(budget)
+	}
+}
+
+// runUntil drives the scheduler until the target finishes or the budget
+// is exhausted. The concurrent engine has no per-thread target: it runs
+// every live thread under the same budget, which is equivalent for the
+// attack scenarios (the target is either the only active thread or the
+// point is precisely that it never finishes).
+func (e *env) runUntil(t *interp.Thread, budget int64) {
+	if e.workers > 0 {
+		sched.Run(e.vm, e.workers, budget)
+	} else {
+		e.vm.RunUntil(t, budget)
+	}
+}
+
+// call invokes a method on a fresh thread and drives the scheduler until
+// it finishes, mirroring interp.CallRoot under either engine.
+func (e *env) call(iso *core.Isolate, m *classfile.Method, args []heap.Value, budget int64) (heap.Value, *interp.Thread, error) {
+	if e.workers == 0 {
+		return e.vm.CallRoot(iso, m, args, budget)
+	}
+	t, err := e.vm.SpawnThread("call:"+m.Name, iso, m, args)
+	if err != nil {
+		return heap.Value{}, nil, err
+	}
+	sched.Run(e.vm, e.workers, budget)
+	if t.Err() != nil {
+		return heap.Value{}, t, t.Err()
+	}
+	if !t.Done() {
+		return heap.Value{}, t, fmt.Errorf("thread %s did not finish (budget %d)", t.Name(), budget)
+	}
+	return t.Result(), t, nil
 }
 
 // newEnv builds the attack environment. The heap is kept small so memory
@@ -121,7 +176,7 @@ func newEnv(mode core.Mode) (*env, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &env{vm: vm, fw: fw}, nil
+	return &env{vm: vm, fw: fw, workers: ConcurrentWorkers}, nil
 }
 
 // thresholds returns detector settings matched to the small attack

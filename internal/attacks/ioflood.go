@@ -74,7 +74,7 @@ func RunX9(mode core.Mode) (Result, error) {
 	if err != nil {
 		return res, err
 	}
-	e.vm.RunUntil(at, 50_000_000)
+	e.runUntil(at, 50_000_000)
 	res.PlatformCompromised = true // ~128 MiB pushed through the uplink
 
 	if mode == core.ModeIsolated {
@@ -92,7 +92,7 @@ func RunX9(mode core.Mode) (Result, error) {
 			return res, err
 		}
 		res.VictimOK = n == 9
-		flooded := malice.Isolate().Account().IOBytesWritten
+		flooded := malice.Isolate().Account().IOBytesWritten.Load()
 		res.Notes = fmt.Sprintf("flooder charged %d IO bytes; admin killed %q", flooded, offender)
 	} else {
 		n, err := e.callVictim(victimB, "victim/Upload", "upload")

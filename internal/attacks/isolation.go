@@ -92,7 +92,7 @@ func RunA1(mode core.Mode) (Result, error) {
 		if err != nil {
 			return 0, err
 		}
-		v, th, err := e.vm.CallRoot(victim.Isolate(), m, nil, 1_000_000)
+		v, th, err := e.call(victim.Isolate(), m, nil, 1_000_000)
 		if err != nil {
 			return 0, err
 		}
@@ -118,7 +118,7 @@ func RunA1(mode core.Mode) (Result, error) {
 	if err != nil {
 		return res, err
 	}
-	if _, th, err := e.vm.CallRoot(malice.Isolate(), am, nil, 1_000_000); err != nil {
+	if _, th, err := e.call(malice.Isolate(), am, nil, 1_000_000); err != nil {
 		return res, err
 	} else if th.Failure() != nil {
 		return res, fmt.Errorf("attack failed to run: %s", th.FailureString())
@@ -206,7 +206,7 @@ func RunA2(mode core.Mode) (Result, error) {
 		[]heap.Value{heap.RefVal(holder)}); err != nil {
 		return res, err
 	}
-	e.vm.Run(100_000) // let the attacker acquire and park
+	e.run(100_000) // let the attacker acquire and park
 
 	// Victim calls its static synchronized method.
 	vc, err := victim.Loader().Lookup("victim/Lock")
@@ -221,7 +221,7 @@ func RunA2(mode core.Mode) (Result, error) {
 	if err != nil {
 		return res, err
 	}
-	e.vm.RunUntil(vt, 2_000_000)
+	e.runUntil(vt, 2_000_000)
 
 	res.VictimOK = vt.Done() && vt.Failure() == nil && vt.Result().I == 1
 	res.PlatformCompromised = !vt.Done()

@@ -54,7 +54,7 @@ func RunA6(mode core.Mode) (Result, error) {
 		return res, err
 	}
 	// Let the spinner monopolize the CPU for a while.
-	e.vm.Run(3_000_000)
+	e.run(3_000_000)
 	res.PlatformCompromised = true // the loop never terminates by itself
 
 	if mode == core.ModeIsolated {
@@ -64,7 +64,7 @@ func RunA6(mode core.Mode) (Result, error) {
 		}
 		res.Detected = detected
 		res.OffenderKilled = offender == "malice"
-		e.vm.Run(100_000) // deliver the staged StoppedIsolateException
+		e.run(100_000) // deliver the staged StoppedIsolateException
 		during, err := e.callVictim(victim, "victim/Compute", "compute")
 		if err != nil {
 			return res, err
@@ -148,13 +148,13 @@ func RunA7(mode core.Mode) (Result, error) {
 	// Create B's service and bind it into A.
 	bc, _ := bundleB.Loader().Lookup("bsvc/Hang")
 	makeM, _ := bc.LookupMethod("make", "()Ljava/lang/Object;")
-	svc, th, err := e.vm.CallRoot(bundleB.Isolate(), makeM, nil, 1_000_000)
+	svc, th, err := e.call(bundleB.Isolate(), makeM, nil, 1_000_000)
 	if err != nil || th.Failure() != nil {
 		return res, fmt.Errorf("creating service: %v", err)
 	}
 	ac, _ := bundleA.Loader().Lookup("avictim/Caller")
 	bindM, _ := ac.LookupMethod("bind", "(Ljava/lang/Object;)V")
-	if _, th, err := e.vm.CallRoot(bundleA.Isolate(), bindM, []heap.Value{svc}, 1_000_000); err != nil || th.Failure() != nil {
+	if _, th, err := e.call(bundleA.Isolate(), bindM, []heap.Value{svc}, 1_000_000); err != nil || th.Failure() != nil {
 		return res, fmt.Errorf("binding service: %v", err)
 	}
 
@@ -164,7 +164,7 @@ func RunA7(mode core.Mode) (Result, error) {
 	if err != nil {
 		return res, err
 	}
-	e.vm.RunUntil(at, 2_000_000)
+	e.runUntil(at, 2_000_000)
 	if at.Done() {
 		return res, fmt.Errorf("call into hanging service returned prematurely")
 	}
@@ -179,7 +179,7 @@ func RunA7(mode core.Mode) (Result, error) {
 		}
 		res.Detected = detected
 		res.OffenderKilled = offender == "malice"
-		e.vm.RunUntil(at, 2_000_000)
+		e.runUntil(at, 2_000_000)
 		res.VictimOK = at.Done() && at.Failure() == nil && at.Result().I == 2
 		res.Notes = fmt.Sprintf("sleeping-thread gauge flagged %q; control returned to the caller", offender)
 	} else {
@@ -256,13 +256,13 @@ func RunA8(mode core.Mode) (Result, error) {
 	// B hands its internal object to A, which stores it.
 	bc, _ := bundleB.Loader().Lookup(bn)
 	makeM, _ := bc.LookupMethod("make", "()Ljava/lang/Object;")
-	obj, th, err := e.vm.CallRoot(bundleB.Isolate(), makeM, nil, 1_000_000)
+	obj, th, err := e.call(bundleB.Isolate(), makeM, nil, 1_000_000)
 	if err != nil || th.Failure() != nil {
 		return res, fmt.Errorf("creating internal object: %v", err)
 	}
 	ac, _ := bundleA.Loader().Lookup(an)
 	storeM, _ := ac.LookupMethod("store", "(Ljava/lang/Object;)V")
-	if _, th, err := e.vm.CallRoot(bundleA.Isolate(), storeM, []heap.Value{obj}, 1_000_000); err != nil || th.Failure() != nil {
+	if _, th, err := e.call(bundleA.Isolate(), storeM, []heap.Value{obj}, 1_000_000); err != nil || th.Failure() != nil {
 		return res, fmt.Errorf("storing reference: %v", err)
 	}
 
@@ -271,7 +271,7 @@ func RunA8(mode core.Mode) (Result, error) {
 	if _, err := e.vm.SpawnThread("malice:dos", bundleB.Isolate(), attackM, nil); err != nil {
 		return res, err
 	}
-	e.vm.Run(1_000_000)
+	e.run(1_000_000)
 
 	if mode == core.ModeIsolated {
 		// The administrator unloads B; after the kill, B code must never
@@ -287,7 +287,7 @@ func RunA8(mode core.Mode) (Result, error) {
 				executed = true
 			}
 		}
-		e.vm.Run(1_000_000) // the DoS thread dies here
+		e.run(1_000_000) // the DoS thread dies here
 		poked, err := e.callVictim(bundleA, an, "poke")
 		if err != nil {
 			return res, err
@@ -297,7 +297,7 @@ func RunA8(mode core.Mode) (Result, error) {
 		// Once A releases the reference, B's memory is reclaimed and the
 		// isolate disposed (§3.3 / §3.4 rule 3).
 		releaseM, _ := ac.LookupMethod("release", "()V")
-		if _, _, err := e.vm.CallRoot(bundleA.Isolate(), releaseM, nil, 1_000_000); err != nil {
+		if _, _, err := e.call(bundleA.Isolate(), releaseM, nil, 1_000_000); err != nil {
 			return res, err
 		}
 		e.vm.CollectGarbage(nil)

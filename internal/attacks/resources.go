@@ -65,7 +65,7 @@ func (e *env) callVictim(b *osgi.Bundle, className, method string) (int64, error
 	if err != nil {
 		return 0, err
 	}
-	v, th, err := e.vm.CallRoot(b.Isolate(), m, nil, 10_000_000)
+	v, th, err := e.call(b.Isolate(), m, nil, 10_000_000)
 	if err != nil {
 		return 0, err
 	}
@@ -119,7 +119,7 @@ func RunA3(mode core.Mode) (Result, error) {
 	if err != nil {
 		return res, err
 	}
-	e.vm.RunUntil(at, 200_000_000)
+	e.runUntil(at, 200_000_000)
 
 	during, err := e.callVictim(victim, "victim/Alloc", "tryAlloc")
 	if err != nil {
@@ -187,7 +187,7 @@ func RunA4(mode core.Mode) (Result, error) {
 	if err != nil {
 		return res, err
 	}
-	e.vm.RunUntil(at, 100_000_000)
+	e.runUntil(at, 100_000_000)
 
 	gcs := e.vm.Heap().GCCount()
 	res.PlatformCompromised = gcs > 5 // the churner forced frequent collections
@@ -269,7 +269,7 @@ func RunA5(mode core.Mode) (Result, error) {
 	if err != nil {
 		return res, err
 	}
-	e.vm.RunUntil(at, 50_000_000)
+	e.runUntil(at, 50_000_000)
 
 	during, err := e.callVictim(victim, "victim/Spawn", "trySpawn")
 	if err != nil {
@@ -285,7 +285,7 @@ func RunA5(mode core.Mode) (Result, error) {
 		res.Detected = detected
 		res.OffenderKilled = offender == "malice"
 		// Drain the interrupted sleeper threads so their slots free up.
-		e.vm.Run(5_000_000)
+		e.run(5_000_000)
 		after, err := e.callVictim(victim, "victim/Spawn", "trySpawn")
 		if err != nil {
 			return res, err

@@ -2,6 +2,7 @@ package classfile
 
 import (
 	"fmt"
+	"sync"
 
 	"ijvm/internal/bytecode"
 )
@@ -104,7 +105,13 @@ type Class struct {
 	// finalize()V; instances are finalized before reclamation.
 	HasFinalizer bool
 
+	// methodsBySig, fieldsByName and staticsByName are built once at link
+	// time and read-only afterwards. resolveCache is populated lazily on
+	// the invokevirtual hot path — system classes are shared by every
+	// isolate, so concurrent scheduler workers can race to fill it;
+	// resolveMu guards it.
 	methodsBySig  map[string]*Method
+	resolveMu     sync.RWMutex
 	resolveCache  map[string]*Method
 	fieldsByName  map[string]*Field
 	staticsByName map[string]*Field
@@ -127,7 +134,10 @@ func (c *Class) DeclaredMethod(name, desc string) *Method {
 // canonically).
 func (c *Class) LookupMethod(name, desc string) (*Method, error) {
 	sig := name + desc
-	if m, ok := c.resolveCache[sig]; ok {
+	c.resolveMu.RLock()
+	m, ok := c.resolveCache[sig]
+	c.resolveMu.RUnlock()
+	if ok {
 		if m == nil {
 			return nil, &NoSuchMethodError{Class: c.Name, Name: name, Desc: desc}
 		}
@@ -148,10 +158,12 @@ func (c *Class) LookupMethod(name, desc string) (*Method, error) {
 }
 
 func (c *Class) cacheMethod(sig string, m *Method) {
+	c.resolveMu.Lock()
 	if c.resolveCache == nil {
 		c.resolveCache = make(map[string]*Method)
 	}
 	c.resolveCache[sig] = m
+	c.resolveMu.Unlock()
 }
 
 // LookupField resolves an instance field by name against c and its

@@ -1,6 +1,9 @@
 package classfile
 
-import "fmt"
+import (
+	"fmt"
+	"sync/atomic"
+)
 
 // PoolEntryKind discriminates constant pool entries.
 type PoolEntryKind uint8
@@ -31,10 +34,16 @@ type PoolEntry struct {
 	// PoolMethodRef.
 	Descriptor string
 
-	// Resolution caches, populated at link time by the loader.
-	ResolvedClass  *Class
-	ResolvedField  *Field
-	ResolvedMethod *Method
+	// Resolution caches, populated lazily the first time the interpreter
+	// executes an instruction referencing the entry. They are atomic
+	// pointers because system-library classes are shared by every
+	// isolate: under the concurrent scheduler two workers can race to
+	// resolve the same entry of a bootstrap class's pool. Resolution is
+	// idempotent (both writers store the same resolution), so a benign
+	// last-writer-wins store is correct.
+	ResolvedClass  atomic.Pointer[Class]
+	ResolvedField  atomic.Pointer[Field]
+	ResolvedMethod atomic.Pointer[Method]
 
 	// ResolvedMirror caches the task class mirror after the first
 	// initialized access — valid only in Shared mode, where one mirror
@@ -51,7 +60,7 @@ type PoolEntry struct {
 // ConstantPool is the symbolic constant pool of one class. It implements
 // bytecode.Pool so assemblers can intern references while emitting code.
 type ConstantPool struct {
-	Entries []PoolEntry
+	Entries []*PoolEntry
 
 	strings map[string]int32
 	classes map[string]int32
@@ -64,7 +73,7 @@ type ConstantPool struct {
 // loud error rather than a silent reference to a real entry.
 func NewConstantPool() *ConstantPool {
 	return &ConstantPool{
-		Entries: make([]PoolEntry, 1),
+		Entries: make([]*PoolEntry, 1),
 		strings: make(map[string]int32),
 		classes: make(map[string]int32),
 		fields:  make(map[string]int32),
@@ -78,7 +87,7 @@ func (p *ConstantPool) StringIndex(s string) int32 {
 		return idx
 	}
 	idx := int32(len(p.Entries))
-	p.Entries = append(p.Entries, PoolEntry{Kind: PoolString, Str: s})
+	p.Entries = append(p.Entries, &PoolEntry{Kind: PoolString, Str: s})
 	p.strings[s] = idx
 	return idx
 }
@@ -89,7 +98,7 @@ func (p *ConstantPool) ClassIndex(name string) int32 {
 		return idx
 	}
 	idx := int32(len(p.Entries))
-	p.Entries = append(p.Entries, PoolEntry{Kind: PoolClassRef, ClassName: name})
+	p.Entries = append(p.Entries, &PoolEntry{Kind: PoolClassRef, ClassName: name})
 	p.classes[name] = idx
 	return idx
 }
@@ -101,7 +110,7 @@ func (p *ConstantPool) FieldIndex(class, name string) int32 {
 		return idx
 	}
 	idx := int32(len(p.Entries))
-	p.Entries = append(p.Entries, PoolEntry{Kind: PoolFieldRef, ClassName: class, Name: name})
+	p.Entries = append(p.Entries, &PoolEntry{Kind: PoolFieldRef, ClassName: class, Name: name})
 	p.fields[key] = idx
 	return idx
 }
@@ -113,7 +122,7 @@ func (p *ConstantPool) MethodIndex(class, name, descriptor string) int32 {
 		return idx
 	}
 	idx := int32(len(p.Entries))
-	p.Entries = append(p.Entries, PoolEntry{
+	p.Entries = append(p.Entries, &PoolEntry{
 		Kind: PoolMethodRef, ClassName: class, Name: name, Descriptor: descriptor,
 	})
 	p.methods[key] = idx
@@ -126,7 +135,7 @@ func (p *ConstantPool) Entry(idx int32) (*PoolEntry, error) {
 	if idx <= 0 || int(idx) >= len(p.Entries) {
 		return nil, fmt.Errorf("constant pool index %d out of range [1,%d)", idx, len(p.Entries))
 	}
-	return &p.Entries[idx], nil
+	return p.Entries[idx], nil
 }
 
 // Len returns the number of entries including the reserved slot 0.

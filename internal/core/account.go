@@ -1,51 +1,98 @@
 package core
 
-// Account holds the mutable per-isolate resource counters the paper's
-// resource accounting maintains (§3.2). Memory counters live in the heap
-// (creator-charged allocation counters plus GC-recomputed live usage) and
-// are merged into Snapshot by the World.
-type Account struct {
+import "sync/atomic"
+
+// AccountCounters holds the mutable per-isolate resource counters the
+// paper's resource accounting maintains (§3.2). Memory counters live in
+// the heap (creator-charged allocation counters plus GC-recomputed live
+// usage) and are merged into Snapshot by the World.
+//
+// Every counter is an atomic: the concurrent scheduler (internal/sched)
+// lets threads of different isolates execute in parallel, and counters of
+// one isolate are charged both by its own shard and by migrated threads
+// and admin-side samplers. Lock-free adds keep the interpreter hot path
+// cheap in both the sequential and the concurrent engine.
+type AccountCounters struct {
 	// CPUSamples counts scheduler samples that observed a thread running
 	// in this isolate (§3.2, "CPU time": the chosen sampling design).
-	CPUSamples int64
+	CPUSamples atomic.Int64
 	// Instructions counts instructions executed while the current isolate
 	// was this isolate. It is the exact counterpart of CPUSamples, kept
 	// for the §4.4 precision experiments and the per-call accounting
 	// ablation.
-	Instructions int64
+	Instructions atomic.Int64
 	// ThreadsCreated counts threads created by the isolate ("threads are
 	// charged to their creator").
-	ThreadsCreated int64
+	ThreadsCreated atomic.Int64
 	// ThreadsLive is the number of created-by-this-isolate threads that
 	// have not terminated.
-	ThreadsLive int64
+	ThreadsLive atomic.Int64
 	// SleepingThreads is a gauge of threads currently blocked in
 	// sleep/wait while executing this isolate's code (attack A7
 	// detection).
-	SleepingThreads int64
+	SleepingThreads atomic.Int64
 	// GCActivations counts collections triggered by this isolate's
 	// allocations or explicit System.gc calls (attack A4 detection).
-	GCActivations int64
+	GCActivations atomic.Int64
 	// IOBytesRead and IOBytesWritten count connection I/O performed while
 	// executing in the isolate (JRes-style instrumentation of the few
 	// system classes that touch connections).
-	IOBytesRead    int64
-	IOBytesWritten int64
+	IOBytesRead    atomic.Int64
+	IOBytesWritten atomic.Int64
 	// ConnectionsOpened counts connection objects created by the isolate.
-	ConnectionsOpened int64
+	ConnectionsOpened atomic.Int64
 	// InterBundleCallsIn counts inter-isolate calls that entered this
 	// isolate (paint-demo metric, §4.1).
-	InterBundleCallsIn int64
+	InterBundleCallsIn atomic.Int64
 	// InterBundleCallsOut counts inter-isolate calls made from this
 	// isolate.
-	InterBundleCallsOut int64
+	InterBundleCallsOut atomic.Int64
 	// CPUTicks accumulates per-call virtual time when the (ablation-only)
 	// per-call timestamping accounting strategy is enabled.
-	CPUTicks int64
+	CPUTicks atomic.Int64
 	// FinalizersRun counts finalizer invocations scheduled on behalf of
 	// the isolate's dead objects (part of the GC-churn cost attack A4
 	// inflicts).
-	FinalizersRun int64
+	FinalizersRun atomic.Int64
+}
+
+// Numbers returns a plain-integer copy of the counters, suitable for
+// embedding in an immutable Snapshot.
+func (a *AccountCounters) Numbers() Account {
+	return Account{
+		CPUSamples:          a.CPUSamples.Load(),
+		Instructions:        a.Instructions.Load(),
+		ThreadsCreated:      a.ThreadsCreated.Load(),
+		ThreadsLive:         a.ThreadsLive.Load(),
+		SleepingThreads:     a.SleepingThreads.Load(),
+		GCActivations:       a.GCActivations.Load(),
+		IOBytesRead:         a.IOBytesRead.Load(),
+		IOBytesWritten:      a.IOBytesWritten.Load(),
+		ConnectionsOpened:   a.ConnectionsOpened.Load(),
+		InterBundleCallsIn:  a.InterBundleCallsIn.Load(),
+		InterBundleCallsOut: a.InterBundleCallsOut.Load(),
+		CPUTicks:            a.CPUTicks.Load(),
+		FinalizersRun:       a.FinalizersRun.Load(),
+	}
+}
+
+// Account is an immutable plain-integer view of AccountCounters; see the
+// counter documentation there. Snapshot embeds it so detector code and
+// tests read ordinary int64 fields.
+type Account struct {
+	CPUSamples          int64
+	Instructions        int64
+	ThreadsCreated      int64
+	ThreadsLive         int64
+	SleepingThreads     int64
+	GCActivations       int64
+	IOBytesRead         int64
+	IOBytesWritten      int64
+	ConnectionsOpened   int64
+	InterBundleCallsIn  int64
+	InterBundleCallsOut int64
+	CPUTicks            int64
+	FinalizersRun       int64
 }
 
 // Snapshot is an immutable copy of one isolate's resource usage, combining

@@ -284,7 +284,7 @@ func TestSnapshotMergesHeapViews(t *testing.T) {
 		t.Fatal(err)
 	}
 	h.Collect([]heap.RootSet{{Isolate: iso.ID(), Refs: []*heap.Object{o}}})
-	iso.Account().ThreadsCreated = 7
+	iso.Account().ThreadsCreated.Store(7)
 	snap := w.Snapshot(iso, h)
 	if snap.ThreadsCreated != 7 || snap.AllocatedObjects != 1 || snap.LiveObjects != 1 {
 		t.Fatalf("snapshot = %+v", snap)

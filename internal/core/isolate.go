@@ -14,10 +14,27 @@
 //
 // The interpreter (internal/interp) consults this package on every static
 // access, method call and allocation; the scheduler drives CPU sampling.
+//
+// # Locking discipline
+//
+// The concurrent scheduler (internal/sched) executes isolates in
+// parallel, one worker per isolate shard, so this package distinguishes
+// three classes of state:
+//
+//   - shard-local state (task-class-mirror contents: statics, init state,
+//     Class objects) is only ever touched by the worker currently owning
+//     the isolate the access is keyed by — the thread's current isolate —
+//     and needs no locks;
+//   - cross-isolate counters (AccountCounters, the isolate life state)
+//     are atomics, readable and writable from any goroutine;
+//   - shared registries (the mirror table in World, the per-isolate
+//     interned-string pool) take internal mutexes.
 package core
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"ijvm/internal/heap"
 	"ijvm/internal/loader"
@@ -84,14 +101,21 @@ type Isolate struct {
 	name   string
 	loader *loader.Loader
 	rights Rights
-	state  LifeState
 
-	account Account
+	// state holds the LifeState. It is atomic because the kill path flips
+	// it from an arbitrary goroutine while worker goroutines consult
+	// Killed() on every cross-isolate call and frame return.
+	state atomic.Uint32
+
+	account AccountCounters
 
 	// strings is the per-isolate interned-string pool (§3.5: "each bundle
 	// has its map of strings, therefore the == operator does not work for
-	// strings allocated by different bundles").
-	strings map[string]*heap.Object
+	// strings allocated by different bundles"). stringsMu guards it:
+	// threads migrated into this isolate intern through it while the
+	// isolate's own shard does too.
+	stringsMu sync.Mutex
+	strings   map[string]*heap.Object
 }
 
 // ID returns the isolate's accounting ID (0 for Isolate0).
@@ -107,45 +131,58 @@ func (iso *Isolate) Loader() *loader.Loader { return iso.loader }
 func (iso *Isolate) Rights() Rights { return iso.rights }
 
 // State returns the isolate's life state.
-func (iso *Isolate) State() LifeState { return iso.state }
+func (iso *Isolate) State() LifeState { return LifeState(iso.state.Load()) }
+
+func (iso *Isolate) setState(s LifeState) { iso.state.Store(uint32(s)) }
 
 // Killed reports whether termination has been requested (or completed).
-func (iso *Isolate) Killed() bool { return iso.state != StateLive }
+func (iso *Isolate) Killed() bool { return iso.State() != StateLive }
 
 // Disposed reports whether the isolate has been fully reclaimed.
-func (iso *Isolate) Disposed() bool { return iso.state == StateDisposed }
+func (iso *Isolate) Disposed() bool { return iso.State() == StateDisposed }
 
 // IsIsolate0 reports whether this is the OSGi runtime's isolate.
 func (iso *Isolate) IsIsolate0() bool { return iso.id == 0 }
 
-// Account returns a pointer to the isolate's mutable resource account; the
-// interpreter updates it in place.
-func (iso *Isolate) Account() *Account { return &iso.account }
+// Account returns a pointer to the isolate's resource counters; the
+// interpreter updates them in place with atomic adds.
+func (iso *Isolate) Account() *AccountCounters { return &iso.account }
 
 // InternedString returns the isolate-private interned object for s, if
 // any.
 func (iso *Isolate) InternedString(s string) (*heap.Object, bool) {
+	iso.stringsMu.Lock()
 	obj, ok := iso.strings[s]
+	iso.stringsMu.Unlock()
 	return obj, ok
 }
 
 // SetInternedString records the isolate-private interned object for s.
 func (iso *Isolate) SetInternedString(s string, obj *heap.Object) {
+	iso.stringsMu.Lock()
 	iso.strings[s] = obj
+	iso.stringsMu.Unlock()
 }
 
 // StringPoolRoots appends the interned strings to roots (GC accounting
 // step 2) and returns the extended slice.
 func (iso *Isolate) StringPoolRoots(roots []*heap.Object) []*heap.Object {
+	iso.stringsMu.Lock()
 	for _, obj := range iso.strings {
 		roots = append(roots, obj)
 	}
+	iso.stringsMu.Unlock()
 	return roots
 }
 
 // NumInternedStrings returns the size of the isolate's string pool.
-func (iso *Isolate) NumInternedStrings() int { return len(iso.strings) }
+func (iso *Isolate) NumInternedStrings() int {
+	iso.stringsMu.Lock()
+	n := len(iso.strings)
+	iso.stringsMu.Unlock()
+	return n
+}
 
 func (iso *Isolate) String() string {
-	return fmt.Sprintf("isolate %d (%s, %s)", iso.id, iso.name, iso.state)
+	return fmt.Sprintf("isolate %d (%s, %s)", iso.id, iso.name, iso.State())
 }

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"sync/atomic"
+
 	"ijvm/internal/classfile"
 	"ijvm/internal/heap"
 )
@@ -30,8 +32,11 @@ type TaskClassMirror struct {
 	State   InitState
 	Statics []heap.Value
 	// ClassObject is the isolate-private java.lang.Class instance,
-	// allocated lazily on first ldc_class.
-	ClassObject *heap.Object
+	// allocated lazily on first ldc_class. It is an atomic pointer
+	// because a thread migrating into the isolate on a synchronized
+	// static call materializes it from its source worker, racing with
+	// the isolate's own shard; the first published object wins.
+	ClassObject atomic.Pointer[heap.Object]
 	// InitThread is the VM thread currently running <clinit>, for
 	// re-entrancy (0 when none).
 	InitThread int64
@@ -53,8 +58,8 @@ func (m *TaskClassMirror) Roots(roots []*heap.Object) []*heap.Object {
 			roots = append(roots, r)
 		}
 	}
-	if m.ClassObject != nil {
-		roots = append(roots, m.ClassObject)
+	if obj := m.ClassObject.Load(); obj != nil {
+		roots = append(roots, obj)
 	}
 	return roots
 }

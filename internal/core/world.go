@@ -3,6 +3,8 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"ijvm/internal/classfile"
 	"ijvm/internal/heap"
@@ -43,30 +45,46 @@ var ErrNoRight = errors.New("core: isolate lacks the required right")
 // ErrKilled is returned when an operation targets a killed isolate.
 var ErrKilled = errors.New("core: isolate is killed")
 
+// mirrorTable is an immutable snapshot of the task-class-mirror storage:
+// mirrors[staticsID][isolateID] (Shared mode: the inner index is always
+// 0). Readers load it atomically and index without locks; writers build a
+// fresh outer slice and fresh rows under World.mirrorMu and publish the
+// new table with an atomic store. Published rows are never mutated in
+// place, so a reader can never observe a half-written entry.
+type mirrorTable struct {
+	rows [][]*TaskClassMirror
+}
+
 // World owns the isolates of one VM and the task-class-mirror storage. The
 // interpreter calls Mirror on every static access; everything else is
 // management-plane.
+//
+// Locking: mu guards the isolate registries (creation order, loader
+// indexes); mirrorMu serializes mirror-table growth; the table itself is
+// read lock-free through an atomic pointer. Mirror *contents* are
+// shard-local (see the package comment) and unguarded.
 type World struct {
 	mode     Mode
 	registry *loader.Registry
 
-	isolates   []*Isolate
-	byLoaderID map[int]*Isolate
-	// byLoaderSlice is the hot-path variant of byLoaderID, indexed by
-	// loader ID (nil entries for loaders without isolates).
+	mu            sync.RWMutex
+	isolates      []*Isolate
+	byLoaderID    map[int]*Isolate
 	byLoaderSlice []*Isolate
-	// mirrors[staticsID][isolateID], grown lazily. In Shared mode the
-	// inner slice has exactly one entry.
-	mirrors [][]*TaskClassMirror
+
+	mirrorMu sync.Mutex
+	mirrors  atomic.Pointer[mirrorTable]
 }
 
 // NewWorld creates the isolate world for one VM.
 func NewWorld(mode Mode, registry *loader.Registry) *World {
-	return &World{
+	w := &World{
 		mode:       mode,
 		registry:   registry,
 		byLoaderID: make(map[int]*Isolate),
 	}
+	w.mirrors.Store(&mirrorTable{})
+	return w
 }
 
 // Mode returns the isolation mode.
@@ -85,6 +103,8 @@ func (w *World) NewIsolate(name string, l *loader.Loader) (*Isolate, error) {
 	if l.IsBootstrap() {
 		return nil, errors.New("core: the bootstrap loader cannot form an isolate")
 	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
 	if _, dup := w.byLoaderID[l.ID()]; dup {
 		return nil, fmt.Errorf("core: loader %s already has an isolate", l.Name())
 	}
@@ -95,9 +115,9 @@ func (w *World) NewIsolate(name string, l *loader.Loader) (*Isolate, error) {
 		id:      heap.IsolateID(len(w.isolates)),
 		name:    name,
 		loader:  l,
-		state:   StateLive,
 		strings: make(map[string]*heap.Object),
 	}
+	iso.setState(StateLive)
 	if iso.id == 0 {
 		iso.rights = AllRights
 	}
@@ -114,6 +134,8 @@ func (w *World) NewIsolate(name string, l *loader.Loader) (*Isolate, error) {
 // the interpreter's invoke sequence; it returns nil for the bootstrap
 // loader and for loaders without isolates.
 func (w *World) IsolateForLoaderID(id int) *Isolate {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
 	if id <= 0 || id >= len(w.byLoaderSlice) {
 		return nil
 	}
@@ -122,6 +144,8 @@ func (w *World) IsolateForLoaderID(id int) *Isolate {
 
 // Isolate0 returns the OSGi runtime's isolate, or nil before it exists.
 func (w *World) Isolate0() *Isolate {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
 	if len(w.isolates) == 0 {
 		return nil
 	}
@@ -130,6 +154,8 @@ func (w *World) Isolate0() *Isolate {
 
 // IsolateByID returns the isolate with the given accounting ID, or nil.
 func (w *World) IsolateByID(id heap.IsolateID) *Isolate {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
 	if id < 0 || int(id) >= len(w.isolates) {
 		return nil
 	}
@@ -142,6 +168,8 @@ func (w *World) IsolateForLoader(l *loader.Loader) *Isolate {
 	if l == nil || l.IsBootstrap() {
 		return nil
 	}
+	w.mu.RLock()
+	defer w.mu.RUnlock()
 	return w.byLoaderID[l.ID()]
 }
 
@@ -151,59 +179,91 @@ func (w *World) IsolateForClass(c *classfile.Class) *Isolate {
 	if c.IsSystem() {
 		return nil
 	}
+	w.mu.RLock()
+	defer w.mu.RUnlock()
 	return w.byLoaderID[c.LoaderID]
 }
 
 // Isolates returns all isolates in creation order (a copy).
 func (w *World) Isolates() []*Isolate {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
 	return append([]*Isolate(nil), w.isolates...)
 }
 
 // NumIsolates returns the number of isolates created so far.
-func (w *World) NumIsolates() int { return len(w.isolates) }
+func (w *World) NumIsolates() int {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	return len(w.isolates)
+}
 
 // Mirror returns the task class mirror of class c for isolate iso,
 // creating it lazily. This is the getstatic/putstatic hot path: in
 // Isolated mode it performs the paper's two extra loads (current isolate,
 // then the mirror array entry); in Shared mode isolates collapse to a
-// single mirror.
+// single mirror. The fast path is lock-free: it indexes an immutable
+// table snapshot; only a miss (first access of a (class, isolate) pair)
+// takes the growth lock.
 func (w *World) Mirror(c *classfile.Class, iso *Isolate) *TaskClassMirror {
 	sid := c.StaticsID
-	if sid >= len(w.mirrors) {
-		grown := make([][]*TaskClassMirror, sid+16)
-		copy(grown, w.mirrors)
-		w.mirrors = grown
-	}
-	row := w.mirrors[sid]
 	idx := 0
 	if w.mode == ModeIsolated {
 		idx = int(iso.id)
 	}
-	if idx >= len(row) {
-		grownRow := make([]*TaskClassMirror, idx+4)
-		copy(grownRow, row)
-		w.mirrors[sid] = grownRow
-		row = grownRow
+	tab := w.mirrors.Load()
+	if sid < len(tab.rows) {
+		if row := tab.rows[sid]; idx < len(row) {
+			if m := row[idx]; m != nil {
+				return m
+			}
+		}
 	}
-	m := row[idx]
-	if m == nil {
-		m = newMirror(c)
-		row[idx] = m
+	return w.growMirror(sid, idx, c)
+}
+
+// growMirror publishes a new table snapshot containing a mirror at
+// (sid, idx), creating it if a concurrent caller has not already.
+func (w *World) growMirror(sid, idx int, c *classfile.Class) *TaskClassMirror {
+	w.mirrorMu.Lock()
+	defer w.mirrorMu.Unlock()
+	tab := w.mirrors.Load()
+	// Re-check under the lock: another goroutine may have published it.
+	if sid < len(tab.rows) {
+		if row := tab.rows[sid]; idx < len(row) && row[idx] != nil {
+			return row[idx]
+		}
 	}
+	rows := tab.rows
+	if sid >= len(rows) {
+		grown := make([][]*TaskClassMirror, sid+16)
+		copy(grown, rows)
+		rows = grown
+	} else {
+		rows = append([][]*TaskClassMirror(nil), rows...)
+	}
+	row := rows[sid]
+	grownRow := make([]*TaskClassMirror, max(idx+4, len(row)))
+	copy(grownRow, row)
+	m := newMirror(c)
+	grownRow[idx] = m
+	rows[sid] = grownRow
+	w.mirrors.Store(&mirrorTable{rows: rows})
 	return m
 }
 
 // MirrorIfPresent returns the mirror without creating it.
 func (w *World) MirrorIfPresent(c *classfile.Class, iso *Isolate) *TaskClassMirror {
 	sid := c.StaticsID
-	if sid >= len(w.mirrors) {
-		return nil
-	}
-	row := w.mirrors[sid]
 	idx := 0
 	if w.mode == ModeIsolated {
 		idx = int(iso.id)
 	}
+	tab := w.mirrors.Load()
+	if sid >= len(tab.rows) {
+		return nil
+	}
+	row := tab.rows[sid]
 	if idx >= len(row) {
 		return nil
 	}
@@ -212,10 +272,12 @@ func (w *World) MirrorIfPresent(c *classfile.Class, iso *Isolate) *TaskClassMirr
 
 // MirrorRootSets builds the GC accounting root contribution of every
 // isolate's mirrors and string pools (paper §3.2, step 2). The returned
-// map is keyed by isolate ID.
+// map is keyed by isolate ID. Callers run with the world stopped (the
+// collection is stop-the-world), so the table snapshot is complete.
 func (w *World) MirrorRootSets() map[heap.IsolateID][]*heap.Object {
-	out := make(map[heap.IsolateID][]*heap.Object, len(w.isolates))
-	for _, iso := range w.isolates {
+	isolates := w.Isolates()
+	out := make(map[heap.IsolateID][]*heap.Object, len(isolates))
+	for _, iso := range isolates {
 		// Killed isolates contribute no roots: "all the objects
 		// referenced by the terminating isolate are reclaimed by the
 		// garbage collector, with the exception of objects shared with
@@ -226,7 +288,8 @@ func (w *World) MirrorRootSets() map[heap.IsolateID][]*heap.Object {
 		}
 		out[iso.id] = iso.StringPoolRoots(nil)
 	}
-	for sid, row := range w.mirrors {
+	tab := w.mirrors.Load()
+	for sid, row := range tab.rows {
 		class := w.registry.ClassByStaticsID(sid)
 		if class == nil {
 			continue
@@ -269,7 +332,8 @@ const (
 // pools and accounts.
 func (w *World) StructFootprint() int64 {
 	var total int64
-	for _, row := range w.mirrors {
+	tab := w.mirrors.Load()
+	for _, row := range tab.rows {
 		if row == nil {
 			continue
 		}
@@ -281,9 +345,9 @@ func (w *World) StructFootprint() int64 {
 			total += mirrorBytes + staticSlotBytes*int64(len(m.Statics))
 		}
 	}
-	for _, iso := range w.isolates {
+	for _, iso := range w.Isolates() {
 		total += isolateBytes + accountBytes
-		total += stringEntryBytes * int64(len(iso.strings))
+		total += stringEntryBytes * int64(iso.NumInternedStrings())
 	}
 	return total
 }
@@ -299,10 +363,9 @@ func (w *World) Kill(killer, target *Isolate) error {
 	if killer != nil && !killer.rights.Has(RightKillIsolate) {
 		return fmt.Errorf("%w: %s cannot kill %s", ErrNoRight, killer.name, target.name)
 	}
-	if target.state != StateLive {
+	if !target.state.CompareAndSwap(uint32(StateLive), uint32(StateKilled)) {
 		return fmt.Errorf("%w: %s", ErrKilled, target.name)
 	}
-	target.state = StateKilled
 	return nil
 }
 
@@ -311,12 +374,12 @@ func (w *World) Kill(killer, target *Isolate) error {
 // there is no remaining object whose class is defined by the isolate",
 // §3.3). Call after an accounting collection.
 func (w *World) UpdateDisposal(h *heap.Heap) {
-	for _, iso := range w.isolates {
-		if iso.state != StateKilled {
+	for _, iso := range w.Isolates() {
+		if iso.State() != StateKilled {
 			continue
 		}
 		if h.LiveStatsFor(iso.id).Objects == 0 {
-			iso.state = StateDisposed
+			iso.setState(StateDisposed)
 		}
 	}
 }
@@ -330,8 +393,8 @@ func (w *World) Snapshot(iso *Isolate, h *heap.Heap) Snapshot {
 	return Snapshot{
 		IsolateID:        int32(iso.id),
 		IsolateName:      iso.name,
-		State:            iso.state,
-		Account:          iso.account,
+		State:            iso.State(),
+		Account:          iso.account.Numbers(),
 		AllocatedObjects: alloc.Objects,
 		AllocatedBytes:   alloc.Bytes,
 		LiveObjects:      live.Objects,
@@ -342,8 +405,9 @@ func (w *World) Snapshot(iso *Isolate, h *heap.Heap) Snapshot {
 
 // Snapshots returns snapshots of all isolates in creation order.
 func (w *World) Snapshots(h *heap.Heap) []Snapshot {
-	out := make([]Snapshot, 0, len(w.isolates))
-	for _, iso := range w.isolates {
+	isolates := w.Isolates()
+	out := make([]Snapshot, 0, len(isolates))
+	for _, iso := range isolates {
 		out = append(out, w.Snapshot(iso, h))
 	}
 	return out

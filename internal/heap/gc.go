@@ -37,6 +37,10 @@ type CollectResult struct {
 // to their creator) and reported in PendingFinalize; everything else
 // unmarked is swept.
 func (h *Heap) Collect(rootSets []RootSet) CollectResult {
+	// The world is stopped (see the Heap locking discipline); mu is still
+	// taken so host-side metric reads stay consistent mid-collection.
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	h.gcCount++
 
 	// Step 1: reset per-isolate live accounting.

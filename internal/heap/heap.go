@@ -3,6 +3,7 @@ package heap
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"ijvm/internal/classfile"
 )
@@ -25,9 +26,23 @@ type AllocStats struct {
 
 // Heap is the single shared heap of the VM. All isolates allocate from it;
 // isolation is purely logical (per-isolate statics/strings/Class objects),
-// exactly as in the paper. The heap is not internally synchronized: the
-// cooperative scheduler guarantees single-threaded access.
+// exactly as in the paper.
+//
+// # Locking discipline
+//
+// mu guards the allocator state: the used-bytes counter, the object list
+// and the per-isolate allocation statistics. Allocation, native resizing
+// and the stats accessors take it, so isolates on different scheduler
+// workers may allocate concurrently.
+//
+// Collect and PreciseAccounting are stop-the-world: they traverse object
+// graphs (Fields/Elems of every object) that running guest code mutates
+// without locks, so the caller — VM.CollectGarbage via the scheduler's
+// safepoint — must park all workers first. They still take mu for the
+// allocator state they update, which keeps host-side metric reads
+// (Used, NumObjects, GCCount) safe at any time.
 type Heap struct {
+	mu      sync.Mutex
 	limit   int64
 	used    int64
 	objects []*Object
@@ -68,23 +83,41 @@ func New(limit int64) *Heap {
 
 // SetAllocTracking toggles the per-isolate allocation counters (disabled
 // by the baseline VM).
-func (h *Heap) SetAllocTracking(on bool) { h.trackAlloc = on }
+func (h *Heap) SetAllocTracking(on bool) {
+	h.mu.Lock()
+	h.trackAlloc = on
+	h.mu.Unlock()
+}
 
 // Limit returns the heap capacity in modelled bytes.
 func (h *Heap) Limit() int64 { return h.limit }
 
 // Used returns the modelled bytes currently allocated.
-func (h *Heap) Used() int64 { return h.used }
+func (h *Heap) Used() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.used
+}
 
 // NumObjects returns the number of live (unswept) objects.
-func (h *Heap) NumObjects() int { return len(h.objects) }
+func (h *Heap) NumObjects() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.objects)
+}
 
 // GCCount returns the number of collections run so far.
-func (h *Heap) GCCount() int64 { return h.gcCount }
+func (h *Heap) GCCount() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.gcCount
+}
 
 // AllocStatsFor returns a copy of the monotonic allocation counters of an
 // isolate.
 func (h *Heap) AllocStatsFor(iso IsolateID) AllocStats {
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	if s, ok := h.allocs[iso]; ok {
 		return *s
 	}
@@ -94,12 +127,15 @@ func (h *Heap) AllocStatsFor(iso IsolateID) AllocStats {
 // LiveStatsFor returns the per-isolate live memory computed by the last
 // accounting collection.
 func (h *Heap) LiveStatsFor(iso IsolateID) LiveStats {
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	if s, ok := h.liveByIso[iso]; ok {
 		return *s
 	}
 	return LiveStats{}
 }
 
+// allocStats returns the stats entry for iso; h.mu must be held.
 func (h *Heap) allocStats(iso IsolateID) *AllocStats {
 	s, ok := h.allocs[iso]
 	if !ok {
@@ -111,6 +147,8 @@ func (h *Heap) allocStats(iso IsolateID) *AllocStats {
 
 func (h *Heap) admit(o *Object, creator IsolateID) (*Object, error) {
 	o.size = o.computeSize()
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	if h.used+o.size > h.limit {
 		return nil, fmt.Errorf("%w: need %d bytes, %d of %d used",
 			ErrOutOfMemory, o.size, h.used, h.limit)
@@ -175,12 +213,18 @@ func (h *Heap) ResizeNative(o *Object, newSize int64) {
 	if newSize < 0 {
 		newSize = 0
 	}
+	h.mu.Lock()
 	delta := newSize - o.extra
 	o.extra = newSize
 	o.size += delta
 	h.used += delta
+	h.mu.Unlock()
 }
 
 // WouldExceed reports whether allocating sz more bytes would exceed the
 // heap limit (used by allocation fast paths to decide on triggering GC).
-func (h *Heap) WouldExceed(sz int64) bool { return h.used+sz > h.limit }
+func (h *Heap) WouldExceed(sz int64) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.used+sz > h.limit
+}

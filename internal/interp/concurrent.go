@@ -1,0 +1,215 @@
+package interp
+
+import (
+	"sync/atomic"
+
+	"ijvm/internal/core"
+)
+
+// This file is the integration surface between the interpreter and the
+// concurrent isolate scheduler (internal/sched). The scheduler installs
+// two callbacks for the duration of a concurrent run:
+//
+//   - SchedHooks let the interpreter tell the scheduler that threads
+//     appeared, woke up, or that a global condition changed (a monitor
+//     freed, a thread finished) so idle shards re-poll. Hooks are always
+//     invoked WITHOUT schedMu held, so implementations may take their
+//     own locks freely.
+//   - Safepointer lets stop-the-world operations (accounting GC, isolate
+//     kill) park every worker at an instruction boundary first.
+//
+// Both are nil in sequential runs, turning the call sites into direct
+// passthroughs.
+
+// SchedHooks is implemented by the concurrent scheduler's pool.
+type SchedHooks interface {
+	// ThreadSpawned reports a newly created runnable thread (its creator
+	// isolate decides the shard it lands on).
+	ThreadSpawned(t *Thread)
+	// ThreadUnparked reports that t may have become runnable (notify,
+	// interrupt, forced wake).
+	ThreadUnparked(t *Thread)
+	// ThreadsChanged reports a global scheduling event without a single
+	// affected thread: a monitor was freed or a thread finished, so
+	// blocked and joining threads anywhere may now be promotable.
+	ThreadsChanged()
+}
+
+// Safepointer stops every scheduler worker at an instruction boundary,
+// runs fn alone, and resumes the world. Implementations must be
+// reentrant: fn may itself request a stop (a kill patching threads can
+// trigger an allocation-pressure collection).
+type Safepointer interface {
+	StopTheWorld(fn func())
+}
+
+type hookBox struct{ h SchedHooks }
+type safeBox struct{ s Safepointer }
+
+// SetSchedHooks installs (or, with nil, removes) the scheduler hooks.
+func (vm *VM) SetSchedHooks(h SchedHooks) {
+	if h == nil {
+		vm.hooks.Store(nil)
+		return
+	}
+	vm.hooks.Store(&hookBox{h: h})
+}
+
+// SetSafepointer installs (or, with nil, removes) the stop-the-world
+// provider.
+func (vm *VM) SetSafepointer(s Safepointer) {
+	if s == nil {
+		vm.safe.Store(nil)
+		return
+	}
+	vm.safe.Store(&safeBox{s: s})
+}
+
+// withWorldStopped runs fn with every concurrent worker parked; in
+// sequential runs it is a direct call.
+func (vm *VM) withWorldStopped(fn func()) {
+	if b := vm.safe.Load(); b != nil {
+		b.s.StopTheWorld(fn)
+		return
+	}
+	fn()
+}
+
+func (vm *VM) notifyThreadSpawned(t *Thread) {
+	if b := vm.hooks.Load(); b != nil {
+		b.h.ThreadSpawned(t)
+	}
+}
+
+func (vm *VM) notifyUnparked(t *Thread) {
+	if b := vm.hooks.Load(); b != nil {
+		b.h.ThreadUnparked(t)
+	}
+}
+
+func (vm *VM) notifyMonitorFreed() {
+	if b := vm.hooks.Load(); b != nil {
+		b.h.ThreadsChanged()
+	}
+}
+
+func (vm *VM) notifyThreadsChanged() {
+	if b := vm.hooks.Load(); b != nil {
+		b.h.ThreadsChanged()
+	}
+}
+
+// Waking reports whether the thread is in the transient staging window
+// of a cross-shard wake (see stateStaging): not runnable yet, but about
+// to be. The concurrent scheduler's quiescence detector treats such
+// threads as pending work rather than as deadlocked.
+func (t *Thread) Waking() bool { return t.State() == stateStaging }
+
+// PromoteRunnable attempts to make one thread runnable (elapsed sleep,
+// free monitor, notified wait, finished join). The concurrent scheduler
+// polls shard threads through it.
+func (vm *VM) PromoteRunnable(t *Thread) bool {
+	vm.schedMu.Lock()
+	defer vm.schedMu.Unlock()
+	return vm.promoteLocked(t)
+}
+
+// WakeDeadline returns t's virtual-time wake deadline when it is parked
+// in a timed sleep or timed wait. The concurrent scheduler uses it to
+// re-queue idle shards once the global clock passes the deadline.
+func (vm *VM) WakeDeadline(t *Thread) (int64, bool) {
+	vm.schedMu.Lock()
+	defer vm.schedMu.Unlock()
+	switch t.State() {
+	case StateSleeping, StateWaitingMonitor:
+		if t.wakeAt != SleepForever && t.wakeAt > 0 {
+			return t.wakeAt, true
+		}
+	}
+	return 0, false
+}
+
+// SampleState carries one worker's CPU-sampling countdown across quanta,
+// giving each worker the sequential engine's sampling cadence.
+type SampleState struct{ count int }
+
+// QuantumResult reports why RunThreadQuantum stopped stepping.
+type QuantumResult struct {
+	// Instructions executed in this quantum.
+	Instructions int64
+	// Migrated reports the thread's current isolate left the home
+	// isolate (inter-isolate call or return): the thread must be handed
+	// to the target isolate's shard.
+	Migrated bool
+	// Stopped reports the stop flag was observed (stop-the-world pending
+	// or budget exhausted globally).
+	Stopped bool
+	// Shutdown reports the platform was shut down during the quantum.
+	Shutdown bool
+	// Err is the host-level error that aborted the thread, if any (the
+	// thread has already been finished).
+	Err error
+}
+
+// RunThreadQuantum executes up to budget instructions of t on the
+// calling scheduler worker, stopping early when the thread parks,
+// finishes, migrates off the home isolate, the stop flag rises, or the
+// platform shuts down.
+//
+// Accounting matches the sequential engine: every instruction is charged
+// to the isolate that is current after the step (so a migrating call is
+// charged to the callee's isolate), and the virtual clock advances by
+// one per instruction — but clock and instruction totals are flushed in
+// one batch at quantum end to keep hot-path atomics off the shared
+// cache lines.
+func (vm *VM) RunThreadQuantum(t *Thread, home *core.Isolate, budget int64, stop *atomic.Bool, s *SampleState) QuantumResult {
+	var res QuantumResult
+	isolated := vm.world.Isolated()
+	var segIso *core.Isolate
+	var segCount int64
+	flush := func() {
+		if segIso != nil && segCount > 0 {
+			segIso.Account().Instructions.Add(segCount)
+		}
+		segCount = 0
+	}
+	for res.Instructions < budget && t.State() == StateRunnable {
+		if stop != nil && stop.Load() {
+			res.Stopped = true
+			break
+		}
+		err := vm.stepThread(t)
+		res.Instructions++
+		cur := t.cur
+		if isolated {
+			if cur != segIso {
+				flush()
+				segIso = cur
+			}
+			segCount++
+			s.count++
+			if s.count >= vm.opts.SampleEvery {
+				s.count = 0
+				cur.Account().CPUSamples.Add(1)
+			}
+		}
+		if err != nil {
+			t.err = err
+			vm.finishThread(t)
+			res.Err = err
+			break
+		}
+		if vm.IsShutdown() {
+			res.Shutdown = true
+			break
+		}
+		if cur != home {
+			res.Migrated = true
+			break
+		}
+	}
+	flush()
+	vm.clock.Add(res.Instructions)
+	vm.totalInstrs.Add(res.Instructions)
+	return res
+}

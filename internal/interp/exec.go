@@ -336,13 +336,13 @@ func (vm *VM) execInstr(t *Thread, f *Frame, in bytecode.Instr) error {
 		if err != nil {
 			return err
 		}
-		class := entry.ResolvedClass
+		class := entry.ResolvedClass.Load()
 		if class == nil {
 			class, err = vm.resolveClassFrom(f.method.Class, entry.ClassName)
 			if err != nil {
 				return vm.Throw(t, ClassNullPointerException, err.Error())
 			}
-			entry.ResolvedClass = class
+			entry.ResolvedClass.Store(class)
 		}
 		ready, err := vm.classInitReadyAt(t, entry, class)
 		if err != nil || !ready {
@@ -597,10 +597,10 @@ func (vm *VM) staticMirrorAt(t *Thread, f *Frame, idx int32) (*core.TaskClassMir
 	if !vm.world.Isolated() {
 		// Baseline fast path: one load, as after JIT optimization.
 		if m, ok := entry.ResolvedMirror.(*core.TaskClassMirror); ok {
-			return m, entry.ResolvedField, nil
+			return m, entry.ResolvedField.Load(), nil
 		}
 	}
-	field := entry.ResolvedField
+	field := entry.ResolvedField.Load()
 	if field == nil {
 		field, err = vm.resolveFieldEntryAt(f, idx, true)
 		if err != nil {
@@ -642,8 +642,8 @@ func (vm *VM) resolveFieldEntryAt(f *Frame, idx int32, wantStatic bool) (*classf
 	if err != nil {
 		return nil, err
 	}
-	if entry.ResolvedField != nil {
-		return entry.ResolvedField, nil
+	if field := entry.ResolvedField.Load(); field != nil {
+		return field, nil
 	}
 	class, err := vm.resolveClassFrom(f.method.Class, entry.ClassName)
 	if err != nil {
@@ -658,8 +658,8 @@ func (vm *VM) resolveFieldEntryAt(f *Frame, idx int32, wantStatic bool) (*classf
 	if err != nil {
 		return nil, err
 	}
-	entry.ResolvedClass = class
-	entry.ResolvedField = field
+	entry.ResolvedClass.Store(class)
+	entry.ResolvedField.Store(field)
 	return field, nil
 }
 
@@ -669,14 +669,14 @@ func (vm *VM) resolvePoolClass(f *Frame, idx int32) (*classfile.Class, error) {
 	if err != nil {
 		return nil, err
 	}
-	if entry.ResolvedClass != nil {
-		return entry.ResolvedClass, nil
+	if class := entry.ResolvedClass.Load(); class != nil {
+		return class, nil
 	}
 	class, err := vm.resolveClassFrom(f.method.Class, entry.ClassName)
 	if err != nil {
 		return nil, err
 	}
-	entry.ResolvedClass = class
+	entry.ResolvedClass.Store(class)
 	return class, nil
 }
 

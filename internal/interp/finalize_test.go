@@ -161,7 +161,7 @@ func TestKilledIsolateObjectsAreNotFinalized(t *testing.T) {
 	// isolates), but the VM refuses to run killed code: no finalizer
 	// thread is spawned and the account stays zero.
 	vm.Run(100_000)
-	if bundle.Account().FinalizersRun != 0 {
+	if bundle.Account().FinalizersRun.Load() != 0 {
 		t.Fatal("killed isolate's finalizer ran")
 	}
 	_ = res

@@ -51,7 +51,7 @@ func TestInstructionAccountingSumsToTotal(t *testing.T) {
 	}
 	var sum int64
 	for _, iso := range isolates {
-		sum += iso.Account().Instructions
+		sum += iso.Account().Instructions.Load()
 	}
 	if sum != vm.TotalInstructions() {
 		t.Fatalf("per-isolate sum %d != total %d", sum, vm.TotalInstructions())
@@ -112,9 +112,9 @@ func TestInterBundleCallSymmetry(t *testing.T) {
 	}
 	var out int64
 	for _, iso := range drivers {
-		out += iso.Account().InterBundleCallsOut
+		out += iso.Account().InterBundleCallsOut.Load()
 	}
-	in := svcIso.Account().InterBundleCallsIn
+	in := svcIso.Account().InterBundleCallsIn.Load()
 	if out != in || out != 100+200+300 {
 		t.Fatalf("calls out %d, in %d, want 600 each", out, in)
 	}

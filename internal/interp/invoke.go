@@ -28,8 +28,8 @@ func (vm *VM) resolveClassFrom(from *classfile.Class, name string) (*classfile.C
 // resolveMethodEntry resolves a MethodRef pool entry relative to the
 // frame's class, caching the result.
 func (vm *VM) resolveMethodEntry(f *Frame, entry *classfile.PoolEntry) (*classfile.Method, error) {
-	if entry.ResolvedMethod != nil {
-		return entry.ResolvedMethod, nil
+	if m := entry.ResolvedMethod.Load(); m != nil {
+		return m, nil
 	}
 	class, err := vm.resolveClassFrom(f.method.Class, entry.ClassName)
 	if err != nil {
@@ -39,8 +39,8 @@ func (vm *VM) resolveMethodEntry(f *Frame, entry *classfile.PoolEntry) (*classfi
 	if err != nil {
 		return nil, err
 	}
-	entry.ResolvedClass = class
-	entry.ResolvedMethod = m
+	entry.ResolvedClass.Store(class)
+	entry.ResolvedMethod.Store(m)
 	return m, nil
 }
 
@@ -51,36 +51,45 @@ func (vm *VM) SpawnThread(name string, creator *core.Isolate, m *classfile.Metho
 	if creator == nil {
 		return nil, errors.New("interp: SpawnThread requires a creator isolate")
 	}
-	if vm.liveThreads >= vm.opts.MaxThreads {
-		return nil, fmt.Errorf("%w (%d live)", ErrTooManyThreads, vm.liveThreads)
+	vm.threadsMu.Lock()
+	if live := int(vm.liveThreads.Load()); live >= vm.opts.MaxThreads {
+		vm.threadsMu.Unlock()
+		return nil, fmt.Errorf("%w (%d live)", ErrTooManyThreads, live)
 	}
 	vm.nextThreadID++
 	t := &Thread{
 		id:             vm.nextThreadID,
 		name:           name,
 		vm:             vm,
-		state:          StateRunnable,
 		cur:            creator,
 		creator:        creator,
-		lastSwitchTick: vm.clock,
+		lastSwitchTick: vm.clock.Load(),
 	}
-	creator.Account().ThreadsCreated++
-	creator.Account().ThreadsLive++
-	vm.liveThreads++
+	t.setState(StateRunnable)
+	creator.Account().ThreadsCreated.Add(1)
+	creator.Account().ThreadsLive.Add(1)
+	vm.liveThreads.Add(1)
 	vm.threads = append(vm.threads, t)
+	vm.threadsMu.Unlock()
 	if err := vm.pushFrame(t, m, args, nil); err != nil {
 		vm.finishThread(t)
 		t.err = err
 		return nil, err
 	}
+	vm.notifyThreadSpawned(t)
 	return t, nil
 }
 
-// Threads returns all threads ever created (including finished ones).
-func (vm *VM) Threads() []*Thread { return append([]*Thread(nil), vm.threads...) }
+// Threads returns all threads ever created (including finished ones that
+// have not been pruned).
+func (vm *VM) Threads() []*Thread {
+	vm.threadsMu.Lock()
+	defer vm.threadsMu.Unlock()
+	return append([]*Thread(nil), vm.threads...)
+}
 
 // LiveThreads returns the number of unfinished threads.
-func (vm *VM) LiveThreads() int { return vm.liveThreads }
+func (vm *VM) LiveThreads() int { return int(vm.liveThreads.Load()) }
 
 // pushFrame activates method m on thread t with the given argument
 // values (receiver first for instance methods). isoOverride forces the
@@ -114,9 +123,9 @@ func (vm *VM) pushFrame(t *Thread, m *classfile.Method, args []heap.Value, isoOv
 				}
 				t.cur = classIso
 				frameIso = classIso
-				classIso.Account().InterBundleCallsIn++
+				classIso.Account().InterBundleCallsIn.Add(1)
 				if callerIso != nil {
-					callerIso.Account().InterBundleCallsOut++
+					callerIso.Account().InterBundleCallsOut.Add(1)
 				}
 			} else {
 				frameIso = classIso
@@ -254,7 +263,7 @@ func (vm *VM) CallRoot(iso *core.Isolate, m *classfile.Method, args []heap.Value
 		return heap.Value{}, t, t.err
 	}
 	if !t.Done() {
-		return heap.Value{}, t, fmt.Errorf("thread %d did not finish: %v (budget %d, result %+v)", t.id, t.state, budget, res)
+		return heap.Value{}, t, fmt.Errorf("thread %d did not finish: %v (budget %d, result %+v)", t.id, t.State(), budget, res)
 	}
 	return t.result, t, nil
 }

@@ -248,7 +248,7 @@ func TestIsolateRestoredAcrossExceptionUnwind(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	before := beta.Account().InterBundleCallsIn
+	before := beta.Account().InterBundleCallsIn.Load()
 	v, th, err := vm.CallRoot(alpha, m, nil, 1_000_000)
 	if err != nil || th.Failure() != nil {
 		t.Fatalf("%v / %s", err, th.FailureString())
@@ -257,7 +257,7 @@ func TestIsolateRestoredAcrossExceptionUnwind(t *testing.T) {
 		t.Fatalf("result = %d, want 5", v.I)
 	}
 	// Two entries into beta: boom (which threw) and ok.
-	if got := beta.Account().InterBundleCallsIn - before; got != 2 {
+	if got := beta.Account().InterBundleCallsIn.Load() - before; got != 2 {
 		t.Fatalf("beta entries = %d, want 2", got)
 	}
 }
@@ -342,15 +342,15 @@ func TestKillIsolate0Refused(t *testing.T) {
 func TestInstructionAccountingFollowsMigration(t *testing.T) {
 	vm, alpha, beta, drvClass := interCallEnv(t)
 	m, _ := drvClass.LookupMethod("catchBoom", "()I")
-	a0 := alpha.Account().Instructions
-	b0 := beta.Account().Instructions
+	a0 := alpha.Account().Instructions.Load()
+	b0 := beta.Account().Instructions.Load()
 	if _, th, err := vm.CallRoot(alpha, m, nil, 1_000_000); err != nil || th.Failure() != nil {
 		t.Fatalf("%v", err)
 	}
-	if alpha.Account().Instructions <= a0 {
+	if alpha.Account().Instructions.Load() <= a0 {
 		t.Fatal("alpha executed instructions but none were charged")
 	}
-	if beta.Account().Instructions <= b0 {
+	if beta.Account().Instructions.Load() <= b0 {
 		t.Fatal("beta executed instructions but none were charged")
 	}
 }

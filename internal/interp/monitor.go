@@ -6,9 +6,17 @@ import (
 	"ijvm/internal/heap"
 )
 
+// Monitor operations and the park/wake bookkeeping all run under
+// VM.schedMu: object monitors are shared across isolates, so under the
+// concurrent scheduler threads on different workers contend for them.
+// schedMu is a leaf lock — none of these functions allocate or take
+// another VM lock while holding it.
+
 // tryAcquireMonitor attempts to lock obj for t without blocking. It
 // returns true on success (including recursive acquisition).
 func (vm *VM) tryAcquireMonitor(t *Thread, obj *heap.Object) bool {
+	vm.schedMu.Lock()
+	defer vm.schedMu.Unlock()
 	m := &obj.Monitor
 	switch m.Owner {
 	case 0:
@@ -26,33 +34,54 @@ func (vm *VM) tryAcquireMonitor(t *Thread, obj *heap.Object) bool {
 // blockOnMonitor parks t until obj's monitor is free (attack A2 is exactly
 // a thread parked here forever in the baseline VM).
 func (vm *VM) blockOnMonitor(t *Thread, obj *heap.Object) {
-	t.state = StateBlockedMonitor
+	vm.schedMu.Lock()
+	t.setState(StateBlockedMonitor)
 	t.blockedOn = obj
+	vm.schedMu.Unlock()
 }
 
 // releaseMonitor fully releases one recursion level of obj held by t;
 // used by monitorexit and frame unwinding of synchronized methods.
 func (vm *VM) releaseMonitor(t *Thread, obj *heap.Object) {
+	vm.schedMu.Lock()
+	freed := vm.releaseMonitorLocked(t, obj)
+	vm.schedMu.Unlock()
+	if freed {
+		vm.notifyMonitorFreed()
+	}
+}
+
+// releaseMonitorLocked is releaseMonitor under schedMu; it reports
+// whether the monitor became free.
+func (vm *VM) releaseMonitorLocked(t *Thread, obj *heap.Object) bool {
 	m := &obj.Monitor
 	if m.Owner != t.id {
 		// Unwinding a frame whose monitor was force-released (isolate
 		// termination) — nothing to do.
-		return
+		return false
 	}
 	m.Count--
 	if m.Count <= 0 {
 		m.Owner = 0
 		m.Count = 0
+		return true
 	}
+	return false
 }
 
 // monitorExitChecked implements the monitorexit bytecode with the
 // IllegalMonitorStateException check.
 func (vm *VM) monitorExitChecked(t *Thread, obj *heap.Object) (ok bool) {
+	vm.schedMu.Lock()
 	if obj.Monitor.Owner != t.id {
+		vm.schedMu.Unlock()
 		return false
 	}
-	vm.releaseMonitor(t, obj)
+	freed := vm.releaseMonitorLocked(t, obj)
+	vm.schedMu.Unlock()
+	if freed {
+		vm.notifyMonitorFreed()
+	}
 	return true
 }
 
@@ -60,41 +89,50 @@ func (vm *VM) monitorExitChecked(t *Thread, obj *heap.Object) (ok bool) {
 // must own the monitor; it releases it fully, parks, and re-acquires on
 // wake. timeoutTicks <= 0 waits until notified or interrupted.
 func (vm *VM) MonitorWait(t *Thread, obj *heap.Object, timeoutTicks int64) error {
+	vm.schedMu.Lock()
 	m := &obj.Monitor
 	if m.Owner != t.id {
+		vm.schedMu.Unlock()
 		return fmt.Errorf("wait without ownership")
 	}
 	t.savedLock = m.Count
 	m.Owner = 0
 	m.Count = 0
-	t.state = StateWaitingMonitor
+	t.setState(StateWaitingMonitor)
 	t.waitingOn = obj
 	if timeoutTicks > 0 {
-		t.wakeAt = vm.clock + timeoutTicks
+		t.wakeAt = vm.clock.Load() + timeoutTicks
 	} else {
 		t.wakeAt = SleepForever
 	}
-	vm.addSleepGauge(t)
+	vm.addSleepGaugeLocked(t)
 	vm.waiters[obj] = append(vm.waiters[obj], t)
+	vm.schedMu.Unlock()
+	// Releasing the monitor may unblock threads parked on it.
+	vm.notifyMonitorFreed()
 	return nil
 }
 
 // MonitorNotify wakes one (or all) waiters of obj; woken threads move to
 // the blocked-on-monitor state and re-acquire before returning from wait.
 func (vm *VM) MonitorNotify(t *Thread, obj *heap.Object, all bool) error {
+	vm.schedMu.Lock()
 	if obj.Monitor.Owner != t.id {
+		vm.schedMu.Unlock()
 		return fmt.Errorf("notify without ownership")
 	}
 	waiters := vm.waiters[obj]
 	if len(waiters) == 0 {
+		vm.schedMu.Unlock()
 		return nil
 	}
 	n := 1
 	if all {
 		n = len(waiters)
 	}
-	for i := 0; i < n; i++ {
-		vm.wakeWaiter(waiters[i], obj)
+	woken := append([]*Thread(nil), waiters[:n]...)
+	for _, w := range woken {
+		vm.wakeWaiterLocked(w, obj)
 	}
 	rest := waiters[n:]
 	if len(rest) == 0 {
@@ -102,23 +140,29 @@ func (vm *VM) MonitorNotify(t *Thread, obj *heap.Object, all bool) error {
 	} else {
 		vm.waiters[obj] = append([]*Thread(nil), rest...)
 	}
+	vm.schedMu.Unlock()
+	for _, w := range woken {
+		vm.notifyUnparked(w)
+	}
 	return nil
 }
 
-// wakeWaiter transitions a waiting thread to monitor re-acquisition.
-func (vm *VM) wakeWaiter(w *Thread, obj *heap.Object) {
-	if w.state != StateWaitingMonitor {
+// wakeWaiterLocked transitions a waiting thread to monitor
+// re-acquisition. schedMu held.
+func (vm *VM) wakeWaiterLocked(w *Thread, obj *heap.Object) {
+	if w.State() != StateWaitingMonitor {
 		return
 	}
-	vm.removeSleepGauge(w)
-	w.state = StateBlockedMonitor
+	vm.removeSleepGaugeLocked(w)
+	w.setState(StateBlockedMonitor)
 	w.blockedOn = obj
 	w.waitingOn = nil
 	w.wakeAt = 0
 }
 
-// removeWaiter drops t from obj's wait set (timeout/interrupt paths).
-func (vm *VM) removeWaiter(t *Thread, obj *heap.Object) {
+// removeWaiterLocked drops t from obj's wait set (timeout/interrupt
+// paths). schedMu held.
+func (vm *VM) removeWaiterLocked(t *Thread, obj *heap.Object) {
 	waiters := vm.waiters[obj]
 	for i, w := range waiters {
 		if w == t {
@@ -131,23 +175,23 @@ func (vm *VM) removeWaiter(t *Thread, obj *heap.Object) {
 	}
 }
 
-// addSleepGauge bumps the sleeping-threads gauge of the isolate the
+// addSleepGaugeLocked bumps the sleeping-threads gauge of the isolate the
 // thread is currently executing in (attack A7 detection: "I-JVM inspects
 // the current bundle of each thread and counts the number of sleeping
-// threads in a bundle").
-func (vm *VM) addSleepGauge(t *Thread) {
+// threads in a bundle"). schedMu held.
+func (vm *VM) addSleepGaugeLocked(t *Thread) {
 	if t.cur == nil || t.sleepGauge != nil {
 		return
 	}
-	t.cur.Account().SleepingThreads++
+	t.cur.Account().SleepingThreads.Add(1)
 	t.sleepGauge = t.cur
 }
 
-// removeSleepGauge undoes addSleepGauge.
-func (vm *VM) removeSleepGauge(t *Thread) {
+// removeSleepGaugeLocked undoes addSleepGaugeLocked. schedMu held.
+func (vm *VM) removeSleepGaugeLocked(t *Thread) {
 	if t.sleepGauge == nil {
 		return
 	}
-	t.sleepGauge.Account().SleepingThreads--
+	t.sleepGauge.Account().SleepingThreads.Add(-1)
 	t.sleepGauge = nil
 }

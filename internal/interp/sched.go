@@ -18,6 +18,26 @@ type RunResult struct {
 	TargetDone bool
 	// Shutdown reports that the platform was shut down during the run.
 	Shutdown bool
+	// PerIsolate carries per-isolate execution results; it is populated
+	// by the concurrent scheduler (internal/sched) and empty for
+	// sequential runs.
+	PerIsolate []IsolateRun
+}
+
+// IsolateRun is the per-isolate slice of a concurrent run's result.
+type IsolateRun struct {
+	// IsolateID and Name identify the isolate.
+	IsolateID int32
+	Name      string
+	// Instructions executed by the isolate's shard during the run
+	// (attributed to the isolate that was current, exactly like the
+	// sequential engine's accounting).
+	Instructions int64
+	// Killed reports the isolate was dead (killed or disposed) when the
+	// run finished.
+	Killed bool
+	// ThreadsRemaining counts unfinished threads left in the shard.
+	ThreadsRemaining int
 }
 
 // Run executes runnable threads until all threads finish, the platform
@@ -40,7 +60,7 @@ func (vm *VM) run(budget int64, target *Thread) RunResult {
 	var res RunResult
 	isolated := vm.world.Isolated()
 	for {
-		if vm.shutdown {
+		if vm.IsShutdown() {
 			res.Shutdown = true
 			return res
 		}
@@ -54,7 +74,7 @@ func (vm *VM) run(budget int64, target *Thread) RunResult {
 		}
 		t := vm.pickRunnable()
 		if t == nil {
-			if vm.liveThreads == 0 {
+			if vm.liveThreads.Load() == 0 {
 				res.AllDone = true
 				return res
 			}
@@ -68,20 +88,20 @@ func (vm *VM) run(budget int64, target *Thread) RunResult {
 		if remaining := budget - res.Instructions; remaining < quantum {
 			quantum = remaining
 		}
-		for i := int64(0); i < quantum && t.state == StateRunnable; i++ {
+		for i := int64(0); i < quantum && t.State() == StateRunnable; i++ {
 			err := vm.stepThread(t)
 			res.Instructions++
-			vm.clock++
-			vm.totalInstrs++
+			vm.clock.Add(1)
+			vm.totalInstrs.Add(1)
 			if isolated {
 				cur := t.cur
-				cur.Account().Instructions++
+				cur.Account().Instructions.Add(1)
 				vm.instrSinceSample++
 				if vm.instrSinceSample >= vm.opts.SampleEvery {
 					vm.instrSinceSample = 0
 					// The paper's CPU accounting: sample the isolate
 					// reference of the running thread (§3.2).
-					cur.Account().CPUSamples++
+					cur.Account().CPUSamples.Add(1)
 				}
 			}
 			if err != nil {
@@ -89,7 +109,7 @@ func (vm *VM) run(budget int64, target *Thread) RunResult {
 				vm.finishThread(t)
 				break
 			}
-			if vm.shutdown || (target != nil && target.Done()) {
+			if vm.IsShutdown() || (target != nil && target.Done()) {
 				break
 			}
 		}
@@ -101,7 +121,9 @@ func (vm *VM) run(budget int64, target *Thread) RunResult {
 // shell) from scanning ever-growing dead entries. Host references to
 // pruned Thread handles stay valid.
 func (vm *VM) pruneDoneThreads() {
-	done := len(vm.threads) - vm.liveThreads
+	vm.threadsMu.Lock()
+	defer vm.threadsMu.Unlock()
+	done := len(vm.threads) - int(vm.liveThreads.Load())
 	if done < 64 || done < len(vm.threads)/2 {
 		return
 	}
@@ -119,57 +141,67 @@ func (vm *VM) pruneDoneThreads() {
 }
 
 // pickRunnable promotes wakeable threads and returns the next runnable
-// thread in round-robin order, or nil.
+// thread in round-robin order, or nil. Sequential engine only; the
+// concurrent scheduler polls per shard through PromoteRunnable.
 func (vm *VM) pickRunnable() *Thread {
 	n := len(vm.threads)
 	if n == 0 {
 		return nil
 	}
+	vm.schedMu.Lock()
+	defer vm.schedMu.Unlock()
 	for scan := 0; scan < n; scan++ {
 		vm.rrIndex++
 		t := vm.threads[(vm.rrIndex)%n]
-		switch t.state {
-		case StateRunnable:
+		if vm.promoteLocked(t) {
 			return t
-		case StateSleeping:
-			if t.wakeAt != SleepForever && vm.clock >= t.wakeAt {
-				vm.wakeFromSleep(t)
-				return t
-			}
-		case StateBlockedMonitor:
-			if vm.promoteBlocked(t) {
-				return t
-			}
-		case StateWaitingMonitor:
-			if t.wakeAt != SleepForever && t.wakeAt > 0 && vm.clock >= t.wakeAt {
-				// Timed wait elapsed: leave the wait set and contend for
-				// the monitor again.
-				obj := t.waitingOn
-				vm.removeWaiter(t, obj)
-				vm.wakeWaiter(t, obj)
-				if vm.promoteBlocked(t) {
-					return t
-				}
-			}
-		case StateWaitingJoin:
-			if t.joinOn == nil || t.joinOn.Done() {
-				vm.removeSleepGauge(t)
-				t.state = StateRunnable
-				t.joinOn = nil
-				return t
-			}
 		}
 	}
 	return nil
 }
 
-// promoteBlocked attempts to hand a free monitor to a blocked thread. For
-// wait-reacquisition (savedLock > 0) the saved recursion count is
-// restored; for monitorenter retries the instruction re-executes.
-func (vm *VM) promoteBlocked(t *Thread) bool {
+// promoteLocked attempts to make one thread runnable (waking it from an
+// elapsed sleep, a free monitor, a notified wait or a finished join).
+// It returns true when the thread is runnable afterwards. schedMu held.
+func (vm *VM) promoteLocked(t *Thread) bool {
+	switch t.State() {
+	case StateRunnable:
+		return true
+	case StateSleeping:
+		if t.wakeAt != SleepForever && vm.clock.Load() >= t.wakeAt {
+			vm.wakeFromSleepLocked(t)
+			return true
+		}
+	case StateBlockedMonitor:
+		return vm.promoteBlockedLocked(t)
+	case StateWaitingMonitor:
+		if t.wakeAt != SleepForever && t.wakeAt > 0 && vm.clock.Load() >= t.wakeAt {
+			// Timed wait elapsed: leave the wait set and contend for
+			// the monitor again.
+			obj := t.waitingOn
+			vm.removeWaiterLocked(t, obj)
+			vm.wakeWaiterLocked(t, obj)
+			return vm.promoteBlockedLocked(t)
+		}
+	case StateWaitingJoin:
+		if t.joinOn == nil || t.joinOn.Done() {
+			vm.removeSleepGaugeLocked(t)
+			t.setState(StateRunnable)
+			t.joinOn = nil
+			return true
+		}
+	}
+	return false
+}
+
+// promoteBlockedLocked attempts to hand a free monitor to a blocked
+// thread. For wait-reacquisition (savedLock > 0) the saved recursion
+// count is restored; for monitorenter retries the instruction
+// re-executes. schedMu held.
+func (vm *VM) promoteBlockedLocked(t *Thread) bool {
 	obj := t.blockedOn
 	if obj == nil {
-		t.state = StateRunnable
+		t.setState(StateRunnable)
 		return true
 	}
 	if obj.Monitor.Owner != 0 && obj.Monitor.Owner != t.id {
@@ -181,30 +213,47 @@ func (vm *VM) promoteBlocked(t *Thread) bool {
 		obj.Monitor.Count = t.savedLock
 		t.savedLock = 0
 		t.blockedOn = nil
-		t.state = StateRunnable
+		t.setState(StateRunnable)
 		return true
 	}
 	// monitorenter retry: just make it runnable; the instruction
 	// reattempts acquisition.
 	t.blockedOn = nil
-	t.state = StateRunnable
+	t.setState(StateRunnable)
 	return true
 }
 
-// wakeFromSleep transitions a sleeping thread to runnable.
-func (vm *VM) wakeFromSleep(t *Thread) {
-	vm.removeSleepGauge(t)
-	t.state = StateRunnable
+// wakeFromSleepLocked transitions a sleeping thread to runnable.
+func (vm *VM) wakeFromSleepLocked(t *Thread) {
+	vm.removeSleepGaugeLocked(t)
+	t.setState(StateRunnable)
 	t.wakeAt = 0
 }
 
 // advanceClock jumps the virtual clock to the earliest wake deadline of a
 // parked thread. It returns false when no thread can ever wake (true
-// deadlock).
+// deadlock). Sequential engine only.
 func (vm *VM) advanceClock() bool {
+	earliest, ok := vm.NextWakeDeadline()
+	if !ok {
+		return false
+	}
+	vm.AdvanceClockTo(earliest)
+	return true
+}
+
+// NextWakeDeadline returns the earliest virtual-time deadline among
+// parked threads, if any. Used by both engines when every thread is
+// parked and only a clock jump can make progress.
+func (vm *VM) NextWakeDeadline() (int64, bool) {
+	vm.threadsMu.Lock()
+	threads := append([]*Thread(nil), vm.threads...)
+	vm.threadsMu.Unlock()
+	vm.schedMu.Lock()
+	defer vm.schedMu.Unlock()
 	earliest := int64(math.MaxInt64)
-	for _, t := range vm.threads {
-		switch t.state {
+	for _, t := range threads {
+		switch t.State() {
 		case StateSleeping, StateWaitingMonitor:
 			if t.wakeAt != SleepForever && t.wakeAt > 0 && t.wakeAt < earliest {
 				earliest = t.wakeAt
@@ -212,25 +261,35 @@ func (vm *VM) advanceClock() bool {
 		}
 	}
 	if earliest == math.MaxInt64 {
-		return false
+		return 0, false
 	}
-	if earliest > vm.clock {
-		vm.clock = earliest
+	return earliest, true
+}
+
+// AdvanceClockTo moves the virtual clock forward to tick (never
+// backward).
+func (vm *VM) AdvanceClockTo(tick int64) {
+	for {
+		cur := vm.clock.Load()
+		if tick <= cur || vm.clock.CompareAndSwap(cur, tick) {
+			return
+		}
 	}
-	return true
 }
 
 // Sleep parks the calling thread for d virtual ticks (SleepForever for an
 // unbounded sleep). Used by the Thread.sleep native.
 func (vm *VM) Sleep(t *Thread, d int64) {
-	t.state = StateSleeping
+	vm.schedMu.Lock()
+	t.setState(StateSleeping)
 	if d == SleepForever {
 		t.wakeAt = SleepForever
 	} else {
-		t.wakeAt = vm.clock + d
+		t.wakeAt = vm.clock.Load() + d
 	}
-	vm.addSleepGauge(t)
+	vm.addSleepGaugeLocked(t)
 	t.StageResumeVoid()
+	vm.schedMu.Unlock()
 }
 
 // Join parks the calling thread until other finishes.
@@ -238,69 +297,104 @@ func (vm *VM) Join(t *Thread, other *Thread) {
 	if other == nil || other.Done() {
 		return
 	}
-	t.state = StateWaitingJoin
+	vm.schedMu.Lock()
+	t.setState(StateWaitingJoin)
 	t.joinOn = other
-	vm.addSleepGauge(t)
+	vm.addSleepGaugeLocked(t)
 	t.StageResumeVoid()
+	vm.schedMu.Unlock()
 }
 
 // InterruptThread sets the interrupt flag and wakes the thread with
 // InterruptedException if it is parked in sleep, wait or join. Threads
 // blocked on monitor acquisition are not interruptible, as in the JVM.
+//
+// The wake happens in two phases: the thread is detached from its wait
+// structures under schedMu (entering an internal staging state invisible
+// to the schedulers), then the InterruptedException is allocated outside
+// the lock (allocation can trigger a stop-the-world collection), and
+// finally the staged throw is installed and the thread made runnable.
 func (vm *VM) InterruptThread(t *Thread) error {
-	t.interrupted = true
-	switch t.state {
+	vm.schedMu.Lock()
+	wake := false
+	switch t.State() {
 	case StateSleeping, StateWaitingJoin:
-		vm.removeSleepGauge(t)
-		t.state = StateRunnable
+		vm.removeSleepGaugeLocked(t)
 		t.wakeAt = 0
 		t.joinOn = nil
-		return vm.stageInterrupted(t)
+		t.setState(stateStaging)
+		wake = true
 	case StateWaitingMonitor:
 		obj := t.waitingOn
-		vm.removeWaiter(t, obj)
-		vm.removeSleepGauge(t)
-		t.state = StateBlockedMonitor
+		vm.removeWaiterLocked(t, obj)
+		vm.removeSleepGaugeLocked(t)
 		t.blockedOn = obj
 		t.waitingOn = nil
-		return vm.stageInterrupted(t)
+		t.wakeAt = 0
+		t.setState(stateStaging)
+		wake = true
 	default:
+		t.interrupted = true
+	}
+	vm.schedMu.Unlock()
+	if !wake {
 		return nil
 	}
-}
-
-func (vm *VM) stageInterrupted(t *Thread) error {
 	obj, err := vm.NewThrowable(t.CurrentIsolateOrZero(), ClassInterruptedException, "interrupted")
-	if err != nil {
-		return err
+	vm.schedMu.Lock()
+	if err == nil {
+		t.interrupted = false
+		t.StageResumeThrow(obj)
 	}
-	t.interrupted = false
-	t.StageResumeThrow(obj)
-	return nil
+	// Publish the final state even when the allocation failed: a thread
+	// left in the staging state would be invisible to both schedulers
+	// forever. The failure mode is a spurious wake without the
+	// exception — the graceful degradation the pre-staging code had.
+	if t.blockedOn != nil {
+		// Interrupted out of Object.wait: contend for the monitor again,
+		// delivering the exception once it is re-acquired.
+		t.setState(StateBlockedMonitor)
+	} else {
+		t.setState(StateRunnable)
+	}
+	vm.schedMu.Unlock()
+	vm.notifyUnparked(t)
+	return err
 }
 
-// ForceWakeAll wakes every parked thread of an isolate with the given
-// exception class; used by the termination engine for threads blocked in
-// system-library calls below killed-isolate frames (§3.3: "I-JVM sets the
-// interrupted flag of the thread so that I/O or sleep calls are
-// interrupted").
+// forceInterrupt wakes a parked thread of a killed isolate with the
+// appropriate exception; used by the termination engine for threads
+// blocked in system-library calls below killed-isolate frames (§3.3:
+// "I-JVM sets the interrupted flag of the thread so that I/O or sleep
+// calls are interrupted").
 func (vm *VM) forceInterrupt(t *Thread) error {
-	switch t.state {
-	case StateSleeping, StateWaitingJoin, StateWaitingMonitor:
-		return vm.InterruptThread(t)
-	case StateBlockedMonitor:
+	vm.schedMu.Lock()
+	blocked := t.State() == StateBlockedMonitor
+	if blocked {
 		// A thread blocked entering a monitor of a killed isolate's
 		// object is released with the exception staged; it never
 		// acquires.
 		t.blockedOn = nil
-		t.state = StateRunnable
-		obj, err := vm.NewThrowable(t.CurrentIsolateOrZero(), ClassStoppedIsolateException, "monitor owner stopped")
-		if err != nil {
-			return err
-		}
-		t.StageResumeThrow(obj)
-		return nil
-	default:
-		return nil
+		t.setState(stateStaging)
 	}
+	vm.schedMu.Unlock()
+	if !blocked {
+		switch t.State() {
+		case StateSleeping, StateWaitingJoin, StateWaitingMonitor:
+			return vm.InterruptThread(t)
+		default:
+			return nil
+		}
+	}
+	obj, err := vm.NewThrowable(t.CurrentIsolateOrZero(), ClassStoppedIsolateException, "monitor owner stopped")
+	vm.schedMu.Lock()
+	if err == nil {
+		t.StageResumeThrow(obj)
+	}
+	// As in InterruptThread: never leave the thread in staging — on
+	// allocation failure it wakes spuriously instead of vanishing.
+	t.setState(StateRunnable)
+	vm.schedMu.Unlock()
+	vm.notifyUnparked(t)
+	return err
 }

@@ -71,8 +71,8 @@ func TestSchedulerFairness(t *testing.T) {
 	spawn(isoA, classA)
 	spawn(isoB, classB)
 	vm.Run(400_000) // neither thread can finish within this budget
-	a := isoA.Account().Instructions
-	b := isoB.Account().Instructions
+	a := isoA.Account().Instructions.Load()
+	b := isoB.Account().Instructions.Load()
 	if a == 0 || b == 0 {
 		t.Fatalf("a thread starved: a=%d b=%d", a, b)
 	}

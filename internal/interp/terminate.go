@@ -8,8 +8,11 @@ import (
 )
 
 // KillIsolate terminates an isolate (§3.3). The sequence mirrors the
-// paper's signal-based protocol, with the cooperative scheduler boundary
-// as the safepoint where "signals" are delivered:
+// paper's signal-based protocol, with a scheduler safepoint as the point
+// where "signals" are delivered: under the sequential engine that is the
+// cooperative scheduler boundary; under the concurrent engine the world
+// is stopped first, so the kill takes effect mid-run no matter which
+// workers are executing — the preemptive kill path.
 //
 //  1. The isolate is marked killed. From now on, any frame push for one of
 //     its methods throws StoppedIsolateException (the equivalent of
@@ -35,24 +38,29 @@ func (vm *VM) KillIsolate(killer, target *core.Isolate) error {
 	if target != nil && target.IsIsolate0() {
 		return errors.New("interp: Isolate0 cannot be killed")
 	}
-	if err := vm.world.Kill(killer, target); err != nil {
-		return err
-	}
-
-	for _, t := range vm.threads {
-		if t.state == StateDone {
-			continue
+	var err error
+	vm.withWorldStopped(func() {
+		if err = vm.world.Kill(killer, target); err != nil {
+			return
 		}
-		if err := vm.patchThreadForKill(t, target); err != nil {
-			return fmt.Errorf("patching thread %d: %w", t.id, err)
+		for _, t := range vm.Threads() {
+			if t.Done() {
+				continue
+			}
+			if perr := vm.patchThreadForKill(t, target); perr != nil {
+				err = fmt.Errorf("patching thread %d: %w", t.id, perr)
+				return
+			}
 		}
-	}
-	return nil
+	})
+	return err
 }
 
-// patchThreadForKill applies the §3.3 stack treatment to one thread.
+// patchThreadForKill applies the §3.3 stack treatment to one thread. The
+// world is stopped: no worker is executing guest code.
 func (vm *VM) patchThreadForKill(t *Thread, target *core.Isolate) error {
 	involved := false
+	vm.schedMu.Lock()
 	for _, f := range t.frames {
 		if f.iso == target {
 			involved = true
@@ -64,6 +72,7 @@ func (vm *VM) patchThreadForKill(t *Thread, target *core.Isolate) error {
 			}
 		}
 	}
+	vm.schedMu.Unlock()
 	// Threads whose current isolate is the target have killed code on
 	// top (possibly under system-library natives).
 	onTop := t.cur == target
@@ -73,7 +82,7 @@ func (vm *VM) patchThreadForKill(t *Thread, target *core.Isolate) error {
 		// lets the scheduler promote it naturally.
 		return nil
 	}
-	switch t.state {
+	switch t.State() {
 	case StateRunnable:
 		if onTop {
 			// Equivalent of the signal handler finding the top frame in
@@ -85,6 +94,8 @@ func (vm *VM) patchThreadForKill(t *Thread, target *core.Isolate) error {
 			}
 			t.StageResumeThrow(obj)
 		}
+		return nil
+	case StateDone:
 		return nil
 	default:
 		// Parked in a blocking system call with killed-isolate frames on

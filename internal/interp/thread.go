@@ -8,6 +8,7 @@ package interp
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"ijvm/internal/classfile"
 	"ijvm/internal/core"
@@ -32,6 +33,15 @@ const (
 	// StateDone threads have finished (normally or with an uncaught
 	// exception).
 	StateDone
+
+	// stateStaging is a transient internal state used while a cross-shard
+	// wake operation (interrupt, forced kill wake) has detached the thread
+	// from its wait structures but is still allocating the exception it
+	// will deliver. Threads in this state are invisible to the schedulers:
+	// not runnable, not wakeable, not done. The allocation must happen
+	// outside schedMu (it can trigger a stop-the-world collection), so
+	// this state bridges the two critical sections.
+	stateStaging ThreadState = 255
 )
 
 // String returns the state name.
@@ -115,16 +125,24 @@ func (f *Frame) peek() (heap.Value, error) {
 	return f.stack[n-1], nil
 }
 
-// Thread is one green thread. The scheduler multiplexes threads onto the
-// host goroutine that calls VM.Run; a thread's isolate reference (cur)
+// Thread is one green thread. The sequential scheduler multiplexes
+// threads onto the host goroutine that calls VM.Run; the concurrent
+// scheduler (internal/sched) executes each thread on the worker owning
+// the shard of its current isolate. A thread's isolate reference (cur)
 // migrates on inter-isolate calls exactly as in the paper.
+//
+// Concurrency: frames, locals, stacks, cur, and the staged-resume fields
+// are only touched by the goroutine currently executing the thread (or
+// by wake operations while it is parked, serialized by VM.schedMu). The
+// scheduler state word is atomic because other shards observe it
+// (Done checks for joins, promote polls).
 type Thread struct {
 	id   int64
 	name string
 	vm   *VM
 
 	frames []*Frame
-	state  ThreadState
+	state  atomic.Uint32 // holds a ThreadState
 
 	// cur is the isolate the thread currently executes in — the "isolate
 	// reference" of §3.1 that inter-isolate calls update and CPU sampling
@@ -183,10 +201,12 @@ func (t *Thread) ID() int64 { return t.id }
 func (t *Thread) Name() string { return t.name }
 
 // State returns the scheduler state.
-func (t *Thread) State() ThreadState { return t.state }
+func (t *Thread) State() ThreadState { return ThreadState(t.state.Load()) }
+
+func (t *Thread) setState(s ThreadState) { t.state.Store(uint32(s)) }
 
 // Done reports whether the thread has finished.
-func (t *Thread) Done() bool { return t.state == StateDone }
+func (t *Thread) Done() bool { return t.State() == StateDone }
 
 // CurrentIsolate returns the isolate the thread currently executes in.
 func (t *Thread) CurrentIsolate() *core.Isolate { return t.cur }

@@ -158,21 +158,24 @@ func (vm *VM) chargePerCallCPU(t *Thread, leaving *core.Isolate) {
 	if leaving == nil {
 		return
 	}
-	leaving.Account().CPUTicks += vm.clock - t.lastSwitchTick
-	t.lastSwitchTick = vm.clock
+	now := vm.clock.Load()
+	leaving.Account().CPUTicks.Add(now - t.lastSwitchTick)
+	t.lastSwitchTick = now
 }
 
 // finishThread marks t done and releases any monitors still held by its
-// frames (uncaught exception path keeps invariants intact).
+// frames (uncaught exception path keeps invariants intact). Joiners of
+// the finished thread may become runnable; the scheduler hooks are
+// notified so idle shards re-poll.
 func (vm *VM) finishThread(t *Thread) {
 	for len(t.frames) > 0 {
 		vm.popFrame(t, t.top())
 	}
-	if t.sleepGauge != nil {
-		t.sleepGauge.Account().SleepingThreads--
-		t.sleepGauge = nil
-	}
-	t.state = StateDone
-	t.creator.Account().ThreadsLive--
-	vm.liveThreads--
+	vm.schedMu.Lock()
+	vm.removeSleepGaugeLocked(t)
+	t.setState(StateDone)
+	vm.schedMu.Unlock()
+	t.creator.Account().ThreadsLive.Add(-1)
+	vm.liveThreads.Add(-1)
+	vm.notifyThreadsChanged()
 }

@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"ijvm/internal/classfile"
 	"ijvm/internal/core"
@@ -82,36 +84,53 @@ func (o *Options) normalize() {
 }
 
 // VM is one virtual machine instance: registry, isolate world, heap,
-// threads and scheduler state. A VM is not safe for concurrent use; the
-// cooperative scheduler runs on the goroutine that calls Run.
+// threads and scheduler state.
+//
+// Guest code runs either on the cooperative sequential scheduler (Run /
+// RunUntil, single goroutine) or on the concurrent isolate scheduler
+// (internal/sched via the hooks in concurrent.go), never both at once.
+// The shared VM state below is synchronized so the concurrent engine is
+// race-free; see internal/interp/README.md for the locking discipline.
 type VM struct {
 	opts     Options
 	registry *loader.Registry
 	world    *core.World
 	heap     *heap.Heap
 
+	// threadsMu guards the thread registry (threads, nextThreadID);
+	// liveThreads is atomic so schedulers can poll it lock-free.
+	threadsMu    sync.Mutex
 	threads      []*Thread
 	nextThreadID int64
-	liveThreads  int
-	rrIndex      int
+	liveThreads  atomic.Int64
+	rrIndex      int // sequential engine only
+
+	// schedMu serializes the park/wake state machine: monitor ownership,
+	// wait sets, sleep deadlines and cross-thread state transitions.
+	// It is a leaf lock: no allocation and no other VM lock is taken
+	// while holding it.
+	schedMu sync.Mutex
 
 	// clock is the virtual time in ticks; it advances by one per executed
 	// instruction and jumps forward when all threads sleep.
-	clock            int64
-	instrSinceSample int
-	totalInstrs      int64
+	clock            atomic.Int64
+	instrSinceSample int // sequential engine only
+	totalInstrs      atomic.Int64
 
 	// pinned holds host-side references (OSGi registry, RPC endpoints)
 	// that act as GC roots attributed to an isolate.
+	pinMu  sync.Mutex
 	pinned map[heap.IsolateID][]*heap.Object
 
-	// waiters tracks Object.wait sets per monitor object.
+	// waiters tracks Object.wait sets per monitor object (schedMu).
 	waiters map[*heap.Object][]*Thread
 
 	// out captures guest System.out.
-	out strings.Builder
+	outMu sync.Mutex
+	out   strings.Builder
 
 	// wellKnown caches bootstrap classes by name.
+	wkMu      sync.Mutex
 	wellKnown map[string]*classfile.Class
 
 	// TraceMethodEntry, when set, observes every frame push (used by
@@ -121,7 +140,13 @@ type VM struct {
 	// Host services the system library uses (installed by syslib).
 	connHost ConnectionHost
 
-	shutdown bool
+	// hooks and safepointer are installed by the concurrent scheduler for
+	// the duration of a RunConcurrent; both are nil in sequential runs.
+	hooks atomic.Pointer[hookBox]
+	safe  atomic.Pointer[safeBox]
+
+	shutdown atomic.Bool
+	rngMu    sync.Mutex
 	rng      uint64
 }
 
@@ -174,20 +199,32 @@ func (vm *VM) World() *core.World { return vm.world }
 func (vm *VM) Heap() *heap.Heap { return vm.heap }
 
 // Clock returns the virtual time in ticks.
-func (vm *VM) Clock() int64 { return vm.clock }
+func (vm *VM) Clock() int64 { return vm.clock.Load() }
 
 // TotalInstructions returns the number of instructions executed so far.
-func (vm *VM) TotalInstructions() int64 { return vm.totalInstrs }
+func (vm *VM) TotalInstructions() int64 { return vm.totalInstrs.Load() }
 
 // Output returns everything the guest printed to System.out.
-func (vm *VM) Output() string { return vm.out.String() }
+func (vm *VM) Output() string {
+	vm.outMu.Lock()
+	defer vm.outMu.Unlock()
+	return vm.out.String()
+}
 
 // AppendOutput appends to the captured System.out stream (used by
 // system-library print natives).
-func (vm *VM) AppendOutput(s string) { vm.out.WriteString(s) }
+func (vm *VM) AppendOutput(s string) {
+	vm.outMu.Lock()
+	vm.out.WriteString(s)
+	vm.outMu.Unlock()
+}
 
 // ResetOutput clears the captured output.
-func (vm *VM) ResetOutput() { vm.out.Reset() }
+func (vm *VM) ResetOutput() {
+	vm.outMu.Lock()
+	vm.out.Reset()
+	vm.outMu.Unlock()
+}
 
 // SetConnectionHost installs the I/O substrate used by guest connections.
 func (vm *VM) SetConnectionHost(h ConnectionHost) { vm.connHost = h }
@@ -197,10 +234,10 @@ func (vm *VM) ConnectionHostRef() ConnectionHost { return vm.connHost }
 
 // Shutdown marks the platform as shut down (System.exit / admin action);
 // the scheduler stops at the next boundary.
-func (vm *VM) Shutdown() { vm.shutdown = true }
+func (vm *VM) Shutdown() { vm.shutdown.Store(true) }
 
 // IsShutdown reports whether the platform has been shut down.
-func (vm *VM) IsShutdown() bool { return vm.shutdown }
+func (vm *VM) IsShutdown() bool { return vm.shutdown.Load() }
 
 // NewIsolate creates an application class loader and its isolate. The
 // first call creates Isolate0.
@@ -215,11 +252,15 @@ func (vm *VM) Pin(iso heap.IsolateID, obj *heap.Object) {
 	if obj == nil {
 		return
 	}
+	vm.pinMu.Lock()
 	vm.pinned[iso] = append(vm.pinned[iso], obj)
+	vm.pinMu.Unlock()
 }
 
 // Unpin removes a previously pinned reference.
 func (vm *VM) Unpin(iso heap.IsolateID, obj *heap.Object) {
+	vm.pinMu.Lock()
+	defer vm.pinMu.Unlock()
 	refs := vm.pinned[iso]
 	for i, r := range refs {
 		if r == obj {
@@ -231,14 +272,19 @@ func (vm *VM) Unpin(iso heap.IsolateID, obj *heap.Object) {
 
 // lookupWellKnown resolves a bootstrap class by name with caching.
 func (vm *VM) lookupWellKnown(name string) (*classfile.Class, error) {
-	if c, ok := vm.wellKnown[name]; ok {
+	vm.wkMu.Lock()
+	c, ok := vm.wellKnown[name]
+	vm.wkMu.Unlock()
+	if ok {
 		return c, nil
 	}
 	c, err := vm.registry.Bootstrap().Lookup(name)
 	if err != nil {
 		return nil, fmt.Errorf("system library class missing (is syslib installed?): %w", err)
 	}
+	vm.wkMu.Lock()
 	vm.wellKnown[name] = c
+	vm.wkMu.Unlock()
 	return c, nil
 }
 
@@ -278,8 +324,8 @@ func (vm *VM) NewStringObject(iso *core.Isolate, s string) (*heap.Object, error)
 // class's task class mirror.
 func (vm *VM) ClassObjectFor(c *classfile.Class, iso *core.Isolate) (*heap.Object, error) {
 	m := vm.world.Mirror(c, iso)
-	if m.ClassObject != nil {
-		return m.ClassObject, nil
+	if obj := m.ClassObject.Load(); obj != nil {
+		return obj, nil
 	}
 	classClass, err := vm.lookupWellKnown(ClassClass)
 	if err != nil {
@@ -289,7 +335,11 @@ func (vm *VM) ClassObjectFor(c *classfile.Class, iso *core.Isolate) (*heap.Objec
 	if err != nil {
 		return nil, err
 	}
-	m.ClassObject = obj
+	// First publisher wins; a racing loser's object becomes garbage and
+	// is reclaimed by the next collection.
+	if !m.ClassObject.CompareAndSwap(nil, obj) {
+		return m.ClassObject.Load(), nil
+	}
 	return obj, nil
 }
 
@@ -340,7 +390,7 @@ func (vm *VM) AllocArrayIn(class *classfile.Class, n int, iso *core.Isolate) (*h
 // AllocNativeIn allocates a native-payload object charged to iso.
 func (vm *VM) AllocNativeIn(class *classfile.Class, payload any, size int64, conn bool, iso *core.Isolate) (*heap.Object, error) {
 	if conn {
-		iso.Account().ConnectionsOpened++
+		iso.Account().ConnectionsOpened.Add(1)
 	}
 	return vm.allocNativeRaw(class, payload, size, conn, iso)
 }
@@ -354,12 +404,19 @@ func (vm *VM) AllocNativeIn(class *classfile.Class, payload any, size int64, con
 // 4). triggeredBy, when non-nil, is charged one GC activation.
 func (vm *VM) CollectGarbage(triggeredBy *core.Isolate) heap.CollectResult {
 	if triggeredBy != nil {
-		triggeredBy.Account().GCActivations++
+		triggeredBy.Account().GCActivations.Add(1)
 	}
-	rootSets := vm.buildRootSets()
-	res := vm.heap.Collect(rootSets)
-	vm.world.UpdateDisposal(vm.heap)
-	vm.scheduleFinalizers(res.PendingFinalize)
+	var res heap.CollectResult
+	// The collection traverses thread frames and the full object graph,
+	// so under the concurrent scheduler every worker must be parked
+	// first; the installed safepointer provides that (and is a no-op
+	// passthrough for sequential runs).
+	vm.withWorldStopped(func() {
+		rootSets := vm.buildRootSets()
+		res = vm.heap.Collect(rootSets)
+		vm.world.UpdateDisposal(vm.heap)
+		vm.scheduleFinalizers(res.PendingFinalize)
+	})
 	return res
 }
 
@@ -382,7 +439,7 @@ func (vm *VM) scheduleFinalizers(pending []*heap.Object) {
 			continue // thread limit reached: the object stays resurrected
 		}
 		_ = t
-		iso.Account().FinalizersRun++
+		iso.Account().FinalizersRun.Add(1)
 	}
 }
 
@@ -392,7 +449,11 @@ func (vm *VM) scheduleFinalizers(pending []*heap.Object) {
 // (§3.2); kept as an ablation and for administrators who want an exact
 // view on demand.
 func (vm *VM) PreciseAccounting() map[heap.IsolateID]*heap.PreciseStats {
-	return vm.heap.PreciseAccounting(vm.buildRootSets())
+	var out map[heap.IsolateID]*heap.PreciseStats
+	vm.withWorldStopped(func() {
+		out = vm.heap.PreciseAccounting(vm.buildRootSets())
+	})
+	return out
 }
 
 // buildRootSets assembles the accounting root sets: per-isolate mirrors
@@ -401,11 +462,16 @@ func (vm *VM) PreciseAccounting() map[heap.IsolateID]*heap.PreciseStats {
 // charging follows the paper's first-tracer rule (step 4).
 func (vm *VM) buildRootSets() []heap.RootSet {
 	rootsByIso := vm.world.MirrorRootSets()
+	vm.pinMu.Lock()
 	for iso, objs := range vm.pinned {
 		rootsByIso[iso] = append(rootsByIso[iso], objs...)
 	}
-	for _, t := range vm.threads {
-		if t.state == StateDone {
+	vm.pinMu.Unlock()
+	vm.threadsMu.Lock()
+	threads := append([]*Thread(nil), vm.threads...)
+	vm.threadsMu.Unlock()
+	for _, t := range threads {
+		if t.Done() {
 			continue
 		}
 		// Thread-identity roots belong to the creator.
@@ -485,7 +551,10 @@ func (vm *VM) SnapshotOf(iso *core.Isolate) core.Snapshot {
 
 // NextRand returns a deterministic pseudo-random uint64 (xorshift*), used
 // by native methods that need randomness while keeping runs reproducible.
+// (Deterministic for sequential runs; concurrent runs interleave callers.)
 func (vm *VM) NextRand() uint64 {
+	vm.rngMu.Lock()
+	defer vm.rngMu.Unlock()
 	vm.rng ^= vm.rng >> 12
 	vm.rng ^= vm.rng << 25
 	vm.rng ^= vm.rng >> 27

@@ -115,8 +115,8 @@ func CPUDistribution(n int64) (calleeShare, callerShare float64, err error) {
 	if _, err := e.call(e.driver, drvName, "loop", "(I)I", []heap.Value{heap.IntVal(n)}); err != nil {
 		return 0, 0, err
 	}
-	callee := e.service.Account().CPUSamples
-	caller := e.driver.Account().CPUSamples
+	callee := e.service.Account().CPUSamples.Load()
+	caller := e.driver.Account().CPUSamples.Load()
 	total := callee + caller
 	if total == 0 {
 		return 0, 0, fmt.Errorf("no CPU samples recorded (n=%d too small?)", n)
@@ -153,7 +153,7 @@ func GCAttribution(n int64) (serviceGCs, driverGCs int64, err error) {
 	if _, err := e.call(e.driver, drvName, "loop", "(I)I", []heap.Value{heap.IntVal(n)}); err != nil {
 		return 0, 0, err
 	}
-	return e.service.Account().GCActivations, e.driver.Account().GCActivations, nil
+	return e.service.Account().GCActivations.Load(), e.driver.Account().GCActivations.Load(), nil
 }
 
 // SharedMemoryCharge runs experiment 3: the service returns a large

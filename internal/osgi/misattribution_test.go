@@ -69,9 +69,9 @@ func TestAutoAdminMisattribution(t *testing.T) {
 
 	// The callee was charged more CPU than the caller — sampling's known
 	// imprecision.
-	if bundleA.Isolate().Account().CPUSamples <= bundleM.Isolate().Account().CPUSamples {
+	if bundleA.Isolate().Account().CPUSamples.Load() <= bundleM.Isolate().Account().CPUSamples.Load() {
 		t.Fatalf("expected the callee to dominate the samples: A=%d M=%d",
-			bundleA.Isolate().Account().CPUSamples, bundleM.Isolate().Account().CPUSamples)
+			bundleA.Isolate().Account().CPUSamples.Load(), bundleM.Isolate().Account().CPUSamples.Load())
 	}
 
 	// The naive automated administrator kills the innocent bundle.

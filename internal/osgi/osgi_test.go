@@ -120,7 +120,7 @@ func TestServiceCallAcrossBundles(t *testing.T) {
 			if mode == core.ModeIsolated {
 				// The drag loop makes 200 inter-bundle calls into the
 				// provider (§4.1's paint-demo metric).
-				in := provider.Isolate().Account().InterBundleCallsIn
+				in := provider.Isolate().Account().InterBundleCallsIn.Load()
 				if in < 200 {
 					t.Fatalf("provider InterBundleCallsIn = %d, want >= 200", in)
 				}

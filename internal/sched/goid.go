@@ -1,0 +1,27 @@
+package sched
+
+import (
+	"bytes"
+	"runtime"
+	"strconv"
+)
+
+// goid returns the runtime ID of the calling goroutine, parsed from the
+// stack header ("goroutine N [running]:"). It is used only on the rare
+// stop-the-world paths to decide whether the requester is a pool worker
+// (which must count itself as parked) or a host goroutine, and to make
+// stop-the-world reentrant per goroutine; the interpreter hot path never
+// calls it.
+func goid() int64 {
+	var buf [64]byte
+	n := runtime.Stack(buf[:], false)
+	fields := bytes.Fields(buf[:n])
+	if len(fields) < 2 {
+		return -1
+	}
+	id, err := strconv.ParseInt(string(fields[1]), 10, 64)
+	if err != nil {
+		return -1
+	}
+	return id
+}

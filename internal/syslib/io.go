@@ -3,6 +3,7 @@ package syslib
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"ijvm/internal/classfile"
 	"ijvm/internal/heap"
@@ -76,7 +77,7 @@ func connectionClass() *classfile.Class {
 			if err != nil {
 				return interp.NativeThrowName(vm, t, "java/lang/IllegalStateException", err.Error())
 			}
-			t.CurrentIsolateOrZero().Account().IOBytesRead += int64(len(data))
+			t.CurrentIsolateOrZero().Account().IOBytesRead.Add(int64(len(data)))
 			return interp.NativeReturn(heap.IntVal(int64(len(data))))
 		}))
 
@@ -92,7 +93,7 @@ func connectionClass() *classfile.Class {
 			if err != nil {
 				return interp.NativeThrowName(vm, t, "java/lang/IllegalStateException", err.Error())
 			}
-			t.CurrentIsolateOrZero().Account().IOBytesWritten += int64(n)
+			t.CurrentIsolateOrZero().Account().IOBytesWritten.Add(int64(n))
 			return interp.NativeReturn(heap.IntVal(int64(n)))
 		}))
 
@@ -111,7 +112,7 @@ func connectionClass() *classfile.Class {
 			if err != nil {
 				return interp.NativeThrowName(vm, t, "java/lang/IllegalStateException", err.Error())
 			}
-			t.CurrentIsolateOrZero().Account().IOBytesWritten += int64(written)
+			t.CurrentIsolateOrZero().Account().IOBytesWritten.Add(int64(written))
 			return interp.NativeReturn(heap.IntVal(int64(written)))
 		}))
 
@@ -134,8 +135,11 @@ func connectionClass() *classfile.Class {
 
 // MemHost is the default in-memory connection substrate: reads produce
 // deterministic bytes, writes are counted and discarded. It stands in for
-// the sockets and file descriptors of the paper's gateway scenario.
+// the sockets and file descriptors of the paper's gateway scenario. The
+// counters are mutex-guarded: under the concurrent scheduler several
+// isolates pump bytes through the substrate in parallel.
 type MemHost struct {
+	mu      sync.Mutex
 	opened  int
 	limit   int
 	written int64
@@ -147,6 +151,8 @@ func NewMemHost() *MemHost { return &MemHost{limit: 1 << 20} }
 
 // Open implements interp.ConnectionHost.
 func (h *MemHost) Open(name string) (interp.ConnectionEndpoint, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	if h.opened >= h.limit {
 		return nil, fmt.Errorf("connection limit reached (%d)", h.limit)
 	}
@@ -155,13 +161,25 @@ func (h *MemHost) Open(name string) (interp.ConnectionEndpoint, error) {
 }
 
 // TotalWritten returns the bytes written across all connections.
-func (h *MemHost) TotalWritten() int64 { return h.written }
+func (h *MemHost) TotalWritten() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.written
+}
 
 // TotalRead returns the bytes read across all connections.
-func (h *MemHost) TotalRead() int64 { return h.read }
+func (h *MemHost) TotalRead() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.read
+}
 
 // Opened returns the number of connections opened so far.
-func (h *MemHost) Opened() int { return h.opened }
+func (h *MemHost) Opened() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.opened
+}
 
 type memEndpoint struct {
 	host   *MemHost
@@ -172,6 +190,8 @@ func (e *memEndpoint) Read(n int) ([]byte, error) {
 	if n < 0 {
 		return nil, errors.New("negative read")
 	}
+	e.host.mu.Lock()
+	defer e.host.mu.Unlock()
 	out := make([]byte, n)
 	for i := range out {
 		out[i] = e.cursor
@@ -182,6 +202,8 @@ func (e *memEndpoint) Read(n int) ([]byte, error) {
 }
 
 func (e *memEndpoint) Write(b []byte) (int, error) {
+	e.host.mu.Lock()
+	defer e.host.mu.Unlock()
 	e.host.written += int64(len(b))
 	return len(b), nil
 }

@@ -11,6 +11,7 @@ package syslib
 import (
 	"fmt"
 	"strconv"
+	"sync/atomic"
 
 	"ijvm/internal/bytecode"
 	"ijvm/internal/classfile"
@@ -57,15 +58,21 @@ func MustInstall(vm *interp.VM) {
 }
 
 // identityHash assigns (once) and returns an object's identity hash from
-// the VM's deterministic counter.
+// the VM's deterministic counter. Assignment is a CAS: two isolates can
+// race to hash a shared object under the concurrent scheduler, and the
+// first published value must win so the hash stays stable.
 func identityHash(vm *interp.VM, obj *heap.Object) int64 {
-	if obj.IdentityHash == 0 {
-		obj.IdentityHash = int64(vm.NextRand() >> 1)
-		if obj.IdentityHash == 0 {
-			obj.IdentityHash = 1
-		}
+	if h := atomic.LoadInt64(&obj.IdentityHash); h != 0 {
+		return h
 	}
-	return obj.IdentityHash
+	h := int64(vm.NextRand() >> 1)
+	if h == 0 {
+		h = 1
+	}
+	if atomic.CompareAndSwapInt64(&obj.IdentityHash, 0, h) {
+		return h
+	}
+	return atomic.LoadInt64(&obj.IdentityHash)
 }
 
 // objectClass builds java/lang/Object.

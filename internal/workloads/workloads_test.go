@@ -44,7 +44,7 @@ func TestInterIsolateCallsCounted(t *testing.T) {
 	if _, err := r.Run(); err != nil {
 		t.Fatal(err)
 	}
-	out := r.Isolate().Account().InterBundleCallsOut
+	out := r.Isolate().Account().InterBundleCallsOut.Load()
 	if out < n {
 		t.Fatalf("InterBundleCallsOut = %d, want >= %d", out, n)
 	}
