@@ -15,8 +15,12 @@
 package ijvm
 
 import (
+	"encoding/json"
 	"fmt"
+	"os"
+	"runtime"
 	"testing"
+	"time"
 
 	"ijvm/internal/bytecode"
 	"ijvm/internal/classfile"
@@ -515,31 +519,9 @@ func benchSchedulerRun(b *testing.B, mode core.Mode, workers int) {
 	var instrs int64
 	for i := 0; i < b.N; i++ {
 		b.StopTimer()
-		vm := interp.NewVM(interp.Options{Mode: mode})
-		syslib.MustInstall(vm)
-		for k := 0; k < concurrencyBenchIsolates; k++ {
-			iso, err := vm.NewIsolate(fmt.Sprintf("bundle%d", k))
-			if err != nil {
-				// Shared mode has a single isolate; reuse it.
-				iso = vm.World().Isolate0()
-				if iso == nil {
-					b.Fatal(err)
-				}
-			}
-			cn := fmt.Sprintf("bench/Spin%d", k)
-			loader := iso.Loader()
-			if mode == core.ModeShared {
-				loader = vm.Registry().NewLoader(fmt.Sprintf("loader%d", k))
-			}
-			if err := loader.Define(spinBenchClass(cn)); err != nil {
-				b.Fatal(err)
-			}
-			c, _ := loader.Lookup(cn)
-			m, _ := c.LookupMethod("run", "(I)I")
-			if _, err := vm.SpawnThread(fmt.Sprintf("spin%d", k), iso, m,
-				[]heap.Value{heap.IntVal(concurrencyBenchIters)}); err != nil {
-				b.Fatal(err)
-			}
+		vm, err := spinVM(mode)
+		if err != nil {
+			b.Fatal(err)
 		}
 		b.StartTimer()
 		var res interp.RunResult
@@ -554,6 +536,114 @@ func benchSchedulerRun(b *testing.B, mode core.Mode, workers int) {
 		instrs += res.Instructions
 	}
 	b.ReportMetric(float64(instrs)/1e6/b.Elapsed().Seconds(), "Minstr/s")
+}
+
+// spinVM builds the scheduler-benchmark VM: concurrencyBenchIsolates
+// bundles, each with one spawned thread spinning concurrencyBenchIters
+// iterations.
+func spinVM(mode core.Mode) (*interp.VM, error) {
+	vm := interp.NewVM(interp.Options{Mode: mode})
+	syslib.MustInstall(vm)
+	for k := 0; k < concurrencyBenchIsolates; k++ {
+		iso, err := vm.NewIsolate(fmt.Sprintf("bundle%d", k))
+		if err != nil {
+			// Shared mode has a single isolate; reuse it.
+			iso = vm.World().Isolate0()
+			if iso == nil {
+				return nil, err
+			}
+		}
+		cn := fmt.Sprintf("bench/Spin%d", k)
+		loader := iso.Loader()
+		if mode == core.ModeShared {
+			loader = vm.Registry().NewLoader(fmt.Sprintf("loader%d", k))
+		}
+		if err := loader.Define(spinBenchClass(cn)); err != nil {
+			return nil, err
+		}
+		c, _ := loader.Lookup(cn)
+		m, _ := c.LookupMethod("run", "(I)I")
+		if _, err := vm.SpawnThread(fmt.Sprintf("spin%d", k), iso, m,
+			[]heap.Value{heap.IntVal(concurrencyBenchIters)}); err != nil {
+			return nil, err
+		}
+	}
+	return vm, nil
+}
+
+// measureSpinThroughput runs the scheduler benchmark workload once and
+// returns its aggregate throughput in Minstr/s.
+func measureSpinThroughput(mode core.Mode, workers int) (float64, error) {
+	vm, err := spinVM(mode)
+	if err != nil {
+		return 0, err
+	}
+	start := time.Now()
+	var res interp.RunResult
+	if workers > 0 {
+		res = sched.Run(vm, workers, 0)
+	} else {
+		res = vm.Run(0)
+	}
+	elapsed := time.Since(start)
+	if !res.AllDone {
+		return 0, fmt.Errorf("run did not finish: %+v", res)
+	}
+	return float64(res.Instructions) / 1e6 / elapsed.Seconds(), nil
+}
+
+// TestEmitInterpBench measures interpreter throughput of the three
+// engines (baseline cooperative, I-JVM cooperative, I-JVM concurrent)
+// and writes BENCH_interp.json, recording the before/after curve of the
+// quickened-interpreter work (the "before" column is the PR-1 state:
+// seed-style switch dispatch with per-instruction atomic accounting).
+// Gated behind BENCH_INTERP_JSON=1 so regular test runs stay fast; CI
+// exercises the benchmarks themselves with -benchtime=1x instead.
+func TestEmitInterpBench(t *testing.T) {
+	if os.Getenv("BENCH_INTERP_JSON") == "" {
+		t.Skip("set BENCH_INTERP_JSON=1 to measure and rewrite BENCH_interp.json")
+	}
+	best := func(mode core.Mode, workers int) float64 {
+		var b float64
+		for i := 0; i < 3; i++ {
+			v, err := measureSpinThroughput(mode, workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v > b {
+				b = v
+			}
+		}
+		return b
+	}
+	type engine struct {
+		Engine        string  `json:"engine"`
+		BeforeMinstrS float64 `json:"before_minstr_s"` // PR 1 (pre-quickening), 1-CPU CI container
+		AfterMinstrS  float64 `json:"after_minstr_s"`
+	}
+	report := struct {
+		Workload string   `json:"workload"`
+		Host     string   `json:"host"`
+		Updated  string   `json:"updated"`
+		Engines  []engine `json:"engines"`
+	}{
+		Workload: "BenchmarkScheduler_*: 8 isolates x 200k-iteration spin loops",
+		Host:     fmt.Sprintf("%s/%s, GOMAXPROCS=%d", runtime.GOOS, runtime.GOARCH, runtime.GOMAXPROCS(0)),
+		Updated:  time.Now().UTC().Format(time.RFC3339),
+		Engines: []engine{
+			{Engine: "baseline_sequential", BeforeMinstrS: 54, AfterMinstrS: best(core.ModeShared, 0)},
+			{Engine: "ijvm_sequential", BeforeMinstrS: 42, AfterMinstrS: best(core.ModeIsolated, 0)},
+			{Engine: "ijvm_concurrent_4w", BeforeMinstrS: 103, AfterMinstrS: best(core.ModeIsolated, 4)},
+		},
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_interp.json", append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote BENCH_interp.json: %s", data)
 }
 
 func BenchmarkScheduler_Shared_Sequential(b *testing.B) {

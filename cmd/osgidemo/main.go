@@ -10,12 +10,15 @@
 // Usage:
 //
 //	osgidemo [-mode shared|isolated] [-steps 200] [-shapes 3] [-workers 0]
+//	         [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"ijvm/internal/bytecode"
@@ -41,8 +44,35 @@ func run(argv []string) error {
 	steps := fs.Int64("steps", 200, "drag steps (one inter-bundle call each)")
 	nShapes := fs.Int("shapes", 3, "number of shape bundles")
 	workers := fs.Int("workers", 0, "run the drag on the concurrent isolate scheduler with this many workers (0 = sequential)")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the drag to this file")
+	memprofile := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	if err := fs.Parse(argv); err != nil {
 		return err
+	}
+	if *cpuprofile != "" {
+		pf, err := os.Create(*cpuprofile)
+		if err != nil {
+			return err
+		}
+		defer pf.Close()
+		if err := pprof.StartCPUProfile(pf); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			mf, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "osgidemo: memprofile:", err)
+				return
+			}
+			defer mf.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(mf); err != nil {
+				fmt.Fprintln(os.Stderr, "osgidemo: memprofile:", err)
+			}
+		}()
 	}
 	vmMode := core.ModeIsolated
 	if *mode == "shared" {

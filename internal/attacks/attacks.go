@@ -27,6 +27,18 @@ import (
 // change while attacks are running.
 var ConcurrentWorkers = 0
 
+// SeedDispatch, when true, builds every attack environment with code
+// preparation disabled so the scenarios execute through the seed-style
+// switch interpreter. The dispatch oracle test uses it to prove the
+// quickened interpreter reproduces the attack outcomes and accounting
+// exactly; it is not safe to change while attacks are running.
+var SeedDispatch = false
+
+// TestHookNewVM, when non-nil, observes every attack environment's VM at
+// creation time. The dispatch oracle test uses it to read per-isolate
+// accounting after a scenario finishes.
+var TestHookNewVM func(*interp.VM)
+
 // Result captures one attack execution.
 type Result struct {
 	// ID is the attack identifier (A1..A8, §4.3 numbering).
@@ -129,13 +141,11 @@ func (e *env) run(budget int64) {
 }
 
 // runUntil drives the scheduler until the target finishes or the budget
-// is exhausted. The concurrent engine has no per-thread target: it runs
-// every live thread under the same budget, which is equivalent for the
-// attack scenarios (the target is either the only active thread or the
-// point is precisely that it never finishes).
+// is exhausted, using the per-thread target on both engines
+// (sched.RunUntil is the concurrent counterpart of VM.RunUntil).
 func (e *env) runUntil(t *interp.Thread, budget int64) {
 	if e.workers > 0 {
-		sched.Run(e.vm, e.workers, budget)
+		sched.RunUntil(e.vm, e.workers, budget, t)
 	} else {
 		e.vm.RunUntil(t, budget)
 	}
@@ -151,7 +161,7 @@ func (e *env) call(iso *core.Isolate, m *classfile.Method, args []heap.Value, bu
 	if err != nil {
 		return heap.Value{}, nil, err
 	}
-	sched.Run(e.vm, e.workers, budget)
+	sched.RunUntil(e.vm, e.workers, budget, t)
 	if t.Err() != nil {
 		return heap.Value{}, t, t.Err()
 	}
@@ -165,12 +175,16 @@ func (e *env) call(iso *core.Isolate, m *classfile.Method, args []heap.Value, bu
 // attacks bite quickly; thread limits are low for the same reason.
 func newEnv(mode core.Mode) (*env, error) {
 	vm := interp.NewVM(interp.Options{
-		Mode:       mode,
-		HeapLimit:  8 << 20,
-		MaxThreads: 64,
+		Mode:           mode,
+		HeapLimit:      8 << 20,
+		MaxThreads:     64,
+		DisablePrepare: SeedDispatch,
 	})
 	if err := syslib.Install(vm); err != nil {
 		return nil, err
+	}
+	if TestHookNewVM != nil {
+		TestHookNewVM(vm)
 	}
 	fw, err := osgi.NewFramework(vm)
 	if err != nil {

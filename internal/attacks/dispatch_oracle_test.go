@@ -1,0 +1,86 @@
+package attacks_test
+
+import (
+	"testing"
+
+	"ijvm/internal/attacks"
+	"ijvm/internal/core"
+	"ijvm/internal/interp"
+)
+
+// attackTrace is one attack execution under one dispatch mode: the
+// outcome struct plus the per-isolate accounting of every VM the
+// scenario created.
+type attackTrace struct {
+	result   attacks.Result
+	accounts []map[string][2]int64 // per VM: isolate name -> {Instructions, CPUSamples}
+}
+
+// runAttackTraced runs one attack with the given dispatch mode and
+// captures outcome and accounting.
+func runAttackTraced(t *testing.T, a attacks.Attack, mode core.Mode, seedDispatch bool) attackTrace {
+	t.Helper()
+	var vms []*interp.VM
+	attacks.SeedDispatch = seedDispatch
+	attacks.TestHookNewVM = func(vm *interp.VM) { vms = append(vms, vm) }
+	defer func() {
+		attacks.SeedDispatch = false
+		attacks.TestHookNewVM = nil
+	}()
+	r, err := a.Run(mode)
+	if err != nil {
+		t.Fatalf("%s (seed=%v): %v", a.ID, seedDispatch, err)
+	}
+	tr := attackTrace{result: r}
+	for _, vm := range vms {
+		acc := make(map[string][2]int64)
+		for _, s := range vm.Snapshots() {
+			acc[s.IsolateName] = [2]int64{s.Instructions, s.CPUSamples}
+		}
+		tr.accounts = append(tr.accounts, acc)
+	}
+	return tr
+}
+
+// TestDispatchOracleAttacks re-runs the full §4.3 attack suite (plus the
+// extensions) on the quickened interpreter and on the seed-style switch
+// interpreter, sequentially in both cases, and asserts identical
+// outcomes AND identical per-isolate instruction counts. This is the
+// acceptance oracle for the code-preparation pass: the attack detectors
+// and budget exhaustion must fire at exactly the same points on both
+// dispatch paths.
+func TestDispatchOracleAttacks(t *testing.T) {
+	all := append(attacks.All(), attacks.Extensions()...)
+	for _, a := range all {
+		a := a
+		for _, mode := range []core.Mode{core.ModeIsolated, core.ModeShared} {
+			t.Run(a.ID+"/"+mode.String(), func(t *testing.T) {
+				prepared := runAttackTraced(t, a, mode, false)
+				seed := runAttackTraced(t, a, mode, true)
+				if prepared.result != seed.result {
+					t.Errorf("outcome mismatch:\nprepared: %s\nseed:     %s", prepared.result, seed.result)
+				}
+				if len(prepared.accounts) != len(seed.accounts) {
+					t.Fatalf("VM count %d (prepared) != %d (seed)", len(prepared.accounts), len(seed.accounts))
+				}
+				for i := range prepared.accounts {
+					p, s := prepared.accounts[i], seed.accounts[i]
+					if len(p) != len(s) {
+						t.Errorf("vm %d: isolate count %d (prepared) != %d (seed)", i, len(p), len(s))
+					}
+					for iso, pv := range p {
+						sv, ok := s[iso]
+						if !ok {
+							t.Errorf("vm %d: isolate %s missing from seed run", i, iso)
+							continue
+						}
+						if pv != sv {
+							t.Errorf("vm %d isolate %s: {instructions, samples} = %v (prepared) != %v (seed)",
+								i, iso, pv, sv)
+						}
+					}
+				}
+			})
+		}
+	}
+}

@@ -66,6 +66,10 @@ type Code struct {
 	Handlers  []Handler
 	MaxLocals int
 	MaxStack  int
+
+	// prepared caches the quickened form (see prepared.go); nil until the
+	// interpreter's preparation pass first runs the method.
+	prepared preparedCache
 }
 
 // Clone returns a deep copy of the code, so callers can mutate (e.g. poison

@@ -1,0 +1,61 @@
+package bytecode
+
+import "sync/atomic"
+
+// PInstr is one prepared ("quickened") instruction. The interpreter's
+// code-preparation pass runs once per method on first invocation and
+// rewrites the decoded Instr stream into this form:
+//
+//   - H is the dispatch handler index into the interpreter's flat handler
+//     table, replacing the opcode switch. Base handlers use the opcode
+//     value itself; the numbering only has to agree between the preparer
+//     and the table, so specialized (quickened) handlers may use indices
+//     beyond NumOpcodes.
+//   - Ref carries the pre-resolved constant-pool operand (the pool entry
+//     pointer for field/method/class/string references). It is opaque at
+//     this layer so the package stays free of classfile dependencies.
+//   - A, B, I, F mirror the decoded Instr operands.
+type PInstr struct {
+	Ref any
+	I   int64
+	F   float64
+	A   int32
+	B   int32
+	H   uint8
+}
+
+// PCode is the prepared executable form of a method body. Unlike Code,
+// whose MaxStack is a preallocation hint, a PCode's MaxStack/MaxLocals
+// are exact: the preparation pass verifies operand-stack discipline by
+// dataflow, so frames can use fixed-capacity stacks and the handlers can
+// pop without underflow checks. ErrPC is the preformatted sticky error
+// returned when the program counter escapes the code (validated
+// impossible for prepared code reached through normal control flow, but
+// kept as the single cheap bounds check in the dispatch loop).
+type PCode struct {
+	Instrs    []PInstr
+	MaxStack  int
+	MaxLocals int
+	ErrPC     error
+}
+
+// Prepared returns the cached prepared form of the code, or nil before
+// the first preparation. A non-nil result with an empty Instrs slice is
+// the preparer's "unpreparable" sentinel: the method permanently executes
+// through the reference switch interpreter.
+func (c *Code) Prepared() *PCode { return c.prepared.Load() }
+
+// StorePrepared publishes p as the code's prepared form. Preparation is
+// deterministic, so when two scheduler workers race the first publisher
+// wins and both use the winning form, which is returned.
+func (c *Code) StorePrepared(p *PCode) *PCode {
+	if c.prepared.CompareAndSwap(nil, p) {
+		return p
+	}
+	return c.prepared.Load()
+}
+
+// preparedCache is the per-Code cache slot for the quickened form. Clone
+// intentionally does not copy it: a cloned (e.g. poisoned) body must be
+// re-prepared.
+type preparedCache = atomic.Pointer[PCode]

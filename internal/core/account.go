@@ -76,6 +76,39 @@ func (a *AccountCounters) Numbers() Account {
 	}
 }
 
+// InstrBatch accumulates instruction charges for one isolate in a plain
+// local counter and publishes them with a single atomic add when the
+// charged isolate changes or a quantum/safepoint boundary flushes the
+// batch. Both execution engines use it — the concurrent scheduler per
+// worker quantum, the sequential loop per scheduler quantum — so the
+// per-instruction hot path performs no atomic operations at all while
+// per-isolate attribution stays exact at every flush point.
+//
+// An InstrBatch is single-goroutine state: it must only be used by the
+// goroutine executing the instructions it charges.
+type InstrBatch struct {
+	acc *AccountCounters
+	n   int64
+}
+
+// Note charges one instruction to acc, flushing the pending batch first
+// when the charged isolate changed (an inter-isolate migration).
+func (b *InstrBatch) Note(acc *AccountCounters) {
+	if acc != b.acc {
+		b.Flush()
+		b.acc = acc
+	}
+	b.n++
+}
+
+// Flush publishes the pending charges with one atomic add.
+func (b *InstrBatch) Flush() {
+	if b.acc != nil && b.n != 0 {
+		b.acc.Instructions.Add(b.n)
+	}
+	b.n = 0
+}
+
 // Account is an immutable plain-integer view of AccountCounters; see the
 // counter documentation there. Snapshot embeds it so detector code and
 // tests read ordinary int64 fields.

@@ -66,12 +66,15 @@ func (vm *VM) SetSafepointer(s Safepointer) {
 }
 
 // withWorldStopped runs fn with every concurrent worker parked; in
-// sequential runs it is a direct call.
+// sequential runs it is a direct call on the run-loop goroutine, with
+// the loop's pending batched charges flushed first so the stopped-world
+// observer sees exact counters (the sequential safepoint).
 func (vm *VM) withWorldStopped(fn func()) {
 	if b := vm.safe.Load(); b != nil {
 		b.s.StopTheWorld(fn)
 		return
 	}
+	vm.flushSequential()
 	fn()
 }
 
@@ -146,6 +149,9 @@ type QuantumResult struct {
 	Stopped bool
 	// Shutdown reports the platform was shut down during the quantum.
 	Shutdown bool
+	// TargetDone reports the run's target thread finished during the
+	// quantum (RunUntil parity for the concurrent scheduler).
+	TargetDone bool
 	// Err is the host-level error that aborted the thread, if any (the
 	// thread has already been finished).
 	Err error
@@ -153,26 +159,20 @@ type QuantumResult struct {
 
 // RunThreadQuantum executes up to budget instructions of t on the
 // calling scheduler worker, stopping early when the thread parks,
-// finishes, migrates off the home isolate, the stop flag rises, or the
-// platform shuts down.
+// finishes, migrates off the home isolate, the stop flag rises, the
+// platform shuts down, or the (optional) target thread finishes.
 //
 // Accounting matches the sequential engine: every instruction is charged
 // to the isolate that is current after the step (so a migrating call is
 // charged to the callee's isolate), and the virtual clock advances by
-// one per instruction — but clock and instruction totals are flushed in
-// one batch at quantum end to keep hot-path atomics off the shared
-// cache lines.
-func (vm *VM) RunThreadQuantum(t *Thread, home *core.Isolate, budget int64, stop *atomic.Bool, s *SampleState) QuantumResult {
+// one per instruction — but per-isolate charges go through the shared
+// core.InstrBatch and clock and instruction totals are flushed in one
+// batch at quantum end, keeping hot-path atomics off the shared cache
+// lines. The sequential engine batches identically (see runQuantum).
+func (vm *VM) RunThreadQuantum(t *Thread, home *core.Isolate, budget int64, stop *atomic.Bool, s *SampleState, target *Thread) QuantumResult {
 	var res QuantumResult
 	isolated := vm.world.Isolated()
-	var segIso *core.Isolate
-	var segCount int64
-	flush := func() {
-		if segIso != nil && segCount > 0 {
-			segIso.Account().Instructions.Add(segCount)
-		}
-		segCount = 0
-	}
+	var batch core.InstrBatch
 	for res.Instructions < budget && t.State() == StateRunnable {
 		if stop != nil && stop.Load() {
 			res.Stopped = true
@@ -182,11 +182,7 @@ func (vm *VM) RunThreadQuantum(t *Thread, home *core.Isolate, budget int64, stop
 		res.Instructions++
 		cur := t.cur
 		if isolated {
-			if cur != segIso {
-				flush()
-				segIso = cur
-			}
-			segCount++
+			batch.Note(cur.Account())
 			s.count++
 			if s.count >= vm.opts.SampleEvery {
 				s.count = 0
@@ -203,12 +199,16 @@ func (vm *VM) RunThreadQuantum(t *Thread, home *core.Isolate, budget int64, stop
 			res.Shutdown = true
 			break
 		}
+		if target != nil && target.Done() {
+			res.TargetDone = true
+			break
+		}
 		if cur != home {
 			res.Migrated = true
 			break
 		}
 	}
-	flush()
+	batch.Flush()
 	vm.clock.Add(res.Instructions)
 	vm.totalInstrs.Add(res.Instructions)
 	return res

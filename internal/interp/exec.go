@@ -11,7 +11,10 @@ import (
 
 // stepThread executes one instruction (or one pending action: monitor
 // acquisition for a synchronized entry, or a staged native resume) of a
-// runnable thread.
+// runnable thread. Prepared methods dispatch through the flat handler
+// table (handlers.go); methods without a prepared body run the reference
+// switch interpreter below, which preserves the seed's checked
+// semantics.
 func (vm *VM) stepThread(t *Thread) error {
 	f := t.top()
 	if f == nil {
@@ -32,18 +35,29 @@ func (vm *VM) stepThread(t *Thread) error {
 	}
 
 	// Staged resume from a blocking native.
-	switch t.resumeKind {
-	case resumePushValue:
-		f.push(t.resumeValue)
-		t.resumeKind = resumeNone
-		t.resumeValue = heap.Value{}
-	case resumePushVoid:
-		t.resumeKind = resumeNone
-	case resumeThrowKind:
-		obj := t.resumeThrow
-		t.resumeKind = resumeNone
-		t.resumeThrow = nil
-		return vm.DeliverException(t, obj)
+	if t.resumeKind != resumeNone {
+		switch t.resumeKind {
+		case resumePushValue:
+			f.push(t.resumeValue)
+			t.resumeKind = resumeNone
+			t.resumeValue = heap.Value{}
+		case resumePushVoid:
+			t.resumeKind = resumeNone
+		case resumeThrowKind:
+			obj := t.resumeThrow
+			t.resumeKind = resumeNone
+			t.resumeThrow = nil
+			return vm.DeliverException(t, obj)
+		}
+	}
+
+	if p := f.pcode; p != nil {
+		pc := f.pc
+		if uint32(pc) >= uint32(len(p.Instrs)) {
+			return p.ErrPC // preformatted at prepare time
+		}
+		in := &p.Instrs[pc]
+		return phandlers[in.H](vm, t, f, in)
 	}
 
 	code := f.method.Code
@@ -336,13 +350,9 @@ func (vm *VM) execInstr(t *Thread, f *Frame, in bytecode.Instr) error {
 		if err != nil {
 			return err
 		}
-		class := entry.ResolvedClass.Load()
-		if class == nil {
-			class, err = vm.resolveClassFrom(f.method.Class, entry.ClassName)
-			if err != nil {
-				return vm.Throw(t, ClassNullPointerException, err.Error())
-			}
-			entry.ResolvedClass.Store(class)
+		class, err := vm.resolvePoolClassEntry(f, entry)
+		if err != nil {
+			return vm.Throw(t, ClassNullPointerException, err.Error())
 		}
 		ready, err := vm.classInitReadyAt(t, entry, class)
 		if err != nil || !ready {
@@ -498,13 +508,23 @@ func (vm *VM) execInstr(t *Thread, f *Frame, in bytecode.Instr) error {
 	return nil
 }
 
-// execInvoke handles the three invoke opcodes. The caller's pc is advanced
-// before frames are pushed so returns resume after the call site.
+// execInvoke handles the three invoke opcodes of the reference switch
+// path; the shared invokeEntry below does the work.
 func (vm *VM) execInvoke(t *Thread, f *Frame, in bytecode.Instr, next int32) error {
 	entry, err := f.method.Class.Pool.Entry(in.A)
 	if err != nil {
 		return err
 	}
+	return vm.invokeEntry(t, f, entry, in.Op, next)
+}
+
+// invokeEntry is the invocation core shared by the prepared handlers and
+// the reference switch path. The caller's pc is advanced before frames
+// are pushed so returns resume after the call site. The argument window
+// is passed as a view of the caller's operand stack — pushFrame copies
+// it into the callee's locals and callNative consumes it synchronously,
+// so no per-call argument slice is allocated.
+func (vm *VM) invokeEntry(t *Thread, f *Frame, entry *classfile.PoolEntry, op bytecode.Opcode, next int32) error {
 	m, err := vm.resolveMethodEntry(f, entry)
 	if err != nil {
 		return vm.Throw(t, ClassNullPointerException, err.Error())
@@ -512,7 +532,7 @@ func (vm *VM) execInvoke(t *Thread, f *Frame, in bytecode.Instr, next int32) err
 
 	// Static methods trigger class initialization before arguments are
 	// consumed, so a pushed <clinit> frame can re-execute this invoke.
-	if in.Op == bytecode.OpInvokeStatic {
+	if op == bytecode.OpInvokeStatic {
 		ready, ierr := vm.classInitReadyAt(t, entry, m.Class)
 		if ierr != nil || !ready {
 			return ierr
@@ -520,25 +540,25 @@ func (vm *VM) execInvoke(t *Thread, f *Frame, in bytecode.Instr, next int32) err
 	}
 
 	nargs := m.Desc.NumParams()
-	hasRecv := in.Op != bytecode.OpInvokeStatic
+	hasRecv := op != bytecode.OpInvokeStatic
 	if hasRecv {
 		nargs++
 	}
 	if len(f.stack) < nargs {
 		return fmt.Errorf("invoke %s: need %d stack values, have %d", m.QualifiedName(), nargs, len(f.stack))
 	}
-	args := make([]heap.Value, nargs)
-	copy(args, f.stack[len(f.stack)-nargs:])
-	f.stack = f.stack[:len(f.stack)-nargs]
+	args := f.stack[len(f.stack)-nargs:]
 
 	target := m
 	if hasRecv {
 		if args[0].R == nil {
+			f.stack = f.stack[:len(f.stack)-nargs]
 			return vm.Throw(t, ClassNullPointerException, "invoke on null: "+m.QualifiedName())
 		}
-		if in.Op == bytecode.OpInvokeVirtual {
+		if op == bytecode.OpInvokeVirtual {
 			resolved, lerr := args[0].R.Class.LookupMethod(m.Name, m.Desc.Raw())
 			if lerr != nil {
+				f.stack = f.stack[:len(f.stack)-nargs]
 				return vm.Throw(t, ClassNullPointerException, lerr.Error())
 			}
 			target = resolved
@@ -546,11 +566,20 @@ func (vm *VM) execInvoke(t *Thread, f *Frame, in bytecode.Instr, next int32) err
 	}
 
 	f.pc = next // resume after the call site
+	// The argument window stays a view of the caller's stack beyond the
+	// truncated length; pendingArgs keeps it visible to the GC root scan
+	// until pushFrame copies it into the callee's locals (or the native
+	// call consumes it).
+	t.pendingArgs = args
+	f.stack = f.stack[:len(f.stack)-nargs]
 
 	if target.IsNative() {
-		return vm.callNative(t, f, target, args, hasRecv)
+		err = vm.callNative(t, f, target, args, hasRecv)
+	} else {
+		err = vm.pushFrame(t, target, args, nil)
 	}
-	return vm.pushFrame(t, target, args, nil)
+	t.pendingArgs = nil
+	return err
 }
 
 // callNative invokes a host-implemented method inline. Blocking natives
@@ -572,7 +601,13 @@ func (vm *VM) callNative(t *Thread, f *Frame, m *classfile.Method, args []heap.V
 	}
 	switch res.Control {
 	case NativeDone:
-		if m.Desc.Return != classfile.KindVoid && res.Value.Kind != voidKind {
+		if m.Desc.Return != classfile.KindVoid {
+			if res.Value.Kind == voidKind {
+				// Same contract as returnFromFrame: a value-declared
+				// method must deliver a value, or callers sized by the
+				// descriptor end up one short.
+				return fmt.Errorf("native %s declared a value return but returned void", m.QualifiedName())
+			}
 			f.push(res.Value)
 		}
 		return nil
@@ -586,14 +621,21 @@ func (vm *VM) callNative(t *Thread, f *Frame, m *classfile.Method, args []heap.V
 }
 
 // staticMirrorAt resolves the task class mirror and field for a
-// getstatic/putstatic. It returns (nil, nil, nil) when the instruction
-// must re-execute (a <clinit> frame was pushed) or when a guest exception
-// was already delivered; a non-nil error is a host-level failure.
+// getstatic/putstatic of the reference switch path.
 func (vm *VM) staticMirrorAt(t *Thread, f *Frame, idx int32) (*core.TaskClassMirror, *classfile.Field, error) {
 	entry, err := f.method.Class.Pool.Entry(idx)
 	if err != nil {
 		return nil, nil, err
 	}
+	return vm.staticMirrorEntry(t, f, entry)
+}
+
+// staticMirrorEntry resolves the task class mirror and field of a static
+// access through its (quickened) pool entry. It returns (nil, nil, nil)
+// when the instruction must re-execute (a <clinit> frame was pushed) or
+// when a guest exception was already delivered; a non-nil error is a
+// host-level failure.
+func (vm *VM) staticMirrorEntry(t *Thread, f *Frame, entry *classfile.PoolEntry) (*core.TaskClassMirror, *classfile.Field, error) {
 	if !vm.world.Isolated() {
 		// Baseline fast path: one load, as after JIT optimization.
 		if m, ok := entry.ResolvedMirror.(*core.TaskClassMirror); ok {
@@ -602,7 +644,8 @@ func (vm *VM) staticMirrorAt(t *Thread, f *Frame, idx int32) (*core.TaskClassMir
 	}
 	field := entry.ResolvedField.Load()
 	if field == nil {
-		field, err = vm.resolveFieldEntryAt(f, idx, true)
+		var err error
+		field, err = vm.resolveFieldEntry(f, entry, true)
 		if err != nil {
 			return nil, nil, vm.Throw(t, ClassNullPointerException, err.Error())
 		}
@@ -636,12 +679,18 @@ func (vm *VM) classInitReadyAt(t *Thread, entry *classfile.PoolEntry, class *cla
 	return true, nil
 }
 
-// resolveFieldEntryAt resolves a FieldRef pool entry with caching.
+// resolveFieldEntryAt resolves a FieldRef pool entry by index with
+// caching (reference switch path).
 func (vm *VM) resolveFieldEntryAt(f *Frame, idx int32, wantStatic bool) (*classfile.Field, error) {
 	entry, err := f.method.Class.Pool.Entry(idx)
 	if err != nil {
 		return nil, err
 	}
+	return vm.resolveFieldEntry(f, entry, wantStatic)
+}
+
+// resolveFieldEntry resolves a FieldRef pool entry with caching.
+func (vm *VM) resolveFieldEntry(f *Frame, entry *classfile.PoolEntry, wantStatic bool) (*classfile.Field, error) {
 	if field := entry.ResolvedField.Load(); field != nil {
 		return field, nil
 	}
@@ -663,12 +712,18 @@ func (vm *VM) resolveFieldEntryAt(f *Frame, idx int32, wantStatic bool) (*classf
 	return field, nil
 }
 
-// resolvePoolClass resolves a ClassRef pool entry with caching.
+// resolvePoolClass resolves a ClassRef pool entry by index with caching
+// (reference switch path).
 func (vm *VM) resolvePoolClass(f *Frame, idx int32) (*classfile.Class, error) {
 	entry, err := f.method.Class.Pool.Entry(idx)
 	if err != nil {
 		return nil, err
 	}
+	return vm.resolvePoolClassEntry(f, entry)
+}
+
+// resolvePoolClassEntry resolves a ClassRef pool entry with caching.
+func (vm *VM) resolvePoolClassEntry(f *Frame, entry *classfile.PoolEntry) (*classfile.Class, error) {
 	if class := entry.ResolvedClass.Load(); class != nil {
 		return class, nil
 	}

@@ -1,0 +1,806 @@
+package interp
+
+import (
+	"fmt"
+
+	"ijvm/internal/bytecode"
+	"ijvm/internal/classfile"
+	"ijvm/internal/heap"
+)
+
+// phandler executes one prepared instruction. Handlers manage the frame's
+// pc themselves: fall-through handlers advance it, branch handlers set
+// the target, and handlers that park the thread or must re-execute (a
+// pushed <clinit> frame, a contended monitor) leave it untouched. A
+// handler that delivers a guest exception returns immediately after —
+// exception dispatch already placed the pc.
+//
+// Handlers pop with the unchecked upop/upeek: the preparation dataflow
+// proved every pop has an operand (prepare.go). Pushes go through the
+// append-based push — prepared frames preallocate the exact MaxStack, so
+// the append never grows.
+type phandler func(vm *VM, t *Thread, f *Frame, in *bytecode.PInstr) error
+
+// phandlers is the flat dispatch table replacing the opcode switch for
+// prepared code. It is indexed by PInstr.H; base handlers use the opcode
+// value as their index.
+var phandlers [256]phandler
+
+func init() {
+	for i := range phandlers {
+		phandlers[i] = pInvalid
+	}
+	reg := func(op bytecode.Opcode, h phandler) { phandlers[uint8(op)] = h }
+
+	reg(bytecode.OpNop, pNop)
+	reg(bytecode.OpIConst, pIConst)
+	reg(bytecode.OpFConst, pFConst)
+	reg(bytecode.OpAConstNull, pAConstNull)
+	reg(bytecode.OpLdcString, pLdcString)
+	reg(bytecode.OpLdcClass, pLdcClass)
+	reg(bytecode.OpPop, pPop)
+	reg(bytecode.OpDup, pDup)
+	reg(bytecode.OpDupX1, pDupX1)
+	reg(bytecode.OpSwap, pSwap)
+	reg(bytecode.OpILoad, pLoad)
+	reg(bytecode.OpFLoad, pLoad)
+	reg(bytecode.OpALoad, pLoad)
+	reg(bytecode.OpIStore, pStore)
+	reg(bytecode.OpFStore, pStore)
+	reg(bytecode.OpAStore, pStore)
+	reg(bytecode.OpIInc, pIInc)
+	reg(bytecode.OpIAdd, pIAdd)
+	reg(bytecode.OpISub, pISub)
+	reg(bytecode.OpIMul, pIMul)
+	reg(bytecode.OpIDiv, pIDiv)
+	reg(bytecode.OpIRem, pIRem)
+	reg(bytecode.OpINeg, pINeg)
+	reg(bytecode.OpIShl, pIShl)
+	reg(bytecode.OpIShr, pIShr)
+	reg(bytecode.OpIUshr, pIUshr)
+	reg(bytecode.OpIAnd, pIAnd)
+	reg(bytecode.OpIOr, pIOr)
+	reg(bytecode.OpIXor, pIXor)
+	reg(bytecode.OpFAdd, pFAdd)
+	reg(bytecode.OpFSub, pFSub)
+	reg(bytecode.OpFMul, pFMul)
+	reg(bytecode.OpFDiv, pFDiv)
+	reg(bytecode.OpFNeg, pFNeg)
+	reg(bytecode.OpFCmp, pFCmp)
+	reg(bytecode.OpI2F, pI2F)
+	reg(bytecode.OpF2I, pF2I)
+	reg(bytecode.OpGoto, pGoto)
+	reg(bytecode.OpIfEq, pIfEq)
+	reg(bytecode.OpIfNe, pIfNe)
+	reg(bytecode.OpIfLt, pIfLt)
+	reg(bytecode.OpIfLe, pIfLe)
+	reg(bytecode.OpIfGt, pIfGt)
+	reg(bytecode.OpIfGe, pIfGe)
+	reg(bytecode.OpIfICmpEq, pIfICmpEq)
+	reg(bytecode.OpIfICmpNe, pIfICmpNe)
+	reg(bytecode.OpIfICmpLt, pIfICmpLt)
+	reg(bytecode.OpIfICmpLe, pIfICmpLe)
+	reg(bytecode.OpIfICmpGt, pIfICmpGt)
+	reg(bytecode.OpIfICmpGe, pIfICmpGe)
+	reg(bytecode.OpIfACmpEq, pIfACmpEq)
+	reg(bytecode.OpIfACmpNe, pIfACmpNe)
+	reg(bytecode.OpIfNull, pIfNull)
+	reg(bytecode.OpIfNonNull, pIfNonNull)
+	reg(bytecode.OpReturn, pReturn)
+	reg(bytecode.OpIReturn, pValueReturn)
+	reg(bytecode.OpFReturn, pValueReturn)
+	reg(bytecode.OpAReturn, pValueReturn)
+	reg(bytecode.OpGetStatic, pGetStatic)
+	reg(bytecode.OpPutStatic, pPutStatic)
+	reg(bytecode.OpGetField, pGetField)
+	reg(bytecode.OpPutField, pPutField)
+	reg(bytecode.OpInvokeStatic, pInvokeStatic)
+	reg(bytecode.OpInvokeVirtual, pInvokeVirtual)
+	reg(bytecode.OpInvokeSpecial, pInvokeSpecial)
+	reg(bytecode.OpNew, pNew)
+	reg(bytecode.OpNewArray, pNewArray)
+	reg(bytecode.OpArrayLength, pArrayLength)
+	reg(bytecode.OpArrayLoad, pArrayLoad)
+	reg(bytecode.OpArrayStore, pArrayStore)
+	reg(bytecode.OpInstanceOf, pInstanceOf)
+	reg(bytecode.OpCheckCast, pCheckCast)
+	reg(bytecode.OpMonitorEnter, pMonitorEnter)
+	reg(bytecode.OpMonitorExit, pMonitorExit)
+	reg(bytecode.OpAThrow, pAThrow)
+}
+
+func pInvalid(vm *VM, t *Thread, f *Frame, in *bytecode.PInstr) error {
+	return fmt.Errorf("unimplemented handler %d in %s", in.H, f.method.QualifiedName())
+}
+
+// --- Constants -----------------------------------------------------------
+
+func pNop(vm *VM, t *Thread, f *Frame, in *bytecode.PInstr) error {
+	f.pc++
+	return nil
+}
+
+func pIConst(vm *VM, t *Thread, f *Frame, in *bytecode.PInstr) error {
+	f.push(heap.IntVal(in.I))
+	f.pc++
+	return nil
+}
+
+func pFConst(vm *VM, t *Thread, f *Frame, in *bytecode.PInstr) error {
+	f.push(heap.FloatVal(in.F))
+	f.pc++
+	return nil
+}
+
+func pAConstNull(vm *VM, t *Thread, f *Frame, in *bytecode.PInstr) error {
+	f.push(heap.Null())
+	f.pc++
+	return nil
+}
+
+func pLdcString(vm *VM, t *Thread, f *Frame, in *bytecode.PInstr) error {
+	entry := in.Ref.(*classfile.PoolEntry)
+	obj, err := vm.InternString(t.cur, entry.Str)
+	if err != nil {
+		return vm.Throw(t, ClassOutOfMemoryError, "string intern")
+	}
+	f.push(heap.RefVal(obj))
+	f.pc++
+	return nil
+}
+
+func pLdcClass(vm *VM, t *Thread, f *Frame, in *bytecode.PInstr) error {
+	entry := in.Ref.(*classfile.PoolEntry)
+	class, err := vm.resolvePoolClassEntry(f, entry)
+	if err != nil {
+		return vm.Throw(t, ClassNullPointerException, err.Error())
+	}
+	obj, err := vm.ClassObjectFor(class, t.cur)
+	if err != nil {
+		return err
+	}
+	f.push(heap.RefVal(obj))
+	f.pc++
+	return nil
+}
+
+// --- Stack ---------------------------------------------------------------
+
+func pPop(vm *VM, t *Thread, f *Frame, in *bytecode.PInstr) error {
+	f.upop()
+	f.pc++
+	return nil
+}
+
+func pDup(vm *VM, t *Thread, f *Frame, in *bytecode.PInstr) error {
+	f.push(f.upeek())
+	f.pc++
+	return nil
+}
+
+func pDupX1(vm *VM, t *Thread, f *Frame, in *bytecode.PInstr) error {
+	a := f.upop()
+	b := f.upop()
+	f.push(a)
+	f.push(b)
+	f.push(a)
+	f.pc++
+	return nil
+}
+
+func pSwap(vm *VM, t *Thread, f *Frame, in *bytecode.PInstr) error {
+	a := f.upop()
+	b := f.upop()
+	f.push(a)
+	f.push(b)
+	f.pc++
+	return nil
+}
+
+// --- Locals --------------------------------------------------------------
+
+func pLoad(vm *VM, t *Thread, f *Frame, in *bytecode.PInstr) error {
+	f.push(f.locals[in.A])
+	f.pc++
+	return nil
+}
+
+func pStore(vm *VM, t *Thread, f *Frame, in *bytecode.PInstr) error {
+	f.locals[in.A] = f.upop()
+	f.pc++
+	return nil
+}
+
+func pIInc(vm *VM, t *Thread, f *Frame, in *bytecode.PInstr) error {
+	f.locals[in.A].I += int64(in.B)
+	f.locals[in.A].Kind = classfile.KindInt
+	f.pc++
+	return nil
+}
+
+// --- Integer arithmetic --------------------------------------------------
+
+func pIAdd(vm *VM, t *Thread, f *Frame, in *bytecode.PInstr) error {
+	b := f.upop()
+	a := f.upop()
+	f.push(heap.IntVal(a.I + b.I))
+	f.pc++
+	return nil
+}
+
+func pISub(vm *VM, t *Thread, f *Frame, in *bytecode.PInstr) error {
+	b := f.upop()
+	a := f.upop()
+	f.push(heap.IntVal(a.I - b.I))
+	f.pc++
+	return nil
+}
+
+func pIMul(vm *VM, t *Thread, f *Frame, in *bytecode.PInstr) error {
+	b := f.upop()
+	a := f.upop()
+	f.push(heap.IntVal(a.I * b.I))
+	f.pc++
+	return nil
+}
+
+func pIDiv(vm *VM, t *Thread, f *Frame, in *bytecode.PInstr) error {
+	b := f.upop()
+	a := f.upop()
+	if b.I == 0 {
+		return vm.Throw(t, ClassArithmeticException, "/ by zero")
+	}
+	f.push(heap.IntVal(a.I / b.I))
+	f.pc++
+	return nil
+}
+
+func pIRem(vm *VM, t *Thread, f *Frame, in *bytecode.PInstr) error {
+	b := f.upop()
+	a := f.upop()
+	if b.I == 0 {
+		return vm.Throw(t, ClassArithmeticException, "% by zero")
+	}
+	f.push(heap.IntVal(a.I % b.I))
+	f.pc++
+	return nil
+}
+
+func pINeg(vm *VM, t *Thread, f *Frame, in *bytecode.PInstr) error {
+	v := f.upop()
+	f.push(heap.IntVal(-v.I))
+	f.pc++
+	return nil
+}
+
+func pIShl(vm *VM, t *Thread, f *Frame, in *bytecode.PInstr) error {
+	b := f.upop()
+	a := f.upop()
+	f.push(heap.IntVal(a.I << (uint64(b.I) & 63)))
+	f.pc++
+	return nil
+}
+
+func pIShr(vm *VM, t *Thread, f *Frame, in *bytecode.PInstr) error {
+	b := f.upop()
+	a := f.upop()
+	f.push(heap.IntVal(a.I >> (uint64(b.I) & 63)))
+	f.pc++
+	return nil
+}
+
+func pIUshr(vm *VM, t *Thread, f *Frame, in *bytecode.PInstr) error {
+	b := f.upop()
+	a := f.upop()
+	f.push(heap.IntVal(int64(uint64(a.I) >> (uint64(b.I) & 63))))
+	f.pc++
+	return nil
+}
+
+func pIAnd(vm *VM, t *Thread, f *Frame, in *bytecode.PInstr) error {
+	b := f.upop()
+	a := f.upop()
+	f.push(heap.IntVal(a.I & b.I))
+	f.pc++
+	return nil
+}
+
+func pIOr(vm *VM, t *Thread, f *Frame, in *bytecode.PInstr) error {
+	b := f.upop()
+	a := f.upop()
+	f.push(heap.IntVal(a.I | b.I))
+	f.pc++
+	return nil
+}
+
+func pIXor(vm *VM, t *Thread, f *Frame, in *bytecode.PInstr) error {
+	b := f.upop()
+	a := f.upop()
+	f.push(heap.IntVal(a.I ^ b.I))
+	f.pc++
+	return nil
+}
+
+// --- Float arithmetic ----------------------------------------------------
+
+func pFAdd(vm *VM, t *Thread, f *Frame, in *bytecode.PInstr) error {
+	b := f.upop()
+	a := f.upop()
+	f.push(heap.FloatVal(a.F + b.F))
+	f.pc++
+	return nil
+}
+
+func pFSub(vm *VM, t *Thread, f *Frame, in *bytecode.PInstr) error {
+	b := f.upop()
+	a := f.upop()
+	f.push(heap.FloatVal(a.F - b.F))
+	f.pc++
+	return nil
+}
+
+func pFMul(vm *VM, t *Thread, f *Frame, in *bytecode.PInstr) error {
+	b := f.upop()
+	a := f.upop()
+	f.push(heap.FloatVal(a.F * b.F))
+	f.pc++
+	return nil
+}
+
+func pFDiv(vm *VM, t *Thread, f *Frame, in *bytecode.PInstr) error {
+	b := f.upop()
+	a := f.upop()
+	f.push(heap.FloatVal(a.F / b.F))
+	f.pc++
+	return nil
+}
+
+func pFNeg(vm *VM, t *Thread, f *Frame, in *bytecode.PInstr) error {
+	v := f.upop()
+	f.push(heap.FloatVal(-v.F))
+	f.pc++
+	return nil
+}
+
+func pFCmp(vm *VM, t *Thread, f *Frame, in *bytecode.PInstr) error {
+	b := f.upop()
+	a := f.upop()
+	switch {
+	case a.F < b.F:
+		f.push(heap.IntVal(-1))
+	case a.F > b.F:
+		f.push(heap.IntVal(1))
+	default:
+		f.push(heap.IntVal(0))
+	}
+	f.pc++
+	return nil
+}
+
+func pI2F(vm *VM, t *Thread, f *Frame, in *bytecode.PInstr) error {
+	v := f.upop()
+	f.push(heap.FloatVal(float64(v.I)))
+	f.pc++
+	return nil
+}
+
+func pF2I(vm *VM, t *Thread, f *Frame, in *bytecode.PInstr) error {
+	v := f.upop()
+	f.push(heap.IntVal(int64(v.F)))
+	f.pc++
+	return nil
+}
+
+// --- Control flow --------------------------------------------------------
+
+func pGoto(vm *VM, t *Thread, f *Frame, in *bytecode.PInstr) error {
+	f.pc = in.A
+	return nil
+}
+
+func pIfEq(vm *VM, t *Thread, f *Frame, in *bytecode.PInstr) error {
+	if f.upop().I == 0 {
+		f.pc = in.A
+	} else {
+		f.pc++
+	}
+	return nil
+}
+
+func pIfNe(vm *VM, t *Thread, f *Frame, in *bytecode.PInstr) error {
+	if f.upop().I != 0 {
+		f.pc = in.A
+	} else {
+		f.pc++
+	}
+	return nil
+}
+
+func pIfLt(vm *VM, t *Thread, f *Frame, in *bytecode.PInstr) error {
+	if f.upop().I < 0 {
+		f.pc = in.A
+	} else {
+		f.pc++
+	}
+	return nil
+}
+
+func pIfLe(vm *VM, t *Thread, f *Frame, in *bytecode.PInstr) error {
+	if f.upop().I <= 0 {
+		f.pc = in.A
+	} else {
+		f.pc++
+	}
+	return nil
+}
+
+func pIfGt(vm *VM, t *Thread, f *Frame, in *bytecode.PInstr) error {
+	if f.upop().I > 0 {
+		f.pc = in.A
+	} else {
+		f.pc++
+	}
+	return nil
+}
+
+func pIfGe(vm *VM, t *Thread, f *Frame, in *bytecode.PInstr) error {
+	if f.upop().I >= 0 {
+		f.pc = in.A
+	} else {
+		f.pc++
+	}
+	return nil
+}
+
+func pIfICmpEq(vm *VM, t *Thread, f *Frame, in *bytecode.PInstr) error {
+	b := f.upop()
+	a := f.upop()
+	if a.I == b.I {
+		f.pc = in.A
+	} else {
+		f.pc++
+	}
+	return nil
+}
+
+func pIfICmpNe(vm *VM, t *Thread, f *Frame, in *bytecode.PInstr) error {
+	b := f.upop()
+	a := f.upop()
+	if a.I != b.I {
+		f.pc = in.A
+	} else {
+		f.pc++
+	}
+	return nil
+}
+
+func pIfICmpLt(vm *VM, t *Thread, f *Frame, in *bytecode.PInstr) error {
+	b := f.upop()
+	a := f.upop()
+	if a.I < b.I {
+		f.pc = in.A
+	} else {
+		f.pc++
+	}
+	return nil
+}
+
+func pIfICmpLe(vm *VM, t *Thread, f *Frame, in *bytecode.PInstr) error {
+	b := f.upop()
+	a := f.upop()
+	if a.I <= b.I {
+		f.pc = in.A
+	} else {
+		f.pc++
+	}
+	return nil
+}
+
+func pIfICmpGt(vm *VM, t *Thread, f *Frame, in *bytecode.PInstr) error {
+	b := f.upop()
+	a := f.upop()
+	if a.I > b.I {
+		f.pc = in.A
+	} else {
+		f.pc++
+	}
+	return nil
+}
+
+func pIfICmpGe(vm *VM, t *Thread, f *Frame, in *bytecode.PInstr) error {
+	b := f.upop()
+	a := f.upop()
+	if a.I >= b.I {
+		f.pc = in.A
+	} else {
+		f.pc++
+	}
+	return nil
+}
+
+func pIfACmpEq(vm *VM, t *Thread, f *Frame, in *bytecode.PInstr) error {
+	b := f.upop()
+	a := f.upop()
+	if a.R == b.R {
+		f.pc = in.A
+	} else {
+		f.pc++
+	}
+	return nil
+}
+
+func pIfACmpNe(vm *VM, t *Thread, f *Frame, in *bytecode.PInstr) error {
+	b := f.upop()
+	a := f.upop()
+	if a.R != b.R {
+		f.pc = in.A
+	} else {
+		f.pc++
+	}
+	return nil
+}
+
+func pIfNull(vm *VM, t *Thread, f *Frame, in *bytecode.PInstr) error {
+	if f.upop().R == nil {
+		f.pc = in.A
+	} else {
+		f.pc++
+	}
+	return nil
+}
+
+func pIfNonNull(vm *VM, t *Thread, f *Frame, in *bytecode.PInstr) error {
+	if f.upop().R != nil {
+		f.pc = in.A
+	} else {
+		f.pc++
+	}
+	return nil
+}
+
+// --- Returns -------------------------------------------------------------
+
+func pReturn(vm *VM, t *Thread, f *Frame, in *bytecode.PInstr) error {
+	return vm.returnFromFrame(t, heap.Void())
+}
+
+func pValueReturn(vm *VM, t *Thread, f *Frame, in *bytecode.PInstr) error {
+	return vm.returnFromFrame(t, f.upop())
+}
+
+// --- Statics (the task-class-mirror hot path, §3.1) ----------------------
+
+func pGetStatic(vm *VM, t *Thread, f *Frame, in *bytecode.PInstr) error {
+	mirror, field, err := vm.staticMirrorEntry(t, f, in.Ref.(*classfile.PoolEntry))
+	if err != nil || mirror == nil {
+		return err // guest throw already delivered, or re-execute after <clinit>
+	}
+	f.push(mirror.Statics[field.Slot])
+	f.pc++
+	return nil
+}
+
+func pPutStatic(vm *VM, t *Thread, f *Frame, in *bytecode.PInstr) error {
+	mirror, field, err := vm.staticMirrorEntry(t, f, in.Ref.(*classfile.PoolEntry))
+	if err != nil || mirror == nil {
+		return err
+	}
+	mirror.Statics[field.Slot] = f.upop()
+	f.pc++
+	return nil
+}
+
+// --- Instance fields -----------------------------------------------------
+
+func pGetField(vm *VM, t *Thread, f *Frame, in *bytecode.PInstr) error {
+	entry := in.Ref.(*classfile.PoolEntry)
+	field := entry.ResolvedField.Load()
+	if field == nil {
+		var err error
+		field, err = vm.resolveFieldEntry(f, entry, false)
+		if err != nil {
+			return vm.Throw(t, ClassNullPointerException, err.Error())
+		}
+	}
+	recv := f.upop()
+	if recv.R == nil {
+		return vm.Throw(t, ClassNullPointerException, "getfield "+field.QualifiedName())
+	}
+	f.push(recv.R.Fields[field.Slot])
+	f.pc++
+	return nil
+}
+
+func pPutField(vm *VM, t *Thread, f *Frame, in *bytecode.PInstr) error {
+	entry := in.Ref.(*classfile.PoolEntry)
+	field := entry.ResolvedField.Load()
+	if field == nil {
+		var err error
+		field, err = vm.resolveFieldEntry(f, entry, false)
+		if err != nil {
+			return vm.Throw(t, ClassNullPointerException, err.Error())
+		}
+	}
+	v := f.upop()
+	recv := f.upop()
+	if recv.R == nil {
+		return vm.Throw(t, ClassNullPointerException, "putfield "+field.QualifiedName())
+	}
+	recv.R.Fields[field.Slot] = v
+	f.pc++
+	return nil
+}
+
+// --- Invocation ----------------------------------------------------------
+
+func pInvokeStatic(vm *VM, t *Thread, f *Frame, in *bytecode.PInstr) error {
+	return vm.invokeEntry(t, f, in.Ref.(*classfile.PoolEntry), bytecode.OpInvokeStatic, f.pc+1)
+}
+
+func pInvokeVirtual(vm *VM, t *Thread, f *Frame, in *bytecode.PInstr) error {
+	return vm.invokeEntry(t, f, in.Ref.(*classfile.PoolEntry), bytecode.OpInvokeVirtual, f.pc+1)
+}
+
+func pInvokeSpecial(vm *VM, t *Thread, f *Frame, in *bytecode.PInstr) error {
+	return vm.invokeEntry(t, f, in.Ref.(*classfile.PoolEntry), bytecode.OpInvokeSpecial, f.pc+1)
+}
+
+// --- Objects and arrays --------------------------------------------------
+
+func pNew(vm *VM, t *Thread, f *Frame, in *bytecode.PInstr) error {
+	entry := in.Ref.(*classfile.PoolEntry)
+	class, err := vm.resolvePoolClassEntry(f, entry)
+	if err != nil {
+		return vm.Throw(t, ClassNullPointerException, err.Error())
+	}
+	ready, err := vm.classInitReadyAt(t, entry, class)
+	if err != nil || !ready {
+		return err
+	}
+	obj, err := vm.AllocObjectIn(class, t.cur)
+	if err != nil {
+		return vm.Throw(t, ClassOutOfMemoryError, err.Error())
+	}
+	f.push(heap.RefVal(obj))
+	f.pc++
+	return nil
+}
+
+func pNewArray(vm *VM, t *Thread, f *Frame, in *bytecode.PInstr) error {
+	n := f.upop()
+	if n.I < 0 {
+		return vm.Throw(t, ClassNegativeArraySize, fmt.Sprintf("%d", n.I))
+	}
+	var elemClass *classfile.Class
+	var err error
+	if in.Ref == nil {
+		elemClass, err = vm.lookupWellKnown(ClassObject)
+	} else {
+		elemClass, err = vm.resolvePoolClassEntry(f, in.Ref.(*classfile.PoolEntry))
+	}
+	if err != nil {
+		return vm.Throw(t, ClassNullPointerException, err.Error())
+	}
+	arr, err := vm.AllocArrayIn(elemClass, int(n.I), t.cur)
+	if err != nil {
+		return vm.Throw(t, ClassOutOfMemoryError, err.Error())
+	}
+	f.push(heap.RefVal(arr))
+	f.pc++
+	return nil
+}
+
+func pArrayLength(vm *VM, t *Thread, f *Frame, in *bytecode.PInstr) error {
+	v := f.upop()
+	if v.R == nil {
+		return vm.Throw(t, ClassNullPointerException, "arraylength")
+	}
+	if !v.R.IsArray() {
+		return vm.Throw(t, ClassClassCastException, "arraylength on non-array")
+	}
+	f.push(heap.IntVal(int64(len(v.R.Elems))))
+	f.pc++
+	return nil
+}
+
+func pArrayLoad(vm *VM, t *Thread, f *Frame, in *bytecode.PInstr) error {
+	idx := f.upop()
+	arr := f.upop()
+	if arr.R == nil {
+		return vm.Throw(t, ClassNullPointerException, "arrayload")
+	}
+	if !arr.R.IsArray() {
+		return vm.Throw(t, ClassClassCastException, "arrayload on non-array")
+	}
+	if idx.I < 0 || idx.I >= int64(len(arr.R.Elems)) {
+		return vm.Throw(t, ClassArrayIndexException, fmt.Sprintf("index %d of %d", idx.I, len(arr.R.Elems)))
+	}
+	f.push(arr.R.Elems[idx.I])
+	f.pc++
+	return nil
+}
+
+func pArrayStore(vm *VM, t *Thread, f *Frame, in *bytecode.PInstr) error {
+	v := f.upop()
+	idx := f.upop()
+	arr := f.upop()
+	if arr.R == nil {
+		return vm.Throw(t, ClassNullPointerException, "arraystore")
+	}
+	if !arr.R.IsArray() {
+		return vm.Throw(t, ClassClassCastException, "arraystore on non-array")
+	}
+	if idx.I < 0 || idx.I >= int64(len(arr.R.Elems)) {
+		return vm.Throw(t, ClassArrayIndexException, fmt.Sprintf("index %d of %d", idx.I, len(arr.R.Elems)))
+	}
+	arr.R.Elems[idx.I] = v
+	f.pc++
+	return nil
+}
+
+func pInstanceOf(vm *VM, t *Thread, f *Frame, in *bytecode.PInstr) error {
+	v := f.upop()
+	class, err := vm.resolvePoolClassEntry(f, in.Ref.(*classfile.PoolEntry))
+	if err != nil {
+		return vm.Throw(t, ClassNullPointerException, err.Error())
+	}
+	f.push(heap.BoolVal(v.R != nil && v.R.Class.IsSubclassOf(class)))
+	f.pc++
+	return nil
+}
+
+func pCheckCast(vm *VM, t *Thread, f *Frame, in *bytecode.PInstr) error {
+	v := f.upeek()
+	if v.R != nil {
+		class, err := vm.resolvePoolClassEntry(f, in.Ref.(*classfile.PoolEntry))
+		if err != nil {
+			return vm.Throw(t, ClassNullPointerException, err.Error())
+		}
+		if !v.R.Class.IsSubclassOf(class) {
+			return vm.Throw(t, ClassClassCastException,
+				v.R.Class.Name+" cannot be cast to "+class.Name)
+		}
+	}
+	f.pc++
+	return nil
+}
+
+// --- Monitors ------------------------------------------------------------
+
+func pMonitorEnter(vm *VM, t *Thread, f *Frame, in *bytecode.PInstr) error {
+	v := f.upeek()
+	if v.R == nil {
+		f.upop()
+		return vm.Throw(t, ClassNullPointerException, "monitorenter")
+	}
+	if vm.tryAcquireMonitor(t, v.R) {
+		f.upop()
+		f.pc++
+		return nil
+	}
+	// Re-execute this instruction once the monitor frees up.
+	vm.blockOnMonitor(t, v.R)
+	return nil
+}
+
+func pMonitorExit(vm *VM, t *Thread, f *Frame, in *bytecode.PInstr) error {
+	v := f.upop()
+	if v.R == nil {
+		return vm.Throw(t, ClassNullPointerException, "monitorexit")
+	}
+	if !vm.monitorExitChecked(t, v.R) {
+		return vm.Throw(t, ClassIllegalMonitorState, "monitorexit without ownership")
+	}
+	f.pc++
+	return nil
+}
+
+// --- Exceptions ----------------------------------------------------------
+
+func pAThrow(vm *VM, t *Thread, f *Frame, in *bytecode.PInstr) error {
+	v := f.upop()
+	if v.R == nil {
+		return vm.Throw(t, ClassNullPointerException, "athrow null")
+	}
+	return vm.DeliverException(t, v.R)
+}

@@ -63,7 +63,7 @@ func (vm *VM) SpawnThread(name string, creator *core.Isolate, m *classfile.Metho
 		vm:             vm,
 		cur:            creator,
 		creator:        creator,
-		lastSwitchTick: vm.clock.Load(),
+		lastSwitchTick: vm.NowTicks(),
 	}
 	t.setState(StateRunnable)
 	creator.Account().ThreadsCreated.Add(1)
@@ -71,7 +71,13 @@ func (vm *VM) SpawnThread(name string, creator *core.Isolate, m *classfile.Metho
 	vm.liveThreads.Add(1)
 	vm.threads = append(vm.threads, t)
 	vm.threadsMu.Unlock()
-	if err := vm.pushFrame(t, m, args, nil); err != nil {
+	// Root the entry arguments across pushFrame: allocation during call
+	// setup (synchronized entry, GC pressure) must not sweep objects
+	// reachable only through them.
+	t.pendingArgs = args
+	err := vm.pushFrame(t, m, args, nil)
+	t.pendingArgs = nil
+	if err != nil {
 		vm.finishThread(t)
 		t.err = err
 		return nil, err
@@ -101,6 +107,10 @@ func (vm *VM) LiveThreads() int { return int(vm.liveThreads.Load()) }
 // updated and the caller's recorded for restoration on return. System
 // library classes never migrate. A call into a killed isolate throws
 // StoppedIsolateException (the paper's method poisoning).
+//
+// Frames come from the VM's frame pool; args may be a view of the
+// caller's operand stack — it is copied into the callee's locals before
+// this function returns.
 func (vm *VM) pushFrame(t *Thread, m *classfile.Method, args []heap.Value, isoOverride *core.Isolate) error {
 	if len(t.frames) >= vm.opts.MaxFrameDepth {
 		return vm.Throw(t, ClassStackOverflowError, m.QualifiedName())
@@ -139,33 +149,69 @@ func (vm *VM) pushFrame(t *Thread, m *classfile.Method, args []heap.Value, isoOv
 	if code == nil {
 		return fmt.Errorf("pushFrame %s: bytecode method without code", m.QualifiedName())
 	}
-	nLocals := code.MaxLocals
-	if n := len(args); n > nLocals {
-		nLocals = n
-	}
-	f := &Frame{
-		method:    m,
-		iso:       frameIso,
-		locals:    make([]heap.Value, nLocals),
-		stack:     make([]heap.Value, 0, code.MaxStack),
-		callerIso: callerIso,
-	}
-	copy(f.locals, args)
-	for i := len(args); i < nLocals; i++ {
-		f.locals[i] = heap.Null()
-	}
+	var mon *heap.Object
 	if m.IsSynchronized() {
-		mon, err := vm.syncMonitorFor(t, m, args)
+		var err error
+		mon, err = vm.syncMonitorFor(t, m, args)
 		if err != nil {
 			return err
 		}
-		f.needsMonitor = mon
+	}
+	// Code preparation (quickening) runs once per method on its first
+	// invocation; prepared methods carry exact frame dimensions.
+	pcode := vm.preparedCode(m)
+	nLocals, maxStack := code.MaxLocals, code.MaxStack
+	if pcode != nil {
+		nLocals, maxStack = pcode.MaxLocals, pcode.MaxStack
+	}
+	if n := len(args); n > nLocals {
+		nLocals = n
+	}
+	f := vm.acquireFrame(nLocals, maxStack)
+	f.method = m
+	f.iso = frameIso
+	f.pcode = pcode
+	f.callerIso = callerIso
+	f.needsMonitor = mon
+	copy(f.locals, args)
+	for i := len(args); i < nLocals; i++ {
+		f.locals[i] = heap.Null()
 	}
 	t.frames = append(t.frames, f)
 	if vm.TraceMethodEntry != nil {
 		vm.TraceMethodEntry(m, frameIso)
 	}
 	return nil
+}
+
+// acquireFrame takes a cleared frame from the pool (or allocates one)
+// and sizes its locals and operand stack. Prepared methods pass exact
+// dimensions, so the operand stack never grows during execution.
+func (vm *VM) acquireFrame(nLocals, maxStack int) *Frame {
+	f, _ := vm.framePool.Get().(*Frame)
+	if f == nil {
+		f = &Frame{}
+	}
+	if cap(f.locals) < nLocals {
+		f.locals = make([]heap.Value, nLocals)
+	} else {
+		f.locals = f.locals[:nLocals]
+	}
+	if cap(f.stack) < maxStack {
+		f.stack = make([]heap.Value, 0, maxStack)
+	}
+	return f
+}
+
+// releaseFrame clears a popped frame (so pooled frames retain no object
+// references) and returns it to the pool. The caller must not touch the
+// frame afterwards: another thread's pushFrame may already be reusing it.
+func (vm *VM) releaseFrame(f *Frame) {
+	clear(f.locals[:cap(f.locals)])
+	clear(f.stack[:cap(f.stack)])
+	locals, stack := f.locals[:0], f.stack[:0]
+	*f = Frame{locals: locals, stack: stack}
+	vm.framePool.Put(f)
 }
 
 // syncMonitorFor returns the monitor a synchronized method must hold: the
@@ -188,7 +234,18 @@ func (vm *VM) syncMonitorFor(t *Thread, m *classfile.Method, args []heap.Value) 
 // (the paper's patched return pointers, §3.3).
 func (vm *VM) returnFromFrame(t *Thread, v heap.Value) error {
 	f := t.top()
+	// Capture everything needed from the frame before popFrame recycles
+	// it into the frame pool.
 	isClinit := f.clinitMirror != nil
+	retKind := f.method.Desc.Return
+	if v.Kind == voidKind && retKind != classfile.KindVoid {
+		// A void return instruction inside a value-returning method: the
+		// bytecode lies about its descriptor. Callers (and the prepared
+		// verifier) size their stacks from the descriptor, so this must
+		// terminate the thread here rather than leave the caller's stack
+		// one value short.
+		return fmt.Errorf("interp: %s declared a value return but returned void", f.method.QualifiedName())
+	}
 	vm.popFrame(t, f)
 	nf := t.top()
 	if nf == nil {
@@ -203,7 +260,7 @@ func (vm *VM) returnFromFrame(t *Thread, v heap.Value) error {
 		// The triggering instruction re-executes; nothing is pushed.
 		return nil
 	}
-	if v.Kind != voidKind && f.method.Desc.Return != classfile.KindVoid {
+	if v.Kind != voidKind && retKind != classfile.KindVoid {
 		nf.push(v)
 	}
 	return nil

@@ -89,6 +89,7 @@ func (vm *VM) monitorExitChecked(t *Thread, obj *heap.Object) (ok bool) {
 // must own the monitor; it releases it fully, parks, and re-acquires on
 // wake. timeoutTicks <= 0 waits until notified or interrupted.
 func (vm *VM) MonitorWait(t *Thread, obj *heap.Object, timeoutTicks int64) error {
+	now := vm.NowTicks() // before schedMu: exact, and keeps schedMu a leaf
 	vm.schedMu.Lock()
 	m := &obj.Monitor
 	if m.Owner != t.id {
@@ -101,7 +102,7 @@ func (vm *VM) MonitorWait(t *Thread, obj *heap.Object, timeoutTicks int64) error
 	t.setState(StateWaitingMonitor)
 	t.waitingOn = obj
 	if timeoutTicks > 0 {
-		t.wakeAt = vm.clock.Load() + timeoutTicks
+		t.wakeAt = now + timeoutTicks
 	} else {
 		t.wakeAt = SleepForever
 	}

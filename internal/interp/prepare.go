@@ -1,0 +1,281 @@
+package interp
+
+import (
+	"fmt"
+
+	"ijvm/internal/bytecode"
+	"ijvm/internal/classfile"
+)
+
+// This file implements the code-preparation ("quickening") pass that
+// turns a method's decoded instruction stream into the prepared form the
+// flat handler table (handlers.go) executes. Preparation runs once per
+// method on its first invocation and is cached on the method's Code
+// behind an atomic pointer, so concurrent scheduler workers racing on
+// the same method both end up executing the single published form.
+//
+// The pass does three things:
+//
+//  1. Quickening: constant-pool operands (string/class/field/method
+//     references) are resolved to direct *classfile.PoolEntry pointers,
+//     removing the per-execution pool bounds check and error branch; the
+//     entries' atomic Resolved* caches then make every later execution a
+//     single pointer load.
+//  2. Verification: a dataflow pass over the instruction graph computes
+//     the exact operand-stack depth at every instruction (invocation
+//     effects made exact by parsing the referenced descriptor). Methods
+//     that verify get exact MaxStack/MaxLocals — frames preallocate
+//     fixed-capacity stacks — and their handlers pop without underflow
+//     checks. Methods that do not verify (depth conflict at a merge
+//     point, potential underflow, malformed pool reference) fall back
+//     permanently to the reference switch interpreter in exec.go, which
+//     preserves the seed's checked semantics exactly.
+//  3. Sticky errors: the only remaining hot-loop failure check — the
+//     program counter escaping the code — returns a preformatted
+//     per-method error instead of constructing one.
+//
+// Instruction granularity is untouched: prepared execution performs the
+// same guest-visible work per step as the switch path, so instruction
+// counts, accounting, budget exhaustion and the §4.3 attack detectors
+// fire at identical points (asserted by the dispatch oracle tests).
+
+// unpreparable is the published sentinel for methods the verifier
+// rejected; they execute through the reference switch path forever.
+var unpreparable = &bytecode.PCode{}
+
+// preparedCode returns the quickened form of m, preparing and caching it
+// on first invocation. It returns nil when the VM runs seed-style
+// dispatch (Options.DisablePrepare) or the method is unpreparable.
+func (vm *VM) preparedCode(m *classfile.Method) *bytecode.PCode {
+	if vm.opts.DisablePrepare {
+		return nil
+	}
+	code := m.Code
+	p := code.Prepared()
+	if p == nil {
+		p = prepareMethod(m)
+		if p == nil {
+			p = unpreparable
+		}
+		p = code.StorePrepared(p)
+	}
+	if len(p.Instrs) == 0 {
+		return nil
+	}
+	return p
+}
+
+// prepareMethod builds the prepared form of m, or returns nil when the
+// method cannot be verified for unchecked execution.
+func prepareMethod(m *classfile.Method) *bytecode.PCode {
+	code := m.Code
+	n := len(code.Instrs)
+	if n == 0 {
+		return nil
+	}
+	pool := m.Class.Pool
+
+	// Per-instruction stack effect and prefetched pool entries.
+	// Invocation effects are exact: the referenced descriptor tells the
+	// argument and return counts, and runtime resolution looks the method
+	// up by that same descriptor.
+	pops := make([]int32, n)
+	pushes := make([]int32, n)
+	entries := make([]*classfile.PoolEntry, n)
+	for pc, in := range code.Instrs {
+		if !in.Op.Valid() {
+			return nil
+		}
+		p, q, ok := prepStackEffect(in.Op)
+		if !ok {
+			return nil
+		}
+		switch in.Op {
+		case bytecode.OpInvokeStatic, bytecode.OpInvokeVirtual, bytecode.OpInvokeSpecial:
+			entry, err := pool.Entry(in.A)
+			if err != nil || entry.Kind != classfile.PoolMethodRef {
+				return nil
+			}
+			d, derr := classfile.ParseDescriptor(entry.Descriptor)
+			if derr != nil {
+				return nil
+			}
+			p = int32(d.NumParams())
+			if in.Op != bytecode.OpInvokeStatic {
+				p++
+			}
+			q = 0
+			if d.Return != classfile.KindVoid {
+				q = 1
+			}
+			entries[pc] = entry
+		default:
+			if in.Op.UsesPool() && !(in.Op == bytecode.OpNewArray && in.A == 0) {
+				entry, err := pool.Entry(in.A)
+				if err != nil || !poolKindOK(in.Op, entry.Kind) {
+					return nil
+				}
+				entries[pc] = entry
+			}
+		}
+		pops[pc], pushes[pc] = p, q
+	}
+
+	// Dataflow over operand-stack depth. Every reachable instruction must
+	// see one consistent depth (exception-handler targets enter at depth
+	// 1: exception delivery clears the stack and pushes the throwable).
+	depth := make([]int32, n)
+	for i := range depth {
+		depth[i] = -1
+	}
+	work := make([]int32, 0, 16)
+	ok := true
+	flow := func(pc, d int32) {
+		if pc < 0 || pc >= int32(n) {
+			ok = false
+			return
+		}
+		if depth[pc] == -1 {
+			depth[pc] = d
+			work = append(work, pc)
+			return
+		}
+		if depth[pc] != d {
+			ok = false
+		}
+	}
+	flow(0, 0)
+	for _, h := range code.Handlers {
+		flow(h.Target, 1)
+	}
+	maxStack := int32(1)
+	for ok && len(work) > 0 {
+		pc := work[len(work)-1]
+		work = work[:len(work)-1]
+		in := code.Instrs[pc]
+		d := depth[pc]
+		if d < pops[pc] {
+			ok = false
+			break
+		}
+		nd := d - pops[pc] + pushes[pc]
+		if nd > maxStack {
+			maxStack = nd
+		}
+		if !in.Op.IsTerminator() {
+			flow(pc+1, nd)
+		}
+		if in.Op.IsBranch() {
+			flow(in.A, nd)
+		}
+	}
+	if !ok {
+		return nil
+	}
+
+	// Exact locals: the parameter window plus every slot the code touches.
+	maxLocals := m.Desc.NumParams()
+	if !m.IsStatic() {
+		maxLocals++
+	}
+	for _, in := range code.Instrs {
+		if in.Op.UsesLocal() {
+			if in.A < 0 {
+				return nil
+			}
+			if int(in.A)+1 > maxLocals {
+				maxLocals = int(in.A) + 1
+			}
+		}
+	}
+
+	instrs := make([]bytecode.PInstr, n)
+	for pc, in := range code.Instrs {
+		instrs[pc] = bytecode.PInstr{
+			H:   uint8(in.Op),
+			A:   in.A,
+			B:   in.B,
+			I:   in.I,
+			F:   in.F,
+			Ref: nil,
+		}
+		if entries[pc] != nil {
+			instrs[pc].Ref = entries[pc]
+		}
+	}
+	return &bytecode.PCode{
+		Instrs:    instrs,
+		MaxStack:  int(maxStack),
+		MaxLocals: maxLocals,
+		ErrPC:     fmt.Errorf("interp: pc out of range in %s", m.QualifiedName()),
+	}
+}
+
+// poolKindOK reports whether a pool entry's kind matches what the opcode
+// dereferences; a mismatch makes the method unpreparable (the reference
+// path surfaces the error at execution time).
+func poolKindOK(op bytecode.Opcode, kind classfile.PoolEntryKind) bool {
+	switch op {
+	case bytecode.OpLdcString:
+		return kind == classfile.PoolString
+	case bytecode.OpLdcClass, bytecode.OpNew, bytecode.OpNewArray,
+		bytecode.OpInstanceOf, bytecode.OpCheckCast:
+		return kind == classfile.PoolClassRef
+	case bytecode.OpGetStatic, bytecode.OpPutStatic,
+		bytecode.OpGetField, bytecode.OpPutField:
+		return kind == classfile.PoolFieldRef
+	default:
+		return false
+	}
+}
+
+// prepStackEffect returns the exact (pops, pushes) of op for the
+// verification dataflow. Invocations are handled by the caller (their
+// effect depends on the referenced descriptor). ok is false for opcodes
+// the prepared dispatch does not model.
+func prepStackEffect(op bytecode.Opcode) (pops, pushes int32, ok bool) {
+	switch op {
+	case bytecode.OpNop, bytecode.OpGoto, bytecode.OpIInc, bytecode.OpReturn:
+		return 0, 0, true
+	case bytecode.OpIConst, bytecode.OpFConst, bytecode.OpAConstNull,
+		bytecode.OpLdcString, bytecode.OpLdcClass,
+		bytecode.OpILoad, bytecode.OpFLoad, bytecode.OpALoad,
+		bytecode.OpGetStatic, bytecode.OpNew:
+		return 0, 1, true
+	case bytecode.OpPop, bytecode.OpIStore, bytecode.OpFStore, bytecode.OpAStore,
+		bytecode.OpIfEq, bytecode.OpIfNe, bytecode.OpIfLt, bytecode.OpIfLe,
+		bytecode.OpIfGt, bytecode.OpIfGe, bytecode.OpIfNull, bytecode.OpIfNonNull,
+		bytecode.OpIReturn, bytecode.OpFReturn, bytecode.OpAReturn,
+		bytecode.OpMonitorEnter, bytecode.OpMonitorExit, bytecode.OpAThrow,
+		bytecode.OpPutStatic:
+		return 1, 0, true
+	case bytecode.OpDup:
+		return 1, 2, true
+	case bytecode.OpDupX1:
+		return 2, 3, true
+	case bytecode.OpSwap:
+		return 2, 2, true
+	case bytecode.OpIAdd, bytecode.OpISub, bytecode.OpIMul, bytecode.OpIDiv,
+		bytecode.OpIRem, bytecode.OpIShl, bytecode.OpIShr, bytecode.OpIUshr,
+		bytecode.OpIAnd, bytecode.OpIOr, bytecode.OpIXor,
+		bytecode.OpFAdd, bytecode.OpFSub, bytecode.OpFMul, bytecode.OpFDiv,
+		bytecode.OpFCmp:
+		return 2, 1, true
+	case bytecode.OpINeg, bytecode.OpFNeg, bytecode.OpI2F, bytecode.OpF2I,
+		bytecode.OpArrayLength, bytecode.OpInstanceOf, bytecode.OpCheckCast,
+		bytecode.OpNewArray, bytecode.OpGetField:
+		return 1, 1, true
+	case bytecode.OpIfICmpEq, bytecode.OpIfICmpNe, bytecode.OpIfICmpLt,
+		bytecode.OpIfICmpLe, bytecode.OpIfICmpGt, bytecode.OpIfICmpGe,
+		bytecode.OpIfACmpEq, bytecode.OpIfACmpNe, bytecode.OpPutField:
+		return 2, 0, true
+	case bytecode.OpArrayLoad:
+		return 2, 1, true
+	case bytecode.OpArrayStore:
+		return 3, 0, true
+	case bytecode.OpInvokeStatic, bytecode.OpInvokeVirtual, bytecode.OpInvokeSpecial:
+		return 0, 0, true // replaced by the caller with descriptor-exact effects
+	default:
+		return 0, 0, false
+	}
+}

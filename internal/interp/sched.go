@@ -88,32 +88,61 @@ func (vm *VM) run(budget int64, target *Thread) RunResult {
 		if remaining := budget - res.Instructions; remaining < quantum {
 			quantum = remaining
 		}
-		for i := int64(0); i < quantum && t.State() == StateRunnable; i++ {
-			err := vm.stepThread(t)
-			res.Instructions++
-			vm.clock.Add(1)
-			vm.totalInstrs.Add(1)
-			if isolated {
-				cur := t.cur
-				cur.Account().Instructions.Add(1)
-				vm.instrSinceSample++
-				if vm.instrSinceSample >= vm.opts.SampleEvery {
-					vm.instrSinceSample = 0
-					// The paper's CPU accounting: sample the isolate
-					// reference of the running thread (§3.2).
-					cur.Account().CPUSamples.Add(1)
-				}
-			}
-			if err != nil {
-				t.err = err
-				vm.finishThread(t)
-				break
-			}
-			if vm.IsShutdown() || (target != nil && target.Done()) {
-				break
+		res.Instructions += vm.runQuantum(t, quantum, target, isolated)
+	}
+}
+
+// runQuantum executes up to quantum instructions of t on the sequential
+// engine. Accounting is batched exactly like the concurrent engine's
+// RunThreadQuantum: instructions, clock ticks and per-isolate charges
+// accumulate in plain local counters (the shared core.InstrBatch flushes
+// on isolate migration) and are published to the atomics once per
+// quantum — the per-instruction hot path performs no atomic operations.
+// Per-isolate attribution is unchanged: every instruction is charged to
+// the isolate that is current after the step.
+func (vm *VM) runQuantum(t *Thread, quantum int64, target *Thread, isolated bool) int64 {
+	var n int64
+	for n < quantum && t.State() == StateRunnable {
+		err := vm.stepThread(t)
+		n++
+		vm.seqPending++
+		if isolated {
+			cur := t.cur
+			vm.seqBatch.Note(cur.Account())
+			vm.instrSinceSample++
+			if vm.instrSinceSample >= vm.opts.SampleEvery {
+				vm.instrSinceSample = 0
+				// The paper's CPU accounting: sample the isolate
+				// reference of the running thread (§3.2).
+				cur.Account().CPUSamples.Add(1)
 			}
 		}
+		if err != nil {
+			t.err = err
+			vm.finishThread(t)
+			break
+		}
+		if vm.IsShutdown() || (target != nil && target.Done()) {
+			break
+		}
 	}
+	vm.flushSequential()
+	return n
+}
+
+// flushSequential publishes the sequential engine's pending batched
+// charges (virtual clock, total instructions, per-isolate counters). It
+// runs at every quantum boundary and at sequential safepoints
+// (withWorldStopped), so stopped-world observers — the accounting GC,
+// isolate kills, precise accounting — always see exact counters. Owned
+// by the goroutine running Run/RunUntil.
+func (vm *VM) flushSequential() {
+	if vm.seqPending != 0 {
+		vm.clock.Add(vm.seqPending)
+		vm.totalInstrs.Add(vm.seqPending)
+		vm.seqPending = 0
+	}
+	vm.seqBatch.Flush()
 }
 
 // pruneDoneThreads drops finished threads from the scheduler list once
@@ -280,12 +309,13 @@ func (vm *VM) AdvanceClockTo(tick int64) {
 // Sleep parks the calling thread for d virtual ticks (SleepForever for an
 // unbounded sleep). Used by the Thread.sleep native.
 func (vm *VM) Sleep(t *Thread, d int64) {
+	now := vm.NowTicks() // before schedMu: exact, and keeps schedMu a leaf
 	vm.schedMu.Lock()
 	t.setState(StateSleeping)
 	if d == SleepForever {
 		t.wakeAt = SleepForever
 	} else {
-		t.wakeAt = vm.clock.Load() + d
+		t.wakeAt = now + d
 	}
 	vm.addSleepGaugeLocked(t)
 	t.StageResumeVoid()

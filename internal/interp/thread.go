@@ -7,9 +7,10 @@
 package interp
 
 import (
-	"fmt"
+	"errors"
 	"sync/atomic"
 
+	"ijvm/internal/bytecode"
 	"ijvm/internal/classfile"
 	"ijvm/internal/core"
 	"ijvm/internal/heap"
@@ -77,6 +78,10 @@ type Frame struct {
 	method *classfile.Method
 	iso    *core.Isolate
 
+	// pcode is the method's quickened body (see prepare.go); nil selects
+	// the reference switch interpreter in exec.go.
+	pcode *bytecode.PCode
+
 	locals []heap.Value
 	stack  []heap.Value
 	pc     int32
@@ -105,12 +110,19 @@ func (f *Frame) Method() *classfile.Method { return f.method }
 // Isolate returns the isolate the frame executes in.
 func (f *Frame) Isolate() *core.Isolate { return f.iso }
 
+// errStackUnderflow is the preformatted underflow error of the checked
+// (reference) interpreter path: the hot loop never constructs fmt.Errorf
+// values. Prepared code needs no check at all — its stack discipline is
+// verified by the preparation dataflow (prepare.go), so handlers use the
+// unchecked upop/upeek below.
+var errStackUnderflow = errors.New("interp: operand stack underflow")
+
 func (f *Frame) push(v heap.Value) { f.stack = append(f.stack, v) }
 
 func (f *Frame) pop() (heap.Value, error) {
 	n := len(f.stack)
 	if n == 0 {
-		return heap.Value{}, fmt.Errorf("operand stack underflow in %s at pc %d", f.method.QualifiedName(), f.pc)
+		return heap.Value{}, errStackUnderflow
 	}
 	v := f.stack[n-1]
 	f.stack = f.stack[:n-1]
@@ -120,10 +132,23 @@ func (f *Frame) pop() (heap.Value, error) {
 func (f *Frame) peek() (heap.Value, error) {
 	n := len(f.stack)
 	if n == 0 {
-		return heap.Value{}, fmt.Errorf("operand stack underflow in %s at pc %d", f.method.QualifiedName(), f.pc)
+		return heap.Value{}, errStackUnderflow
 	}
 	return f.stack[n-1], nil
 }
+
+// upop pops without an underflow check. Only handlers of prepared code
+// may call it: the preparation pass proves every pop has an operand.
+func (f *Frame) upop() heap.Value {
+	n := len(f.stack) - 1
+	v := f.stack[n]
+	f.stack = f.stack[:n]
+	return v
+}
+
+// upeek is peek without the underflow check, under the same contract as
+// upop.
+func (f *Frame) upeek() heap.Value { return f.stack[len(f.stack)-1] }
 
 // Thread is one green thread. The sequential scheduler multiplexes
 // threads onto the host goroutine that calls VM.Run; the concurrent
@@ -174,6 +199,15 @@ type Thread struct {
 	resumeValue heap.Value
 	resumeKind  resumeKind
 	resumeThrow *heap.Object
+
+	// pendingArgs is the in-flight invocation argument window between
+	// the caller's stack truncation and the callee's locals copy (or the
+	// native call's completion). buildRootSets scans it so an allocation
+	// during call setup — a synchronized static's Class object, an
+	// allocating native — cannot sweep objects reachable only through
+	// the pending arguments. Owned by the goroutine executing the
+	// thread; always nil at instruction boundaries.
+	pendingArgs []heap.Value
 
 	// threadObj is the guest java/lang/Thread object representing this
 	// thread, when one exists.

@@ -132,7 +132,9 @@ func (vm *VM) findHandler(f *Frame, exObj *heap.Object) (int32, bool) {
 
 // popFrame removes the top frame, releasing its monitor, completing a
 // <clinit> mirror, and restoring the caller's isolate reference (the
-// return half of thread migration, §3.1).
+// return half of thread migration, §3.1). The frame is recycled into the
+// VM's frame pool: callers must capture anything they still need from it
+// before calling popFrame.
 func (vm *VM) popFrame(t *Thread, f *Frame) {
 	if f.lockedMonitor != nil {
 		vm.releaseMonitor(t, f.lockedMonitor)
@@ -148,7 +150,10 @@ func (vm *VM) popFrame(t *Thread, f *Frame) {
 			vm.chargePerCallCPU(t, f.iso)
 		}
 	}
-	t.frames = t.frames[:len(t.frames)-1]
+	n := len(t.frames) - 1
+	t.frames[n] = nil
+	t.frames = t.frames[:n]
+	vm.releaseFrame(f)
 }
 
 // chargePerCallCPU implements the ablation-only per-call accounting
@@ -158,7 +163,7 @@ func (vm *VM) chargePerCallCPU(t *Thread, leaving *core.Isolate) {
 	if leaving == nil {
 		return
 	}
-	now := vm.clock.Load()
+	now := vm.NowTicks()
 	leaving.Account().CPUTicks.Add(now - t.lastSwitchTick)
 	t.lastSwitchTick = now
 }

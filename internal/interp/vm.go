@@ -63,6 +63,11 @@ type Options struct {
 	// DisableAccountingGC turns the GC's per-isolate charging pass off
 	// (ablation).
 	DisableAccountingGC bool
+	// DisablePrepare turns the code-preparation (quickening) pass off:
+	// every method executes through the seed-style switch interpreter
+	// with checked stack discipline. Used as the reference semantics of
+	// the dispatch oracle tests and as an escape hatch.
+	DisablePrepare bool
 }
 
 func (o *Options) normalize() {
@@ -116,6 +121,17 @@ type VM struct {
 	clock            atomic.Int64
 	instrSinceSample int // sequential engine only
 	totalInstrs      atomic.Int64
+
+	// Sequential-engine batched accounting (owned by the goroutine
+	// running Run/RunUntil): instructions and clock ticks accumulate in
+	// these plain counters and are flushed to the atomics at quantum
+	// boundaries and sequential safepoints (see flushSequential).
+	seqBatch   core.InstrBatch
+	seqPending int64
+
+	// framePool recycles activation records (and their local/stack
+	// slices) across pushFrame/popFrame.
+	framePool sync.Pool
 
 	// pinned holds host-side references (OSGi registry, RPC endpoints)
 	// that act as GC roots attributed to an isolate.
@@ -198,8 +214,24 @@ func (vm *VM) World() *core.World { return vm.world }
 // Heap returns the heap.
 func (vm *VM) Heap() *heap.Heap { return vm.heap }
 
-// Clock returns the virtual time in ticks.
+// Clock returns the virtual time in ticks. This is the flushed,
+// cross-goroutine-safe view: mid-quantum it may trail the executing
+// engine by up to one quantum, because both engines publish ticks in
+// batches. Code running on the executing goroutine (natives, deadline
+// computation) must use NowTicks for per-instruction-exact time.
 func (vm *VM) Clock() int64 { return vm.clock.Load() }
+
+// NowTicks returns the exact virtual time as observed by the goroutine
+// executing guest code: the flushed clock plus the sequential engine's
+// pending batched ticks. Sleep/wait deadline computation and the time
+// natives use it so batched tick publication never shortens a timed
+// park or freezes guest-visible time within a quantum — sequential
+// timing is bit-identical to per-instruction clock publication. Host
+// goroutines must use Clock instead: the pending counter is plain state
+// owned by the run-loop goroutine. (Under the concurrent engine the
+// pending counter is unused and this equals Clock, whose quantum
+// batching is inherent to parallel execution.)
+func (vm *VM) NowTicks() int64 { return vm.clock.Load() + vm.seqPending }
 
 // TotalInstructions returns the number of instructions executed so far.
 func (vm *VM) TotalInstructions() int64 { return vm.totalInstrs.Load() }
@@ -484,6 +516,13 @@ func (vm *VM) buildRootSets() []heap.RootSet {
 		}
 		if r := t.resumeValue.R; r != nil {
 			rootsByIso[creatorID] = append(rootsByIso[creatorID], r)
+		}
+		// In-flight invocation arguments (set only while the thread's own
+		// goroutine is inside call setup; see Thread.pendingArgs).
+		for i := range t.pendingArgs {
+			if r := t.pendingArgs[i].R; r != nil {
+				rootsByIso[creatorID] = append(rootsByIso[creatorID], r)
+			}
 		}
 		if t.blockedOn != nil {
 			rootsByIso[creatorID] = append(rootsByIso[creatorID], t.blockedOn)

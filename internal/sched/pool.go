@@ -79,6 +79,7 @@ const (
 	endBudget
 	endDeadlock
 	endShutdown
+	endTarget
 )
 
 type pool struct {
@@ -86,6 +87,9 @@ type pool struct {
 	quantum int64
 	slice   int64
 	limited bool
+	// target, when non-nil, ends the run as soon as it finishes (the
+	// concurrent counterpart of VM.RunUntil's per-thread target).
+	target *interp.Thread
 
 	budget atomic.Int64
 	// stop is polled by workers at every instruction boundary; it rises
@@ -133,6 +137,18 @@ type pool struct {
 // advance): before Run installs its safepoint machinery the VM cannot
 // stop workers it does not know about yet.
 func Run(vm *interp.VM, workers int, budget int64) interp.RunResult {
+	return run(vm, workers, budget, nil)
+}
+
+// RunUntil is Run, additionally stopping as soon as target finishes —
+// the per-thread target parity with the sequential VM.RunUntil. Workers
+// observe the target at every instruction boundary, so the run ends at
+// the same precision as the sequential engine.
+func RunUntil(vm *interp.VM, workers int, budget int64, target *interp.Thread) interp.RunResult {
+	return run(vm, workers, budget, target)
+}
+
+func run(vm *interp.VM, workers int, budget int64, target *interp.Thread) interp.RunResult {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -140,6 +156,7 @@ func Run(vm *interp.VM, workers int, budget int64) interp.RunResult {
 		vm:      vm,
 		quantum: int64(vm.Options().Quantum),
 		limited: budget > 0,
+		target:  target,
 		shards:  make(map[*core.Isolate]*shard),
 		workers: make(map[int64]bool),
 	}
@@ -213,6 +230,8 @@ func (p *pool) result() interp.RunResult {
 		res.Deadlocked = true
 	case endShutdown:
 		res.Shutdown = true
+	case endTarget:
+		res.TargetDone = true
 	}
 	for _, s := range p.order {
 		remaining := 0
@@ -266,6 +285,10 @@ func (p *pool) worker() {
 			p.parked--
 			continue
 		}
+		if p.target != nil && p.target.Done() {
+			p.endLocked(endTarget)
+			continue
+		}
 		if p.limited && p.budget.Load() <= 0 {
 			p.endLocked(endBudget)
 			continue
@@ -281,11 +304,11 @@ func (p *pool) worker() {
 			s.threads = append(s.threads, s.inbox...)
 			s.inbox = nil
 			p.mu.Unlock()
-			shutdown := p.runSlice(s, &sampler)
+			end := p.runSlice(s, &sampler)
 			p.mu.Lock()
 			p.finishSliceLocked(s)
-			if shutdown {
-				p.endLocked(endShutdown)
+			if end != endNone {
+				p.endLocked(end)
 			}
 			continue
 		}
@@ -390,14 +413,14 @@ func (p *pool) recomputeNextWakeLocked() {
 
 // runSlice executes one dispatch of shard s: its runnable threads in
 // round-robin quantum chunks until the slice budget is consumed, the
-// shard has nothing runnable, or the stop flag rises. It returns true
-// when the platform shut down during the slice.
-func (p *pool) runSlice(s *shard, sampler *interp.SampleState) (shutdown bool) {
+// shard has nothing runnable, or the stop flag rises. It returns the end
+// reason the slice observed (endNone when the run continues).
+func (p *pool) runSlice(s *shard, sampler *interp.SampleState) endReason {
 	remaining := p.slice
 	for remaining > 0 && !p.stop.Load() {
 		t := p.nextRunnable(s)
 		if t == nil {
-			return false
+			return endNone
 		}
 		q := p.quantum
 		if q > remaining {
@@ -406,17 +429,17 @@ func (p *pool) runSlice(s *shard, sampler *interp.SampleState) (shutdown bool) {
 		if p.limited {
 			q = p.reserveBudget(q)
 			if q == 0 {
-				return false
+				return endNone
 			}
 		}
-		res := p.vm.RunThreadQuantum(t, s.iso, q, &p.stop, sampler)
+		res := p.vm.RunThreadQuantum(t, s.iso, q, &p.stop, sampler, p.target)
 		if p.limited && res.Instructions < q {
 			p.budget.Add(q - res.Instructions)
 		}
 		s.instrs += res.Instructions
 		p.instrs.Add(res.Instructions)
 		remaining -= res.Instructions
-		if res.Instructions == 0 && !res.Migrated && !res.Stopped && !res.Shutdown {
+		if res.Instructions == 0 && !res.Migrated && !res.Stopped && !res.Shutdown && !res.TargetDone {
 			// Defensive: a runnable thread that made no progress (should
 			// not happen) must not spin the slice loop.
 			remaining--
@@ -425,10 +448,13 @@ func (p *pool) runSlice(s *shard, sampler *interp.SampleState) (shutdown bool) {
 			p.migrate(s, t)
 		}
 		if res.Shutdown {
-			return true
+			return endShutdown
+		}
+		if res.TargetDone || (p.target != nil && p.target.Done()) {
+			return endTarget
 		}
 	}
-	return false
+	return endNone
 }
 
 // reserveBudget atomically takes up to want instructions from the global
@@ -496,6 +522,10 @@ func (p *pool) migrate(s *shard, t *interp.Thread) {
 // deadline, or end the run (all done / deadlocked / shut down). p.mu
 // held.
 func (p *pool) quiesceLocked() {
+	if p.target != nil && p.target.Done() {
+		p.endLocked(endTarget)
+		return
+	}
 	if p.vm.IsShutdown() {
 		p.endLocked(endShutdown)
 		return

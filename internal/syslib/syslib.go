@@ -192,11 +192,11 @@ func systemClass() *classfile.Class {
 		}))
 	b.NativeMethod("currentTimeMillis", "()I", statics, interp.NativeFunc(
 		func(vm *interp.VM, t *interp.Thread, recv heap.Value, args []heap.Value) (interp.NativeResult, error) {
-			return interp.NativeReturn(heap.IntVal(vm.Clock() / 1000))
+			return interp.NativeReturn(heap.IntVal(vm.NowTicks() / 1000))
 		}))
 	b.NativeMethod("nanoTime", "()I", statics, interp.NativeFunc(
 		func(vm *interp.VM, t *interp.Thread, recv heap.Value, args []heap.Value) (interp.NativeResult, error) {
-			return interp.NativeReturn(heap.IntVal(vm.Clock()))
+			return interp.NativeReturn(heap.IntVal(vm.NowTicks()))
 		}))
 	b.NativeMethod("gc", "()V", statics, interp.NativeFunc(
 		func(vm *interp.VM, t *interp.Thread, recv heap.Value, args []heap.Value) (interp.NativeResult, error) {
