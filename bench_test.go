@@ -605,7 +605,7 @@ func TestEmitInterpBench(t *testing.T) {
 	}
 	best := func(mode core.Mode, workers int) float64 {
 		var b float64
-		for i := 0; i < 3; i++ {
+		for i := 0; i < 6; i++ {
 			v, err := measureSpinThroughput(mode, workers)
 			if err != nil {
 				t.Fatal(err)
@@ -621,19 +621,56 @@ func TestEmitInterpBench(t *testing.T) {
 		BeforeMinstrS float64 `json:"before_minstr_s"` // PR 1 (pre-quickening), 1-CPU CI container
 		AfterMinstrS  float64 `json:"after_minstr_s"`
 	}
+	type invokeSite struct {
+		Site                string  `json:"site"`
+		ResolveCacheMinstrS float64 `json:"resolvecache_minstr_s"` // DisableInlineCaches: the pre-IC dispatch
+		InlineCachedMinstrS float64 `json:"inline_cached_minstr_s"`
+		SpeedupPercent      float64 `json:"speedup_percent"`
+	}
+	bestInvoke := func(k int, disableIC bool) float64 {
+		var bv float64
+		for i := 0; i < 6; i++ {
+			v, err := measureInvokeThroughput(k, disableIC)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v > bv {
+				bv = v
+			}
+		}
+		return bv
+	}
+	mkSite := func(name string, k int) invokeSite {
+		before, after := bestInvoke(k, true), bestInvoke(k, false)
+		return invokeSite{
+			Site:                name,
+			ResolveCacheMinstrS: before,
+			InlineCachedMinstrS: after,
+			SpeedupPercent:      (after/before - 1) * 100,
+		}
+	}
 	report := struct {
-		Workload string   `json:"workload"`
-		Host     string   `json:"host"`
-		Updated  string   `json:"updated"`
-		Engines  []engine `json:"engines"`
+		Workload   string       `json:"workload"`
+		Host       string       `json:"host"`
+		HostCaveat string       `json:"host_caveat"`
+		Updated    string       `json:"updated"`
+		Engines    []engine     `json:"engines"`
+		Invoke     []invokeSite `json:"invoke_microbench"`
 	}{
-		Workload: "BenchmarkScheduler_*: 8 isolates x 200k-iteration spin loops",
+		Workload: "BenchmarkScheduler_*: 8 isolates x 200k-iteration spin loops; BenchmarkInvoke_*: one hot invokevirtual site over k receiver classes",
 		Host:     fmt.Sprintf("%s/%s, GOMAXPROCS=%d", runtime.GOOS, runtime.GOARCH, runtime.GOMAXPROCS(0)),
-		Updated:  time.Now().UTC().Format(time.RFC3339),
+		HostCaveat: "1-CPU CI container: concurrent-engine numbers measure scheduler overhead only; " +
+			"multi-core BenchmarkScheduler_* scaling remains unmeasured (ROADMAP open item)",
+		Updated: time.Now().UTC().Format(time.RFC3339),
 		Engines: []engine{
 			{Engine: "baseline_sequential", BeforeMinstrS: 54, AfterMinstrS: best(core.ModeShared, 0)},
 			{Engine: "ijvm_sequential", BeforeMinstrS: 42, AfterMinstrS: best(core.ModeIsolated, 0)},
 			{Engine: "ijvm_concurrent_4w", BeforeMinstrS: 103, AfterMinstrS: best(core.ModeIsolated, 4)},
+		},
+		Invoke: []invokeSite{
+			mkSite("monomorphic", 1),
+			mkSite("polymorphic4", 4),
+			mkSite("megamorphic8", 8),
 		},
 	}
 	data, err := json.MarshalIndent(report, "", "  ")
@@ -644,6 +681,138 @@ func TestEmitInterpBench(t *testing.T) {
 		t.Fatal(err)
 	}
 	t.Logf("wrote BENCH_interp.json: %s", data)
+}
+
+// --- Invoke microbenchmarks (inline caches vs resolveCache) --------------
+//
+// One hot invokevirtual site dispatching over k receiver classes,
+// measured with the per-site polymorphic inline caches on (default) and
+// off (DisableInlineCaches: every call resolves through the per-class
+// resolution cache — the pre-IC dispatch). k=1 is the monomorphic
+// steady state, k=4 fills a polymorphic cache line, k=8 degrades the
+// site to megamorphic (where both configurations share the
+// resolveCache path).
+//
+// NOTE: numbers in BENCH_interp.json come from the 1-CPU CI container
+// (GOMAXPROCS=1); like the scheduler benchmarks above, multi-core
+// scaling of the concurrent engine is unmeasured on this host.
+
+const invokeBenchInner = 10_000
+
+// invokeBenchClasses builds Base plus k subclasses overriding f(I)I and
+// a driver whose loop hits one call site with receiver i & (k-1).
+func invokeBenchClasses(k int) []*classfile.Class {
+	ctor := func(super string) func(a *bytecode.Assembler) {
+		return func(a *bytecode.Assembler) {
+			a.ALoad(0).InvokeSpecial(super, classfile.InitName, "()V").Return()
+		}
+	}
+	classes := []*classfile.Class{classfile.NewClass("ib/Base").
+		Method(classfile.InitName, "()V", 0, ctor("java/lang/Object")).
+		Method("f", "(I)I", 0, func(a *bytecode.Assembler) {
+			a.ILoad(1).Const(1).IAdd().IReturn()
+		}).MustBuild()}
+	for i := 0; i < k; i++ {
+		add := int64(i + 1)
+		classes = append(classes, classfile.NewClass(fmt.Sprintf("ib/Impl%d", i)).
+			Super("ib/Base").
+			Method(classfile.InitName, "()V", 0, ctor("ib/Base")).
+			Method("f", "(I)I", 0, func(a *bytecode.Assembler) {
+				a.ILoad(1).Const(add).IAdd().IReturn()
+			}).MustBuild())
+	}
+	driver := classfile.NewClass("ib/Driver").
+		Method("run", "(I)I", classfile.FlagStatic, func(a *bytecode.Assembler) {
+			a.Const(int64(k)).NewArray("").AStore(1)
+			for i := 0; i < k; i++ {
+				name := fmt.Sprintf("ib/Impl%d", i)
+				a.ALoad(1).Const(int64(i))
+				a.New(name).Dup().InvokeSpecial(name, classfile.InitName, "()V")
+				a.ArrayStore()
+			}
+			a.Const(0).IStore(2) // acc
+			a.Const(0).IStore(3) // i
+			a.Label("loop").ILoad(3).ILoad(0).IfICmpGe("done")
+			a.ALoad(1).ILoad(3).Const(int64(k - 1)).IAnd().ArrayLoad()
+			a.ILoad(2).InvokeVirtual("ib/Base", "f", "(I)I").IStore(2)
+			a.IInc(3, 1).Goto("loop")
+			a.Label("done").ILoad(2).IReturn()
+		}).MustBuild()
+	return append(classes, driver)
+}
+
+// invokeBenchVM builds the call-heavy benchmark VM.
+func invokeBenchVM(k int, disableIC bool) (*interp.VM, *core.Isolate, *classfile.Method, error) {
+	vm := interp.NewVM(interp.Options{Mode: core.ModeIsolated, DisableInlineCaches: disableIC})
+	syslib.MustInstall(vm)
+	iso, err := vm.NewIsolate("main")
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if err := iso.Loader().DefineAll(invokeBenchClasses(k)); err != nil {
+		return nil, nil, nil, err
+	}
+	c, err := iso.Loader().Lookup("ib/Driver")
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	m, err := c.LookupMethod("run", "(I)I")
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return vm, iso, m, nil
+}
+
+func benchInvoke(b *testing.B, k int, disableIC bool) {
+	b.Helper()
+	vm, iso, m, err := invokeBenchVM(k, disableIC)
+	if err != nil {
+		b.Fatal(err)
+	}
+	args := []heap.Value{heap.IntVal(invokeBenchInner)}
+	if _, th, err := vm.CallRoot(iso, m, args, 0); err != nil || th.Failure() != nil {
+		b.Fatalf("warmup: %v / %v", err, th.FailureString())
+	}
+	start := vm.TotalInstructions()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, th, err := vm.CallRoot(iso, m, args, 0); err != nil || th.Failure() != nil {
+			b.Fatalf("run: %v / %v", err, th.FailureString())
+		}
+	}
+	instrs := vm.TotalInstructions() - start
+	b.ReportMetric(float64(instrs)/1e6/b.Elapsed().Seconds(), "Minstr/s")
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/invokeBenchInner, "ns/call")
+}
+
+func BenchmarkInvoke_Monomorphic(b *testing.B)       { benchInvoke(b, 1, false) }
+func BenchmarkInvoke_Monomorphic_NoIC(b *testing.B)  { benchInvoke(b, 1, true) }
+func BenchmarkInvoke_Polymorphic4(b *testing.B)      { benchInvoke(b, 4, false) }
+func BenchmarkInvoke_Polymorphic4_NoIC(b *testing.B) { benchInvoke(b, 4, true) }
+func BenchmarkInvoke_Megamorphic8(b *testing.B)      { benchInvoke(b, 8, false) }
+func BenchmarkInvoke_Megamorphic8_NoIC(b *testing.B) { benchInvoke(b, 8, true) }
+
+// measureInvokeThroughput runs the invoke workload once and returns its
+// throughput in Minstr/s (used by TestEmitInterpBench).
+func measureInvokeThroughput(k int, disableIC bool) (float64, error) {
+	vm, iso, m, err := invokeBenchVM(k, disableIC)
+	if err != nil {
+		return 0, err
+	}
+	args := []heap.Value{heap.IntVal(invokeBenchInner)}
+	if _, th, err := vm.CallRoot(iso, m, args, 0); err != nil || th.Failure() != nil {
+		return 0, fmt.Errorf("warmup: %v / %v", err, th.FailureString())
+	}
+	const rounds = 40
+	start := vm.TotalInstructions()
+	t0 := time.Now()
+	for i := 0; i < rounds; i++ {
+		if _, th, err := vm.CallRoot(iso, m, args, 0); err != nil || th.Failure() != nil {
+			return 0, fmt.Errorf("run: %v / %v", err, th.FailureString())
+		}
+	}
+	elapsed := time.Since(t0)
+	return float64(vm.TotalInstructions()-start) / 1e6 / elapsed.Seconds(), nil
 }
 
 func BenchmarkScheduler_Shared_Sequential(b *testing.B) {

@@ -1,0 +1,94 @@
+package bytecode
+
+import "sync/atomic"
+
+// ICMaxEntries bounds the polymorphic inline cache of one prepared
+// invoke site. A site that has dispatched to more receiver classes than
+// this goes megamorphic and falls back to the per-class resolution cache
+// for the rest of its life.
+const ICMaxEntries = 4
+
+// ICache is the polymorphic inline cache attached to a prepared
+// invokevirtual instruction (PInstr.IC). It memoizes the receiver-class
+// to target-method dispatch of the site:
+//
+//	empty       -> first dispatch publishes a monomorphic line
+//	monomorphic -> one (class, target) pair; the steady-state fast path
+//	polymorphic -> up to ICMaxEntries pairs, scanned linearly
+//	megamorphic -> a terminal marker line; the site stops caching and
+//	               every dispatch resolves through the class's
+//	               resolution cache (Class.LookupMethod)
+//
+// Classes and targets are stored as opaque `any` values so this package
+// stays free of classfile dependencies; the interpreter stores
+// *classfile.Class keys and *classfile.Method targets.
+//
+// Publication is race-safe without locks: a line is immutable once
+// published, and transitions replace the whole line with a
+// compare-and-swap on the atomic pointer. Concurrent scheduler workers
+// racing on one site therefore either observe the old line (and retry
+// the transition against it) or the new one — never a torn cache.
+// Invalidation is never needed: dispatch depends only on the immutable
+// receiver class, and calls into killed isolates are rejected after
+// dispatch (pushFrame's kill check), so a cached target can never
+// bypass termination.
+type ICache struct {
+	line atomic.Pointer[ICLine]
+}
+
+// ICLine is one immutable cache generation: N valid (class, target)
+// pairs, or the terminal megamorphic marker.
+type ICLine struct {
+	Classes [ICMaxEntries]any
+	Targets [ICMaxEntries]any
+	N       int
+	Mega    bool
+}
+
+// Line returns the current cache line, or nil before the first
+// dispatch.
+func (c *ICache) Line() *ICLine { return c.line.Load() }
+
+// Lookup returns the cached target for class, or nil on a miss (and on
+// a megamorphic line, whose N is zero).
+func (l *ICLine) Lookup(class any) any {
+	for i := 0; i < l.N; i++ {
+		if l.Classes[i] == class {
+			return l.Targets[i]
+		}
+	}
+	return nil
+}
+
+// Add records one observed (class, target) dispatch, growing the line
+// mono -> poly and degrading to the megamorphic marker when the site
+// exceeds ICMaxEntries receiver classes. Loses of the publication race
+// retry against the winner's line, so a hot site converges after a
+// bounded number of transitions (a line only ever grows).
+func (c *ICache) Add(class, target any) {
+	for {
+		old := c.line.Load()
+		// Early-out before allocating the replacement line: megamorphic
+		// sites and racing duplicate publications hit this on every call.
+		if old != nil && (old.Mega || old.Lookup(class) != nil) {
+			return
+		}
+		nl := &ICLine{}
+		switch {
+		case old == nil:
+			nl.Classes[0] = class
+			nl.Targets[0] = target
+			nl.N = 1
+		case old.N == ICMaxEntries:
+			nl.Mega = true
+		default:
+			*nl = *old
+			nl.Classes[nl.N] = class
+			nl.Targets[nl.N] = target
+			nl.N++
+		}
+		if c.line.CompareAndSwap(old, nl) {
+			return
+		}
+	}
+}

@@ -3,8 +3,8 @@ package bytecode
 import "sync/atomic"
 
 // PInstr is one prepared ("quickened") instruction. The interpreter's
-// code-preparation pass runs once per method on first invocation and
-// rewrites the decoded Instr stream into this form:
+// code-preparation pass runs once per method and isolation mode on first
+// invocation and rewrites the decoded Instr stream into this form:
 //
 //   - H is the dispatch handler index into the interpreter's flat handler
 //     table, replacing the opcode switch. Base handlers use the opcode
@@ -14,9 +14,19 @@ import "sync/atomic"
 //   - Ref carries the pre-resolved constant-pool operand (the pool entry
 //     pointer for field/method/class/string references). It is opaque at
 //     this layer so the package stays free of classfile dependencies.
-//   - A, B, I, F mirror the decoded Instr operands.
+//   - IC is the polymorphic inline cache of an invokevirtual site (nil
+//     for every other instruction). It lives in the prepared form — not
+//     the pool entry — so distinct call sites of one method reference
+//     keep independent dispatch histories, and a re-quickening (mode
+//     flip, poisoned clone) starts cold.
+//   - B holds, for the three invoke opcodes, the argument-window size
+//     (declared parameters plus the receiver for instance calls),
+//     precomputed from the referenced descriptor so fast paths never
+//     re-derive it. All other opcodes keep the decoded operand.
+//   - A, I, F mirror the decoded Instr operands.
 type PInstr struct {
 	Ref any
+	IC  *ICache
 	I   int64
 	F   float64
 	A   int32
@@ -39,23 +49,35 @@ type PCode struct {
 	ErrPC     error
 }
 
-// Prepared returns the cached prepared form of the code, or nil before
-// the first preparation. A non-nil result with an empty Instrs slice is
-// the preparer's "unpreparable" sentinel: the method permanently executes
-// through the reference switch interpreter.
-func (c *Code) Prepared() *PCode { return c.prepared.Load() }
+// Prepared-form mode indexes. A method body carries one independent
+// quickening per isolation mode: the Shared and Isolated interpreters
+// dispatch through mode-specialized handler tables, and each mode's
+// inline caches warm against its own execution history (a Code shared by
+// a baseline VM and an I-JVM VM must not share call-site state).
+const (
+	PModeShared = iota
+	PModeIsolated
+	NumPModes
+)
 
-// StorePrepared publishes p as the code's prepared form. Preparation is
-// deterministic, so when two scheduler workers race the first publisher
-// wins and both use the winning form, which is returned.
-func (c *Code) StorePrepared(p *PCode) *PCode {
-	if c.prepared.CompareAndSwap(nil, p) {
+// Prepared returns the cached prepared form for one mode index, or nil
+// before the first preparation. A non-nil result with an empty Instrs
+// slice is the preparer's "unpreparable" sentinel: the method
+// permanently executes through the reference switch interpreter.
+func (c *Code) Prepared(mode int) *PCode { return c.prepared[mode].Load() }
+
+// StorePrepared publishes p as the code's prepared form for one mode
+// index. Preparation is deterministic, so when two scheduler workers
+// race the first publisher wins and both use the winning form, which is
+// returned.
+func (c *Code) StorePrepared(mode int, p *PCode) *PCode {
+	if c.prepared[mode].CompareAndSwap(nil, p) {
 		return p
 	}
-	return c.prepared.Load()
+	return c.prepared[mode].Load()
 }
 
-// preparedCache is the per-Code cache slot for the quickened form. Clone
-// intentionally does not copy it: a cloned (e.g. poisoned) body must be
-// re-prepared.
-type preparedCache = atomic.Pointer[PCode]
+// preparedCache is the per-Code cache slot for the quickened forms, one
+// per isolation mode. Clone intentionally does not copy it: a cloned
+// (e.g. poisoned) body must be re-prepared.
+type preparedCache = [NumPModes]atomic.Pointer[PCode]

@@ -64,7 +64,10 @@ type mirrorTable struct {
 // read lock-free through an atomic pointer. Mirror *contents* are
 // shard-local (see the package comment) and unguarded.
 type World struct {
-	mode     Mode
+	// mode is atomic: the interpreter reads it on hot paths from every
+	// scheduler worker, and SetMode may flip it (inside a stop-the-world
+	// section) after construction.
+	mode     atomic.Uint32
 	registry *loader.Registry
 
 	mu            sync.RWMutex
@@ -79,19 +82,40 @@ type World struct {
 // NewWorld creates the isolate world for one VM.
 func NewWorld(mode Mode, registry *loader.Registry) *World {
 	w := &World{
-		mode:       mode,
 		registry:   registry,
 		byLoaderID: make(map[int]*Isolate),
 	}
+	w.mode.Store(uint32(mode))
 	w.mirrors.Store(&mirrorTable{})
 	return w
 }
 
 // Mode returns the isolation mode.
-func (w *World) Mode() Mode { return w.mode }
+func (w *World) Mode() Mode { return Mode(w.mode.Load()) }
 
 // Isolated reports whether I-JVM mechanisms are active.
-func (w *World) Isolated() bool { return w.mode == ModeIsolated }
+func (w *World) Isolated() bool { return Mode(w.mode.Load()) == ModeIsolated }
+
+// SetMode flips the isolation mode at runtime. The caller (the
+// interpreter's VM.SetIsolationMode) must hold the world stopped: every
+// mode-derived cache — mode-specialized quickenings, frames' prepared
+// bodies, the Shared-mode ResolvedMirror pool caches — is re-derived
+// under the same stopped-world section. Isolated -> Shared is only legal
+// while at most one isolate exists (Shared mode has no isolation to
+// attribute a second isolate to); mirrors survive the flip because
+// isolate 0 indexes mirror slot 0 in both modes.
+func (w *World) SetMode(mode Mode) error {
+	if mode != ModeShared && mode != ModeIsolated {
+		return fmt.Errorf("core: invalid mode %d", mode)
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if mode == ModeShared && len(w.isolates) > 1 {
+		return fmt.Errorf("core: cannot enter shared mode with %d isolates", len(w.isolates))
+	}
+	w.mode.Store(uint32(mode))
+	return nil
+}
 
 // NewIsolate creates an isolate for a class loader. The first isolate
 // created becomes Isolate0 with all rights (paper §3.1); in Shared mode
@@ -108,7 +132,7 @@ func (w *World) NewIsolate(name string, l *loader.Loader) (*Isolate, error) {
 	if _, dup := w.byLoaderID[l.ID()]; dup {
 		return nil, fmt.Errorf("core: loader %s already has an isolate", l.Name())
 	}
-	if w.mode == ModeShared && len(w.isolates) > 0 {
+	if w.Mode() == ModeShared && len(w.isolates) > 0 {
 		return nil, errors.New("core: shared mode supports a single isolate")
 	}
 	iso := &Isolate{
@@ -208,7 +232,7 @@ func (w *World) NumIsolates() int {
 func (w *World) Mirror(c *classfile.Class, iso *Isolate) *TaskClassMirror {
 	sid := c.StaticsID
 	idx := 0
-	if w.mode == ModeIsolated {
+	if w.Mode() == ModeIsolated {
 		idx = int(iso.id)
 	}
 	tab := w.mirrors.Load()
@@ -256,7 +280,7 @@ func (w *World) growMirror(sid, idx int, c *classfile.Class) *TaskClassMirror {
 func (w *World) MirrorIfPresent(c *classfile.Class, iso *Isolate) *TaskClassMirror {
 	sid := c.StaticsID
 	idx := 0
-	if w.mode == ModeIsolated {
+	if w.Mode() == ModeIsolated {
 		idx = int(iso.id)
 	}
 	tab := w.mirrors.Load()
@@ -299,7 +323,7 @@ func (w *World) MirrorRootSets() map[heap.IsolateID][]*heap.Object {
 				continue
 			}
 			isoID := heap.IsolateID(idx)
-			if w.mode == ModeShared {
+			if w.Mode() == ModeShared {
 				isoID = 0
 			}
 			if iso := w.IsolateByID(isoID); iso == nil || iso.Killed() {

@@ -171,7 +171,6 @@ type QuantumResult struct {
 // lines. The sequential engine batches identically (see runQuantum).
 func (vm *VM) RunThreadQuantum(t *Thread, home *core.Isolate, budget int64, stop *atomic.Bool, s *SampleState, target *Thread) QuantumResult {
 	var res QuantumResult
-	isolated := vm.world.Isolated()
 	var batch core.InstrBatch
 	for res.Instructions < budget && t.State() == StateRunnable {
 		if stop != nil && stop.Load() {
@@ -181,7 +180,12 @@ func (vm *VM) RunThreadQuantum(t *Thread, home *core.Isolate, budget int64, stop
 		err := vm.stepThread(t)
 		res.Instructions++
 		cur := t.cur
-		if isolated {
+		// The mode is re-read per step (one more uncontended atomic load
+		// beside the stop flag above) so a worker whose own guest/native
+		// code called SetIsolationMode charges the rest of its quantum
+		// under the new mode; other workers' quanta break at the flip's
+		// stop-the-world safepoint and re-enter here fresh.
+		if vm.world.Isolated() {
 			batch.Note(cur.Account())
 			s.count++
 			if s.count >= vm.opts.SampleEvery {

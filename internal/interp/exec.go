@@ -22,32 +22,14 @@ func (vm *VM) stepThread(t *Thread) error {
 		return nil
 	}
 
-	// Synchronized-method entry: acquire the monitor before the first
-	// instruction.
-	if f.needsMonitor != nil {
-		if vm.tryAcquireMonitor(t, f.needsMonitor) {
-			f.lockedMonitor = f.needsMonitor
-			f.needsMonitor = nil
-		} else {
-			vm.blockOnMonitor(t, f.needsMonitor)
-			return nil
-		}
-	}
-
-	// Staged resume from a blocking native.
-	if t.resumeKind != resumeNone {
-		switch t.resumeKind {
-		case resumePushValue:
-			f.push(t.resumeValue)
-			t.resumeKind = resumeNone
-			t.resumeValue = heap.Value{}
-		case resumePushVoid:
-			t.resumeKind = resumeNone
-		case resumeThrowKind:
-			obj := t.resumeThrow
-			t.resumeKind = resumeNone
-			t.resumeThrow = nil
-			return vm.DeliverException(t, obj)
+	// Deferred frame-entry and wake work (synchronized-method monitor
+	// acquisition, staged native resumes) is funneled behind one
+	// thread-local flag, so the steady-state step pays a single
+	// predicted-false branch instead of re-checking each staging slot.
+	if t.slowStep {
+		done, err := vm.stepStaged(t, f)
+		if done || err != nil {
+			return err
 		}
 	}
 
@@ -57,7 +39,7 @@ func (vm *VM) stepThread(t *Thread) error {
 			return p.ErrPC // preformatted at prepare time
 		}
 		in := &p.Instrs[pc]
-		return phandlers[in.H](vm, t, f, in)
+		return vm.ptable[in.H](vm, t, f, in)
 	}
 
 	code := f.method.Code
@@ -66,6 +48,44 @@ func (vm *VM) stepThread(t *Thread) error {
 	}
 	in := code.Instrs[f.pc]
 	return vm.execInstr(t, f, in)
+}
+
+// stepStaged drains the thread's staged work before the next
+// instruction. done reports that this step is consumed (the thread
+// parked on a contended synchronized entry, or a staged exception was
+// delivered) — the accounting of both outcomes is identical to the
+// pre-flag dispatch, which also charged one step for them.
+func (vm *VM) stepStaged(t *Thread, f *Frame) (done bool, err error) {
+	// Synchronized-method entry: acquire the monitor before the first
+	// instruction.
+	if f.needsMonitor != nil {
+		if vm.tryAcquireMonitor(t, f.needsMonitor) {
+			f.lockedMonitor = f.needsMonitor
+			f.needsMonitor = nil
+		} else {
+			// Re-enter here on wake: slowStep stays set.
+			vm.blockOnMonitor(t, f.needsMonitor)
+			return true, nil
+		}
+	}
+
+	// Staged resume from a blocking native.
+	switch t.resumeKind {
+	case resumePushValue:
+		f.push(t.resumeValue)
+		t.resumeKind = resumeNone
+		t.resumeValue = heap.Value{}
+	case resumePushVoid:
+		t.resumeKind = resumeNone
+	case resumeThrowKind:
+		obj := t.resumeThrow
+		t.resumeKind = resumeNone
+		t.resumeThrow = nil
+		t.slowStep = false
+		return true, vm.DeliverException(t, obj)
+	}
+	t.slowStep = false
+	return false, nil
 }
 
 // execInstr dispatches one instruction. Cases that park the thread or push
@@ -525,6 +545,14 @@ func (vm *VM) execInvoke(t *Thread, f *Frame, in bytecode.Instr, next int32) err
 // it into the callee's locals and callNative consumes it synchronously,
 // so no per-call argument slice is allocated.
 func (vm *VM) invokeEntry(t *Thread, f *Frame, entry *classfile.PoolEntry, op bytecode.Opcode, next int32) error {
+	return vm.invokeEntryIC(t, f, entry, op, next, nil)
+}
+
+// invokeEntryIC is invokeEntry with an optional invokevirtual inline
+// cache: after dynamic dispatch resolves, the observed (receiver class,
+// target) pair is published into the call site's cache so later
+// executions take the cached fast path.
+func (vm *VM) invokeEntryIC(t *Thread, f *Frame, entry *classfile.PoolEntry, op bytecode.Opcode, next int32, ic *bytecode.ICache) error {
 	m, err := vm.resolveMethodEntry(f, entry)
 	if err != nil {
 		return vm.Throw(t, ClassNullPointerException, err.Error())
@@ -562,6 +590,12 @@ func (vm *VM) invokeEntry(t *Thread, f *Frame, entry *classfile.PoolEntry, op by
 				return vm.Throw(t, ClassNullPointerException, lerr.Error())
 			}
 			target = resolved
+			if ic != nil {
+				// Dispatch is a pure function of the (immutable) receiver
+				// class, so caching before the call proceeds is sound even
+				// when the call itself faults.
+				ic.Add(args[0].R.Class, resolved)
+			}
 		}
 	}
 
@@ -614,6 +648,19 @@ func (vm *VM) callNative(t *Thread, f *Frame, m *classfile.Method, args []heap.V
 	case NativeThrow:
 		return vm.DeliverException(t, res.Throw)
 	case NativeBlock:
+		// Third entry point of the value-vs-void contract (with
+		// returnFromFrame and the NativeDone case above): the resume
+		// staged at park time is exactly what the wake delivers to the
+		// caller's descriptor-sized stack, so a mismatch must fail here
+		// rather than surface later as an unchecked pop on a missing
+		// value. A staged throw is descriptor-neutral and always legal.
+		if m.Desc.Return != classfile.KindVoid {
+			if t.resumeKind == resumeNone || t.resumeKind == resumePushVoid {
+				return fmt.Errorf("native %s parked without staging its declared return value", m.QualifiedName())
+			}
+		} else if t.resumeKind == resumePushValue {
+			return fmt.Errorf("native %s staged a value resume but is declared void", m.QualifiedName())
+		}
 		return nil
 	default:
 		return fmt.Errorf("native %s returned invalid control %d", m.QualifiedName(), res.Control)
@@ -631,9 +678,11 @@ func (vm *VM) staticMirrorAt(t *Thread, f *Frame, idx int32) (*core.TaskClassMir
 }
 
 // staticMirrorEntry resolves the task class mirror and field of a static
-// access through its (quickened) pool entry. It returns (nil, nil, nil)
-// when the instruction must re-execute (a <clinit> frame was pushed) or
-// when a guest exception was already delivered; a non-nil error is a
+// access through its pool entry, checking the mode dynamically (the
+// reference switch path; the prepared handlers are mode-specialized and
+// call staticMirrorResolve directly). It returns (nil, nil, nil) when
+// the instruction must re-execute (a <clinit> frame was pushed) or when
+// a guest exception was already delivered; a non-nil error is a
 // host-level failure.
 func (vm *VM) staticMirrorEntry(t *Thread, f *Frame, entry *classfile.PoolEntry) (*core.TaskClassMirror, *classfile.Field, error) {
 	if !vm.world.Isolated() {
@@ -641,7 +690,17 @@ func (vm *VM) staticMirrorEntry(t *Thread, f *Frame, entry *classfile.PoolEntry)
 		if m, ok := entry.ResolvedMirror.(*core.TaskClassMirror); ok {
 			return m, entry.ResolvedField.Load(), nil
 		}
+		return vm.staticMirrorResolve(t, f, entry, true)
 	}
+	return vm.staticMirrorResolve(t, f, entry, false)
+}
+
+// staticMirrorResolve is the static-access slow path shared by both
+// dispatch modes: resolve the field, guarantee the accessing isolate's
+// initialization, and index the mirror. cacheShared additionally
+// publishes the mirror on the pool entry — legal only under Shared
+// semantics, where one mirror exists per class.
+func (vm *VM) staticMirrorResolve(t *Thread, f *Frame, entry *classfile.PoolEntry, cacheShared bool) (*core.TaskClassMirror, *classfile.Field, error) {
 	field := entry.ResolvedField.Load()
 	if field == nil {
 		var err error
@@ -655,7 +714,7 @@ func (vm *VM) staticMirrorEntry(t *Thread, f *Frame, entry *classfile.PoolEntry)
 		return nil, nil, err
 	}
 	mirror := vm.world.Mirror(field.Class, t.cur)
-	if !vm.world.Isolated() {
+	if cacheShared {
 		entry.ResolvedMirror = mirror
 	}
 	return mirror, field, nil

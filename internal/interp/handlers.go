@@ -5,6 +5,7 @@ import (
 
 	"ijvm/internal/bytecode"
 	"ijvm/internal/classfile"
+	"ijvm/internal/core"
 	"ijvm/internal/heap"
 )
 
@@ -21,16 +22,40 @@ import (
 // the append never grows.
 type phandler func(vm *VM, t *Thread, f *Frame, in *bytecode.PInstr) error
 
-// phandlers is the flat dispatch table replacing the opcode switch for
-// prepared code. It is indexed by PInstr.H; base handlers use the opcode
-// value as their index.
-var phandlers [256]phandler
+// phandlerTables are the mode-specialized flat dispatch tables replacing
+// the opcode switch for prepared code, indexed [mode][ic][PInstr.H]
+// (base handlers use the opcode value as their index). The VM selects
+// one table at construction (and again on SetIsolationMode), so the
+// steady state never re-checks world.Isolated():
+//
+//   - the Shared tables run the baseline fast paths — static accesses
+//     and initialization checks fold into the pool entry's
+//     ResolvedMirror cache after the first initialized access, the way
+//     a JIT folds them away;
+//   - the Isolated tables perform the paper's per-access task-class-
+//     mirror indexing and initialization re-check unconditionally, with
+//     no Shared-cache probes on the way.
+//
+// The second index disables the invoke inline caches (the
+// Options.DisableInlineCaches ablation): those tables dispatch every
+// invoke through the generic resolution path.
+var phandlerTables [bytecode.NumPModes][2][256]phandler
+
+// handlerTable returns the dispatch table for one mode/IC configuration.
+func handlerTable(mode core.Mode, disableIC bool) *[256]phandler {
+	ic := 0
+	if disableIC {
+		ic = 1
+	}
+	return &phandlerTables[pmodeIndex(mode)][ic]
+}
 
 func init() {
-	for i := range phandlers {
-		phandlers[i] = pInvalid
+	var base [256]phandler
+	for i := range base {
+		base[i] = pInvalid
 	}
-	reg := func(op bytecode.Opcode, h phandler) { phandlers[uint8(op)] = h }
+	reg := func(op bytecode.Opcode, h phandler) { base[uint8(op)] = h }
 
 	reg(bytecode.OpNop, pNop)
 	reg(bytecode.OpIConst, pIConst)
@@ -90,14 +115,11 @@ func init() {
 	reg(bytecode.OpIReturn, pValueReturn)
 	reg(bytecode.OpFReturn, pValueReturn)
 	reg(bytecode.OpAReturn, pValueReturn)
-	reg(bytecode.OpGetStatic, pGetStatic)
-	reg(bytecode.OpPutStatic, pPutStatic)
 	reg(bytecode.OpGetField, pGetField)
 	reg(bytecode.OpPutField, pPutField)
 	reg(bytecode.OpInvokeStatic, pInvokeStatic)
 	reg(bytecode.OpInvokeVirtual, pInvokeVirtual)
 	reg(bytecode.OpInvokeSpecial, pInvokeSpecial)
-	reg(bytecode.OpNew, pNew)
 	reg(bytecode.OpNewArray, pNewArray)
 	reg(bytecode.OpArrayLength, pArrayLength)
 	reg(bytecode.OpArrayLoad, pArrayLoad)
@@ -107,6 +129,37 @@ func init() {
 	reg(bytecode.OpMonitorEnter, pMonitorEnter)
 	reg(bytecode.OpMonitorExit, pMonitorExit)
 	reg(bytecode.OpAThrow, pAThrow)
+
+	for m := range phandlerTables {
+		for ic := range phandlerTables[m] {
+			phandlerTables[m][ic] = base
+		}
+	}
+	// Mode-specialized statics, allocation and static-invoke handlers:
+	// the Shared tables probe (and populate) the pool entries'
+	// ResolvedMirror caches, the Isolated tables index mirrors and
+	// re-check initialization on every execution — neither consults
+	// world.Isolated() at runtime.
+	for ic := range phandlerTables[bytecode.PModeShared] {
+		sh := &phandlerTables[bytecode.PModeShared][ic]
+		sh[uint8(bytecode.OpGetStatic)] = pGetStaticShared
+		sh[uint8(bytecode.OpPutStatic)] = pPutStaticShared
+		sh[uint8(bytecode.OpNew)] = pNewShared
+		iso := &phandlerTables[bytecode.PModeIsolated][ic]
+		iso[uint8(bytecode.OpGetStatic)] = pGetStaticIsolated
+		iso[uint8(bytecode.OpPutStatic)] = pPutStaticIsolated
+		iso[uint8(bytecode.OpNew)] = pNewIsolated
+	}
+	// Inline-cached invokes live only in the ic=0 tables; ic=1 keeps the
+	// generic resolution path (the Options.DisableInlineCaches ablation
+	// and the before/after benchmark baseline).
+	for m := range phandlerTables {
+		t0 := &phandlerTables[m][0]
+		t0[uint8(bytecode.OpInvokeVirtual)] = pInvokeVirtualIC
+		t0[uint8(bytecode.OpInvokeSpecial)] = pInvokeSpecialFast
+	}
+	phandlerTables[bytecode.PModeShared][0][uint8(bytecode.OpInvokeStatic)] = pInvokeStaticShared
+	phandlerTables[bytecode.PModeIsolated][0][uint8(bytecode.OpInvokeStatic)] = pInvokeStaticIsolated
 }
 
 func pInvalid(vm *VM, t *Thread, f *Frame, in *bytecode.PInstr) error {
@@ -569,9 +622,23 @@ func pValueReturn(vm *VM, t *Thread, f *Frame, in *bytecode.PInstr) error {
 }
 
 // --- Statics (the task-class-mirror hot path, §3.1) ----------------------
+//
+// The Shared handlers model the baseline JVM: after the first
+// initialized access the mirror is cached on the pool entry and every
+// later access is a single load, the way a JIT folds the initialization
+// check away. The Isolated handlers are the paper's I-JVM sequence —
+// re-index the mirror table with the thread's current isolate and
+// re-check initialization on every access — with no Shared-cache probe
+// and no world.Isolated() branch left in the steady state.
 
-func pGetStatic(vm *VM, t *Thread, f *Frame, in *bytecode.PInstr) error {
-	mirror, field, err := vm.staticMirrorEntry(t, f, in.Ref.(*classfile.PoolEntry))
+func pGetStaticShared(vm *VM, t *Thread, f *Frame, in *bytecode.PInstr) error {
+	entry := in.Ref.(*classfile.PoolEntry)
+	if mirror, ok := entry.ResolvedMirror.(*core.TaskClassMirror); ok {
+		f.push(mirror.Statics[entry.ResolvedField.Load().Slot])
+		f.pc++
+		return nil
+	}
+	mirror, field, err := vm.staticMirrorResolve(t, f, entry, true)
 	if err != nil || mirror == nil {
 		return err // guest throw already delivered, or re-execute after <clinit>
 	}
@@ -580,8 +647,34 @@ func pGetStatic(vm *VM, t *Thread, f *Frame, in *bytecode.PInstr) error {
 	return nil
 }
 
-func pPutStatic(vm *VM, t *Thread, f *Frame, in *bytecode.PInstr) error {
-	mirror, field, err := vm.staticMirrorEntry(t, f, in.Ref.(*classfile.PoolEntry))
+func pGetStaticIsolated(vm *VM, t *Thread, f *Frame, in *bytecode.PInstr) error {
+	mirror, field, err := vm.staticMirrorResolve(t, f, in.Ref.(*classfile.PoolEntry), false)
+	if err != nil || mirror == nil {
+		return err
+	}
+	f.push(mirror.Statics[field.Slot])
+	f.pc++
+	return nil
+}
+
+func pPutStaticShared(vm *VM, t *Thread, f *Frame, in *bytecode.PInstr) error {
+	entry := in.Ref.(*classfile.PoolEntry)
+	if mirror, ok := entry.ResolvedMirror.(*core.TaskClassMirror); ok {
+		mirror.Statics[entry.ResolvedField.Load().Slot] = f.upop()
+		f.pc++
+		return nil
+	}
+	mirror, field, err := vm.staticMirrorResolve(t, f, entry, true)
+	if err != nil || mirror == nil {
+		return err
+	}
+	mirror.Statics[field.Slot] = f.upop()
+	f.pc++
+	return nil
+}
+
+func pPutStaticIsolated(vm *VM, t *Thread, f *Frame, in *bytecode.PInstr) error {
+	mirror, field, err := vm.staticMirrorResolve(t, f, in.Ref.(*classfile.PoolEntry), false)
 	if err != nil || mirror == nil {
 		return err
 	}
@@ -632,6 +725,77 @@ func pPutField(vm *VM, t *Thread, f *Frame, in *bytecode.PInstr) error {
 }
 
 // --- Invocation ----------------------------------------------------------
+//
+// The inline-cached handlers find the receiver through the argument
+// count baked into PInstr.B at preparation time, so a cache hit skips
+// symbolic resolution, the per-class resolution cache (its signature
+// concatenation and lock), and the descriptor-derived argument count —
+// the call funnels straight into the shared invocation tail
+// (invokeResolved). Misses take the generic invokeEntry path, which
+// publishes the observed (receiver class, target) pair into the site's
+// cache; megamorphic sites stop publishing and live on the per-class
+// resolution cache.
+
+func pInvokeVirtualIC(vm *VM, t *Thread, f *Frame, in *bytecode.PInstr) error {
+	nargs := int(in.B)
+	// The preparation dataflow proved the operand window present, so the
+	// receiver peek needs no depth check.
+	recv := f.stack[len(f.stack)-nargs]
+	if recv.R != nil {
+		if line := in.IC.Line(); line != nil {
+			if target := line.Lookup(recv.R.Class); target != nil {
+				return vm.invokeResolved(t, f, target.(*classfile.Method), nargs, true, f.pc+1)
+			}
+			if line.Mega {
+				// Terminal state: resolve through the per-class cache with
+				// no further publication attempts.
+				return vm.invokeEntryIC(t, f, in.Ref.(*classfile.PoolEntry), bytecode.OpInvokeVirtual, f.pc+1, nil)
+			}
+		}
+	}
+	return vm.invokeEntryIC(t, f, in.Ref.(*classfile.PoolEntry), bytecode.OpInvokeVirtual, f.pc+1, in.IC)
+}
+
+// pInvokeSpecialFast dispatches directly through the pool entry's
+// resolved method (invokespecial has no receiver-class dispatch); only
+// the first execution and null receivers take the generic path.
+func pInvokeSpecialFast(vm *VM, t *Thread, f *Frame, in *bytecode.PInstr) error {
+	if m := in.Ref.(*classfile.PoolEntry).ResolvedMethod.Load(); m != nil {
+		nargs := int(in.B)
+		if f.stack[len(f.stack)-nargs].R != nil {
+			return vm.invokeResolved(t, f, m, nargs, true, f.pc+1)
+		}
+	}
+	return vm.invokeEntry(t, f, in.Ref.(*classfile.PoolEntry), bytecode.OpInvokeSpecial, f.pc+1)
+}
+
+// pInvokeStaticShared skips the initialization check once the entry's
+// ResolvedMirror cache proves the class initialized (baseline
+// semantics); pInvokeStaticIsolated re-checks initialization on every
+// execution, as I-JVM must.
+func pInvokeStaticShared(vm *VM, t *Thread, f *Frame, in *bytecode.PInstr) error {
+	entry := in.Ref.(*classfile.PoolEntry)
+	if entry.ResolvedMirror != nil {
+		if m := entry.ResolvedMethod.Load(); m != nil {
+			return vm.invokeResolved(t, f, m, int(in.B), false, f.pc+1)
+		}
+	}
+	return vm.invokeEntry(t, f, entry, bytecode.OpInvokeStatic, f.pc+1)
+}
+
+func pInvokeStaticIsolated(vm *VM, t *Thread, f *Frame, in *bytecode.PInstr) error {
+	entry := in.Ref.(*classfile.PoolEntry)
+	if m := entry.ResolvedMethod.Load(); m != nil {
+		ready, err := vm.ensureInitialized(t, m.Class, t.cur)
+		if err != nil || !ready {
+			return err
+		}
+		return vm.invokeResolved(t, f, m, int(in.B), false, f.pc+1)
+	}
+	return vm.invokeEntry(t, f, entry, bytecode.OpInvokeStatic, f.pc+1)
+}
+
+// Generic invoke handlers (the DisableInlineCaches tables).
 
 func pInvokeStatic(vm *VM, t *Thread, f *Frame, in *bytecode.PInstr) error {
 	return vm.invokeEntry(t, f, in.Ref.(*classfile.PoolEntry), bytecode.OpInvokeStatic, f.pc+1)
@@ -647,13 +811,40 @@ func pInvokeSpecial(vm *VM, t *Thread, f *Frame, in *bytecode.PInstr) error {
 
 // --- Objects and arrays --------------------------------------------------
 
-func pNew(vm *VM, t *Thread, f *Frame, in *bytecode.PInstr) error {
+// pNewShared folds the class-initialization check into the entry's
+// ResolvedMirror cache (baseline semantics: checked once per call
+// site); pNewIsolated re-checks on every execution.
+func pNewShared(vm *VM, t *Thread, f *Frame, in *bytecode.PInstr) error {
+	entry := in.Ref.(*classfile.PoolEntry)
+	class := entry.ResolvedClass.Load()
+	if class == nil || entry.ResolvedMirror == nil {
+		var err error
+		class, err = vm.resolvePoolClassEntry(f, entry)
+		if err != nil {
+			return vm.Throw(t, ClassNullPointerException, err.Error())
+		}
+		ready, err := vm.ensureInitialized(t, class, t.cur)
+		if err != nil || !ready {
+			return err
+		}
+		entry.ResolvedMirror = vm.world.Mirror(class, t.cur)
+	}
+	obj, err := vm.AllocObjectIn(class, t.cur)
+	if err != nil {
+		return vm.Throw(t, ClassOutOfMemoryError, err.Error())
+	}
+	f.push(heap.RefVal(obj))
+	f.pc++
+	return nil
+}
+
+func pNewIsolated(vm *VM, t *Thread, f *Frame, in *bytecode.PInstr) error {
 	entry := in.Ref.(*classfile.PoolEntry)
 	class, err := vm.resolvePoolClassEntry(f, entry)
 	if err != nil {
 		return vm.Throw(t, ClassNullPointerException, err.Error())
 	}
-	ready, err := vm.classInitReadyAt(t, entry, class)
+	ready, err := vm.ensureInitialized(t, class, t.cur)
 	if err != nil || !ready {
 		return err
 	}

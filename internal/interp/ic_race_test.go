@@ -1,0 +1,251 @@
+package interp_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"ijvm/internal/bytecode"
+	"ijvm/internal/classfile"
+	"ijvm/internal/core"
+	"ijvm/internal/heap"
+	"ijvm/internal/interp"
+	"ijvm/internal/sched"
+	"ijvm/internal/syslib"
+)
+
+// This file stress-tests concurrent inline-cache publication: system
+// classes are shared by every isolate and execute in the caller's
+// isolate, so a call site inside a system method is hammered by every
+// scheduler shard in parallel. Two sites cover the interesting
+// transitions:
+//
+//   - hammerPoly dispatches over two system receiver classes — the
+//     same *classfile.Class in every shard — so all workers race the
+//     empty -> mono -> poly CAS transitions of one site and then share
+//     its steady state;
+//   - hammerMega dispatches over per-isolate bundle classes, so the
+//     site sees 3 x isolates receiver classes and every shard races it
+//     into the megamorphic marker.
+//
+// Meanwhile an admin goroutine cycles accounting collections (each a
+// stop-the-world safepoint) and kills one victim isolate mid-run. The
+// test runs under -race in CI.
+
+const icStressIters = 4000
+
+// icStressSystemClasses builds the shared system hierarchy and the two
+// hammer drivers.
+func icStressSystemClasses() []*classfile.Class {
+	sysInit := func(super string) func(a *bytecode.Assembler) {
+		return func(a *bytecode.Assembler) {
+			a.ALoad(0).InvokeSpecial(super, classfile.InitName, "()V").Return()
+		}
+	}
+	base := classfile.NewClass("sys/icb/Base").
+		Method(classfile.InitName, "()V", 0, sysInit(classfile.ObjectClassName)).
+		Method("f", "(I)I", 0, func(a *bytecode.Assembler) {
+			a.ILoad(1).Const(1).IAdd().IReturn()
+		}).MustBuild()
+	implA := classfile.NewClass("sys/icb/ImplA").Super("sys/icb/Base").
+		Method(classfile.InitName, "()V", 0, sysInit("sys/icb/Base")).
+		Method("f", "(I)I", 0, func(a *bytecode.Assembler) {
+			a.ILoad(1).Const(2).IAdd().IReturn()
+		}).MustBuild()
+	implB := classfile.NewClass("sys/icb/ImplB").Super("sys/icb/Base").
+		Method(classfile.InitName, "()V", 0, sysInit("sys/icb/Base")).
+		Method("f", "(I)I", 0, func(a *bytecode.Assembler) {
+			a.ILoad(1).Const(3).IAdd().IReturn()
+		}).MustBuild()
+	// hammerPoly and hammerMega are identical bodies — but distinct
+	// methods, so each carries its own invokevirtual site: hammer(r0, r1,
+	// r2, n) dispatches one site over the three receivers round-robin.
+	// Locals: 0..2 receivers, 3 n, 4 i, 5 acc, 6 sel.
+	hammerBody := func(a *bytecode.Assembler) {
+		a.Const(0).IStore(4)
+		a.Const(0).IStore(5)
+		a.Label("loop").ILoad(4).ILoad(3).IfICmpGe("done")
+		a.ILoad(4).Const(3).IRem().IStore(6)
+		a.ILoad(6).IfEq("r0")
+		a.ILoad(6).Const(1).IfICmpEq("r1")
+		a.ALoad(2).Goto("call")
+		a.Label("r1").ALoad(1).Goto("call")
+		a.Label("r0").ALoad(0)
+		a.Label("call").ILoad(5).
+			InvokeVirtual("sys/icb/Base", "f", "(I)I").IStore(5)
+		a.IInc(4, 1).Goto("loop")
+		a.Label("done").ILoad(5).IReturn()
+	}
+	const hammerDesc = "(Ljava/lang/Object;Ljava/lang/Object;Ljava/lang/Object;I)I"
+	hammer := classfile.NewClass("sys/icb/Hammer").
+		Method("hammerPoly", hammerDesc, classfile.FlagStatic, hammerBody).
+		Method("hammerMega", hammerDesc, classfile.FlagStatic, hammerBody).MustBuild()
+	return []*classfile.Class{base, implA, implB, hammer}
+}
+
+// icStressBundleClasses builds one isolate's bundle: three private
+// subclasses (megamorphic fodder) and the entry point driving both
+// hammer sites.
+func icStressBundleClasses(prefix string) []*classfile.Class {
+	init := func(super string) func(a *bytecode.Assembler) {
+		return func(a *bytecode.Assembler) {
+			a.ALoad(0).InvokeSpecial(super, classfile.InitName, "()V").Return()
+		}
+	}
+	var classes []*classfile.Class
+	for i := 0; i < 3; i++ {
+		add := int64(i + 4)
+		classes = append(classes, classfile.NewClass(fmt.Sprintf("%s/Impl%d", prefix, i)).
+			Super("sys/icb/Base").
+			Method(classfile.InitName, "()V", 0, init("sys/icb/Base")).
+			Method("f", "(I)I", 0, func(a *bytecode.Assembler) {
+				a.ILoad(1).Const(add).IAdd().IReturn()
+			}).MustBuild())
+	}
+	newRecv := func(a *bytecode.Assembler, class string) {
+		a.New(class).Dup().InvokeSpecial(class, classfile.InitName, "()V")
+	}
+	const hammerDesc = "(Ljava/lang/Object;Ljava/lang/Object;Ljava/lang/Object;I)I"
+	main := classfile.NewClass(prefix+"/Main").
+		Method("run", "(I)I", classfile.FlagStatic, func(a *bytecode.Assembler) {
+			// Poly site: every isolate passes the same two shared system
+			// receiver classes, so the site settles at N=2 and workers
+			// race its empty -> mono -> poly transitions, then share the
+			// steady-state hit path.
+			newRecv(a, "sys/icb/ImplA")
+			newRecv(a, "sys/icb/ImplB")
+			newRecv(a, "sys/icb/ImplA")
+			a.ILoad(0).InvokeStatic("sys/icb/Hammer", "hammerPoly", hammerDesc).IStore(1)
+			// Mega site: per-isolate receiver classes (3 x isolates in
+			// total), so every shard races the same site into the
+			// megamorphic marker.
+			newRecv(a, prefix+"/Impl0")
+			newRecv(a, prefix+"/Impl1")
+			newRecv(a, prefix+"/Impl2")
+			a.ILoad(0).InvokeStatic("sys/icb/Hammer", "hammerMega", hammerDesc)
+			a.ILoad(1).IAdd().IReturn()
+		}).MustBuild()
+	return append(classes, main)
+}
+
+// icStressExpected mirrors both hammer phases in Go for one isolate.
+func icStressExpected(n int64) int64 {
+	hammer := func(adds [3]int64) int64 {
+		var acc int64
+		for i := int64(0); i < n; i++ {
+			acc += adds[i%3]
+		}
+		return acc
+	}
+	return hammer([3]int64{2, 3, 2}) + hammer([3]int64{4, 5, 6})
+}
+
+// TestInlineCachePublicationRace is the -race stress: 6 isolates on 4
+// workers hammering the two shared call sites while the admin goroutine
+// cycles GC safepoints and kills isolate "bundle1" mid-run.
+func TestInlineCachePublicationRace(t *testing.T) {
+	const isolates = 6
+	for round := 0; round < 3; round++ {
+		vm := interp.NewVM(interp.Options{Mode: core.ModeIsolated, HeapLimit: 32 << 20})
+		syslib.MustInstall(vm)
+		if err := vm.Registry().Bootstrap().DefineAll(icStressSystemClasses()); err != nil {
+			t.Fatal(err)
+		}
+		var threads []*interp.Thread
+		var victim *core.Isolate
+		for k := 0; k < isolates; k++ {
+			iso, err := vm.NewIsolate(fmt.Sprintf("bundle%d", k))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if k == 1 {
+				victim = iso
+			}
+			prefix := fmt.Sprintf("b%d", k)
+			if err := iso.Loader().DefineAll(icStressBundleClasses(prefix)); err != nil {
+				t.Fatal(err)
+			}
+			c, err := iso.Loader().Lookup(prefix + "/Main")
+			if err != nil {
+				t.Fatal(err)
+			}
+			m, err := c.LookupMethod("run", "(I)I")
+			if err != nil {
+				t.Fatal(err)
+			}
+			th, err := vm.SpawnThread(prefix, iso, m, []heap.Value{heap.IntVal(icStressIters)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			threads = append(threads, th)
+		}
+
+		stop := make(chan struct{})
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			killed := false
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				vm.CollectGarbage(nil)
+				if i == 2 && !killed {
+					killed = true
+					if err := vm.KillIsolate(nil, victim); err != nil {
+						t.Errorf("kill: %v", err)
+					}
+				}
+				time.Sleep(200 * time.Microsecond)
+			}
+		}()
+		res := sched.Run(vm, 4, 0)
+		close(stop)
+		wg.Wait()
+		if !res.AllDone {
+			t.Fatalf("round %d: run did not finish: %+v", round, res)
+		}
+		want := icStressExpected(icStressIters)
+		for k, th := range threads {
+			if th.Err() != nil {
+				t.Fatalf("round %d bundle%d: host error %v", round, k, th.Err())
+			}
+			if k == 1 {
+				// The victim either finished before the kill landed or died
+				// with the termination exception; both are legal.
+				if th.Failure() != nil {
+					continue
+				}
+			}
+			if th.Failure() != nil {
+				t.Fatalf("round %d bundle%d: guest failure %v", round, k, th.FailureString())
+			}
+			if th.Result().I != want {
+				t.Fatalf("round %d bundle%d: result %d, want %d", round, k, th.Result().I, want)
+			}
+		}
+
+		// The stress must actually have driven the two sites into their
+		// terminal states: stable two-way polymorphic and megamorphic.
+		hammerClass, err := vm.Registry().Bootstrap().Lookup("sys/icb/Hammer")
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertSite := func(name string, wantN int, wantMega bool) {
+			m, err := hammerClass.LookupMethod(name, "(Ljava/lang/Object;Ljava/lang/Object;Ljava/lang/Object;I)I")
+			if err != nil {
+				t.Fatal(err)
+			}
+			line := icSiteLine(t, m, bytecode.PModeIsolated)
+			if line == nil || line.N != wantN || line.Mega != wantMega {
+				t.Fatalf("round %d %s: line %+v, want {N:%d Mega:%v}", round, name, line, wantN, wantMega)
+			}
+		}
+		assertSite("hammerPoly", 2, false)
+		assertSite("hammerMega", 0, true)
+	}
+}

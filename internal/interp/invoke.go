@@ -86,6 +86,31 @@ func (vm *VM) SpawnThread(name string, creator *core.Isolate, m *classfile.Metho
 	return t, nil
 }
 
+// invokeResolved is the invocation tail shared by the inline-cache and
+// resolved-entry fast paths: target is already resolved — and, for
+// instance calls, the receiver known non-null; for static calls, the
+// class known initialized — so only the argument hand-off remains. The
+// caller's pc advances before frames are pushed so returns resume after
+// the call site; nargs is the argument-window size baked into the
+// prepared instruction (receiver included). Prepared code verified the
+// operand-stack discipline, so the window needs no depth check.
+func (vm *VM) invokeResolved(t *Thread, f *Frame, target *classfile.Method, nargs int, hasRecv bool, next int32) error {
+	args := f.stack[len(f.stack)-nargs:]
+	f.pc = next
+	// As in invokeEntry: pendingArgs keeps the truncated window visible
+	// to the GC root scan until the callee owns the values.
+	t.pendingArgs = args
+	f.stack = f.stack[:len(f.stack)-nargs]
+	var err error
+	if target.IsNative() {
+		err = vm.callNative(t, f, target, args, hasRecv)
+	} else {
+		err = vm.pushFrame(t, target, args, nil)
+	}
+	t.pendingArgs = nil
+	return err
+}
+
 // Threads returns all threads ever created (including finished ones that
 // have not been pruned).
 func (vm *VM) Threads() []*Thread {
@@ -173,6 +198,9 @@ func (vm *VM) pushFrame(t *Thread, m *classfile.Method, args []heap.Value, isoOv
 	f.pcode = pcode
 	f.callerIso = callerIso
 	f.needsMonitor = mon
+	if mon != nil {
+		t.slowStep = true // acquire before the first instruction
+	}
 	copy(f.locals, args)
 	for i := len(args); i < nLocals; i++ {
 		f.locals[i] = heap.Null()

@@ -73,6 +73,7 @@ func NativeBlocked() (NativeResult, error) {
 // StageResumeValue arranges for v to be pushed on the caller's operand
 // stack when the thread wakes (blocking natives with results).
 func (t *Thread) StageResumeValue(v heap.Value) {
+	t.slowStep = true
 	if v.Kind == 0 || v.Kind == voidKind {
 		t.resumeKind = resumePushVoid
 		return
@@ -83,11 +84,15 @@ func (t *Thread) StageResumeValue(v heap.Value) {
 
 // StageResumeVoid arranges for nothing to be pushed on wake (void blocking
 // natives).
-func (t *Thread) StageResumeVoid() { t.resumeKind = resumePushVoid }
+func (t *Thread) StageResumeVoid() {
+	t.slowStep = true
+	t.resumeKind = resumePushVoid
+}
 
 // StageResumeThrow arranges for obj to be thrown in the caller when the
 // thread wakes (e.g. InterruptedException).
 func (t *Thread) StageResumeThrow(obj *heap.Object) {
+	t.slowStep = true
 	t.resumeKind = resumeThrowKind
 	t.resumeThrow = obj
 }

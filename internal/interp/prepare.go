@@ -5,6 +5,7 @@ import (
 
 	"ijvm/internal/bytecode"
 	"ijvm/internal/classfile"
+	"ijvm/internal/core"
 )
 
 // This file implements the code-preparation ("quickening") pass that
@@ -43,21 +44,34 @@ import (
 // rejected; they execute through the reference switch path forever.
 var unpreparable = &bytecode.PCode{}
 
-// preparedCode returns the quickened form of m, preparing and caching it
-// on first invocation. It returns nil when the VM runs seed-style
-// dispatch (Options.DisablePrepare) or the method is unpreparable.
+// pmodeIndex maps an isolation mode to its prepared-form cache slot.
+func pmodeIndex(mode core.Mode) int {
+	if mode == core.ModeIsolated {
+		return bytecode.PModeIsolated
+	}
+	return bytecode.PModeShared
+}
+
+// preparedCode returns the quickened form of m for the VM's current
+// isolation mode, preparing and caching it on first invocation. Each
+// mode has an independent quickening (and therefore independent inline
+// caches); the mode-specialized handler table the VM dispatches through
+// is selected to match in NewVM and SetIsolationMode. It returns nil
+// when the VM runs seed-style dispatch (Options.DisablePrepare) or the
+// method is unpreparable.
 func (vm *VM) preparedCode(m *classfile.Method) *bytecode.PCode {
 	if vm.opts.DisablePrepare {
 		return nil
 	}
+	mode := vm.pmode
 	code := m.Code
-	p := code.Prepared()
+	p := code.Prepared(mode)
 	if p == nil {
 		p = prepareMethod(m)
 		if p == nil {
 			p = unpreparable
 		}
-		p = code.StorePrepared(p)
+		p = code.StorePrepared(mode, p)
 	}
 	if len(p.Instrs) == 0 {
 		return nil
@@ -201,6 +215,17 @@ func prepareMethod(m *classfile.Method) *bytecode.PCode {
 		}
 		if entries[pc] != nil {
 			instrs[pc].Ref = entries[pc]
+		}
+		switch in.Op {
+		case bytecode.OpInvokeStatic, bytecode.OpInvokeVirtual, bytecode.OpInvokeSpecial:
+			// The argument-window size (receiver included) is exactly the
+			// invoke's verified pop count; baking it into B lets the fast
+			// paths find the receiver and slice the window without
+			// consulting the resolved descriptor.
+			instrs[pc].B = pops[pc]
+			if in.Op == bytecode.OpInvokeVirtual {
+				instrs[pc].IC = new(bytecode.ICache)
+			}
 		}
 	}
 	return &bytecode.PCode{

@@ -1,0 +1,378 @@
+package interp_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"ijvm/internal/bytecode"
+	"ijvm/internal/classfile"
+	"ijvm/internal/core"
+	"ijvm/internal/heap"
+	"ijvm/internal/interp"
+	"ijvm/internal/syslib"
+)
+
+// This file is the randomized differential oracle for the quickened,
+// inline-cached dispatch: a seeded generator produces small *verified*
+// programs exercising virtual calls (mono- and polymorphic receivers),
+// static cross-isolate calls, branches, monitors, guest exceptions
+// (caught and uncaught) and array traffic, and every program is replayed
+// under all four configurations {prepared+IC, seed switch} × {Shared,
+// Isolated}. Within each mode the prepared run must match the seed run
+// byte-for-byte: guest result, failure, output, total instructions,
+// virtual clock, per-isolate instruction/CPU-sample accounting, and the
+// post-GC heap statistics (allocation counters and heap-reachable live
+// objects/bytes).
+
+// oracleFragKind enumerates the loop-body building blocks the generator
+// composes.
+type oracleFragKind int
+
+const (
+	fragArith oracleFragKind = iota
+	fragVirtualMono
+	fragVirtualPoly
+	fragCrossStatic
+	fragMonitor
+	fragCatchDiv
+	fragCatchNull
+	fragArray
+	fragSpecial
+	numFragKinds
+)
+
+// oracleFrag is one loop-body fragment. Fields are interpreted per kind.
+type oracleFrag struct {
+	kind    oracleFragKind
+	op      int   // arith operator selector
+	c       int64 // immediate constant
+	r1, r2  int   // receiver selectors (< numImpls)
+	divisor int64 // fragCatchDiv: 0 forces the caught exception
+	arrLen  int64 // fragArray
+	arrIdx  int64 // fragArray: may be out of bounds (caught)
+}
+
+// oracleProgram is a fully generated program, independent of any VM so
+// the same spec can be materialized into the four configurations.
+type oracleProgram struct {
+	seed       int64
+	numImpls   int
+	implKind   []int   // per-impl body shape (0..2)
+	implConst  []int64 // per-impl constant
+	loopN      int64
+	frags      []oracleFrag
+	uncaughtAt int // index of a fragment whose divisor is zeroed WITHOUT a handler; -1 if none
+}
+
+// genOracleProgram derives a program deterministically from seed.
+func genOracleProgram(seed int64) oracleProgram {
+	r := rand.New(rand.NewSource(seed))
+	p := oracleProgram{
+		seed:       seed,
+		numImpls:   1 + r.Intn(4),
+		loopN:      int64(3 + r.Intn(40)),
+		uncaughtAt: -1,
+	}
+	for k := 0; k < p.numImpls; k++ {
+		p.implKind = append(p.implKind, r.Intn(3))
+		p.implConst = append(p.implConst, int64(r.Intn(201)-100))
+	}
+	nfrags := 2 + r.Intn(7)
+	for j := 0; j < nfrags; j++ {
+		f := oracleFrag{
+			kind:    oracleFragKind(r.Intn(int(numFragKinds))),
+			op:      r.Intn(6),
+			c:       int64(r.Intn(199) - 99),
+			r1:      r.Intn(p.numImpls),
+			r2:      r.Intn(p.numImpls),
+			divisor: int64(r.Intn(5)), // 0 in ~20% of div fragments
+			arrLen:  int64(1 + r.Intn(4)),
+		}
+		f.arrIdx = int64(r.Intn(int(f.arrLen) + 1)) // == arrLen in ~25%: caught OOB
+		p.frags = append(p.frags, f)
+	}
+	// A few percent of programs terminate with an uncaught guest
+	// exception to exercise unwinding and thread failure on both paths.
+	if r.Intn(25) == 0 {
+		p.uncaughtAt = r.Intn(len(p.frags))
+	}
+	return p
+}
+
+const (
+	oraBase = "ora/Base"
+	oraSvc  = "peer/Svc"
+	oraMain = "ora/Main"
+)
+
+func oraImpl(k int) string { return fmt.Sprintf("ora/Impl%d", k) }
+
+// emitArith emits the selected binary operator (division-free; division
+// is covered by fragCatchDiv where the exception is expected).
+func emitArith(a *bytecode.Assembler, op int) {
+	switch op {
+	case 0:
+		a.IAdd()
+	case 1:
+		a.ISub()
+	case 2:
+		a.IMul()
+	case 3:
+		a.IXor()
+	case 4:
+		a.IAnd()
+	default:
+		a.IOr()
+	}
+}
+
+// oracleMainClasses builds the main-isolate classes of p: the receiver
+// hierarchy and the generated entry point.
+func oracleMainClasses(p oracleProgram) []*classfile.Class {
+	defaultInit := func(super string) func(a *bytecode.Assembler) {
+		return func(a *bytecode.Assembler) {
+			a.ALoad(0).InvokeSpecial(super, classfile.InitName, "()V").Return()
+		}
+	}
+	base := classfile.NewClass(oraBase).
+		Field("v", classfile.KindInt).
+		Method(classfile.InitName, "()V", 0, defaultInit(classfile.ObjectClassName)).
+		Method("f", "(I)I", 0, func(a *bytecode.Assembler) {
+			a.ILoad(1).Const(1).IAdd().IReturn()
+		}).
+		Method("p", "(I)I", 0, func(a *bytecode.Assembler) {
+			a.ILoad(1).Const(3).IMul().IReturn()
+		}).MustBuild()
+	classes := []*classfile.Class{base}
+	for k := 0; k < p.numImpls; k++ {
+		kind, c := p.implKind[k], p.implConst[k]
+		classes = append(classes, classfile.NewClass(oraImpl(k)).Super(oraBase).
+			Method(classfile.InitName, "()V", 0, defaultInit(oraBase)).
+			Method("f", "(I)I", 0, func(a *bytecode.Assembler) {
+				switch kind {
+				case 0: // pure arithmetic
+					a.ILoad(1).Const(c).IAdd().IReturn()
+				case 1: // reads the inherited field
+					a.ILoad(1).ALoad(0).GetField(oraBase, "v").IAdd().Const(c).IXor().IReturn()
+				default: // writes the inherited field
+					a.ALoad(0).ILoad(1).PutField(oraBase, "v")
+					a.ILoad(1).Const(c).ISub().IReturn()
+				}
+			}).MustBuild())
+	}
+
+	recvSlot := func(r int) int { return 3 + r }
+	tmpSlot := 3 + p.numImpls
+	main := classfile.NewClass(oraMain).
+		Method("run", "(I)I", classfile.FlagStatic, func(a *bytecode.Assembler) {
+			for k := 0; k < p.numImpls; k++ {
+				a.New(oraImpl(k)).Dup().
+					InvokeSpecial(oraImpl(k), classfile.InitName, "()V").
+					AStore(recvSlot(k))
+			}
+			a.ILoad(0).IStore(1)
+			a.Const(0).IStore(2)
+			a.Label("loop")
+			a.ILoad(2).Const(p.loopN).IfICmpGe("done")
+			for j, f := range p.frags {
+				s := fmt.Sprintf("s%d", j)
+				h := fmt.Sprintf("h%d", j)
+				after := fmt.Sprintf("a%d", j)
+				switch f.kind {
+				case fragArith:
+					a.ILoad(1)
+					if f.op%2 == 0 {
+						a.Const(f.c)
+					} else {
+						a.ILoad(2)
+					}
+					emitArith(a, f.op)
+					a.IStore(1)
+				case fragVirtualMono:
+					a.ALoad(recvSlot(f.r1)).ILoad(1).
+						InvokeVirtual(oraBase, "f", "(I)I").IStore(1)
+				case fragVirtualPoly:
+					// Data-dependent receiver: one call site sees several
+					// classes, driving the site mono -> poly (-> mega with
+					// enough impls across fragments).
+					a.ILoad(2).Const(1).IAnd().IfEq(s)
+					a.ALoad(recvSlot(f.r1)).Goto(after)
+					a.Label(s).ALoad(recvSlot(f.r2))
+					a.Label(after).ILoad(1).
+						InvokeVirtual(oraBase, "f", "(I)I").IStore(1)
+				case fragCrossStatic:
+					a.ILoad(1).InvokeStatic(oraSvc, "g", "(I)I").IStore(1)
+				case fragMonitor:
+					a.ALoad(recvSlot(f.r1)).MonitorEnter()
+					a.ILoad(1).Const(f.c).IAdd().IStore(1)
+					a.ALoad(recvSlot(f.r1)).MonitorExit()
+				case fragCatchDiv:
+					a.Label(s).ILoad(1).Const(f.divisor).IDiv().IStore(1).Goto(after)
+					a.Label(h).Pop().ILoad(1).Const(7).IAdd().IStore(1)
+					a.Label(after)
+					a.Handler(s, h, h, "java/lang/ArithmeticException")
+				case fragCatchNull:
+					a.Label(s).Null().AThrow()
+					a.Label(h).Pop().ILoad(1).Const(11).IXor().IStore(1)
+					a.Handler(s, h, h, "java/lang/NullPointerException")
+				case fragArray:
+					a.Const(f.arrLen).NewArray("").AStore(tmpSlot)
+					a.Label(s).ALoad(tmpSlot).Const(f.arrIdx).ILoad(1).ArrayStore().Goto(after)
+					a.Label(h).Pop().ILoad(1).Const(13).IAdd().IStore(1)
+					a.Label(after)
+					a.Handler(s, h, h, "java/lang/ArrayIndexOutOfBoundsException")
+					safe := f.arrIdx % f.arrLen
+					a.ALoad(tmpSlot).Const(safe).ArrayLoad().IStore(1)
+				case fragSpecial:
+					a.ALoad(recvSlot(f.r1)).ILoad(1).
+						InvokeSpecial(oraBase, "p", "(I)I").IStore(1)
+				}
+			}
+			a.IInc(2, 1).Goto("loop")
+			a.Label("done").ILoad(1).IReturn()
+		}).MustBuild()
+
+	// The uncaught-exception variant divides by zero outside any handler
+	// on the last loop iteration.
+	if p.uncaughtAt >= 0 {
+		main = classfile.NewClass(oraMain).
+			Method("run", "(I)I", classfile.FlagStatic, func(a *bytecode.Assembler) {
+				a.ILoad(0).Const(0).IDiv().IReturn()
+			}).MustBuild()
+	}
+	return append(classes, main)
+}
+
+// oraclePeerClasses builds the peer classes (a foreign isolate under
+// I-JVM, a plain second loader under the baseline).
+func oraclePeerClasses() []*classfile.Class {
+	return []*classfile.Class{
+		classfile.NewClass(oraSvc).
+			StaticField("s", classfile.KindInt).
+			Method("g", "(I)I", classfile.FlagStatic, func(a *bytecode.Assembler) {
+				a.GetStatic(oraSvc, "s").ILoad(0).IAdd().
+					Dup().PutStatic(oraSvc, "s").IReturn()
+			}).MustBuild(),
+	}
+}
+
+// oracleTrace is the full comparison surface of one run.
+type oracleTrace struct {
+	result  int64
+	failure string
+	output  string
+	total   int64
+	clock   int64
+	// name -> {Instructions, CPUSamples, AllocatedObjects,
+	// AllocatedBytes, LiveObjects, LiveBytes} (live figures post-GC:
+	// the heap-reachable result surface).
+	perIsolate map[string][6]int64
+}
+
+func (a oracleTrace) diff(b oracleTrace) string {
+	switch {
+	case a.result != b.result:
+		return fmt.Sprintf("result %d != %d", a.result, b.result)
+	case a.failure != b.failure:
+		return fmt.Sprintf("failure %q != %q", a.failure, b.failure)
+	case a.output != b.output:
+		return fmt.Sprintf("output %q != %q", a.output, b.output)
+	case a.total != b.total:
+		return fmt.Sprintf("total instructions %d != %d", a.total, b.total)
+	case a.clock != b.clock:
+		return fmt.Sprintf("clock %d != %d", a.clock, b.clock)
+	case len(a.perIsolate) != len(b.perIsolate):
+		return fmt.Sprintf("isolate count %d != %d", len(a.perIsolate), len(b.perIsolate))
+	}
+	for iso, av := range a.perIsolate {
+		bv, ok := b.perIsolate[iso]
+		if !ok {
+			return fmt.Sprintf("isolate %s missing", iso)
+		}
+		if av != bv {
+			return fmt.Sprintf("isolate %s {instr, samples, allocObj, allocB, liveObj, liveB} %v != %v", iso, av, bv)
+		}
+	}
+	return ""
+}
+
+// runOracleProgram materializes and executes p under one configuration.
+func runOracleProgram(t *testing.T, p oracleProgram, mode core.Mode, seedDispatch bool) oracleTrace {
+	t.Helper()
+	vm := interp.NewVM(interp.Options{Mode: mode, DisablePrepare: seedDispatch})
+	syslib.MustInstall(vm)
+	iso, err := vm.NewIsolate("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	peerLoader := iso.Loader()
+	if mode == core.ModeIsolated {
+		peer, err := vm.NewIsolate("peer")
+		if err != nil {
+			t.Fatal(err)
+		}
+		peerLoader = peer.Loader()
+	} else {
+		peerLoader = vm.Registry().NewLoader("peer")
+	}
+	if err := peerLoader.DefineAll(oraclePeerClasses()); err != nil {
+		t.Fatal(err)
+	}
+	iso.Loader().AddDelegate(peerLoader)
+	if err := iso.Loader().DefineAll(oracleMainClasses(p)); err != nil {
+		t.Fatal(err)
+	}
+	c, err := iso.Loader().Lookup(oraMain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := c.LookupMethod("run", "(I)I")
+	if err != nil {
+		t.Fatal(err)
+	}
+	arg := p.seed % 97
+	v, th, err := vm.CallRoot(iso, m, []heap.Value{heap.IntVal(arg)}, 5_000_000)
+	if err != nil {
+		t.Fatalf("seed %d mode %v seedDispatch %v: host error: %v", p.seed, mode, seedDispatch, err)
+	}
+	vm.CollectGarbage(nil)
+	tr := oracleTrace{
+		result:     v.I,
+		failure:    th.FailureString(),
+		output:     vm.Output(),
+		total:      vm.TotalInstructions(),
+		clock:      vm.Clock(),
+		perIsolate: make(map[string][6]int64),
+	}
+	for _, s := range vm.Snapshots() {
+		tr.perIsolate[s.IsolateName] = [6]int64{
+			s.Instructions, s.CPUSamples,
+			s.AllocatedObjects, s.AllocatedBytes,
+			s.LiveObjects, s.LiveBytes,
+		}
+	}
+	return tr
+}
+
+// TestRandomizedDifferentialOracle replays >= 500 generated programs on
+// prepared-IC vs seed-style dispatch in both modes and demands
+// byte-identical traces.
+func TestRandomizedDifferentialOracle(t *testing.T) {
+	n := 500
+	if testing.Short() {
+		n = 60
+	}
+	for i := 0; i < n; i++ {
+		seed := int64(i)*2654435761 + 99991
+		p := genOracleProgram(seed)
+		for _, mode := range []core.Mode{core.ModeShared, core.ModeIsolated} {
+			ref := runOracleProgram(t, p, mode, true)
+			got := runOracleProgram(t, p, mode, false)
+			if d := ref.diff(got); d != "" {
+				t.Fatalf("program %d (seed %d) mode %v: prepared-IC diverges from seed dispatch: %s",
+					i, seed, mode, d)
+			}
+		}
+	}
+}

@@ -1,0 +1,160 @@
+package interp_test
+
+import (
+	"testing"
+
+	"ijvm/internal/bytecode"
+	"ijvm/internal/classfile"
+	"ijvm/internal/core"
+	"ijvm/internal/heap"
+	"ijvm/internal/interp"
+	"ijvm/internal/syslib"
+)
+
+// requickenClasses builds a counter class (static state) and a driver
+// whose run(I)I spins n iterations bumping the static counter through an
+// invokevirtual site — enough surface to prove statics, inline caches
+// and live frames survive a mode flip.
+func requickenClasses() []*classfile.Class {
+	init := func(a *bytecode.Assembler) {
+		a.ALoad(0).InvokeSpecial(classfile.ObjectClassName, classfile.InitName, "()V").Return()
+	}
+	counter := classfile.NewClass("rq/Counter").
+		StaticField("total", classfile.KindInt).
+		Method(classfile.InitName, "()V", 0, init).
+		Method("bump", "(I)I", 0, func(a *bytecode.Assembler) {
+			a.GetStatic("rq/Counter", "total").ILoad(1).IAdd().
+				Dup().PutStatic("rq/Counter", "total").IReturn()
+		}).MustBuild()
+	driver := classfile.NewClass("rq/Driver").
+		Method("run", "(I)I", classfile.FlagStatic, func(a *bytecode.Assembler) {
+			a.New("rq/Counter").Dup().
+				InvokeSpecial("rq/Counter", classfile.InitName, "()V").AStore(1)
+			a.Const(0).IStore(2)
+			a.Label("loop").ILoad(2).ILoad(0).IfICmpGe("done")
+			a.ALoad(1).Const(1).InvokeVirtual("rq/Counter", "bump", "(I)I").Pop()
+			a.IInc(2, 1).Goto("loop")
+			a.Label("done").GetStatic("rq/Counter", "total").IReturn()
+		}).MustBuild()
+	return []*classfile.Class{counter, driver}
+}
+
+// TestSetIsolationModeRequickens boots a Shared-mode VM, runs warm
+// (populating the Shared quickening, its inline caches and the pool
+// entries' ResolvedMirror caches), then flips to Isolated mode —
+// including mid-run, with live partially-executed frames — and checks
+// that execution continues correctly on the Isolated quickening, that
+// isolate 0's statics survive the flip, and that a fresh second isolate
+// (impossible under Shared mode) gets its own mirror.
+func TestSetIsolationModeRequickens(t *testing.T) {
+	vm := interp.NewVM(interp.Options{Mode: core.ModeShared})
+	syslib.MustInstall(vm)
+	iso, err := vm.NewIsolate("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := iso.Loader().DefineAll(requickenClasses()); err != nil {
+		t.Fatal(err)
+	}
+	c, _ := iso.Loader().Lookup("rq/Driver")
+	m, err := c.LookupMethod("run", "(I)I")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Warm run under Shared dispatch.
+	v, th, err := vm.CallRoot(iso, m, []heap.Value{heap.IntVal(10)}, 1_000_000)
+	if err != nil || th.Failure() != nil {
+		t.Fatalf("shared run: %v / %v", err, th.FailureString())
+	}
+	if v.I != 10 {
+		t.Fatalf("shared run total = %d, want 10", v.I)
+	}
+	if m.Code.Prepared(bytecode.PModeShared) == nil {
+		t.Fatal("shared quickening missing after warm run")
+	}
+
+	// Flip mid-run: spawn a long run, execute part of it, flip, finish.
+	th2, err := vm.SpawnThread("flip", iso, m, []heap.Value{heap.IntVal(1000)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm.RunUntil(th2, 500) // partial: live frames hold Shared pcode
+	if th2.Done() {
+		t.Fatal("thread finished before the flip; raise the iteration count")
+	}
+	if err := vm.SetIsolationMode(core.ModeIsolated); err != nil {
+		t.Fatalf("SetIsolationMode: %v", err)
+	}
+	if !vm.World().Isolated() {
+		t.Fatal("world did not flip to isolated")
+	}
+	res := vm.RunUntil(th2, 0)
+	if !res.TargetDone || th2.Failure() != nil || th2.Err() != nil {
+		t.Fatalf("post-flip run: %+v / %v / %v", res, th2.FailureString(), th2.Err())
+	}
+	// Statics survive the flip (isolate 0 indexes mirror slot 0 in both
+	// modes): 10 from the warm run plus 1000 from the flipped run.
+	if th2.Result().I != 1010 {
+		t.Fatalf("post-flip total = %d, want 1010", th2.Result().I)
+	}
+	if m.Code.Prepared(bytecode.PModeIsolated) == nil {
+		t.Fatal("isolated quickening missing after flip")
+	}
+
+	// A second isolate is now legal and gets its own statics: its run
+	// starts a fresh mirror (counter 0), while isolate 0 keeps its own.
+	iso2, err := vm.NewIsolate("tenant")
+	if err != nil {
+		t.Fatalf("NewIsolate after flip: %v", err)
+	}
+	if err := iso2.Loader().DefineAll(requickenClasses()); err != nil {
+		t.Fatal(err)
+	}
+	c2, _ := iso2.Loader().Lookup("rq/Driver")
+	m2, _ := c2.LookupMethod("run", "(I)I")
+	v2, th3, err := vm.CallRoot(iso2, m2, []heap.Value{heap.IntVal(7)}, 1_000_000)
+	if err != nil || th3.Failure() != nil {
+		t.Fatalf("tenant run: %v / %v", err, th3.FailureString())
+	}
+	if v2.I != 7 {
+		t.Fatalf("tenant total = %d, want 7 (fresh per-isolate statics)", v2.I)
+	}
+	v3, th4, err := vm.CallRoot(iso, m, []heap.Value{heap.IntVal(5)}, 1_000_000)
+	if err != nil || th4.Failure() != nil {
+		t.Fatalf("main re-run: %v / %v", err, th4.FailureString())
+	}
+	if v3.I != 1015 {
+		t.Fatalf("main total after tenant run = %d, want 1015", v3.I)
+	}
+
+	// Isolated -> Shared is rejected while two isolates exist.
+	if err := vm.SetIsolationMode(core.ModeShared); err == nil {
+		t.Fatal("flip back to shared with two isolates should fail")
+	}
+}
+
+// TestSetIsolationModeSharedDowngrade covers the legal reverse flip: a
+// single-isolate Isolated VM may downgrade to Shared semantics.
+func TestSetIsolationModeSharedDowngrade(t *testing.T) {
+	vm := interp.NewVM(interp.Options{Mode: core.ModeIsolated})
+	syslib.MustInstall(vm)
+	iso, err := vm.NewIsolate("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := iso.Loader().DefineAll(requickenClasses()); err != nil {
+		t.Fatal(err)
+	}
+	c, _ := iso.Loader().Lookup("rq/Driver")
+	m, _ := c.LookupMethod("run", "(I)I")
+	if v, th, err := vm.CallRoot(iso, m, []heap.Value{heap.IntVal(4)}, 1_000_000); err != nil || th.Failure() != nil || v.I != 4 {
+		t.Fatalf("isolated run: %v / %v", err, th.FailureString())
+	}
+	if err := vm.SetIsolationMode(core.ModeShared); err != nil {
+		t.Fatalf("downgrade: %v", err)
+	}
+	if v, th, err := vm.CallRoot(iso, m, []heap.Value{heap.IntVal(6)}, 1_000_000); err != nil || th.Failure() != nil || v.I != 10 {
+		t.Fatalf("shared re-run: %v / %v (statics must persist)", err, th.FailureString())
+	}
+}

@@ -58,7 +58,6 @@ func (vm *VM) run(budget int64, target *Thread) RunResult {
 	}
 	vm.pruneDoneThreads()
 	var res RunResult
-	isolated := vm.world.Isolated()
 	for {
 		if vm.IsShutdown() {
 			res.Shutdown = true
@@ -88,7 +87,7 @@ func (vm *VM) run(budget int64, target *Thread) RunResult {
 		if remaining := budget - res.Instructions; remaining < quantum {
 			quantum = remaining
 		}
-		res.Instructions += vm.runQuantum(t, quantum, target, isolated)
+		res.Instructions += vm.runQuantum(t, quantum, target)
 	}
 }
 
@@ -99,13 +98,23 @@ func (vm *VM) run(budget int64, target *Thread) RunResult {
 // on isolate migration) and are published to the atomics once per
 // quantum — the per-instruction hot path performs no atomic operations.
 // Per-isolate attribution is unchanged: every instruction is charged to
-// the isolate that is current after the step.
-func (vm *VM) runQuantum(t *Thread, quantum int64, target *Thread, isolated bool) int64 {
+// the isolate that is current after the step. The hoisted mode is
+// refreshed whenever SetIsolationMode raises seqModeFlip (a plain field
+// beside the batch counters the loop already touches), so an
+// on-goroutine flip — from a native mid-quantum, or an admin action
+// between quanta — charges every instruction under the mode it actually
+// executed in without re-reading the atomic mode per step.
+func (vm *VM) runQuantum(t *Thread, quantum int64, target *Thread) int64 {
+	isolated := vm.world.Isolated()
 	var n int64
 	for n < quantum && t.State() == StateRunnable {
 		err := vm.stepThread(t)
 		n++
 		vm.seqPending++
+		if vm.seqModeFlip {
+			vm.seqModeFlip = false
+			isolated = vm.world.Isolated()
+		}
 		if isolated {
 			cur := t.cur
 			vm.seqBatch.Note(cur.Account())

@@ -200,6 +200,15 @@ type Thread struct {
 	resumeKind  resumeKind
 	resumeThrow *heap.Object
 
+	// slowStep, when set, routes the next step through the staged-work
+	// prologue (synchronized-entry monitor acquisition, the resume slots
+	// above) so the steady-state dispatch checks a single flag instead of
+	// every staging slot. Conservative: a stale true costs one empty
+	// prologue pass; it must be set whenever any staged work exists. It
+	// follows the same ownership contract as the resume slots (written by
+	// wake operations only while the thread is parked, under VM.schedMu).
+	slowStep bool
+
 	// pendingArgs is the in-flight invocation argument window between
 	// the caller's stack truncation and the callee's locals copy (or the
 	// native call's completion). buildRootSets scans it so an allocation

@@ -68,6 +68,11 @@ type Options struct {
 	// with checked stack discipline. Used as the reference semantics of
 	// the dispatch oracle tests and as an escape hatch.
 	DisablePrepare bool
+	// DisableInlineCaches makes prepared invokes resolve through the
+	// generic path (pool entry + per-class resolution cache) instead of
+	// the per-site polymorphic inline caches — the ablation baseline of
+	// the BenchmarkInvoke_* microbenchmarks.
+	DisableInlineCaches bool
 }
 
 func (o *Options) normalize() {
@@ -102,6 +107,14 @@ type VM struct {
 	world    *core.World
 	heap     *heap.Heap
 
+	// ptable is the mode-specialized prepared-dispatch table and pmode
+	// the matching prepared-form cache index. Both are fixed at
+	// construction and only change inside SetIsolationMode's
+	// stopped-world section (which also re-quickens every live frame),
+	// so the execution engines read them without synchronization.
+	ptable *[256]phandler
+	pmode  int
+
 	// threadsMu guards the thread registry (threads, nextThreadID);
 	// liveThreads is atomic so schedulers can poll it lock-free.
 	threadsMu    sync.Mutex
@@ -126,8 +139,12 @@ type VM struct {
 	// running Run/RunUntil): instructions and clock ticks accumulate in
 	// these plain counters and are flushed to the atomics at quantum
 	// boundaries and sequential safepoints (see flushSequential).
-	seqBatch   core.InstrBatch
-	seqPending int64
+	// seqModeFlip tells runQuantum to refresh its hoisted isolation-mode
+	// flag; SetIsolationMode raises it under the same ownership contract
+	// (the executing goroutine, or no run in progress).
+	seqBatch    core.InstrBatch
+	seqPending  int64
+	seqModeFlip bool
 
 	// framePool recycles activation records (and their local/stack
 	// slices) across pushFrame/popFrame.
@@ -195,6 +212,8 @@ func NewVM(opts Options) *VM {
 		registry:  registry,
 		world:     core.NewWorld(opts.Mode, registry),
 		heap:      h,
+		ptable:    handlerTable(opts.Mode, opts.DisableInlineCaches),
+		pmode:     pmodeIndex(opts.Mode),
 		pinned:    make(map[heap.IsolateID][]*heap.Object),
 		waiters:   make(map[*heap.Object][]*Thread),
 		wellKnown: make(map[string]*classfile.Class),

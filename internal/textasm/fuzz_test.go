@@ -1,0 +1,42 @@
+package textasm
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzParse throws arbitrary source at the assembler-text parser. The
+// contract under test: Parse never panics — malformed input is rejected
+// with a *ParseError (or parses cleanly), never by crashing the host.
+// The corpus is seeded from the real example programs so the fuzzer
+// starts from deep inside the grammar.
+func FuzzParse(f *testing.F) {
+	for _, name := range []string{"hello.jasm", "quicksort.jasm", "sieve.jasm"} {
+		src, err := os.ReadFile(filepath.Join("../../examples/programs", name))
+		if err != nil {
+			f.Fatalf("seed corpus: %v", err)
+		}
+		f.Add(string(src))
+	}
+	f.Add(".class a/B\n.method run (I)I static\niconst 1\nireturn\n.end\n")
+	f.Add(".class x\n.field f int\n.method m ()V\n.handler a b c java/lang/E\nreturn\n.end\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		classes, err := Parse(src)
+		if err == nil {
+			// A successful parse must produce linkable class structures;
+			// touching them shakes out nil members a lenient parser might
+			// leave behind.
+			for _, c := range classes {
+				if c == nil || c.Pool == nil {
+					t.Fatalf("Parse returned nil class or pool without error")
+				}
+				for _, m := range c.Methods {
+					if m.Code == nil && m.Native == nil {
+						t.Fatalf("method %s has neither code nor native", m.Name)
+					}
+				}
+			}
+		}
+	})
+}
