@@ -235,11 +235,11 @@ func dragEvent(vm *interp.VM, iso *core.Isolate) (heap.Value, error) {
 	if err != nil {
 		return heap.Value{}, err
 	}
-	arr, err := vm.AllocArrayIn(objClass, 8, iso)
+	arr, err := vm.AllocArrayIn(nil, objClass, 8, iso)
 	if err != nil {
 		return heap.Value{}, err
 	}
-	str, err := vm.NewStringObject(iso, "drag-event")
+	str, err := vm.NewStringObject(nil, iso, "drag-event")
 	if err != nil {
 		return heap.Value{}, err
 	}

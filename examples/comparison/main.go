@@ -100,11 +100,11 @@ func scenario(mode ijvm.Mode) error {
 	}
 
 	// String identity across bundles (§3.5).
-	v1, err := vm.Inner().InternString(victim.Core(), "shared-literal")
+	v1, err := vm.Inner().InternString(nil, victim.Core(), "shared-literal")
 	if err != nil {
 		return err
 	}
-	m1, err := vm.Inner().InternString(malice.Core(), "shared-literal")
+	m1, err := vm.Inner().InternString(nil, malice.Core(), "shared-literal")
 	if err != nil {
 		return err
 	}

@@ -198,7 +198,7 @@ func RunA2(mode core.Mode) (Result, error) {
 	if err != nil {
 		return res, err
 	}
-	holder, err := e.vm.AllocObjectIn(mc, malice.Isolate())
+	holder, err := e.vm.AllocObjectIn(nil, mc, malice.Isolate())
 	if err != nil {
 		return res, err
 	}

@@ -19,6 +19,10 @@ import "sync/atomic"
 //     the pool entry — so distinct call sites of one method reference
 //     keep independent dispatch histories, and a re-quickening (mode
 //     flip, poisoned clone) starts cold.
+//   - FS is the resolved-field slot cache of a getfield/putfield site
+//     (nil for every other instruction), published once on first
+//     resolution so later executions index the receiver's field array
+//     directly (same immutable-publish shape as IC).
 //   - B holds, for the three invoke opcodes, the argument-window size
 //     (declared parameters plus the receiver for instance calls),
 //     precomputed from the referenced descriptor so fast paths never
@@ -27,6 +31,7 @@ import "sync/atomic"
 type PInstr struct {
 	Ref any
 	IC  *ICache
+	FS  *FieldSlot
 	I   int64
 	F   float64
 	A   int32

@@ -1,6 +1,10 @@
 package core
 
-import "sync/atomic"
+import (
+	"sync/atomic"
+
+	"ijvm/internal/heap"
+)
 
 // AccountCounters holds the mutable per-isolate resource counters the
 // paper's resource accounting maintains (§3.2). Memory counters live in
@@ -107,6 +111,52 @@ func (b *InstrBatch) Flush() {
 		b.acc.Instructions.Add(b.n)
 	}
 	b.n = 0
+}
+
+// ByteBatch accumulates per-isolate allocation charges (objects, bytes,
+// connections) in plain local counters and publishes them with a few
+// atomic adds when the charged isolate changes or a quantum/safepoint
+// boundary flushes the batch — the allocation counterpart of InstrBatch.
+// Both execution engines use it for domain (shard-local) allocation, so
+// the allocation fast path performs no shared atomic statistic updates;
+// per-isolate attribution stays exact at every flush point, and the
+// stop-the-world accounting GC observes exact totals (workers flush at
+// quantum boundaries before parking, and the allocation-pressure path
+// flushes before triggering a collection).
+//
+// A ByteBatch is single-goroutine state: it must only be used by the
+// goroutine executing the allocations it charges.
+type ByteBatch struct {
+	acc     *heap.AllocCounters
+	objects int64
+	bytes   int64
+	conns   int64
+}
+
+// Note charges one allocation of size bytes to acc, flushing the pending
+// batch first when the charged isolate changed.
+func (b *ByteBatch) Note(acc *heap.AllocCounters, size int64, conn bool) {
+	if acc != b.acc {
+		b.Flush()
+		b.acc = acc
+	}
+	b.objects++
+	b.bytes += size
+	if conn {
+		b.conns++
+	}
+}
+
+// Flush publishes the pending charges with one atomic add per counter.
+func (b *ByteBatch) Flush() {
+	if b.acc != nil && b.objects != 0 {
+		b.acc.Objects.Add(b.objects)
+		b.acc.Bytes.Add(b.bytes)
+		if b.conns != 0 {
+			b.acc.Connections.Add(b.conns)
+		}
+	}
+	b.objects, b.bytes, b.conns = 0, 0, 0
 }
 
 // Account is an immutable plain-integer view of AccountCounters; see the

@@ -35,22 +35,34 @@ type CollectResult struct {
 //
 // Unreachable objects with unexecuted finalizers are kept alive (charged
 // to their creator) and reported in PendingFinalize; everything else
-// unmarked is swept.
+// unmarked is swept. The sweep compacts every allocation domain's object
+// list in place: the world is stopped, so domain owners are parked, and
+// hostMu excludes the (safepoint-oblivious) host-path allocators for the
+// duration.
 func (h *Heap) Collect(rootSets []RootSet) CollectResult {
-	// The world is stopped (see the Heap locking discipline); mu is still
-	// taken so host-side metric reads stay consistent mid-collection.
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	h.gcCount++
+	h.gcMu.Lock()
+	defer h.gcMu.Unlock()
+	h.hostMu.Lock()
+	defer h.hostMu.Unlock()
+	h.gcCount.Add(1)
+	domains := *h.domains.Load()
 
 	// Step 1: reset per-isolate live accounting.
-	h.liveByIso = make(map[IsolateID]*LiveStats, len(rootSets))
+	liveByIso := make(map[IsolateID]*LiveStats, len(rootSets))
+	liveStats := func(iso IsolateID) *LiveStats {
+		s, ok := liveByIso[iso]
+		if !ok {
+			s = &LiveStats{}
+			liveByIso[iso] = s
+		}
+		return s
+	}
 
 	// Steps 2-4: trace each isolate's roots in order; first marker is
 	// charged.
 	var stack []*Object
 	for _, rs := range rootSets {
-		stats := h.liveStats(rs.Isolate)
+		stats := liveStats(rs.Isolate)
 		for _, root := range rs.Refs {
 			stack = h.traceFrom(stack, root, rs.Isolate, stats)
 		}
@@ -59,45 +71,48 @@ func (h *Heap) Collect(rootSets []RootSet) CollectResult {
 	// Finalization: unreachable finalizable objects survive one more
 	// cycle, charged to their creator, with their subgraph resurrected.
 	var res CollectResult
-	for _, o := range h.objects {
-		if o.mark || o.finalized || o.Class == nil || !o.Class.HasFinalizer {
-			continue
+	for _, d := range domains {
+		for _, o := range d.objects {
+			if o.mark || o.finalized || o.Class == nil || !o.Class.HasFinalizer {
+				continue
+			}
+			o.finalized = true
+			res.PendingFinalize = append(res.PendingFinalize, o)
+			stack = h.traceFrom(stack, o, o.Creator, liveStats(o.Creator))
 		}
-		o.finalized = true
-		res.PendingFinalize = append(res.PendingFinalize, o)
-		stack = h.traceFrom(stack, o, o.Creator, h.liveStats(o.Creator))
 	}
 
-	// Sweep.
-	live := h.objects[:0]
-	for _, o := range h.objects {
-		if o.mark {
-			o.mark = false
-			live = append(live, o)
-			res.LiveObjects++
-			res.LiveBytes += o.size
-			continue
+	// Sweep each domain's list in place, reclaiming its unused TLAB
+	// slack (domain owners are parked, so the swap cannot race a
+	// refill).
+	for _, d := range domains {
+		if slack := d.reserved.Swap(0); slack != 0 {
+			h.used.Add(-slack)
 		}
-		o.dead = true
-		res.FreedObjects++
-		res.FreedBytes += o.size
+		live := d.objects[:0]
+		for _, o := range d.objects {
+			if o.mark {
+				o.mark = false
+				live = append(live, o)
+				res.LiveObjects++
+				res.LiveBytes += o.size
+				continue
+			}
+			o.dead = true
+			res.FreedObjects++
+			res.FreedBytes += o.size
+		}
+		// Clear the tail so swept objects become collectible by the host
+		// GC.
+		for i := len(live); i < len(d.objects); i++ {
+			d.objects[i] = nil
+		}
+		d.objects = live
+		d.count.Store(int64(len(live)))
 	}
-	// Clear the tail so swept objects become collectible by the host GC.
-	for i := len(live); i < len(h.objects); i++ {
-		h.objects[i] = nil
-	}
-	h.objects = live
-	h.used -= res.FreedBytes
+	h.used.Add(-res.FreedBytes)
+	h.liveByIso.Store(&liveByIso)
 	return res
-}
-
-func (h *Heap) liveStats(iso IsolateID) *LiveStats {
-	s, ok := h.liveByIso[iso]
-	if !ok {
-		s = &LiveStats{}
-		h.liveByIso[iso] = s
-	}
-	return s
 }
 
 // traceFrom marks the subgraph of root, charging newly marked objects to

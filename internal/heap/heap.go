@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"ijvm/internal/classfile"
 )
@@ -17,47 +18,105 @@ var ErrOutOfMemory = errors.New("heap: out of memory")
 const DefaultLimit = 64 << 20
 
 // AllocStats are the monotonic per-isolate allocation counters maintained
-// at allocation time (creator-charged, per the paper).
+// at allocation time (creator-charged, per the paper), as a plain-integer
+// snapshot of the atomic AllocCounters.
 type AllocStats struct {
 	Objects     int64
 	Bytes       int64
 	Connections int64
 }
 
+// AllocCounters are the live per-isolate allocation counters. They are
+// atomics because they are charged from every allocating context —
+// scheduler workers flushing core.ByteBatch batches, the sequential
+// engine, and host-side allocators — and read by admin-side snapshot
+// code at any time.
+type AllocCounters struct {
+	Objects     atomic.Int64
+	Bytes       atomic.Int64
+	Connections atomic.Int64
+}
+
 // Heap is the single shared heap of the VM. All isolates allocate from it;
 // isolation is purely logical (per-isolate statics/strings/Class objects),
 // exactly as in the paper.
 //
-// # Locking discipline
+// # Allocation domains
 //
-// mu guards the allocator state: the used-bytes counter, the object list
-// and the per-isolate allocation statistics. Allocation, native resizing
-// and the stats accessors take it, so isolates on different scheduler
-// workers may allocate concurrently.
+// Allocation is organized into per-shard allocation domains
+// (AllocDomain): each executing context — one scheduler worker, the
+// sequential engine, the host-side fallback — owns a private domain and
+// allocates through it with no global mutex. A domain owns its object
+// list (merged only at the stop-the-world collection) and a shard-local
+// atomic object count; the heap limit is enforced by one shared atomic
+// reservation counter (used), so admission is a single atomic
+// reserve-or-fail and two racing allocators can never jointly exceed the
+// limit (there is no check-then-act window).
+//
+// Per-isolate allocation statistics live in AllocCounters (atomics).
+// Domain allocation does NOT charge them: the executing engine batches
+// charges in a core.ByteBatch (plain counters, one atomic flush per
+// quantum/isolate switch), exactly like instruction accounting. The
+// Heap-level Alloc* entry points below — the host path used by setup
+// code, RPC endpoint machinery, tests and wake-side throwable
+// allocation — serialize on an internal mutex-guarded host domain and
+// charge the counters directly, so their accounting is exact without a
+// batch to flush.
+//
+// # Locking discipline
 //
 // Collect and PreciseAccounting are stop-the-world: they traverse object
 // graphs (Fields/Elems of every object) that running guest code mutates
-// without locks, so the caller — VM.CollectGarbage via the scheduler's
-// safepoint — must park all workers first. They still take mu for the
-// allocator state they update, which keeps host-side metric reads
-// (Used, NumObjects, GCCount) safe at any time.
+// without locks, and they compact every domain's object list, so the
+// caller — VM.CollectGarbage via the scheduler's safepoint — must park
+// all workers first. Collect additionally takes the host-domain mutex so
+// concurrent host-side allocators (which do not participate in
+// safepoints) cannot race the sweep. Host-side metric reads (Used,
+// NumObjects, GCCount, stats accessors) are lock-free at any time.
 type Heap struct {
-	mu      sync.Mutex
-	limit   int64
-	used    int64
-	objects []*Object
+	limit int64
+	// used is the shared reservation counter: every admission reserves
+	// its size with a CAS against limit before the object becomes
+	// visible. GC subtracts freed bytes; ResizeNative may push it over
+	// the limit (native buffers escape the Java heap limit) and the
+	// overshoot is reconciled at the next collection.
+	used atomic.Int64
 
-	allocs  map[IsolateID]*AllocStats
-	gcCount int64
+	// domains is the copy-on-write registry of allocation domains;
+	// domainMu serializes growth. The slice is append-only and published
+	// atomically so aggregate reads (NumObjects) take no lock.
+	domainMu sync.Mutex
+	domains  atomic.Pointer[[]*AllocDomain]
+
+	// host is the mutex-guarded fallback domain of the Heap-level Alloc*
+	// entry points. hostMu also excludes host allocators during Collect.
+	hostMu sync.Mutex
+	host   *AllocDomain
+
+	// counters is the per-isolate allocation-counter table, indexed by
+	// IsolateID (IDs are dense and assigned in creation order);
+	// countersMu serializes growth, reads are lock-free.
+	countersMu sync.Mutex
+	counters   atomic.Pointer[[]*AllocCounters]
+
+	gcCount atomic.Int64
 	// trackAlloc enables the per-isolate allocation counters; the
 	// baseline (Shared) VM disables it — no resource accounting exists
 	// there, which is part of the A3-A6 story and of I-JVM's measured
 	// allocation overhead (§4.2: "18% overhead ... due to resource
 	// accounting, testing the memory limit ...").
-	trackAlloc bool
+	trackAlloc atomic.Bool
 
-	// liveByIso is the result of the last accounting collection.
-	liveByIso map[IsolateID]*LiveStats
+	// liveByIso is the result of the last accounting collection,
+	// published atomically (written only under the collection's
+	// stop-the-world section).
+	liveByIso atomic.Pointer[map[IsolateID]*LiveStats]
+
+	// gcMu serializes collections (belt and braces under the
+	// stop-the-world contract); resizeMu serializes native-payload
+	// resizes, which mutate an object's modelled size in place.
+	gcMu     sync.Mutex
+	resizeMu sync.Mutex
 }
 
 // LiveStats are the per-isolate results of one accounting collection.
@@ -73,104 +132,239 @@ func New(limit int64) *Heap {
 	if limit <= 0 {
 		limit = DefaultLimit
 	}
-	return &Heap{
-		limit:      limit,
-		allocs:     make(map[IsolateID]*AllocStats),
-		liveByIso:  make(map[IsolateID]*LiveStats),
-		trackAlloc: true,
-	}
+	h := &Heap{limit: limit}
+	empty := []*AllocDomain{}
+	h.domains.Store(&empty)
+	counters := []*AllocCounters{}
+	h.counters.Store(&counters)
+	h.trackAlloc.Store(true)
+	h.host = h.NewDomain()
+	return h
 }
 
 // SetAllocTracking toggles the per-isolate allocation counters (disabled
-// by the baseline VM).
-func (h *Heap) SetAllocTracking(on bool) {
-	h.mu.Lock()
-	h.trackAlloc = on
-	h.mu.Unlock()
-}
+// by the baseline VM; flipped at a safepoint by SetIsolationMode).
+func (h *Heap) SetAllocTracking(on bool) { h.trackAlloc.Store(on) }
+
+// TrackAlloc reports whether per-isolate allocation counters are
+// maintained. Callers charging through a core.ByteBatch consult it
+// before noting a charge.
+func (h *Heap) TrackAlloc() bool { return h.trackAlloc.Load() }
 
 // Limit returns the heap capacity in modelled bytes.
 func (h *Heap) Limit() int64 { return h.limit }
 
-// Used returns the modelled bytes currently allocated.
+// Used returns the modelled bytes currently allocated: the shared
+// reservation counter minus the domains' unused TLAB slack. Lock-free;
+// mid-refill it may transiently over-report by at most one chunk.
 func (h *Heap) Used() int64 {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return h.used
+	used := h.used.Load()
+	for _, d := range *h.domains.Load() {
+		used -= d.reserved.Load()
+	}
+	return used
 }
 
-// NumObjects returns the number of live (unswept) objects.
+// NumObjects returns the number of live (unswept) objects, aggregated
+// from the per-domain atomic counters without taking a lock.
 func (h *Heap) NumObjects() int {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return len(h.objects)
+	var n int64
+	for _, d := range *h.domains.Load() {
+		n += d.count.Load()
+	}
+	return int(n)
 }
 
 // GCCount returns the number of collections run so far.
-func (h *Heap) GCCount() int64 {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return h.gcCount
+func (h *Heap) GCCount() int64 { return h.gcCount.Load() }
+
+// CountersFor returns the live allocation counters of an isolate,
+// creating the slot on first use. The lookup is lock-free after the
+// first access (an atomic load plus an index).
+func (h *Heap) CountersFor(iso IsolateID) *AllocCounters {
+	if iso < 0 {
+		iso = 0 // NoIsolate never allocates; fold defensively onto isolate 0
+	}
+	tab := *h.counters.Load()
+	if int(iso) < len(tab) {
+		return tab[iso]
+	}
+	return h.growCounters(iso)
+}
+
+func (h *Heap) growCounters(iso IsolateID) *AllocCounters {
+	h.countersMu.Lock()
+	defer h.countersMu.Unlock()
+	tab := *h.counters.Load()
+	if int(iso) < len(tab) {
+		return tab[iso]
+	}
+	grown := make([]*AllocCounters, iso+1)
+	copy(grown, tab)
+	for i := len(tab); i < len(grown); i++ {
+		grown[i] = &AllocCounters{}
+	}
+	h.counters.Store(&grown)
+	return grown[iso]
 }
 
 // AllocStatsFor returns a copy of the monotonic allocation counters of an
 // isolate.
 func (h *Heap) AllocStatsFor(iso IsolateID) AllocStats {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	if s, ok := h.allocs[iso]; ok {
-		return *s
+	if iso < 0 {
+		return AllocStats{}
 	}
-	return AllocStats{}
+	tab := *h.counters.Load()
+	if int(iso) >= len(tab) {
+		return AllocStats{}
+	}
+	c := tab[iso]
+	return AllocStats{
+		Objects:     c.Objects.Load(),
+		Bytes:       c.Bytes.Load(),
+		Connections: c.Connections.Load(),
+	}
 }
 
 // LiveStatsFor returns the per-isolate live memory computed by the last
 // accounting collection.
 func (h *Heap) LiveStatsFor(iso IsolateID) LiveStats {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	if s, ok := h.liveByIso[iso]; ok {
+	m := h.liveByIso.Load()
+	if m == nil {
+		return LiveStats{}
+	}
+	if s, ok := (*m)[iso]; ok {
 		return *s
 	}
 	return LiveStats{}
 }
 
-// allocStats returns the stats entry for iso; h.mu must be held.
-func (h *Heap) allocStats(iso IsolateID) *AllocStats {
-	s, ok := h.allocs[iso]
-	if !ok {
-		s = &AllocStats{}
-		h.allocs[iso] = s
+// chargeAlloc records one admitted object on the creator's counters
+// (direct atomic adds; the host path's exact counterpart of the engines'
+// batched core.ByteBatch charging).
+func (h *Heap) chargeAlloc(creator IsolateID, o *Object) {
+	if !h.trackAlloc.Load() {
+		return
 	}
-	return s
+	c := h.CountersFor(creator)
+	c.Objects.Add(1)
+	c.Bytes.Add(o.size)
+	if o.IsConnection {
+		c.Connections.Add(1)
+	}
 }
 
-func (h *Heap) admit(o *Object, creator IsolateID) (*Object, error) {
+// reserve is the single-step admission check: one atomic reserve-or-fail
+// against the shared used counter. There is no check-then-act window —
+// two racing allocators can never jointly exceed the limit, because the
+// CAS serializes their reservations (the former WouldExceed/admit TOCTOU
+// is structurally gone).
+func (h *Heap) reserve(sz int64) error {
+	for {
+		used := h.used.Load()
+		if used+sz > h.limit {
+			return fmt.Errorf("%w: need %d bytes, %d of %d used",
+				ErrOutOfMemory, sz, used, h.limit)
+		}
+		if h.used.CompareAndSwap(used, used+sz) {
+			return nil
+		}
+	}
+}
+
+// --- Allocation domains ---------------------------------------------------
+
+// AllocDomain is one shard-local allocation context. Exactly one
+// executing goroutine may allocate through a domain at a time (a
+// scheduler worker, the sequential engine's goroutine, or the heap's own
+// mutex-guarded host path); the object list is owned by that goroutine
+// and is only touched by other code inside the stop-the-world
+// collection. The object count is atomic so aggregate metrics
+// (NumObjects) read it without stopping anything.
+type AllocDomain struct {
+	h       *Heap
+	objects []*Object
+	count   atomic.Int64
+	// reserved is the domain's TLAB slack: bytes already reserved from
+	// the shared used counter but not yet consumed by an object.
+	// Owner-written (the single allocating goroutine), aggregate-read
+	// (Used subtracts it; the collection reclaims it), hence atomic.
+	reserved atomic.Int64
+	// seq drives monitor-stripe assignment: a cheap per-domain counter,
+	// seeded per domain so concurrently allocating shards spread over
+	// different stripes.
+	seq uint32
+}
+
+// domainChunk is the TLAB refill granularity: a domain reserves this
+// much extra from the shared counter per refill, so the steady-state
+// admission is a plain subtraction from shard-local slack with no shared
+// atomic at all. Unused slack counts as used until a collection reclaims
+// it (bounded by domains x domainChunk); near the limit, refills fall
+// back to exact-size reservation so small heaps never strand their last
+// bytes in slack.
+const domainChunk = 4096
+
+// NewDomain registers and returns a fresh allocation domain. Domains are
+// cheap and long-lived; execution engines acquire one per worker and
+// recycle it across runs.
+func (h *Heap) NewDomain() *AllocDomain {
+	h.domainMu.Lock()
+	defer h.domainMu.Unlock()
+	old := *h.domains.Load()
+	d := &AllocDomain{h: h, seq: uint32(len(old)) * 0x9E37}
+	grown := make([]*AllocDomain, len(old)+1)
+	copy(grown, old)
+	grown[len(old)] = d
+	h.domains.Store(&grown)
+	return d
+}
+
+// Heap returns the heap the domain allocates from.
+func (d *AllocDomain) Heap() *Heap { return d.h }
+
+// refill grows the domain's slack by at least need bytes: it reserves
+// need+domainChunk from the shared counter, falling back to the exact
+// need when the chunk no longer fits (so admission near the limit stays
+// byte-exact rather than failing on slack it does not need).
+func (d *AllocDomain) refill(need int64) error {
+	want := need + domainChunk
+	if err := d.h.reserve(want); err != nil {
+		want = need
+		if err := d.h.reserve(want); err != nil {
+			return err
+		}
+	}
+	d.reserved.Add(want)
+	return nil
+}
+
+// admit reserves the object's size (from the domain's TLAB slack when it
+// suffices, refilling from the shared counter otherwise), stamps
+// identity fields and appends the object to the domain. It does not
+// charge per-isolate statistics — the executing engine batches those
+// (core.ByteBatch); the Heap-level entry points charge directly.
+func (d *AllocDomain) admit(o *Object, creator IsolateID) (*Object, error) {
 	o.size = o.computeSize()
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	if h.used+o.size > h.limit {
-		return nil, fmt.Errorf("%w: need %d bytes, %d of %d used",
-			ErrOutOfMemory, o.size, h.used, h.limit)
+	if r := d.reserved.Load(); r >= o.size {
+		// TLAB fast path: consume shard-local slack, no shared access.
+		d.reserved.Store(r - o.size)
+	} else if err := d.refill(o.size - r); err != nil {
+		return nil, err
+	} else {
+		d.reserved.Add(-o.size)
 	}
 	o.Creator = creator
 	o.Charged = NoIsolate
-	h.used += o.size
-	h.objects = append(h.objects, o)
-	if h.trackAlloc {
-		s := h.allocStats(creator)
-		s.Objects++
-		s.Bytes += o.size
-		if o.IsConnection {
-			s.Connections++
-		}
-	}
+	d.seq++
+	o.stripe = uint8(d.seq)
+	d.objects = append(d.objects, o)
+	d.count.Add(1)
 	return o, nil
 }
 
-// AllocObject allocates an instance of class with zeroed fields, charging
-// the creator isolate.
-func (h *Heap) AllocObject(class *classfile.Class, creator IsolateID) (*Object, error) {
+// AllocObject allocates an instance of class with zeroed fields.
+func (d *AllocDomain) AllocObject(class *classfile.Class, creator IsolateID) (*Object, error) {
 	if class == nil {
 		return nil, errors.New("heap: AllocObject with nil class")
 	}
@@ -178,11 +372,11 @@ func (h *Heap) AllocObject(class *classfile.Class, creator IsolateID) (*Object, 
 	for i := range fields {
 		fields[i] = Null()
 	}
-	return h.admit(&Object{Class: class, Fields: fields}, creator)
+	return d.admit(&Object{Class: class, Fields: fields}, creator)
 }
 
 // AllocArray allocates an array of n null/zero slots.
-func (h *Heap) AllocArray(class *classfile.Class, n int, creator IsolateID) (*Object, error) {
+func (d *AllocDomain) AllocArray(class *classfile.Class, n int, creator IsolateID) (*Object, error) {
 	if n < 0 {
 		return nil, errors.New("heap: negative array size")
 	}
@@ -190,19 +384,78 @@ func (h *Heap) AllocArray(class *classfile.Class, n int, creator IsolateID) (*Ob
 	for i := range elems {
 		elems[i] = Null()
 	}
-	return h.admit(&Object{Class: class, Elems: elems}, creator)
+	return d.admit(&Object{Class: class, Elems: elems}, creator)
 }
 
 // AllocString allocates a string object with the given payload.
-func (h *Heap) AllocString(class *classfile.Class, s string, creator IsolateID) (*Object, error) {
-	return h.admit(&Object{Class: class, Native: s, extra: int64(len(s))}, creator)
+func (d *AllocDomain) AllocString(class *classfile.Class, s string, creator IsolateID) (*Object, error) {
+	return d.admit(&Object{Class: class, Native: s, extra: int64(len(s))}, creator)
 }
 
 // AllocNative allocates an object with an opaque native payload of the
 // given modelled size (system-library state: builders, collections,
 // connections).
+func (d *AllocDomain) AllocNative(class *classfile.Class, payload any, size int64, conn bool, creator IsolateID) (*Object, error) {
+	return d.admit(&Object{Class: class, Native: payload, extra: size, IsConnection: conn}, creator)
+}
+
+// --- Heap-level (host path) allocation ------------------------------------
+//
+// These entry points serialize on the internal host domain and charge
+// the per-isolate counters directly. They are NOT the guest fast path —
+// the execution engines allocate through their own domains — but they
+// keep every host-side caller (platform setup, RPC copies, wake-side
+// throwable allocation, tests) correct without an engine context.
+
+// AllocObject allocates an instance of class with zeroed fields, charging
+// the creator isolate.
+func (h *Heap) AllocObject(class *classfile.Class, creator IsolateID) (*Object, error) {
+	h.hostMu.Lock()
+	defer h.hostMu.Unlock()
+	o, err := h.host.AllocObject(class, creator)
+	if err != nil {
+		return nil, err
+	}
+	h.chargeAlloc(creator, o)
+	return o, nil
+}
+
+// AllocArray allocates an array of n null/zero slots, charging creator.
+func (h *Heap) AllocArray(class *classfile.Class, n int, creator IsolateID) (*Object, error) {
+	h.hostMu.Lock()
+	defer h.hostMu.Unlock()
+	o, err := h.host.AllocArray(class, n, creator)
+	if err != nil {
+		return nil, err
+	}
+	h.chargeAlloc(creator, o)
+	return o, nil
+}
+
+// AllocString allocates a string object with the given payload, charging
+// creator.
+func (h *Heap) AllocString(class *classfile.Class, s string, creator IsolateID) (*Object, error) {
+	h.hostMu.Lock()
+	defer h.hostMu.Unlock()
+	o, err := h.host.AllocString(class, s, creator)
+	if err != nil {
+		return nil, err
+	}
+	h.chargeAlloc(creator, o)
+	return o, nil
+}
+
+// AllocNative allocates an object with an opaque native payload, charging
+// creator.
 func (h *Heap) AllocNative(class *classfile.Class, payload any, size int64, conn bool, creator IsolateID) (*Object, error) {
-	return h.admit(&Object{Class: class, Native: payload, extra: size, IsConnection: conn}, creator)
+	h.hostMu.Lock()
+	defer h.hostMu.Unlock()
+	o, err := h.host.AllocNative(class, payload, size, conn, creator)
+	if err != nil {
+		return nil, err
+	}
+	h.chargeAlloc(creator, o)
+	return o, nil
 }
 
 // ResizeNative adjusts the modelled size of an object's native payload
@@ -213,18 +466,10 @@ func (h *Heap) ResizeNative(o *Object, newSize int64) {
 	if newSize < 0 {
 		newSize = 0
 	}
-	h.mu.Lock()
+	h.resizeMu.Lock()
 	delta := newSize - o.extra
 	o.extra = newSize
 	o.size += delta
-	h.used += delta
-	h.mu.Unlock()
-}
-
-// WouldExceed reports whether allocating sz more bytes would exceed the
-// heap limit (used by allocation fast paths to decide on triggering GC).
-func (h *Heap) WouldExceed(sz int64) bool {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return h.used+sz > h.limit
+	h.resizeMu.Unlock()
+	h.used.Add(delta)
 }

@@ -56,8 +56,13 @@ type Object struct {
 
 	size  int64
 	extra int64 // native payload size included in size
-	mark  bool
-	dead  bool
+	// stripe is the object's monitor-stripe index, assigned at admission
+	// from the allocating domain's sequence so concurrently allocating
+	// shards spread over different stripes. The interpreter masks it into
+	// its striped monitor table.
+	stripe uint8
+	mark   bool
+	dead   bool
 	// finalized marks objects whose finalizer has been scheduled; a
 	// finalizer runs at most once, and the object is reclaimed by the
 	// following collection (unless the finalizer resurrected it).
@@ -69,6 +74,10 @@ func (o *Object) Finalized() bool { return o.finalized }
 
 // Size returns the modelled byte size of the object.
 func (o *Object) Size() int64 { return o.size }
+
+// MonitorStripe returns the object's monitor-stripe index (assigned once
+// at admission, immutable afterwards).
+func (o *Object) MonitorStripe() uint8 { return o.stripe }
 
 // IsArray reports whether the object is an array.
 func (o *Object) IsArray() bool { return o.Elems != nil }

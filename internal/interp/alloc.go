@@ -1,0 +1,179 @@
+package interp
+
+import (
+	"errors"
+
+	"ijvm/internal/classfile"
+	"ijvm/internal/core"
+	"ijvm/internal/heap"
+)
+
+// This file is the interpreter's allocation layer: it threads the
+// executing shard's allocation domain (heap.AllocDomain) and batched
+// per-isolate byte accounting (core.ByteBatch) through every guest
+// allocation site, so the allocation fast path is a shard-local bump —
+// one atomic reservation CAS against the heap limit, an append to the
+// domain's private object list, and a plain-counter batch note — with no
+// global mutex and no shared statistic atomics.
+//
+// # Ownership
+//
+// An allocState is single-goroutine state with the same contract as
+// core.InstrBatch: the sequential engine owns one (vm.seqAlloc, used by
+// runQuantum), each concurrent worker owns one (carried in its
+// SampleState and recycled through vm's free list across runs), and the
+// engine installs it on the executing thread (t.alloc) only for the
+// duration of a quantum. Code running on the executing goroutine —
+// prepared handlers, the reference switch path, natives, vm.Throw —
+// allocates through it; everything else (host-side setup, RPC copies,
+// wake-side throwable allocation such as InterruptThread, tests) passes
+// a nil thread or a thread without an installed state and falls back to
+// the heap's mutex-guarded host path, which charges counters directly
+// and therefore needs no flush.
+//
+// # Exactness
+//
+// Byte accounts share InstrBatch's exactness contract: batches flush
+// when the charged isolate changes, at every quantum boundary (workers
+// flush before parking for a stop-the-world), at sequential safepoints
+// (flushSequential), and before any allocation-pressure collection —
+// so the STW accounting GC, kills and precise accounting always observe
+// exact per-isolate totals, while mid-quantum host-side snapshot reads
+// may trail by at most one quantum (exactly like instruction counts).
+type allocState struct {
+	dom   *heap.AllocDomain
+	batch core.ByteBatch
+}
+
+// acquireAllocState returns a recycled (or fresh) allocation state. The
+// domain registry in the heap is append-only, so states are pooled on
+// the VM and reused across runs instead of growing the registry per run.
+func (vm *VM) acquireAllocState() *allocState {
+	vm.allocFreeMu.Lock()
+	defer vm.allocFreeMu.Unlock()
+	if n := len(vm.allocFree); n > 0 {
+		a := vm.allocFree[n-1]
+		vm.allocFree[n-1] = nil
+		vm.allocFree = vm.allocFree[:n-1]
+		return a
+	}
+	return &allocState{dom: vm.heap.NewDomain()}
+}
+
+// releaseAllocState flushes and recycles a worker's allocation state.
+func (vm *VM) releaseAllocState(a *allocState) {
+	if a == nil {
+		return
+	}
+	a.batch.Flush()
+	vm.allocFreeMu.Lock()
+	vm.allocFree = append(vm.allocFree, a)
+	vm.allocFreeMu.Unlock()
+}
+
+// allocOf returns the allocation state installed on t for the current
+// quantum, or nil when the caller must use the host path.
+func allocOf(t *Thread) *allocState {
+	if t == nil {
+		return nil
+	}
+	return t.alloc
+}
+
+// domainAlloc runs fn against the executing shard's domain, charging the
+// batched per-isolate counters on success; on heap exhaustion it flushes
+// the batch (exact accounts for the stopped-world collection), runs an
+// accounting collection charged to iso, and retries once.
+func (vm *VM) domainAlloc(a *allocState, iso *core.Isolate, fn func() (*heap.Object, error)) (*heap.Object, error) {
+	obj, err := fn()
+	if err != nil {
+		if !errors.Is(err, heap.ErrOutOfMemory) {
+			return nil, err
+		}
+		a.batch.Flush()
+		vm.CollectGarbage(iso)
+		obj, err = fn()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if vm.heap.TrackAlloc() {
+		a.batch.Note(vm.heap.CountersFor(iso.ID()), obj.Size(), obj.IsConnection)
+	}
+	return obj, nil
+}
+
+// allocRetry is the host-path twin of domainAlloc: fn goes through the
+// heap's mutex-guarded host domain (which charges counters directly), and
+// heap exhaustion triggers an accounting collection and one retry. The
+// second failure is surfaced to the caller, which raises
+// OutOfMemoryError in the guest.
+func (vm *VM) allocRetry(iso *core.Isolate, fn func() (*heap.Object, error)) (*heap.Object, error) {
+	obj, err := fn()
+	if err == nil {
+		return obj, nil
+	}
+	if !errors.Is(err, heap.ErrOutOfMemory) {
+		return nil, err
+	}
+	vm.CollectGarbage(iso)
+	return fn()
+}
+
+// AllocObjectIn allocates an instance of class charged to iso, collecting
+// on pressure. t, when executing, selects the shard-local allocation
+// domain; a nil t (host-side callers) selects the host path.
+func (vm *VM) AllocObjectIn(t *Thread, class *classfile.Class, iso *core.Isolate) (*heap.Object, error) {
+	if a := allocOf(t); a != nil {
+		return vm.domainAlloc(a, iso, func() (*heap.Object, error) {
+			return a.dom.AllocObject(class, iso.ID())
+		})
+	}
+	return vm.allocRetry(iso, func() (*heap.Object, error) {
+		return vm.heap.AllocObject(class, iso.ID())
+	})
+}
+
+// AllocArrayIn allocates an array charged to iso, collecting on pressure.
+func (vm *VM) AllocArrayIn(t *Thread, class *classfile.Class, n int, iso *core.Isolate) (*heap.Object, error) {
+	if a := allocOf(t); a != nil {
+		return vm.domainAlloc(a, iso, func() (*heap.Object, error) {
+			return a.dom.AllocArray(class, n, iso.ID())
+		})
+	}
+	return vm.allocRetry(iso, func() (*heap.Object, error) {
+		return vm.heap.AllocArray(class, n, iso.ID())
+	})
+}
+
+// allocStringRaw allocates a guest string charged to iso.
+func (vm *VM) allocStringRaw(t *Thread, class *classfile.Class, s string, iso *core.Isolate) (*heap.Object, error) {
+	if a := allocOf(t); a != nil {
+		return vm.domainAlloc(a, iso, func() (*heap.Object, error) {
+			return a.dom.AllocString(class, s, iso.ID())
+		})
+	}
+	return vm.allocRetry(iso, func() (*heap.Object, error) {
+		return vm.heap.AllocString(class, s, iso.ID())
+	})
+}
+
+// allocNativeRaw allocates a native-payload object charged to iso.
+func (vm *VM) allocNativeRaw(t *Thread, class *classfile.Class, payload any, size int64, conn bool, iso *core.Isolate) (*heap.Object, error) {
+	if a := allocOf(t); a != nil {
+		return vm.domainAlloc(a, iso, func() (*heap.Object, error) {
+			return a.dom.AllocNative(class, payload, size, conn, iso.ID())
+		})
+	}
+	return vm.allocRetry(iso, func() (*heap.Object, error) {
+		return vm.heap.AllocNative(class, payload, size, conn, iso.ID())
+	})
+}
+
+// AllocNativeIn allocates a native-payload object charged to iso.
+func (vm *VM) AllocNativeIn(t *Thread, class *classfile.Class, payload any, size int64, conn bool, iso *core.Isolate) (*heap.Object, error) {
+	if conn {
+		iso.Account().ConnectionsOpened.Add(1)
+	}
+	return vm.allocNativeRaw(t, class, payload, size, conn, iso)
+}

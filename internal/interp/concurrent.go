@@ -132,9 +132,25 @@ func (vm *VM) WakeDeadline(t *Thread) (int64, bool) {
 	return 0, false
 }
 
-// SampleState carries one worker's CPU-sampling countdown across quanta,
-// giving each worker the sequential engine's sampling cadence.
-type SampleState struct{ count int }
+// SampleState carries one worker's per-goroutine execution state across
+// quanta: the CPU-sampling countdown (giving each worker the sequential
+// engine's sampling cadence) and the worker's allocation state (its
+// shard-local heap allocation domain plus the batched per-isolate byte
+// accounting), lazily acquired from the VM's pool on first use. Workers
+// must hand the allocation state back with ReleaseWorkerState when they
+// exit so later runs reuse domains instead of growing the heap's
+// registry.
+type SampleState struct {
+	count int
+	alloc *allocState
+}
+
+// ReleaseWorkerState flushes and recycles the worker-owned allocation
+// state carried in s (no-op if none was acquired).
+func (vm *VM) ReleaseWorkerState(s *SampleState) {
+	vm.releaseAllocState(s.alloc)
+	s.alloc = nil
+}
 
 // QuantumResult reports why RunThreadQuantum stopped stepping.
 type QuantumResult struct {
@@ -172,6 +188,13 @@ type QuantumResult struct {
 func (vm *VM) RunThreadQuantum(t *Thread, home *core.Isolate, budget int64, stop *atomic.Bool, s *SampleState, target *Thread) QuantumResult {
 	var res QuantumResult
 	var batch core.InstrBatch
+	if s.alloc == nil {
+		s.alloc = vm.acquireAllocState()
+	}
+	// Install the worker's allocation state on the thread for this
+	// quantum; it is removed (and its byte batch flushed) before the
+	// worker parks, so stop-the-world observers see exact accounts.
+	t.alloc = s.alloc
 	for res.Instructions < budget && t.State() == StateRunnable {
 		if stop != nil && stop.Load() {
 			res.Stopped = true
@@ -212,7 +235,9 @@ func (vm *VM) RunThreadQuantum(t *Thread, home *core.Isolate, budget int64, stop
 			break
 		}
 	}
+	t.alloc = nil
 	batch.Flush()
+	s.alloc.batch.Flush()
 	vm.clock.Add(res.Instructions)
 	vm.totalInstrs.Add(res.Instructions)
 	return res

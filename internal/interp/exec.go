@@ -108,7 +108,7 @@ func (vm *VM) execInstr(t *Thread, f *Frame, in bytecode.Instr) error {
 		if err != nil {
 			return err
 		}
-		obj, err := vm.InternString(t.cur, entry.Str)
+		obj, err := vm.InternString(t, t.cur, entry.Str)
 		if err != nil {
 			return vm.Throw(t, ClassOutOfMemoryError, "string intern")
 		}
@@ -122,7 +122,7 @@ func (vm *VM) execInstr(t *Thread, f *Frame, in bytecode.Instr) error {
 		if err != nil {
 			return vm.Throw(t, ClassNullPointerException, err.Error())
 		}
-		obj, err := vm.ClassObjectFor(class, t.cur)
+		obj, err := vm.ClassObjectFor(t, class, t.cur)
 		if err != nil {
 			return err
 		}
@@ -378,7 +378,7 @@ func (vm *VM) execInstr(t *Thread, f *Frame, in bytecode.Instr) error {
 		if err != nil || !ready {
 			return err
 		}
-		obj, err := vm.AllocObjectIn(class, t.cur)
+		obj, err := vm.AllocObjectIn(t, class, t.cur)
 		if err != nil {
 			return vm.Throw(t, ClassOutOfMemoryError, err.Error())
 		}
@@ -395,7 +395,7 @@ func (vm *VM) execInstr(t *Thread, f *Frame, in bytecode.Instr) error {
 		if err != nil {
 			return vm.Throw(t, ClassNullPointerException, err.Error())
 		}
-		arr, err := vm.AllocArrayIn(elemClass, int(n.I), t.cur)
+		arr, err := vm.AllocArrayIn(t, elemClass, int(n.I), t.cur)
 		if err != nil {
 			return vm.Throw(t, ClassOutOfMemoryError, err.Error())
 		}

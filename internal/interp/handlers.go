@@ -193,7 +193,7 @@ func pAConstNull(vm *VM, t *Thread, f *Frame, in *bytecode.PInstr) error {
 
 func pLdcString(vm *VM, t *Thread, f *Frame, in *bytecode.PInstr) error {
 	entry := in.Ref.(*classfile.PoolEntry)
-	obj, err := vm.InternString(t.cur, entry.Str)
+	obj, err := vm.InternString(t, t.cur, entry.Str)
 	if err != nil {
 		return vm.Throw(t, ClassOutOfMemoryError, "string intern")
 	}
@@ -208,7 +208,7 @@ func pLdcClass(vm *VM, t *Thread, f *Frame, in *bytecode.PInstr) error {
 	if err != nil {
 		return vm.Throw(t, ClassNullPointerException, err.Error())
 	}
-	obj, err := vm.ClassObjectFor(class, t.cur)
+	obj, err := vm.ClassObjectFor(t, class, t.cur)
 	if err != nil {
 		return err
 	}
@@ -684,17 +684,32 @@ func pPutStaticIsolated(vm *VM, t *Thread, f *Frame, in *bytecode.PInstr) error 
 }
 
 // --- Instance fields -----------------------------------------------------
+//
+// Prepared getfield/putfield sites cache the resolved field slot on the
+// instruction itself (bytecode.FieldSlot, published once): the steady
+// state is one atomic int32 load and a direct index into the receiver's
+// field array, skipping the pool-entry indirection and the resolved-field
+// pointer chase. The slow path resolves through the pool entry (whose
+// ResolvedField cache it also populates) and publishes the slot, so the
+// null-receiver error path can always recover the field's qualified name
+// from the entry.
 
 func pGetField(vm *VM, t *Thread, f *Frame, in *bytecode.PInstr) error {
-	entry := in.Ref.(*classfile.PoolEntry)
-	field := entry.ResolvedField.Load()
-	if field == nil {
-		var err error
-		field, err = vm.resolveFieldEntry(f, entry, false)
-		if err != nil {
-			return vm.Throw(t, ClassNullPointerException, err.Error())
+	if slot := in.FS.Get(); slot >= 0 {
+		recv := f.upop()
+		if recv.R == nil {
+			return vm.Throw(t, ClassNullPointerException, "getfield "+pFieldName(in))
 		}
+		f.push(recv.R.Fields[slot])
+		f.pc++
+		return nil
 	}
+	entry := in.Ref.(*classfile.PoolEntry)
+	field, err := vm.resolveFieldEntry(f, entry, false)
+	if err != nil {
+		return vm.Throw(t, ClassNullPointerException, err.Error())
+	}
+	in.FS.Publish(int32(field.Slot))
 	recv := f.upop()
 	if recv.R == nil {
 		return vm.Throw(t, ClassNullPointerException, "getfield "+field.QualifiedName())
@@ -705,15 +720,22 @@ func pGetField(vm *VM, t *Thread, f *Frame, in *bytecode.PInstr) error {
 }
 
 func pPutField(vm *VM, t *Thread, f *Frame, in *bytecode.PInstr) error {
-	entry := in.Ref.(*classfile.PoolEntry)
-	field := entry.ResolvedField.Load()
-	if field == nil {
-		var err error
-		field, err = vm.resolveFieldEntry(f, entry, false)
-		if err != nil {
-			return vm.Throw(t, ClassNullPointerException, err.Error())
+	if slot := in.FS.Get(); slot >= 0 {
+		v := f.upop()
+		recv := f.upop()
+		if recv.R == nil {
+			return vm.Throw(t, ClassNullPointerException, "putfield "+pFieldName(in))
 		}
+		recv.R.Fields[slot] = v
+		f.pc++
+		return nil
 	}
+	entry := in.Ref.(*classfile.PoolEntry)
+	field, err := vm.resolveFieldEntry(f, entry, false)
+	if err != nil {
+		return vm.Throw(t, ClassNullPointerException, err.Error())
+	}
+	in.FS.Publish(int32(field.Slot))
 	v := f.upop()
 	recv := f.upop()
 	if recv.R == nil {
@@ -722,6 +744,18 @@ func pPutField(vm *VM, t *Thread, f *Frame, in *bytecode.PInstr) error {
 	recv.R.Fields[field.Slot] = v
 	f.pc++
 	return nil
+}
+
+// pFieldName recovers the qualified field name of a get/putfield site for
+// error messages; the slot cache is only published after the pool entry's
+// ResolvedField cache, so on the fast path the name is always available.
+func pFieldName(in *bytecode.PInstr) string {
+	if entry, ok := in.Ref.(*classfile.PoolEntry); ok {
+		if field := entry.ResolvedField.Load(); field != nil {
+			return field.QualifiedName()
+		}
+	}
+	return "<unresolved field>"
 }
 
 // --- Invocation ----------------------------------------------------------
@@ -829,7 +863,7 @@ func pNewShared(vm *VM, t *Thread, f *Frame, in *bytecode.PInstr) error {
 		}
 		entry.ResolvedMirror = vm.world.Mirror(class, t.cur)
 	}
-	obj, err := vm.AllocObjectIn(class, t.cur)
+	obj, err := vm.AllocObjectIn(t, class, t.cur)
 	if err != nil {
 		return vm.Throw(t, ClassOutOfMemoryError, err.Error())
 	}
@@ -848,7 +882,7 @@ func pNewIsolated(vm *VM, t *Thread, f *Frame, in *bytecode.PInstr) error {
 	if err != nil || !ready {
 		return err
 	}
-	obj, err := vm.AllocObjectIn(class, t.cur)
+	obj, err := vm.AllocObjectIn(t, class, t.cur)
 	if err != nil {
 		return vm.Throw(t, ClassOutOfMemoryError, err.Error())
 	}
@@ -872,7 +906,7 @@ func pNewArray(vm *VM, t *Thread, f *Frame, in *bytecode.PInstr) error {
 	if err != nil {
 		return vm.Throw(t, ClassNullPointerException, err.Error())
 	}
-	arr, err := vm.AllocArrayIn(elemClass, int(n.I), t.cur)
+	arr, err := vm.AllocArrayIn(t, elemClass, int(n.I), t.cur)
 	if err != nil {
 		return vm.Throw(t, ClassOutOfMemoryError, err.Error())
 	}

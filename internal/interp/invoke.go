@@ -248,7 +248,7 @@ func (vm *VM) releaseFrame(f *Frame) {
 // cannot block a foreign bundle under I-JVM.
 func (vm *VM) syncMonitorFor(t *Thread, m *classfile.Method, args []heap.Value) (*heap.Object, error) {
 	if m.IsStatic() {
-		return vm.ClassObjectFor(m.Class, t.cur)
+		return vm.ClassObjectFor(t, m.Class, t.cur)
 	}
 	if len(args) == 0 || args[0].R == nil {
 		return nil, fmt.Errorf("synchronized instance method %s without receiver", m.QualifiedName())

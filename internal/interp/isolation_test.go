@@ -144,15 +144,15 @@ func TestStringIdentityAcrossIsolates(t *testing.T) {
 	for _, mode := range []core.Mode{core.ModeShared, core.ModeIsolated} {
 		t.Run(mode.String(), func(t *testing.T) {
 			vm, alpha, beta := twoIsolateVM(t, mode)
-			a1, err := vm.InternString(alpha, "shared-literal")
+			a1, err := vm.InternString(nil, alpha, "shared-literal")
 			if err != nil {
 				t.Fatal(err)
 			}
-			a2, err := vm.InternString(alpha, "shared-literal")
+			a2, err := vm.InternString(nil, alpha, "shared-literal")
 			if err != nil {
 				t.Fatal(err)
 			}
-			b1, err := vm.InternString(beta, "shared-literal")
+			b1, err := vm.InternString(nil, beta, "shared-literal")
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -180,18 +180,18 @@ func TestClassObjectsPerIsolate(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	c1, err := vm.ClassObjectFor(objClass, i1)
+	c1, err := vm.ClassObjectFor(nil, objClass, i1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	c2, err := vm.ClassObjectFor(objClass, i2)
+	c2, err := vm.ClassObjectFor(nil, objClass, i2)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if c1 == c2 {
 		t.Fatal("Class objects must be isolate-private")
 	}
-	c1again, err := vm.ClassObjectFor(objClass, i1)
+	c1again, err := vm.ClassObjectFor(nil, objClass, i1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -419,7 +419,7 @@ func TestDeadlockDetection(t *testing.T) {
 		t.Fatal(err)
 	}
 	runM, _ := c.LookupMethod("run", "()V")
-	obj, _ := vm.AllocObjectIn(c, iso)
+	obj, _ := vm.AllocObjectIn(nil, c, iso)
 	if _, err := vm.SpawnThread("t1", iso, runM, []heap.Value{heap.RefVal(obj)}); err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,202 @@
+package interp_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"ijvm/internal/bytecode"
+	"ijvm/internal/classfile"
+	"ijvm/internal/core"
+	"ijvm/internal/heap"
+	"ijvm/internal/interp"
+	"ijvm/internal/sched"
+	"ijvm/internal/syslib"
+)
+
+// This file is the sharded-memory-subsystem companion of
+// TestInlineCachePublicationRace: it hammers the per-shard allocation
+// domains and the striped monitor table from >= 6 scheduler shards at
+// once, through stop-the-world safepoints (admin-cycled accounting
+// collections PLUS allocation-pressure collections forced by a small
+// heap) and a mid-run World.Kill. Every isolate runs the same loop:
+//
+//   - allocate one object it keeps (bounded ring, so some allocations
+//     survive each collection) and one array it drops (garbage churn
+//     that forces GC-on-pressure);
+//   - enter/exit the monitor of ONE object shared by every isolate —
+//     cross-shard contention on a single stripe, exercising the
+//     blockOnMonitor park path, the promote re-poll and (when the
+//     victim dies while holding it) the kill path's force-release.
+//
+// The test runs under -race in CI. Assertions: the run completes (a
+// lost force-release or a lost monitor wake-up would deadlock it),
+// non-victim threads compute the exact expected result, their
+// per-isolate byte accounts are identical (the loop is symmetric), and
+// the post-run collection leaves the reservation counter exactly equal
+// to the live bytes.
+
+const (
+	memStressIsolates = 8
+	memStressIters    = 2000
+	memStressKeep     = 64
+)
+
+// memStressClasses builds one isolate's bundle: run(shared, n) performs
+// n iterations of keep-alloc + churn-alloc + shared-monitor section.
+// Locals: 0 shared, 1 n, 2 i, 3 acc, 4 keep ring, 5 tmp.
+func memStressClasses(prefix string) []*classfile.Class {
+	main := classfile.NewClass(prefix + "/Main").
+		Method("run", "(Ljava/lang/Object;I)I", classfile.FlagStatic, func(a *bytecode.Assembler) {
+			a.Const(memStressKeep).NewArray("").AStore(4)
+			a.Const(0).IStore(2)
+			a.Const(0).IStore(3)
+			a.Label("loop").ILoad(2).ILoad(1).IfICmpGe("done")
+			// Kept allocation into the ring (survives collections).
+			a.New(classfile.ObjectClassName).Dup().
+				InvokeSpecial(classfile.ObjectClassName, classfile.InitName, "()V").
+				AStore(5)
+			a.ALoad(4).ILoad(2).Const(memStressKeep).IRem().ALoad(5).ArrayStore()
+			// Dropped allocation (garbage churn -> GC pressure).
+			a.Const(32).NewArray("").AStore(5)
+			a.Null().AStore(5)
+			// Cross-shard shared monitor section.
+			a.ALoad(0).MonitorEnter()
+			a.ILoad(3).Const(1).IAdd().IStore(3)
+			a.ALoad(0).MonitorExit()
+			a.IInc(2, 1).Goto("loop")
+			a.Label("done").ILoad(3).IReturn()
+		}).MustBuild()
+	return []*classfile.Class{main}
+}
+
+// TestShardedAllocMonitorStress is the -race stress: 8 isolate shards on
+// 4 workers allocating through their domains and contending on one
+// shared monitor, while an admin goroutine cycles accounting
+// collections and kills one victim isolate mid-run.
+func TestShardedAllocMonitorStress(t *testing.T) {
+	for round := 0; round < 2; round++ {
+		// Small heap: the churn forces frequent GC-on-pressure
+		// collections from the workers themselves, on top of the admin
+		// cycle below.
+		vm := interp.NewVM(interp.Options{Mode: core.ModeIsolated, HeapLimit: 256 << 10})
+		syslib.MustInstall(vm)
+		objClass, err := vm.Registry().Bootstrap().Lookup(interp.ClassObject)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		var threads []*interp.Thread
+		var isolates []*core.Isolate
+		var victim *core.Isolate
+		var shared *heap.Object
+		for k := 0; k < memStressIsolates; k++ {
+			iso, err := vm.NewIsolate(fmt.Sprintf("bundle%d", k))
+			if err != nil {
+				t.Fatal(err)
+			}
+			isolates = append(isolates, iso)
+			if k == 0 {
+				// The shared monitor object, charged to bundle0 and kept
+				// alive by every thread's frame.
+				shared, err = vm.AllocObjectIn(nil, objClass, iso)
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
+			if k == 1 {
+				victim = iso
+			}
+			prefix := fmt.Sprintf("ms%d", k)
+			if err := iso.Loader().DefineAll(memStressClasses(prefix)); err != nil {
+				t.Fatal(err)
+			}
+			c, err := iso.Loader().Lookup(prefix + "/Main")
+			if err != nil {
+				t.Fatal(err)
+			}
+			m, err := c.LookupMethod("run", "(Ljava/lang/Object;I)I")
+			if err != nil {
+				t.Fatal(err)
+			}
+			th, err := vm.SpawnThread(prefix, iso, m,
+				[]heap.Value{heap.RefVal(shared), heap.IntVal(memStressIters)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			threads = append(threads, th)
+		}
+
+		stop := make(chan struct{})
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			killed := false
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				vm.CollectGarbage(nil)
+				if i == 2 && !killed {
+					killed = true
+					if err := vm.KillIsolate(nil, victim); err != nil {
+						t.Errorf("kill: %v", err)
+					}
+				}
+				time.Sleep(200 * time.Microsecond)
+			}
+		}()
+		res := sched.Run(vm, 4, 0)
+		close(stop)
+		wg.Wait()
+		if !res.AllDone {
+			t.Fatalf("round %d: run did not finish: %+v", round, res)
+		}
+
+		var wantBytes int64 = -1
+		for k, th := range threads {
+			if th.Err() != nil {
+				t.Fatalf("round %d bundle%d: host error %v", round, k, th.Err())
+			}
+			if k == 1 {
+				// The victim either finished before the kill landed or died
+				// with the termination exception; both are legal.
+				continue
+			}
+			if th.Failure() != nil {
+				t.Fatalf("round %d bundle%d: guest failure %v", round, k, th.FailureString())
+			}
+			if th.Result().I != memStressIters {
+				t.Fatalf("round %d bundle%d: result %d, want %d", round, k, th.Result().I, memStressIters)
+			}
+			// The loop is symmetric, so creator-charged byte accounts of
+			// the surviving isolates must be identical — batched charging
+			// across domains, collections and kill safepoints loses
+			// nothing.
+			b := vm.SnapshotOf(isolates[k]).AllocatedBytes
+			if k == 0 {
+				// bundle0 additionally owns the shared monitor object.
+				b -= shared.Size()
+			}
+			if wantBytes == -1 {
+				wantBytes = b
+			} else if b != wantBytes {
+				t.Fatalf("round %d bundle%d: allocated bytes %d, want %d", round, k, b, wantBytes)
+			}
+		}
+
+		// Reservation-counter soundness: after a final collection the
+		// shared atomic counter equals exactly the live bytes.
+		final := vm.CollectGarbage(nil)
+		if used := vm.Heap().Used(); used != final.LiveBytes {
+			t.Fatalf("round %d: used %d != live %d after final collection", round, used, final.LiveBytes)
+		}
+		if vm.Heap().GCCount() < 3 {
+			t.Fatalf("round %d: expected several collections, got %d", round, vm.Heap().GCCount())
+		}
+	}
+}

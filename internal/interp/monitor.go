@@ -2,21 +2,61 @@ package interp
 
 import (
 	"fmt"
+	"sync"
 
 	"ijvm/internal/heap"
 )
 
-// Monitor operations and the park/wake bookkeeping all run under
-// VM.schedMu: object monitors are shared across isolates, so under the
-// concurrent scheduler threads on different workers contend for them.
-// schedMu is a leaf lock — none of these functions allocate or take
-// another VM lock while holding it.
+// Object monitors are guarded by a striped lock table: every object
+// carries an immutable stripe index assigned at allocation
+// (heap.Object.MonitorStripe), and all reads/writes of its Monitor word
+// (Owner, Count) happen under the selected stripe mutex. Uncontended
+// monitorenter/monitorexit therefore touch one stripe lock and never a
+// VM-global mutex — under the concurrent scheduler, shards locking
+// unrelated objects no longer serialize on each other.
+//
+// The park/wake bookkeeping (thread states, blockedOn/waitingOn, the
+// wait sets in VM.waiters, sleep deadlines) stays under VM.schedMu.
+//
+// # Lock ordering
+//
+// schedMu -> stripe. A stripe may be taken alone (the enter/exit fast
+// paths) or nested under schedMu (wait/notify, blocked-thread promotion,
+// the kill path's force-release); schedMu is never acquired while a
+// stripe is held, and stripes are leaf locks — no allocation and no
+// other VM lock under them. Two stripes are never held at once.
+//
+// # Why the enter/park window is safe
+//
+// A failed tryAcquireMonitor followed by blockOnMonitor leaves a window
+// in which the owner may release the monitor (stripe only) before the
+// loser parks (schedMu). The release's notifyMonitorFreed may then find
+// nothing to wake — the same window the schedMu-serialized design had,
+// because try and park were separate critical sections there too. Both
+// schedulers close it by polling: the sequential engine re-polls
+// promoteLocked every scheduling round, and the concurrent pool re-polls
+// promotability in finishSliceLocked before idling a shard (see the
+// comment there). Wait/notify has no such window: MonitorWait holds
+// schedMu across the monitor release AND the wait-set insertion, and a
+// notifier must hold schedMu to read the wait set, so a notify can never
+// fall between them.
+
+// monStripeCount is the size of the striped monitor-lock table (power of
+// two; the object's 8-bit stripe index is masked into it).
+const monStripeCount = 64
+
+// monStripe returns the stripe mutex guarding obj's Monitor word.
+func (vm *VM) monStripe(obj *heap.Object) *sync.Mutex {
+	return &vm.monStripes[obj.MonitorStripe()&(monStripeCount-1)]
+}
 
 // tryAcquireMonitor attempts to lock obj for t without blocking. It
-// returns true on success (including recursive acquisition).
+// returns true on success (including recursive acquisition). Stripe
+// only: the uncontended monitorenter fast path.
 func (vm *VM) tryAcquireMonitor(t *Thread, obj *heap.Object) bool {
-	vm.schedMu.Lock()
-	defer vm.schedMu.Unlock()
+	mu := vm.monStripe(obj)
+	mu.Lock()
+	defer mu.Unlock()
 	m := &obj.Monitor
 	switch m.Owner {
 	case 0:
@@ -43,15 +83,16 @@ func (vm *VM) blockOnMonitor(t *Thread, obj *heap.Object) {
 // releaseMonitor fully releases one recursion level of obj held by t;
 // used by monitorexit and frame unwinding of synchronized methods.
 func (vm *VM) releaseMonitor(t *Thread, obj *heap.Object) {
-	vm.schedMu.Lock()
+	mu := vm.monStripe(obj)
+	mu.Lock()
 	freed := vm.releaseMonitorLocked(t, obj)
-	vm.schedMu.Unlock()
+	mu.Unlock()
 	if freed {
 		vm.notifyMonitorFreed()
 	}
 }
 
-// releaseMonitorLocked is releaseMonitor under schedMu; it reports
+// releaseMonitorLocked is releaseMonitor under obj's stripe; it reports
 // whether the monitor became free.
 func (vm *VM) releaseMonitorLocked(t *Thread, obj *heap.Object) bool {
 	m := &obj.Monitor
@@ -70,15 +111,17 @@ func (vm *VM) releaseMonitorLocked(t *Thread, obj *heap.Object) bool {
 }
 
 // monitorExitChecked implements the monitorexit bytecode with the
-// IllegalMonitorStateException check.
+// IllegalMonitorStateException check. Stripe only: the uncontended
+// monitorexit fast path.
 func (vm *VM) monitorExitChecked(t *Thread, obj *heap.Object) (ok bool) {
-	vm.schedMu.Lock()
+	mu := vm.monStripe(obj)
+	mu.Lock()
 	if obj.Monitor.Owner != t.id {
-		vm.schedMu.Unlock()
+		mu.Unlock()
 		return false
 	}
 	freed := vm.releaseMonitorLocked(t, obj)
-	vm.schedMu.Unlock()
+	mu.Unlock()
 	if freed {
 		vm.notifyMonitorFreed()
 	}
@@ -87,18 +130,25 @@ func (vm *VM) monitorExitChecked(t *Thread, obj *heap.Object) (ok bool) {
 
 // MonitorWait implements Object.wait(timeoutTicks): the calling thread
 // must own the monitor; it releases it fully, parks, and re-acquires on
-// wake. timeoutTicks <= 0 waits until notified or interrupted.
+// wake. timeoutTicks <= 0 waits until notified or interrupted. schedMu
+// is held across the monitor release and the wait-set insertion, so a
+// racing notify (which requires schedMu) observes either a still-owned
+// monitor or a fully registered waiter — never the gap between.
 func (vm *VM) MonitorWait(t *Thread, obj *heap.Object, timeoutTicks int64) error {
-	now := vm.NowTicks() // before schedMu: exact, and keeps schedMu a leaf
+	now := vm.NowTicks() // before schedMu: exact, and keeps the locks leaf-bound
 	vm.schedMu.Lock()
+	mu := vm.monStripe(obj)
+	mu.Lock()
 	m := &obj.Monitor
 	if m.Owner != t.id {
+		mu.Unlock()
 		vm.schedMu.Unlock()
 		return fmt.Errorf("wait without ownership")
 	}
 	t.savedLock = m.Count
 	m.Owner = 0
 	m.Count = 0
+	mu.Unlock()
 	t.setState(StateWaitingMonitor)
 	t.waitingOn = obj
 	if timeoutTicks > 0 {
@@ -118,7 +168,13 @@ func (vm *VM) MonitorWait(t *Thread, obj *heap.Object, timeoutTicks int64) error
 // the blocked-on-monitor state and re-acquire before returning from wait.
 func (vm *VM) MonitorNotify(t *Thread, obj *heap.Object, all bool) error {
 	vm.schedMu.Lock()
-	if obj.Monitor.Owner != t.id {
+	mu := vm.monStripe(obj)
+	mu.Lock()
+	owner := obj.Monitor.Owner
+	mu.Unlock()
+	// The ownership check stays exact after the stripe unlock: only t can
+	// release a monitor t owns, and t is right here.
+	if owner != t.id {
 		vm.schedMu.Unlock()
 		return fmt.Errorf("notify without ownership")
 	}

@@ -58,7 +58,7 @@ func NativeThrowObject(obj *heap.Object) (NativeResult, error) {
 // NativeThrowName allocates an exception of the named system class with a
 // message and returns a NativeThrow result.
 func NativeThrowName(vm *VM, t *Thread, className, msg string) (NativeResult, error) {
-	obj, err := vm.NewThrowable(t.cur, className, msg)
+	obj, err := vm.newThrowableT(t, t.cur, className, msg)
 	if err != nil {
 		return NativeResult{}, err
 	}

@@ -226,6 +226,10 @@ func prepareMethod(m *classfile.Method) *bytecode.PCode {
 			if in.Op == bytecode.OpInvokeVirtual {
 				instrs[pc].IC = new(bytecode.ICache)
 			}
+		case bytecode.OpGetField, bytecode.OpPutField:
+			// Per-site resolved-field slot cache (published on first
+			// resolution, handlers.go).
+			instrs[pc].FS = bytecode.NewFieldSlot()
 		}
 	}
 	return &bytecode.PCode{

@@ -346,7 +346,7 @@ func TestPendingArgsAreGCRoots(t *testing.T) {
 	if err := iso.Loader().DefineAll([]*classfile.Class{fin, target}); err != nil {
 		t.Fatal(err)
 	}
-	arg, err := vm.AllocObjectIn(fin, iso)
+	arg, err := vm.AllocObjectIn(nil, fin, iso)
 	if err != nil {
 		t.Fatal(err)
 	}

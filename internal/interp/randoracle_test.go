@@ -17,13 +17,16 @@ import (
 // inline-cached dispatch: a seeded generator produces small *verified*
 // programs exercising virtual calls (mono- and polymorphic receivers),
 // static cross-isolate calls, branches, monitors, guest exceptions
-// (caught and uncaught) and array traffic, and every program is replayed
-// under all four configurations {prepared+IC, seed switch} × {Shared,
-// Isolated}. Within each mode the prepared run must match the seed run
+// (caught and uncaught), array traffic, allocation/GC-heavy churn (the
+// small oracle heap forces GC-on-pressure collections mid-run) and
+// synchronized-heavy shapes (synchronized methods nested in explicit
+// monitor sections), and every program is replayed under all four
+// configurations {prepared+IC, seed switch} × {Shared, Isolated}.
+// Within each mode the prepared run must match the seed run
 // byte-for-byte: guest result, failure, output, total instructions,
-// virtual clock, per-isolate instruction/CPU-sample accounting, and the
-// post-GC heap statistics (allocation counters and heap-reachable live
-// objects/bytes).
+// virtual clock, per-isolate instruction/CPU-sample accounting, the
+// per-isolate *byte* accounts (allocated objects/bytes), the GC
+// activation counts, and the post-GC heap-reachable live objects/bytes.
 
 // oracleFragKind enumerates the loop-body building blocks the generator
 // composes.
@@ -39,6 +42,19 @@ const (
 	fragCatchNull
 	fragArray
 	fragSpecial
+	// fragAllocChurn allocates a fresh receiver object per iteration and
+	// drops it (allocation-heavy garbage: under the small oracle heap
+	// this drives GC-on-pressure collections mid-run, exercising the
+	// shard-local allocation domains and the batched byte accounting).
+	fragAllocChurn
+	// fragArrayChurn allocates a sized array per iteration, writes one
+	// slot and drops it (byte-heavy garbage).
+	fragArrayChurn
+	// fragSyncCall invokes a synchronized virtual method (monitor
+	// acquired on frame entry, released on return) and nests an explicit
+	// monitorenter/exit on a second receiver inside the same iteration —
+	// the synchronized-heavy shape on the striped monitor table.
+	fragSyncCall
 	numFragKinds
 )
 
@@ -143,6 +159,12 @@ func oracleMainClasses(p oracleProgram) []*classfile.Class {
 		}).
 		Method("p", "(I)I", 0, func(a *bytecode.Assembler) {
 			a.ILoad(1).Const(3).IMul().IReturn()
+		}).
+		Method("sf", "(I)I", classfile.FlagSynchronized, func(a *bytecode.Assembler) {
+			// Synchronized: the frame holds the receiver's monitor while
+			// it reads and writes the inherited field.
+			a.ALoad(0).ILoad(1).PutField(oraBase, "v")
+			a.ALoad(0).GetField(oraBase, "v").Const(5).IAdd().IReturn()
 		}).MustBuild()
 	classes := []*classfile.Class{base}
 	for k := 0; k < p.numImpls; k++ {
@@ -227,6 +249,29 @@ func oracleMainClasses(p oracleProgram) []*classfile.Class {
 				case fragSpecial:
 					a.ALoad(recvSlot(f.r1)).ILoad(1).
 						InvokeSpecial(oraBase, "p", "(I)I").IStore(1)
+				case fragAllocChurn:
+					// Fresh object per iteration, dropped immediately:
+					// allocation-heavy garbage for the GC-on-pressure path.
+					a.New(oraImpl(f.r1)).Dup().
+						InvokeSpecial(oraImpl(f.r1), classfile.InitName, "()V").
+						AStore(tmpSlot)
+					a.ALoad(tmpSlot).ILoad(1).
+						InvokeVirtual(oraBase, "f", "(I)I").IStore(1)
+					a.Null().AStore(tmpSlot)
+				case fragArrayChurn:
+					// Sized array per iteration (up to ~2 KB), one store,
+					// dropped.
+					a.Const(f.arrLen * 64).NewArray("").AStore(tmpSlot)
+					a.ALoad(tmpSlot).Const(f.arrLen).ILoad(1).ArrayStore()
+					a.ALoad(tmpSlot).Const(f.arrLen).ArrayLoad().IStore(1)
+					a.Null().AStore(tmpSlot)
+				case fragSyncCall:
+					// Synchronized method call nested inside an explicit
+					// monitor section on a second receiver.
+					a.ALoad(recvSlot(f.r2)).MonitorEnter()
+					a.ALoad(recvSlot(f.r1)).ILoad(1).
+						InvokeVirtual(oraBase, "sf", "(I)I").IStore(1)
+					a.ALoad(recvSlot(f.r2)).MonitorExit()
 				}
 			}
 			a.IInc(2, 1).Goto("loop")
@@ -265,9 +310,10 @@ type oracleTrace struct {
 	total   int64
 	clock   int64
 	// name -> {Instructions, CPUSamples, AllocatedObjects,
-	// AllocatedBytes, LiveObjects, LiveBytes} (live figures post-GC:
-	// the heap-reachable result surface).
-	perIsolate map[string][6]int64
+	// AllocatedBytes, LiveObjects, LiveBytes, GCActivations} (live
+	// figures post-GC: the heap-reachable result surface; GCActivations
+	// proves the GC-on-pressure collection points are identical).
+	perIsolate map[string][7]int64
 }
 
 func (a oracleTrace) diff(b oracleTrace) string {
@@ -291,7 +337,7 @@ func (a oracleTrace) diff(b oracleTrace) string {
 			return fmt.Sprintf("isolate %s missing", iso)
 		}
 		if av != bv {
-			return fmt.Sprintf("isolate %s {instr, samples, allocObj, allocB, liveObj, liveB} %v != %v", iso, av, bv)
+			return fmt.Sprintf("isolate %s {instr, samples, allocObj, allocB, liveObj, liveB, gcActs} %v != %v", iso, av, bv)
 		}
 	}
 	return ""
@@ -300,7 +346,11 @@ func (a oracleTrace) diff(b oracleTrace) string {
 // runOracleProgram materializes and executes p under one configuration.
 func runOracleProgram(t *testing.T, p oracleProgram, mode core.Mode, seedDispatch bool) oracleTrace {
 	t.Helper()
-	vm := interp.NewVM(interp.Options{Mode: mode, DisablePrepare: seedDispatch})
+	// The small heap limit makes the alloc/array-churn fragments hit
+	// GC-on-pressure collections mid-run, so the oracle also proves the
+	// collection points, the per-isolate byte accounts and the post-GC
+	// reachability identical across dispatch configurations.
+	vm := interp.NewVM(interp.Options{Mode: mode, DisablePrepare: seedDispatch, HeapLimit: 32 << 10})
 	syslib.MustInstall(vm)
 	iso, err := vm.NewIsolate("main")
 	if err != nil {
@@ -343,13 +393,14 @@ func runOracleProgram(t *testing.T, p oracleProgram, mode core.Mode, seedDispatc
 		output:     vm.Output(),
 		total:      vm.TotalInstructions(),
 		clock:      vm.Clock(),
-		perIsolate: make(map[string][6]int64),
+		perIsolate: make(map[string][7]int64),
 	}
 	for _, s := range vm.Snapshots() {
-		tr.perIsolate[s.IsolateName] = [6]int64{
+		tr.perIsolate[s.IsolateName] = [7]int64{
 			s.Instructions, s.CPUSamples,
 			s.AllocatedObjects, s.AllocatedBytes,
 			s.LiveObjects, s.LiveBytes,
+			s.GCActivations,
 		}
 	}
 	return tr

@@ -106,6 +106,14 @@ func (vm *VM) run(budget int64, target *Thread) RunResult {
 // executed in without re-reading the atomic mode per step.
 func (vm *VM) runQuantum(t *Thread, quantum int64, target *Thread) int64 {
 	isolated := vm.world.Isolated()
+	if vm.seqAlloc == nil {
+		vm.seqAlloc = vm.acquireAllocState()
+	}
+	// Install the sequential engine's allocation state for the quantum;
+	// allocation inside the steps below goes through its shard-local
+	// domain with batched byte accounting.
+	t.alloc = vm.seqAlloc
+	defer func() { t.alloc = nil }()
 	var n int64
 	for n < quantum && t.State() == StateRunnable {
 		err := vm.stepThread(t)
@@ -152,6 +160,9 @@ func (vm *VM) flushSequential() {
 		vm.seqPending = 0
 	}
 	vm.seqBatch.Flush()
+	if vm.seqAlloc != nil {
+		vm.seqAlloc.batch.Flush()
+	}
 }
 
 // pruneDoneThreads drops finished threads from the scheduler list once
@@ -235,13 +246,17 @@ func (vm *VM) promoteLocked(t *Thread) bool {
 // promoteBlockedLocked attempts to hand a free monitor to a blocked
 // thread. For wait-reacquisition (savedLock > 0) the saved recursion
 // count is restored; for monitorenter retries the instruction
-// re-executes. schedMu held.
+// re-executes. schedMu held; the monitor word is read (and, for
+// reacquisition, written) under its stripe (schedMu -> stripe ordering).
 func (vm *VM) promoteBlockedLocked(t *Thread) bool {
 	obj := t.blockedOn
 	if obj == nil {
 		t.setState(StateRunnable)
 		return true
 	}
+	mu := vm.monStripe(obj)
+	mu.Lock()
+	defer mu.Unlock()
 	if obj.Monitor.Owner != 0 && obj.Monitor.Owner != t.id {
 		return false
 	}

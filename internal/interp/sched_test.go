@@ -60,7 +60,7 @@ func TestSchedulerFairness(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		obj, err := vm.AllocObjectIn(c, iso)
+		obj, err := vm.AllocObjectIn(nil, c, iso)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -127,7 +127,7 @@ func TestVirtualClockSleepOrdering(t *testing.T) {
 	// 30000, 10000, 20000 ticks -> wake order 1, 2, 0.
 	durations := []int64{30000, 10000, 20000}
 	for tag, d := range durations {
-		obj, err := vm.AllocObjectIn(c, iso)
+		obj, err := vm.AllocObjectIn(nil, c, iso)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -64,11 +64,17 @@ func (vm *VM) patchThreadForKill(t *Thread, target *core.Isolate) error {
 	for _, f := range t.frames {
 		if f.iso == target {
 			involved = true
-			// Force-release monitors held by killed frames.
-			if f.lockedMonitor != nil && f.lockedMonitor.Monitor.Owner == t.id {
-				f.lockedMonitor.Monitor.Owner = 0
-				f.lockedMonitor.Monitor.Count = 0
-				f.lockedMonitor = nil
+			// Force-release monitors held by killed frames (the monitor
+			// word is guarded by its stripe; schedMu -> stripe ordering).
+			if obj := f.lockedMonitor; obj != nil {
+				mu := vm.monStripe(obj)
+				mu.Lock()
+				if obj.Monitor.Owner == t.id {
+					obj.Monitor.Owner = 0
+					obj.Monitor.Count = 0
+					f.lockedMonitor = nil
+				}
+				mu.Unlock()
 			}
 		}
 	}

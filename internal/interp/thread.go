@@ -209,6 +209,14 @@ type Thread struct {
 	// wake operations only while the thread is parked, under VM.schedMu).
 	slowStep bool
 
+	// alloc is the executing engine's allocation state (shard-local
+	// domain + batched byte accounting), installed for the duration of a
+	// quantum and nil otherwise. Owned by the goroutine executing the
+	// thread: only that goroutine may allocate through it, and wake-side
+	// allocation (InterruptThread's exception) must use the host path
+	// instead.
+	alloc *allocState
+
 	// pendingArgs is the in-flight invocation argument window between
 	// the caller's stack truncation and the callee's locals copy (or the
 	// native call's completion). buildRootSets scans it so an allocation

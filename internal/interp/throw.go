@@ -11,20 +11,30 @@ import (
 const voidKind = classfile.KindVoid
 
 // NewThrowable allocates an instance of a throwable system class and sets
-// its message field. It is used by the interpreter for VM-raised
-// exceptions (NPE, OOM, StoppedIsolateException, ...).
+// its message field, through the host allocation path. It is the
+// wake-side entry point: InterruptThread, forceInterrupt and the kill
+// patching all allocate the exception for a *parked* thread from a
+// goroutine that is not executing it, so they must not touch the
+// thread's engine-installed allocation state. Code running on the
+// executing goroutine uses newThrowableT (via Throw) instead.
 func (vm *VM) NewThrowable(iso *core.Isolate, className, msg string) (*heap.Object, error) {
+	return vm.newThrowableT(nil, iso, className, msg)
+}
+
+// newThrowableT is NewThrowable with the executing thread's allocation
+// state (t may be nil for the host path).
+func (vm *VM) newThrowableT(t *Thread, iso *core.Isolate, className, msg string) (*heap.Object, error) {
 	class, err := vm.lookupWellKnown(className)
 	if err != nil {
 		return nil, err
 	}
-	obj, err := vm.AllocObjectIn(class, iso)
+	obj, err := vm.AllocObjectIn(t, class, iso)
 	if err != nil {
 		return nil, fmt.Errorf("allocating %s: %w", className, err)
 	}
 	if msg != "" {
 		if f, ferr := class.LookupField("message"); ferr == nil {
-			msgObj, serr := vm.NewStringObject(iso, msg)
+			msgObj, serr := vm.NewStringObject(t, iso, msg)
 			if serr != nil {
 				return nil, serr
 			}
@@ -35,10 +45,11 @@ func (vm *VM) NewThrowable(iso *core.Isolate, className, msg string) (*heap.Obje
 }
 
 // Throw raises a guest exception of the named class in thread t,
-// unwinding its frame stack.
+// unwinding its frame stack. It runs on the goroutine executing t, so
+// the exception is allocated through the executing shard's domain.
 func (vm *VM) Throw(t *Thread, className, msg string) error {
 	iso := t.CurrentIsolateOrZero()
-	obj, err := vm.NewThrowable(iso, className, msg)
+	obj, err := vm.newThrowableT(t, iso, className, msg)
 	if err != nil {
 		return err
 	}
@@ -90,7 +101,7 @@ func (vm *VM) DeliverException(t *Thread, exObj *heap.Object) error {
 		// traversing the killed frame keeps unwinding it).
 		if !stopped {
 			if nf := t.top(); nf != nil && nf.iso != nil && nf.iso.Killed() {
-				replacement, err := vm.NewThrowable(t.CurrentIsolateOrZero(), ClassStoppedIsolateException,
+				replacement, err := vm.newThrowableT(t, t.CurrentIsolateOrZero(), ClassStoppedIsolateException,
 					"isolate "+nf.iso.Name()+" stopped")
 				if err != nil {
 					return err

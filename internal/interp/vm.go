@@ -123,10 +123,10 @@ type VM struct {
 	liveThreads  atomic.Int64
 	rrIndex      int // sequential engine only
 
-	// schedMu serializes the park/wake state machine: monitor ownership,
-	// wait sets, sleep deadlines and cross-thread state transitions.
-	// It is a leaf lock: no allocation and no other VM lock is taken
-	// while holding it.
+	// schedMu serializes the park/wake state machine: wait sets, sleep
+	// deadlines and cross-thread state transitions. No allocation and no
+	// VM lock other than a monitor stripe (monitor.go) is taken while
+	// holding it.
 	schedMu sync.Mutex
 
 	// clock is the virtual time in ticks; it advances by one per executed
@@ -149,6 +149,22 @@ type VM struct {
 	// framePool recycles activation records (and their local/stack
 	// slices) across pushFrame/popFrame.
 	framePool sync.Pool
+
+	// seqAlloc is the sequential engine's allocation state (shard-local
+	// domain + byte batch), owned by the goroutine running Run/RunUntil
+	// and installed on the stepping thread per quantum. allocFree pools
+	// worker allocation states across concurrent runs so the heap's
+	// domain registry stays bounded by the worker high-water mark.
+	seqAlloc    *allocState
+	allocFreeMu sync.Mutex
+	allocFree   []*allocState
+
+	// monStripes is the striped monitor-lock table: Object.Monitor words
+	// are guarded by the stripe selected by the object's immutable stripe
+	// index, so uncontended monitor enter/exit never touches a global
+	// lock. Stripes are leaf locks, acquired (if at all) after schedMu;
+	// see monitor.go for the full discipline.
+	monStripes [monStripeCount]sync.Mutex
 
 	// pinned holds host-side references (OSGi registry, RPC endpoints)
 	// that act as GC roots attributed to an isolate.
@@ -341,8 +357,9 @@ func (vm *VM) lookupWellKnown(name string) (*classfile.Class, error) {
 
 // InternString returns the interned string object for s in isolate iso.
 // In Isolated mode every isolate has a private pool (paper §3.1/§3.5); in
-// Shared mode the single isolate's pool is global.
-func (vm *VM) InternString(iso *core.Isolate, s string) (*heap.Object, error) {
+// Shared mode the single isolate's pool is global. t selects the
+// executing shard's allocation domain (nil for host-side callers).
+func (vm *VM) InternString(t *Thread, iso *core.Isolate, s string) (*heap.Object, error) {
 	if iso == nil {
 		return nil, errors.New("interp: InternString requires an isolate")
 	}
@@ -353,7 +370,7 @@ func (vm *VM) InternString(iso *core.Isolate, s string) (*heap.Object, error) {
 	if err != nil {
 		return nil, err
 	}
-	obj, err := vm.allocStringRaw(strClass, s, iso)
+	obj, err := vm.allocStringRaw(t, strClass, s, iso)
 	if err != nil {
 		return nil, err
 	}
@@ -362,18 +379,18 @@ func (vm *VM) InternString(iso *core.Isolate, s string) (*heap.Object, error) {
 }
 
 // NewStringObject allocates a fresh (non-interned) guest string.
-func (vm *VM) NewStringObject(iso *core.Isolate, s string) (*heap.Object, error) {
+func (vm *VM) NewStringObject(t *Thread, iso *core.Isolate, s string) (*heap.Object, error) {
 	strClass, err := vm.lookupWellKnown(ClassString)
 	if err != nil {
 		return nil, err
 	}
-	return vm.allocStringRaw(strClass, s, iso)
+	return vm.allocStringRaw(t, strClass, s, iso)
 }
 
 // ClassObjectFor returns the per-isolate java.lang.Class object of class c
 // (Shared mode: the single shared one), allocating it lazily in the
 // class's task class mirror.
-func (vm *VM) ClassObjectFor(c *classfile.Class, iso *core.Isolate) (*heap.Object, error) {
+func (vm *VM) ClassObjectFor(t *Thread, c *classfile.Class, iso *core.Isolate) (*heap.Object, error) {
 	m := vm.world.Mirror(c, iso)
 	if obj := m.ClassObject.Load(); obj != nil {
 		return obj, nil
@@ -382,7 +399,7 @@ func (vm *VM) ClassObjectFor(c *classfile.Class, iso *core.Isolate) (*heap.Objec
 	if err != nil {
 		return nil, err
 	}
-	obj, err := vm.allocNativeRaw(classClass, c, 0, false, iso)
+	obj, err := vm.allocNativeRaw(t, classClass, c, 0, false, iso)
 	if err != nil {
 		return nil, err
 	}
@@ -392,58 +409,6 @@ func (vm *VM) ClassObjectFor(c *classfile.Class, iso *core.Isolate) (*heap.Objec
 		return m.ClassObject.Load(), nil
 	}
 	return obj, nil
-}
-
-// --- Allocation with GC-on-pressure -------------------------------------
-
-// allocRetry runs fn, and on heap exhaustion triggers an accounting
-// collection charged to iso and retries once. The second failure is
-// surfaced to the caller, which raises OutOfMemoryError in the guest.
-func (vm *VM) allocRetry(iso *core.Isolate, fn func() (*heap.Object, error)) (*heap.Object, error) {
-	obj, err := fn()
-	if err == nil {
-		return obj, nil
-	}
-	if !errors.Is(err, heap.ErrOutOfMemory) {
-		return nil, err
-	}
-	vm.CollectGarbage(iso)
-	return fn()
-}
-
-func (vm *VM) allocStringRaw(class *classfile.Class, s string, iso *core.Isolate) (*heap.Object, error) {
-	return vm.allocRetry(iso, func() (*heap.Object, error) {
-		return vm.heap.AllocString(class, s, iso.ID())
-	})
-}
-
-func (vm *VM) allocNativeRaw(class *classfile.Class, payload any, size int64, conn bool, iso *core.Isolate) (*heap.Object, error) {
-	return vm.allocRetry(iso, func() (*heap.Object, error) {
-		return vm.heap.AllocNative(class, payload, size, conn, iso.ID())
-	})
-}
-
-// AllocObjectIn allocates an instance of class charged to iso, collecting
-// on pressure.
-func (vm *VM) AllocObjectIn(class *classfile.Class, iso *core.Isolate) (*heap.Object, error) {
-	return vm.allocRetry(iso, func() (*heap.Object, error) {
-		return vm.heap.AllocObject(class, iso.ID())
-	})
-}
-
-// AllocArrayIn allocates an array charged to iso, collecting on pressure.
-func (vm *VM) AllocArrayIn(class *classfile.Class, n int, iso *core.Isolate) (*heap.Object, error) {
-	return vm.allocRetry(iso, func() (*heap.Object, error) {
-		return vm.heap.AllocArray(class, n, iso.ID())
-	})
-}
-
-// AllocNativeIn allocates a native-payload object charged to iso.
-func (vm *VM) AllocNativeIn(class *classfile.Class, payload any, size int64, conn bool, iso *core.Isolate) (*heap.Object, error) {
-	if conn {
-		iso.Account().ConnectionsOpened.Add(1)
-	}
-	return vm.allocNativeRaw(class, payload, size, conn, iso)
 }
 
 // --- Garbage collection ---------------------------------------------------

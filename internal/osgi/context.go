@@ -80,7 +80,7 @@ func (f *Framework) buildContextClass() (*classfile.Class, error) {
 			if err != nil {
 				return interp.NativeResult{}, err
 			}
-			obj, serr := vm.InternString(t.CurrentIsolateOrZero(), bundle.manifest.Name)
+			obj, serr := vm.InternString(t, t.CurrentIsolateOrZero(), bundle.manifest.Name)
 			if serr != nil {
 				return interp.NativeResult{}, serr
 			}

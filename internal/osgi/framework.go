@@ -255,7 +255,7 @@ func (f *Framework) contextObjectFor(b *Bundle) (*heap.Object, error) {
 	if b.ctxObj != nil {
 		return b.ctxObj, nil
 	}
-	obj, err := f.vm.AllocNativeIn(f.ctxClass, b, 64, false, f.isolate0)
+	obj, err := f.vm.AllocNativeIn(nil, f.ctxClass, b, 64, false, f.isolate0)
 	if err != nil {
 		return nil, err
 	}
@@ -348,7 +348,7 @@ func (f *Framework) fireServiceEvent(name string, eventType int64, origin *Bundl
 		if m == nil {
 			continue
 		}
-		nameObj, err := f.vm.InternString(f.isolate0, name)
+		nameObj, err := f.vm.InternString(nil, f.isolate0, name)
 		if err != nil {
 			continue
 		}
@@ -383,7 +383,7 @@ func (f *Framework) fireStoppedBundleEvent(stopped *Bundle) {
 		if m == nil {
 			continue
 		}
-		nameObj, err := f.vm.InternString(f.isolate0, stopped.manifest.Name)
+		nameObj, err := f.vm.InternString(nil, f.isolate0, stopped.manifest.Name)
 		if err != nil {
 			continue
 		}

@@ -40,7 +40,7 @@ func deepCopy(vm *interp.VM, v heap.Value, target *core.Isolate, memo map[*heap.
 	}
 	src := v.R
 	if s, isStr := src.StringValue(); isStr {
-		dup, err := vm.NewStringObject(target, s)
+		dup, err := vm.NewStringObject(nil, target, s)
 		if err != nil {
 			return heap.Value{}, err
 		}
@@ -48,7 +48,7 @@ func deepCopy(vm *interp.VM, v heap.Value, target *core.Isolate, memo map[*heap.
 		return heap.RefVal(dup), nil
 	}
 	if src.IsArray() {
-		dup, err := vm.AllocArrayIn(src.Class, len(src.Elems), target)
+		dup, err := vm.AllocArrayIn(nil, src.Class, len(src.Elems), target)
 		if err != nil {
 			return heap.Value{}, err
 		}
@@ -65,7 +65,7 @@ func deepCopy(vm *interp.VM, v heap.Value, target *core.Isolate, memo map[*heap.
 	if src.Native != nil {
 		return heap.Value{}, fmt.Errorf("rpc: cannot copy native-payload object of class %s", src.Class.Name)
 	}
-	dup, err := vm.AllocObjectIn(src.Class, target)
+	dup, err := vm.AllocObjectIn(nil, src.Class, target)
 	if err != nil {
 		return heap.Value{}, err
 	}

@@ -110,12 +110,12 @@ func TestDeepCopyPreservesGraphShape(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	arr, err := e.vm.AllocArrayIn(objClass, 3, e.caller)
+	arr, err := e.vm.AllocArrayIn(nil, objClass, 3, e.caller)
 	if err != nil {
 		t.Fatal(err)
 	}
 	arr.Elems[0] = heap.RefVal(arr)
-	inner, err := e.vm.NewStringObject(e.caller, "payload")
+	inner, err := e.vm.NewStringObject(nil, e.caller, "payload")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -150,11 +150,11 @@ func TestMarshalRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	arr, err := e.vm.AllocArrayIn(objClass, 2, e.caller)
+	arr, err := e.vm.AllocArrayIn(nil, objClass, 2, e.caller)
 	if err != nil {
 		t.Fatal(err)
 	}
-	str, err := e.vm.NewStringObject(e.caller, "wire")
+	str, err := e.vm.NewStringObject(nil, e.caller, "wire")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -192,7 +192,7 @@ func TestMarshalRejectsNativePayloads(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	obj, err := e.vm.AllocNativeIn(listClass, struct{}{}, 16, false, e.caller)
+	obj, err := e.vm.AllocNativeIn(nil, listClass, struct{}{}, 16, false, e.caller)
 	if err != nil {
 		t.Fatal(err)
 	}

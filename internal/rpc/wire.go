@@ -163,7 +163,7 @@ func (d *decoder) value() (heap.Value, error) {
 		if err != nil {
 			return heap.Value{}, err
 		}
-		obj, err := d.vm.NewStringObject(d.target, s)
+		obj, err := d.vm.NewStringObject(nil, d.target, s)
 		if err != nil {
 			return heap.Value{}, err
 		}
@@ -191,7 +191,7 @@ func (d *decoder) value() (heap.Value, error) {
 		if err := binary.Read(d.r, binary.LittleEndian, &n); err != nil {
 			return heap.Value{}, err
 		}
-		arr, err := d.vm.AllocArrayIn(class, int(n), d.target)
+		arr, err := d.vm.AllocArrayIn(nil, class, int(n), d.target)
 		if err != nil {
 			return heap.Value{}, err
 		}
@@ -217,7 +217,7 @@ func (d *decoder) value() (heap.Value, error) {
 		if err := binary.Read(d.r, binary.LittleEndian, &n); err != nil {
 			return heap.Value{}, err
 		}
-		obj, err := d.vm.AllocObjectIn(class, d.target)
+		obj, err := d.vm.AllocObjectIn(nil, class, d.target)
 		if err != nil {
 			return heap.Value{}, err
 		}

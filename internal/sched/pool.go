@@ -267,6 +267,7 @@ func (p *pool) worker() {
 	}()
 
 	var sampler interp.SampleState
+	defer p.vm.ReleaseWorkerState(&sampler)
 
 	p.mu.Lock()
 	for {

@@ -46,7 +46,7 @@ func connectionClass() *classfile.Class {
 				return interp.NativeResult{}, cerr
 			}
 			// Connections are charged to the creator (§3.2).
-			obj, aerr := vm.AllocNativeIn(connClass, &connPayload{name: name, endpoint: ep}, 64, true, iso)
+			obj, aerr := vm.AllocNativeIn(t, connClass, &connPayload{name: name, endpoint: ep}, 64, true, iso)
 			if aerr != nil {
 				return interp.NativeThrowName(vm, t, interp.ClassOutOfMemoryError, aerr.Error())
 			}

@@ -58,7 +58,7 @@ func stringClass() *classfile.Class {
 		func(vm *interp.VM, t *interp.Thread, recv heap.Value, args []heap.Value) (interp.NativeResult, error) {
 			a, _ := stringOf(recv)
 			bs, _ := stringOf(args[0])
-			obj, err := vm.NewStringObject(t.CurrentIsolateOrZero(), a+bs)
+			obj, err := vm.NewStringObject(t, t.CurrentIsolateOrZero(), a+bs)
 			if err != nil {
 				return interp.NativeResult{}, err
 			}
@@ -72,7 +72,7 @@ func stringClass() *classfile.Class {
 				return interp.NativeThrowName(vm, t, interp.ClassArrayIndexException,
 					fmt.Sprintf("substring [%d,%d) of %d", from, to, len(s)))
 			}
-			obj, err := vm.NewStringObject(t.CurrentIsolateOrZero(), s[from:to])
+			obj, err := vm.NewStringObject(t, t.CurrentIsolateOrZero(), s[from:to])
 			if err != nil {
 				return interp.NativeResult{}, err
 			}
@@ -95,7 +95,7 @@ func stringClass() *classfile.Class {
 			// Interning goes to the *current isolate's* pool: the same
 			// content interned from two bundles yields two objects.
 			s, _ := stringOf(recv)
-			obj, err := vm.InternString(t.CurrentIsolateOrZero(), s)
+			obj, err := vm.InternString(t, t.CurrentIsolateOrZero(), s)
 			if err != nil {
 				return interp.NativeResult{}, err
 			}
@@ -154,7 +154,7 @@ func stringBuilderClass() *classfile.Class {
 			if !ok {
 				return interp.NativeThrowName(vm, t, interp.ClassNullPointerException, "uninitialized StringBuilder")
 			}
-			obj, err := vm.NewStringObject(t.CurrentIsolateOrZero(), p.b.String())
+			obj, err := vm.NewStringObject(t, t.CurrentIsolateOrZero(), p.b.String())
 			if err != nil {
 				return interp.NativeResult{}, err
 			}

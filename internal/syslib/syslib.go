@@ -93,7 +93,7 @@ func objectClass() *classfile.Class {
 	b.NativeMethod("toString", "()Ljava/lang/String;", classfile.FlagPublic, interp.NativeFunc(
 		func(vm *interp.VM, t *interp.Thread, recv heap.Value, args []heap.Value) (interp.NativeResult, error) {
 			s := recv.R.Class.Name + "@" + strconv.FormatInt(identityHash(vm, recv.R), 16)
-			obj, err := vm.NewStringObject(t.CurrentIsolateOrZero(), s)
+			obj, err := vm.NewStringObject(t, t.CurrentIsolateOrZero(), s)
 			if err != nil {
 				return interp.NativeResult{}, err
 			}
@@ -119,7 +119,7 @@ func objectClass() *classfile.Class {
 		func(vm *interp.VM, t *interp.Thread, recv heap.Value, args []heap.Value) (interp.NativeResult, error) {
 			// The Class object is per-isolate in I-JVM mode: two bundles
 			// observing the "same" class see distinct Class instances.
-			obj, err := vm.ClassObjectFor(recv.R.Class, t.CurrentIsolateOrZero())
+			obj, err := vm.ClassObjectFor(t, recv.R.Class, t.CurrentIsolateOrZero())
 			if err != nil {
 				return interp.NativeResult{}, err
 			}
@@ -158,7 +158,7 @@ func classClass() *classfile.Class {
 			if !ok {
 				return interp.NativeResult{}, fmt.Errorf("Class object without class payload")
 			}
-			obj, err := vm.InternString(t.CurrentIsolateOrZero(), class.Name)
+			obj, err := vm.InternString(t, t.CurrentIsolateOrZero(), class.Name)
 			if err != nil {
 				return interp.NativeResult{}, err
 			}

@@ -336,7 +336,7 @@ func TestThreadInterruptWakesSleeper(t *testing.T) {
 		t.Fatal(err)
 	}
 	runM, _ := c.LookupMethod("run", "()V")
-	obj, err := vm.AllocObjectIn(c, iso)
+	obj, err := vm.AllocObjectIn(nil, c, iso)
 	if err != nil {
 		t.Fatal(err)
 	}

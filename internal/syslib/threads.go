@@ -143,7 +143,7 @@ func threadClass() *classfile.Class {
 			if err != nil {
 				return interp.NativeResult{}, err
 			}
-			obj, err := vm.AllocObjectIn(threadClass, t.CurrentIsolateOrZero())
+			obj, err := vm.AllocObjectIn(t, threadClass, t.CurrentIsolateOrZero())
 			if err != nil {
 				return interp.NativeThrowName(vm, t, interp.ClassOutOfMemoryError, err.Error())
 			}

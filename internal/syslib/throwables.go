@@ -28,7 +28,7 @@ func throwableClasses() []*classfile.Class {
 	})
 	throwable.NativeMethod("toString", "()Ljava/lang/String;", classfile.FlagPublic, interp.NativeFunc(
 		func(vm *interp.VM, t *interp.Thread, recv heap.Value, args []heap.Value) (interp.NativeResult, error) {
-			obj, err := vm.NewStringObject(t.CurrentIsolateOrZero(), vmDescribe(vm, recv.R))
+			obj, err := vm.NewStringObject(t, t.CurrentIsolateOrZero(), vmDescribe(vm, recv.R))
 			if err != nil {
 				return interp.NativeResult{}, err
 			}
