@@ -639,6 +639,17 @@ func TestEmitInterpBench(t *testing.T) {
 		UnpreparedMinstrS float64 `json:"unprepared_minstr_s"`
 		SpeedupPercent    float64 `json:"speedup_percent"`
 	}
+	type gcCurve struct {
+		FullSTWPauseMs        float64 `json:"full_stw_pause_ms"` // monolithic mark+sweep, 20k-object live graph
+		IncrementalTerminalMs float64 `json:"incremental_terminal_pause_ms"`
+		PauseRatio            float64 `json:"pause_ratio"`
+		MutatorIdleMinstrS    float64 `json:"mutator_idle_minstr_s"` // store-heavy loop, no cycle open
+		MutatorMarkingMinstrS float64 `json:"mutator_during_mark_minstr_s"`
+		BarrierTaxPercent     float64 `json:"barrier_tax_percent"` // worst case: every 9th instruction a barriered ref store, cycle open all run
+	}
+	type internCurve struct {
+		LdcHotMinstrS float64 `json:"ldc_hot_minstr_s"` // 8 Ldc sites on the lock-free CoW pool read path
+	}
 	bestInvoke := func(k int, disableIC bool) float64 {
 		var bv float64
 		for i := 0; i < 6; i++ {
@@ -685,6 +696,71 @@ func TestEmitInterpBench(t *testing.T) {
 	}
 	allocBefore, allocAfter := bestAlloc(false), bestAlloc(true)
 	fieldBefore, fieldAfter := bestField(true), bestField(false)
+	measureGCPauses := func() (fullMs, termMs float64) {
+		vmFull, err := gcBenchVM(true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		best := func(f func() time.Duration) float64 {
+			bestD := time.Duration(1 << 62)
+			for i := 0; i < 8; i++ {
+				if d := f(); d < bestD {
+					bestD = d
+				}
+			}
+			return float64(bestD) / 1e6
+		}
+		fullMs = best(func() time.Duration {
+			t0 := time.Now()
+			vmFull.CollectGarbage(nil)
+			return time.Since(t0)
+		})
+		vmInc, err := gcBenchVM(false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		termMs = best(func() time.Duration {
+			if !vmInc.StartIncrementalCycle() {
+				t.Fatal("cycle did not open")
+			}
+			for !vmInc.GCMarkStep(1024) {
+			}
+			t0 := time.Now()
+			if _, ok := vmInc.FinishIncrementalCycle(); !ok {
+				t.Fatal("no cycle to finish")
+			}
+			return time.Since(t0)
+		})
+		return fullMs, termMs
+	}
+	gcFullMs, gcTermMs := measureGCPauses()
+	if gcTermMs >= gcFullMs {
+		t.Fatalf("incremental terminal pause %.3fms not shorter than full STW %.3fms", gcTermMs, gcFullMs)
+	}
+	bestGCMutator := func(marking bool) float64 {
+		var bv float64
+		for i := 0; i < 4; i++ {
+			v, err := measureGCMutator(marking)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v > bv {
+				bv = v
+			}
+		}
+		return bv
+	}
+	mutIdle, mutMark := bestGCMutator(false), bestGCMutator(true)
+	var internBest float64
+	for i := 0; i < 4; i++ {
+		v, err := measureInternThroughput()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v > internBest {
+			internBest = v
+		}
+	}
 	report := struct {
 		Workload   string       `json:"workload"`
 		Host       string       `json:"host"`
@@ -694,10 +770,14 @@ func TestEmitInterpBench(t *testing.T) {
 		Invoke     []invokeSite `json:"invoke_microbench"`
 		Alloc      allocCurve   `json:"alloc_microbench"`
 		Field      fieldCurve   `json:"field_microbench"`
+		GC         gcCurve      `json:"gc_microbench"`
+		Intern     internCurve  `json:"intern_microbench"`
 	}{
 		Workload: "BenchmarkScheduler_*: 8 isolates x 200k-iteration spin loops; BenchmarkInvoke_*: one hot invokevirtual site over k receiver classes; " +
 			"BenchmarkAlloc_*: 6 allocator goroutines + 4 metric pollers against one heap (seed global-mutex admission vs per-shard domains); " +
-			"BenchmarkField_*: hot getfield/putfield loop (per-site slot caches vs reference switch)",
+			"BenchmarkField_*: hot getfield/putfield loop (per-site slot caches vs reference switch); " +
+			"BenchmarkGC_*: 20k-object pinned live graph — full-STW pause vs incremental terminal pause, and store-heavy mutator throughput with/without an open mark phase; " +
+			"BenchmarkIntern_*: 8-site Ldc loop on the lock-free interned-string pool",
 		Host: fmt.Sprintf("%s/%s, GOMAXPROCS=%d", runtime.GOOS, runtime.GOARCH, runtime.GOMAXPROCS(0)),
 		HostCaveat: "1-CPU CI container: concurrent-engine numbers measure scheduler overhead only, and the " +
 			"BenchmarkAlloc_* contended-global convoy is reproduced with GOMAXPROCS=6 OS threads on one core — " +
@@ -724,6 +804,15 @@ func TestEmitInterpBench(t *testing.T) {
 			UnpreparedMinstrS: fieldBefore,
 			SpeedupPercent:    (fieldAfter/fieldBefore - 1) * 100,
 		},
+		GC: gcCurve{
+			FullSTWPauseMs:        gcFullMs,
+			IncrementalTerminalMs: gcTermMs,
+			PauseRatio:            gcFullMs / gcTermMs,
+			MutatorIdleMinstrS:    mutIdle,
+			MutatorMarkingMinstrS: mutMark,
+			BarrierTaxPercent:     (1 - mutMark/mutIdle) * 100,
+		},
+		Intern: internCurve{LdcHotMinstrS: internBest},
 	}
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
@@ -1195,4 +1284,293 @@ func BenchmarkScheduler_IJVM_Concurrent4(b *testing.B) {
 }
 func BenchmarkScheduler_IJVM_Concurrent8(b *testing.B) {
 	benchSchedulerRun(b, core.ModeIsolated, 8)
+}
+
+// --- GC microbenchmarks (incremental vs forced-STW) -----------------------
+//
+// A pinned live graph of gcBenchObjects objects (a spine array of small
+// linked pairs) is collected repeatedly. BenchmarkGC_FullSTWPause is the
+// reference collector's pause: one monolithic mark+sweep over the whole
+// graph. BenchmarkGC_IncrementalTerminalPause opens a cycle, drives the
+// mark to completion through MarkQuantum strides (outside the timed
+// region — that work runs concurrently with mutators in production), and
+// times ONLY the terminal stop-the-world phase (root re-scan, residual
+// drain, finalizer pass, sweep). The acceptance bar for the incremental
+// collector is that the terminal pause is strictly shorter than the
+// full-STW pause on the same heap.
+//
+// BenchmarkGC_Mutator{Idle,DuringMark} measure guest throughput of a
+// store-heavy loop with no cycle open vs with an open cycle whose mark
+// strides run at every quantum boundary — mutator progress during
+// marking (the whole point of the incremental design) plus the SATB
+// barrier tax on reference stores.
+
+const gcBenchObjects = 20_000
+
+// gcBenchVM builds an Isolated VM holding a pinned live graph, with
+// background cycles disabled so the benchmark drives phases explicitly.
+func gcBenchVM(forceSTW bool) (*interp.VM, error) {
+	vm := interp.NewVM(interp.Options{
+		Mode:               core.ModeIsolated,
+		HeapLimit:          64 << 20,
+		ForceSTWGC:         forceSTW,
+		GCThresholdPercent: -1,
+	})
+	if err := syslib.Install(vm); err != nil {
+		return nil, err
+	}
+	iso, err := vm.NewIsolate("gcbench")
+	if err != nil {
+		return nil, err
+	}
+	objClass, err := vm.Registry().Bootstrap().Lookup(interp.ClassObject)
+	if err != nil {
+		return nil, err
+	}
+	spine, err := vm.AllocArrayIn(nil, objClass, gcBenchObjects, iso)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < gcBenchObjects; i++ {
+		o, err := vm.AllocObjectIn(nil, objClass, iso)
+		if err != nil {
+			return nil, err
+		}
+		spine.Elems[i] = heap.RefVal(o)
+	}
+	vm.Pin(iso.ID(), spine)
+	return vm, nil
+}
+
+func BenchmarkGC_FullSTWPause(b *testing.B) {
+	vm, err := gcBenchVM(true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		vm.CollectGarbage(nil)
+	}
+	b.ReportMetric(b.Elapsed().Seconds()/float64(b.N)*1e3, "ms/pause")
+}
+
+func BenchmarkGC_IncrementalTerminalPause(b *testing.B) {
+	vm, err := gcBenchVM(false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		if !vm.StartIncrementalCycle() {
+			b.Fatal("cycle did not open")
+		}
+		for !vm.GCMarkStep(1024) {
+		}
+		b.StartTimer()
+		if _, ok := vm.FinishIncrementalCycle(); !ok {
+			b.Fatal("no cycle to finish")
+		}
+	}
+	b.ReportMetric(b.Elapsed().Seconds()/float64(b.N)*1e3, "ms/pause")
+}
+
+// gcMutatorClasses builds the store-heavy mutator loop: run(spine, n)
+// overwrites spine slots and object fields per iteration.
+func gcMutatorClasses() []*classfile.Class {
+	main := classfile.NewClass("gcmut/Main").
+		Method("run", "(Ljava/lang/Object;I)I", classfile.FlagStatic, func(a *bytecode.Assembler) {
+			a.Const(0).IStore(2)
+			a.Const(0).IStore(3)
+			a.Label("loop").ILoad(2).ILoad(1).IfICmpGe("done")
+			// Overwrite one spine slot with another (aastore barrier).
+			a.ALoad(0).ILoad(2).Const(64).IRem().
+				ALoad(0).ILoad(2).Const(63).IAnd().ArrayLoad().
+				ArrayStore()
+			a.ILoad(3).Const(7).IAdd().IStore(3)
+			a.IInc(2, 1).Goto("loop")
+			a.Label("done").ILoad(3).IReturn()
+		}).MustBuild()
+	return []*classfile.Class{main}
+}
+
+// measureGCMutator returns Minstr/s of the store loop; when marking is
+// true an incremental cycle with a tiny stride is open for the whole
+// run, so every quantum performs mark work and every reference store
+// pays the armed barrier.
+func measureGCMutator(marking bool) (float64, error) {
+	vm := interp.NewVM(interp.Options{
+		Mode:               core.ModeIsolated,
+		HeapLimit:          64 << 20,
+		GCThresholdPercent: -1,
+		GCMarkStride:       1, // keep the cycle open across the whole run
+	})
+	if err := syslib.Install(vm); err != nil {
+		return 0, err
+	}
+	iso, err := vm.NewIsolate("gcmut")
+	if err != nil {
+		return 0, err
+	}
+	objClass, err := vm.Registry().Bootstrap().Lookup(interp.ClassObject)
+	if err != nil {
+		return 0, err
+	}
+	spine, err := vm.AllocArrayIn(nil, objClass, gcBenchObjects, iso)
+	if err != nil {
+		return 0, err
+	}
+	for i := 0; i < gcBenchObjects; i++ {
+		o, err := vm.AllocObjectIn(nil, objClass, iso)
+		if err != nil {
+			return 0, err
+		}
+		spine.Elems[i] = heap.RefVal(o)
+	}
+	vm.Pin(iso.ID(), spine)
+	if err := iso.Loader().DefineAll(gcMutatorClasses()); err != nil {
+		return 0, err
+	}
+	c, err := iso.Loader().Lookup("gcmut/Main")
+	if err != nil {
+		return 0, err
+	}
+	m, err := c.LookupMethod("run", "(Ljava/lang/Object;I)I")
+	if err != nil {
+		return 0, err
+	}
+	args := []heap.Value{heap.RefVal(spine), heap.IntVal(60_000)}
+	if _, th, err := vm.CallRoot(iso, m, args, 0); err != nil || th.Failure() != nil {
+		return 0, fmt.Errorf("warmup: %v / %v", err, th.FailureString())
+	}
+	if marking && !vm.StartIncrementalCycle() {
+		return 0, fmt.Errorf("cycle did not open")
+	}
+	start := vm.TotalInstructions()
+	t0 := time.Now()
+	const rounds = 6
+	for i := 0; i < rounds; i++ {
+		if _, th, err := vm.CallRoot(iso, m, args, 0); err != nil || th.Failure() != nil {
+			return 0, fmt.Errorf("run: %v / %v", err, th.FailureString())
+		}
+	}
+	elapsed := time.Since(t0)
+	if marking {
+		if !vm.Heap().CycleOpen() {
+			return 0, fmt.Errorf("cycle finished mid-run; raise gcBenchObjects")
+		}
+		vm.FinishIncrementalCycle()
+	}
+	return float64(vm.TotalInstructions()-start) / 1e6 / elapsed.Seconds(), nil
+}
+
+func benchGCMutator(b *testing.B, marking bool) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		v, err := measureGCMutator(marking)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(v, "Minstr/s")
+	}
+}
+
+func BenchmarkGC_MutatorIdle(b *testing.B)       { benchGCMutator(b, false) }
+func BenchmarkGC_MutatorDuringMark(b *testing.B) { benchGCMutator(b, true) }
+
+// --- Intern microbenchmarks (lock-free string-pool read path) -------------
+//
+// The steady state of Ldc on an interned literal is one pool lookup per
+// execution; since the copy-on-write rework it is an atomic pointer
+// load plus a map read with no lock. BenchmarkIntern_LdcHot drives a
+// guest loop of 8 Ldc sites; BenchmarkIntern_ReadParallel hammers the
+// host-side read path from parallel goroutines (the migrated-thread
+// pattern the mutex used to serialize).
+
+func internBenchVM() (*interp.VM, *core.Isolate, *classfile.Method, error) {
+	vm := interp.NewVM(interp.Options{Mode: core.ModeIsolated})
+	if err := syslib.Install(vm); err != nil {
+		return nil, nil, nil, err
+	}
+	iso, err := vm.NewIsolate("intern")
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	main := classfile.NewClass("in/Main").
+		Method("run", "(I)I", classfile.FlagStatic, func(a *bytecode.Assembler) {
+			a.Const(0).IStore(1)
+			a.Const(0).IStore(2)
+			a.Label("loop").ILoad(1).ILoad(0).IfICmpGe("done")
+			for k := 0; k < 8; k++ {
+				a.Str(fmt.Sprintf("lit-%d", k)).Pop()
+			}
+			a.IInc(1, 1).Goto("loop")
+			a.Label("done").ILoad(2).IReturn()
+		}).MustBuild()
+	if err := iso.Loader().DefineAll([]*classfile.Class{main}); err != nil {
+		return nil, nil, nil, err
+	}
+	c, err := iso.Loader().Lookup("in/Main")
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	m, err := c.LookupMethod("run", "(I)I")
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return vm, iso, m, nil
+}
+
+// measureInternThroughput returns Minstr/s of the Ldc-heavy loop.
+func measureInternThroughput() (float64, error) {
+	vm, iso, m, err := internBenchVM()
+	if err != nil {
+		return 0, err
+	}
+	args := []heap.Value{heap.IntVal(20_000)}
+	if _, th, err := vm.CallRoot(iso, m, args, 0); err != nil || th.Failure() != nil {
+		return 0, fmt.Errorf("warmup: %v / %v", err, th.FailureString())
+	}
+	const rounds = 20
+	start := vm.TotalInstructions()
+	t0 := time.Now()
+	for i := 0; i < rounds; i++ {
+		if _, th, err := vm.CallRoot(iso, m, args, 0); err != nil || th.Failure() != nil {
+			return 0, fmt.Errorf("run: %v / %v", err, th.FailureString())
+		}
+	}
+	elapsed := time.Since(t0)
+	return float64(vm.TotalInstructions()-start) / 1e6 / elapsed.Seconds(), nil
+}
+
+func BenchmarkIntern_LdcHot(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		v, err := measureInternThroughput()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(v, "Minstr/s")
+	}
+}
+
+func BenchmarkIntern_ReadParallel(b *testing.B) {
+	vm, iso, m, err := internBenchVM()
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Populate the pool through one guest run.
+	if _, th, err := vm.CallRoot(iso, m, []heap.Value{heap.IntVal(1)}, 0); err != nil || th.Failure() != nil {
+		b.Fatalf("populate: %v / %v", err, th.FailureString())
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		k := 0
+		for pb.Next() {
+			if _, ok := iso.InternedString(fmt.Sprintf("lit-%d", k&7)); !ok {
+				b.Error("interned literal missing")
+				return
+			}
+			k++
+		}
+	})
 }

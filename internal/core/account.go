@@ -35,8 +35,17 @@ type AccountCounters struct {
 	// sleep/wait while executing this isolate's code (attack A7
 	// detection).
 	SleepingThreads atomic.Int64
-	// GCActivations counts collections triggered by this isolate's
-	// allocations or explicit System.gc calls (attack A4 detection).
+	// GCActivations counts collections the isolate demanded: exact
+	// stop-the-world collections triggered by its allocation pressure or
+	// explicit System.gc calls, plus background incremental mark cycles
+	// whose opening occupancy crossing was caused by one of its
+	// allocations (the interpreter attributes the crossing on the
+	// allocation path, not at the quantum boundary that happens to open
+	// the cycle — §4.4 experiment 2 pins this). Mark strides and
+	// terminal phases of an already-open cycle charge nothing, so the
+	// counter stays comparable between the incremental and the
+	// forced-STW collector: one activation per collection the isolate
+	// forced (attack A4 detection).
 	GCActivations atomic.Int64
 	// IOBytesRead and IOBytesWritten count connection I/O performed while
 	// executing in the isolate (JRes-style instrumentation of the few

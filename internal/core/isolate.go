@@ -111,11 +111,17 @@ type Isolate struct {
 
 	// strings is the per-isolate interned-string pool (§3.5: "each bundle
 	// has its map of strings, therefore the == operator does not work for
-	// strings allocated by different bundles"). stringsMu guards it:
-	// threads migrated into this isolate intern through it while the
-	// isolate's own shard does too.
+	// strings allocated by different bundles"), published copy-on-write:
+	// the read path (every Ldc of an already-interned literal — the
+	// steady state) is one atomic pointer load and a map lookup with no
+	// lock, so threads migrated into the isolate and the isolate's own
+	// shard never serialize on hot constant loads. stringsMu serializes
+	// writers only: an insert copies the map, and the first publisher of
+	// a string wins — later racing interners adopt the published object,
+	// keeping guest == stable for everyone who interned the same
+	// literal.
 	stringsMu sync.Mutex
-	strings   map[string]*heap.Object
+	strings   atomic.Pointer[map[string]*heap.Object]
 }
 
 // ID returns the isolate's accounting ID (0 for Isolate0).
@@ -149,38 +155,47 @@ func (iso *Isolate) IsIsolate0() bool { return iso.id == 0 }
 func (iso *Isolate) Account() *AccountCounters { return &iso.account }
 
 // InternedString returns the isolate-private interned object for s, if
-// any.
+// any. Lock-free: one atomic load plus a map lookup against the current
+// copy-on-write snapshot.
 func (iso *Isolate) InternedString(s string) (*heap.Object, bool) {
-	iso.stringsMu.Lock()
-	obj, ok := iso.strings[s]
-	iso.stringsMu.Unlock()
+	obj, ok := (*iso.strings.Load())[s]
 	return obj, ok
 }
 
-// SetInternedString records the isolate-private interned object for s.
-func (iso *Isolate) SetInternedString(s string, obj *heap.Object) {
+// SetInternedString records the isolate-private interned object for s
+// and returns the pool's canonical object: the first publisher wins, so
+// two racing interners of the same literal both end up holding the same
+// object (guest == stability). The insert copies the map (writes are
+// once-per-distinct-literal; reads are the hot path).
+func (iso *Isolate) SetInternedString(s string, obj *heap.Object) *heap.Object {
 	iso.stringsMu.Lock()
-	iso.strings[s] = obj
-	iso.stringsMu.Unlock()
+	defer iso.stringsMu.Unlock()
+	old := *iso.strings.Load()
+	if cur, ok := old[s]; ok {
+		return cur
+	}
+	grown := make(map[string]*heap.Object, len(old)+1)
+	for k, v := range old {
+		grown[k] = v
+	}
+	grown[s] = obj
+	iso.strings.Store(&grown)
+	return obj
 }
 
 // StringPoolRoots appends the interned strings to roots (GC accounting
-// step 2) and returns the extended slice.
+// step 2) and returns the extended slice. Lock-free against the current
+// snapshot.
 func (iso *Isolate) StringPoolRoots(roots []*heap.Object) []*heap.Object {
-	iso.stringsMu.Lock()
-	for _, obj := range iso.strings {
+	for _, obj := range *iso.strings.Load() {
 		roots = append(roots, obj)
 	}
-	iso.stringsMu.Unlock()
 	return roots
 }
 
 // NumInternedStrings returns the size of the isolate's string pool.
 func (iso *Isolate) NumInternedStrings() int {
-	iso.stringsMu.Lock()
-	n := len(iso.strings)
-	iso.stringsMu.Unlock()
-	return n
+	return len(*iso.strings.Load())
 }
 
 func (iso *Isolate) String() string {

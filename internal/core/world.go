@@ -136,11 +136,12 @@ func (w *World) NewIsolate(name string, l *loader.Loader) (*Isolate, error) {
 		return nil, errors.New("core: shared mode supports a single isolate")
 	}
 	iso := &Isolate{
-		id:      heap.IsolateID(len(w.isolates)),
-		name:    name,
-		loader:  l,
-		strings: make(map[string]*heap.Object),
+		id:     heap.IsolateID(len(w.isolates)),
+		name:   name,
+		loader: l,
 	}
+	empty := make(map[string]*heap.Object)
+	iso.strings.Store(&empty)
 	iso.setState(StateLive)
 	if iso.id == 0 {
 		iso.rights = AllRights

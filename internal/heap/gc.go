@@ -1,5 +1,50 @@
 package heap
 
+import "sync"
+
+// This file is the collector: an incremental, mostly-concurrent
+// snapshot-at-the-beginning (SATB) mark-sweep over the per-domain object
+// lists, with a degenerate stop-the-world composition (Collect) that
+// reproduces the paper's accounting algorithm exactly.
+//
+// # Phases
+//
+//   - BeginCycle (stop-the-world, brief): the caller snapshots the
+//     per-isolate root sets (copied slices — later root mutations never
+//     touch them), the barrier is armed, and the cycle opens. No tracing
+//     happens here.
+//   - MarkQuantum (concurrent): executing shards perform bounded mark
+//     work at quantum boundaries. Work is distributed through a shared
+//     gray pool: markers take chunks from it ("stealing" each other's
+//     spilled work), trace through per-call local stacks, and spill
+//     excess back so other shards can pick it up. The root cursor is
+//     advanced strictly in isolate order, so first-tracer charging keeps
+//     the paper's per-isolate ordering; objects whose native payloads
+//     hold references (RefHolder) are deferred to the terminal phase,
+//     because guest natives mutate those payloads without barriered
+//     slots.
+//   - FinishCycle (stop-the-world, short): residual gray work, buffered
+//     SATB records and deferred native payloads are drained, the
+//     terminal root sets are re-scanned (new threads, pins and
+//     host-held references that appeared mid-cycle), the finalizer pass
+//     resurrects unreachable finalizable objects, and the sweep
+//     compacts every domain's list, reclaims TLAB slack and publishes
+//     the per-isolate live statistics.
+//
+// # Exactness
+//
+// Collect — the allocation-pressure and explicit-GC entry point — is
+// always exact: if an incremental cycle is open it is *abandoned* (marks
+// cleared, gray state dropped, barrier disarmed) and a fresh full
+// mark-sweep runs from the current roots inside the same stopped-world
+// section. Abandoning rather than finishing keeps the pinned invariants
+// — post-GC Used() == live bytes, first-tracer charging in isolate
+// order, identical collection points across collector configurations —
+// because a finished stale cycle would retain SATB floating garbage
+// that a stop-the-world collection at the same point would free.
+// Incremental cycles that complete on their own (FinishCycle) accept
+// that floating garbage; the next exact collection reclaims it.
+
 // RootSet is the accounting root set of one isolate: the isolate's interned
 // strings, static variables, java.lang.Class objects, and the objects
 // referenced by stack frames executing in the isolate (paper §3.2, steps 2
@@ -23,62 +68,232 @@ type CollectResult struct {
 	PendingFinalize []*Object
 }
 
-// Collect runs a stop-the-world mark-sweep collection implementing the
-// paper's accounting algorithm:
+// grayItem is one unit of pending mark work: an object plus the isolate
+// it will be charged to if this item's marker claims it first.
+type grayItem struct {
+	obj *Object
+	iso IsolateID
+}
+
+// gcCycle is the state of one open collection cycle. All fields are
+// guarded by mu except rootSets' contents, which are immutable snapshot
+// copies readable without a lock.
+type gcCycle struct {
+	mu sync.Mutex
+	// rootSets is the snapshot taken at BeginCycle; setIdx/refIdx is the
+	// shared cursor markers advance through it in isolate order.
+	rootSets []RootSet
+	setIdx   int
+	refIdx   int
+	// gray is the shared overflow pool markers steal chunks from and
+	// spill excess local work into.
+	gray []grayItem
+	// satb holds flushed, not-yet-traced barrier records; they are
+	// traced charged to their creator (the snapshot kept them alive, so
+	// no isolate "reached" them this cycle).
+	satb []*Object
+	// deferred holds marked objects whose native payload (RefHolder)
+	// must be scanned in the terminal stop-the-world phase.
+	deferred []grayItem
+	// active counts markers currently holding private (local-stack)
+	// work; the cycle is exhausted only when it is zero and every queue
+	// above is empty.
+	active int
+	// live accumulates the per-isolate first-tracer charges.
+	live map[IsolateID]*LiveStats
+}
+
+func newCycle(rootSets []RootSet) *gcCycle {
+	return &gcCycle{rootSets: rootSets, live: make(map[IsolateID]*LiveStats, len(rootSets))}
+}
+
+func (c *gcCycle) liveStats(iso IsolateID) *LiveStats {
+	s, ok := c.live[iso]
+	if !ok {
+		s = &LiveStats{}
+		c.live[iso] = s
+	}
+	return s
+}
+
+// exhaustedLocked reports whether no mark work remains anywhere; c.mu held.
+func (c *gcCycle) exhaustedLocked() bool {
+	return c.active == 0 && len(c.gray) == 0 && len(c.satb) == 0 && c.setIdx >= len(c.rootSets)
+}
+
+// --- Cycle control --------------------------------------------------------
+
+// BeginCycle opens an incremental cycle over the given snapshot root
+// sets and arms the write barrier. The caller must hold the world
+// stopped (all mutators at instruction boundaries with their barrier
+// buffers flushed); the pause is O(roots) for the snapshot the caller
+// built, no tracing happens here. Returns false if a cycle is already
+// open.
+func (h *Heap) BeginCycle(rootSets []RootSet) bool {
+	h.gcMu.Lock()
+	defer h.gcMu.Unlock()
+	if h.cycle.Load() != nil {
+		return false
+	}
+	h.cycle.Store(newCycle(rootSets))
+	h.barrier.Store(true)
+	h.incCycles.Add(1)
+	return true
+}
+
+// CycleOpen reports whether an incremental cycle is in progress.
+func (h *Heap) CycleOpen() bool { return h.cycle.Load() != nil }
+
+// IncrementalCycles returns the number of cycles opened so far
+// (including cycles later abandoned by an exact collection).
+func (h *Heap) IncrementalCycles() int64 { return h.incCycles.Load() }
+
+// NeedCycle reports whether occupancy crossed the background-cycle
+// threshold and no cycle is open. The engines poll it at quantum
+// boundaries.
+func (h *Heap) NeedCycle() bool {
+	t := h.gcThreshold.Load()
+	return t > 0 && h.cycle.Load() == nil && h.Used() >= t
+}
+
+// SetGCThreshold sets the occupancy (in bytes) at which NeedCycle starts
+// reporting true; 0 disables background cycles.
+func (h *Heap) SetGCThreshold(bytes int64) { h.gcThreshold.Store(bytes) }
+
+// CrossedThreshold is the allocation-path twin of NeedCycle: a cheap
+// check (one atomic load of the reservation counter, which transiently
+// includes TLAB slack) the engines use to attribute a background-cycle
+// activation to the isolate whose allocation drove occupancy over the
+// threshold — the paper's "collections are charged to the isolate whose
+// allocations force them" rule, kept for threshold-triggered cycles.
+func (h *Heap) CrossedThreshold() bool {
+	t := h.gcThreshold.Load()
+	return t > 0 && h.used.Load() >= t && h.cycle.Load() == nil
+}
+
+// MarkQuantum performs up to budget units of mark work (one unit ≈ one
+// object claimed and scanned) and reports whether the cycle's mark work
+// is exhausted. Safe to call from any number of shards concurrently; a
+// false return with no open cycle means there is nothing to do.
+func (h *Heap) MarkQuantum(budget int) (done bool) {
+	c := h.cycle.Load()
+	if c == nil {
+		return false
+	}
+	m := marker{h: h, c: c}
+	m.run(budget, false)
+	c.mu.Lock()
+	done = c.exhaustedLocked()
+	c.mu.Unlock()
+	return done
+}
+
+// FinishCycle runs the terminal stop-the-world phase of an open cycle:
+// residual mark work, deferred native payloads, a re-scan of the
+// current root sets, the finalizer pass, and the sweep. The caller must
+// hold the world stopped with every barrier buffer flushed. Returns
+// false if no cycle is open.
+func (h *Heap) FinishCycle(rescan []RootSet) (CollectResult, bool) {
+	h.gcMu.Lock()
+	defer h.gcMu.Unlock()
+	h.hostMu.Lock()
+	defer h.hostMu.Unlock()
+	c := h.cycle.Load()
+	if c == nil {
+		return CollectResult{}, false
+	}
+	return h.terminateLocked(c, rescan), true
+}
+
+// Collect runs one exact stop-the-world accounting collection
+// implementing the paper's algorithm:
 //
 //  1. per-isolate memory/connection usage is reset to zero;
 //  2. each isolate's roots (statics, strings, Class objects) are added;
 //  3. stack frames contribute roots attributed to the frame's isolate
 //     (system-library frames excluded — the caller builds the root sets);
 //  4. roots are traced per isolate; an object is charged to the first
-//     isolate that references it.
+//     isolate that traces it.
 //
 // Unreachable objects with unexecuted finalizers are kept alive (charged
 // to their creator) and reported in PendingFinalize; everything else
-// unmarked is swept. The sweep compacts every allocation domain's object
-// list in place: the world is stopped, so domain owners are parked, and
-// hostMu excludes the (safepoint-oblivious) host-path allocators for the
-// duration.
+// unmarked is swept. An open incremental cycle is abandoned first, so
+// the result is byte-exact regardless of collector configuration. The
+// world must be stopped: the trace touches object graphs mutators write
+// without locks, and the sweep compacts every domain's list; hostMu
+// additionally excludes the (safepoint-oblivious) host-path allocators.
 func (h *Heap) Collect(rootSets []RootSet) CollectResult {
 	h.gcMu.Lock()
 	defer h.gcMu.Unlock()
 	h.hostMu.Lock()
 	defer h.hostMu.Unlock()
+	h.abandonLocked()
+	c := newCycle(rootSets)
+	h.cycle.Store(c)
+	return h.terminateLocked(c, nil)
+}
+
+// abandonLocked discards an open cycle: every mark bit set so far is
+// cleared (including allocate-black objects), the gray/SATB state is
+// dropped and the barrier disarmed. gcMu held, world stopped.
+func (h *Heap) abandonLocked() {
+	c := h.cycle.Load()
+	if c == nil {
+		return
+	}
+	h.barrier.Store(false)
+	h.cycle.Store(nil)
+	for _, d := range *h.domains.Load() {
+		for _, o := range d.objects {
+			o.mark.Store(false)
+		}
+		// Discard the cycle's allocate-black charges: the exact pass
+		// that follows recomputes every charge from fresh roots.
+		d.bornLive = nil
+	}
+}
+
+// terminateLocked drains all remaining mark work of c, re-scans the
+// terminal roots, runs the finalizer pass and sweeps. gcMu and hostMu
+// held, world stopped.
+func (h *Heap) terminateLocked(c *gcCycle, rescan []RootSet) CollectResult {
 	h.gcCount.Add(1)
-	domains := *h.domains.Load()
+	m := marker{h: h, c: c}
+	m.run(-1, true)
 
-	// Step 1: reset per-isolate live accounting.
-	liveByIso := make(map[IsolateID]*LiveStats, len(rootSets))
-	liveStats := func(iso IsolateID) *LiveStats {
-		s, ok := liveByIso[iso]
-		if !ok {
-			s = &LiveStats{}
-			liveByIso[iso] = s
-		}
-		return s
-	}
-
-	// Steps 2-4: trace each isolate's roots in order; first marker is
-	// charged.
-	var stack []*Object
-	for _, rs := range rootSets {
-		stats := liveStats(rs.Isolate)
+	// Terminal re-scan: roots that appeared after the snapshot (new
+	// threads, pins, host references). The SATB barrier already covers
+	// heap-internal mutation, so in the degenerate back-to-back
+	// composition this finds nothing new.
+	c.mu.Lock()
+	for _, rs := range rescan {
 		for _, root := range rs.Refs {
-			stack = h.traceFrom(stack, root, rs.Isolate, stats)
+			if root != nil && !root.Marked() {
+				c.gray = append(c.gray, grayItem{root, rs.Isolate})
+			}
 		}
+		// Preserve set ordering for the re-scan's charges too.
+		c.mu.Unlock()
+		m.run(-1, true)
+		c.mu.Lock()
 	}
+	c.mu.Unlock()
 
 	// Finalization: unreachable finalizable objects survive one more
 	// cycle, charged to their creator, with their subgraph resurrected.
 	var res CollectResult
+	domains := *h.domains.Load()
 	for _, d := range domains {
 		for _, o := range d.objects {
-			if o.mark || o.finalized || o.Class == nil || !o.Class.HasFinalizer {
+			if o.Marked() || o.finalized || o.Class == nil || !o.Class.HasFinalizer {
 				continue
 			}
 			o.finalized = true
 			res.PendingFinalize = append(res.PendingFinalize, o)
-			stack = h.traceFrom(stack, o, o.Creator, liveStats(o.Creator))
+			c.mu.Lock()
+			c.gray = append(c.gray, grayItem{o, o.Creator})
+			c.mu.Unlock()
+			m.run(-1, true)
 		}
 	}
 
@@ -91,16 +306,16 @@ func (h *Heap) Collect(rootSets []RootSet) CollectResult {
 		}
 		live := d.objects[:0]
 		for _, o := range d.objects {
-			if o.mark {
-				o.mark = false
+			if o.mark.Load() {
+				o.mark.Store(false)
 				live = append(live, o)
 				res.LiveObjects++
-				res.LiveBytes += o.size
+				res.LiveBytes += o.size.Load()
 				continue
 			}
 			o.dead = true
 			res.FreedObjects++
-			res.FreedBytes += o.size
+			res.FreedBytes += o.size.Load()
 		}
 		// Clear the tail so swept objects become collectible by the host
 		// GC.
@@ -110,54 +325,248 @@ func (h *Heap) Collect(rootSets []RootSet) CollectResult {
 		d.objects = live
 		d.count.Store(int64(len(live)))
 	}
+	// Merge the allocate-black charges (objects born during the cycle,
+	// invisible to markers) into the published per-isolate live stats.
+	for _, d := range domains {
+		for iso, s := range d.bornLive {
+			t := c.liveStats(iso)
+			t.Objects += s.Objects
+			t.Bytes += s.Bytes
+			t.Connections += s.Connections
+		}
+		d.bornLive = nil
+	}
 	h.used.Add(-res.FreedBytes)
+	liveByIso := c.live
 	h.liveByIso.Store(&liveByIso)
+	h.barrier.Store(false)
+	h.cycle.Store(nil)
 	return res
 }
 
-// traceFrom marks the subgraph of root, charging newly marked objects to
-// iso. It returns the (reused) scratch stack.
-func (h *Heap) traceFrom(stack []*Object, root *Object, iso IsolateID, stats *LiveStats) []*Object {
-	if root == nil || root.mark {
-		return stack
-	}
-	stack = append(stack[:0], root)
-	for len(stack) > 0 {
-		o := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		if o.mark {
+// --- Marker ---------------------------------------------------------------
+
+// grayChunk is how many shared-pool items a marker takes per grab, and
+// spillAt the local-stack size beyond which it spills half back so other
+// shards can steal the work.
+const (
+	grayChunk = 64
+	spillAt   = 256
+)
+
+// marker performs mark work against one cycle. It is created per call
+// (MarkQuantum / terminal drain); local is the private trace stack.
+type marker struct {
+	h     *Heap
+	c     *gcCycle
+	local []grayItem
+	// localStats batches live-stat charges per call, merged under c.mu
+	// once at the end so concurrent markers do not contend per object.
+	localStats map[IsolateID]*LiveStats
+}
+
+// run performs up to budget units of work (budget < 0 means until
+// exhausted). stw marks the stop-the-world drains: RefHolder payloads
+// are scanned inline (the world is quiescent) instead of deferred.
+func (m *marker) run(budget int, stw bool) {
+	c := m.c
+	c.mu.Lock()
+	c.active++
+	c.mu.Unlock()
+	n := 0
+	for budget < 0 || n < budget {
+		it, ok := m.next(stw)
+		if !ok {
+			break
+		}
+		n++
+		if !it.obj.tryMark() {
 			continue
 		}
-		o.mark = true
-		o.Charged = iso
-		stats.Objects++
-		stats.Bytes += o.size
-		if o.IsConnection {
-			stats.Connections++
+		m.charge(it)
+		m.scan(it, stw)
+	}
+	// Spill leftovers (budget exhausted mid-trace) and merge stats.
+	c.mu.Lock()
+	c.gray = append(c.gray, m.local...)
+	m.local = nil
+	for iso, s := range m.localStats {
+		t := c.liveStats(iso)
+		t.Objects += s.Objects
+		t.Bytes += s.Bytes
+		t.Connections += s.Connections
+	}
+	m.localStats = nil
+	c.active--
+	c.mu.Unlock()
+}
+
+// next produces the marker's next work item: local stack first, then a
+// chunk stolen from the shared pool, then the root cursor in strict
+// isolate order, then buffered SATB records, and under stop-the-world
+// also the deferred native payloads.
+func (m *marker) next(stw bool) (grayItem, bool) {
+	if n := len(m.local); n > 0 {
+		it := m.local[n-1]
+		m.local = m.local[:n-1]
+		return it, true
+	}
+	c := m.c
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if n := len(c.gray); n > 0 {
+		take := grayChunk
+		if take > n {
+			take = n
 		}
-		for i := range o.Fields {
-			if r := o.Fields[i].R; r != nil && !r.mark {
-				stack = append(stack, r)
-			}
+		m.local = append(m.local, c.gray[n-take:]...)
+		for i := n - take; i < n; i++ {
+			c.gray[i] = grayItem{}
 		}
-		for i := range o.Elems {
-			if r := o.Elems[i].R; r != nil && !r.mark {
-				stack = append(stack, r)
+		c.gray = c.gray[:n-take]
+		it := m.local[len(m.local)-1]
+		m.local = m.local[:len(m.local)-1]
+		return it, true
+	}
+	for c.setIdx < len(c.rootSets) {
+		rs := &c.rootSets[c.setIdx]
+		if c.refIdx < len(rs.Refs) {
+			root := rs.Refs[c.refIdx]
+			c.refIdx++
+			if root != nil {
+				return grayItem{root, rs.Isolate}, true
 			}
+			continue
 		}
-		if holder, ok := o.Native.(RefHolder); ok {
-			for _, r := range holder.Refs() {
-				if r != nil && !r.mark {
-					stack = append(stack, r)
-				}
-			}
+		c.setIdx++
+		c.refIdx = 0
+	}
+	if n := len(c.satb); n > 0 {
+		o := c.satb[n-1]
+		c.satb[n-1] = nil
+		c.satb = c.satb[:n-1]
+		// A barrier-rescued object was live at the snapshot but no
+		// isolate traced a path to it this cycle: charge its creator,
+		// like finalizer resurrection.
+		return grayItem{o, o.Creator}, true
+	}
+	if stw {
+		if n := len(c.deferred); n > 0 {
+			it := c.deferred[n-1]
+			c.deferred[n-1] = grayItem{}
+			c.deferred = c.deferred[:n-1]
+			// Already marked and charged; re-run only the native scan.
+			c.mu.Unlock()
+			m.scanNative(it)
+			c.mu.Lock()
+			return m.nextDeferredOrRetry(stw)
 		}
 	}
-	return stack
+	return grayItem{}, false
+}
+
+// nextDeferredOrRetry re-enters next after a deferred native scan pushed
+// children onto the local stack. c.mu held (and kept held on return to
+// next's defer).
+func (m *marker) nextDeferredOrRetry(stw bool) (grayItem, bool) {
+	if n := len(m.local); n > 0 {
+		it := m.local[n-1]
+		m.local = m.local[:n-1]
+		return it, true
+	}
+	if n := len(m.c.deferred); n > 0 {
+		it := m.c.deferred[n-1]
+		m.c.deferred[n-1] = grayItem{}
+		m.c.deferred = m.c.deferred[:n-1]
+		m.c.mu.Unlock()
+		m.scanNative(it)
+		m.c.mu.Lock()
+		return m.nextDeferredOrRetry(stw)
+	}
+	return grayItem{}, false
+}
+
+// charge accumulates the first-tracer live statistics for a freshly
+// marked object.
+func (m *marker) charge(it grayItem) {
+	if m.localStats == nil {
+		m.localStats = make(map[IsolateID]*LiveStats, 4)
+	}
+	s, ok := m.localStats[it.iso]
+	if !ok {
+		s = &LiveStats{}
+		m.localStats[it.iso] = s
+	}
+	o := it.obj
+	o.Charged = it.iso
+	s.Objects++
+	s.Bytes += o.size.Load()
+	if o.IsConnection {
+		s.Connections++
+	}
+}
+
+// scan pushes the object's children. Reference words are read through
+// the atomic slot load so concurrent barriered mutator stores are
+// race-free; native RefHolder payloads are scanned inline under
+// stop-the-world and deferred to the terminal phase otherwise (guest
+// natives mutate them without barriered slots).
+func (m *marker) scan(it grayItem, stw bool) {
+	o := it.obj
+	for i := range o.Fields {
+		if r := loadSlotRef(&o.Fields[i]); r != nil && !r.Marked() {
+			m.push(grayItem{r, it.iso})
+		}
+	}
+	for i := range o.Elems {
+		if r := loadSlotRef(&o.Elems[i]); r != nil && !r.Marked() {
+			m.push(grayItem{r, it.iso})
+		}
+	}
+	if _, ok := o.Native.(RefHolder); ok {
+		if stw {
+			m.scanNative(it)
+		} else {
+			m.c.mu.Lock()
+			m.c.deferred = append(m.c.deferred, it)
+			m.c.mu.Unlock()
+		}
+	}
+}
+
+// scanNative pushes the references held by a native payload. Only called
+// under stop-the-world (terminal phase or exact collection).
+func (m *marker) scanNative(it grayItem) {
+	holder, ok := it.obj.Native.(RefHolder)
+	if !ok {
+		return
+	}
+	for _, r := range holder.Refs() {
+		if r != nil && !r.Marked() {
+			m.push(grayItem{r, it.iso})
+		}
+	}
+}
+
+// push adds one item to the local stack, spilling half to the shared
+// pool when it grows past spillAt so other markers can steal it.
+func (m *marker) push(it grayItem) {
+	m.local = append(m.local, it)
+	if len(m.local) >= spillAt {
+		half := len(m.local) / 2
+		m.c.mu.Lock()
+		m.c.gray = append(m.c.gray, m.local[:half]...)
+		m.c.mu.Unlock()
+		copy(m.local, m.local[half:])
+		m.local = m.local[:len(m.local)-half]
+	}
 }
 
 // RefHolder is implemented by native payloads (collections) that hold
-// object references the collector must trace.
+// object references the collector must trace. Payload mutation from
+// guest natives must record overwritten/removed references through the
+// VM's write barrier; the collector itself only reads payloads while
+// the world is stopped.
 type RefHolder interface {
 	Refs() []*Object
 }

@@ -100,6 +100,19 @@ type Heap struct {
 	counters   atomic.Pointer[[]*AllocCounters]
 
 	gcCount atomic.Int64
+
+	// cycle is the open incremental collection cycle (nil when idle);
+	// barrier is armed exactly while a cycle's mark phase is open, and
+	// is what the interpreter's reference-store fast path polls.
+	// gcThreshold is the occupancy (bytes) at which the engines open a
+	// background cycle (0 disables); incCycles and barrierRecords are
+	// monotonic diagnostics. See gc.go for the phase machinery.
+	cycle          atomic.Pointer[gcCycle]
+	barrier        atomic.Bool
+	gcThreshold    atomic.Int64
+	incCycles      atomic.Int64
+	barrierRecords atomic.Int64
+
 	// trackAlloc enables the per-isolate allocation counters; the
 	// baseline (Shared) VM disables it — no resource accounting exists
 	// there, which is part of the A3-A6 story and of I-JVM's measured
@@ -248,7 +261,7 @@ func (h *Heap) chargeAlloc(creator IsolateID, o *Object) {
 	}
 	c := h.CountersFor(creator)
 	c.Objects.Add(1)
-	c.Bytes.Add(o.size)
+	c.Bytes.Add(o.size.Load())
 	if o.IsConnection {
 		c.Connections.Add(1)
 	}
@@ -294,6 +307,14 @@ type AllocDomain struct {
 	// seeded per domain so concurrently allocating shards spread over
 	// different stripes.
 	seq uint32
+	// bornLive accumulates the per-isolate live-stat charges of objects
+	// allocated while a mark phase was open (allocate-black objects
+	// never pass through a marker, so without this they would be absent
+	// from the cycle's published per-isolate live stats until the next
+	// exact collection). Owner-written like the object list; the
+	// terminal stop-the-world merges and clears it, an abandoned cycle
+	// discards it (the fresh exact pass recomputes charges).
+	bornLive map[IsolateID]*LiveStats
 }
 
 // domainChunk is the TLAB refill granularity: a domain reserves this
@@ -345,17 +366,41 @@ func (d *AllocDomain) refill(need int64) error {
 // charge per-isolate statistics — the executing engine batches those
 // (core.ByteBatch); the Heap-level entry points charge directly.
 func (d *AllocDomain) admit(o *Object, creator IsolateID) (*Object, error) {
-	o.size = o.computeSize()
-	if r := d.reserved.Load(); r >= o.size {
+	sz := o.computeSize()
+	o.size.Store(sz)
+	if r := d.reserved.Load(); r >= sz {
 		// TLAB fast path: consume shard-local slack, no shared access.
-		d.reserved.Store(r - o.size)
-	} else if err := d.refill(o.size - r); err != nil {
+		d.reserved.Store(r - sz)
+	} else if err := d.refill(sz - r); err != nil {
 		return nil, err
 	} else {
-		d.reserved.Add(-o.size)
+		d.reserved.Add(-sz)
 	}
 	o.Creator = creator
 	o.Charged = NoIsolate
+	if d.h.barrier.Load() {
+		// Allocate-black: objects born during an open mark phase are
+		// marked at birth, so the cycle never sweeps them and their
+		// initializing stores need no barrier (a marker skips marked
+		// objects, so it never scans a half-built one). They are
+		// charged to their creator in the cycle's live stats here —
+		// markers never see them.
+		o.mark.Store(true)
+		o.Charged = creator
+		if d.bornLive == nil {
+			d.bornLive = make(map[IsolateID]*LiveStats, 4)
+		}
+		s, ok := d.bornLive[creator]
+		if !ok {
+			s = &LiveStats{}
+			d.bornLive[creator] = s
+		}
+		s.Objects++
+		s.Bytes += sz
+		if o.IsConnection {
+			s.Connections++
+		}
+	}
 	d.seq++
 	o.stripe = uint8(d.seq)
 	d.objects = append(d.objects, o)
@@ -469,7 +514,7 @@ func (h *Heap) ResizeNative(o *Object, newSize int64) {
 	h.resizeMu.Lock()
 	delta := newSize - o.extra
 	o.extra = newSize
-	o.size += delta
+	o.size.Add(delta)
 	h.resizeMu.Unlock()
 	h.used.Add(delta)
 }

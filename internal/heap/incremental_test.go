@@ -1,0 +1,426 @@
+package heap
+
+import (
+	"testing"
+
+	"ijvm/internal/classfile"
+)
+
+// White-box tests of the incremental collector: cycle phasing, SATB
+// soundness, allocate-black admission, and the exactness contract of
+// Collect (abandon-then-full-pass). The differential and concurrency
+// proofs live in internal/interp (randomized oracle, -race stress); this
+// file pins the heap-level mechanics in isolation.
+
+func incClass(fields int) *classfile.Class {
+	b := classfile.NewClass("t/Inc")
+	for i := 0; i < fields; i++ {
+		b.Field("f"+string(rune('0'+i)), classfile.KindRef)
+	}
+	c := b.MustBuild()
+	c.NumFieldSlots = fields
+	for i, f := range c.Fields {
+		f.Slot = i
+	}
+	c.Linked = true
+	return c
+}
+
+// mutStore is the test's replica of the interpreter's barriered
+// reference-slot store.
+func mutStore(h *Heap, slot *Value, v Value) {
+	if h.BarrierActive() {
+		if old := slot.R; old != nil {
+			h.RecordWrite(old)
+		}
+		StoreSlotBarriered(slot, v)
+	} else {
+		*slot = v
+	}
+}
+
+// TestIncrementalSATBKeepsRelinkedObject is the classic SATB scenario:
+// an object is re-linked into an already-scanned (black) holder and its
+// original edge deleted mid-cycle. The deletion record must keep it
+// alive through the terminal phase; the next exact collection reclaims
+// it once it is truly dead.
+func TestIncrementalSATBKeepsRelinkedObject(t *testing.T) {
+	h := New(1 << 20)
+	c := incClass(2)
+	rootObj, _ := h.AllocObject(c, 0)
+	holder, _ := h.AllocObject(c, 0)
+	x, _ := h.AllocObject(c, 0)
+	rootObj.Fields[0] = RefVal(x) // x initially reachable via rootObj.f0
+	rootObj.Fields[1] = RefVal(holder)
+
+	roots := []RootSet{{Isolate: 0, Refs: []*Object{rootObj}}}
+	if !h.BeginCycle(roots) {
+		t.Fatal("BeginCycle refused")
+	}
+	// Two mark units: rootObj is claimed and scanned (pushing x then
+	// holder), then holder (LIFO) turns black. x is still white.
+	h.MarkQuantum(2)
+	if !rootObj.Marked() || !holder.Marked() || x.Marked() {
+		t.Fatalf("unexpected mark state: root=%v holder=%v x=%v",
+			rootObj.Marked(), holder.Marked(), x.Marked())
+	}
+	// Mutator: move x into the black holder and erase the original
+	// edge — the erase must be recorded, or x is lost (the black holder
+	// is never re-scanned).
+	mutStore(h, &holder.Fields[0], RefVal(x))
+	mutStore(h, &rootObj.Fields[0], Null())
+	if h.BarrierRecords() == 0 {
+		t.Fatal("deletion barrier did not record the erased edge")
+	}
+	for !h.MarkQuantum(8) {
+	}
+	res, ok := h.FinishCycle(roots)
+	if !ok {
+		t.Fatal("FinishCycle refused")
+	}
+	if x.Dead() {
+		t.Fatal("SATB-protected object was swept while reachable through a black holder")
+	}
+	if res.FreedObjects != 0 {
+		t.Fatalf("freed %d objects, want 0 (everything is live)", res.FreedObjects)
+	}
+
+	// Drop x for real; the next exact collection reclaims it.
+	mutStore(h, &holder.Fields[0], Null())
+	res = h.Collect(roots)
+	if !x.Dead() || res.FreedObjects != 1 {
+		t.Fatalf("exact collection: freed=%d xDead=%v", res.FreedObjects, x.Dead())
+	}
+	if h.Used() != res.LiveBytes {
+		t.Fatalf("used %d != live %d after exact collection", h.Used(), res.LiveBytes)
+	}
+}
+
+// TestIncrementalFloatsDeadButExactCollectReclaims pins the documented
+// SATB trade: an object that dies during the cycle floats through
+// FinishCycle, and Collect (exact) reclaims it — while Collect on an
+// OPEN cycle abandons the stale snapshot and is exact immediately.
+func TestIncrementalFloatsDeadButExactCollectReclaims(t *testing.T) {
+	h := New(1 << 20)
+	c := incClass(1)
+	rootObj, _ := h.AllocObject(c, 0)
+	doomed, _ := h.AllocObject(c, 0)
+	rootObj.Fields[0] = RefVal(doomed)
+	roots := []RootSet{{Isolate: 0, Refs: []*Object{rootObj}}}
+
+	// Cycle 1: doomed dies after the snapshot -> floats.
+	h.BeginCycle(roots)
+	mutStore(h, &rootObj.Fields[0], Null()) // recorded, so it floats
+	for !h.MarkQuantum(8) {
+	}
+	if _, ok := h.FinishCycle(roots); !ok {
+		t.Fatal("FinishCycle refused")
+	}
+	if doomed.Dead() {
+		t.Fatal("snapshot-live object swept by its own cycle")
+	}
+
+	// Cycle 2 (abandon path): open a cycle, then demand an exact
+	// collection mid-mark — the floating object must go now.
+	h.BeginCycle(roots)
+	h.MarkQuantum(1)
+	res := h.Collect(roots)
+	if !doomed.Dead() {
+		t.Fatal("exact collection failed to reclaim floating garbage")
+	}
+	if h.CycleOpen() || h.BarrierActive() {
+		t.Fatal("exact collection left a cycle open")
+	}
+	if h.Used() != res.LiveBytes {
+		t.Fatalf("used %d != live %d", h.Used(), res.LiveBytes)
+	}
+	if rootObj.Marked() || doomed.Marked() {
+		t.Fatal("mark bits leaked past the collection")
+	}
+}
+
+// TestAllocateBlackSurvivesCycle: objects born during an open cycle are
+// marked at birth and never swept by that cycle, even when dropped
+// immediately.
+func TestAllocateBlackSurvivesCycle(t *testing.T) {
+	h := New(1 << 20)
+	c := incClass(1)
+	rootObj, _ := h.AllocObject(c, 0)
+	roots := []RootSet{{Isolate: 0, Refs: []*Object{rootObj}}}
+	h.BeginCycle(roots)
+	born, _ := h.AllocObject(c, 0) // dropped: no reference anywhere
+	if !born.Marked() {
+		t.Fatal("allocation during an open cycle must be allocate-black")
+	}
+	for !h.MarkQuantum(8) {
+	}
+	h.FinishCycle(roots)
+	if born.Dead() {
+		t.Fatal("allocate-black object swept by its birth cycle")
+	}
+	// The next exact collection reclaims it.
+	h.Collect(roots)
+	if !born.Dead() {
+		t.Fatal("dead born object survived an exact collection")
+	}
+}
+
+// --- FuzzMarkInvariant ----------------------------------------------------
+
+// fuzzHeap drives random store/allocate/collect interleavings against
+// the tri-color invariant: at every point during marking, a white
+// object referenced by a black one must be reachable from the pending
+// mark work (gray pool, root cursor remainder, SATB records) — i.e. no
+// black→white edge survives without a barrier record or queued path.
+// At terminal points it additionally checks SATB's liveness guarantee
+// (snapshot-reachable ∪ born-during-cycle objects are never swept) and
+// sweep soundness (currently-reachable objects are never dead).
+type fuzzHeap struct {
+	t     *testing.T
+	h     *Heap
+	class *classfile.Class
+	objs  []*Object
+	roots []*Object // mutable root slots (snapshot-copied at BeginCycle)
+	// cycle bookkeeping for the oracle checks
+	snapLive map[*Object]bool
+	born     map[*Object]bool
+}
+
+const fuzzRootSlots = 4
+
+func (f *fuzzHeap) alive(o *Object) bool { return !o.dead }
+
+// reach computes plain reachability from the given seeds over current
+// edges (single-threaded: plain reads are fine).
+func (f *fuzzHeap) reach(seeds []*Object) map[*Object]bool {
+	seen := make(map[*Object]bool)
+	stack := append([]*Object(nil), seeds...)
+	for len(stack) > 0 {
+		o := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if o == nil || seen[o] {
+			continue
+		}
+		seen[o] = true
+		for i := range o.Fields {
+			if r := o.Fields[i].R; r != nil {
+				stack = append(stack, r)
+			}
+		}
+	}
+	return seen
+}
+
+func (f *fuzzHeap) rootSet() []RootSet {
+	refs := make([]*Object, 0, fuzzRootSlots)
+	for _, r := range f.roots {
+		if r != nil {
+			refs = append(refs, r)
+		}
+	}
+	return []RootSet{{Isolate: 0, Refs: refs}}
+}
+
+// pendingSeeds collects every queued mark source of the open cycle.
+func (f *fuzzHeap) pendingSeeds() []*Object {
+	c := f.h.cycle.Load()
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var seeds []*Object
+	for _, it := range c.gray {
+		seeds = append(seeds, it.obj)
+	}
+	seeds = append(seeds, c.satb...)
+	for _, it := range c.deferred {
+		seeds = append(seeds, it.obj)
+	}
+	for si := c.setIdx; si < len(c.rootSets); si++ {
+		rs := &c.rootSets[si]
+		start := 0
+		if si == c.setIdx {
+			start = c.refIdx
+		}
+		for ri := start; ri < len(rs.Refs); ri++ {
+			seeds = append(seeds, rs.Refs[ri])
+		}
+	}
+	return seeds
+}
+
+// checkTriColor verifies the weak tri-color invariant mid-mark.
+func (f *fuzzHeap) checkTriColor() {
+	if !f.h.CycleOpen() {
+		return
+	}
+	coveredByPending := f.reach(f.pendingSeeds())
+	for _, o := range f.objs {
+		if !f.alive(o) || !o.Marked() || f.born[o] {
+			continue
+		}
+		for i := range o.Fields {
+			c := o.Fields[i].R
+			if c == nil || c.Marked() {
+				continue
+			}
+			if !coveredByPending[c] {
+				f.t.Fatalf("tri-color violation: black %p -> white %p with no barrier record or queued path", o, c)
+			}
+		}
+	}
+}
+
+func FuzzMarkInvariant(f *testing.F) {
+	f.Add([]byte{0, 0, 1, 4, 1, 5, 6})
+	f.Add([]byte{0, 0, 0, 3, 16, 4, 1, 2, 33, 5, 1, 9, 6, 7})
+	f.Add([]byte{0, 0, 0, 0, 3, 0, 3, 17, 4, 5, 1, 1, 2, 1, 18, 5, 2, 40, 6, 0, 3, 2, 7, 7})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fh := &fuzzHeap{
+			t:     t,
+			h:     New(1 << 20),
+			class: incClass(3),
+			roots: make([]*Object, fuzzRootSlots),
+			born:  map[*Object]bool{},
+		}
+		pick := func(i int, b byte) *Object {
+			if len(fh.objs) == 0 {
+				return nil
+			}
+			return fh.objs[int(b)%len(fh.objs)]
+		}
+		// legal reports whether a mutator could hold o right now: the
+		// guest only traffics in references loaded from roots or the
+		// reachable heap, plus objects it just allocated. (References
+		// injected from outside that set — host handles — enter through
+		// op 3, which models SpawnThread's barrier record.)
+		legal := func(o *Object) bool {
+			if o == nil || o.dead {
+				return false
+			}
+			if fh.born[o] {
+				return true
+			}
+			return fh.reach(fh.rootSet()[0].Refs)[o]
+		}
+		for i := 0; i < len(data); i++ {
+			op := data[i] % 8
+			arg := byte(0)
+			if i+1 < len(data) {
+				arg = data[i+1]
+				i++
+			}
+			switch op {
+			case 0: // allocate
+				if len(fh.objs) >= 128 {
+					continue
+				}
+				o, err := fh.h.AllocObject(fh.class, 0)
+				if err != nil {
+					continue
+				}
+				fh.objs = append(fh.objs, o)
+				if fh.h.CycleOpen() {
+					fh.born[o] = true
+				}
+			case 1: // barriered ref store a.f[j] = b
+				a, b := pick(0, arg), pick(1, arg/7)
+				if !legal(a) || !legal(b) {
+					continue
+				}
+				mutStore(fh.h, &a.Fields[int(arg/3)%len(a.Fields)], RefVal(b))
+			case 2: // barriered null store
+				a := pick(0, arg)
+				if !legal(a) {
+					continue
+				}
+				mutStore(fh.h, &a.Fields[int(arg/3)%len(a.Fields)], Null())
+			case 3: // root injection: a host-held reference enters the
+				// mutator world (the SpawnThread-argument path). Mid-
+				// cycle injections are recorded, exactly as SpawnThread
+				// does, because the object may be outside the snapshot.
+				o := pick(0, arg/5)
+				if o != nil && o.dead {
+					// A real VM never roots a swept object; treat the
+					// pick as a null store.
+					o = nil
+				}
+				if o != nil && fh.h.BarrierActive() {
+					fh.h.RecordWrite(o)
+				}
+				fh.roots[int(arg)%fuzzRootSlots] = o
+			case 4: // begin cycle
+				if fh.h.CycleOpen() {
+					continue
+				}
+				fh.born = map[*Object]bool{}
+				rs := fh.rootSet()
+				fh.snapLive = fh.reach(rs[0].Refs)
+				fh.h.BeginCycle(rs)
+			case 5: // bounded mark quantum + invariant check
+				fh.h.MarkQuantum(1 + int(arg)%5)
+				fh.checkTriColor()
+			case 6: // terminal phase + SATB liveness check
+				if !fh.h.CycleOpen() {
+					continue
+				}
+				fh.h.FinishCycle(fh.rootSet())
+				for o := range fh.snapLive {
+					if o.Dead() {
+						t.Fatal("snapshot-reachable object swept by its cycle")
+					}
+				}
+				for o := range fh.born {
+					if o.Dead() {
+						t.Fatal("allocate-black object swept by its birth cycle")
+					}
+				}
+				fh.afterSweepChecks()
+				// A dropped born object is no longer a legal mutator
+				// value once its cycle ended.
+				fh.born = map[*Object]bool{}
+			case 7: // exact collection (abandons any open cycle)
+				res := fh.h.Collect(fh.rootSet())
+				live := fh.reach(fh.rootSet()[0].Refs)
+				var liveBytes int64
+				for o := range live {
+					liveBytes += o.Size()
+				}
+				if res.LiveBytes != liveBytes || fh.h.Used() != liveBytes {
+					t.Fatalf("exact collection not exact: res=%d used=%d want=%d",
+						res.LiveBytes, fh.h.Used(), liveBytes)
+				}
+				fh.afterSweepChecks()
+				fh.born = map[*Object]bool{}
+			}
+		}
+	})
+}
+
+// afterSweepChecks: sweep soundness plus accounting consistency, valid
+// after any terminal phase.
+func (f *fuzzHeap) afterSweepChecks() {
+	reachable := f.reach(f.rootSet()[0].Refs)
+	var unsweptBytes int64
+	for _, o := range f.objs {
+		if reachable[o] && o.Dead() {
+			f.t.Fatal("reachable object is dead after sweep")
+		}
+		if !o.Dead() {
+			unsweptBytes += o.Size()
+		}
+	}
+	if f.h.Used() != unsweptBytes {
+		f.t.Fatalf("used %d != unswept bytes %d after sweep", f.h.Used(), unsweptBytes)
+	}
+	if f.h.CycleOpen() || f.h.BarrierActive() {
+		f.t.Fatal("cycle state leaked past a terminal phase")
+	}
+	// Mark bits must be clean between cycles.
+	for _, o := range f.objs {
+		if !o.Dead() && o.Marked() {
+			f.t.Fatal("mark bit leaked past a sweep")
+		}
+	}
+}

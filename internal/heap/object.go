@@ -1,6 +1,10 @@
 package heap
 
-import "ijvm/internal/classfile"
+import (
+	"sync/atomic"
+
+	"ijvm/internal/classfile"
+)
 
 // IsolateID identifies an isolate for accounting purposes. Isolate0 (the
 // OSGi runtime) is ID 0; the baseline ("Shared") VM runs everything in
@@ -54,15 +58,25 @@ type Object struct {
 	// counter.
 	IdentityHash int64
 
-	size  int64
+	// size is atomic because concurrent markers read it for live-stats
+	// charging while ResizeNative (a native running on an executing
+	// thread) may grow it; extra stays plain (mutated only under the
+	// heap's resizeMu, read only by the owner and resize itself).
+	size  atomic.Int64
 	extra int64 // native payload size included in size
 	// stripe is the object's monitor-stripe index, assigned at admission
 	// from the allocating domain's sequence so concurrently allocating
 	// shards spread over different stripes. The interpreter masks it into
 	// its striped monitor table.
 	stripe uint8
-	mark   bool
-	dead   bool
+	// mark is the collector's mark bit. It is atomic because incremental
+	// marking runs concurrently with mutators and with other markers: a
+	// marker claims an object with a compare-and-swap (tryMark), the
+	// write barrier consults it lock-free (Marked), and admission sets it
+	// during an open cycle (allocate-black). Outside a cycle it is always
+	// false (every completed or abandoned cycle resets it).
+	mark atomic.Bool
+	dead bool
 	// finalized marks objects whose finalizer has been scheduled; a
 	// finalizer runs at most once, and the object is reclaimed by the
 	// following collection (unless the finalizer resurrected it).
@@ -73,7 +87,16 @@ type Object struct {
 func (o *Object) Finalized() bool { return o.finalized }
 
 // Size returns the modelled byte size of the object.
-func (o *Object) Size() int64 { return o.size }
+func (o *Object) Size() int64 { return o.size.Load() }
+
+// Marked reports the object's mark bit. During an incremental cycle a
+// marked object is black (or allocate-black); between cycles the bit is
+// always clear. The write barrier uses it to skip already-safe objects.
+func (o *Object) Marked() bool { return o.mark.Load() }
+
+// tryMark claims the object for one marker: exactly one caller per cycle
+// wins, and only the winner charges live statistics and scans children.
+func (o *Object) tryMark() bool { return o.mark.CompareAndSwap(false, true) }
 
 // MonitorStripe returns the object's monitor-stripe index (assigned once
 // at admission, immutable afterwards).

@@ -70,7 +70,7 @@ func (h *Heap) PreciseAccounting(rootSets []RootSet) map[IsolateID]*PreciseStats
 		out[iso] = stats
 		for o := range seen {
 			stats.Objects++
-			stats.Bytes += o.size
+			stats.Bytes += o.size.Load()
 			reachCount[o]++
 		}
 	}
@@ -79,7 +79,7 @@ func (h *Heap) PreciseAccounting(rootSets []RootSet) map[IsolateID]*PreciseStats
 		for o := range seen {
 			if reachCount[o] > 1 {
 				stats.SharedObjects++
-				stats.SharedBytes += o.size
+				stats.SharedBytes += o.size.Load()
 			}
 		}
 	}

@@ -43,6 +43,44 @@ import (
 type allocState struct {
 	dom   *heap.AllocDomain
 	batch core.ByteBatch
+	// satb buffers the shard's SATB write-barrier records while a mark
+	// phase is open, handed to the heap's gray machinery at quantum
+	// boundaries, before allocation-pressure collections, and when the
+	// buffer fills. Same single-goroutine ownership as the batch.
+	satb []*heap.Object
+	// gcIso, when non-nil, is the isolate whose allocation on this shard
+	// crossed the background-cycle occupancy threshold; the shard's next
+	// quantum boundary starts the cycle and charges the activation to it
+	// (§4.4: collections are attributed to the allocator that forces
+	// them, not to whoever happens to run at the boundary).
+	gcIso *core.Isolate
+}
+
+// satbFlushAt bounds the barrier buffer between flush points.
+const satbFlushAt = 128
+
+// recordSATB buffers one overwritten reference, spilling to the heap
+// when the buffer fills mid-quantum.
+func (a *allocState) recordSATB(h *heap.Heap, old *heap.Object) {
+	a.satb = append(a.satb, old)
+	if len(a.satb) >= satbFlushAt {
+		a.flushSATB(h)
+	}
+}
+
+// flushSATB hands buffered barrier records to the heap (no-op when
+// empty). It must run before the owning goroutine parks for a
+// stop-the-world: the terminal mark phase is sound only if every
+// mutator's records are visible.
+func (a *allocState) flushSATB(h *heap.Heap) {
+	if len(a.satb) == 0 {
+		return
+	}
+	h.FlushSATB(a.satb)
+	for i := range a.satb {
+		a.satb[i] = nil
+	}
+	a.satb = a.satb[:0]
 }
 
 // acquireAllocState returns a recycled (or fresh) allocation state. The
@@ -66,6 +104,8 @@ func (vm *VM) releaseAllocState(a *allocState) {
 		return
 	}
 	a.batch.Flush()
+	a.flushSATB(vm.heap)
+	a.gcIso = nil
 	vm.allocFreeMu.Lock()
 	vm.allocFree = append(vm.allocFree, a)
 	vm.allocFreeMu.Unlock()
@@ -91,6 +131,7 @@ func (vm *VM) domainAlloc(a *allocState, iso *core.Isolate, fn func() (*heap.Obj
 			return nil, err
 		}
 		a.batch.Flush()
+		a.flushSATB(vm.heap)
 		vm.CollectGarbage(iso)
 		obj, err = fn()
 		if err != nil {
@@ -99,6 +140,9 @@ func (vm *VM) domainAlloc(a *allocState, iso *core.Isolate, fn func() (*heap.Obj
 	}
 	if vm.heap.TrackAlloc() {
 		a.batch.Note(vm.heap.CountersFor(iso.ID()), obj.Size(), obj.IsConnection)
+	}
+	if a.gcIso == nil && vm.heap.CrossedThreshold() {
+		a.gcIso = iso
 	}
 	return obj, nil
 }

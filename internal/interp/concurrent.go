@@ -238,6 +238,7 @@ func (vm *VM) RunThreadQuantum(t *Thread, home *core.Isolate, budget int64, stop
 	t.alloc = nil
 	batch.Flush()
 	s.alloc.batch.Flush()
+	s.alloc.flushSATB(vm.heap)
 	vm.clock.Add(res.Instructions)
 	vm.totalInstrs.Add(res.Instructions)
 	return res

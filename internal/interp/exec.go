@@ -358,7 +358,13 @@ func (vm *VM) execInstr(t *Thread, f *Frame, in bytecode.Instr) error {
 		if recv.R == nil {
 			return vm.Throw(t, ClassNullPointerException, "putfield "+field.QualifiedName())
 		}
-		recv.R.Fields[field.Slot] = v
+		// SATB write barrier (see handlers.go pPutField); the seed
+		// switch carries the identical store discipline.
+		if sp := &recv.R.Fields[field.Slot]; vm.heap.BarrierActive() {
+			vm.gcWriteSlot(t, sp, v)
+		} else {
+			*sp = v
+		}
 
 	// --- Invocation (thread migration happens in pushFrame) ---------------------
 	case bytecode.OpInvokeStatic, bytecode.OpInvokeVirtual, bytecode.OpInvokeSpecial:
@@ -453,7 +459,12 @@ func (vm *VM) execInstr(t *Thread, f *Frame, in bytecode.Instr) error {
 		if idx.I < 0 || idx.I >= int64(len(arr.R.Elems)) {
 			return vm.Throw(t, ClassArrayIndexException, fmt.Sprintf("index %d of %d", idx.I, len(arr.R.Elems)))
 		}
-		arr.R.Elems[idx.I] = v
+		// SATB write barrier (see handlers.go pArrayStore).
+		if sp := &arr.R.Elems[idx.I]; vm.heap.BarrierActive() {
+			vm.gcWriteSlot(t, sp, v)
+		} else {
+			*sp = v
+		}
 	case bytecode.OpInstanceOf:
 		v, err := f.pop()
 		if err != nil {
@@ -491,6 +502,7 @@ func (vm *VM) execInstr(t *Thread, f *Frame, in bytecode.Instr) error {
 			return vm.Throw(t, ClassNullPointerException, "monitorenter")
 		}
 		if vm.tryAcquireMonitor(t, v.R) {
+			f.noteEnter(v.R)
 			_, _ = f.pop()
 		} else {
 			// Re-execute this instruction once the monitor frees up.
@@ -508,6 +520,7 @@ func (vm *VM) execInstr(t *Thread, f *Frame, in bytecode.Instr) error {
 		if !vm.monitorExitChecked(t, v.R) {
 			return vm.Throw(t, ClassIllegalMonitorState, "monitorexit without ownership")
 		}
+		f.noteExit(v.R)
 
 	// --- Exceptions ------------------------------------------------------------------
 	case bytecode.OpAThrow:

@@ -1,0 +1,154 @@
+package interp
+
+import (
+	"ijvm/internal/heap"
+)
+
+// This file drives the heap's incremental collector (internal/heap
+// gc.go) from both execution engines and hosts the mutator side of the
+// SATB write barrier.
+//
+// # Collector scheduling
+//
+// Background cycles open when heap occupancy crosses the configured
+// threshold, observed at quantum boundaries (gcQuantum): the opening
+// pause is a stop-the-world just long enough to snapshot the root sets
+// and arm the barrier. While a cycle is open, every quantum boundary —
+// sequential loop and each concurrent worker — contributes a bounded
+// stride of mark work through the heap's shared gray pool, so marking
+// proceeds concurrently with mutators on other shards. When the mark is
+// exhausted the observing boundary runs the short terminal
+// stop-the-world (root re-scan, residual drain, finalizer pass, sweep).
+//
+// Allocation pressure and explicit requests still go through
+// VM.CollectGarbage, which is always exact: heap.Collect abandons an
+// open cycle and runs a fresh full pass, so the pinned invariants
+// (post-GC Used() == live bytes, first-tracer charging, identical
+// collection points across collector configurations) hold regardless of
+// what the background cycle was doing.
+//
+// # GC-activation accounting
+//
+// A background cycle charges one GCActivation to the isolate whose
+// quantum observed the threshold crossing — the isolate driving heap
+// growth activates the collector, which is what the paper's counter is
+// for (attack A4 detection). Pressure and explicit collections charge
+// the triggering isolate exactly as before. See core.AccountCounters.
+
+// gcQuantum is the per-quantum collector hook of both engines. a is the
+// engine's allocation state: when one of its allocations crossed the
+// occupancy threshold (allocState.gcIso), this boundary opens the
+// background cycle and charges the activation to that isolate. A shard
+// that did not cross the threshold itself never starts a cycle, so the
+// activation is always attributed to an allocator.
+func (vm *VM) gcQuantum(a *allocState) {
+	if vm.opts.ForceSTWGC {
+		return
+	}
+	h := vm.heap
+	if !h.CycleOpen() {
+		if a != nil && a.gcIso != nil {
+			if h.NeedCycle() && vm.StartIncrementalCycle() {
+				a.gcIso.Account().GCActivations.Add(1)
+			}
+			a.gcIso = nil
+		}
+		return
+	}
+	if a != nil {
+		// A crossing observed before another shard opened the cycle is
+		// stale; drop it so a later cycle is not double-charged.
+		a.gcIso = nil
+	}
+	if h.MarkQuantum(vm.opts.GCMarkStride) {
+		vm.FinishIncrementalCycle()
+	}
+}
+
+// GCQuantum is gcQuantum for the concurrent scheduler: one bounded
+// collector step at a worker's quantum boundary, using the worker's
+// allocation state for activation attribution.
+func (vm *VM) GCQuantum(s *SampleState) { vm.gcQuantum(s.alloc) }
+
+// StartIncrementalCycle opens a background mark cycle now (stopping the
+// world briefly to snapshot roots and arm the barrier). It returns
+// false when a cycle is already open or the reference collector is
+// selected. Exposed for the GC benchmarks and stress tests; the engines
+// normally start cycles from the occupancy threshold.
+func (vm *VM) StartIncrementalCycle() bool {
+	if vm.opts.ForceSTWGC {
+		return false
+	}
+	ok := false
+	vm.withWorldStopped(func() {
+		if !vm.heap.CycleOpen() {
+			ok = vm.heap.BeginCycle(vm.buildRootSets())
+		}
+	})
+	return ok
+}
+
+// GCMarkStep performs up to n units of mark work on the open cycle and
+// reports whether the mark is exhausted. Exposed for benchmarks; the
+// engines call the same heap primitive through gcQuantum.
+func (vm *VM) GCMarkStep(n int) bool { return vm.heap.MarkQuantum(n) }
+
+// FinishIncrementalCycle runs the terminal phase of the open cycle: a
+// short stop-the-world for the root re-scan, residual drain, finalizer
+// pass and sweep. Returns false when no cycle is open.
+func (vm *VM) FinishIncrementalCycle() (heap.CollectResult, bool) {
+	var res heap.CollectResult
+	var ok bool
+	vm.withWorldStopped(func() {
+		if !vm.heap.CycleOpen() {
+			return
+		}
+		res, ok = vm.heap.FinishCycle(vm.buildRootSets())
+		if ok {
+			vm.world.UpdateDisposal(vm.heap)
+			vm.scheduleFinalizers(res.PendingFinalize)
+		}
+	})
+	return res, ok
+}
+
+// gcBarrier records one overwritten reference while a cycle is open.
+// The executing engine's allocation state buffers records and hands
+// them to the heap in batches at quantum boundaries (and when the
+// buffer fills); callers without an installed state fall back to the
+// heap's locked path.
+func (vm *VM) gcBarrier(t *Thread, old *heap.Object) {
+	if old.Marked() {
+		return
+	}
+	if a := allocOf(t); a != nil {
+		a.recordSATB(vm.heap, old)
+		return
+	}
+	vm.heap.RecordWrite(old)
+}
+
+// gcWriteSlot performs one reference-slot store under an armed barrier:
+// the overwritten reference is recorded (SATB's deletion barrier) and
+// the reference word of the slot is published atomically so concurrent
+// markers never read a torn pointer. Store handlers call it only after
+// BarrierActive() reported true; the idle fast path stays a plain
+// assignment.
+func (vm *VM) gcWriteSlot(t *Thread, slot *heap.Value, v heap.Value) {
+	if old := slot.R; old != nil {
+		vm.gcBarrier(t, old)
+	}
+	heap.StoreSlotBarriered(slot, v)
+}
+
+// WriteBarrier records old as overwritten if it is a reference and a
+// mark phase is open. System-library natives call it before mutating
+// native payloads that hold references (collection set/remove/clear,
+// arraycopy): those payloads are scanned only in stop-the-world phases,
+// so the deletion record is what keeps a reference removed mid-cycle
+// alive until the terminal phase.
+func (vm *VM) WriteBarrier(t *Thread, old heap.Value) {
+	if old.R != nil && vm.heap.BarrierActive() {
+		vm.gcBarrier(t, old.R)
+	}
+}

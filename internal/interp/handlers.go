@@ -726,7 +726,16 @@ func pPutField(vm *VM, t *Thread, f *Frame, in *bytecode.PInstr) error {
 		if recv.R == nil {
 			return vm.Throw(t, ClassNullPointerException, "putfield "+pFieldName(in))
 		}
-		recv.R.Fields[slot] = v
+		// SATB write barrier: while a mark phase is open, record the
+		// overwritten reference and publish the new one atomically for
+		// concurrent markers. Idle fast path: one atomic load, plain
+		// store. (Statics and locals need no barrier — root sets are
+		// snapshot copies.)
+		if sp := &recv.R.Fields[slot]; vm.heap.BarrierActive() {
+			vm.gcWriteSlot(t, sp, v)
+		} else {
+			*sp = v
+		}
 		f.pc++
 		return nil
 	}
@@ -741,7 +750,11 @@ func pPutField(vm *VM, t *Thread, f *Frame, in *bytecode.PInstr) error {
 	if recv.R == nil {
 		return vm.Throw(t, ClassNullPointerException, "putfield "+field.QualifiedName())
 	}
-	recv.R.Fields[field.Slot] = v
+	if sp := &recv.R.Fields[field.Slot]; vm.heap.BarrierActive() {
+		vm.gcWriteSlot(t, sp, v)
+	} else {
+		*sp = v
+	}
 	f.pc++
 	return nil
 }
@@ -958,7 +971,12 @@ func pArrayStore(vm *VM, t *Thread, f *Frame, in *bytecode.PInstr) error {
 	if idx.I < 0 || idx.I >= int64(len(arr.R.Elems)) {
 		return vm.Throw(t, ClassArrayIndexException, fmt.Sprintf("index %d of %d", idx.I, len(arr.R.Elems)))
 	}
-	arr.R.Elems[idx.I] = v
+	// SATB write barrier, as in pPutField.
+	if sp := &arr.R.Elems[idx.I]; vm.heap.BarrierActive() {
+		vm.gcWriteSlot(t, sp, v)
+	} else {
+		*sp = v
+	}
 	f.pc++
 	return nil
 }
@@ -999,6 +1017,7 @@ func pMonitorEnter(vm *VM, t *Thread, f *Frame, in *bytecode.PInstr) error {
 		return vm.Throw(t, ClassNullPointerException, "monitorenter")
 	}
 	if vm.tryAcquireMonitor(t, v.R) {
+		f.noteEnter(v.R)
 		f.upop()
 		f.pc++
 		return nil
@@ -1016,6 +1035,7 @@ func pMonitorExit(vm *VM, t *Thread, f *Frame, in *bytecode.PInstr) error {
 	if !vm.monitorExitChecked(t, v.R) {
 		return vm.Throw(t, ClassIllegalMonitorState, "monitorexit without ownership")
 	}
+	f.noteExit(v.R)
 	f.pc++
 	return nil
 }

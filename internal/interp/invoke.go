@@ -74,6 +74,22 @@ func (vm *VM) SpawnThread(name string, creator *core.Isolate, m *classfile.Metho
 	// Root the entry arguments across pushFrame: allocation during call
 	// setup (synchronized entry, GC pressure) must not sweep objects
 	// reachable only through them.
+	//
+	// If an incremental mark phase is open, the arguments are references
+	// entering the mutator world from outside the cycle's snapshot (a
+	// host-held object was not necessarily reachable from any snapshot
+	// root). Record them with the barrier so the cycle traces them:
+	// otherwise the new thread could store such an object into an
+	// already-scanned holder, drop its own reference, and the terminal
+	// re-scan would never see it (the heap fuzz harness reproduces
+	// exactly this).
+	if vm.heap.BarrierActive() {
+		for i := range args {
+			if r := args[i].R; r != nil {
+				vm.heap.RecordWrite(r)
+			}
+		}
+	}
 	t.pendingArgs = args
 	err := vm.pushFrame(t, m, args, nil)
 	t.pendingArgs = nil
@@ -237,8 +253,9 @@ func (vm *VM) acquireFrame(nLocals, maxStack int) *Frame {
 func (vm *VM) releaseFrame(f *Frame) {
 	clear(f.locals[:cap(f.locals)])
 	clear(f.stack[:cap(f.stack)])
-	locals, stack := f.locals[:0], f.stack[:0]
-	*f = Frame{locals: locals, stack: stack}
+	clear(f.entered[:cap(f.entered)])
+	locals, stack, entered := f.locals[:0], f.stack[:0], f.entered[:0]
+	*f = Frame{locals: locals, stack: stack, entered: entered}
 	vm.framePool.Put(f)
 }
 

@@ -14,19 +14,35 @@ import (
 )
 
 // This file is the randomized differential oracle for the quickened,
-// inline-cached dispatch: a seeded generator produces small *verified*
-// programs exercising virtual calls (mono- and polymorphic receivers),
-// static cross-isolate calls, branches, monitors, guest exceptions
-// (caught and uncaught), array traffic, allocation/GC-heavy churn (the
-// small oracle heap forces GC-on-pressure collections mid-run) and
-// synchronized-heavy shapes (synchronized methods nested in explicit
-// monitor sections), and every program is replayed under all four
-// configurations {prepared+IC, seed switch} × {Shared, Isolated}.
-// Within each mode the prepared run must match the seed run
-// byte-for-byte: guest result, failure, output, total instructions,
-// virtual clock, per-isolate instruction/CPU-sample accounting, the
-// per-isolate *byte* accounts (allocated objects/bytes), the GC
-// activation counts, and the post-GC heap-reachable live objects/bytes.
+// inline-cached dispatch AND the incremental collector: a seeded
+// generator produces small *verified* programs exercising virtual calls
+// (mono- and polymorphic receivers), static cross-isolate calls,
+// branches, monitors, guest exceptions (caught and uncaught), array
+// traffic, allocation/GC-heavy churn (the small oracle heap forces
+// GC-on-pressure collections mid-run), synchronized-heavy shapes
+// (synchronized methods nested in explicit monitor sections), stores
+// into aging object graphs (long-lived receivers and a persistent array
+// whose reference slots are overwritten every iteration — the write
+// barrier's diet), cross-isolate reference churn (peer-allocated
+// objects retained then dropped by the main isolate), and string
+// interning under GC pressure (Ldc identity must survive collections).
+//
+// Every program is replayed under {prepared+IC, seed switch} ×
+// {Shared, Isolated} × {forced-STW, incremental (pressure-only),
+// incremental (paced: threshold-opened cycles whose mark strides
+// interleave with mutator quanta under an armed barrier)}:
+//
+//   - forced-STW vs incremental-pressure-only must be byte-identical on
+//     EVERYTHING, including GCActivations: pressure collections are
+//     exact in both (heap.Collect abandons open cycles), so the
+//     collection points coincide.
+//   - the paced runs must be byte-identical to each other across
+//     dispatch engines, and byte-identical to forced-STW on outcome,
+//     output, instructions, clock, CPU samples, allocation byte
+//     accounts and final post-GC reachability — only GCActivations may
+//     differ (background cycles collect ahead of the pressure points,
+//     which is their purpose), so that one column is masked for the
+//     cross-collector comparison.
 
 // oracleFragKind enumerates the loop-body building blocks the generator
 // composes.
@@ -55,6 +71,27 @@ const (
 	// monitorenter/exit on a second receiver inside the same iteration —
 	// the synchronized-heavy shape on the striped monitor table.
 	fragSyncCall
+	// fragAgingStore overwrites a reference field on a long-lived
+	// receiver every iteration (old graph edges die while the graph
+	// ages) — the putfield deletion-barrier shape.
+	fragAgingStore
+	// fragAgingArray overwrites one slot of a persistent array with a
+	// fresh object every iteration — the aastore deletion-barrier shape
+	// plus allocation churn into an aging graph.
+	fragAgingArray
+	// fragCrossChurn stores a peer-isolate-allocated object into the
+	// persistent array (cross-isolate reference retained for one
+	// iteration, then overwritten) — cross-isolate reference churn
+	// through collections.
+	fragCrossChurn
+	// fragIntern loads interned string literals and mixes their identity
+	// (two Ldc of one literal must stay ==, across every collection)
+	// into the accumulator — interning under GC.
+	fragIntern
+	// fragAllocBurst drops ~6 KB of array garbage per iteration — the
+	// burst sized so programs containing it cross the paced collector's
+	// occupancy threshold several times mid-run (≥2 incremental cycles).
+	fragAllocBurst
 	numFragKinds
 )
 
@@ -153,6 +190,7 @@ func oracleMainClasses(p oracleProgram) []*classfile.Class {
 	}
 	base := classfile.NewClass(oraBase).
 		Field("v", classfile.KindInt).
+		Field("link", classfile.KindRef).
 		Method(classfile.InitName, "()V", 0, defaultInit(classfile.ObjectClassName)).
 		Method("f", "(I)I", 0, func(a *bytecode.Assembler) {
 			a.ILoad(1).Const(1).IAdd().IReturn()
@@ -186,6 +224,7 @@ func oracleMainClasses(p oracleProgram) []*classfile.Class {
 
 	recvSlot := func(r int) int { return 3 + r }
 	tmpSlot := 3 + p.numImpls
+	graphSlot := tmpSlot + 1
 	main := classfile.NewClass(oraMain).
 		Method("run", "(I)I", classfile.FlagStatic, func(a *bytecode.Assembler) {
 			for k := 0; k < p.numImpls; k++ {
@@ -193,6 +232,11 @@ func oracleMainClasses(p oracleProgram) []*classfile.Class {
 					InvokeSpecial(oraImpl(k), classfile.InitName, "()V").
 					AStore(recvSlot(k))
 			}
+			// The persistent graph array: its slots age across the whole
+			// loop and are overwritten by the aging/cross-churn
+			// fragments, so old references die mid-run (and mid-cycle
+			// under the paced incremental collector).
+			a.Const(4).NewArray("").AStore(graphSlot)
 			a.ILoad(0).IStore(1)
 			a.Const(0).IStore(2)
 			a.Label("loop")
@@ -272,6 +316,46 @@ func oracleMainClasses(p oracleProgram) []*classfile.Class {
 					a.ALoad(recvSlot(f.r1)).ILoad(1).
 						InvokeVirtual(oraBase, "sf", "(I)I").IStore(1)
 					a.ALoad(recvSlot(f.r2)).MonitorExit()
+				case fragAgingStore:
+					// Age the receiver graph: overwrite r1.link with a
+					// fresh object (the old link, when present, dies).
+					a.ALoad(recvSlot(f.r1)).
+						New(oraImpl(f.r2)).Dup().
+						InvokeSpecial(oraImpl(f.r2), classfile.InitName, "()V").
+						PutField(oraBase, "link")
+					a.ILoad(1).Const(f.c).IXor().IStore(1)
+				case fragAgingArray:
+					// Overwrite one persistent array slot with a fresh
+					// object; the previous occupant becomes garbage.
+					a.ALoad(graphSlot).Const(f.arrIdx%4).
+						New(oraImpl(f.r1)).Dup().
+						InvokeSpecial(oraImpl(f.r1), classfile.InitName, "()V").
+						ArrayStore()
+					a.ILoad(1).Const(3).IAdd().IStore(1)
+				case fragCrossChurn:
+					// A peer-allocated object is retained in the graph
+					// array for one iteration, then overwritten: cross-
+					// isolate references churn through collections.
+					a.ALoad(graphSlot).Const((f.arrIdx+1)%4).
+						ILoad(1).InvokeStatic(oraSvc, "mk", "(I)Ljava/lang/Object;").
+						ArrayStore()
+					a.ILoad(1).Const(f.c).IAdd().IStore(1)
+				case fragIntern:
+					// Two Ldc of one literal must be the same object —
+					// interning survives every collector configuration
+					// and every collection.
+					lit := fmt.Sprintf("ora-lit-%d", f.op%3)
+					eq := fmt.Sprintf("ieq%d", j)
+					a.Str(lit).Str(lit).IfACmpEq(eq)
+					a.ILoad(1).Const(4242).IXor().IStore(1) // interning broken
+					a.Label(eq).ILoad(1).Const(f.c + 1).IAdd().IStore(1)
+				case fragAllocBurst:
+					// Six 128-slot arrays (~6 KB) dropped per iteration.
+					for b := 0; b < 6; b++ {
+						a.Const(128).NewArray("").AStore(tmpSlot)
+					}
+					a.Null().AStore(tmpSlot)
+					a.ILoad(1).Const(f.c).ISub().IStore(1)
 				}
 			}
 			a.IInc(2, 1).Goto("loop")
@@ -298,7 +382,45 @@ func oraclePeerClasses() []*classfile.Class {
 			Method("g", "(I)I", classfile.FlagStatic, func(a *bytecode.Assembler) {
 				a.GetStatic(oraSvc, "s").ILoad(0).IAdd().
 					Dup().PutStatic(oraSvc, "s").IReturn()
+			}).
+			// mk allocates in the PEER isolate (the executing thread
+			// migrates for the static call), so the returned object's
+			// creator-charged bytes land on the peer while the main
+			// isolate retains the reference — the cross-isolate churn
+			// shape of the GC oracle.
+			Method("mk", "(I)Ljava/lang/Object;", classfile.FlagStatic, func(a *bytecode.Assembler) {
+				a.Const(8).NewArray("").AReturn()
 			}).MustBuild(),
+	}
+}
+
+// oracleGC selects the collector configuration of one run.
+type oracleGC int
+
+const (
+	// gcForcedSTW is the reference collector: every collection a
+	// monolithic stop-the-world pass at its trigger point.
+	gcForcedSTW oracleGC = iota
+	// gcIncPressure runs the incremental machinery with background
+	// cycles disabled: collections happen at the same points as the
+	// reference and must be byte-identical to it, GCActivations
+	// included.
+	gcIncPressure
+	// gcIncPaced opens cycles at 50% occupancy and marks 32 units per
+	// quantum boundary, so mark strides interleave with mutator quanta
+	// under an armed write barrier — the configuration that actually
+	// exercises SATB records deterministically.
+	gcIncPaced
+)
+
+func (g oracleGC) options() (forceSTW bool, thresholdPct, stride int) {
+	switch g {
+	case gcForcedSTW:
+		return true, -1, 0
+	case gcIncPressure:
+		return false, -1, 0
+	default:
+		return false, 50, 32
 	}
 }
 
@@ -314,6 +436,24 @@ type oracleTrace struct {
 	// figures post-GC: the heap-reachable result surface; GCActivations
 	// proves the GC-on-pressure collection points are identical).
 	perIsolate map[string][7]int64
+	// incCycles and barrierRecords are collector diagnostics (excluded
+	// from diff): the oracle asserts the paced configuration actually
+	// ran incremental cycles with live barrier traffic.
+	incCycles      int64
+	barrierRecords int64
+}
+
+// maskGCActivations returns a copy of the trace with the GCActivations
+// column zeroed — the one quantity background cycles are allowed to
+// change relative to the forced-STW reference.
+func (a oracleTrace) maskGCActivations() oracleTrace {
+	out := a
+	out.perIsolate = make(map[string][7]int64, len(a.perIsolate))
+	for k, v := range a.perIsolate {
+		v[6] = 0
+		out.perIsolate[k] = v
+	}
+	return out
 }
 
 func (a oracleTrace) diff(b oracleTrace) string {
@@ -344,13 +484,23 @@ func (a oracleTrace) diff(b oracleTrace) string {
 }
 
 // runOracleProgram materializes and executes p under one configuration.
-func runOracleProgram(t *testing.T, p oracleProgram, mode core.Mode, seedDispatch bool) oracleTrace {
+func runOracleProgram(t *testing.T, p oracleProgram, mode core.Mode, seedDispatch bool, gc oracleGC) oracleTrace {
 	t.Helper()
 	// The small heap limit makes the alloc/array-churn fragments hit
-	// GC-on-pressure collections mid-run, so the oracle also proves the
+	// GC-on-pressure collections mid-run (and, under the paced config,
+	// open ≥2 incremental cycles), so the oracle also proves the
 	// collection points, the per-isolate byte accounts and the post-GC
-	// reachability identical across dispatch configurations.
-	vm := interp.NewVM(interp.Options{Mode: mode, DisablePrepare: seedDispatch, HeapLimit: 32 << 10})
+	// reachability identical across dispatch and collector
+	// configurations.
+	forceSTW, pct, stride := gc.options()
+	vm := interp.NewVM(interp.Options{
+		Mode:               mode,
+		DisablePrepare:     seedDispatch,
+		HeapLimit:          32 << 10,
+		ForceSTWGC:         forceSTW,
+		GCThresholdPercent: pct,
+		GCMarkStride:       stride,
+	})
 	syslib.MustInstall(vm)
 	iso, err := vm.NewIsolate("main")
 	if err != nil {
@@ -384,16 +534,21 @@ func runOracleProgram(t *testing.T, p oracleProgram, mode core.Mode, seedDispatc
 	arg := p.seed % 97
 	v, th, err := vm.CallRoot(iso, m, []heap.Value{heap.IntVal(arg)}, 5_000_000)
 	if err != nil {
-		t.Fatalf("seed %d mode %v seedDispatch %v: host error: %v", p.seed, mode, seedDispatch, err)
+		t.Fatalf("seed %d mode %v seedDispatch %v gc %d: host error: %v", p.seed, mode, seedDispatch, gc, err)
 	}
+	// The terminal collection is exact under every configuration
+	// (heap.Collect abandons an open cycle), so the post-GC live
+	// figures below are the heap-reachable ground truth.
 	vm.CollectGarbage(nil)
 	tr := oracleTrace{
-		result:     v.I,
-		failure:    th.FailureString(),
-		output:     vm.Output(),
-		total:      vm.TotalInstructions(),
-		clock:      vm.Clock(),
-		perIsolate: make(map[string][7]int64),
+		result:         v.I,
+		failure:        th.FailureString(),
+		output:         vm.Output(),
+		total:          vm.TotalInstructions(),
+		clock:          vm.Clock(),
+		perIsolate:     make(map[string][7]int64),
+		incCycles:      vm.Heap().IncrementalCycles(),
+		barrierRecords: vm.Heap().BarrierRecords(),
 	}
 	for _, s := range vm.Snapshots() {
 		tr.perIsolate[s.IsolateName] = [7]int64{
@@ -406,24 +561,69 @@ func runOracleProgram(t *testing.T, p oracleProgram, mode core.Mode, seedDispatc
 	return tr
 }
 
-// TestRandomizedDifferentialOracle replays >= 500 generated programs on
-// prepared-IC vs seed-style dispatch in both modes and demands
-// byte-identical traces.
+// TestRandomizedDifferentialOracle replays >= 500 generated programs
+// across {prepared+IC, seed switch} × {Shared, Isolated} ×
+// {forced-STW, incremental-pressure, incremental-paced} and demands:
+//
+//   - byte-identical traces (GCActivations included) between the
+//     forced-STW reference and both dispatch engines under the
+//     pressure-only incremental collector;
+//   - byte-identical traces between the two dispatch engines under the
+//     paced incremental collector (its GC schedule is deterministic at
+//     quantum boundaries);
+//   - byte-identical everything-but-GCActivations between the paced
+//     runs and the reference (background cycles move the collection
+//     points; outcome, accounts and final reachability must not move);
+//   - that the paced configuration really ran ≥2 incremental cycles
+//     with live SATB barrier traffic on a healthy fraction of programs
+//     (no silent degeneration to stop-the-world).
 func TestRandomizedDifferentialOracle(t *testing.T) {
 	n := 500
 	if testing.Short() {
 		n = 60
 	}
+	multiCycle, barrierHits := 0, 0
 	for i := 0; i < n; i++ {
 		seed := int64(i)*2654435761 + 99991
 		p := genOracleProgram(seed)
 		for _, mode := range []core.Mode{core.ModeShared, core.ModeIsolated} {
-			ref := runOracleProgram(t, p, mode, true)
-			got := runOracleProgram(t, p, mode, false)
-			if d := ref.diff(got); d != "" {
-				t.Fatalf("program %d (seed %d) mode %v: prepared-IC diverges from seed dispatch: %s",
+			ref := runOracleProgram(t, p, mode, true, gcForcedSTW)
+			if d := ref.diff(runOracleProgram(t, p, mode, false, gcForcedSTW)); d != "" {
+				t.Fatalf("program %d (seed %d) mode %v STW: prepared-IC diverges from seed dispatch: %s",
 					i, seed, mode, d)
 			}
+			for _, seedDispatch := range []bool{true, false} {
+				got := runOracleProgram(t, p, mode, seedDispatch, gcIncPressure)
+				if d := ref.diff(got); d != "" {
+					t.Fatalf("program %d (seed %d) mode %v seed=%v: incremental(pressure) diverges from forced-STW: %s",
+						i, seed, mode, seedDispatch, d)
+				}
+			}
+			pacedSeed := runOracleProgram(t, p, mode, true, gcIncPaced)
+			pacedPrep := runOracleProgram(t, p, mode, false, gcIncPaced)
+			if d := pacedSeed.diff(pacedPrep); d != "" {
+				t.Fatalf("program %d (seed %d) mode %v paced: prepared-IC diverges from seed dispatch: %s",
+					i, seed, mode, d)
+			}
+			if d := ref.maskGCActivations().diff(pacedSeed.maskGCActivations()); d != "" {
+				t.Fatalf("program %d (seed %d) mode %v: incremental(paced) diverges from forced-STW beyond GCActivations: %s",
+					i, seed, mode, d)
+			}
+			if pacedSeed.incCycles >= 2 {
+				multiCycle++
+			}
+			if pacedSeed.barrierRecords > 0 {
+				barrierHits++
+			}
 		}
+	}
+	// Sized so the alloc bursts drive ≥2 incremental cycles mid-run on a
+	// meaningful share of programs, with real barrier records — the
+	// paced dimension must not silently degenerate.
+	if multiCycle < n/10 {
+		t.Fatalf("only %d/%d paced runs saw >=2 incremental cycles", multiCycle, 2*n)
+	}
+	if barrierHits == 0 {
+		t.Fatal("no paced run recorded a single SATB barrier record")
 	}
 }

@@ -88,6 +88,10 @@ func (vm *VM) run(budget int64, target *Thread) RunResult {
 			quantum = remaining
 		}
 		res.Instructions += vm.runQuantum(t, quantum, target)
+		// Collector hook: open a background cycle on occupancy, perform
+		// one mark stride, or run the terminal phase — all at this
+		// quantum boundary, with the batched charges just flushed.
+		vm.gcQuantum(vm.seqAlloc)
 	}
 }
 
@@ -162,6 +166,7 @@ func (vm *VM) flushSequential() {
 	vm.seqBatch.Flush()
 	if vm.seqAlloc != nil {
 		vm.seqAlloc.batch.Flush()
+		vm.seqAlloc.flushSATB(vm.heap)
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"ijvm/internal/core"
+	"ijvm/internal/heap"
 )
 
 // KillIsolate terminates an isolate (§3.3). The sequence mirrors the
@@ -56,6 +57,29 @@ func (vm *VM) KillIsolate(killer, target *core.Isolate) error {
 	return err
 }
 
+// forceReleaseLocked releases ONE recursion level of obj's monitor if t
+// still owns it — the kill path calls it once per acquisition record of
+// a killed frame (lockedMonitor or an entered entry), so recursion
+// levels held by the thread's *surviving* frames (a killed frame that
+// entered a monitor and then called into another isolate which entered
+// it again) are preserved: zeroing outright would break mutual
+// exclusion inside the innocent isolate's critical section and make its
+// eventual monitorexit throw IllegalMonitorState. schedMu held, world
+// stopped; the stripe nests under schedMu.
+func (vm *VM) forceReleaseLocked(t *Thread, obj *heap.Object) {
+	mu := vm.monStripe(obj)
+	mu.Lock()
+	m := &obj.Monitor
+	if m.Owner == t.id {
+		m.Count--
+		if m.Count <= 0 {
+			m.Owner = 0
+			m.Count = 0
+		}
+	}
+	mu.Unlock()
+}
+
 // patchThreadForKill applies the §3.3 stack treatment to one thread. The
 // world is stopped: no worker is executing guest code.
 func (vm *VM) patchThreadForKill(t *Thread, target *core.Isolate) error {
@@ -65,17 +89,20 @@ func (vm *VM) patchThreadForKill(t *Thread, target *core.Isolate) error {
 		if f.iso == target {
 			involved = true
 			// Force-release monitors held by killed frames (the monitor
-			// word is guarded by its stripe; schedMu -> stripe ordering).
+			// word is guarded by its stripe; schedMu -> stripe ordering):
+			// the synchronized-method monitor AND every explicit
+			// monitorenter the frame still holds — a victim killed
+			// inside an explicit monitor section must not leave the
+			// monitor owned by its dead thread (the survivors would
+			// deadlock on a lock nobody can ever release).
 			if obj := f.lockedMonitor; obj != nil {
-				mu := vm.monStripe(obj)
-				mu.Lock()
-				if obj.Monitor.Owner == t.id {
-					obj.Monitor.Owner = 0
-					obj.Monitor.Count = 0
-					f.lockedMonitor = nil
-				}
-				mu.Unlock()
+				vm.forceReleaseLocked(t, obj)
+				f.lockedMonitor = nil
 			}
+			for _, obj := range f.entered {
+				vm.forceReleaseLocked(t, obj)
+			}
+			f.entered = f.entered[:0]
 		}
 	}
 	vm.schedMu.Unlock()

@@ -97,6 +97,15 @@ type Frame struct {
 	// lockedMonitor is released when the frame exits (normally or by
 	// unwinding).
 	lockedMonitor *heap.Object
+	// entered records the monitors this frame acquired through explicit
+	// monitorenter instructions (one entry per acquisition, including
+	// recursive ones; monitorexit removes the latest matching entry).
+	// Frame exits do NOT auto-release them — unmatched enter/exit leaks
+	// a monitor exactly as raw bytecode does on a real JVM — but the
+	// isolate-termination path force-releases them (§3.3 step 3: a
+	// killed isolate's monitors must not outlive it), which per-frame
+	// synchronized-method tracking alone cannot do.
+	entered []*heap.Object
 
 	// clinitMirror, when non-nil, marks this frame as a <clinit>
 	// activation; the mirror transitions to InitDone when the frame
@@ -149,6 +158,20 @@ func (f *Frame) upop() heap.Value {
 // upeek is peek without the underflow check, under the same contract as
 // upop.
 func (f *Frame) upeek() heap.Value { return f.stack[len(f.stack)-1] }
+
+// noteEnter records one explicit monitorenter acquisition on the frame.
+func (f *Frame) noteEnter(obj *heap.Object) { f.entered = append(f.entered, obj) }
+
+// noteExit drops the latest matching explicit-enter record (a no-op for
+// cross-frame exits, which the frame that entered still accounts for).
+func (f *Frame) noteExit(obj *heap.Object) {
+	for i := len(f.entered) - 1; i >= 0; i-- {
+		if f.entered[i] == obj {
+			f.entered = append(f.entered[:i], f.entered[i+1:]...)
+			return
+		}
+	}
+}
 
 // Thread is one green thread. The sequential scheduler multiplexes
 // threads onto the host goroutine that calls VM.Run; the concurrent

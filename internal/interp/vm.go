@@ -73,6 +73,23 @@ type Options struct {
 	// the per-site polymorphic inline caches — the ablation baseline of
 	// the BenchmarkInvoke_* microbenchmarks.
 	DisableInlineCaches bool
+	// ForceSTWGC selects the reference collector: no incremental cycles,
+	// no write barrier, every collection a monolithic stop-the-world
+	// mark-sweep at its trigger point. The differential baseline of the
+	// GC oracle and benchmarks.
+	ForceSTWGC bool
+	// GCThresholdPercent is the heap occupancy (percent of the limit) at
+	// which the engines open a background incremental mark cycle at a
+	// quantum boundary. 0 selects 88; negative disables background
+	// cycles (collections then happen only on allocation pressure or
+	// explicit request, each as one exact stop-the-world pass — the
+	// configuration whose collection points are byte-identical to
+	// ForceSTWGC).
+	GCThresholdPercent int
+	// GCMarkStride is how many mark-work units (≈ objects scanned) each
+	// engine performs per quantum boundary while a cycle is open. 0
+	// selects 256.
+	GCMarkStride int
 }
 
 func (o *Options) normalize() {
@@ -90,6 +107,12 @@ func (o *Options) normalize() {
 	}
 	if o.MaxFrameDepth <= 0 {
 		o.MaxFrameDepth = 1024
+	}
+	if o.GCThresholdPercent == 0 {
+		o.GCThresholdPercent = 88
+	}
+	if o.GCMarkStride <= 0 {
+		o.GCMarkStride = 256
 	}
 }
 
@@ -222,6 +245,9 @@ func NewVM(opts Options) *VM {
 	if opts.Mode == core.ModeShared {
 		// The baseline JVM performs no per-bundle resource accounting.
 		h.SetAllocTracking(false)
+	}
+	if !opts.ForceSTWGC && opts.GCThresholdPercent > 0 {
+		h.SetGCThreshold(h.Limit() * int64(opts.GCThresholdPercent) / 100)
 	}
 	return &VM{
 		opts:      opts,
@@ -374,8 +400,9 @@ func (vm *VM) InternString(t *Thread, iso *core.Isolate, s string) (*heap.Object
 	if err != nil {
 		return nil, err
 	}
-	iso.SetInternedString(s, obj)
-	return obj, nil
+	// First publisher wins: a racing interner's object becomes garbage
+	// and everyone returns the pool's canonical one.
+	return iso.SetInternedString(s, obj), nil
 }
 
 // NewStringObject allocates a fresh (non-interned) guest string.
@@ -418,6 +445,13 @@ func (vm *VM) ClassObjectFor(t *Thread, c *classfile.Class, iso *core.Isolate) (
 // frame attributed to the frame's isolate (step 3), traced in isolate-ID
 // order so an object is charged to the first isolate referencing it (step
 // 4). triggeredBy, when non-nil, is charged one GC activation.
+//
+// The result is always exact — post-collection Used() equals live bytes
+// and every dead object is reclaimed — regardless of the collector
+// configuration: heap.Collect abandons any open incremental cycle and
+// runs a fresh full pass from the current roots (see internal/heap
+// gc.go), so pressure and explicit collections behave byte-identically
+// under the incremental and the forced-STW collector.
 func (vm *VM) CollectGarbage(triggeredBy *core.Isolate) heap.CollectResult {
 	if triggeredBy != nil {
 		triggeredBy.Account().GCActivations.Add(1)
@@ -533,6 +567,10 @@ func (vm *VM) buildRootSets() []heap.RootSet {
 			if f.needsMonitor != nil {
 				refs = append(refs, f.needsMonitor)
 			}
+			// Explicitly entered monitors stay rooted like the
+			// synchronized-method one: the kill path must be able to
+			// force-release them on a live object.
+			refs = append(refs, f.entered...)
 			rootsByIso[isoID] = refs
 		}
 	}

@@ -434,6 +434,14 @@ func (p *pool) runSlice(s *shard, sampler *interp.SampleState) endReason {
 			}
 		}
 		res := p.vm.RunThreadQuantum(t, s.iso, q, &p.stop, sampler, p.target)
+		// Collector hook at the worker's quantum boundary: open a
+		// background cycle on occupancy, contribute one mark stride to
+		// the shared gray pool (stealing spilled work from other
+		// shards), or run the short terminal phase. The quantum's
+		// batched charges and barrier records were flushed by the
+		// RunThreadQuantum epilogue, so a stop-the-world started here
+		// observes exact state.
+		p.vm.GCQuantum(sampler)
 		if p.limited && res.Instructions < q {
 			p.budget.Add(q - res.Instructions)
 		}

@@ -127,6 +127,10 @@ func arrayListClass() *classfile.Class {
 			if i < 0 || i >= int64(len(p.vals)) {
 				return interp.NativeThrowName(vm, t, interp.ClassArrayIndexException, "list index")
 			}
+			// Native payloads are scanned only in stop-the-world GC
+			// phases, so an overwrite during incremental marking must
+			// record the removed reference (SATB deletion barrier).
+			vm.WriteBarrier(t, p.vals[i])
 			p.vals[i] = args[1]
 			return interp.NativeVoid()
 		}))
@@ -143,6 +147,10 @@ func arrayListClass() *classfile.Class {
 			p, fail := listOf(vm, t, recv)
 			if fail != nil {
 				return *fail, nil
+			}
+			// clear drops every contained reference (SATB barrier).
+			for _, v := range p.vals {
+				vm.WriteBarrier(t, v)
 			}
 			p.vals = nil
 			vm.Heap().ResizeNative(recv.R, 0)
@@ -178,8 +186,12 @@ func hashMapClass() *classfile.Class {
 			if !ok {
 				return interp.NativeThrowName(vm, t, interp.ClassNullPointerException, "map key")
 			}
-			if _, exists := p.vals[key]; !exists {
+			if old, exists := p.vals[key]; !exists {
 				p.keys = append(p.keys, key)
+			} else {
+				// Overwriting a mapping removes the old value's
+				// reference from the payload (SATB barrier).
+				vm.WriteBarrier(t, old)
 			}
 			p.vals[key] = args[1]
 			vm.Heap().ResizeNative(recv.R, int64(len(p.keys))*mapSlotBytes)
@@ -214,7 +226,8 @@ func hashMapClass() *classfile.Class {
 				return *fail, nil
 			}
 			key, _ := stringOf(args[0])
-			if _, ok := p.vals[key]; ok {
+			if old, ok := p.vals[key]; ok {
+				vm.WriteBarrier(t, old)
 				delete(p.vals, key)
 				for i, k := range p.keys {
 					if k == key {

@@ -228,7 +228,30 @@ func systemClass() *classfile.Class {
 				sp+n > int64(len(src.Elems)) || dp+n > int64(len(dst.Elems)) {
 				return interp.NativeThrowName(vm, t, interp.ClassArrayIndexException, "arraycopy bounds")
 			}
-			copy(dst.Elems[dp:dp+n], src.Elems[sp:sp+n])
+			if vm.Heap().BarrierActive() {
+				// Array slots are scanned by concurrent markers: record
+				// each overwritten reference (SATB) and publish the new
+				// reference words atomically. src is read plainly — the
+				// executing thread is this one, and cross-thread guest
+				// races on array slots are the guest's own (as in the
+				// interpreter's store handlers).
+				if src == dst && dp > sp {
+					// memmove semantics for overlapping self-copies.
+					for i := n - 1; i >= 0; i-- {
+						d := &dst.Elems[dp+i]
+						vm.WriteBarrier(t, *d)
+						heap.StoreSlotBarriered(d, src.Elems[sp+i])
+					}
+				} else {
+					for i := int64(0); i < n; i++ {
+						d := &dst.Elems[dp+i]
+						vm.WriteBarrier(t, *d)
+						heap.StoreSlotBarriered(d, src.Elems[sp+i])
+					}
+				}
+			} else {
+				copy(dst.Elems[dp:dp+n], src.Elems[sp:sp+n])
+			}
 			return interp.NativeVoid()
 		}))
 	return b.MustBuild()
