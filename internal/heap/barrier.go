@@ -51,6 +51,12 @@ func loadSlotRef(v *Value) *Object {
 	return (*Object)(atomic.LoadPointer((*unsafe.Pointer)(unsafe.Pointer(&v.R))))
 }
 
+// LoadSlotRef reads a slot's reference word atomically — the read half
+// of StoreSlotBarriered, exported for host-side machinery (the RPC
+// copier) that reads reference slots while concurrent markers traverse
+// the same objects.
+func LoadSlotRef(v *Value) *Object { return loadSlotRef(v) }
+
 // BarrierActive reports whether a mark phase is open and reference
 // stores must go through the SATB barrier. One uncontended atomic load;
 // the interpreter checks it on every reference-slot store.

@@ -130,6 +130,12 @@ type Heap struct {
 	// resizes, which mutate an object's modelled size in place.
 	gcMu     sync.Mutex
 	resizeMu sync.Mutex
+
+	// sharedPins is the reference-counted root table of cross-isolate
+	// shared payloads (see frozen.go); sharedPinMu guards it. Every
+	// terminal trace injects the pinned objects as creator-charged roots.
+	sharedPinMu sync.Mutex
+	sharedPins  map[*Object]int64
 }
 
 // LiveStats are the per-isolate results of one accounting collection.

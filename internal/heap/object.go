@@ -76,7 +76,12 @@ type Object struct {
 	// during an open cycle (allocate-black). Outside a cycle it is always
 	// false (every completed or abandoned cycle resets it).
 	mark atomic.Bool
-	dead bool
+	// frozen marks a deeply immutable array (see Freeze). It is atomic
+	// because the interpreter's array-store path consults it while
+	// host-side RPC machinery freezes payloads on other goroutines; once
+	// set it is never cleared.
+	frozen atomic.Bool
+	dead   bool
 	// finalized marks objects whose finalizer has been scheduled; a
 	// finalizer runs at most once, and the object is reclaimed by the
 	// following collection (unless the finalizer resurrected it).

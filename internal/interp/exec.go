@@ -459,6 +459,9 @@ func (vm *VM) execInstr(t *Thread, f *Frame, in bytecode.Instr) error {
 		if idx.I < 0 || idx.I >= int64(len(arr.R.Elems)) {
 			return vm.Throw(t, ClassArrayIndexException, fmt.Sprintf("index %d of %d", idx.I, len(arr.R.Elems)))
 		}
+		if arr.R.Frozen() {
+			return vm.Throw(t, ClassIllegalState, "store to frozen array")
+		}
 		// SATB write barrier (see handlers.go pArrayStore).
 		if sp := &arr.R.Elems[idx.I]; vm.heap.BarrierActive() {
 			vm.gcWriteSlot(t, sp, v)

@@ -971,6 +971,11 @@ func pArrayStore(vm *VM, t *Thread, f *Frame, in *bytecode.PInstr) error {
 	if idx.I < 0 || idx.I >= int64(len(arr.R.Elems)) {
 		return vm.Throw(t, ClassArrayIndexException, fmt.Sprintf("index %d of %d", idx.I, len(arr.R.Elems)))
 	}
+	// Frozen arrays (zero-copy RPC payloads, internal/heap frozen.go) are
+	// deeply immutable; guest stores are rejected before the barrier path.
+	if arr.R.Frozen() {
+		return vm.Throw(t, ClassIllegalState, "store to frozen array")
+	}
 	// SATB write barrier, as in pPutField.
 	if sp := &arr.R.Elems[idx.I]; vm.heap.BarrierActive() {
 		vm.gcWriteSlot(t, sp, v)

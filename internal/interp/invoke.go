@@ -102,6 +102,73 @@ func (vm *VM) SpawnThread(name string, creator *core.Isolate, m *classfile.Metho
 	return t, nil
 }
 
+// RespawnThread re-arms a finished thread with a fresh entry point,
+// reusing its allocation and (when still listed) its scheduler slot.
+// Hosts that dispatch guest calls at high rate — the RPC hub's worker
+// pools — recycle threads through this instead of paying SpawnThread's
+// allocation and list bookkeeping per call. The thread keeps its ID;
+// the respawn is charged to creator exactly like a fresh spawn
+// (ThreadsCreated/ThreadsLive), so per-isolate accounting sees the same
+// totals either way. Only Done threads whose frames have been popped
+// (normal completion, uncaught exception, or AbortRootThread) may be
+// respawned.
+func (vm *VM) RespawnThread(t *Thread, name string, creator *core.Isolate, m *classfile.Method, args []heap.Value) error {
+	if creator == nil {
+		return errors.New("interp: RespawnThread requires a creator isolate")
+	}
+	vm.threadsMu.Lock()
+	if !t.Done() || len(t.frames) != 0 {
+		vm.threadsMu.Unlock()
+		return errors.New("interp: RespawnThread on an unfinished thread")
+	}
+	if live := int(vm.liveThreads.Load()); live >= vm.opts.MaxThreads {
+		vm.threadsMu.Unlock()
+		return fmt.Errorf("%w (%d live)", ErrTooManyThreads, live)
+	}
+	t.name = name
+	t.cur = creator
+	t.creator = creator
+	t.lastSwitchTick = vm.NowTicks()
+	t.result = heap.Value{}
+	t.failure = nil
+	t.err = nil
+	t.interrupted = false
+	t.threadObj = nil
+	t.wakeAt = 0
+	t.blockedOn, t.waitingOn, t.joinOn = nil, nil, nil
+	t.savedLock = 0
+	t.resumeKind, t.resumeValue, t.resumeThrow = resumeNone, heap.Value{}, nil
+	t.slowStep = false
+	t.setState(StateRunnable)
+	creator.Account().ThreadsCreated.Add(1)
+	creator.Account().ThreadsLive.Add(1)
+	vm.liveThreads.Add(1)
+	if t.pruned {
+		t.pruned = false
+		vm.threads = append(vm.threads, t)
+	}
+	vm.threadsMu.Unlock()
+	// Same SATB contract as SpawnThread: host-held arguments entering the
+	// mutator world under an open mark phase must be recorded.
+	if vm.heap.BarrierActive() {
+		for i := range args {
+			if r := args[i].R; r != nil {
+				vm.heap.RecordWrite(r)
+			}
+		}
+	}
+	t.pendingArgs = args
+	err := vm.pushFrame(t, m, args, nil)
+	t.pendingArgs = nil
+	if err != nil {
+		vm.finishThread(t)
+		t.err = err
+		return err
+	}
+	vm.notifyThreadSpawned(t)
+	return nil
+}
+
 // invokeResolved is the invocation tail shared by the inline-cache and
 // resolved-entry fast paths: target is already resolved — and, for
 // instance calls, the receiver known non-null; for static calls, the

@@ -185,6 +185,8 @@ func (vm *VM) pruneDoneThreads() {
 	for _, t := range vm.threads {
 		if !t.Done() {
 			live = append(live, t)
+		} else {
+			t.pruned = true
 		}
 	}
 	for i := len(live); i < len(vm.threads); i++ {

@@ -57,6 +57,35 @@ func (vm *VM) KillIsolate(killer, target *core.Isolate) error {
 	return err
 }
 
+// AbortRootThread tears down a host-spawned root thread (an RPC
+// dispatch whose budget expired or whose link closed) without running
+// any more of its code. The caller must own the engine — the thread must
+// not be mid-quantum on any worker (the RPC hub calls this between
+// RunUntil slices under its execution lock). Every monitor the thread
+// still holds is force-released first, exactly as the kill path does for
+// killed frames, so an aborted callee never leaves a lock owned by a
+// dead thread; then the thread is finished with err recorded as its
+// host-visible failure.
+func (vm *VM) AbortRootThread(t *Thread, err error) {
+	if t == nil || t.Done() {
+		return
+	}
+	vm.schedMu.Lock()
+	for _, f := range t.frames {
+		if obj := f.lockedMonitor; obj != nil {
+			vm.forceReleaseLocked(t, obj)
+			f.lockedMonitor = nil
+		}
+		for _, obj := range f.entered {
+			vm.forceReleaseLocked(t, obj)
+		}
+		f.entered = f.entered[:0]
+	}
+	vm.schedMu.Unlock()
+	t.err = err
+	vm.finishThread(t)
+}
+
 // forceReleaseLocked releases ONE recursion level of obj's monitor if t
 // still owns it — the kill path calls it once per acquisition record of
 // a killed frame (lockedMonitor or an entered entry), so recursion

@@ -257,6 +257,12 @@ type Thread struct {
 	result  heap.Value
 	failure *heap.Object // uncaught guest exception
 	err     error        // host-level execution error (VM bug or invalid code)
+
+	// pruned records that pruneDoneThreads dropped this thread from the
+	// scheduler list (guarded by vm.threadsMu). RespawnThread re-appends
+	// pruned threads; without the flag it could not tell membership
+	// without an O(threads) scan.
+	pruned bool
 }
 
 type resumeKind uint8

@@ -28,6 +28,7 @@ const (
 	ClassClassCastException   = "java/lang/ClassCastException"
 	ClassNegativeArraySize    = "java/lang/NegativeArraySizeException"
 	ClassIllegalMonitorState  = "java/lang/IllegalMonitorStateException"
+	ClassIllegalState         = "java/lang/IllegalStateException"
 	ClassInterruptedException = "java/lang/InterruptedException"
 	ClassOutOfMemoryError     = "java/lang/OutOfMemoryError"
 	ClassStackOverflowError   = "java/lang/StackOverflowError"
@@ -190,9 +191,14 @@ type VM struct {
 	monStripes [monStripeCount]sync.Mutex
 
 	// pinned holds host-side references (OSGi registry, RPC endpoints)
-	// that act as GC roots attributed to an isolate.
-	pinMu  sync.Mutex
-	pinned map[heap.IsolateID][]*heap.Object
+	// that act as GC roots attributed to an isolate. hostRoots is the
+	// registry of live HostRoots sets (see hostroots.go) — transient
+	// host-side root batches with the same attribution, guarded by the
+	// same mutex so rooted allocation is atomic with respect to root-set
+	// construction.
+	pinMu     sync.Mutex
+	pinned    map[heap.IsolateID][]*heap.Object
+	hostRoots map[*HostRoots]struct{}
 
 	// waiters tracks Object.wait sets per monitor object (schedMu).
 	waiters map[*heap.Object][]*Thread
@@ -257,6 +263,7 @@ func NewVM(opts Options) *VM {
 		ptable:    handlerTable(opts.Mode, opts.DisableInlineCaches),
 		pmode:     pmodeIndex(opts.Mode),
 		pinned:    make(map[heap.IsolateID][]*heap.Object),
+		hostRoots: make(map[*HostRoots]struct{}),
 		waiters:   make(map[*heap.Object][]*Thread),
 		wellKnown: make(map[string]*classfile.Class),
 		rng:       0x9E3779B97F4A7C15,
@@ -461,8 +468,18 @@ func (vm *VM) CollectGarbage(triggeredBy *core.Isolate) heap.CollectResult {
 	// so under the concurrent scheduler every worker must be parked
 	// first; the installed safepointer provides that (and is a no-op
 	// passthrough for sequential runs).
+	//
+	// pinMu is held across snapshot AND sweep: host-side rooted
+	// allocation (HostRoots) takes pinMu around alloc+root, so holding it
+	// here means no object can be allocated-and-rooted between the root
+	// snapshot and the sweep — the exact pass abandons any open cycle
+	// (clearing allocate-black marks), so without this exclusion a copy
+	// rooted after the snapshot would be swept while a host goroutine
+	// still holds it. Lock order: pinMu -> (threadsMu, heap's gcMu/hostMu).
 	vm.withWorldStopped(func() {
-		rootSets := vm.buildRootSets()
+		vm.pinMu.Lock()
+		defer vm.pinMu.Unlock()
+		rootSets := vm.buildRootSetsLocked()
 		res = vm.heap.Collect(rootSets)
 		vm.world.UpdateDisposal(vm.heap)
 		vm.scheduleFinalizers(res.PendingFinalize)
@@ -501,7 +518,9 @@ func (vm *VM) scheduleFinalizers(pending []*heap.Object) {
 func (vm *VM) PreciseAccounting() map[heap.IsolateID]*heap.PreciseStats {
 	var out map[heap.IsolateID]*heap.PreciseStats
 	vm.withWorldStopped(func() {
-		out = vm.heap.PreciseAccounting(vm.buildRootSets())
+		vm.pinMu.Lock()
+		defer vm.pinMu.Unlock()
+		out = vm.heap.PreciseAccounting(vm.buildRootSetsLocked())
 	})
 	return out
 }
@@ -511,12 +530,26 @@ func (vm *VM) PreciseAccounting() map[heap.IsolateID]*heap.PreciseStats {
 // attributed to the frame's isolate (step 3), ordered by isolate ID so
 // charging follows the paper's first-tracer rule (step 4).
 func (vm *VM) buildRootSets() []heap.RootSet {
-	rootsByIso := vm.world.MirrorRootSets()
 	vm.pinMu.Lock()
+	defer vm.pinMu.Unlock()
+	return vm.buildRootSetsLocked()
+}
+
+// buildRootSetsLocked is buildRootSets with pinMu already held. Exact
+// collections call it and keep pinMu held through the sweep so rooted
+// host-side allocation (HostRoots.alloc) cannot slip an object between
+// the snapshot and the reclaim; incremental cycle starts only need the
+// snapshot (allocate-black admission covers later births).
+func (vm *VM) buildRootSetsLocked() []heap.RootSet {
+	rootsByIso := vm.world.MirrorRootSets()
 	for iso, objs := range vm.pinned {
 		rootsByIso[iso] = append(rootsByIso[iso], objs...)
 	}
-	vm.pinMu.Unlock()
+	for r := range vm.hostRoots {
+		if len(r.refs) != 0 {
+			rootsByIso[r.iso] = append(rootsByIso[r.iso], r.refs...)
+		}
+	}
 	vm.threadsMu.Lock()
 	threads := append([]*Thread(nil), vm.threads...)
 	vm.threadsMu.Unlock()

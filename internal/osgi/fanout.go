@@ -1,0 +1,103 @@
+package osgi
+
+import (
+	"fmt"
+	"sort"
+
+	"ijvm/internal/core"
+	"ijvm/internal/heap"
+	"ijvm/internal/rpc"
+)
+
+// fanKey identifies one cached inter-isolate link: a caller isolate
+// bound to one method of one registered service.
+type fanKey struct {
+	service string
+	caller  *core.Isolate
+	method  string
+	desc    string
+}
+
+// FanOutCall is one leg of a fan-out: the service it targets and either
+// the pending future or the submission error (saturation, closed link,
+// killed callee). Exactly one of Fut / Err is set.
+type FanOutCall struct {
+	Service string
+	Fut     *rpc.Future
+	Err     error
+}
+
+// FanOut dispatches one async call to every registered service whose
+// name starts with prefix, in sorted name order, and returns the
+// pending legs. Links are resolved through a per-(service, caller,
+// method) cache so repeated fan-outs reuse queues, credits and rooted
+// receivers; cached links are torn down when their service is
+// unregistered (including the bundle-kill path). Submission is
+// fail-fast per leg: a saturated or dying callee yields an Err leg
+// instead of blocking the whole fan-out — the caller aggregates what
+// it can and treats the rest as cascading timeouts.
+//
+// Safe for concurrent callers; the registry lock is held only for the
+// snapshot-and-resolve step, never across copy-in or guest execution.
+func (r *ServiceRegistry) FanOut(hub *rpc.Hub, caller *core.Isolate, prefix, method, desc string, opts rpc.LinkOptions, args []heap.Value) []FanOutCall {
+	type leg struct {
+		name string
+		link *rpc.Link
+		err  error
+	}
+	r.mu.Lock()
+	if r.links == nil {
+		r.links = make(map[fanKey]*rpc.Link)
+	}
+	var legs []leg
+	for name, e := range r.services {
+		if len(name) < len(prefix) || name[:len(prefix)] != prefix {
+			continue
+		}
+		key := fanKey{service: name, caller: caller, method: method, desc: desc}
+		link, ok := r.links[key]
+		if !ok {
+			m, err := e.obj.Class.LookupMethod(method, desc)
+			if err != nil {
+				legs = append(legs, leg{name: name, err: fmt.Errorf("osgi: service %q: %w", name, err)})
+				continue
+			}
+			link, err = hub.NewLink(caller, e.owner.iso, m, heap.RefVal(e.obj), opts)
+			if err != nil {
+				legs = append(legs, leg{name: name, err: err})
+				continue
+			}
+			r.links[key] = link
+		}
+		legs = append(legs, leg{name: name, link: link})
+	}
+	r.mu.Unlock()
+	sort.Slice(legs, func(i, j int) bool { return legs[i].name < legs[j].name })
+
+	out := make([]FanOutCall, 0, len(legs))
+	for _, lg := range legs {
+		if lg.err != nil {
+			out = append(out, FanOutCall{Service: lg.name, Err: lg.err})
+			continue
+		}
+		fut, err := lg.link.CallAsync(args)
+		out = append(out, FanOutCall{Service: lg.name, Fut: fut, Err: err})
+	}
+	return out
+}
+
+// dropLinksFor removes and asynchronously closes every cached link
+// bound to a service name. Close drains in-flight calls and therefore
+// needs the engine lock — it must not run synchronously here, because
+// the unregister paths execute under hub.Sync (bundle kill), which
+// already holds it. Once removed from the cache no new calls can pick
+// the link up; in-flight ones resolve (or fail fast against the dead
+// callee) and the goroutine reclaims the rooted receiver.
+func (r *ServiceRegistry) dropLinksFor(name string) {
+	for key, link := range r.links {
+		if key.service == name {
+			delete(r.links, key)
+			go link.Close()
+		}
+	}
+}

@@ -3,9 +3,11 @@ package osgi
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"ijvm/internal/heap"
 	"ijvm/internal/interp"
+	"ijvm/internal/rpc"
 )
 
 // ServiceRegistry is the OSGi name service (§3.4): bundles "register
@@ -14,8 +16,15 @@ import (
 // mechanism of I-JVM — after that, calls on the service are direct method
 // calls with thread migration.
 type ServiceRegistry struct {
-	vm       *interp.VM
+	vm *interp.VM
+	// mu guards services and links: fan-out callers snapshot concurrently
+	// with churn (kill + reinstall) mutating the registry. It is never
+	// held across guest execution or link teardown.
+	mu       sync.Mutex
 	services map[string]*serviceEntry
+	// links caches the inter-isolate messaging links created by FanOut,
+	// torn down when their service is unregistered.
+	links map[fanKey]*rpc.Link
 	// onChange queues a service event for deferred dispatch (set by the
 	// framework).
 	onChange func(name string, eventType int64, origin *Bundle)
@@ -38,6 +47,8 @@ func (r *ServiceRegistry) Register(name string, obj *heap.Object, owner *Bundle)
 	if obj == nil {
 		return fmt.Errorf("osgi: registering nil service %q", name)
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	if _, dup := r.services[name]; dup {
 		return fmt.Errorf("osgi: service %q already registered", name)
 	}
@@ -57,6 +68,8 @@ func (r *ServiceRegistry) Register(name string, obj *heap.Object, owner *Bundle)
 // Get returns the service object, or nil when unknown. user records the
 // looking-up bundle for diagnostics.
 func (r *ServiceRegistry) Get(name string, user *Bundle) *heap.Object {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	e, ok := r.services[name]
 	if !ok {
 		return nil
@@ -69,12 +82,15 @@ func (r *ServiceRegistry) Get(name string, user *Bundle) *heap.Object {
 
 // Unregister removes a service by name.
 func (r *ServiceRegistry) Unregister(name string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	e, ok := r.services[name]
 	if !ok {
 		return
 	}
 	r.vm.Unpin(e.owner.iso.ID(), e.obj)
 	delete(r.services, name)
+	r.dropLinksFor(name)
 	if r.onChange != nil {
 		r.onChange(name, 2 /* ServiceUnregistered */, e.owner)
 	}
@@ -83,10 +99,13 @@ func (r *ServiceRegistry) Unregister(name string) {
 // unregisterOwnedBy drops every service owned by a bundle (bundle kill /
 // uninstall path).
 func (r *ServiceRegistry) unregisterOwnedBy(b *Bundle) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	for name, e := range r.services {
 		if e.owner == b {
 			r.vm.Unpin(e.owner.iso.ID(), e.obj)
 			delete(r.services, name)
+			r.dropLinksFor(name)
 			if r.onChange != nil {
 				r.onChange(name, 2 /* ServiceUnregistered */, b)
 			}
@@ -96,6 +115,8 @@ func (r *ServiceRegistry) unregisterOwnedBy(b *Bundle) {
 
 // Names returns the registered service names, sorted.
 func (r *ServiceRegistry) Names() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	out := make([]string, 0, len(r.services))
 	for name := range r.services {
 		out = append(out, name)
@@ -106,6 +127,8 @@ func (r *ServiceRegistry) Names() []string {
 
 // OwnerOf returns the owning bundle of a service, or nil.
 func (r *ServiceRegistry) OwnerOf(name string) *Bundle {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	if e, ok := r.services[name]; ok {
 		return e.owner
 	}

@@ -1,0 +1,176 @@
+package rpc
+
+import (
+	"fmt"
+	"testing"
+
+	"ijvm/internal/core"
+	"ijvm/internal/heap"
+	"ijvm/internal/interp"
+	"ijvm/internal/syslib"
+)
+
+// FuzzCopyUnderGC interleaves rooted deep copies with incremental mark
+// quanta: the copier publishes destination slots while markers traverse
+// the same objects, and the copies are host-injected references born
+// mid-cycle. The SATB invariant must hold — after the cycle finishes,
+// every rooted copy is alive and structurally identical to its source.
+// This is the regression harness for the seed's raw (unbarriered,
+// unrooted) copy stores.
+func FuzzCopyUnderGC(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8})
+	f.Add([]byte{0xff, 0x00, 0xaa, 0x55, 9, 9, 9, 9, 1, 2, 3})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		vm := interp.NewVM(interp.Options{Mode: core.ModeIsolated, HeapLimit: 16 << 20})
+		syslib.MustInstall(vm)
+		src, err := vm.NewIsolate("src")
+		if err != nil {
+			t.Fatal(err)
+		}
+		dst, err := vm.NewIsolate("dst")
+		if err != nil {
+			t.Fatal(err)
+		}
+		objClass, err := vm.Registry().Bootstrap().Lookup(interp.ClassObject)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Build a payload graph driven by the fuzz bytes: array sizes,
+		// back-references (cycles), scalars and strings.
+		srcRoots := vm.NewHostRoots(src)
+		defer srcRoots.Release()
+		byteAt := func(i int) int {
+			if len(data) == 0 {
+				return 0
+			}
+			return int(data[i%len(data)])
+		}
+		var arrays []*heap.Object
+		n := len(data)/2 + 2
+		if n > 48 {
+			n = 48
+		}
+		for i := 0; i < n; i++ {
+			size := byteAt(i)%4 + 1
+			arr, err := vm.AllocArrayRooted(srcRoots, objClass, size, src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			arrays = append(arrays, arr)
+		}
+		for i, arr := range arrays {
+			for j := range arr.Elems {
+				switch b := byteAt(i*7 + j*3); b % 4 {
+				case 0:
+					arr.Elems[j] = heap.IntVal(int64(b))
+				case 1:
+					// Back or forward reference: sharing and cycles.
+					arr.Elems[j] = heap.RefVal(arrays[b%len(arrays)])
+				case 2:
+					s, err := vm.NewStringObject(nil, src, fmt.Sprintf("p%d", b%8))
+					if err != nil {
+						t.Fatal(err)
+					}
+					srcRoots.Add(s)
+					arr.Elems[j] = heap.RefVal(s)
+				default:
+					arr.Elems[j] = heap.Null()
+				}
+			}
+		}
+
+		if !vm.StartIncrementalCycle() {
+			t.Fatal("StartIncrementalCycle refused")
+		}
+		// Copy a rotating subset of the graph, interleaving mark quanta
+		// between copies and between allocation bursts.
+		dstRoots := vm.NewHostRoots(dst)
+		defer dstRoots.Release()
+		c := &copier{
+			vm:     vm,
+			target: dst,
+			roots:  dstRoots,
+			budget: DefaultCopyBudget,
+		}
+		var copies, sources []*heap.Object
+		for i, arr := range arrays {
+			vm.GCMarkStep(byteAt(i)%32 + 1)
+			cv, err := c.copyValue(heap.RefVal(arr))
+			if err != nil {
+				t.Fatal(err)
+			}
+			copies = append(copies, cv.R)
+			sources = append(sources, arr)
+		}
+		for !vm.GCMarkStep(64) {
+		}
+		if _, ok := vm.FinishIncrementalCycle(); !ok {
+			t.Fatal("FinishIncrementalCycle refused")
+		}
+
+		// Every rooted copy survived the cycle and mirrors its source.
+		for i, cp := range copies {
+			if cp.Dead() {
+				t.Fatalf("copy %d swept by the cycle it was born under", i)
+			}
+			if err := mirrorCheck(sources[i], cp, map[*heap.Object]*heap.Object{}); err != nil {
+				t.Fatalf("copy %d: %v", i, err)
+			}
+		}
+		// An exact collection with the copies still rooted keeps them too.
+		vm.CollectGarbage(nil)
+		for i, cp := range copies {
+			if cp.Dead() {
+				t.Fatalf("copy %d swept by exact collection while rooted", i)
+			}
+			_ = i
+		}
+	})
+}
+
+// mirrorCheck verifies cp is a faithful copy of src: same shape, same
+// scalars, same string payloads, aliasing preserved.
+func mirrorCheck(src, cp *heap.Object, memo map[*heap.Object]*heap.Object) error {
+	if prev, ok := memo[src]; ok {
+		if prev != cp {
+			return fmt.Errorf("aliasing broken")
+		}
+		return nil
+	}
+	memo[src] = cp
+	if src == cp {
+		return fmt.Errorf("copy aliases its source")
+	}
+	ss, oks := src.StringValue()
+	sc, okc := cp.StringValue()
+	if oks != okc || ss != sc {
+		return fmt.Errorf("string payload mismatch: %q vs %q", ss, sc)
+	}
+	if len(src.Elems) != len(cp.Elems) {
+		return fmt.Errorf("array length mismatch: %d vs %d", len(src.Elems), len(cp.Elems))
+	}
+	for i := range src.Elems {
+		sv, cv := src.Elems[i], cp.Elems[i]
+		if sv.IsRef() != cv.IsRef() {
+			return fmt.Errorf("elem %d kind mismatch", i)
+		}
+		if !sv.IsRef() {
+			if sv.I != cv.I {
+				return fmt.Errorf("elem %d scalar mismatch: %d vs %d", i, sv.I, cv.I)
+			}
+			continue
+		}
+		if (sv.R == nil) != (cv.R == nil) {
+			return fmt.Errorf("elem %d null mismatch", i)
+		}
+		if sv.R == nil {
+			continue
+		}
+		if err := mirrorCheck(sv.R, cv.R, memo); err != nil {
+			return fmt.Errorf("elem %d: %w", i, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,236 @@
+package rpc
+
+import (
+	"sync"
+
+	"ijvm/internal/core"
+	"ijvm/internal/interp"
+)
+
+// A Hub owns all guest execution performed on behalf of RPC traffic for
+// one VM. The interpreter's engine is sequential — concurrent RunUntil
+// calls are unsound — so the hub funnels every dispatched call through
+// one execution lock and gives each callee isolate a small worker pool
+// that drains its request queue in slices. Administrative actions that
+// need the engine quiescent while traffic is flowing (isolate kills,
+// explicit collections, interrupts) go through Sync, which takes the
+// same lock; workers release it between requests, so admin work lands
+// within one dispatch slice rather than behind a whole call budget.
+//
+// Lock ordering: execMu -> (vm's pinMu -> threadsMu/schedMu -> monitor
+// stripe, heap's hostMu). The hub's own mu (pool map) and each pool's
+// queue mutex are leaves taken only around queue manipulation, never
+// while dispatching.
+type Hub struct {
+	vm *interp.VM
+
+	// execMu serializes all guest execution and engine-touching admin
+	// operations driven through this hub.
+	execMu sync.Mutex
+
+	mu     sync.Mutex
+	pools  map[*core.Isolate]*pool
+	closed bool
+}
+
+// DefaultWorkers is the per-callee worker count when LinkOptions.Workers
+// is zero. Workers multiplex one sequential engine, so this bounds how
+// many requests are in flight per callee, not parallelism.
+const DefaultWorkers = 2
+
+// batchMax bounds how many queued requests a worker claims per queue
+// visit. A claimed batch executes as one engine session — all threads
+// spawned up front, round-robined through shared slices — so engine
+// entry and handoff costs amortize across the batch; execMu is still
+// released between slices so admin Sync work can interleave.
+const batchMax = 16
+
+// dispatchSlice is the instruction budget of one RunUntil slice. Between
+// slices the dispatcher checks for link closure and budget exhaustion —
+// it bounds how long a hung callee can delay cancellation.
+const dispatchSlice = 65536
+
+// NewHub creates a hub for vm. One hub should own all RPC traffic on a
+// VM: two hubs would each believe they own the engine.
+func NewHub(vm *interp.VM) *Hub {
+	return &Hub{vm: vm, pools: make(map[*core.Isolate]*pool)}
+}
+
+// VM returns the hub's virtual machine.
+func (h *Hub) VM() *interp.VM { return h.vm }
+
+// Sync runs fn with the engine quiescent: no worker is executing guest
+// code and none will start until fn returns. Use it for KillIsolate,
+// incremental GC phase transitions, interrupts, or any direct engine
+// use while hub traffic is flowing. fn must not call back into
+// Sync/Collect or submit blocking calls on the same hub.
+func (h *Hub) Sync(fn func()) {
+	h.execMu.Lock()
+	defer h.execMu.Unlock()
+	fn()
+}
+
+// Collect runs an exact collection with the engine quiescent.
+func (h *Hub) Collect(triggeredBy *core.Isolate) {
+	h.Sync(func() { h.vm.CollectGarbage(triggeredBy) })
+}
+
+// Close fails all queued requests and stops the workers. In-flight
+// dispatches are cancelled at their next slice boundary. Links remain
+// usable only for error returns afterwards.
+func (h *Hub) Close() {
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return
+	}
+	h.closed = true
+	pools := make([]*pool, 0, len(h.pools))
+	for _, p := range h.pools {
+		pools = append(pools, p)
+	}
+	h.mu.Unlock()
+	for _, p := range pools {
+		p.close()
+	}
+	for _, p := range pools {
+		p.wg.Wait()
+	}
+}
+
+func (h *Hub) isClosed() bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.closed
+}
+
+// poolFor returns (lazily starting) the worker pool serving callee.
+func (h *Hub) poolFor(callee *core.Isolate, workers int) (*pool, error) {
+	if workers <= 0 {
+		workers = DefaultWorkers
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return nil, ErrLinkClosed
+	}
+	if p, ok := h.pools[callee]; ok {
+		return p, nil
+	}
+	p := &pool{hub: h}
+	p.cond = sync.NewCond(&p.mu)
+	h.pools[callee] = p
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go p.worker()
+	}
+	return p, nil
+}
+
+// pool is one callee isolate's request queue plus the workers draining
+// it. The queue itself is unbounded; per-link admission control
+// (Link.credits) bounds what can reach it.
+type pool struct {
+	hub *Hub
+	wg  sync.WaitGroup
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []*request
+	idle   int
+	closed bool
+
+	// spare caches finished dispatch threads for reuse via
+	// RespawnThread: spawning is the engine's per-call fixed cost, and
+	// recycling the Thread allocation and scheduler slot roughly halves
+	// it. Aborted threads are never recycled. Guarded by spareMu (a
+	// leaf; the queue mutex stays uncontended by recycling).
+	spareMu sync.Mutex
+	spare   []*interp.Thread
+}
+
+// spareMax bounds how many finished threads a pool retains for reuse.
+const spareMax = 2 * batchMax
+
+func (p *pool) takeSpare() *interp.Thread {
+	p.spareMu.Lock()
+	defer p.spareMu.Unlock()
+	if n := len(p.spare); n > 0 {
+		t := p.spare[n-1]
+		p.spare[n-1] = nil
+		p.spare = p.spare[:n-1]
+		return t
+	}
+	return nil
+}
+
+func (p *pool) putSpare(t *interp.Thread) {
+	p.spareMu.Lock()
+	if len(p.spare) < spareMax {
+		p.spare = append(p.spare, t)
+	}
+	p.spareMu.Unlock()
+}
+
+func (p *pool) enqueue(req *request) bool {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return false
+	}
+	p.queue = append(p.queue, req)
+	// Signal only when a worker is parked: busy workers re-check the
+	// queue before waiting, and skipping the wakeup keeps the enqueue
+	// path off the runtime's notify list at call rate.
+	signal := p.idle > 0
+	p.mu.Unlock()
+	if signal {
+		p.cond.Signal()
+	}
+	return true
+}
+
+func (p *pool) close() {
+	p.mu.Lock()
+	p.closed = true
+	p.mu.Unlock()
+	p.cond.Broadcast()
+}
+
+// worker drains the queue in batches. Requests claimed after the pool
+// closes are failed, not dropped: every submitted future resolves.
+func (p *pool) worker() {
+	defer p.wg.Done()
+	for {
+		p.mu.Lock()
+		for len(p.queue) == 0 && !p.closed {
+			p.idle++
+			p.cond.Wait()
+			p.idle--
+		}
+		if len(p.queue) == 0 && p.closed {
+			p.mu.Unlock()
+			return
+		}
+		n := len(p.queue)
+		if n > batchMax {
+			n = batchMax
+		}
+		batch := make([]*request, n)
+		copy(batch, p.queue[:n])
+		rest := copy(p.queue, p.queue[n:])
+		for i := rest; i < len(p.queue); i++ {
+			p.queue[i] = nil
+		}
+		p.queue = p.queue[:rest]
+		closed := p.closed
+		p.mu.Unlock()
+		if closed || p.hub.isClosed() {
+			for _, req := range batch {
+				req.fail(ErrLinkClosed)
+			}
+			continue
+		}
+		p.hub.dispatchBatch(batch)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"ijvm/internal/classfile"
 	"ijvm/internal/core"
@@ -12,114 +13,704 @@ import (
 )
 
 // CallBudget bounds the guest instructions one RPC-dispatched call may
-// execute.
+// execute (the default; LinkOptions.CallBudget overrides per link).
 const CallBudget = 10_000_000
 
+// Errors returned by the messaging layer. Dispatch failures inside the
+// callee (remote exceptions, budget exhaustion) resolve the future with
+// an error; admission failures are returned synchronously by
+// Call/CallAsync.
+var (
+	ErrLinkClosed    = errors.New("rpc: link closed")
+	ErrSaturated     = errors.New("rpc: link saturated")
+	ErrCalleeStopped = errors.New("rpc: callee isolate stopped")
+	ErrCallBudget    = errors.New("rpc: call budget exhausted")
+	ErrDeadlocked    = errors.New("rpc: callee deadlocked")
+)
+
+// LinkOptions tunes one link. Zero values select the defaults.
+type LinkOptions struct {
+	// QueueDepth is the pipelining window: how many submitted calls may
+	// be unresolved at once before CallAsync fails fast with
+	// ErrSaturated (and Call blocks). Default 64.
+	QueueDepth int
+	// CallBudget bounds guest instructions per dispatched call. Default
+	// CallBudget.
+	CallBudget int64
+	// CopyBudget bounds objects materialized per argument/result copy.
+	// Default DefaultCopyBudget.
+	CopyBudget int64
+	// Workers is the callee's server-pool size (shared by all links to
+	// the same callee; the first link's value wins). Default
+	// DefaultWorkers.
+	Workers int
+	// ZeroCopy shares deeply immutable payloads instead of copying them:
+	// interned strings are published into the callee's pool, frozen
+	// arrays (heap.Freeze) are shared and pinned for the call window.
+	// Off by default — sharing changes which isolate is charged for the
+	// payload bytes (creator keeps the charge), where a deep copy
+	// charges the receiver.
+	ZeroCopy bool
+}
+
+func (o *LinkOptions) fill() {
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 64
+	}
+	if o.CallBudget <= 0 {
+		o.CallBudget = CallBudget
+	}
+	if o.CopyBudget <= 0 {
+		o.CopyBudget = DefaultCopyBudget
+	}
+	if o.Workers <= 0 {
+		o.Workers = DefaultWorkers
+	}
+}
+
 // Link is an Incommunicado-like communication channel between two
-// isolates: the caller's arguments are deep-copied into the callee's
-// space, the request is handed to a dedicated server goroutine (thread
-// synchronization, as in MVM links), the callee executes, and the result
-// is copied back. Per the paper's Table 1 commentary, this is roughly an
-// order of magnitude faster than RMI and an order of magnitude slower
-// than a direct (I-JVM) call.
+// isolates: the caller's arguments are deep-copied (or, for immutable
+// payloads, shared zero-copy) into the callee's space, the request is
+// queued to the callee's server pool, the callee executes under the
+// hub's engine lock, and the result is copied back. Per the paper's
+// Table 1 commentary this family of links is roughly an order of
+// magnitude faster than RMI and an order of magnitude slower than a
+// direct (I-JVM) call.
+//
+// Calls pipeline: CallAsync returns a Future immediately and up to
+// QueueDepth calls may be in flight. Call is CallAsync plus Wait.
 type Link struct {
-	vm     *interp.VM
-	callee *core.Isolate
+	hub    *Hub
+	ownHub bool
 	caller *core.Isolate
+	callee *core.Isolate
 	method *classfile.Method
 	recv   heap.Value
+	opts   LinkOptions
 
-	mu     sync.Mutex
-	reqs   chan linkRequest
-	done   chan struct{}
-	closed bool
+	pool      *pool
+	recvRoots *interp.HostRoots
+	// threadName is the dispatch thread label, precomputed once — links
+	// carry call-rate traffic and a per-call concat shows up in profiles.
+	threadName string
+
+	// closedCh unblocks in-flight machinery (dispatch slices, blocked
+	// acquires) when Close begins.
+	closedCh chan struct{}
+	once     sync.Once
+
+	// mu guards the admission slot counter together with the closing
+	// flag: admission and drain must be one atomic decision, or a submit
+	// racing Close could slip in after the drain finished and touch a
+	// receiver whose roots were already released. inflight counts calls
+	// holding a slot — from admission (before copy-in) to resolution —
+	// and is bounded by QueueDepth; waiters counts goroutines parked on
+	// cond (blocked Calls, Close draining), so the release path only
+	// pays a wakeup when someone is actually parked.
+	mu       sync.Mutex
+	cond     *sync.Cond
+	inflight int
+	waiters  int
+	closing  bool
 }
 
-type linkRequest struct {
-	args  []heap.Value
-	reply chan linkReply
-}
-
-type linkReply struct {
-	value heap.Value
-	err   error
-}
-
-// NewLink starts the server goroutine for calls from caller into callee's
-// method on receiver recv (Void for static methods).
-func NewLink(vm *interp.VM, caller, callee *core.Isolate, m *classfile.Method, recv heap.Value) *Link {
-	l := &Link{
-		vm:     vm,
-		caller: caller,
-		callee: callee,
-		method: m,
-		recv:   recv,
-		reqs:   make(chan linkRequest),
-		done:   make(chan struct{}),
+// acquireSlot admits one call, charging a pipelining slot. When the
+// window is full it fails fast with ErrSaturated (block=false) or waits
+// for a release (block=true). Fails with ErrLinkClosed once Close has
+// begun.
+func (l *Link) acquireSlot(block bool) error {
+	l.mu.Lock()
+	for {
+		if l.closing {
+			l.mu.Unlock()
+			return ErrLinkClosed
+		}
+		if l.inflight < l.opts.QueueDepth {
+			l.inflight++
+			l.mu.Unlock()
+			return nil
+		}
+		if !block {
+			l.mu.Unlock()
+			return ErrSaturated
+		}
+		l.waiters++
+		l.cond.Wait()
+		l.waiters--
 	}
-	go l.serve()
+}
+
+// releaseSlot retires one admitted call and wakes parked waiters
+// (blocked Calls wanting the slot, Close draining to zero).
+func (l *Link) releaseSlot() {
+	l.mu.Lock()
+	l.inflight--
+	wake := l.waiters > 0
+	l.mu.Unlock()
+	if wake {
+		l.cond.Broadcast()
+	}
+}
+
+// Caller returns the link's calling isolate.
+func (l *Link) Caller() *core.Isolate { return l.caller }
+
+// Callee returns the link's serving isolate.
+func (l *Link) Callee() *core.Isolate { return l.callee }
+
+// NewLink creates a link with seed-compatible behavior: a private hub,
+// default options, deep-copy semantics. Close tears the hub down too.
+// When several links share traffic on one VM, create one Hub and use
+// Hub.NewLink instead.
+func NewLink(vm *interp.VM, caller, callee *core.Isolate, m *classfile.Method, recv heap.Value) *Link {
+	hub := NewHub(vm)
+	l, err := hub.NewLink(caller, callee, m, recv, LinkOptions{})
+	if err != nil {
+		// A fresh hub only fails link creation when closed, which cannot
+		// happen here.
+		panic(err)
+	}
+	l.ownHub = true
 	return l
 }
 
-// serve is the callee-side dispatcher thread.
-func (l *Link) serve() {
-	defer close(l.done)
-	for req := range l.reqs {
-		req.reply <- l.dispatch(req.args)
-	}
-}
-
-func (l *Link) dispatch(args []heap.Value) linkReply {
-	callArgs := args
-	if !l.method.IsStatic() {
-		callArgs = append([]heap.Value{l.recv}, args...)
-	}
-	v, th, err := l.vm.CallRoot(l.callee, l.method, callArgs, CallBudget)
+// NewLink creates a link from caller into callee's method on receiver
+// recv (Void for static methods) served by h's worker pool for callee.
+func (h *Hub) NewLink(caller, callee *core.Isolate, m *classfile.Method, recv heap.Value, opts LinkOptions) (*Link, error) {
+	opts.fill()
+	p, err := h.poolFor(callee, opts.Workers)
 	if err != nil {
-		return linkReply{err: err}
+		return nil, err
 	}
-	if th.Failure() != nil {
-		return linkReply{err: fmt.Errorf("rpc: remote exception: %s", th.FailureString())}
+	l := &Link{
+		hub:        h,
+		caller:     caller,
+		callee:     callee,
+		method:     m,
+		recv:       recv,
+		opts:       opts,
+		pool:       p,
+		threadName: "rpc:" + m.Name,
+		closedCh:   make(chan struct{}),
 	}
-	return linkReply{value: v}
+	l.cond = sync.NewCond(&l.mu)
+	// The receiver must stay reachable for the link's lifetime even if
+	// the callee drops every other reference to it (the seed version
+	// left it unrooted between calls).
+	if recv.IsRef() && recv.R != nil {
+		l.recvRoots = h.vm.NewHostRoots(callee)
+		l.recvRoots.Add(recv.R)
+	}
+	return l, nil
 }
 
-// Call performs one inter-isolate call: copy-in, handoff, execute,
-// copy-out.
-func (l *Link) Call(args []heap.Value) (heap.Value, error) {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	if l.closed {
-		return heap.Value{}, errors.New("rpc: link closed")
-	}
-	// Copy-in: arguments move into the callee's space.
-	copied := make([]heap.Value, len(args))
-	for i, a := range args {
-		cv, err := DeepCopyValue(l.vm, a, l.callee)
-		if err != nil {
-			return heap.Value{}, err
-		}
-		copied[i] = cv
-	}
-	// Thread synchronization: hand the request to the server thread.
-	reply := make(chan linkReply, 1)
-	l.reqs <- linkRequest{args: copied, reply: reply}
-	rep := <-reply
-	if rep.err != nil {
-		return heap.Value{}, rep.err
-	}
-	// Copy-out: the result moves back into the caller's space.
-	return DeepCopyValue(l.vm, rep.value, l.caller)
+// Future is one in-flight call's result slot. The result value (and, for
+// reference results, the copied object graph in the caller's space) is
+// GC-rooted until Release; callers that retain a reference result must
+// store it into guest-reachable structure (or pin it) before releasing.
+type Future struct {
+	link *Link
+
+	// resolved flips once, after val/err are written; its atomic store
+	// publishes them to fast-path readers. done is created lazily by the
+	// first waiter that arrives before resolution — pipelined callers
+	// usually drain futures already resolved, so most calls never
+	// allocate (or close) a channel.
+	resolved atomic.Bool
+	mu       sync.Mutex
+	done     chan struct{}
+
+	val heap.Value
+	err error
+
+	// roots keeps the caller-space result graph alive; pins are
+	// zero-copy shares pinned for the result's flight window.
+	roots    *interp.HostRoots
+	pins     []*heap.Object
+	released atomic.Bool
 }
 
-// Close shuts the server goroutine down and waits for it to exit.
-func (l *Link) Close() {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	if l.closed {
+// wait blocks until resolve has published the outcome.
+func (f *Future) wait() {
+	if f.resolved.Load() {
 		return
 	}
-	l.closed = true
-	close(l.reqs)
-	<-l.done
+	f.mu.Lock()
+	if f.resolved.Load() {
+		f.mu.Unlock()
+		return
+	}
+	if f.done == nil {
+		f.done = make(chan struct{})
+	}
+	ch := f.done
+	f.mu.Unlock()
+	<-ch
+}
+
+// Wait blocks until the call resolves and returns its result.
+func (f *Future) Wait() (heap.Value, error) {
+	f.wait()
+	return f.val, f.err
+}
+
+// TryResult reports whether the call has resolved, and if so its result.
+func (f *Future) TryResult() (heap.Value, error, bool) {
+	if f.resolved.Load() {
+		return f.val, f.err, true
+	}
+	return heap.Value{}, nil, false
+}
+
+// Release waits for resolution and drops the GC roots holding the
+// result graph. Idempotent.
+func (f *Future) Release() {
+	f.wait()
+	if !f.released.CompareAndSwap(false, true) {
+		return
+	}
+	if f.roots != nil {
+		f.roots.Release()
+	}
+	for _, o := range f.pins {
+		f.link.hub.vm.Heap().UnpinShared(o)
+	}
+	f.pins = nil
+}
+
+// resolve publishes the outcome. Called exactly once per future. The
+// val/err writes happen before the resolved store, which is what
+// fast-path readers synchronize on; the mutex section wakes any waiter
+// that got its channel in first.
+func (f *Future) resolve(v heap.Value, err error) {
+	f.val, f.err = v, err
+	f.mu.Lock()
+	f.resolved.Store(true)
+	if f.done != nil {
+		close(f.done)
+	}
+	f.mu.Unlock()
+}
+
+// request is one admitted call travelling from submitter to worker. The
+// future is embedded (one allocation covers both), and argbuf inlines
+// the dispatch argument vector for the common short signatures.
+type request struct {
+	link *Link
+	// args is the full dispatch vector — receiver already in slot 0 for
+	// instance methods — living in the callee's space (copied/shared at
+	// submit time on the caller's goroutine). roots keeps the copied
+	// graph — and later the result — alive until dispatch completes;
+	// it is nil for scalar-only traffic, which roots nothing. pins are
+	// zero-copy shares held for the flight window.
+	args   []heap.Value
+	roots  *interp.HostRoots
+	pins   []*heap.Object
+	fut    Future
+	argbuf [4]heap.Value
+}
+
+// fail resolves the future with err and releases the request's
+// callee-side resources. Used for every non-dispatched outcome.
+func (req *request) fail(err error) {
+	req.release()
+	req.fut.resolve(heap.Value{}, err)
+	req.done()
+}
+
+func (req *request) release() {
+	if req.roots != nil {
+		req.roots.Release()
+		req.roots = nil
+	}
+	for _, o := range req.pins {
+		req.link.hub.vm.Heap().UnpinShared(o)
+	}
+	req.pins = nil
+}
+
+// done retires the call's admission slot.
+func (req *request) done() {
+	req.link.releaseSlot()
+}
+
+// CallAsync submits one call and returns its future without waiting.
+// It fails fast instead of blocking: ErrSaturated when QueueDepth calls
+// are already unresolved, ErrCalleeStopped when the callee isolate was
+// killed, ErrLinkClosed after Close.
+func (l *Link) CallAsync(args []heap.Value) (*Future, error) {
+	if err := l.acquireSlot(false); err != nil {
+		return nil, err
+	}
+	return l.submit(args)
+}
+
+// Call performs one inter-isolate call synchronously: copy-in, queue,
+// execute, copy-out. It blocks for an admission credit when the link is
+// saturated (fail-fast callers use CallAsync). The returned result's
+// object graph is released from its GC roots before returning — callers
+// that must retain a reference result across allocations should use
+// CallAsync and hold the Future instead.
+func (l *Link) Call(args []heap.Value) (heap.Value, error) {
+	if err := l.acquireSlot(true); err != nil {
+		return heap.Value{}, err
+	}
+	fut, err := l.submit(args)
+	if err != nil {
+		return heap.Value{}, err
+	}
+	v, err := fut.Wait()
+	fut.Release()
+	return v, err
+}
+
+// submit copies the arguments into the callee's space on the calling
+// goroutine (pipelining: copy-in overlaps other calls' execution) and
+// enqueues the request. The admission slot is already held and is
+// released on every failure path.
+func (l *Link) submit(args []heap.Value) (*Future, error) {
+	vm := l.hub.vm
+	if l.callee.Killed() {
+		l.releaseSlot()
+		return nil, ErrCalleeStopped
+	}
+
+	req := &request{link: l}
+	req.fut.link = l
+	off := 0
+	if !l.method.IsStatic() {
+		off = 1
+	}
+	n := len(args) + off
+	if n <= len(req.argbuf) {
+		req.args = req.argbuf[:n]
+	} else {
+		req.args = make([]heap.Value, n)
+	}
+	if off == 1 {
+		req.args[0] = l.recv
+	}
+
+	hasRef := false
+	for i := range args {
+		if args[i].IsRef() && args[i].R != nil {
+			hasRef = true
+			break
+		}
+	}
+	if !hasRef {
+		// Scalar-only payload: isolation holds by value semantics alone,
+		// so there is nothing to copy, root, or pin.
+		copy(req.args[off:], args)
+	} else {
+		// Root the source graph for the copy window: a collection
+		// triggered while we copy (guest pressure on a worker, another
+		// caller's OOM retry) must not sweep objects reachable only
+		// through args.
+		srcRoots := vm.NewHostRoots(l.caller)
+		for i := range args {
+			if args[i].IsRef() && args[i].R != nil {
+				srcRoots.Add(args[i].R)
+			}
+		}
+		c := &copier{
+			vm:      vm,
+			target:  l.callee,
+			roots:   vm.NewHostRoots(l.callee),
+			budget:  l.opts.CopyBudget,
+			collect: func() { l.hub.Collect(nil) },
+		}
+		if l.opts.ZeroCopy {
+			c.srcIso = l.caller
+		}
+		var err error
+		for i, a := range args {
+			if req.args[off+i], err = c.copyValue(a); err != nil {
+				break
+			}
+		}
+		srcRoots.Release()
+		if err != nil {
+			c.abandon()
+			l.releaseSlot()
+			return nil, err
+		}
+		req.roots = c.roots
+		req.pins = c.pins
+	}
+
+	if !l.pool.enqueue(req) {
+		req.fail(ErrLinkClosed)
+		return nil, ErrLinkClosed
+	}
+	return &req.fut, nil
+}
+
+// run is one request's execution state inside a dispatched batch.
+type run struct {
+	req     *request
+	t       *interp.Thread
+	spent   int64
+	val     heap.Value
+	err     error
+	done    bool
+	aborted bool
+}
+
+// dispatchBatch executes a worker's claimed batch in one engine
+// session, then copies results out off the engine lock. Batching is
+// where pipelining pays: all threads of the batch are spawned up front
+// and the scheduler round-robins them through shared RunUntil slices,
+// so engine entry/exit and handoff costs amortize across the batch
+// instead of being paid per call.
+//
+// Execution happens in dispatchSlice-sized slices with the engine lock
+// released between them: cancellation (closure, budget) and Sync'd
+// admin work (kills, GC phases, interrupts) land at slice boundaries,
+// so a hung or dead callee delays them by at most one slice instead of
+// a whole call budget.
+//
+// Each call's budget is charged the batch's engine slices while the
+// call is in flight — a bound on engine time consumed on the call's
+// behalf, not an exact per-call instruction count (RunUntil also
+// advances co-scheduled threads).
+func (h *Hub) dispatchBatch(batch []*request) {
+	runs := h.executeBatch(batch)
+	for i := range runs {
+		r := &runs[i]
+		// Recycle cleanly finished dispatch threads (the result was
+		// rooted in the request's batch at finalize, so dropping the
+		// thread's reference is safe). Aborted threads are retired: the
+		// kill path force-released their monitors and their residual
+		// state is not worth trusting for reuse.
+		if r.t != nil && r.t.Done() && !r.aborted {
+			r.req.link.pool.putSpare(r.t)
+		}
+		if r.err != nil {
+			r.req.fail(r.err)
+			continue
+		}
+		h.copyOut(r.req, r.val)
+	}
+}
+
+// executeBatch runs the guest side of every request under execMu and
+// returns the per-request outcomes; successful results are rooted in
+// their request's root batch before the engine lock is released.
+func (h *Hub) executeBatch(batch []*request) []run {
+	runs := make([]run, len(batch))
+	h.execMu.Lock()
+	for i, req := range batch {
+		l := req.link
+		r := &runs[i]
+		r.req = req
+		select {
+		case <-l.closedCh:
+			r.err, r.done = ErrLinkClosed, true
+			continue
+		default:
+		}
+		if l.callee.Killed() {
+			r.err, r.done = ErrCalleeStopped, true
+			continue
+		}
+		t := l.pool.takeSpare()
+		var err error
+		if t != nil {
+			err = h.vm.RespawnThread(t, l.threadName, l.callee, l.method, req.args)
+		} else {
+			t, err = h.vm.SpawnThread(l.threadName, l.callee, l.method, req.args)
+		}
+		if err != nil {
+			r.err, r.done = err, true
+			continue
+		}
+		r.t = t
+	}
+	for {
+		// Pick the first unfinished run to drive; finalize any whose
+		// thread completed in a previous slice on the way.
+		var cur *run
+		for i := range runs {
+			r := &runs[i]
+			if r.done {
+				continue
+			}
+			if r.t.Done() {
+				h.finalizeLocked(r)
+				continue
+			}
+			cur = r
+			break
+		}
+		if cur == nil {
+			break
+		}
+		slice := int64(dispatchSlice)
+		if rest := cur.req.link.opts.CallBudget - cur.spent; rest < slice {
+			slice = rest
+		}
+		if slice <= 0 {
+			h.abortLocked(cur, ErrCallBudget)
+			continue
+		}
+		res := h.vm.RunUntil(cur.t, slice)
+		for i := range runs {
+			if !runs[i].done {
+				runs[i].spent += res.Instructions
+			}
+		}
+		if res.Shutdown || res.Deadlocked {
+			reason := ErrLinkClosed
+			if res.Deadlocked {
+				reason = ErrDeadlocked
+			}
+			for i := range runs {
+				r := &runs[i]
+				if r.done {
+					continue
+				}
+				if r.t.Done() {
+					h.finalizeLocked(r)
+					continue
+				}
+				h.abortLocked(r, reason)
+			}
+			continue
+		}
+		if res.TargetDone {
+			// Fast path: the driven call completed within its slice.
+			// The top-of-loop scan finalizes it (and any co-scheduled
+			// completions); no yield — for short calls the lock drops
+			// when the batch drains, at most batchMax slices away.
+			continue
+		}
+		// Real slice boundary: the driven call is still running. Apply
+		// cancellation to every pending run, then yield the engine so
+		// Sync'd admin work (kills, GC phase transitions, interrupts)
+		// can land mid-batch.
+		for i := range runs {
+			r := &runs[i]
+			if r.done {
+				continue
+			}
+			if r.t.Done() {
+				// Root the result immediately: the thread is Done, so
+				// its result slot is no longer a GC root, and the yield
+				// below admits hub-driven collections.
+				h.finalizeLocked(r)
+				continue
+			}
+			select {
+			case <-r.req.link.closedCh:
+				h.abortLocked(r, ErrLinkClosed)
+				continue
+			default:
+			}
+			if r.spent >= r.req.link.opts.CallBudget {
+				h.abortLocked(r, ErrCallBudget)
+			}
+		}
+		h.execMu.Unlock()
+		h.execMu.Lock()
+	}
+	h.execMu.Unlock()
+	return runs
+}
+
+// finalizeLocked harvests one completed thread (engine lock held).
+func (h *Hub) finalizeLocked(r *run) {
+	r.done = true
+	if err := r.t.Err(); err != nil {
+		r.err = err
+		return
+	}
+	if r.t.Failure() != nil {
+		r.err = fmt.Errorf("rpc: remote exception: %s", r.t.FailureString())
+		return
+	}
+	r.val = r.t.Result()
+	if r.val.IsRef() && r.val.R != nil {
+		// Scalar-only requests carry no root batch; make one for the
+		// reference result (the thread is Done, so its result slot is no
+		// longer a GC root).
+		if r.req.roots == nil {
+			r.req.roots = h.vm.NewHostRoots(r.req.link.callee)
+		}
+		r.req.roots.Add(r.val.R)
+	}
+}
+
+// abortLocked tears one dispatched thread down (engine lock held).
+func (h *Hub) abortLocked(r *run, reason error) {
+	h.vm.AbortRootThread(r.t, reason)
+	r.done = true
+	r.aborted = true
+	r.err = reason
+}
+
+// copyOut copies a rooted result into the caller's space and resolves
+// the future. A collection needed mid-copy must quiesce the engine, so
+// it goes through the hub (we do not hold execMu here); copy-out of one
+// batch overlaps execution of the next on multi-core hosts.
+func (h *Hub) copyOut(req *request, v heap.Value) {
+	l := req.link
+	if !v.IsRef() || v.R == nil {
+		// Scalar result: nothing crosses an isolate boundary by
+		// reference, so resolve directly.
+		req.release()
+		req.fut.resolve(v, nil)
+		req.done()
+		return
+	}
+	c := &copier{
+		vm:      h.vm,
+		target:  l.caller,
+		roots:   h.vm.NewHostRoots(l.caller),
+		budget:  l.opts.CopyBudget,
+		collect: func() { h.Collect(nil) },
+	}
+	if l.opts.ZeroCopy {
+		c.srcIso = l.callee
+	}
+	cv, err := c.copyValue(v)
+	req.release()
+	if err != nil {
+		c.abandon()
+		req.fut.resolve(heap.Value{}, err)
+		req.done()
+		return
+	}
+	req.fut.roots = c.roots
+	req.fut.pins = c.pins
+	req.fut.resolve(cv, nil)
+	req.done()
+}
+
+// Close rejects new calls, cancels queued and in-flight ones (they
+// resolve with ErrLinkClosed at the next slice boundary — a hung or
+// dead callee no longer blocks Close for a whole call budget), waits
+// for them to drain, and drops the link's roots.
+func (l *Link) Close() {
+	l.once.Do(func() {
+		close(l.closedCh)
+		l.mu.Lock()
+		l.closing = true
+		// Wake Calls blocked on a slot so they observe closing and bail;
+		// then drain every admitted call (they resolve with errors at
+		// the next slice boundary).
+		l.cond.Broadcast()
+		l.waiters++
+		for l.inflight > 0 {
+			l.cond.Wait()
+		}
+		l.waiters--
+		l.mu.Unlock()
+		if l.recvRoots != nil {
+			l.recvRoots.Release()
+		}
+		if l.ownHub {
+			l.hub.Close()
+		}
+	})
 }
