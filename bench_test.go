@@ -1996,3 +1996,40 @@ func BenchmarkRPC_Mesh(b *testing.B) {
 		b.ReportMetric(float64(last.P99.Nanoseconds())/1e3, "p99-us")
 	}
 }
+
+// --- Scheduler QoS ----------------------------------------------------------
+
+// benchQoS runs one leg of the adversarial SLO harness per iteration
+// (small sizes — this is the CI smoke of the cmd/benchtable -qos table)
+// and reports the virtual-time tail latency and goodput of the last leg.
+// One worker keeps the virtual clock a pure function of scheduler
+// interleaving, so the p99 metric is comparable across hosts.
+func benchQoS(b *testing.B, roundRobin bool) {
+	var last *workloads.SLOResult
+	for i := 0; i < b.N; i++ {
+		res, err := workloads.RunSLO(workloads.SLOConfig{
+			Tenants:           2,
+			RequestsPerTenant: 5,
+			WorkIters:         2000,
+			Workers:           1,
+			Attackers:         []workloads.AttackerKind{workloads.AttackSpin, workloads.AttackAllocFlood},
+			RoundRobin:        roundRobin,
+			Governed:          !roundRobin,
+			Governor:          &sched.GovernorConfig{WindowInstrs: 131072},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Failed != 0 {
+			b.Fatalf("SLO leg lost requests: %s", res)
+		}
+		last = res
+	}
+	if last != nil {
+		b.ReportMetric(float64(last.P99)/1000, "p99-vms")
+		b.ReportMetric(last.Goodput, "req/s")
+	}
+}
+
+func BenchmarkQoS_SLOProportionalGoverned(b *testing.B) { benchQoS(b, false) }
+func BenchmarkQoS_SLORoundRobin(b *testing.B)           { benchQoS(b, true) }

@@ -4,12 +4,20 @@
 //
 // Usage:
 //
-//	attacks [-only A3] [-mode shared|isolated|both]
+//	attacks [-only A3] [-mode shared|isolated|both] [-ext] [-json]
+//
+// With -json the command emits one machine-readable verdict per attack
+// and run mode instead of the table. In every output mode the exit
+// status is nonzero if any isolated-mode attack escaped containment
+// (platform compromised or victim broken), so CI can gate on the
+// robustness suite directly.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"ijvm/internal/attacks"
@@ -17,17 +25,41 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "attacks:", err)
 		os.Exit(1)
 	}
 }
 
-func run(argv []string) error {
+// verdict is the machine-readable outcome of one attack under one mode.
+type verdict struct {
+	ID          string `json:"id"`
+	Name        string `json:"name"`
+	Mode        string `json:"mode"`
+	VictimOK    bool   `json:"victim_ok"`
+	Compromised bool   `json:"compromised"`
+	Detected    bool   `json:"detected"`
+	Killed      bool   `json:"offender_killed"`
+	// Contained is the paper's I-JVM claim: platform survived, victim
+	// kept working. Expected true under isolated mode, false under the
+	// shared baseline.
+	Contained bool   `json:"contained"`
+	Notes     string `json:"notes,omitempty"`
+}
+
+// report is the top-level JSON document.
+type report struct {
+	Verdicts []verdict `json:"verdicts"`
+	// ContainmentFailures counts isolated-mode attacks that escaped.
+	ContainmentFailures int `json:"containment_failures"`
+}
+
+func run(argv []string, out io.Writer) error {
 	fs := flag.NewFlagSet("attacks", flag.ContinueOnError)
 	only := fs.String("only", "", "run a single attack (A1..A8, X9)")
 	mode := fs.String("mode", "both", "shared, isolated or both")
 	ext := fs.Bool("ext", false, "include the extension attacks (X9: IO flood)")
+	jsonOut := fs.Bool("json", false, "emit machine-readable JSON verdicts")
 	if err := fs.Parse(argv); err != nil {
 		return err
 	}
@@ -56,22 +88,55 @@ func run(argv []string) error {
 		list = []attacks.Attack{*a}
 	}
 
-	fmt.Println("Robustness evaluation (paper §4.3): Sun JVM baseline vs I-JVM")
-	fmt.Println()
+	rep := report{}
+	if !*jsonOut {
+		fmt.Fprintln(out, "Robustness evaluation (paper §4.3): Sun JVM baseline vs I-JVM")
+		fmt.Fprintln(out)
+	}
 	for _, m := range modes {
-		label := "Sun JVM (baseline, shared mode)"
-		if m == core.ModeIsolated {
-			label = "I-JVM (isolated mode)"
+		if !*jsonOut {
+			label := "Sun JVM (baseline, shared mode)"
+			if m == core.ModeIsolated {
+				label = "I-JVM (isolated mode)"
+			}
+			fmt.Fprintln(out, "==", label)
 		}
-		fmt.Println("==", label)
 		for _, a := range list {
 			r, err := a.Run(m)
 			if err != nil {
 				return fmt.Errorf("%s under %s: %w", a.ID, m, err)
 			}
-			fmt.Println("  ", r.String())
+			rep.Verdicts = append(rep.Verdicts, verdict{
+				ID:          r.ID,
+				Name:        r.Name,
+				Mode:        r.Mode.String(),
+				VictimOK:    r.VictimOK,
+				Compromised: r.PlatformCompromised,
+				Detected:    r.Detected,
+				Killed:      r.OffenderKilled,
+				Contained:   r.Contained(),
+				Notes:       r.Notes,
+			})
+			if m == core.ModeIsolated && !r.Contained() {
+				rep.ContainmentFailures++
+			}
+			if !*jsonOut {
+				fmt.Fprintln(out, "  ", r.String())
+			}
 		}
-		fmt.Println()
+		if !*jsonOut {
+			fmt.Fprintln(out)
+		}
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			return err
+		}
+	}
+	if rep.ContainmentFailures > 0 {
+		return fmt.Errorf("%d isolated-mode attack(s) escaped containment", rep.ContainmentFailures)
 	}
 	return nil
 }

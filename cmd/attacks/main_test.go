@@ -1,30 +1,66 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
+	"io"
 	"strings"
 	"testing"
 )
 
 func TestRunSingleAttackBothModes(t *testing.T) {
-	if err := run([]string{"-only", "A1"}); err != nil {
+	if err := run([]string{"-only", "A1"}, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunModeSelection(t *testing.T) {
-	if err := run([]string{"-only", "A2", "-mode", "isolated"}); err != nil {
+	if err := run([]string{"-only", "A2", "-mode", "isolated"}, io.Discard); err != nil {
 		t.Fatal(err)
 	}
-	if err := run([]string{"-only", "A2", "-mode", "shared"}); err != nil {
+	if err := run([]string{"-only", "A2", "-mode", "shared"}, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run([]string{"-only", "A99"}); err == nil || !strings.Contains(err.Error(), "unknown attack") {
+	if err := run([]string{"-only", "A99"}, io.Discard); err == nil || !strings.Contains(err.Error(), "unknown attack") {
 		t.Fatalf("err = %v", err)
 	}
-	if err := run([]string{"-mode", "bogus"}); err == nil || !strings.Contains(err.Error(), "unknown mode") {
+	if err := run([]string{"-mode", "bogus"}, io.Discard); err == nil || !strings.Contains(err.Error(), "unknown mode") {
 		t.Fatalf("err = %v", err)
+	}
+}
+
+// TestJSONVerdicts checks the machine-readable output: one verdict per
+// attack and mode, isolated-mode attacks contained, shared-mode baseline
+// compromised (the asymmetry the paper's table demonstrates).
+func TestJSONVerdicts(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-only", "A6", "-json"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	var rep report
+	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if len(rep.Verdicts) != 2 {
+		t.Fatalf("got %d verdicts, want 2 (both modes)\n%s", len(rep.Verdicts), buf.String())
+	}
+	if rep.ContainmentFailures != 0 {
+		t.Fatalf("containment failures reported: %s", buf.String())
+	}
+	byMode := map[string]verdict{}
+	for _, v := range rep.Verdicts {
+		if v.ID != "A6" {
+			t.Fatalf("unexpected verdict id %q", v.ID)
+		}
+		byMode[v.Mode] = v
+	}
+	if v := byMode["isolated"]; !v.Contained {
+		t.Fatalf("isolated A6 not contained: %+v", v)
+	}
+	if v := byMode["shared"]; v.Contained {
+		t.Fatalf("shared-baseline A6 reported contained: %+v", v)
 	}
 }

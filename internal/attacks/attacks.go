@@ -68,6 +68,20 @@ func (r Result) String() string {
 		r.ID, r.Name, r.Mode, r.VictimOK, r.PlatformCompromised, r.Detected, r.OffenderKilled, r.Notes)
 }
 
+// Contained reports the paper's I-JVM outcome: either isolation
+// neutralized the attack outright (A1/A2/A8 — no compromise at all), or
+// the attack transiently achieved its effect but accounting located the
+// offender, the administrator killed it, and the victim kept operating
+// (the A3–A7 detect-and-recover loop). A shared-mode baseline run is
+// expected NOT to be contained — that asymmetry is the point of the
+// paper's table.
+func (r Result) Contained() bool {
+	if !r.VictimOK {
+		return false
+	}
+	return !r.PlatformCompromised || (r.Detected && r.OffenderKilled)
+}
+
 // Attack is one runnable attack scenario.
 type Attack struct {
 	ID   string

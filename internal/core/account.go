@@ -67,6 +67,11 @@ type AccountCounters struct {
 	// the isolate's dead objects (part of the GC-churn cost attack A4
 	// inflicts).
 	FinalizersRun atomic.Int64
+	// RPCSaturated counts RPC submissions by this isolate (as caller)
+	// refused or delayed because the link's admission queue was full —
+	// the governor's signal that the isolate floods a callee faster than
+	// it drains.
+	RPCSaturated atomic.Int64
 }
 
 // Numbers returns a plain-integer copy of the counters, suitable for
@@ -86,6 +91,7 @@ func (a *AccountCounters) Numbers() Account {
 		InterBundleCallsOut: a.InterBundleCallsOut.Load(),
 		CPUTicks:            a.CPUTicks.Load(),
 		FinalizersRun:       a.FinalizersRun.Load(),
+		RPCSaturated:        a.RPCSaturated.Load(),
 	}
 }
 
@@ -185,6 +191,7 @@ type Account struct {
 	InterBundleCallsOut int64
 	CPUTicks            int64
 	FinalizersRun       int64
+	RPCSaturated        int64
 }
 
 // Snapshot is an immutable copy of one isolate's resource usage, combining

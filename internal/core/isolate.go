@@ -109,6 +109,14 @@ type Isolate struct {
 
 	account AccountCounters
 
+	// weight, qos and throttled are the scheduler-QoS knobs (see qos.go).
+	// All atomics: the governor writes them from its own goroutine while
+	// scheduler workers and admission gates read them on hot paths. A
+	// zero weight reads as DefaultWeight so constructors need no change.
+	weight    atomic.Int64
+	qos       atomic.Uint32
+	throttled atomic.Bool
+
 	// strings is the per-isolate interned-string pool (§3.5: "each bundle
 	// has its map of strings, therefore the == operator does not work for
 	// strings allocated by different bundles"), published copy-on-write:

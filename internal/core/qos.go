@@ -1,0 +1,85 @@
+package core
+
+import "errors"
+
+// QoSClass partitions isolates into scheduling classes. The class only
+// affects *ordering* among runnable shards (interactive shards are
+// dispatched ahead of batch shards of equal virtual time, and may
+// preempt a batch shard at its next quantum boundary); long-run CPU
+// share is governed solely by Weight, so a batch isolate with a large
+// weight still gets its proportional share.
+type QoSClass uint8
+
+const (
+	// QoSBatch is the default class: throughput-oriented, preemptible by
+	// interactive shards at quantum boundaries.
+	QoSBatch QoSClass = iota
+	// QoSInteractive marks latency-sensitive isolates: dispatched before
+	// batch shards of equal virtual time and able to preempt a running
+	// batch slice at its next quantum boundary.
+	QoSInteractive
+)
+
+// String returns the class name.
+func (c QoSClass) String() string {
+	switch c {
+	case QoSInteractive:
+		return "interactive"
+	default:
+		return "batch"
+	}
+}
+
+// DefaultWeight is the proportional-share weight of an isolate that
+// never had SetWeight called. Weights are relative: an isolate with
+// weight 2*DefaultWeight receives twice the CPU share of a default
+// isolate when both are runnable.
+const DefaultWeight = 100
+
+// MaxWeight bounds SetWeight so virtual-time arithmetic
+// (instructions*DefaultWeight accumulated into int64) cannot overflow.
+const MaxWeight = 1 << 20
+
+// ErrThrottled is returned when an operation is refused because the
+// governor has placed the initiating isolate under admission control
+// (stage throttled): new thread spawns and new RPC submissions are
+// refused until the isolate's burn rate calms down. Callers should
+// treat it like transient backpressure (compare rpc.ErrSaturated).
+var ErrThrottled = errors.New("isolate throttled by governor")
+
+// Weight returns the isolate's proportional-share weight. Isolates
+// start at DefaultWeight without any explicit initialization.
+func (iso *Isolate) Weight() int64 {
+	if w := iso.weight.Load(); w > 0 {
+		return w
+	}
+	return DefaultWeight
+}
+
+// SetWeight sets the proportional-share weight, clamped to
+// [1, MaxWeight]. Safe to call while the isolate is running; the
+// scheduler observes the new weight from the next slice on.
+func (iso *Isolate) SetWeight(w int64) {
+	if w < 1 {
+		w = 1
+	}
+	if w > MaxWeight {
+		w = MaxWeight
+	}
+	iso.weight.Store(w)
+}
+
+// QoS returns the isolate's scheduling class.
+func (iso *Isolate) QoS() QoSClass { return QoSClass(iso.qos.Load()) }
+
+// SetQoS sets the isolate's scheduling class. Safe to call while the
+// isolate is running.
+func (iso *Isolate) SetQoS(c QoSClass) { iso.qos.Store(uint32(c)) }
+
+// Throttled reports whether the governor currently refuses new spawns
+// and RPC admissions for this isolate.
+func (iso *Isolate) Throttled() bool { return iso.throttled.Load() }
+
+// SetThrottled flips the admission-control bit. Only the governor
+// should call this.
+func (iso *Isolate) SetThrottled(v bool) { iso.throttled.Store(v) }

@@ -197,6 +197,28 @@ func (h *Heap) NumObjects() int {
 // GCCount returns the number of collections run so far.
 func (h *Heap) GCCount() int64 { return h.gcCount.Load() }
 
+// GCThreshold returns the occupancy (bytes) at which background
+// collection cycles open, or 0 when threshold-triggered collection is
+// disabled.
+func (h *Heap) GCThreshold() int64 { return h.gcThreshold.Load() }
+
+// PressurePercent returns current occupancy as a percentage of the
+// heap limit (0-100, saturating) — the admission-control pressure
+// signal. Lock-free; precision follows Used().
+func (h *Heap) PressurePercent() int64 {
+	if h.limit <= 0 {
+		return 0
+	}
+	pct := h.Used() * 100 / h.limit
+	if pct < 0 {
+		pct = 0
+	}
+	if pct > 100 {
+		pct = 100
+	}
+	return pct
+}
+
 // CountersFor returns the live allocation counters of an isolate,
 // creating the slot on first use. The lookup is lock-free after the
 // first access (an atomic load plus an index).

@@ -51,6 +51,13 @@ func (vm *VM) SpawnThread(name string, creator *core.Isolate, m *classfile.Metho
 	if creator == nil {
 		return nil, errors.New("interp: SpawnThread requires a creator isolate")
 	}
+	// Admission control: a governor-throttled isolate may not grow its
+	// thread population. Isolate0 (platform) is never throttled, and
+	// RespawnThread is deliberately ungated — RPC dispatch threads are
+	// admission-controlled on the caller side at Link submission.
+	if creator.Throttled() && !creator.IsIsolate0() {
+		return nil, fmt.Errorf("%w: isolate %d", core.ErrThrottled, creator.ID())
+	}
 	vm.threadsMu.Lock()
 	if live := int(vm.liveThreads.Load()); live >= vm.opts.MaxThreads {
 		vm.threadsMu.Unlock()
@@ -98,6 +105,12 @@ func (vm *VM) SpawnThread(name string, creator *core.Isolate, m *classfile.Metho
 		t.err = err
 		return nil, err
 	}
+	// The arrival stamp is taken here, not at construction: this is the
+	// moment the scheduler learns of the thread, and pushFrame above can
+	// do real work (frame setup, barrier records) during which a
+	// descheduled host goroutine must not bill the VM's progress as
+	// request queueing time.
+	t.spawnTick = vm.NowTicks()
 	vm.notifyThreadSpawned(t)
 	return t, nil
 }
@@ -129,6 +142,7 @@ func (vm *VM) RespawnThread(t *Thread, name string, creator *core.Isolate, m *cl
 	t.cur = creator
 	t.creator = creator
 	t.lastSwitchTick = vm.NowTicks()
+	t.finishTick = 0
 	t.result = heap.Value{}
 	t.failure = nil
 	t.err = nil
@@ -165,6 +179,8 @@ func (vm *VM) RespawnThread(t *Thread, name string, creator *core.Isolate, m *cl
 		t.err = err
 		return err
 	}
+	// Same arrival-stamp placement as SpawnThread.
+	t.spawnTick = vm.NowTicks()
 	vm.notifyThreadSpawned(t)
 	return nil
 }

@@ -38,6 +38,10 @@ type IsolateRun struct {
 	Killed bool
 	// ThreadsRemaining counts unfinished threads left in the shard.
 	ThreadsRemaining int
+	// Weight is the proportional-share weight the isolate ran under
+	// (core.DefaultWeight unless set; meaningful only for concurrent
+	// runs with the proportional policy).
+	Weight int64
 }
 
 // Run executes runnable threads until all threads finish, the platform

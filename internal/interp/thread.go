@@ -216,6 +216,16 @@ type Thread struct {
 	// only by the per-call CPU accounting ablation.
 	lastSwitchTick int64
 
+	// spawnTick/finishTick stamp the thread's lifetime on the virtual
+	// clock (spawn or respawn, and completion). Latency harnesses read
+	// them instead of wall time: virtual-clock latency measures what the
+	// VM scheduler controls and is insensitive to host CPU count and Go
+	// runtime scheduling. finishTick is written by the goroutine that
+	// finishes the thread before the Done state is published, so a reader
+	// that observed Done reads a stable value.
+	spawnTick  int64
+	finishTick int64
+
 	// Pending native resume: when a blocking native (sleep, wait, join,
 	// I/O) returns control to the scheduler, the value or exception to be
 	// delivered on wake is staged here.
@@ -304,6 +314,23 @@ func (t *Thread) Failure() *heap.Object { return t.failure }
 // Err returns the host-level error that aborted the thread, or nil. Host
 // errors indicate invalid bytecode or a VM defect, not guest exceptions.
 func (t *Thread) Err() error { return t.err }
+
+// SpawnTick returns the virtual time at which the thread was (re)spawned.
+func (t *Thread) SpawnTick() int64 { return t.spawnTick }
+
+// RestampSpawn overwrites the spawn stamp. The concurrent scheduler's
+// spawn hook calls it under the pool lock so the arrival time is taken
+// atomically with the thread's entry into the run queue: a host
+// goroutine descheduled between SpawnThread's own stamp and the hook
+// must not bill that gap — VM progress the scheduler was never asked to
+// preempt — as queueing delay.
+func (t *Thread) RestampSpawn(tick int64) { t.spawnTick = tick }
+
+// FinishTick returns the virtual time at which the thread finished.
+// Meaningful only after Done reports true; both engines batch clock
+// publication per quantum, so the stamp carries up-to-a-quantum
+// granularity.
+func (t *Thread) FinishTick() int64 { return t.finishTick }
 
 // Interrupted reports the thread's interrupt flag.
 func (t *Thread) Interrupted() bool { return t.interrupted }

@@ -187,6 +187,7 @@ func (vm *VM) finishThread(t *Thread) {
 	for len(t.frames) > 0 {
 		vm.popFrame(t, t.top())
 	}
+	t.finishTick = vm.NowTicks()
 	vm.schedMu.Lock()
 	vm.removeSleepGaugeLocked(t)
 	t.setState(StateDone)

@@ -20,6 +20,56 @@ import (
 	"ijvm/internal/syslib"
 )
 
+// Collector selects the garbage-collector configuration an experiment
+// runs under. The §4.4 attribution results are collector-independent:
+// who gets charged is decided on the allocation and reference paths,
+// not by how the collection work is scheduled.
+type Collector uint8
+
+const (
+	// CollectorDefault is the VM's stock configuration (incremental
+	// cycles at the default threshold and stride).
+	CollectorDefault Collector = iota
+	// CollectorSTW forces the exact stop-the-world reference collector
+	// (no incremental cycles).
+	CollectorSTW
+	// CollectorPaced is the incremental collector tuned aggressive: a
+	// low opening threshold and a small mark stride, so cycles open
+	// early and progress in many tiny increments interleaved with the
+	// mutator.
+	CollectorPaced
+)
+
+// Collectors lists the configurations the attribution matrix covers.
+func Collectors() []Collector {
+	return []Collector{CollectorDefault, CollectorSTW, CollectorPaced}
+}
+
+// String returns the collector name.
+func (c Collector) String() string {
+	switch c {
+	case CollectorSTW:
+		return "stw"
+	case CollectorPaced:
+		return "paced"
+	default:
+		return "default"
+	}
+}
+
+// options returns the VM options selecting this collector.
+func (c Collector) options() interp.Options {
+	opts := interp.Options{Mode: core.ModeIsolated, HeapLimit: 64 << 20}
+	switch c {
+	case CollectorSTW:
+		opts.ForceSTWGC = true
+	case CollectorPaced:
+		opts.GCThresholdPercent = 60
+		opts.GCMarkStride = 64
+	}
+	return opts
+}
+
 // env is a two-isolate world: "service" (the callee, analogous to the
 // paper's bundle A or dictionary service M) and "driver" (the caller).
 type env struct {
@@ -29,8 +79,8 @@ type env struct {
 	driver  *core.Isolate
 }
 
-func newEnv(serviceClasses, driverClasses []*classfile.Class) (*env, error) {
-	vm := interp.NewVM(interp.Options{Mode: core.ModeIsolated, HeapLimit: 64 << 20})
+func newEnv(collector Collector, serviceClasses, driverClasses []*classfile.Class) (*env, error) {
+	vm := interp.NewVM(collector.options())
 	if err := syslib.Install(vm); err != nil {
 		return nil, err
 	}
@@ -78,10 +128,16 @@ func (e *env) call(iso *core.Isolate, className, method, desc string, args []hea
 	return v, nil
 }
 
-// CPUDistribution runs experiment 1: the driver calls the service's
+// CPUDistribution runs experiment 1 under the default collector; see
+// CPUDistributionWith.
+func CPUDistribution(n int64) (calleeShare, callerShare float64, err error) {
+	return CPUDistributionWith(CollectorDefault, n)
+}
+
+// CPUDistributionWith runs experiment 1: the driver calls the service's
 // function n times; returns the callee's and caller's share (percent) of
 // the CPU samples attributed to the two bundles.
-func CPUDistribution(n int64) (calleeShare, callerShare float64, err error) {
+func CPUDistributionWith(collector Collector, n int64) (calleeShare, callerShare float64, err error) {
 	const svcName = "limits/Svc"
 	svc := classfile.NewClass(svcName).
 		// f(x): the called function does a realistic amount of work —
@@ -108,7 +164,7 @@ func CPUDistribution(n int64) (calleeShare, callerShare float64, err error) {
 			a.ILoad(2).IReturn()
 		}).MustBuild()
 
-	e, err := newEnv([]*classfile.Class{svc}, []*classfile.Class{drv})
+	e, err := newEnv(collector, []*classfile.Class{svc}, []*classfile.Class{drv})
 	if err != nil {
 		return 0, 0, err
 	}
@@ -124,10 +180,19 @@ func CPUDistribution(n int64) (calleeShare, callerShare float64, err error) {
 	return 100 * float64(callee) / float64(total), 100 * float64(caller) / float64(total), nil
 }
 
-// GCAttribution runs experiment 2: the service's function allocates and
-// returns a new object per call; the driver's loop forces collections.
-// It returns the GC activations charged to the service and to the driver.
+// GCAttribution runs experiment 2 under the default collector; see
+// GCAttributionWith.
 func GCAttribution(n int64) (serviceGCs, driverGCs int64, err error) {
+	return GCAttributionWith(CollectorDefault, n)
+}
+
+// GCAttributionWith runs experiment 2: the service's function allocates
+// and returns a new object per call; the driver's loop forces
+// collections. It returns the GC activations charged to the service and
+// to the driver. The charge lands on the allocation that crossed the
+// opening occupancy regardless of collector pacing, so the split is the
+// same under the STW reference collector and the incremental one.
+func GCAttributionWith(collector Collector, n int64) (serviceGCs, driverGCs int64, err error) {
 	const svcName = "limits/AllocSvc"
 	svc := classfile.NewClass(svcName).
 		// fresh(): allocates and returns a new 1KB array.
@@ -146,7 +211,7 @@ func GCAttribution(n int64) (serviceGCs, driverGCs int64, err error) {
 			a.ILoad(1).IReturn()
 		}).MustBuild()
 
-	e, err := newEnv([]*classfile.Class{svc}, []*classfile.Class{drv})
+	e, err := newEnv(collector, []*classfile.Class{svc}, []*classfile.Class{drv})
 	if err != nil {
 		return 0, 0, err
 	}
@@ -156,12 +221,18 @@ func GCAttribution(n int64) (serviceGCs, driverGCs int64, err error) {
 	return e.service.Account().GCActivations.Load(), e.driver.Account().GCActivations.Load(), nil
 }
 
-// SharedMemoryCharge runs experiment 3: the service returns a large
+// SharedMemoryCharge runs experiment 3 under the default collector; see
+// SharedMemoryChargeWith.
+func SharedMemoryCharge(payloadSlots int64) (serviceBytes, driverBytes int64, err error) {
+	return SharedMemoryChargeWith(CollectorDefault, payloadSlots)
+}
+
+// SharedMemoryChargeWith runs experiment 3: the service returns a large
 // object that the driver retains in a static; after a collection the
 // object is charged to the driver ("the garbage collector does not charge
 // the large objects to M but to the callers of M"). It returns the live
 // bytes charged to each bundle.
-func SharedMemoryCharge(payloadSlots int64) (serviceBytes, driverBytes int64, err error) {
+func SharedMemoryChargeWith(collector Collector, payloadSlots int64) (serviceBytes, driverBytes int64, err error) {
 	const svcName = "limits/Dict"
 	svc := classfile.NewClass(svcName).
 		// lookup(): the dictionary service returning a large result.
@@ -177,7 +248,7 @@ func SharedMemoryCharge(payloadSlots int64) (serviceBytes, driverBytes int64, er
 			a.Const(1).IReturn()
 		}).MustBuild()
 
-	e, err := newEnv([]*classfile.Class{svc}, []*classfile.Class{drv})
+	e, err := newEnv(collector, []*classfile.Class{svc}, []*classfile.Class{drv})
 	if err != nil {
 		return 0, 0, err
 	}

@@ -56,3 +56,50 @@ func TestSharedMemoryChargedToCaller(t *testing.T) {
 		t.Fatalf("service charged %d bytes for an object it does not retain", svcBytes)
 	}
 }
+
+// TestAttributionCollectorMatrix runs all three §4.4 experiments under
+// every collector configuration (stock, forced stop-the-world,
+// aggressively paced incremental) and asserts the attribution outcomes
+// are collector-independent: who gets charged is decided on the
+// allocation and reference paths, not by how collection work is paced.
+func TestAttributionCollectorMatrix(t *testing.T) {
+	for _, c := range limits.Collectors() {
+		c := c
+		t.Run(c.String(), func(t *testing.T) {
+			t.Run("cpu", func(t *testing.T) {
+				callee, caller, err := limits.CPUDistributionWith(c, 100_000)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if callee <= caller {
+					t.Fatalf("callee share %.1f%% must exceed caller share %.1f%%", callee, caller)
+				}
+			})
+			t.Run("gc", func(t *testing.T) {
+				svcGCs, drvGCs, err := limits.GCAttributionWith(c, 200_000)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if svcGCs == 0 {
+					t.Fatal("expected collections charged to the allocating service")
+				}
+				if drvGCs != 0 {
+					t.Fatalf("driver charged %d GCs; allocations happen inside the callee", drvGCs)
+				}
+			})
+			t.Run("memory", func(t *testing.T) {
+				const slots = 100_000
+				svcBytes, drvBytes, err := limits.SharedMemoryChargeWith(c, slots)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if drvBytes < slots*8 {
+					t.Fatalf("driver charged %d bytes, want >= %d", drvBytes, slots*8)
+				}
+				if svcBytes >= slots*8 {
+					t.Fatalf("service charged %d bytes for an unretained object", svcBytes)
+				}
+			})
+		})
+	}
+}

@@ -26,6 +26,10 @@ var (
 	ErrCalleeStopped = errors.New("rpc: callee isolate stopped")
 	ErrCallBudget    = errors.New("rpc: call budget exhausted")
 	ErrDeadlocked    = errors.New("rpc: callee deadlocked")
+	// ErrThrottled is core.ErrThrottled re-exported: the scheduler
+	// governor has the calling isolate under admission control, so new
+	// submissions are refused before they occupy a pipelining slot.
+	ErrThrottled = core.ErrThrottled
 )
 
 // LinkOptions tunes one link. Zero values select the defaults.
@@ -119,6 +123,12 @@ type Link struct {
 // for a release (block=true). Fails with ErrLinkClosed once Close has
 // begun.
 func (l *Link) acquireSlot(block bool) error {
+	// Admission control: a governor-throttled caller is refused before
+	// it occupies a pipelining slot (Isolate0 is never throttled).
+	if l.caller != nil && l.caller.Throttled() && !l.caller.IsIsolate0() {
+		return ErrThrottled
+	}
+	counted := false
 	l.mu.Lock()
 	for {
 		if l.closing {
@@ -129,6 +139,15 @@ func (l *Link) acquireSlot(block bool) error {
 			l.inflight++
 			l.mu.Unlock()
 			return nil
+		}
+		// Charge the caller one saturation event per acquire that found
+		// the window full — fail-fast or blocked alike — so the governor
+		// sees the flooding rate either way.
+		if !counted {
+			counted = true
+			if l.caller != nil {
+				l.caller.Account().RPCSaturated.Add(1)
+			}
 		}
 		if !block {
 			l.mu.Unlock()

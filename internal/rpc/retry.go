@@ -1,0 +1,101 @@
+package rpc
+
+import (
+	"errors"
+	"time"
+
+	"ijvm/internal/heap"
+)
+
+// Retryable reports whether err is transient backpressure worth backing
+// off and retrying: a saturated pipelining window or a governor
+// throttle. Hard failures (closed links, killed callees, exhausted call
+// budgets, remote exceptions) are not retryable.
+func Retryable(err error) bool {
+	return errors.Is(err, ErrSaturated) || errors.Is(err, ErrThrottled)
+}
+
+// Backoff retries an operation that fails with transient backpressure
+// (Retryable errors), sleeping an exponentially growing, jittered delay
+// between attempts so colliding frontends decorrelate instead of
+// retrying in lockstep. The zero value is usable and selects the
+// defaults. Backoff is single-goroutine state (the jitter PRNG is
+// unsynchronized); give each frontend its own.
+type Backoff struct {
+	// Attempts is the total number of tries, including the first
+	// (default 5).
+	Attempts int
+	// Base is the delay before the first retry (default 50µs); each
+	// subsequent retry doubles it up to Max (default 5ms).
+	Base time.Duration
+	Max  time.Duration
+	// Seed perturbs the jitter sequence; frontends should seed
+	// distinctly (e.g. by index). Zero selects a fixed default.
+	Seed uint64
+
+	rng uint64
+}
+
+func (b *Backoff) fill() {
+	if b.Attempts <= 0 {
+		b.Attempts = 5
+	}
+	if b.Base <= 0 {
+		b.Base = 50 * time.Microsecond
+	}
+	if b.Max <= 0 {
+		b.Max = 5 * time.Millisecond
+	}
+	if b.rng == 0 {
+		b.rng = b.Seed*2654435761 + 0x9e3779b97f4a7c15
+	}
+}
+
+// next returns a xorshift64 step of the jitter PRNG.
+func (b *Backoff) next() uint64 {
+	x := b.rng
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	b.rng = x
+	return x
+}
+
+// Do runs fn up to Attempts times, sleeping a jittered backoff delay
+// after each Retryable failure. It returns fn's last error (nil on
+// success); a non-retryable error returns immediately.
+func (b *Backoff) Do(fn func() error) (err error) {
+	b.fill()
+	delay := b.Base
+	for i := 0; i < b.Attempts; i++ {
+		if err = fn(); err == nil || !Retryable(err) {
+			return err
+		}
+		if i == b.Attempts-1 {
+			break
+		}
+		// Jitter into [delay/2, delay): full decorrelation while keeping
+		// the exponential envelope.
+		d := delay/2 + time.Duration(b.next()%uint64(delay/2+1))
+		time.Sleep(d)
+		delay *= 2
+		if delay > b.Max {
+			delay = b.Max
+		}
+	}
+	return err
+}
+
+// CallRetry is Call with Backoff-mediated retries on transient
+// backpressure (saturation, governor throttles): transient pressure
+// degrades to latency instead of surfacing as an error. The final
+// attempt's error is returned if the pressure never clears.
+func (l *Link) CallRetry(args []heap.Value, b *Backoff) (heap.Value, error) {
+	var v heap.Value
+	err := b.Do(func() error {
+		var cerr error
+		v, cerr = l.Call(args)
+		return cerr
+	})
+	return v, err
+}

@@ -1,0 +1,120 @@
+package rpc_test
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"ijvm/internal/heap"
+	"ijvm/internal/rpc"
+)
+
+// TestThrottledCallerRefused: a governor-throttled caller is refused at
+// submission (before any queue or dispatch work), and admission returns
+// as soon as the throttle lifts.
+func TestThrottledCallerRefused(t *testing.T) {
+	e, hub := newAsyncEnv(t)
+	defer hub.Close()
+	link, err := hub.NewLink(e.caller, e.callee, e.method, e.recv, rpc.LinkOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer link.Close()
+
+	e.caller.SetThrottled(true)
+	if _, err := link.CallAsync([]heap.Value{heap.IntVal(1)}); !errors.Is(err, rpc.ErrThrottled) {
+		t.Fatalf("throttled CallAsync: %v, want ErrThrottled", err)
+	}
+	if _, err := link.Call([]heap.Value{heap.IntVal(1)}); !errors.Is(err, rpc.ErrThrottled) {
+		t.Fatalf("throttled Call: %v, want ErrThrottled", err)
+	}
+	if !rpc.Retryable(rpc.ErrThrottled) {
+		t.Fatal("ErrThrottled must be retryable")
+	}
+
+	e.caller.SetThrottled(false)
+	v, err := link.Call([]heap.Value{heap.IntVal(2)})
+	if err != nil {
+		t.Fatalf("unthrottled call: %v", err)
+	}
+	if v.I != 2 {
+		t.Fatalf("unthrottled call = %d, want 2", v.I)
+	}
+}
+
+// TestSaturationChargesCaller: a submission refused by a full
+// pipelining window charges the caller's RPCSaturated counter — the
+// governor's flood signal.
+func TestSaturationChargesCaller(t *testing.T) {
+	e, hub := newAsyncEnv(t)
+	defer hub.Close()
+	spin := e.extraMethod(t, "spin", "(I)I")
+	link, err := hub.NewLink(e.caller, e.callee, spin, heap.Value{}, rpc.LinkOptions{QueueDepth: 1, CallBudget: 1 << 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := e.caller.Account().RPCSaturated.Load()
+	fut, err := link.CallAsync([]heap.Value{heap.IntVal(1 << 30)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := link.CallAsync([]heap.Value{heap.IntVal(1)}); !errors.Is(err, rpc.ErrSaturated) {
+		t.Fatalf("saturated submission: %v, want ErrSaturated", err)
+	}
+	if got := e.caller.Account().RPCSaturated.Load(); got != before+1 {
+		t.Fatalf("RPCSaturated = %d, want %d", got, before+1)
+	}
+	link.Close()
+	if _, err := fut.Wait(); !errors.Is(err, rpc.ErrLinkClosed) {
+		t.Fatalf("cancelled call: %v, want ErrLinkClosed", err)
+	}
+	fut.Release()
+}
+
+// TestBackoffRetriesTransientPressure: Do retries Retryable failures
+// with backoff until the pressure clears, returns non-retryable errors
+// immediately, and gives up after Attempts tries.
+func TestBackoffRetriesTransientPressure(t *testing.T) {
+	calls := 0
+	b := &rpc.Backoff{Attempts: 5, Base: time.Microsecond, Max: 10 * time.Microsecond}
+	err := b.Do(func() error {
+		calls++
+		if calls < 3 {
+			return rpc.ErrSaturated
+		}
+		return nil
+	})
+	if err != nil || calls != 3 {
+		t.Fatalf("transient pressure: err=%v calls=%d, want nil after 3", err, calls)
+	}
+
+	hard := errors.New("remote exception")
+	calls = 0
+	b2 := &rpc.Backoff{Attempts: 5, Base: time.Microsecond}
+	if err := b2.Do(func() error { calls++; return hard }); !errors.Is(err, hard) || calls != 1 {
+		t.Fatalf("hard failure: err=%v calls=%d, want immediate return", err, calls)
+	}
+
+	calls = 0
+	b3 := &rpc.Backoff{Attempts: 3, Base: time.Microsecond, Max: 10 * time.Microsecond}
+	if err := b3.Do(func() error { calls++; return rpc.ErrThrottled }); !errors.Is(err, rpc.ErrThrottled) || calls != 3 {
+		t.Fatalf("persistent pressure: err=%v calls=%d, want ErrThrottled after 3", err, calls)
+	}
+}
+
+// TestCallRetrySurfacesPersistentThrottle: CallRetry gives up with the
+// throttle error when the caller never recovers admission.
+func TestCallRetrySurfacesPersistentThrottle(t *testing.T) {
+	e, hub := newAsyncEnv(t)
+	defer hub.Close()
+	link, err := hub.NewLink(e.caller, e.callee, e.method, e.recv, rpc.LinkOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer link.Close()
+	e.caller.SetThrottled(true)
+	b := &rpc.Backoff{Attempts: 2, Base: time.Microsecond}
+	if _, err := link.CallRetry([]heap.Value{heap.IntVal(1)}, b); !errors.Is(err, rpc.ErrThrottled) {
+		t.Fatalf("CallRetry under persistent throttle: %v, want ErrThrottled", err)
+	}
+}

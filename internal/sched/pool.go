@@ -1,9 +1,9 @@
 // Package sched implements the concurrent multi-isolate scheduler: it
 // executes the threads of N isolates on a bounded pool of OS workers
 // (goroutines), one isolate shard per worker at a time, with per-shard
-// instruction budgets refilled round-robin and a stop-the-world
-// safepoint protocol for the accounting GC and the preemptive isolate
-// kill path.
+// instruction budgets refilled by a proportional-share virtual-time run
+// queue and a stop-the-world safepoint protocol for the accounting GC
+// and the preemptive isolate kill path.
 //
 // # Execution model
 //
@@ -18,12 +18,21 @@
 // kill flags, the heap, monitors) is synchronized in the lower layers —
 // see internal/interp/README.md for the full locking discipline.
 //
-// # Budgets
+// # Budgets and proportional share
 //
 // A dispatch gives a shard a slice of sliceFactor×Quantum instructions,
-// consumed by its runnable threads round-robin in Quantum-sized chunks;
-// the shard then goes to the back of the run queue (round-robin refill).
-// The global budget is a shared pool the workers draw quanta from.
+// consumed by its runnable threads round-robin in Quantum-sized chunks.
+// Under the default PolicyProportional the runnable shard with the
+// lowest virtual time runs next: each shard's virtual time advances by
+// consumed/Weight, so over any interval runnable shards receive CPU in
+// proportion to their isolate weights (stride scheduling) and a
+// flooding tenant can never push a competitor below its share. Waking
+// shards are capped to the dispatch floor (zero lag) so sleeping earns
+// no credit; priority aging and the interactive QoS class adjust
+// ordering only — see README.md for the full model and the exact
+// magnitude-invariance argument. PolicyRoundRobin keeps the original
+// FIFO refill as a baseline. The global budget is a shared pool the
+// workers draw quanta from.
 //
 // # Stop-the-world
 //
@@ -47,8 +56,55 @@ import (
 )
 
 // sliceFactor is how many scheduler quanta one shard dispatch may
-// consume before the shard returns to the back of the run queue.
+// consume before the shard returns to the run queue.
 const sliceFactor = 8
+
+// vrtUnit is the virtual-time scale: a shard at core.DefaultWeight
+// advances its virtual time by exactly one unit per instruction, so
+// vrt = floor(consumed·vrtUnit/weight) stays exact under the
+// remainder-carry division in advanceVrt.
+const vrtUnit = core.DefaultWeight
+
+// agingFactor sets the default aging threshold (in executed
+// instructions, global clock) as a multiple of the slice length: a
+// shard queued longer than this outranks class and virtual-time order
+// (FIFO among aged shards), bounding worst-case queue delay even under
+// pathological weight ratios.
+const agingFactor = 64
+
+// Policy selects the run-queue discipline.
+type Policy uint8
+
+const (
+	// PolicyProportional (the default) dispatches the runnable shard
+	// with the lowest virtual time; CPU is shared in proportion to
+	// isolate weights.
+	PolicyProportional Policy = iota
+	// PolicyRoundRobin is the original FIFO refill: every runnable
+	// shard gets one slice per cycle regardless of weight. Kept as the
+	// baseline leg for the QoS/SLO benchmarks.
+	PolicyRoundRobin
+)
+
+// Config parameterizes a concurrent run.
+type Config struct {
+	// Workers is the worker-goroutine count; <= 0 selects GOMAXPROCS.
+	Workers int
+	// Budget bounds total executed instructions; <= 0 means unlimited.
+	Budget int64
+	// Target, when non-nil, ends the run as soon as it finishes.
+	Target *interp.Thread
+	// Policy selects the run-queue discipline (default
+	// PolicyProportional).
+	Policy Policy
+	// Governor, when non-nil, is sampled at dispatch boundaries for
+	// admission control and load shedding.
+	Governor *Governor
+	// AgingInstrs overrides the aging threshold (global executed
+	// instructions a shard may wait queued before it outranks class and
+	// virtual-time order); 0 selects agingFactor×slice.
+	AgingInstrs int64
+}
 
 type shardState uint8
 
@@ -61,14 +117,47 @@ const (
 // shard is the scheduling unit: one isolate and the threads currently
 // executing in it. threads is owned by the running worker during a
 // slice and by pool.mu otherwise; inbox is always pool.mu-guarded and
-// is merged at slice boundaries.
+// is merged at slice boundaries. The virtual-time fields (vrt, vrtRem,
+// vtie) and the queue bookkeeping (queuedAt, intCounted, sliceStart)
+// are pool.mu-guarded.
 type shard struct {
 	iso     *core.Isolate
+	seq     int
 	threads []*interp.Thread
 	inbox   []*interp.Thread
 	state   shardState
 	rr      int
 	instrs  int64
+
+	// vrt is the shard's virtual time: exactly
+	// floor(effectiveConsumed·vrtUnit/weight), maintained by
+	// remainder-carry division (vrtRem is the running remainder). vtie
+	// is the effective consumed-instruction total itself, used as the
+	// tiebreak so that at equal weights the dispatch order is a pure
+	// function of consumption and shard index — byte-identical across
+	// weight magnitudes (see README.md).
+	vrt    int64
+	vrtRem int64
+	vtie   int64
+	// queuedAt is the global instruction clock at enqueue (aging).
+	queuedAt int64
+	// intCounted records that this queued shard is counted in
+	// pool.intQueued (interactive preemption).
+	intCounted bool
+	// sliceStart is s.instrs at dispatch; the delta at slice end is the
+	// consumption advancing vrt.
+	sliceStart int64
+}
+
+// advanceVrt advances the shard's virtual time by n consumed
+// instructions at weight w, carrying the division remainder so vrt
+// remains the exact floor of the scaled total (no drift, no
+// magnitude-dependent truncation ties).
+func (s *shard) advanceVrt(n, w int64) {
+	num := n*vrtUnit + s.vrtRem
+	s.vrt += num / w
+	s.vrtRem = num % w
+	s.vtie += n
 }
 
 type endReason uint8
@@ -87,6 +176,9 @@ type pool struct {
 	quantum int64
 	slice   int64
 	limited bool
+	policy  Policy
+	gov     *Governor
+	aging   int64
 	// target, when non-nil, ends the run as soon as it finishes (the
 	// concurrent counterpart of VM.RunUntil's per-thread target).
 	target *interp.Thread
@@ -96,6 +188,9 @@ type pool struct {
 	// for stop-the-world pauses and for run termination.
 	stop    atomic.Bool
 	stwWant atomic.Bool
+	// intQueued counts queued interactive shards; batch slices poll it
+	// at quantum boundaries and yield early when it is nonzero.
+	intQueued atomic.Int64
 
 	mu     sync.Mutex
 	cond   *sync.Cond
@@ -107,6 +202,15 @@ type pool struct {
 	parked int
 	ended  bool
 	reason endReason
+	// vminVrt/vminRem/vminTie form the dispatch floor: the virtual-time
+	// key of the most recently dispatched shard (monotone — dispatch
+	// always picks the queue minimum and waking shards are capped up to
+	// it). An idle shard re-entering the queue below the floor adopts
+	// all three fields, so sleeping earns no virtual-time credit (zero
+	// lag) and a waker cannot monopolize the CPU to catch up.
+	vminVrt int64
+	vminRem int64
+	vminTie int64
 	// nextWake is the earliest timed-sleep deadline among idle shards
 	// (MaxInt64 when none): busy workers check it each dispatch so
 	// sleepers wake as soon as the running shards advance the clock far
@@ -137,7 +241,7 @@ type pool struct {
 // advance): before Run installs its safepoint machinery the VM cannot
 // stop workers it does not know about yet.
 func Run(vm *interp.VM, workers int, budget int64) interp.RunResult {
-	return run(vm, workers, budget, nil)
+	return RunConfig(vm, Config{Workers: workers, Budget: budget})
 }
 
 // RunUntil is Run, additionally stopping as soon as target finishes —
@@ -145,26 +249,36 @@ func Run(vm *interp.VM, workers int, budget int64) interp.RunResult {
 // observe the target at every instruction boundary, so the run ends at
 // the same precision as the sequential engine.
 func RunUntil(vm *interp.VM, workers int, budget int64, target *interp.Thread) interp.RunResult {
-	return run(vm, workers, budget, target)
+	return RunConfig(vm, Config{Workers: workers, Budget: budget, Target: target})
 }
 
-func run(vm *interp.VM, workers int, budget int64, target *interp.Thread) interp.RunResult {
+// RunConfig is Run with the full QoS surface: scheduling policy,
+// per-isolate weights (read from core.Isolate), aging, and an optional
+// governor.
+func RunConfig(vm *interp.VM, cfg Config) interp.RunResult {
+	workers := cfg.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	p := &pool{
 		vm:      vm,
 		quantum: int64(vm.Options().Quantum),
-		limited: budget > 0,
-		target:  target,
+		limited: cfg.Budget > 0,
+		policy:  cfg.Policy,
+		gov:     cfg.Governor,
+		target:  cfg.Target,
 		shards:  make(map[*core.Isolate]*shard),
 		workers: make(map[int64]bool),
 	}
 	p.slice = p.quantum * sliceFactor
+	p.aging = cfg.AgingInstrs
+	if p.aging <= 0 {
+		p.aging = p.slice * agingFactor
+	}
 	p.nextWake = math.MaxInt64
 	p.cond = sync.NewCond(&p.mu)
 	if p.limited {
-		p.budget.Store(budget)
+		p.budget.Store(cfg.Budget)
 	} else {
 		p.budget.Store(math.MaxInt64)
 	}
@@ -181,8 +295,7 @@ func run(vm *interp.VM, workers int, budget int64, target *interp.Thread) interp
 	}
 	for _, s := range p.order {
 		if len(s.threads) > 0 {
-			s.state = shardQueued
-			p.queue = append(p.queue, s)
+			p.enqueueLocked(s)
 		}
 	}
 
@@ -213,7 +326,7 @@ func (p *pool) shardFor(iso *core.Isolate) *shard {
 	if s, ok := p.shards[iso]; ok {
 		return s
 	}
-	s := &shard{iso: iso}
+	s := &shard{iso: iso, seq: len(p.order)}
 	p.shards[iso] = s
 	p.order = append(p.order, s)
 	return s
@@ -246,6 +359,7 @@ func (p *pool) result() interp.RunResult {
 			Instructions:     s.instrs,
 			Killed:           s.iso.Killed(),
 			ThreadsRemaining: remaining,
+			Weight:           s.iso.Weight(),
 		})
 	}
 	return res
@@ -298,14 +412,15 @@ func (p *pool) worker() {
 			p.requeueWakeableLocked()
 			p.recomputeNextWakeLocked()
 		}
-		if len(p.queue) > 0 {
-			s := p.queue[0]
-			p.queue = p.queue[1:]
-			s.state = shardRunning
-			s.threads = append(s.threads, s.inbox...)
-			s.inbox = nil
+		if s := p.dequeueLocked(); s != nil {
 			p.mu.Unlock()
 			end := p.runSlice(s, &sampler)
+			// Governor sampling happens at the dispatch boundary with
+			// p.mu released: an escalation to kill stops the world,
+			// which must not be attempted while holding the pool lock.
+			if p.gov != nil {
+				p.gov.tick(p)
+			}
 			p.mu.Lock()
 			p.finishSliceLocked(s)
 			if end != endNone {
@@ -339,9 +454,107 @@ func (p *pool) endLocked(r endReason) {
 	p.cond.Broadcast()
 }
 
-// finishSliceLocked merges the shard's inbox and requeues or idles it;
-// p.mu held.
+// enqueueLocked transitions s to shardQueued: stamps the aging clock,
+// applies the zero-lag wake cap (idle shards only — a shard requeued
+// straight from running keeps its earned virtual-time deficit), and
+// maintains the interactive-queued count. p.mu held; the caller has
+// established that s is not already queued.
+func (p *pool) enqueueLocked(s *shard) {
+	if p.policy == PolicyProportional && s.state == shardIdle {
+		if s.vrt < p.vminVrt || (s.vrt == p.vminVrt && s.vtie < p.vminTie) {
+			s.vrt, s.vrtRem, s.vtie = p.vminVrt, p.vminRem, p.vminTie
+		}
+	}
+	s.state = shardQueued
+	s.queuedAt = p.instrs.Load()
+	if s.iso.QoS() == core.QoSInteractive {
+		s.intCounted = true
+		p.intQueued.Add(1)
+	}
+	p.queue = append(p.queue, s)
+}
+
+// dequeueLocked removes and returns the next shard to dispatch (nil when
+// the queue is empty), merging its inbox. PolicyRoundRobin pops the
+// queue head (FIFO); PolicyProportional scans for the minimum-key shard
+// (aged first, then interactive before batch, then lowest virtual time)
+// and advances the dispatch floor to its key. p.mu held.
+func (p *pool) dequeueLocked() *shard {
+	if len(p.queue) == 0 {
+		return nil
+	}
+	best := 0
+	if p.policy == PolicyProportional {
+		for i := 1; i < len(p.queue); i++ {
+			if p.shardLessLocked(p.queue[i], p.queue[best]) {
+				best = i
+			}
+		}
+	}
+	s := p.queue[best]
+	copy(p.queue[best:], p.queue[best+1:])
+	p.queue[len(p.queue)-1] = nil
+	p.queue = p.queue[:len(p.queue)-1]
+	if p.policy == PolicyProportional {
+		if s.vrt > p.vminVrt || (s.vrt == p.vminVrt && s.vtie > p.vminTie) {
+			p.vminVrt, p.vminRem, p.vminTie = s.vrt, s.vrtRem, s.vtie
+		}
+	}
+	if s.intCounted {
+		s.intCounted = false
+		p.intQueued.Add(-1)
+	}
+	s.state = shardRunning
+	s.sliceStart = s.instrs
+	s.threads = append(s.threads, s.inbox...)
+	s.inbox = nil
+	return s
+}
+
+// agedLocked reports whether s has waited past the aging threshold.
+func (p *pool) agedLocked(s *shard) bool {
+	return p.instrs.Load()-s.queuedAt >= p.aging
+}
+
+// shardLessLocked is the proportional-share dispatch order: aged shards
+// first (FIFO among themselves — bounded worst-case queue delay), then
+// interactive before batch, then lowest virtual time with ties broken
+// by effective consumption and shard index. At equal weights the whole
+// key reduces to (consumption, index), which is what makes equal-weight
+// runs byte-identical across weight magnitudes. p.mu held.
+func (p *pool) shardLessLocked(a, b *shard) bool {
+	aAged, bAged := p.agedLocked(a), p.agedLocked(b)
+	if aAged != bAged {
+		return aAged
+	}
+	if aAged {
+		if a.queuedAt != b.queuedAt {
+			return a.queuedAt < b.queuedAt
+		}
+	} else {
+		aInt := a.iso.QoS() == core.QoSInteractive
+		bInt := b.iso.QoS() == core.QoSInteractive
+		if aInt != bInt {
+			return aInt
+		}
+	}
+	if a.vrt != b.vrt {
+		return a.vrt < b.vrt
+	}
+	if a.vtie != b.vtie {
+		return a.vtie < b.vtie
+	}
+	return a.seq < b.seq
+}
+
+// finishSliceLocked advances the shard's virtual time by what the slice
+// consumed, merges its inbox and requeues or idles it; p.mu held.
 func (p *pool) finishSliceLocked(s *shard) {
+	if p.policy == PolicyProportional {
+		if consumed := s.instrs - s.sliceStart; consumed > 0 {
+			s.advanceVrt(consumed, s.iso.Weight())
+		}
+	}
 	s.threads = append(s.threads, s.inbox...)
 	s.inbox = nil
 	// Compact finished threads.
@@ -368,8 +581,7 @@ func (p *pool) finishSliceLocked(s *shard) {
 		}
 	}
 	if runnable && !p.ended {
-		s.state = shardQueued
-		p.queue = append(p.queue, s)
+		p.enqueueLocked(s)
 		p.cond.Broadcast()
 	} else {
 		s.state = shardIdle
@@ -414,10 +626,12 @@ func (p *pool) recomputeNextWakeLocked() {
 
 // runSlice executes one dispatch of shard s: its runnable threads in
 // round-robin quantum chunks until the slice budget is consumed, the
-// shard has nothing runnable, or the stop flag rises. It returns the end
-// reason the slice observed (endNone when the run continues).
+// shard has nothing runnable, a queued interactive shard preempts a
+// batch slice, or the stop flag rises. It returns the end reason the
+// slice observed (endNone when the run continues).
 func (p *pool) runSlice(s *shard, sampler *interp.SampleState) endReason {
 	remaining := p.slice
+	interactive := s.iso.QoS() == core.QoSInteractive
 	for remaining > 0 && !p.stop.Load() {
 		t := p.nextRunnable(s)
 		if t == nil {
@@ -461,6 +675,13 @@ func (p *pool) runSlice(s *shard, sampler *interp.SampleState) endReason {
 		}
 		if res.TargetDone || (p.target != nil && p.target.Done()) {
 			return endTarget
+		}
+		// Interactive preemption: a batch slice yields at the quantum
+		// boundary as soon as an interactive shard is waiting. The
+		// shard requeues with its virtual time advanced only by what it
+		// actually consumed, so the yield costs it nothing in share.
+		if !interactive && p.policy == PolicyProportional && p.intQueued.Load() > 0 {
+			return endNone
 		}
 	}
 	return endNone
@@ -519,8 +740,7 @@ func (p *pool) migrate(s *shard, t *interp.Thread) {
 	ns := p.shardFor(target)
 	ns.inbox = append(ns.inbox, t)
 	if ns.state == shardIdle {
-		ns.state = shardQueued
-		p.queue = append(p.queue, ns)
+		p.enqueueLocked(ns)
 		p.cond.Broadcast()
 	}
 	p.mu.Unlock()
@@ -577,8 +797,7 @@ func (p *pool) requeueWakeableLocked() bool {
 				continue
 			}
 			if p.vm.PromoteRunnable(t) {
-				s.state = shardQueued
-				p.queue = append(p.queue, s)
+				p.enqueueLocked(s)
 				any = true
 				break
 			}
@@ -592,14 +811,16 @@ func (p *pool) requeueWakeableLocked() bool {
 
 // --- interp.SchedHooks ---------------------------------------------------
 
-// ThreadSpawned routes a new thread to its creator's shard.
+// ThreadSpawned routes a new thread to its creator's shard. The spawn
+// stamp is retaken here, under p.mu, so latency harnesses measure from
+// the moment the scheduler became responsible for the thread.
 func (p *pool) ThreadSpawned(t *interp.Thread) {
 	p.mu.Lock()
+	t.RestampSpawn(p.vm.Clock())
 	s := p.shardFor(t.CurrentIsolate())
 	s.inbox = append(s.inbox, t)
 	if s.state == shardIdle {
-		s.state = shardQueued
-		p.queue = append(p.queue, s)
+		p.enqueueLocked(s)
 	}
 	p.cond.Broadcast()
 	p.mu.Unlock()
@@ -610,8 +831,7 @@ func (p *pool) ThreadUnparked(t *interp.Thread) {
 	p.mu.Lock()
 	s := p.shardFor(t.CurrentIsolate())
 	if s.state == shardIdle {
-		s.state = shardQueued
-		p.queue = append(p.queue, s)
+		p.enqueueLocked(s)
 	}
 	p.cond.Broadcast()
 	p.mu.Unlock()
@@ -634,8 +854,7 @@ func (p *pool) ThreadsChanged() {
 			}
 		}
 		if hasLive {
-			s.state = shardQueued
-			p.queue = append(p.queue, s)
+			p.enqueueLocked(s)
 		}
 	}
 	p.cond.Broadcast()

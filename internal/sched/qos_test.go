@@ -1,0 +1,321 @@
+package sched_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"ijvm/internal/bytecode"
+	"ijvm/internal/classfile"
+	"ijvm/internal/core"
+	"ijvm/internal/heap"
+	"ijvm/internal/interp"
+	"ijvm/internal/sched"
+)
+
+// sleepSpinClasses builds run(n): spin n iterations, Thread.sleep(7),
+// spin n more, return 2n — exercising the idle→queued wake path (and
+// with it the zero-lag cap) in the middle of a computation.
+func sleepSpinClasses(name string) *classfile.Class {
+	return classfile.NewClass(name).
+		Method("run", "(I)I", classfile.FlagStatic|classfile.FlagPublic, func(a *bytecode.Assembler) {
+			a.Const(0).IStore(1)
+			a.Label("loop1")
+			a.ILoad(1).ILoad(0).IfICmpGe("nap")
+			a.IInc(1, 1).Goto("loop1")
+			a.Label("nap")
+			a.Const(7).InvokeStatic("java/lang/Thread", "sleep", "(I)V")
+			a.Label("loop2")
+			a.ILoad(1).ILoad(0).Const(2).IMul().IfICmpGe("done")
+			a.IInc(1, 1).Goto("loop2")
+			a.Label("done")
+			a.ILoad(1).IReturn()
+		}).MustBuild()
+}
+
+// pingClasses builds the migration callee: ping(x) = x + 1.
+func pingClasses(name string) *classfile.Class {
+	return classfile.NewClass(name).
+		Method("ping", "(I)I", classfile.FlagStatic|classfile.FlagPublic, func(a *bytecode.Assembler) {
+			a.ILoad(0).Const(1).IAdd().IReturn()
+		}).MustBuild()
+}
+
+// callerClasses builds call(n): sum of ping(i) for i in [0,n), invoked
+// cross-isolate so the thread migrates on every call and return.
+func callerClasses(name, pingName string) *classfile.Class {
+	return classfile.NewClass(name).
+		Method("call", "(I)I", classfile.FlagStatic|classfile.FlagPublic, func(a *bytecode.Assembler) {
+			a.Const(0).IStore(1) // i
+			a.Const(0).IStore(2) // acc
+			a.Label("loop")
+			a.ILoad(1).ILoad(0).IfICmpGe("done")
+			a.ILoad(1).InvokeStatic(pingName, "ping", "(I)I").ILoad(2).IAdd().IStore(2)
+			a.IInc(1, 1).Goto("loop")
+			a.Label("done")
+			a.ILoad(2).IReturn()
+		}).MustBuild()
+}
+
+// runQoSFingerprint executes a fixed four-isolate program (plain spin,
+// sleep+spin, cross-isolate call flood, interactive spin) on one worker
+// with every isolate at the given weight (0 = leave the default) and
+// returns a fingerprint of everything observable: thread results, the
+// virtual clock, and the per-isolate instruction counts and accounts.
+// The Weight field itself is deliberately excluded — it is the one
+// thing that legitimately differs between runs.
+func runQoSFingerprint(t *testing.T, weight int64) string {
+	t.Helper()
+	vm := newIsolatedVM(t, interp.Options{})
+
+	names := []string{"alpha", "bravo", "charlie", "delta"}
+	isos := make([]*core.Isolate, len(names))
+	for i, n := range names {
+		iso, err := vm.NewIsolate(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		isos[i] = iso
+	}
+
+	// alpha: plain spinner, also hosts the ping callee.
+	if err := isos[0].Loader().Define(spinClasses("qos/Spin")); err != nil {
+		t.Fatal(err)
+	}
+	if err := isos[0].Loader().Define(pingClasses("qos/Ping")); err != nil {
+		t.Fatal(err)
+	}
+	// bravo: sleeps mid-computation.
+	if err := isos[1].Loader().Define(sleepSpinClasses("qos/Nap")); err != nil {
+		t.Fatal(err)
+	}
+	// charlie: migrates into alpha on every ping call.
+	isos[2].Loader().AddDelegate(isos[0].Loader())
+	if err := isos[2].Loader().Define(callerClasses("qos/Call", "qos/Ping")); err != nil {
+		t.Fatal(err)
+	}
+	// delta: interactive-class spinner (ordering, not share, differs).
+	if err := isos[3].Loader().Define(spinClasses("qos/SpinI")); err != nil {
+		t.Fatal(err)
+	}
+	isos[3].SetQoS(core.QoSInteractive)
+
+	if weight > 0 {
+		for _, iso := range isos {
+			iso.SetWeight(weight)
+		}
+	}
+
+	spawn := func(iso *core.Isolate, cn, mn, desc string, arg int64) *interp.Thread {
+		c, err := iso.Loader().Lookup(cn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := c.LookupMethod(mn, desc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		th, err := vm.SpawnThread(cn, iso, m, []heap.Value{heap.IntVal(arg)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return th
+	}
+	threads := []*interp.Thread{
+		spawn(isos[0], "qos/Spin", "run", "(I)I", 12_000),
+		spawn(isos[1], "qos/Nap", "run", "(I)I", 400),
+		spawn(isos[2], "qos/Call", "call", "(I)I", 600),
+		spawn(isos[3], "qos/SpinI", "run", "(I)I", 8_000),
+	}
+
+	res := sched.RunConfig(vm, sched.Config{Workers: 1})
+	if !res.AllDone {
+		t.Fatalf("run did not finish: %+v", res)
+	}
+
+	var b strings.Builder
+	for i, th := range threads {
+		if th.Failure() != nil {
+			t.Fatalf("thread %d failed: %s", i, th.FailureString())
+		}
+		fmt.Fprintf(&b, "thread %d = %d\n", i, th.Result().I)
+	}
+	fmt.Fprintf(&b, "instructions = %d clock = %d\n", res.Instructions, vm.Clock())
+	for _, ir := range res.PerIsolate {
+		fmt.Fprintf(&b, "iso %s: instrs=%d killed=%v remaining=%d\n",
+			ir.Name, ir.Instructions, ir.Killed, ir.ThreadsRemaining)
+	}
+	for _, iso := range isos {
+		fmt.Fprintf(&b, "account %s: %+v\n", iso.Name(), iso.Account().Numbers())
+	}
+	return b.String()
+}
+
+// TestEqualWeightsMagnitudeInvariance is the differential oracle for the
+// proportional-share queue: when every isolate has the same weight, the
+// absolute magnitude of that weight must not change anything observable
+// — dispatch order, interleaving, per-isolate instruction counts and
+// accounts are byte-identical whether the common weight is the default,
+// 17, 1000, or 4096. This pins the remainder-carry virtual-time
+// arithmetic (no magnitude-dependent truncation ties) and the zero-lag
+// wake cap (the floor's remainder travels with its quotient).
+func TestEqualWeightsMagnitudeInvariance(t *testing.T) {
+	base := runQoSFingerprint(t, 0)
+	if again := runQoSFingerprint(t, 0); again != base {
+		t.Fatalf("single-worker run is not deterministic:\n--- first\n%s--- second\n%s", base, again)
+	}
+	for _, w := range []int64{17, 1000, 1 << 12} {
+		if fp := runQoSFingerprint(t, w); fp != base {
+			t.Errorf("weight %d diverges from default weight:\n--- default\n%s--- weight %d\n%s", w, base, w, fp)
+		}
+	}
+}
+
+// twoSpinnerRun races two endless spinners with the given weights and
+// policy under a bounded budget and returns their instruction counts.
+func twoSpinnerRun(t *testing.T, policy sched.Policy, wHeavy, wLight int64) (heavy, light int64) {
+	t.Helper()
+	vm := newIsolatedVM(t, interp.Options{})
+	mk := func(name, cn string, w int64) {
+		iso, err := vm.NewIsolate(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		iso.SetWeight(w)
+		if err := iso.Loader().Define(spinClasses(cn)); err != nil {
+			t.Fatal(err)
+		}
+		c, _ := iso.Loader().Lookup(cn)
+		m, _ := c.LookupMethod("run", "(I)I")
+		if _, err := vm.SpawnThread(name, iso, m, []heap.Value{heap.IntVal(1 << 30)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mk("heavy", "qos/Heavy", wHeavy)
+	mk("light", "qos/Light", wLight)
+	res := sched.RunConfig(vm, sched.Config{Workers: 1, Budget: 400_000, Policy: policy})
+	if !res.BudgetExhausted {
+		t.Fatalf("expected budget exhaustion, got %+v", res)
+	}
+	for _, ir := range res.PerIsolate {
+		switch ir.Name {
+		case "heavy":
+			heavy = ir.Instructions
+		case "light":
+			light = ir.Instructions
+		}
+	}
+	return heavy, light
+}
+
+// TestWeightedShareRatio checks stride scheduling delivers CPU in
+// proportion to weights: a 4:1 weight ratio yields roughly a 4:1
+// instruction ratio over a bounded run, and the light isolate still
+// runs (no starvation).
+func TestWeightedShareRatio(t *testing.T) {
+	heavy, light := twoSpinnerRun(t, sched.PolicyProportional, 400, 100)
+	if light <= 0 || heavy <= 0 {
+		t.Fatalf("an isolate starved: heavy=%d light=%d", heavy, light)
+	}
+	ratio := float64(heavy) / float64(light)
+	if ratio < 2.5 || ratio > 6 {
+		t.Fatalf("instruction ratio %.2f (heavy=%d light=%d), want ~4 for weights 400:100",
+			ratio, heavy, light)
+	}
+}
+
+// TestRoundRobinIgnoresWeights pins the baseline leg: under
+// PolicyRoundRobin the same 4:1 weights split CPU roughly evenly.
+func TestRoundRobinIgnoresWeights(t *testing.T) {
+	heavy, light := twoSpinnerRun(t, sched.PolicyRoundRobin, 400, 100)
+	if light <= 0 || heavy <= 0 {
+		t.Fatalf("an isolate starved: heavy=%d light=%d", heavy, light)
+	}
+	ratio := float64(heavy) / float64(light)
+	if ratio < 0.5 || ratio > 2 {
+		t.Fatalf("round-robin instruction ratio %.2f (heavy=%d light=%d), want ~1", ratio, heavy, light)
+	}
+}
+
+// allocFloodTestClasses builds flood(): an endless loop allocating and
+// dropping Object[64] arrays.
+func allocFloodTestClasses(name string) *classfile.Class {
+	return classfile.NewClass(name).
+		Method("flood", "()V", classfile.FlagStatic|classfile.FlagPublic, func(a *bytecode.Assembler) {
+			a.Label("loop")
+			a.Const(64).NewArray(classfile.ObjectClassName).Pop()
+			a.Goto("loop")
+		}).MustBuild()
+}
+
+// TestGovernorEscalatesAllocFlood drives the full escalation ladder: an
+// allocation flood must be deprioritized, then throttled, then killed
+// (in that order — the ladder is monotone by construction), while a
+// well-behaved spinner beside it completes with the right result.
+func TestGovernorEscalatesAllocFlood(t *testing.T) {
+	vm := newIsolatedVM(t, interp.Options{})
+
+	// The first isolate is Isolate0 (the OSGi runtime): exempt from
+	// governance and the governor's killer credential. Create it first
+	// so the flood is an ordinary, governable tenant.
+	if _, err := vm.NewIsolate("runtime"); err != nil {
+		t.Fatal(err)
+	}
+
+	flood, err := vm.NewIsolate("flood")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := flood.Loader().Define(allocFloodTestClasses("qos/Flood")); err != nil {
+		t.Fatal(err)
+	}
+	fc, _ := flood.Loader().Lookup("qos/Flood")
+	fm, _ := fc.LookupMethod("flood", "()V")
+	if _, err := vm.SpawnThread("flood", flood, fm, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	mate, err := vm.NewIsolate("mate")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mate.Loader().Define(spinClasses("qos/Mate")); err != nil {
+		t.Fatal(err)
+	}
+	mc, _ := mate.Loader().Lookup("qos/Mate")
+	mm, _ := mc.LookupMethod("run", "(I)I")
+	mateTh, err := vm.SpawnThread("mate", mate, mm, []heap.Value{heap.IntVal(200_000)})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	gov := sched.NewGovernor(sched.GovernorConfig{
+		WindowInstrs: 4096,
+		// 4x the per-window threshold is alloc-hot regardless of heap
+		// pressure; the flood clears 16 KiB per window trivially.
+		AllocBytesPerWindow: 4 << 10,
+		HeapHighPct:         99,
+		DeprioritizeAfter:   1,
+		ThrottleAfter:       2,
+		KillAfter:           4,
+	})
+	res := sched.RunConfig(vm, sched.Config{Workers: 2, Budget: 3_000_000, Governor: gov})
+
+	if !flood.Killed() {
+		t.Fatalf("flood isolate survived: %+v, governor %+v", res, gov.Stats())
+	}
+	if got := gov.StageOf(flood); got != sched.StageKilled {
+		t.Fatalf("flood stage = %v, want killed", got)
+	}
+	st := gov.Stats()
+	if st.Deprioritizations < 1 || st.Throttles < 1 || st.Kills != 1 {
+		t.Fatalf("escalation ladder skipped a rung: %+v", st)
+	}
+	if !mateTh.Done() || mateTh.Failure() != nil || mateTh.Result().I != 200_000 {
+		t.Fatalf("bystander damaged: done=%v failure=%v result=%d",
+			mateTh.Done(), mateTh.Failure(), mateTh.Result().I)
+	}
+	if gov.StageOf(mate) != sched.StageNormal {
+		t.Fatalf("bystander escalated to %v", gov.StageOf(mate))
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"errors"
 
 	"ijvm/internal/classfile"
+	"ijvm/internal/core"
 	"ijvm/internal/heap"
 	"ijvm/internal/interp"
 )
@@ -73,6 +74,14 @@ func threadClass() *classfile.Class {
 					// OutOfMemoryError (attack A5).
 					return interp.NativeThrowName(vm, t, interp.ClassOutOfMemoryError,
 						"unable to create new native thread")
+				}
+				if errors.Is(err, core.ErrThrottled) {
+					// Admission control: the governor refuses new threads
+					// for this isolate. Surface it like exhaustion — the
+					// offender's spawn loop sees a guest error, everyone
+					// else is unaffected.
+					return interp.NativeThrowName(vm, t, interp.ClassOutOfMemoryError,
+						"thread creation throttled by governor")
 				}
 				return interp.NativeResult{}, err
 			}
