@@ -640,6 +640,14 @@ func TestEmitInterpBench(t *testing.T) {
 		UnpreparedMinstrS float64 `json:"unprepared_minstr_s"`
 		SpeedupPercent    float64 `json:"speedup_percent"`
 	}
+	type tierCurve struct {
+		SeedMinstrS       float64 `json:"seed_minstr_s"`     // unquickened checked switch
+		PreparedMinstrS   float64 `json:"prepared_minstr_s"` // quickened table, no fusion (PR-7 engine)
+		FusedMinstrS      float64 `json:"fused_minstr_s"`    // + superinstructions
+		ClosureMinstrS    float64 `json:"closure_minstr_s"`  // + closure-threaded hot tier
+		FusedVsPrepared   float64 `json:"fused_vs_prepared"`
+		ClosureVsPrepared float64 `json:"closure_vs_prepared"`
+	}
 	type gcCurve struct {
 		FullSTWPauseMs        float64 `json:"full_stw_pause_ms"` // monolithic mark+sweep, 20k-object live graph
 		IncrementalTerminalMs float64 `json:"incremental_terminal_pause_ms"`
@@ -709,6 +717,23 @@ func TestEmitInterpBench(t *testing.T) {
 	}
 	allocBefore, allocAfter := bestAlloc(false), bestAlloc(true)
 	fieldBefore, fieldAfter := bestField(true), bestField(false)
+	bestTier := func(cfg tierBenchConfig) float64 {
+		var bv float64
+		for i := 0; i < 6; i++ {
+			v, err := measureTierThroughput(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v > bv {
+				bv = v
+			}
+		}
+		return bv
+	}
+	tierSeedV := bestTier(tierSeed)
+	tierPrepV := bestTier(tierPrepared)
+	tierFusedV := bestTier(tierFused)
+	tierClosV := bestTier(tierClosure)
 	measureGCPauses := func() (fullMs, termMs float64) {
 		vmFull, err := gcBenchVM(true)
 		if err != nil {
@@ -806,6 +831,7 @@ func TestEmitInterpBench(t *testing.T) {
 		Invoke     []invokeSite `json:"invoke_microbench"`
 		Alloc      allocCurve   `json:"alloc_microbench"`
 		Field      fieldCurve   `json:"field_microbench"`
+		Tier       tierCurve    `json:"tier_microbench"`
 		GC         gcCurve      `json:"gc_microbench"`
 		Intern     internCurve  `json:"intern_microbench"`
 		RPC        rpcCurve     `json:"rpc_microbench"`
@@ -813,6 +839,7 @@ func TestEmitInterpBench(t *testing.T) {
 		Workload: "BenchmarkScheduler_*: 8 isolates x 200k-iteration spin loops; BenchmarkInvoke_*: one hot invokevirtual site over k receiver classes; " +
 			"BenchmarkAlloc_*: 6 allocator goroutines + 4 metric pollers against one heap (seed global-mutex admission vs per-shard domains); " +
 			"BenchmarkField_*: hot getfield/putfield loop (per-site slot caches vs reference switch); " +
+			"BenchmarkTier_*: hot arithmetic loop across the four dispatch tiers (seed switch, quickened table, superinstruction-fused, closure-threaded); " +
 			"BenchmarkGC_*: 20k-object pinned live graph — full-STW pause vs incremental terminal pause, and store-heavy mutator throughput with/without an open mark phase; " +
 			"BenchmarkIntern_*: 8-site Ldc loop on the lock-free interned-string pool; " +
 			"BenchmarkRPC_*: 4 concurrent callers x 200 inter-isolate calls (seed serialized link vs async hub: blocking, pipelined, deep-copy vs zero-copy payloads) plus the 3x3 microservice-mesh fan-out under tenant churn",
@@ -843,6 +870,14 @@ func TestEmitInterpBench(t *testing.T) {
 			PreparedMinstrS:   fieldAfter,
 			UnpreparedMinstrS: fieldBefore,
 			SpeedupPercent:    (fieldAfter/fieldBefore - 1) * 100,
+		},
+		Tier: tierCurve{
+			SeedMinstrS:       tierSeedV,
+			PreparedMinstrS:   tierPrepV,
+			FusedMinstrS:      tierFusedV,
+			ClosureMinstrS:    tierClosV,
+			FusedVsPrepared:   tierFusedV / tierPrepV,
+			ClosureVsPrepared: tierClosV / tierPrepV,
 		},
 		GC: gcCurve{
 			FullSTWPauseMs:        gcFullMs,
@@ -1307,6 +1342,136 @@ func measureFieldThroughput(disablePrepare bool) (float64, error) {
 		return 0, err
 	}
 	args := []heap.Value{heap.IntVal(int64(fieldBenchInner))}
+	if _, th, err := vm.CallRoot(iso, m, args, 0); err != nil || th.Failure() != nil {
+		return 0, fmt.Errorf("warmup: %v / %v", err, th.FailureString())
+	}
+	const rounds = 40
+	start := vm.TotalInstructions()
+	t0 := time.Now()
+	for i := 0; i < rounds; i++ {
+		if _, th, err := vm.CallRoot(iso, m, args, 0); err != nil || th.Failure() != nil {
+			return 0, fmt.Errorf("run: %v / %v", err, th.FailureString())
+		}
+	}
+	elapsed := time.Since(t0)
+	return float64(vm.TotalInstructions()-start) / 1e6 / elapsed.Seconds(), nil
+}
+
+// --- Tier microbenchmarks (superinstruction fusion + closure tier) --------
+//
+// One hot arithmetic loop measured across the four dispatch tiers:
+//
+//	seed     — unquickened checked switch (DisablePrepare)
+//	prepared — quickened table dispatch, fusion off (the PR-7 engine)
+//	fused    — quickened + superinstruction fusion, closure tier off
+//	closure  — fused + closure-threaded hot tier (promoted on first call)
+//
+// The loop body quickens into FusedLCOpStore, FusedLLOpStore,
+// FusedLLCmpBr and FusedIncGoto heads; the closure tier then collapses
+// the whole body into one block of pre-bound micro-closures with a
+// single table dispatch per backward branch. Minstr/s counts retired
+// bytecodes (fused execution retires the same count as the seed — the
+// oracle proves it), so the metric is directly comparable across tiers.
+
+const tierBenchInner = 10_000
+
+// tierBenchConfig selects the dispatch tier of one run.
+type tierBenchConfig int
+
+const (
+	tierSeed tierBenchConfig = iota
+	tierPrepared
+	tierFused
+	tierClosure
+)
+
+func (c tierBenchConfig) options() interp.Options {
+	o := interp.Options{Mode: core.ModeIsolated}
+	switch c {
+	case tierSeed:
+		o.DisablePrepare = true
+	case tierPrepared:
+		o.DisableFusion = true
+		o.TierPromoteThreshold = -1
+	case tierFused:
+		o.TierPromoteThreshold = -1
+	case tierClosure:
+		o.TierPromoteThreshold = 1
+	}
+	return o
+}
+
+func tierBenchClasses() []*classfile.Class {
+	driver := classfile.NewClass("tb/Driver").
+		Method("run", "(I)I", classfile.FlagStatic, func(a *bytecode.Assembler) {
+			// Locals: 0 n, 1 acc, 2 i.
+			a.Const(0).IStore(1)
+			a.Const(0).IStore(2)
+			a.Label("loop").ILoad(2).ILoad(0).IfICmpGe("done")
+			a.ILoad(1).Const(3).IAdd().IStore(1)
+			a.ILoad(1).ILoad(2).IXor().IStore(1)
+			a.ILoad(1).Const(5).IMul().IStore(1)
+			a.IInc(2, 1).Goto("loop")
+			a.Label("done").ILoad(1).IReturn()
+		}).MustBuild()
+	return []*classfile.Class{driver}
+}
+
+func tierBenchVM(cfg tierBenchConfig) (*interp.VM, *core.Isolate, *classfile.Method, error) {
+	vm := interp.NewVM(cfg.options())
+	syslib.MustInstall(vm)
+	iso, err := vm.NewIsolate("main")
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if err := iso.Loader().DefineAll(tierBenchClasses()); err != nil {
+		return nil, nil, nil, err
+	}
+	c, err := iso.Loader().Lookup("tb/Driver")
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	m, err := c.LookupMethod("run", "(I)I")
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return vm, iso, m, nil
+}
+
+func benchTier(b *testing.B, cfg tierBenchConfig) {
+	b.Helper()
+	vm, iso, m, err := tierBenchVM(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	args := []heap.Value{heap.IntVal(int64(tierBenchInner))}
+	if _, th, err := vm.CallRoot(iso, m, args, 0); err != nil || th.Failure() != nil {
+		b.Fatalf("warmup: %v / %v", err, th.FailureString())
+	}
+	start := vm.TotalInstructions()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, th, err := vm.CallRoot(iso, m, args, 0); err != nil || th.Failure() != nil {
+			b.Fatalf("run: %v / %v", err, th.FailureString())
+		}
+	}
+	instrs := vm.TotalInstructions() - start
+	b.ReportMetric(float64(instrs)/1e6/b.Elapsed().Seconds(), "Minstr/s")
+}
+
+func BenchmarkTier_Seed(b *testing.B)     { benchTier(b, tierSeed) }
+func BenchmarkTier_Prepared(b *testing.B) { benchTier(b, tierPrepared) }
+func BenchmarkTier_Fused(b *testing.B)    { benchTier(b, tierFused) }
+func BenchmarkTier_Closure(b *testing.B)  { benchTier(b, tierClosure) }
+
+// measureTierThroughput runs the tier workload once and returns its
+// throughput in Minstr/s (used by TestEmitInterpBench).
+func measureTierThroughput(cfg tierBenchConfig) (float64, error) {
+	vm, iso, m, err := tierBenchVM(cfg)
+	if err != nil {
+		return 0, err
+	}
+	args := []heap.Value{heap.IntVal(int64(tierBenchInner))}
 	if _, th, err := vm.CallRoot(iso, m, args, 0); err != nil || th.Failure() != nil {
 		return 0, fmt.Errorf("warmup: %v / %v", err, th.FailureString())
 	}

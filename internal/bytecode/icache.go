@@ -1,6 +1,9 @@
 package bytecode
 
-import "sync/atomic"
+import (
+	"sync/atomic"
+	"unsafe"
+)
 
 // ICMaxEntries bounds the polymorphic inline cache of one prepared
 // invoke site. A site that has dispatched to more receiver classes than
@@ -19,9 +22,11 @@ const ICMaxEntries = 4
 //	               every dispatch resolves through the class's
 //	               resolution cache (Class.LookupMethod)
 //
-// Classes and targets are stored as opaque `any` values so this package
-// stays free of classfile dependencies; the interpreter stores
-// *classfile.Class keys and *classfile.Method targets.
+// Classes and targets are stored as raw pointers so this package stays
+// free of classfile dependencies and the probe loop compares one
+// machine word per entry instead of an interface's (type, data) pair;
+// the interpreter stores *classfile.Class keys and *classfile.Method
+// targets (both heap pointers, so the Go GC still traces the line).
 //
 // Publication is race-safe without locks: a line is immutable once
 // published, and transitions replace the whole line with a
@@ -37,10 +42,13 @@ type ICache struct {
 }
 
 // ICLine is one immutable cache generation: N valid (class, target)
-// pairs, or the terminal megamorphic marker.
+// pairs, or the terminal megamorphic marker. Dispatch must check Mega
+// before probing: a megamorphic line has N == 0, so the probe is a
+// guaranteed miss and the site should go straight to the per-class
+// resolution cache.
 type ICLine struct {
-	Classes [ICMaxEntries]any
-	Targets [ICMaxEntries]any
+	Classes [ICMaxEntries]unsafe.Pointer
+	Targets [ICMaxEntries]unsafe.Pointer
 	N       int
 	Mega    bool
 }
@@ -51,7 +59,7 @@ func (c *ICache) Line() *ICLine { return c.line.Load() }
 
 // Lookup returns the cached target for class, or nil on a miss (and on
 // a megamorphic line, whose N is zero).
-func (l *ICLine) Lookup(class any) any {
+func (l *ICLine) Lookup(class unsafe.Pointer) unsafe.Pointer {
 	for i := 0; i < l.N; i++ {
 		if l.Classes[i] == class {
 			return l.Targets[i]
@@ -65,7 +73,7 @@ func (l *ICLine) Lookup(class any) any {
 // exceeds ICMaxEntries receiver classes. Loses of the publication race
 // retry against the winner's line, so a hot site converges after a
 // bounded number of transitions (a line only ever grows).
-func (c *ICache) Add(class, target any) {
+func (c *ICache) Add(class, target unsafe.Pointer) {
 	for {
 		old := c.line.Load()
 		// Early-out before allocating the replacement line: megamorphic

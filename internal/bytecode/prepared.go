@@ -52,6 +52,11 @@ type PCode struct {
 	MaxStack  int
 	MaxLocals int
 	ErrPC     error
+
+	// Tier is the closure-threaded hot-tier promotion state (heat counter
+	// and the CAS-published closure program). It rides on the prepared
+	// form so a re-quickening (mode flip, poisoned clone) starts cold.
+	Tier TierState
 }
 
 // Prepared-form mode indexes. A method body carries one independent
@@ -65,24 +70,41 @@ const (
 	NumPModes
 )
 
-// Prepared returns the cached prepared form for one mode index, or nil
+// Prepared-form variant indexes. Each mode comes in two variants:
+// the default fused variant (superinstruction heads rewritten, see
+// fused.go) and the unfused variant (pure quickening, one handler per
+// instruction) used when fusion is disabled. The fused variant occupies
+// the low slots so `Prepared(PModeIsolated)` keeps meaning "the form a
+// default-options VM executes".
+const (
+	PVariantFused = iota
+	PVariantUnfused
+	NumPVariants
+)
+
+// PSlot maps a (mode, variant) pair to its prepared-cache slot index.
+func PSlot(mode, variant int) int { return mode + NumPModes*variant }
+
+// Prepared returns the cached prepared form for one cache slot (a mode
+// index, or PSlot(mode, variant) for non-default variants), or nil
 // before the first preparation. A non-nil result with an empty Instrs
 // slice is the preparer's "unpreparable" sentinel: the method
 // permanently executes through the reference switch interpreter.
-func (c *Code) Prepared(mode int) *PCode { return c.prepared[mode].Load() }
+func (c *Code) Prepared(slot int) *PCode { return c.prepared[slot].Load() }
 
-// StorePrepared publishes p as the code's prepared form for one mode
-// index. Preparation is deterministic, so when two scheduler workers
+// StorePrepared publishes p as the code's prepared form for one cache
+// slot. Preparation is deterministic, so when two scheduler workers
 // race the first publisher wins and both use the winning form, which is
 // returned.
-func (c *Code) StorePrepared(mode int, p *PCode) *PCode {
-	if c.prepared[mode].CompareAndSwap(nil, p) {
+func (c *Code) StorePrepared(slot int, p *PCode) *PCode {
+	if c.prepared[slot].CompareAndSwap(nil, p) {
 		return p
 	}
-	return c.prepared[mode].Load()
+	return c.prepared[slot].Load()
 }
 
-// preparedCache is the per-Code cache slot for the quickened forms, one
-// per isolation mode. Clone intentionally does not copy it: a cloned
-// (e.g. poisoned) body must be re-prepared.
-type preparedCache = [NumPModes]atomic.Pointer[PCode]
+// preparedCache is the per-Code cache slot array for the quickened
+// forms, one per (isolation mode, fusion variant) pair. Clone
+// intentionally does not copy it: a cloned (e.g. poisoned) body must be
+// re-prepared.
+type preparedCache = [NumPModes * NumPVariants]atomic.Pointer[PCode]

@@ -120,6 +120,17 @@ func (b *InstrBatch) Note(acc *AccountCounters) {
 	b.n++
 }
 
+// NoteN charges n instructions to acc in one call, exactly as n
+// consecutive Note calls would (the fused/closure tiers use it to retire
+// a whole instruction group's charges at once).
+func (b *InstrBatch) NoteN(acc *AccountCounters, n int64) {
+	if acc != b.acc {
+		b.Flush()
+		b.acc = acc
+	}
+	b.n += n
+}
+
 // Flush publishes the pending charges with one atomic add.
 func (b *InstrBatch) Flush() {
 	if b.acc != nil && b.n != 0 {

@@ -54,6 +54,16 @@ type allocState struct {
 	// (§4.4: collections are attributed to the allocator that forces
 	// them, not to whoever happens to run at the boundary).
 	gcIso *core.Isolate
+	// barrierOn caches heap.BarrierActive for the current quantum, so the
+	// reference-store fast paths read a plain bool instead of an atomic
+	// per store. Refreshed at quantum starts and after sequential
+	// stopped-world sections. Soundness: the barrier is only ever armed
+	// inside a stop-the-world (cycle open), and every mutator passes a
+	// quantum boundary — hence a refresh — before executing again, so the
+	// flag can never be stale-false while a mark phase is open. A
+	// stale-true flag merely records SATB entries the heap drops when no
+	// cycle is active.
+	barrierOn bool
 }
 
 // satbFlushAt bounds the barrier buffer between flush points.
@@ -93,9 +103,10 @@ func (vm *VM) acquireAllocState() *allocState {
 		a := vm.allocFree[n-1]
 		vm.allocFree[n-1] = nil
 		vm.allocFree = vm.allocFree[:n-1]
+		a.barrierOn = vm.heap.BarrierActive()
 		return a
 	}
-	return &allocState{dom: vm.heap.NewDomain()}
+	return &allocState{dom: vm.heap.NewDomain(), barrierOn: vm.heap.BarrierActive()}
 }
 
 // releaseAllocState flushes and recycles a worker's allocation state.

@@ -76,6 +76,13 @@ func (vm *VM) withWorldStopped(fn func()) {
 	}
 	vm.flushSequential()
 	fn()
+	// fn may have armed or disarmed the incremental collector's write
+	// barrier (cycle open/terminate). A mid-quantum sequential safepoint
+	// resumes stepping without passing a quantum start, so the cached
+	// per-quantum flag must be refreshed here (see allocState.barrierOn).
+	if vm.seqAlloc != nil {
+		vm.seqAlloc.barrierOn = vm.heap.BarrierActive()
+	}
 }
 
 func (vm *VM) notifyThreadSpawned(t *Thread) {
@@ -191,17 +198,33 @@ func (vm *VM) RunThreadQuantum(t *Thread, home *core.Isolate, budget int64, stop
 	if s.alloc == nil {
 		s.alloc = vm.acquireAllocState()
 	}
+	// Quantum-start refresh of the cached write-barrier flag: the barrier
+	// is only armed inside a stop-the-world, which this worker's quantum
+	// ends for, so a per-quantum refresh keeps reference-store fast paths
+	// off the atomic (see allocState.barrierOn).
+	s.alloc.barrierOn = vm.heap.BarrierActive()
 	// Install the worker's allocation state on the thread for this
 	// quantum; it is removed (and its byte batch flushed) before the
-	// worker parks, so stop-the-world observers see exact accounts.
+	// worker parks, so stop-the-world observers see exact accounts. The
+	// quantum accountant (qa) lets superinstruction handlers and closure
+	// blocks charge their extra covered instructions with the exact
+	// per-instruction semantics of the loop below (see quantumAcct).
 	t.alloc = s.alloc
-	for res.Instructions < budget && t.State() == StateRunnable {
+	qa := quantumAcct{vm: vm, limit: budget, sample: s, batch: &batch}
+	t.qa = &qa
+	for qa.steps < budget && t.State() == StateRunnable {
 		if stop != nil && stop.Load() {
 			res.Stopped = true
 			break
 		}
+		// Pre-read the mode for the step's fused/closure sub-charges: the
+		// global mode cannot flip while this worker is mid-step (flips
+		// stop the world at step boundaries) except by the step's own
+		// guest/native code, whose trailing instructions the re-read
+		// below charges under the new mode.
+		qa.isolated = vm.world.Isolated()
 		err := vm.stepThread(t)
-		res.Instructions++
+		qa.steps++
 		cur := t.cur
 		// The mode is re-read per step (one more uncontended atomic load
 		// beside the stop flag above) so a worker whose own guest/native
@@ -235,11 +258,14 @@ func (vm *VM) RunThreadQuantum(t *Thread, home *core.Isolate, budget int64, stop
 			break
 		}
 	}
+	res.Instructions = qa.steps
 	t.alloc = nil
+	t.qa = nil
 	batch.Flush()
 	s.alloc.batch.Flush()
 	s.alloc.flushSATB(vm.heap)
 	vm.clock.Add(res.Instructions)
 	vm.totalInstrs.Add(res.Instructions)
+	vm.noteQuantumHeat(t, res.Instructions)
 	return res
 }

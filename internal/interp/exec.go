@@ -2,6 +2,7 @@ package interp
 
 import (
 	"fmt"
+	"unsafe"
 
 	"ijvm/internal/bytecode"
 	"ijvm/internal/classfile"
@@ -37,6 +38,15 @@ func (vm *VM) stepThread(t *Thread) error {
 		pc := f.pc
 		if uint32(pc) >= uint32(len(p.Instrs)) {
 			return p.ErrPC // preformatted at prepare time
+		}
+		// Closure-threaded hot tier: if the frame adopted a compiled
+		// program and a block starts at this pc, run the whole block in
+		// one step (closure.go); pcs without a block head (mid-block
+		// resumes after a deopt bail) fall through to table dispatch.
+		if h := f.hot; h != nil {
+			if b := h.blocks[pc]; b != nil {
+				return vm.runClosureBlock(t, f, b)
+			}
 		}
 		in := &p.Instrs[pc]
 		return vm.ptable[in.H](vm, t, f, in)
@@ -359,8 +369,9 @@ func (vm *VM) execInstr(t *Thread, f *Frame, in bytecode.Instr) error {
 			return vm.Throw(t, ClassNullPointerException, "putfield "+field.QualifiedName())
 		}
 		// SATB write barrier (see handlers.go pPutField); the seed
-		// switch carries the identical store discipline.
-		if sp := &recv.R.Fields[field.Slot]; vm.heap.BarrierActive() {
+		// switch carries the identical store discipline, including the
+		// per-quantum cached barrier flag.
+		if sp := &recv.R.Fields[field.Slot]; vm.barrierOn(t) {
 			vm.gcWriteSlot(t, sp, v)
 		} else {
 			*sp = v
@@ -463,7 +474,7 @@ func (vm *VM) execInstr(t *Thread, f *Frame, in bytecode.Instr) error {
 			return vm.Throw(t, ClassIllegalState, "store to frozen array")
 		}
 		// SATB write barrier (see handlers.go pArrayStore).
-		if sp := &arr.R.Elems[idx.I]; vm.heap.BarrierActive() {
+		if sp := &arr.R.Elems[idx.I]; vm.barrierOn(t) {
 			vm.gcWriteSlot(t, sp, v)
 		} else {
 			*sp = v
@@ -610,7 +621,7 @@ func (vm *VM) invokeEntryIC(t *Thread, f *Frame, entry *classfile.PoolEntry, op 
 				// Dispatch is a pure function of the (immutable) receiver
 				// class, so caching before the call proceeds is sound even
 				// when the call itself faults.
-				ic.Add(args[0].R.Class, resolved)
+				ic.Add(unsafe.Pointer(args[0].R.Class), unsafe.Pointer(resolved))
 			}
 		}
 	}

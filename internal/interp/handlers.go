@@ -2,6 +2,7 @@ package interp
 
 import (
 	"fmt"
+	"unsafe"
 
 	"ijvm/internal/bytecode"
 	"ijvm/internal/classfile"
@@ -129,6 +130,11 @@ func init() {
 	reg(bytecode.OpMonitorEnter, pMonitorEnter)
 	reg(bytecode.OpMonitorExit, pMonitorExit)
 	reg(bytecode.OpAThrow, pAThrow)
+
+	// Superinstruction handlers (fused_handlers.go) are mode-neutral and
+	// live in every table; their delegated finals dispatch through the
+	// VM's live table and so pick up the mode/IC specializations below.
+	registerFusedHandlers(&base)
 
 	for m := range phandlerTables {
 		for ic := range phandlerTables[m] {
@@ -728,10 +734,11 @@ func pPutField(vm *VM, t *Thread, f *Frame, in *bytecode.PInstr) error {
 		}
 		// SATB write barrier: while a mark phase is open, record the
 		// overwritten reference and publish the new one atomically for
-		// concurrent markers. Idle fast path: one atomic load, plain
+		// concurrent markers. Idle fast path: one plain flag load (the
+		// per-quantum cached barrier flag, tier.go barrierOn), plain
 		// store. (Statics and locals need no barrier — root sets are
 		// snapshot copies.)
-		if sp := &recv.R.Fields[slot]; vm.heap.BarrierActive() {
+		if sp := &recv.R.Fields[slot]; vm.barrierOn(t) {
 			vm.gcWriteSlot(t, sp, v)
 		} else {
 			*sp = v
@@ -750,7 +757,7 @@ func pPutField(vm *VM, t *Thread, f *Frame, in *bytecode.PInstr) error {
 	if recv.R == nil {
 		return vm.Throw(t, ClassNullPointerException, "putfield "+field.QualifiedName())
 	}
-	if sp := &recv.R.Fields[field.Slot]; vm.heap.BarrierActive() {
+	if sp := &recv.R.Fields[field.Slot]; vm.barrierOn(t) {
 		vm.gcWriteSlot(t, sp, v)
 	} else {
 		*sp = v
@@ -790,13 +797,14 @@ func pInvokeVirtualIC(vm *VM, t *Thread, f *Frame, in *bytecode.PInstr) error {
 	recv := f.stack[len(f.stack)-nargs]
 	if recv.R != nil {
 		if line := in.IC.Line(); line != nil {
-			if target := line.Lookup(recv.R.Class); target != nil {
-				return vm.invokeResolved(t, f, target.(*classfile.Method), nargs, true, f.pc+1)
-			}
 			if line.Mega {
-				// Terminal state: resolve through the per-class cache with
-				// no further publication attempts.
+				// Terminal state: a megamorphic line holds no entries, so
+				// probing it is a guaranteed miss — resolve through the
+				// per-class cache with no further publication attempts.
 				return vm.invokeEntryIC(t, f, in.Ref.(*classfile.PoolEntry), bytecode.OpInvokeVirtual, f.pc+1, nil)
+			}
+			if target := line.Lookup(unsafe.Pointer(recv.R.Class)); target != nil {
+				return vm.invokeResolved(t, f, (*classfile.Method)(target), nargs, true, f.pc+1)
 			}
 		}
 	}
@@ -977,7 +985,7 @@ func pArrayStore(vm *VM, t *Thread, f *Frame, in *bytecode.PInstr) error {
 		return vm.Throw(t, ClassIllegalState, "store to frozen array")
 	}
 	// SATB write barrier, as in pPutField.
-	if sp := &arr.R.Elems[idx.I]; vm.heap.BarrierActive() {
+	if sp := &arr.R.Elems[idx.I]; vm.barrierOn(t) {
 		vm.gcWriteSlot(t, sp, v)
 	} else {
 		*sp = v

@@ -295,6 +295,13 @@ func (vm *VM) pushFrame(t *Thread, m *classfile.Method, args []heap.Value, isoOv
 	f.method = m
 	f.iso = frameIso
 	f.pcode = pcode
+	if pcode != nil {
+		// Tier heat: count the activation and adopt (or build) the
+		// closure-threaded program once the body crosses the promotion
+		// threshold. Steady state for an already-hot method is one atomic
+		// load (the published program).
+		vm.noteActivation(f, m, pcode)
+	}
 	f.callerIso = callerIso
 	f.needsMonitor = mon
 	if mon != nil {

@@ -27,10 +27,11 @@ import (
 // objects retained then dropped by the main isolate), and string
 // interning under GC pressure (Ldc identity must survive collections).
 //
-// Every program is replayed under {prepared+IC, seed switch} ×
-// {Shared, Isolated} × {forced-STW, incremental (pressure-only),
-// incremental (paced: threshold-opened cycles whose mark strides
-// interleave with mutator quanta under an armed barrier)}:
+// Every program is replayed under {prepared+IC (fused superinstructions),
+// closure-threaded hot tier, seed switch} × {Shared, Isolated} ×
+// {forced-STW, incremental (pressure-only), incremental (paced:
+// threshold-opened cycles whose mark strides interleave with mutator
+// quanta under an armed barrier)}:
 //
 //   - forced-STW vs incremental-pressure-only must be byte-identical on
 //     EVERYTHING, including GCActivations: pressure collections are
@@ -394,6 +395,38 @@ func oraclePeerClasses() []*classfile.Class {
 	}
 }
 
+// oracleDispatch selects the execution engine of one run. All three must
+// produce byte-identical traces: instruction totals, clock, CPU samples,
+// per-isolate byte accounts, GC activations and post-GC reachability —
+// the fused superinstructions and the closure-threaded tier charge every
+// covered instruction exactly as the seed switch retires it.
+type oracleDispatch int
+
+const (
+	// dispSeed is the reference: the unquickened checked switch
+	// interpreter (DisablePrepare).
+	dispSeed oracleDispatch = iota
+	// dispPrepared is the quickened, inline-cached, superinstruction-fused
+	// table interpreter (the production default; the closure tier stays
+	// cold because the oracle programs never reach the promotion heat).
+	dispPrepared
+	// dispClosure forces every prepared method hot on first activation
+	// (TierPromoteThreshold 1), so the whole program executes through
+	// closure-threaded blocks with fused/table fallbacks at quantum
+	// boundaries, deopt shapes (exceptions inside fused regions, caught
+	// and uncaught) and delegated finals.
+	dispClosure
+)
+
+func (d oracleDispatch) apply(o *interp.Options) {
+	switch d {
+	case dispSeed:
+		o.DisablePrepare = true
+	case dispClosure:
+		o.TierPromoteThreshold = 1
+	}
+}
+
 // oracleGC selects the collector configuration of one run.
 type oracleGC int
 
@@ -484,7 +517,7 @@ func (a oracleTrace) diff(b oracleTrace) string {
 }
 
 // runOracleProgram materializes and executes p under one configuration.
-func runOracleProgram(t *testing.T, p oracleProgram, mode core.Mode, seedDispatch bool, gc oracleGC) oracleTrace {
+func runOracleProgram(t *testing.T, p oracleProgram, mode core.Mode, disp oracleDispatch, gc oracleGC) oracleTrace {
 	t.Helper()
 	// The small heap limit makes the alloc/array-churn fragments hit
 	// GC-on-pressure collections mid-run (and, under the paced config,
@@ -493,14 +526,15 @@ func runOracleProgram(t *testing.T, p oracleProgram, mode core.Mode, seedDispatc
 	// reachability identical across dispatch and collector
 	// configurations.
 	forceSTW, pct, stride := gc.options()
-	vm := interp.NewVM(interp.Options{
+	opts := interp.Options{
 		Mode:               mode,
-		DisablePrepare:     seedDispatch,
 		HeapLimit:          32 << 10,
 		ForceSTWGC:         forceSTW,
 		GCThresholdPercent: pct,
 		GCMarkStride:       stride,
-	})
+	}
+	disp.apply(&opts)
+	vm := interp.NewVM(opts)
 	syslib.MustInstall(vm)
 	iso, err := vm.NewIsolate("main")
 	if err != nil {
@@ -534,7 +568,7 @@ func runOracleProgram(t *testing.T, p oracleProgram, mode core.Mode, seedDispatc
 	arg := p.seed % 97
 	v, th, err := vm.CallRoot(iso, m, []heap.Value{heap.IntVal(arg)}, 5_000_000)
 	if err != nil {
-		t.Fatalf("seed %d mode %v seedDispatch %v gc %d: host error: %v", p.seed, mode, seedDispatch, gc, err)
+		t.Fatalf("seed %d mode %v dispatch %d gc %d: host error: %v", p.seed, mode, disp, gc, err)
 	}
 	// The terminal collection is exact under every configuration
 	// (heap.Collect abandons an open cycle), so the post-GC live
@@ -562,13 +596,14 @@ func runOracleProgram(t *testing.T, p oracleProgram, mode core.Mode, seedDispatc
 }
 
 // TestRandomizedDifferentialOracle replays >= 500 generated programs
-// across {prepared+IC, seed switch} × {Shared, Isolated} ×
-// {forced-STW, incremental-pressure, incremental-paced} and demands:
+// across {seed switch, prepared+IC+fusion, closure-threaded} ×
+// {Shared, Isolated} × {forced-STW, incremental-pressure,
+// incremental-paced} and demands:
 //
 //   - byte-identical traces (GCActivations included) between the
-//     forced-STW reference and both dispatch engines under the
+//     forced-STW reference and all three dispatch engines under the
 //     pressure-only incremental collector;
-//   - byte-identical traces between the two dispatch engines under the
+//   - byte-identical traces between the three dispatch engines under the
 //     paced incremental collector (its GC schedule is deterministic at
 //     quantum boundaries);
 //   - byte-identical everything-but-GCActivations between the paced
@@ -587,23 +622,26 @@ func TestRandomizedDifferentialOracle(t *testing.T) {
 		seed := int64(i)*2654435761 + 99991
 		p := genOracleProgram(seed)
 		for _, mode := range []core.Mode{core.ModeShared, core.ModeIsolated} {
-			ref := runOracleProgram(t, p, mode, true, gcForcedSTW)
-			if d := ref.diff(runOracleProgram(t, p, mode, false, gcForcedSTW)); d != "" {
-				t.Fatalf("program %d (seed %d) mode %v STW: prepared-IC diverges from seed dispatch: %s",
-					i, seed, mode, d)
-			}
-			for _, seedDispatch := range []bool{true, false} {
-				got := runOracleProgram(t, p, mode, seedDispatch, gcIncPressure)
-				if d := ref.diff(got); d != "" {
-					t.Fatalf("program %d (seed %d) mode %v seed=%v: incremental(pressure) diverges from forced-STW: %s",
-						i, seed, mode, seedDispatch, d)
+			ref := runOracleProgram(t, p, mode, dispSeed, gcForcedSTW)
+			for _, disp := range []oracleDispatch{dispPrepared, dispClosure} {
+				if d := ref.diff(runOracleProgram(t, p, mode, disp, gcForcedSTW)); d != "" {
+					t.Fatalf("program %d (seed %d) mode %v STW: dispatch %d diverges from seed dispatch: %s",
+						i, seed, mode, disp, d)
 				}
 			}
-			pacedSeed := runOracleProgram(t, p, mode, true, gcIncPaced)
-			pacedPrep := runOracleProgram(t, p, mode, false, gcIncPaced)
-			if d := pacedSeed.diff(pacedPrep); d != "" {
-				t.Fatalf("program %d (seed %d) mode %v paced: prepared-IC diverges from seed dispatch: %s",
-					i, seed, mode, d)
+			for _, disp := range []oracleDispatch{dispSeed, dispPrepared, dispClosure} {
+				got := runOracleProgram(t, p, mode, disp, gcIncPressure)
+				if d := ref.diff(got); d != "" {
+					t.Fatalf("program %d (seed %d) mode %v dispatch %d: incremental(pressure) diverges from forced-STW: %s",
+						i, seed, mode, disp, d)
+				}
+			}
+			pacedSeed := runOracleProgram(t, p, mode, dispSeed, gcIncPaced)
+			for _, disp := range []oracleDispatch{dispPrepared, dispClosure} {
+				if d := pacedSeed.diff(runOracleProgram(t, p, mode, disp, gcIncPaced)); d != "" {
+					t.Fatalf("program %d (seed %d) mode %v paced: dispatch %d diverges from seed dispatch: %s",
+						i, seed, mode, disp, d)
+				}
 			}
 			if d := ref.maskGCActivations().diff(pacedSeed.maskGCActivations()); d != "" {
 				t.Fatalf("program %d (seed %d) mode %v: incremental(paced) diverges from forced-STW beyond GCActivations: %s",

@@ -134,6 +134,145 @@ func TestSetIsolationModeRequickens(t *testing.T) {
 	}
 }
 
+// TestRequickenStormAgainstHotTier storms SetIsolationMode against
+// superinstruction-fused, closure-promoted code: a hot loop (promoted on
+// first activation via TierPromoteThreshold 1) is advanced in small,
+// odd-sized budget slices, flipping the isolation mode between every
+// slice. Quantum boundaries land at every offset of the fused groups —
+// including single-stepped heads (budget-exhausted bails) and delegated
+// finals — so a flip observing a partially-applied stack effect, a
+// stale closure program surviving deopt, or a mis-carried pc inside a
+// fused region would corrupt the final total.
+func TestRequickenStormAgainstHotTier(t *testing.T) {
+	vm := interp.NewVM(interp.Options{Mode: core.ModeShared, TierPromoteThreshold: 1})
+	syslib.MustInstall(vm)
+	iso, err := vm.NewIsolate("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := iso.Loader().DefineAll(requickenClasses()); err != nil {
+		t.Fatal(err)
+	}
+	c, _ := iso.Loader().Lookup("rq/Driver")
+	m, err := c.LookupMethod("run", "(I)I")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const iters = 4000
+	th, err := vm.SpawnThread("storm", iso, m, []heap.Value{heap.IntVal(iters)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Prime/co-prime budgets walk the quantum boundary through every
+	// fused-group offset as the storm progresses.
+	budgets := []int64{1, 2, 3, 5, 7, 11, 13, 17, 101, 997}
+	modes := []core.Mode{core.ModeIsolated, core.ModeShared}
+	flips := 0
+	for i := 0; !th.Done(); i++ {
+		vm.RunUntil(th, budgets[i%len(budgets)])
+		if th.Done() {
+			break
+		}
+		if err := vm.SetIsolationMode(modes[flips%len(modes)]); err != nil {
+			t.Fatalf("flip %d: %v", flips, err)
+		}
+		flips++
+	}
+	if th.Failure() != nil || th.Err() != nil {
+		t.Fatalf("storm run failed: %v / %v", th.FailureString(), th.Err())
+	}
+	if th.Result().I != iters {
+		t.Fatalf("storm total = %d, want %d", th.Result().I, iters)
+	}
+	if flips < 10 {
+		t.Fatalf("only %d mode flips; the storm never interleaved", flips)
+	}
+
+	// The storm must actually have run against the tier under test: both
+	// mode quickenings carry fused superinstruction heads, and the hot
+	// loop body was promoted to the closure tier.
+	for _, pm := range []int{bytecode.PModeShared, bytecode.PModeIsolated} {
+		p := m.Code.Prepared(bytecode.PSlot(pm, bytecode.PVariantFused))
+		if p == nil {
+			t.Fatalf("mode %d quickening missing after storm", pm)
+		}
+		fused := 0
+		for i := range p.Instrs {
+			if bytecode.IsFused(p.Instrs[i].H) {
+				fused++
+			}
+		}
+		if fused == 0 {
+			t.Fatalf("mode %d quickening has no fused superinstructions", pm)
+		}
+		if p.Tier.Hot() == nil {
+			t.Fatalf("mode %d quickening was never promoted to the closure tier", pm)
+		}
+	}
+}
+
+// TestKillStormAgainstHotTier kills an isolate while its hot,
+// closure-promoted, fused loop is mid-flight at an arbitrary quantum
+// boundary, and proves termination semantics are unchanged by the hot
+// tier: the victim thread dies with StoppedIsolateException-style
+// failure (killed code never runs again), while a second isolate's
+// identical hot loop still computes the exact total afterwards.
+func TestKillStormAgainstHotTier(t *testing.T) {
+	for _, budget := range []int64{7, 101, 1009} {
+		vm := interp.NewVM(interp.Options{Mode: core.ModeIsolated, TierPromoteThreshold: 1})
+		syslib.MustInstall(vm)
+		if _, err := vm.NewIsolate("platform"); err != nil { // Isolate0: unkillable
+			t.Fatal(err)
+		}
+		victimIso, err := vm.NewIsolate("victim")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := victimIso.Loader().DefineAll(requickenClasses()); err != nil {
+			t.Fatal(err)
+		}
+		c, _ := victimIso.Loader().Lookup("rq/Driver")
+		m, _ := c.LookupMethod("run", "(I)I")
+		th, err := vm.SpawnThread("victim", victimIso, m, []heap.Value{heap.IntVal(100000)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		vm.RunUntil(th, budget) // park the hot loop mid-flight
+		if th.Done() {
+			t.Fatalf("budget %d: victim finished before the kill", budget)
+		}
+		if err := vm.KillIsolate(nil, victimIso); err != nil {
+			t.Fatalf("budget %d: kill: %v", budget, err)
+		}
+		res := vm.RunUntil(th, 0)
+		if !th.Done() {
+			t.Fatalf("budget %d: victim still live after kill: %+v", budget, res)
+		}
+		if th.Failure() == nil && th.Err() == nil {
+			t.Fatalf("budget %d: killed thread finished cleanly with %d", budget, th.Result().I)
+		}
+
+		// A fresh isolate's hot loop is unaffected by the carnage.
+		iso2, err := vm.NewIsolate("survivor")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := iso2.Loader().DefineAll(requickenClasses()); err != nil {
+			t.Fatal(err)
+		}
+		c2, _ := iso2.Loader().Lookup("rq/Driver")
+		m2, _ := c2.LookupMethod("run", "(I)I")
+		v, th2, err := vm.CallRoot(iso2, m2, []heap.Value{heap.IntVal(123)}, 1_000_000)
+		if err != nil || th2.Failure() != nil {
+			t.Fatalf("budget %d: survivor run: %v / %v", budget, err, th2.FailureString())
+		}
+		if v.I != 123 {
+			t.Fatalf("budget %d: survivor total = %d, want 123", budget, v.I)
+		}
+	}
+}
+
 // TestSetIsolationModeSharedDowngrade covers the legal reverse flip: a
 // single-isolate Isolated VM may downgrade to Shared semantics.
 func TestSetIsolationModeSharedDowngrade(t *testing.T) {

@@ -113,25 +113,33 @@ func (vm *VM) run(budget int64, target *Thread) RunResult {
 // between quanta — charges every instruction under the mode it actually
 // executed in without re-reading the atomic mode per step.
 func (vm *VM) runQuantum(t *Thread, quantum int64, target *Thread) int64 {
-	isolated := vm.world.Isolated()
 	if vm.seqAlloc == nil {
 		vm.seqAlloc = vm.acquireAllocState()
 	}
+	// Quantum-start refresh of the cached write-barrier flag: arming only
+	// happens inside a stop-the-world, so a per-quantum refresh keeps the
+	// per-store fast path a plain bool read (see allocState.barrierOn).
+	vm.seqAlloc.barrierOn = vm.heap.BarrierActive()
 	// Install the sequential engine's allocation state for the quantum;
 	// allocation inside the steps below goes through its shard-local
-	// domain with batched byte accounting.
+	// domain with batched byte accounting. The quantum accountant (qa)
+	// rides alongside: superinstruction handlers and closure blocks charge
+	// their extra covered instructions through it, so fused execution
+	// keeps per-instruction-exact budgets, clock ticks, per-isolate
+	// counters and CPU samples (see quantumAcct).
 	t.alloc = vm.seqAlloc
-	defer func() { t.alloc = nil }()
-	var n int64
-	for n < quantum && t.State() == StateRunnable {
+	qa := quantumAcct{vm: vm, limit: quantum, isolated: vm.world.Isolated(), seq: true}
+	t.qa = &qa
+	defer func() { t.alloc = nil; t.qa = nil }()
+	for qa.steps < quantum && t.State() == StateRunnable {
 		err := vm.stepThread(t)
-		n++
+		qa.steps++
 		vm.seqPending++
 		if vm.seqModeFlip {
 			vm.seqModeFlip = false
-			isolated = vm.world.Isolated()
+			qa.isolated = vm.world.Isolated()
 		}
-		if isolated {
+		if qa.isolated {
 			cur := t.cur
 			vm.seqBatch.Note(cur.Account())
 			vm.instrSinceSample++
@@ -151,7 +159,9 @@ func (vm *VM) runQuantum(t *Thread, quantum int64, target *Thread) int64 {
 			break
 		}
 	}
+	n := qa.steps
 	vm.flushSequential()
+	vm.noteQuantumHeat(t, n)
 	return n
 }
 

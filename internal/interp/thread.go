@@ -82,6 +82,12 @@ type Frame struct {
 	// the reference switch interpreter in exec.go.
 	pcode *bytecode.PCode
 
+	// hot is the adopted closure-threaded program for pcode (closure.go),
+	// nil while the frame executes through the handler table. Owned by
+	// the executing goroutine; cleared on re-quickening (the program is
+	// bound to one prepared form's caches).
+	hot *closureProgram
+
 	locals []heap.Value
 	stack  []heap.Value
 	pc     int32
@@ -249,6 +255,12 @@ type Thread struct {
 	// allocation (InterruptThread's exception) must use the host path
 	// instead.
 	alloc *allocState
+
+	// qa is the owning engine loop's quantum accounting state (tier.go),
+	// installed for the duration of a quantum and nil otherwise; fused
+	// and closure-tier handlers reserve and charge their inlined
+	// sub-instructions through it. Same ownership contract as alloc.
+	qa *quantumAcct
 
 	// pendingArgs is the in-flight invocation argument window between
 	// the caller's stack truncation and the callee's locals copy (or the

@@ -91,6 +91,18 @@ type Options struct {
 	// engine performs per quantum boundary while a cycle is open. 0
 	// selects 256.
 	GCMarkStride int
+	// DisableFusion turns the preparation-time superinstruction pass off:
+	// prepared bodies keep one handler per bytecode. Used as the ablation
+	// baseline of the BenchmarkTier_* microbenchmarks and as an escape
+	// hatch. Fused and unfused forms occupy distinct prepared-cache slots,
+	// so VMs with different settings share method bodies safely.
+	DisableFusion bool
+	// TierPromoteThreshold is the heat (activations plus quantum-resident
+	// instructions) at which a prepared method body is promoted to the
+	// closure-threaded hot tier. 0 selects 2048; negative disables the
+	// tier entirely; 1 promotes on first activation (the dispatch oracle's
+	// closure leg uses this to force every method hot).
+	TierPromoteThreshold int
 }
 
 func (o *Options) normalize() {
@@ -114,6 +126,9 @@ func (o *Options) normalize() {
 	}
 	if o.GCMarkStride <= 0 {
 		o.GCMarkStride = 256
+	}
+	if o.TierPromoteThreshold == 0 {
+		o.TierPromoteThreshold = 2048
 	}
 }
 
