@@ -659,6 +659,19 @@ func TestEmitInterpBench(t *testing.T) {
 	type internCurve struct {
 		LdcHotMinstrS float64 `json:"ldc_hot_minstr_s"` // 8 Ldc sites on the lock-free CoW pool read path
 	}
+	type serveCurve struct {
+		ColdSpawnP50Us       float64 `json:"cold_spawn_p50_us"` // class load + link + heavy <clinit> per tenant
+		ColdSpawnP99Us       float64 `json:"cold_spawn_p99_us"`
+		CloneSpawnP50Us      float64 `json:"clone_spawn_p50_us"` // CoW clone from warmed snapshot
+		CloneSpawnP99Us      float64 `json:"clone_spawn_p99_us"`
+		RecycledSpawnP50Us   float64 `json:"recycled_spawn_p50_us"` // clone + isolate/loader slot reuse
+		RecycledSpawnP99Us   float64 `json:"recycled_spawn_p99_us"`
+		ColdServesPerSec     float64 `json:"cold_serves_per_sec"`
+		CloneServesPerSec    float64 `json:"clone_serves_per_sec"`
+		RecycledServesPerSec float64 `json:"recycled_serves_per_sec"`
+		RecycledSlots        int     `json:"recycled_slots"`
+		CloneVsColdP99       float64 `json:"clone_vs_cold_p99_speedup"`
+	}
 	type rpcCurve struct {
 		SerialCallsS      float64 `json:"serial_calls_s"` // seed SerialLink: one server goroutine, whole-link mutex, 4 convoying callers
 		SyncCallsS        float64 `json:"sync_calls_s"`   // async layer driven blocking (Call = CallAsync + Wait)
@@ -822,6 +835,23 @@ func TestEmitInterpBench(t *testing.T) {
 	if rpcPipe < 2*rpcSerial {
 		t.Errorf("pipelined %f calls/s is below 2x serial %f calls/s", rpcPipe, rpcSerial)
 	}
+	serveCold, err := measureServe(workloads.GatewayCold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveClone, err := measureServe(workloads.GatewayClone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveRecycled, err := measureServe(workloads.GatewayRecycled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cloneSpeedup := float64(serveCold.SpawnP99) / float64(serveClone.SpawnP99)
+	if cloneSpeedup < 10 {
+		t.Errorf("clone spawn p99 speedup %.1fx is below the 10x acceptance bar (cold %v, clone %v)",
+			cloneSpeedup, serveCold.SpawnP99, serveClone.SpawnP99)
+	}
 	report := struct {
 		Workload   string       `json:"workload"`
 		Host       string       `json:"host"`
@@ -834,6 +864,7 @@ func TestEmitInterpBench(t *testing.T) {
 		Tier       tierCurve    `json:"tier_microbench"`
 		GC         gcCurve      `json:"gc_microbench"`
 		Intern     internCurve  `json:"intern_microbench"`
+		Serve      serveCurve   `json:"serve_microbench"`
 		RPC        rpcCurve     `json:"rpc_microbench"`
 	}{
 		Workload: "BenchmarkScheduler_*: 8 isolates x 200k-iteration spin loops; BenchmarkInvoke_*: one hot invokevirtual site over k receiver classes; " +
@@ -842,7 +873,8 @@ func TestEmitInterpBench(t *testing.T) {
 			"BenchmarkTier_*: hot arithmetic loop across the four dispatch tiers (seed switch, quickened table, superinstruction-fused, closure-threaded); " +
 			"BenchmarkGC_*: 20k-object pinned live graph — full-STW pause vs incremental terminal pause, and store-heavy mutator throughput with/without an open mark phase; " +
 			"BenchmarkIntern_*: 8-site Ldc loop on the lock-free interned-string pool; " +
-			"BenchmarkRPC_*: 4 concurrent callers x 200 inter-isolate calls (seed serialized link vs async hub: blocking, pipelined, deep-copy vs zero-copy payloads) plus the 3x3 microservice-mesh fan-out under tenant churn",
+			"BenchmarkRPC_*: 4 concurrent callers x 200 inter-isolate calls (seed serialized link vs async hub: blocking, pipelined, deep-copy vs zero-copy payloads) plus the 3x3 microservice-mesh fan-out under tenant churn; " +
+			"BenchmarkServe_*: 64 sequential tenant sessions (spawn/serve/kill churn) — cold class-load spawns vs warmed-snapshot CoW clones vs pool-recycled isolate slots",
 		Host: fmt.Sprintf("%s/%s, GOMAXPROCS=%d", runtime.GOOS, runtime.GOARCH, runtime.GOMAXPROCS(0)),
 		HostCaveat: "1-CPU CI container: concurrent-engine numbers measure scheduler overhead only, and the " +
 			"BenchmarkAlloc_* contended-global convoy is reproduced with GOMAXPROCS=6 OS threads on one core — " +
@@ -888,6 +920,19 @@ func TestEmitInterpBench(t *testing.T) {
 			BarrierTaxPercent:     (1 - mutMark/mutIdle) * 100,
 		},
 		Intern: internCurve{LdcHotMinstrS: internBest},
+		Serve: serveCurve{
+			ColdSpawnP50Us:       float64(serveCold.SpawnP50.Nanoseconds()) / 1e3,
+			ColdSpawnP99Us:       float64(serveCold.SpawnP99.Nanoseconds()) / 1e3,
+			CloneSpawnP50Us:      float64(serveClone.SpawnP50.Nanoseconds()) / 1e3,
+			CloneSpawnP99Us:      float64(serveClone.SpawnP99.Nanoseconds()) / 1e3,
+			RecycledSpawnP50Us:   float64(serveRecycled.SpawnP50.Nanoseconds()) / 1e3,
+			RecycledSpawnP99Us:   float64(serveRecycled.SpawnP99.Nanoseconds()) / 1e3,
+			ColdServesPerSec:     serveCold.ServesPerSec,
+			CloneServesPerSec:    serveClone.ServesPerSec,
+			RecycledServesPerSec: serveRecycled.ServesPerSec,
+			RecycledSlots:        serveRecycled.RecycledIDs,
+			CloneVsColdP99:       cloneSpeedup,
+		},
 		RPC: rpcCurve{
 			SerialCallsS:      rpcSerial,
 			SyncCallsS:        rpcSync,
@@ -2198,3 +2243,46 @@ func benchQoS(b *testing.B, roundRobin bool) {
 
 func BenchmarkQoS_SLOProportionalGoverned(b *testing.B) { benchQoS(b, false) }
 func BenchmarkQoS_SLORoundRobin(b *testing.B)           { benchQoS(b, true) }
+
+// --- Gateway serving (warmed-isolate snapshots) ------------------------------
+
+// benchServe runs one gateway serving run per op: sequential tenant
+// sessions provisioned cold (class load + heavy <clinit>), cloned from a
+// warmed snapshot, or recycled through the isolate free pool, with
+// kill/sweep churn between sessions.
+func benchServe(b *testing.B, mode workloads.GatewayMode) {
+	var last workloads.GatewayResult
+	for i := 0; i < b.N; i++ {
+		res, err := workloads.RunGateway(workloads.GatewayConfig{
+			Mode: mode, Sessions: 16, Requests: 8, HeapLimit: 64 << 20,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.ReportMetric(float64(last.SpawnP99.Nanoseconds())/1e3, "spawn-p99-us")
+	b.ReportMetric(last.ServesPerSec, "serves/s")
+}
+
+func BenchmarkServe_ColdSpawn(b *testing.B)     { benchServe(b, workloads.GatewayCold) }
+func BenchmarkServe_CloneSpawn(b *testing.B)    { benchServe(b, workloads.GatewayClone) }
+func BenchmarkServe_RecycledSpawn(b *testing.B) { benchServe(b, workloads.GatewayRecycled) }
+
+// measureServe runs the gateway serving workload at the benchtable size
+// and keeps the run with the best spawn p99 (used by TestEmitInterpBench).
+func measureServe(mode workloads.GatewayMode) (workloads.GatewayResult, error) {
+	var best workloads.GatewayResult
+	for i := 0; i < 3; i++ {
+		res, err := workloads.RunGateway(workloads.GatewayConfig{
+			Mode: mode, Sessions: 64, Requests: 16, HeapLimit: 64 << 20,
+		})
+		if err != nil {
+			return best, err
+		}
+		if i == 0 || res.SpawnP99 < best.SpawnP99 {
+			best = res
+		}
+	}
+	return best, nil
+}

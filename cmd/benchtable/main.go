@@ -46,15 +46,16 @@ func run(argv []string) error {
 	f3 := fs.Bool("fig3", false, "Figure 3: OSGi memory consumption")
 	lim := fs.Bool("limits", false, "§4.4 accounting-precision experiments")
 	qos := fs.Bool("qos", false, "scheduler QoS: adversarial SLO legs (tail latency under attack)")
+	serve := fs.Bool("serve", false, "gateway serving density: cold vs clone vs recycled tenant spawns")
 	all := fs.Bool("all", false, "run everything")
 	reps := fs.Int("reps", 5, "repetitions per measurement (median reported)")
 	if err := fs.Parse(argv); err != nil {
 		return err
 	}
 	if *all {
-		*t1, *f1, *f2, *f3, *lim, *qos = true, true, true, true, true, true
+		*t1, *f1, *f2, *f3, *lim, *qos, *serve = true, true, true, true, true, true, true
 	}
-	if !*t1 && !*f1 && !*f2 && !*f3 && !*lim && !*qos {
+	if !*t1 && !*f1 && !*f2 && !*f3 && !*lim && !*qos && !*serve {
 		fs.Usage()
 		return fmt.Errorf("select at least one table/figure")
 	}
@@ -85,6 +86,11 @@ func run(argv []string) error {
 	}
 	if *qos {
 		if err := qosTable(); err != nil {
+			return err
+		}
+	}
+	if *serve {
+		if err := serveTable(); err != nil {
 			return err
 		}
 	}
@@ -382,6 +388,47 @@ func limitsTable() error {
 	fmt.Printf("  3. Large object returned by a service and retained by its caller:\n")
 	fmt.Printf("     service charged %d bytes, caller charged %d bytes (paper: charged to the callers)\n\n",
 		svcBytes, drvBytes)
+	return nil
+}
+
+// --- Gateway serving density ------------------------------------------------------
+
+// serveTable runs the high-density gateway serving benchmark: sequential
+// tenant sessions (spawn, serve, kill) provisioned cold (full class load +
+// <clinit>), from a warmed-isolate snapshot (copy-on-write clone), or
+// through the isolate-recycling pool. The acceptance criterion is about
+// the spawn-latency ratio: clone p99 must beat cold p99 by an order of
+// magnitude.
+func serveTable() error {
+	fmt.Println("Gateway serving density: tenant spawn latency and steady-state throughput")
+	fmt.Println("(64 sequential sessions x 16 serves; spawn = provisioning to first request ready)")
+	fmt.Println()
+	fmt.Printf("  %-9s %12s %12s %12s %12s %10s %8s\n",
+		"mode", "spawn p50", "spawn p99", "spawn max", "serves/sec", "recycled", "gcs")
+	var coldP99, cloneP99 time.Duration
+	for _, mode := range []workloads.GatewayMode{
+		workloads.GatewayCold, workloads.GatewayClone, workloads.GatewayRecycled,
+	} {
+		res, err := workloads.RunGateway(workloads.GatewayConfig{
+			Mode: mode, Sessions: 64, Requests: 16, HeapLimit: 64 << 20,
+		})
+		if err != nil {
+			return err
+		}
+		switch mode {
+		case workloads.GatewayCold:
+			coldP99 = res.SpawnP99
+		case workloads.GatewayClone:
+			cloneP99 = res.SpawnP99
+		}
+		fmt.Printf("  %-9s %12s %12s %12s %12.0f %10d %8d\n",
+			res.Mode, res.SpawnP50, res.SpawnP99, res.SpawnMax,
+			res.ServesPerSec, res.RecycledIDs, res.GCs)
+	}
+	if cloneP99 > 0 {
+		fmt.Printf("\n  clone vs cold spawn p99 speedup: %.1fx\n\n",
+			float64(coldP99)/float64(cloneP99))
+	}
 	return nil
 }
 

@@ -95,6 +95,30 @@ func (a *AccountCounters) Numbers() Account {
 	}
 }
 
+// Seed overwrites every counter with the values in v. The snapshot-clone
+// path uses it to make a freshly materialized isolate's account
+// byte-identical to the warmed template's at capture time (the clone never
+// executed the warm-up instructions itself, but must be indistinguishable
+// from a cold start that did); the recycling path seeds the zero Account
+// so a reused isolate ID starts with a clean slate. Stores are plain
+// atomics: callers seed only while the isolate runs no guest code.
+func (a *AccountCounters) Seed(v Account) {
+	a.CPUSamples.Store(v.CPUSamples)
+	a.Instructions.Store(v.Instructions)
+	a.ThreadsCreated.Store(v.ThreadsCreated)
+	a.ThreadsLive.Store(v.ThreadsLive)
+	a.SleepingThreads.Store(v.SleepingThreads)
+	a.GCActivations.Store(v.GCActivations)
+	a.IOBytesRead.Store(v.IOBytesRead)
+	a.IOBytesWritten.Store(v.IOBytesWritten)
+	a.ConnectionsOpened.Store(v.ConnectionsOpened)
+	a.InterBundleCallsIn.Store(v.InterBundleCallsIn)
+	a.InterBundleCallsOut.Store(v.InterBundleCallsOut)
+	a.CPUTicks.Store(v.CPUTicks)
+	a.FinalizersRun.Store(v.FinalizersRun)
+	a.RPCSaturated.Store(v.RPCSaturated)
+}
+
 // InstrBatch accumulates instruction charges for one isolate in a plain
 // local counter and publishes them with a single atomic add when the
 // charged isolate changes or a quantum/safepoint boundary flushes the

@@ -130,6 +130,10 @@ type Isolate struct {
 	// literal.
 	stringsMu sync.Mutex
 	strings   atomic.Pointer[map[string]*heap.Object]
+
+	// recycled flips once when FreeIsolate returns the isolate's ID to the
+	// World's free-list; the CAS guards against double-free.
+	recycled atomic.Bool
 }
 
 // ID returns the isolate's accounting ID (0 for Isolate0).
@@ -199,6 +203,29 @@ func (iso *Isolate) StringPoolRoots(roots []*heap.Object) []*heap.Object {
 		roots = append(roots, obj)
 	}
 	return roots
+}
+
+// StringPoolSnapshot returns the isolate's current interned-string map.
+// The map is a copy-on-write snapshot and must not be mutated; the
+// snapshot-clone path captures it so clones share the template's canonical
+// string objects (guest == across a clone and its template pool is
+// intentionally preserved — interned strings are immutable).
+func (iso *Isolate) StringPoolSnapshot() map[string]*heap.Object {
+	return *iso.strings.Load()
+}
+
+// AdoptStringPool replaces the isolate's interned-string pool with pool
+// (as captured by StringPoolSnapshot; nil resets to an empty pool). The
+// isolate's own pool keeps growing copy-on-write from this base, so the
+// adopted map is never mutated. Callers adopt only while the isolate runs
+// no guest code.
+func (iso *Isolate) AdoptStringPool(pool map[string]*heap.Object) {
+	iso.stringsMu.Lock()
+	defer iso.stringsMu.Unlock()
+	if pool == nil {
+		pool = map[string]*heap.Object{}
+	}
+	iso.strings.Store(&pool)
 }
 
 // NumInternedStrings returns the size of the isolate's string pool.

@@ -74,6 +74,12 @@ type World struct {
 	isolates      []*Isolate
 	byLoaderID    map[int]*Isolate
 	byLoaderSlice []*Isolate
+	// freeIDs is the isolate-recycling free-list: accounting IDs of
+	// disposed isolates returned by FreeIsolate, reused LIFO by NewIsolate
+	// so long-running gateways with tenant churn keep the isolate table,
+	// mirror columns and heap counter arrays dense instead of growing
+	// without bound.
+	freeIDs []heap.IsolateID
 
 	mirrorMu sync.Mutex
 	mirrors  atomic.Pointer[mirrorTable]
@@ -135,8 +141,15 @@ func (w *World) NewIsolate(name string, l *loader.Loader) (*Isolate, error) {
 	if w.Mode() == ModeShared && len(w.isolates) > 0 {
 		return nil, errors.New("core: shared mode supports a single isolate")
 	}
+	id := heap.IsolateID(len(w.isolates))
+	reused := false
+	if n := len(w.freeIDs); n > 0 {
+		id = w.freeIDs[n-1]
+		w.freeIDs = w.freeIDs[:n-1]
+		reused = true
+	}
 	iso := &Isolate{
-		id:     heap.IsolateID(len(w.isolates)),
+		id:     id,
 		name:   name,
 		loader: l,
 	}
@@ -146,7 +159,11 @@ func (w *World) NewIsolate(name string, l *loader.Loader) (*Isolate, error) {
 	if iso.id == 0 {
 		iso.rights = AllRights
 	}
-	w.isolates = append(w.isolates, iso)
+	if reused {
+		w.isolates[id] = iso
+	} else {
+		w.isolates = append(w.isolates, iso)
+	}
 	w.byLoaderID[l.ID()] = iso
 	for len(w.byLoaderSlice) <= l.ID() {
 		w.byLoaderSlice = append(w.byLoaderSlice, nil)
@@ -293,6 +310,156 @@ func (w *World) MirrorIfPresent(c *classfile.Class, iso *Isolate) *TaskClassMirr
 		return nil
 	}
 	return row[idx]
+}
+
+// MirrorEntry pairs a class with one isolate's mirror for it, as returned
+// by MirrorEntries.
+type MirrorEntry struct {
+	Class  *classfile.Class
+	Mirror *TaskClassMirror
+}
+
+// MirrorEntries returns every existing (class, mirror) pair of iso, in
+// StaticsID order. The snapshot engine walks it to capture the isolate's
+// initialized statics; callers that need a stable cut run with the world
+// stopped.
+func (w *World) MirrorEntries(iso *Isolate) []MirrorEntry {
+	idx := 0
+	if w.Mode() == ModeIsolated {
+		idx = int(iso.id)
+	}
+	tab := w.mirrors.Load()
+	var out []MirrorEntry
+	for sid, row := range tab.rows {
+		if idx >= len(row) || row[idx] == nil {
+			continue
+		}
+		class := w.registry.ClassByStaticsID(sid)
+		if class == nil {
+			continue
+		}
+		out = append(out, MirrorEntry{Class: class, Mirror: row[idx]})
+	}
+	return out
+}
+
+// InstallMirrors publishes pre-built mirrors for iso in one table update,
+// keyed by StaticsID. The snapshot-clone path uses it to install a whole
+// warmed mirror column at once instead of paying a growMirror publication
+// per class. A slot that already holds a mirror refuses the install (the
+// clone would silently lose state the isolate already accumulated), so
+// callers install before the isolate runs any guest code.
+func (w *World) InstallMirrors(iso *Isolate, mirrors map[int]*TaskClassMirror) error {
+	if len(mirrors) == 0 {
+		return nil
+	}
+	idx := 0
+	if w.Mode() == ModeIsolated {
+		idx = int(iso.id)
+	}
+	w.mirrorMu.Lock()
+	defer w.mirrorMu.Unlock()
+	tab := w.mirrors.Load()
+	maxSid := 0
+	for sid := range mirrors {
+		if sid < 0 {
+			return fmt.Errorf("core: invalid statics id %d", sid)
+		}
+		if sid > maxSid {
+			maxSid = sid
+		}
+		if sid < len(tab.rows) {
+			if row := tab.rows[sid]; idx < len(row) && row[idx] != nil {
+				return fmt.Errorf("core: isolate %d already has a mirror for statics id %d", iso.id, sid)
+			}
+		}
+	}
+	rows := tab.rows
+	if maxSid >= len(rows) {
+		grown := make([][]*TaskClassMirror, maxSid+16)
+		copy(grown, rows)
+		rows = grown
+	} else {
+		rows = append([][]*TaskClassMirror(nil), rows...)
+	}
+	for sid, m := range mirrors {
+		row := rows[sid]
+		grownRow := make([]*TaskClassMirror, max(idx+4, len(row)))
+		copy(grownRow, row)
+		grownRow[idx] = m
+		rows[sid] = grownRow
+	}
+	w.mirrors.Store(&mirrorTable{rows: rows})
+	return nil
+}
+
+// ErrNotDisposed is returned by FreeIsolate for an isolate that still has
+// live charged objects (or was never killed).
+var ErrNotDisposed = errors.New("core: isolate is not disposed")
+
+// FreeIsolate returns a disposed isolate's identity to service: its
+// accounting ID joins the free-list for the next NewIsolate, its mirror
+// column and heap counters are cleared, and its loader indexes are
+// detached. Only fully disposed isolates (killed, swept, no live charged
+// objects) qualify, and never Isolate0. The ordering matters: the ID is
+// published for reuse only after the mirror column and counters are
+// cleared, so a concurrent NewIsolate can never adopt an ID that still
+// shows the dead tenant's statics or charges. The isolate struct itself
+// stays in the creation-order slice until the ID is reused (iterators
+// rely on non-nil entries and simply see a disposed corpse).
+func (w *World) FreeIsolate(iso *Isolate, h *heap.Heap) error {
+	if iso == nil {
+		return errors.New("core: free nil isolate")
+	}
+	if iso.IsIsolate0() {
+		return errors.New("core: cannot recycle Isolate0")
+	}
+	if iso.State() != StateDisposed {
+		return fmt.Errorf("%w: %s", ErrNotDisposed, iso.name)
+	}
+	if !iso.recycled.CompareAndSwap(false, true) {
+		return fmt.Errorf("core: %s already recycled", iso.name)
+	}
+
+	w.mu.Lock()
+	if w.byLoaderID[iso.loader.ID()] == iso {
+		delete(w.byLoaderID, iso.loader.ID())
+		if id := iso.loader.ID(); id < len(w.byLoaderSlice) {
+			w.byLoaderSlice[id] = nil
+		}
+	}
+	w.mu.Unlock()
+
+	w.clearMirrorColumn(int(iso.id))
+	if h != nil {
+		h.ResetIsolateStats(iso.id)
+	}
+
+	w.mu.Lock()
+	w.freeIDs = append(w.freeIDs, iso.id)
+	w.mu.Unlock()
+	return nil
+}
+
+// clearMirrorColumn publishes a table snapshot with every mirror of the
+// given isolate index removed.
+func (w *World) clearMirrorColumn(idx int) {
+	w.mirrorMu.Lock()
+	defer w.mirrorMu.Unlock()
+	tab := w.mirrors.Load()
+	changed := false
+	rows := append([][]*TaskClassMirror(nil), tab.rows...)
+	for sid, row := range rows {
+		if idx < len(row) && row[idx] != nil {
+			fresh := append([]*TaskClassMirror(nil), row...)
+			fresh[idx] = nil
+			rows[sid] = fresh
+			changed = true
+		}
+	}
+	if changed {
+		w.mirrors.Store(&mirrorTable{rows: rows})
+	}
 }
 
 // MirrorRootSets builds the GC accounting root contribution of every

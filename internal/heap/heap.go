@@ -280,6 +280,43 @@ func (h *Heap) LiveStatsFor(iso IsolateID) LiveStats {
 	return LiveStats{}
 }
 
+// SeedAllocCounters overwrites an isolate's monotonic allocation counters
+// with absolute values. The snapshot-clone path uses it so a freshly
+// materialized clone reports exactly the allocation totals the warmed
+// template had at capture (the clone's graph was charged normally during
+// materialization; seeding replaces those charges with the canonical
+// warm-up totals). Callers seed only while the isolate runs no guest
+// code.
+func (h *Heap) SeedAllocCounters(iso IsolateID, stats AllocStats) {
+	c := h.CountersFor(iso)
+	c.Objects.Store(stats.Objects)
+	c.Bytes.Store(stats.Bytes)
+	c.Connections.Store(stats.Connections)
+}
+
+// ResetIsolateStats clears every heap-side statistic of an isolate —
+// monotonic allocation counters and the live-usage entry of the last
+// accounting collection — so a recycled isolate ID starts with a clean
+// slate. The live map is republished copy-on-write under gcMu (the same
+// serialization collections use), so a reset never races a terminal
+// trace's publication.
+func (h *Heap) ResetIsolateStats(iso IsolateID) {
+	h.SeedAllocCounters(iso, AllocStats{})
+	h.gcMu.Lock()
+	defer h.gcMu.Unlock()
+	if m := h.liveByIso.Load(); m != nil {
+		if _, ok := (*m)[iso]; ok {
+			fresh := make(map[IsolateID]*LiveStats, len(*m))
+			for k, v := range *m {
+				if k != iso {
+					fresh[k] = v
+				}
+			}
+			h.liveByIso.Store(&fresh)
+		}
+	}
+}
+
 // chargeAlloc records one admitted object on the creator's counters
 // (direct atomic adds; the host path's exact counterpart of the engines'
 // batched core.ByteBatch charging).

@@ -198,5 +198,73 @@ func TestShardedAllocMonitorStress(t *testing.T) {
 		if vm.Heap().GCCount() < 3 {
 			t.Fatalf("round %d: expected several collections, got %d", round, vm.Heap().GCCount())
 		}
+
+		// Kill-then-recycle accounting regression: the disposed victim's
+		// slot goes back through FreeIsolate, and the isolate that reuses
+		// the ID must start from zero — a stale account, stale allocation
+		// stats, or a stale GCActivations counter would bill the new
+		// tenant for the dead one's history. A fast run may finish before
+		// the admin's mid-run kill lands, so make sure the victim is dead
+		// before demanding disposal.
+		if victim.State() == core.StateLive {
+			if err := vm.KillIsolate(nil, victim); err != nil {
+				t.Fatalf("round %d: post-run kill: %v", round, err)
+			}
+			vm.CollectGarbage(nil)
+		}
+		if !victim.Disposed() {
+			t.Fatalf("round %d: victim not disposed after drain + collection", round)
+		}
+		victimID := victim.ID()
+		if err := vm.FreeIsolate(victim); err != nil {
+			t.Fatalf("round %d: free victim: %v", round, err)
+		}
+		reborn, err := vm.NewIsolate("reborn")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if reborn.ID() != victimID {
+			t.Fatalf("round %d: recycled isolate got ID %d, want victim's %d", round, reborn.ID(), victimID)
+		}
+		if acct := reborn.Account().Numbers(); acct != (core.Account{}) {
+			t.Fatalf("round %d: recycled isolate inherits account %+v", round, acct)
+		}
+		if as := vm.Heap().AllocStatsFor(reborn.ID()); as != (heap.AllocStats{}) {
+			t.Fatalf("round %d: recycled isolate inherits alloc stats %+v", round, as)
+		}
+		// The recycled slot must be fully serviceable: run the same
+		// workload in it and check both the result and that charging
+		// starts from a clean slate.
+		const rebornIters = 200
+		if err := reborn.Loader().DefineAll(memStressClasses("msr")); err != nil {
+			t.Fatal(err)
+		}
+		rc, err := reborn.Loader().Lookup("msr/Main")
+		if err != nil {
+			t.Fatal(err)
+		}
+		rm, err := rc.LookupMethod("run", "(Ljava/lang/Object;I)I")
+		if err != nil {
+			t.Fatal(err)
+		}
+		v, rth, err := vm.CallRoot(reborn, rm,
+			[]heap.Value{heap.RefVal(shared), heap.IntVal(rebornIters)}, 0)
+		if err != nil || rth.Failure() != nil {
+			t.Fatalf("round %d: reborn run: %v / %s", round, err, rth.FailureString())
+		}
+		if v.I != rebornIters {
+			t.Fatalf("round %d: reborn result %d, want %d", round, v.I, rebornIters)
+		}
+		acct := reborn.Account().Numbers()
+		if acct.Instructions == 0 || acct.ThreadsCreated == 0 {
+			t.Fatalf("round %d: reborn account not charged: %+v", round, acct)
+		}
+		if as := vm.Heap().AllocStatsFor(reborn.ID()); as.Objects == 0 || as.Bytes == 0 {
+			t.Fatalf("round %d: reborn allocations not charged: %+v", round, as)
+		}
+		after := vm.CollectGarbage(nil)
+		if used := vm.Heap().Used(); used != after.LiveBytes {
+			t.Fatalf("round %d: used %d != live %d after recycle round", round, used, after.LiveBytes)
+		}
 	}
 }

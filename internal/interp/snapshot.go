@@ -1,0 +1,673 @@
+package interp
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync/atomic"
+
+	"ijvm/internal/classfile"
+	"ijvm/internal/core"
+	"ijvm/internal/heap"
+	"ijvm/internal/loader"
+)
+
+// Snapshot fast-start
+//
+// A Snapshot is a checkpoint of a fully warmed isolate taken at a
+// safepoint: the initialization state and static variable slots of every
+// task class mirror the isolate touched, the reachable static object
+// graph, the interned-string pool, and the isolate's resource account at
+// capture. CloneIsolate materializes new tenants from it in microseconds
+// instead of replaying class definition, preparation and <clinit> —
+// the paper's gateway scenario (§1) at serverless density.
+//
+// What is shared vs. private:
+//
+//   - prepared/fused/closure-tier code is shared automatically: PCode is
+//     cached on the Method (bootstrap-owned or template-loader-owned), so
+//     every clone of the same VM reuses the exact published bodies via
+//     the existing first-wins CAS — and since clones run in the same VM
+//     and the same isolation mode as their template, no re-quicken is
+//     ever needed at clone time (mode flips go through SetIsolationMode's
+//     stop-the-world re-quicken as before);
+//   - interned strings are shared by pointer: the clone adopts the
+//     template's copy-on-write pool map and grows privately from it;
+//     string objects are immutable, and pool identity is what keeps
+//     guest == semantics identical to a cold start;
+//   - frozen arrays (heap.Freeze) are shared by pointer and kept alive
+//     by the snapshot's shared pins; CaptureSnapshot can optionally
+//     freeze the captured static arrays first (FreezeShared) to maximize
+//     sharing when tenants treat warm-up data as read-only;
+//   - everything else — mutable statics, the reachable object graph, the
+//     java.lang.Class objects — is a private per-clone copy (the "delta"
+//     every tenant may mutate freely).
+//
+// Class visibility: cloning shares classes, so the captured classes must
+// be resolvable without binding the clone to another isolate — they must
+// live in loaders that have no isolate (a "template loader" pattern: the
+// warmer isolate's own loader defines nothing and delegates to the
+// template loader), or the template isolate must have been freed first.
+// CloneIsolate enforces this.
+type Snapshot struct {
+	vm      *VM
+	srcID   heap.IsolateID
+	srcName string
+
+	// delegates is the loader wiring a clone needs to resolve exactly the
+	// class set the template resolved: the template's own loader first (if
+	// it defined classes), then its delegates in order.
+	delegates []*loader.Loader
+
+	classes []snapClass
+	objects []snapObject
+	pool    map[string]*heap.Object
+
+	// pinned holds every shared-by-pointer object, pinned for the
+	// snapshot's lifetime so clones stay valid after the template dies.
+	pinned []*heap.Object
+
+	account core.Account
+	alloc   heap.AllocStats
+
+	released atomic.Bool
+}
+
+// SnapshotOptions configures CaptureSnapshot.
+type SnapshotOptions struct {
+	// FreezeShared freezes captured static arrays (deep-immutable shapes
+	// only) so clones share them by pointer instead of copying. Freezing
+	// is visible to guests — stores into a frozen array throw — so it is
+	// opt-in: enable it for serving workloads whose warm-up tables are
+	// read-only, leave it off when clones must be byte-identical to cold
+	// starts in every store.
+	FreezeShared bool
+}
+
+// snapValue is one captured variable slot: scalars by value, references
+// as an index into Snapshot.objects (refNone for null/scalar).
+type snapValue struct {
+	kind classfile.Kind
+	i    int64
+	f    float64
+	ref  int32
+}
+
+const refNone = int32(-1)
+
+// snapClass is one captured task class mirror.
+type snapClass struct {
+	class       *classfile.Class
+	state       core.InitState
+	statics     []snapValue
+	hasClassObj bool
+}
+
+// snapObject is one node of the captured static object graph. Exactly one
+// of the representations is active: shared (reused by pointer), str
+// (string payload copy), classOf (java.lang.Class native), or the
+// fields/elems copy.
+type snapObject struct {
+	class   *classfile.Class
+	shared  *heap.Object
+	str     string
+	isStr   bool
+	classOf *classfile.Class
+	isArray bool
+	fields  []snapValue
+	elems   []snapValue
+}
+
+// CaptureSnapshot checkpoints src at a safepoint. The world is stopped
+// for the duration (the same machinery exact collections use), so the
+// captured cut is consistent: no torn references, no half-run stores.
+// Capture fails on graphs the clone path cannot reproduce — connection
+// objects and opaque native payloads (live system-library state parked in
+// statics); warm-up code should leave only data behind.
+//
+// The caller must Release the snapshot when no more clones will be made;
+// Release drops the shared pins that keep pool strings and frozen arrays
+// alive after the template isolate dies.
+func (vm *VM) CaptureSnapshot(src *core.Isolate, opts SnapshotOptions) (*Snapshot, error) {
+	if src == nil {
+		return nil, errors.New("interp: capture nil isolate")
+	}
+	if src.Killed() {
+		return nil, fmt.Errorf("interp: cannot capture killed isolate %s", src.Name())
+	}
+	snap := &Snapshot{vm: vm, srcID: src.ID(), srcName: src.Name()}
+	var err error
+	vm.withWorldStopped(func() {
+		err = vm.captureStopped(snap, src, opts)
+	})
+	if err != nil {
+		snap.Release()
+		return nil, err
+	}
+	return snap, nil
+}
+
+// captureStopped does the actual capture; the world is stopped.
+func (vm *VM) captureStopped(snap *Snapshot, src *core.Isolate, opts SnapshotOptions) error {
+	srcLoader := src.Loader()
+	if srcLoader.NumClasses() > 0 {
+		snap.delegates = append(snap.delegates, srcLoader)
+	}
+	snap.delegates = append(snap.delegates, srcLoader.Delegates()...)
+
+	snap.pool = src.StringPoolSnapshot()
+	poolSet := make(map[*heap.Object]bool, len(snap.pool))
+	for _, obj := range snap.pool {
+		poolSet[obj] = true
+		vm.heap.PinShared(obj)
+		snap.pinned = append(snap.pinned, obj)
+	}
+
+	fl := &flattener{vm: vm, snap: snap, poolSet: poolSet, opts: opts, memo: make(map[*heap.Object]int32)}
+	for _, e := range vm.world.MirrorEntries(src) {
+		sc := snapClass{
+			class:       e.Class,
+			state:       e.Mirror.State,
+			hasClassObj: e.Mirror.ClassObject.Load() != nil,
+		}
+		sc.statics = make([]snapValue, len(e.Mirror.Statics))
+		for i, v := range e.Mirror.Statics {
+			sv, err := fl.encode(v)
+			if err != nil {
+				return fmt.Errorf("capture %s.%s: %w", e.Class.Name, e.Class.StaticFields[i].Name, err)
+			}
+			sc.statics[i] = sv
+		}
+		snap.classes = append(snap.classes, sc)
+	}
+
+	snap.account = src.Account().Numbers()
+	snap.alloc = vm.heap.AllocStatsFor(src.ID())
+	return nil
+}
+
+// flattener serializes the reachable static object graph into flat
+// records, preserving aliasing and cycles through the memo.
+type flattener struct {
+	vm      *VM
+	snap    *Snapshot
+	poolSet map[*heap.Object]bool
+	opts    SnapshotOptions
+	memo    map[*heap.Object]int32
+}
+
+func (fl *flattener) encode(v heap.Value) (snapValue, error) {
+	sv := snapValue{kind: v.Kind, i: v.I, f: v.F, ref: refNone}
+	if v.R != nil {
+		idx, err := fl.flatten(v.R)
+		if err != nil {
+			return sv, err
+		}
+		sv.ref = idx
+	}
+	return sv, nil
+}
+
+func (fl *flattener) flatten(o *heap.Object) (int32, error) {
+	if idx, ok := fl.memo[o]; ok {
+		return idx, nil
+	}
+	idx := int32(len(fl.snap.objects))
+	fl.memo[o] = idx
+	fl.snap.objects = append(fl.snap.objects, snapObject{class: o.Class})
+	rec := &fl.snap.objects[idx]
+
+	share := func() {
+		rec.shared = o
+		fl.vm.heap.PinShared(o)
+		fl.snap.pinned = append(fl.snap.pinned, o)
+	}
+
+	if fl.poolSet[o] || o.Frozen() {
+		share()
+		return idx, nil
+	}
+	if fl.opts.FreezeShared && o.IsArray() {
+		if err := heap.Freeze(o); err == nil {
+			share()
+			return idx, nil
+		}
+	}
+	if s, ok := o.StringValue(); ok {
+		rec.str, rec.isStr = s, true
+		return idx, nil
+	}
+	if o.IsConnection {
+		return idx, fmt.Errorf("connection object of class %s is not snapshotable", o.Class.Name)
+	}
+	if o.Native != nil {
+		if c, ok := o.Native.(*classfile.Class); ok {
+			rec.classOf = c
+			return idx, nil
+		}
+		return idx, fmt.Errorf("opaque native payload on %s is not snapshotable", o.Class.Name)
+	}
+	// From here on recursion may grow fl.snap.objects and relocate the
+	// record, so writes go through the stable slice headers allocated
+	// before descending (the copies share backing arrays).
+	if o.IsArray() {
+		rec.isArray = true
+		rec.elems = make([]snapValue, len(o.Elems))
+		elems := rec.elems
+		for i, ev := range o.Elems {
+			sv, err := fl.encode(ev)
+			if err != nil {
+				return idx, err
+			}
+			elems[i] = sv
+		}
+		return idx, nil
+	}
+	rec.fields = make([]snapValue, len(o.Fields))
+	fields := rec.fields
+	for i, fv := range o.Fields {
+		sv, err := fl.encode(fv)
+		if err != nil {
+			return idx, err
+		}
+		fields[i] = sv
+	}
+	return idx, nil
+}
+
+// Released reports whether Release ran.
+func (snap *Snapshot) Released() bool { return snap.released.Load() }
+
+// SourceName returns the captured isolate's name (diagnostics).
+func (snap *Snapshot) SourceName() string { return snap.srcName }
+
+// NumClasses returns the number of captured task class mirrors.
+func (snap *Snapshot) NumClasses() int { return len(snap.classes) }
+
+// NumObjects returns the number of captured graph nodes.
+func (snap *Snapshot) NumObjects() int { return len(snap.objects) }
+
+// Release drops the snapshot's shared pins. Existing clones stay valid —
+// their mirrors and pools root everything they use — but no further
+// clones may be made.
+func (snap *Snapshot) Release() {
+	if !snap.released.CompareAndSwap(false, true) {
+		return
+	}
+	for _, o := range snap.pinned {
+		snap.vm.heap.UnpinShared(o)
+	}
+	snap.pinned = nil
+}
+
+// CloneIsolate materializes a new tenant isolate from a warmed snapshot:
+// a fresh loader wired to the template's class owners, the whole mirror
+// column installed in one publication (statics already initialized, so no
+// <clinit> runs), the template's interned-string pool adopted by pointer,
+// and the account and allocation counters seeded to the capture-time
+// values — byte-identical to a cold start that ran the same warm-up.
+//
+// Materialization is GC-safe without stopping the world: every copy is
+// allocated and rooted atomically against exact collections through a
+// HostRoots batch, and released only after the mirrors (the permanent
+// roots) are published.
+func (vm *VM) CloneIsolate(snap *Snapshot, name string) (*core.Isolate, error) {
+	if snap == nil || snap.vm != vm {
+		return nil, errors.New("interp: clone requires a snapshot of this VM")
+	}
+	if snap.Released() {
+		return nil, errors.New("interp: snapshot already released")
+	}
+	if !vm.world.Isolated() {
+		return nil, errors.New("interp: cloning requires isolated mode (use RestoreInPlace in shared mode)")
+	}
+	for _, d := range snap.delegates {
+		if owner := vm.world.IsolateForLoader(d); owner != nil {
+			if owner.ID() == snap.srcID && d.NumClasses() > 0 {
+				return nil, fmt.Errorf("interp: template %s still owns its classes; free it first or define classes in an isolate-less template loader", snap.srcName)
+			}
+		}
+	}
+	l := vm.registry.NewLoader(name)
+	for _, d := range snap.delegates {
+		l.AddDelegate(d)
+	}
+	iso, err := vm.world.NewIsolate(name, l)
+	if err != nil {
+		vm.registry.ReleaseLoader(l)
+		return nil, err
+	}
+	roots := vm.NewHostRoots(iso)
+	defer roots.Release()
+	objs, classObjs, err := vm.materializeGraph(snap, iso, roots)
+	if err != nil {
+		return nil, err
+	}
+	mirrors := make(map[int]*core.TaskClassMirror, len(snap.classes))
+	for i := range snap.classes {
+		sc := &snap.classes[i]
+		m, err := vm.buildMirror(snap, sc, iso, roots, objs, classObjs)
+		if err != nil {
+			return nil, err
+		}
+		mirrors[sc.class.StaticsID] = m
+	}
+	if err := vm.world.InstallMirrors(iso, mirrors); err != nil {
+		return nil, err
+	}
+	iso.AdoptStringPool(snap.pool)
+	iso.Account().Seed(snap.account)
+	vm.heap.SeedAllocCounters(iso.ID(), snap.alloc)
+	return iso, nil
+}
+
+// materializeGraph allocates the private copies of the captured graph,
+// charged to iso and rooted in roots. Shared records reuse the pinned
+// template object by pointer.
+func (vm *VM) materializeGraph(snap *Snapshot, iso *core.Isolate, roots *HostRoots) ([]*heap.Object, map[*classfile.Class]*heap.Object, error) {
+	objs := make([]*heap.Object, len(snap.objects))
+	classObjs := make(map[*classfile.Class]*heap.Object)
+	for i := range snap.objects {
+		so := &snap.objects[i]
+		switch {
+		case so.shared != nil:
+			objs[i] = so.shared
+		case so.isStr:
+			obj, err := vm.NewStringRooted(roots, so.str, iso)
+			if err != nil {
+				return nil, nil, err
+			}
+			objs[i] = obj
+		case so.classOf != nil:
+			obj, err := vm.classObjectRooted(so.classOf, iso, roots, classObjs)
+			if err != nil {
+				return nil, nil, err
+			}
+			objs[i] = obj
+		case so.isArray:
+			obj, err := vm.AllocArrayRooted(roots, so.class, len(so.elems), iso)
+			if err != nil {
+				return nil, nil, err
+			}
+			objs[i] = obj
+		default:
+			obj, err := vm.AllocObjectRooted(roots, so.class, iso)
+			if err != nil {
+				return nil, nil, err
+			}
+			objs[i] = obj
+		}
+	}
+	// Second pass: wire fields and elements now that every node exists
+	// (aliases and cycles resolve through the index space).
+	for i := range snap.objects {
+		so := &snap.objects[i]
+		if so.shared != nil || so.isStr || so.classOf != nil {
+			continue
+		}
+		if so.isArray {
+			for j, sv := range so.elems {
+				objs[i].Elems[j] = decodeValue(sv, objs)
+			}
+			continue
+		}
+		for j, sv := range so.fields {
+			objs[i].Fields[j] = decodeValue(sv, objs)
+		}
+	}
+	return objs, classObjs, nil
+}
+
+// classObjectRooted materializes iso's java.lang.Class object for c,
+// memoized so a class object reachable both from statics and from its
+// mirror stays one object (as in the template).
+func (vm *VM) classObjectRooted(c *classfile.Class, iso *core.Isolate, roots *HostRoots, memo map[*classfile.Class]*heap.Object) (*heap.Object, error) {
+	if obj, ok := memo[c]; ok {
+		return obj, nil
+	}
+	classClass, err := vm.lookupWellKnown(ClassClass)
+	if err != nil {
+		return nil, err
+	}
+	obj, err := roots.alloc(func() (*heap.Object, error) {
+		return vm.heap.AllocNative(classClass, c, 0, false, iso.ID())
+	})
+	if err != nil {
+		return nil, err
+	}
+	memo[c] = obj
+	return obj, nil
+}
+
+// buildMirror constructs one clone mirror from a captured class record. A
+// capture that raced a running <clinit> (state InitRunning) yields a
+// fresh uninitialized mirror: the clone re-runs the initializer from
+// scratch rather than resuming a half-run one.
+func (vm *VM) buildMirror(snap *Snapshot, sc *snapClass, iso *core.Isolate, roots *HostRoots, objs []*heap.Object, classObjs map[*classfile.Class]*heap.Object) (*core.TaskClassMirror, error) {
+	m := &core.TaskClassMirror{}
+	if sc.state == core.InitRunning {
+		m.State = core.InitNone
+		m.Statics = make([]heap.Value, len(sc.statics))
+		for i, f := range sc.class.StaticFields {
+			m.Statics[i] = heap.ZeroOf(f.Kind)
+		}
+	} else {
+		m.State = sc.state
+		m.Statics = make([]heap.Value, len(sc.statics))
+		for i, sv := range sc.statics {
+			m.Statics[i] = decodeValue(sv, objs)
+		}
+	}
+	if sc.hasClassObj {
+		obj, err := vm.classObjectRooted(sc.class, iso, roots, classObjs)
+		if err != nil {
+			return nil, err
+		}
+		m.ClassObject.Store(obj)
+	}
+	return m, nil
+}
+
+func decodeValue(sv snapValue, objs []*heap.Object) heap.Value {
+	v := heap.Value{Kind: sv.kind, I: sv.i, F: sv.f}
+	if sv.ref >= 0 {
+		v.R = objs[sv.ref]
+	}
+	return v
+}
+
+// RestoreInPlace rewinds the captured isolate itself back to the
+// snapshot: every captured mirror's state and statics are overwritten in
+// place (the mirror structs are identity-stable, so Shared-mode
+// ResolvedMirror pool caches stay valid), the string pool is reset to the
+// captured map, and the account and allocation counters are re-seeded.
+// This is the Shared-mode counterpart of CloneIsolate — the baseline VM
+// has exactly one isolate, so "spawn a fresh tenant" means "reset the
+// world to the warm point".
+//
+// Contract: the warm-up must have touched every class the isolate ever
+// initialized ("full warm"), because an initialized mirror the snapshot
+// does not cover cannot be reset safely — Shared-mode pool caches skip
+// the initialization check, so zeroing such a mirror would expose
+// uninitialized statics without re-running <clinit>. RestoreInPlace
+// validates this before mutating anything.
+func (snap *Snapshot) RestoreInPlace() error {
+	vm := snap.vm
+	if snap.Released() {
+		return errors.New("interp: snapshot already released")
+	}
+	iso := vm.world.IsolateByID(snap.srcID)
+	if iso == nil || iso.Killed() || iso.Name() != snap.srcName {
+		return fmt.Errorf("interp: snapshot source %s is gone", snap.srcName)
+	}
+	roots := vm.NewHostRoots(iso)
+	defer roots.Release()
+	objs, classObjs, err := vm.materializeGraph(snap, iso, roots)
+	if err != nil {
+		return err
+	}
+	bySid := make(map[int]*snapClass, len(snap.classes))
+	for i := range snap.classes {
+		bySid[snap.classes[i].class.StaticsID] = &snap.classes[i]
+	}
+	var rerr error
+	vm.withWorldStopped(func() {
+		entries := vm.world.MirrorEntries(iso)
+		// Validate the full-warm contract before mutating anything.
+		for _, e := range entries {
+			if _, ok := bySid[e.Class.StaticsID]; ok {
+				continue
+			}
+			if e.Mirror.State != core.InitNone {
+				rerr = fmt.Errorf("interp: snapshot does not cover initialized class %s; capture after a full warm-up", e.Class.Name)
+				return
+			}
+		}
+		for _, e := range entries {
+			sc, ok := bySid[e.Class.StaticsID]
+			if !ok {
+				// Untouched mirror (lazily grown, never initialized):
+				// reset its Class object so lazy allocation replays
+				// identically.
+				e.Mirror.ClassObject.Store(nil)
+				continue
+			}
+			restoreMirror(e.Mirror, sc, objs, classObjs)
+		}
+		iso.AdoptStringPool(snap.pool)
+		iso.Account().Seed(snap.account)
+		vm.heap.SeedAllocCounters(iso.ID(), snap.alloc)
+	})
+	return rerr
+}
+
+// restoreMirror overwrites one existing mirror in place with the captured
+// record.
+func restoreMirror(m *core.TaskClassMirror, sc *snapClass, objs []*heap.Object, classObjs map[*classfile.Class]*heap.Object) {
+	if sc.state == core.InitRunning {
+		m.State = core.InitNone
+		for i, f := range sc.class.StaticFields {
+			m.Statics[i] = heap.ZeroOf(f.Kind)
+		}
+	} else {
+		m.State = sc.state
+		for i, sv := range sc.statics {
+			m.Statics[i] = decodeValue(sv, objs)
+		}
+	}
+	m.InitThread = 0
+	if !sc.hasClassObj {
+		m.ClassObject.Store(nil)
+	} else if m.ClassObject.Load() == nil {
+		if obj, ok := classObjs[sc.class]; ok {
+			m.ClassObject.Store(obj)
+		}
+	}
+}
+
+// FreeIsolate returns a disposed isolate to the recycling pool: its
+// accounting ID, mirror column, heap counters and (if classless) loader
+// are all reclaimed for the next NewIsolate/CloneIsolate. The isolate
+// must be fully disposed — killed, swept by an accounting collection, no
+// live charged objects — and must have no undone threads still bound to
+// it. Recycling is a host-side operation between runs (or at a
+// safepoint); the concurrent scheduler keys its shards by isolate
+// pointer per run, so a recycled ID is adopted naturally on the next
+// spawn.
+func (vm *VM) FreeIsolate(iso *core.Isolate) error {
+	if iso == nil {
+		return errors.New("interp: free nil isolate")
+	}
+	vm.threadsMu.Lock()
+	for _, t := range vm.threads {
+		if !t.Done() && t.cur == iso {
+			vm.threadsMu.Unlock()
+			return fmt.Errorf("interp: thread %d still executes in %s", t.ID(), iso.Name())
+		}
+	}
+	vm.threadsMu.Unlock()
+	l := iso.Loader()
+	if err := vm.world.FreeIsolate(iso, vm.heap); err != nil {
+		return err
+	}
+	vm.pinMu.Lock()
+	delete(vm.pinned, iso.ID())
+	vm.pinMu.Unlock()
+	vm.registry.ReleaseLoader(l)
+	return nil
+}
+
+// ReachabilityFingerprint hashes the canonical shape of everything
+// reachable from one isolate's mirrors and string pool: class names,
+// initialization states, value kinds and scalars, string payloads, array
+// lengths, and the aliasing structure of the reference graph (visit-order
+// numbering, so two isomorphic graphs hash equal regardless of object
+// identity). The differential oracle uses it to prove a clone's post-GC
+// reachability is byte-identical to a cold start's. Callers run it while
+// the isolate executes no guest code.
+func (vm *VM) ReachabilityFingerprint(iso *core.Isolate) uint64 {
+	h := fnv.New64a()
+	seen := make(map[*heap.Object]int)
+	var walkVal func(v heap.Value)
+	var walkObj func(o *heap.Object)
+	walkObj = func(o *heap.Object) {
+		if n, ok := seen[o]; ok {
+			fmt.Fprintf(h, "@%d;", n)
+			return
+		}
+		n := len(seen)
+		seen[o] = n
+		fmt.Fprintf(h, "#%d:%s", n, o.Class.Name)
+		if s, ok := o.StringValue(); ok {
+			fmt.Fprintf(h, "=str(%q);", s)
+			return
+		}
+		if c, ok := o.Native.(*classfile.Class); ok {
+			fmt.Fprintf(h, "=class(%s);", c.Name)
+			return
+		}
+		if o.IsArray() {
+			fmt.Fprintf(h, "=arr[%d]{", len(o.Elems))
+			for _, ev := range o.Elems {
+				walkVal(ev)
+			}
+			fmt.Fprint(h, "};")
+			return
+		}
+		fmt.Fprintf(h, "=obj[%d]{", len(o.Fields))
+		for _, fv := range o.Fields {
+			walkVal(fv)
+		}
+		fmt.Fprint(h, "};")
+	}
+	walkVal = func(v heap.Value) {
+		if v.R != nil {
+			fmt.Fprintf(h, "r%d>", v.Kind)
+			walkObj(v.R)
+			return
+		}
+		fmt.Fprintf(h, "v%d:%d:%x;", v.Kind, v.I, v.F)
+	}
+	for _, e := range vm.world.MirrorEntries(iso) {
+		fmt.Fprintf(h, "C%s|%d|", e.Class.Name, e.Mirror.State)
+		for _, sv := range e.Mirror.Statics {
+			walkVal(sv)
+		}
+		if e.Mirror.ClassObject.Load() != nil {
+			fmt.Fprint(h, "K1;")
+		} else {
+			fmt.Fprint(h, "K0;")
+		}
+	}
+	pool := iso.StringPoolSnapshot()
+	keys := make([]string, 0, len(pool))
+	for k := range pool {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(h, "S%q;", k)
+	}
+	return h.Sum64()
+}

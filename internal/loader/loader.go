@@ -65,6 +65,13 @@ func (l *Loader) AddDelegate(d *Loader) {
 	l.delegates = append(l.delegates, d)
 }
 
+// Delegates returns the loader's delegate wiring in resolution order (a
+// copy). The snapshot engine replays it onto clone loaders so a clone
+// resolves exactly the class set its template did.
+func (l *Loader) Delegates() []*Loader {
+	return append([]*Loader(nil), l.delegates...)
+}
+
 // Define links and registers a built class with this loader. The
 // superclass (and interfaces, if defined as classes) must already be
 // resolvable through this loader.
@@ -202,64 +209,5 @@ func (l *Loader) link(c *classfile.Class) error {
 	return nil
 }
 
-// Registry owns all loaders of one VM and hands out link-time IDs.
-type Registry struct {
-	loaders            []*Loader
-	bootstrap          *Loader
-	nextStaticsID      int
-	nextMethodID       int
-	classesByStaticsID []*classfile.Class
-}
-
-// NewRegistry creates a registry with a fresh bootstrap loader.
-func NewRegistry() *Registry {
-	r := &Registry{}
-	r.bootstrap = &Loader{
-		id:       BootstrapID,
-		name:     "bootstrap",
-		registry: r,
-		classes:  make(map[string]*classfile.Class),
-	}
-	r.loaders = append(r.loaders, r.bootstrap)
-	return r
-}
-
-// Bootstrap returns the system-library loader.
-func (r *Registry) Bootstrap() *Loader { return r.bootstrap }
-
-// NewLoader creates an application class loader. Per the paper, the first
-// application loader becomes Isolate0's loader; subsequent loaders belong
-// to standard (bundle) isolates. The isolate association itself is
-// maintained by the core package.
-func (r *Registry) NewLoader(name string) *Loader {
-	l := &Loader{
-		id:       len(r.loaders),
-		name:     name,
-		registry: r,
-		classes:  make(map[string]*classfile.Class),
-	}
-	r.loaders = append(r.loaders, l)
-	return l
-}
-
-// Loader returns the loader with the given ID, or nil.
-func (r *Registry) Loader(id int) *Loader {
-	if id < 0 || id >= len(r.loaders) {
-		return nil
-	}
-	return r.loaders[id]
-}
-
-// NumLoaders returns the number of loaders including bootstrap.
-func (r *Registry) NumLoaders() int { return len(r.loaders) }
-
-// NumClasses returns the total number of linked classes.
-func (r *Registry) NumClasses() int { return len(r.classesByStaticsID) }
-
-// ClassByStaticsID returns the class whose StaticsID is id, or nil.
-func (r *Registry) ClassByStaticsID(id int) *classfile.Class {
-	if id < 0 || id >= len(r.classesByStaticsID) {
-		return nil
-	}
-	return r.classesByStaticsID[id]
-}
+// Registry owns all loaders of one VM and hands out link-time IDs; see
+// registry.go.

@@ -1,0 +1,132 @@
+package loader
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"ijvm/internal/classfile"
+)
+
+// loaderTable is the copy-on-write published loader slice.
+type loaderTable struct {
+	p atomic.Pointer[[]*Loader]
+}
+
+func (t *loaderTable) load() []*Loader { return *t.p.Load() }
+
+func (t *loaderTable) publish(ls []*Loader) { t.p.Store(&ls) }
+
+// Registry owns all loaders of one VM and hands out link-time IDs.
+//
+// Concurrency: the loader table is published copy-on-write through an
+// atomic pointer so the interpreter's invoke path (Loader by ID on every
+// cross-loader call) stays lock-free while the snapshot-clone path
+// creates tenant loaders concurrently with running scheduler workers;
+// regMu serializes creation and release. Class definition (Define/link)
+// is not concurrent with guest execution of the same loader's classes —
+// classes are immutable once linked, and the definition phase happens
+// before the defining isolate runs.
+type Registry struct {
+	regMu       sync.Mutex
+	loaders     loaderTable
+	freeLoaders []*Loader
+
+	bootstrap          *Loader
+	nextStaticsID      int
+	nextMethodID       int
+	classesByStaticsID []*classfile.Class
+}
+
+// NewRegistry creates a registry with a fresh bootstrap loader.
+func NewRegistry() *Registry {
+	r := &Registry{}
+	r.bootstrap = &Loader{
+		id:       BootstrapID,
+		name:     "bootstrap",
+		registry: r,
+		classes:  make(map[string]*classfile.Class),
+	}
+	r.loaders.publish([]*Loader{r.bootstrap})
+	return r
+}
+
+// Bootstrap returns the system-library loader.
+func (r *Registry) Bootstrap() *Loader { return r.bootstrap }
+
+// NewLoader creates an application class loader. Per the paper, the first
+// application loader becomes Isolate0's loader; subsequent loaders belong
+// to standard (bundle) isolates. The isolate association itself is
+// maintained by the core package. A previously released classless loader
+// is reused (same ID, fresh name, no delegates) before a new slot is
+// grown — the recycling pool's loader-side counterpart.
+func (r *Registry) NewLoader(name string) *Loader {
+	r.regMu.Lock()
+	defer r.regMu.Unlock()
+	if n := len(r.freeLoaders); n > 0 {
+		l := r.freeLoaders[n-1]
+		r.freeLoaders = r.freeLoaders[:n-1]
+		l.name = name
+		return l
+	}
+	cur := r.loaders.load()
+	l := &Loader{
+		id:       len(cur),
+		name:     name,
+		registry: r,
+		classes:  make(map[string]*classfile.Class),
+	}
+	grown := make([]*Loader, len(cur)+1)
+	copy(grown, cur)
+	grown[len(cur)] = l
+	r.loaders.publish(grown)
+	return l
+}
+
+// ReleaseLoader returns a classless application loader to the registry's
+// free-list so the next NewLoader reuses its ID instead of growing the
+// table — snapshot clones resolve everything through delegation and
+// define no classes of their own, so a recycled tenant's loader is always
+// eligible. Loaders that defined classes are never released (their
+// classes' LoaderID bindings must stay unambiguous forever). The caller
+// must have detached the loader from any isolate first (core.FreeIsolate
+// does). Returns false if the loader is not eligible.
+func (r *Registry) ReleaseLoader(l *Loader) bool {
+	if l == nil || l.IsBootstrap() || l.registry != r || len(l.classes) > 0 {
+		return false
+	}
+	r.regMu.Lock()
+	defer r.regMu.Unlock()
+	for _, f := range r.freeLoaders {
+		if f == l {
+			return false
+		}
+	}
+	l.delegates = nil
+	r.freeLoaders = append(r.freeLoaders, l)
+	return true
+}
+
+// Loader returns the loader with the given ID, or nil. Lock-free (one
+// atomic load plus an index) — the interpreter consults it on every
+// cross-loader invoke.
+func (r *Registry) Loader(id int) *Loader {
+	cur := r.loaders.load()
+	if id < 0 || id >= len(cur) {
+		return nil
+	}
+	return cur[id]
+}
+
+// NumLoaders returns the number of loaders including bootstrap.
+func (r *Registry) NumLoaders() int { return len(r.loaders.load()) }
+
+// NumClasses returns the total number of linked classes.
+func (r *Registry) NumClasses() int { return len(r.classesByStaticsID) }
+
+// ClassByStaticsID returns the class whose StaticsID is id, or nil.
+func (r *Registry) ClassByStaticsID(id int) *classfile.Class {
+	if id < 0 || id >= len(r.classesByStaticsID) {
+		return nil
+	}
+	return r.classesByStaticsID[id]
+}

@@ -1,0 +1,77 @@
+package workloads
+
+import "testing"
+
+func TestGatewayModesAgree(t *testing.T) {
+	base := GatewayConfig{Sessions: 6, Requests: 8, HeapLimit: 32 << 20}
+	var checksums []int64
+	var serves []int
+	for _, mode := range []GatewayMode{GatewayCold, GatewayClone, GatewayRecycled} {
+		cfg := base
+		cfg.Mode = mode
+		res, err := RunGateway(cfg)
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		if res.Serves == 0 || res.SpawnP50 <= 0 {
+			t.Fatalf("%v: degenerate result %+v", mode, res)
+		}
+		checksums = append(checksums, res.Checksum)
+		serves = append(serves, res.Serves-boolToInt(mode == GatewayCold)*cfg.Sessions)
+		if mode == GatewayRecycled && res.RecycledIDs != cfg.Sessions {
+			t.Fatalf("recycled: want %d freed slots, got %d", cfg.Sessions, res.RecycledIDs)
+		}
+	}
+	// The serve sequences are identical across provisioning strategies
+	// (cold additionally serves once during spawn, excluded above), so the
+	// checksums and serve counts must agree byte-for-byte.
+	for i := 1; i < len(checksums); i++ {
+		if checksums[i] != checksums[0] || serves[i] != serves[0] {
+			t.Fatalf("mode results diverge: checksums %v serves %v", checksums, serves)
+		}
+	}
+}
+
+func TestGatewayFreezeShared(t *testing.T) {
+	res, err := RunGateway(GatewayConfig{
+		Mode: GatewayClone, Sessions: 4, Requests: 4,
+		HeapLimit: 32 << 20, FreezeShared: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := RunGateway(GatewayConfig{
+		Mode: GatewayClone, Sessions: 4, Requests: 4, HeapLimit: 32 << 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Checksum != plain.Checksum {
+		t.Fatalf("frozen-shared clones diverge: %d vs %d", res.Checksum, plain.Checksum)
+	}
+}
+
+func TestGatewayInstrLimit(t *testing.T) {
+	// Greedy sessions (every 8th, 4x requests) blow a budget sized for
+	// normal sessions and get admin-killed early.
+	res, err := RunGateway(GatewayConfig{
+		Mode: GatewayClone, Sessions: 16, Requests: 8,
+		HeapLimit: 32 << 20, InstrLimit: 8 * 40 * 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LimitKills == 0 {
+		t.Fatalf("expected limit kills, got none (serves=%d)", res.Serves)
+	}
+	if res.LimitKills > res.Sessions {
+		t.Fatalf("more kills than sessions: %+v", res)
+	}
+}
+
+func boolToInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
