@@ -38,8 +38,22 @@ import "fmt"
 // guest mutation): it is a host-side handoff-preparation step, not a
 // synchronization primitive.
 func Freeze(o *Object) error {
+	_, err := FreezeTracked(o)
+	return err
+}
+
+// FreezeTracked is Freeze plus an undo record: it returns the arrays
+// whose frozen bit this call actually flipped (arrays that were already
+// frozen — shared sub-graphs frozen by an earlier handoff — are not
+// reported). A caller that freezes speculatively and then fails, such as
+// the snapshot flattener on a FreezeShared capture that later hits an
+// unsnapshotable object, passes the record to Unfreeze so the failure
+// leaves the template exactly as it found it; a plain Freeze would leave
+// the bits set forever (freezing is otherwise one-way) and turn every
+// later guest store into a spurious exception.
+func FreezeTracked(o *Object) ([]*Object, error) {
 	if o == nil || !o.IsArray() {
-		return fmt.Errorf("heap: Freeze requires an array")
+		return nil, fmt.Errorf("heap: Freeze requires an array")
 	}
 	stack := []*Object{o}
 	seen := map[*Object]bool{o: true}
@@ -56,7 +70,7 @@ func Freeze(o *Object) error {
 				continue
 			}
 			if !r.IsArray() {
-				return fmt.Errorf("heap: cannot freeze: element %d of %s references mutable %s",
+				return nil, fmt.Errorf("heap: cannot freeze: element %d of %s references mutable %s",
 					i, a.Class.Name, r.Class.Name)
 			}
 			if !seen[r] {
@@ -66,10 +80,24 @@ func Freeze(o *Object) error {
 			}
 		}
 	}
+	var flipped []*Object
 	for _, a := range order {
-		a.frozen.Store(true)
+		if a.frozen.CompareAndSwap(false, true) {
+			flipped = append(flipped, a)
+		}
 	}
-	return nil
+	return flipped, nil
+}
+
+// Unfreeze clears the frozen bit on the arrays a FreezeTracked call
+// reported as newly frozen. It exists solely to unwind a speculative
+// freeze whose surrounding operation failed; established frozen graphs
+// (handed-off payloads, live snapshots) must never be thawed, which is
+// why the only input it accepts is FreezeTracked's own undo record.
+func Unfreeze(flipped []*Object) {
+	for _, a := range flipped {
+		a.frozen.Store(false)
+	}
 }
 
 // Frozen reports whether the object is a frozen (deeply immutable)

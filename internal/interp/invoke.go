@@ -76,35 +76,35 @@ func (vm *VM) SpawnThread(name string, creator *core.Isolate, m *classfile.Metho
 	creator.Account().ThreadsCreated.Add(1)
 	creator.Account().ThreadsLive.Add(1)
 	vm.liveThreads.Add(1)
-	vm.threads = append(vm.threads, t)
 	vm.threadsMu.Unlock()
-	// Root the entry arguments across pushFrame: allocation during call
-	// setup (synchronized entry, GC pressure) must not sweep objects
-	// reachable only through them.
+	// The thread is NOT in vm.threads yet. Frame setup below runs on the
+	// caller's goroutine, which a concurrent run's stop-the-world does
+	// not park (only scheduler workers reach safepoints); publishing the
+	// thread first would let the root scan read t.frames while this
+	// goroutine writes them. So the frames are built on the still-private
+	// thread and published under threadsMu afterwards — the mutex edge
+	// makes them visible to any scan that observes the thread listed.
 	//
-	// If an incremental mark phase is open, the arguments are references
-	// entering the mutator world from outside the cycle's snapshot (a
-	// host-held object was not necessarily reachable from any snapshot
-	// root). Record them with the barrier so the cycle traces them:
-	// otherwise the new thread could store such an object into an
-	// already-scanned holder, drop its own reference, and the terminal
-	// re-scan would never see it (the heap fuzz harness reproduces
-	// exactly this).
-	if vm.heap.BarrierActive() {
-		for i := range args {
-			if r := args[i].R; r != nil {
-				vm.heap.RecordWrite(r)
-			}
-		}
-	}
-	t.pendingArgs = args
+	// That privacy means pendingArgs cannot root the entry arguments
+	// (the scan only walks listed threads); the staged-args registry
+	// keeps them alive across call setup instead, and records them with
+	// an open mark phase's barrier — host-held references entering the
+	// mutator world are outside the cycle's root snapshot, so without the
+	// record the new thread could store one into an already-scanned
+	// holder and the terminal re-scan would never see it (the heap fuzz
+	// harness reproduces exactly this).
+	vm.stageEntryArgs(t, creator, args)
 	err := vm.pushFrame(t, m, args, nil)
-	t.pendingArgs = nil
 	if err != nil {
+		vm.unstageEntryArgs(t)
 		vm.finishThread(t)
 		t.err = err
 		return nil, err
 	}
+	vm.threadsMu.Lock()
+	vm.threads = append(vm.threads, t)
+	delete(vm.stagedEntryArgs, t) // the frame locals root the arguments now
+	vm.threadsMu.Unlock()
 	// The arrival stamp is taken here, not at construction: this is the
 	// moment the scheduler learns of the thread, and pushFrame above can
 	// do real work (frame setup, barrier records) during which a
@@ -113,6 +113,51 @@ func (vm *VM) SpawnThread(name string, creator *core.Isolate, m *classfile.Metho
 	t.spawnTick = vm.NowTicks()
 	vm.notifyThreadSpawned(t)
 	return t, nil
+}
+
+// stagedArgs is one staged entry-argument window: the references of a
+// spawn/respawn argument list, attributed to the creator isolate. The
+// refs slice is never mutated after insertion into vm.stagedEntryArgs,
+// so the root scan may read it under threadsMu alone.
+type stagedArgs struct {
+	iso  heap.IsolateID
+	refs []*heap.Object
+}
+
+// stageEntryArgs roots a spawn/respawn entry-argument window for the
+// interval during which its thread is invisible to the GC root scan
+// (unlisted, or listed but still Done). A window without references
+// stages nothing. Staged references are also recorded with an open
+// incremental cycle, keeping the SATB invariant for host-injected
+// values. The registry is threadsMu-guarded (not HostRoots/pinMu):
+// finalizer scheduling spawns threads from inside the stopped world
+// while CollectGarbage still holds pinMu.
+func (vm *VM) stageEntryArgs(t *Thread, creator *core.Isolate, args []heap.Value) {
+	var refs []*heap.Object
+	for i := range args {
+		if r := args[i].R; r != nil {
+			refs = append(refs, r)
+		}
+	}
+	if refs == nil {
+		return
+	}
+	vm.threadsMu.Lock()
+	vm.stagedEntryArgs[t] = stagedArgs{iso: creator.ID(), refs: refs}
+	vm.threadsMu.Unlock()
+	if vm.heap.BarrierActive() {
+		for _, r := range refs {
+			vm.heap.RecordWrite(r)
+		}
+	}
+}
+
+// unstageEntryArgs drops a staged window (frame-setup failure path; the
+// success paths unstage inline with their publication step).
+func (vm *VM) unstageEntryArgs(t *Thread) {
+	vm.threadsMu.Lock()
+	delete(vm.stagedEntryArgs, t)
+	vm.threadsMu.Unlock()
 }
 
 // RespawnThread re-arms a finished thread with a fresh entry point,
@@ -153,7 +198,6 @@ func (vm *VM) RespawnThread(t *Thread, name string, creator *core.Isolate, m *cl
 	t.savedLock = 0
 	t.resumeKind, t.resumeValue, t.resumeThrow = resumeNone, heap.Value{}, nil
 	t.slowStep = false
-	t.setState(StateRunnable)
 	creator.Account().ThreadsCreated.Add(1)
 	creator.Account().ThreadsLive.Add(1)
 	vm.liveThreads.Add(1)
@@ -162,25 +206,27 @@ func (vm *VM) RespawnThread(t *Thread, name string, creator *core.Isolate, m *cl
 		vm.threads = append(vm.threads, t)
 	}
 	vm.threadsMu.Unlock()
-	// Same SATB contract as SpawnThread: host-held arguments entering the
-	// mutator world under an open mark phase must be recorded.
-	if vm.heap.BarrierActive() {
-		for i := range args {
-			if r := args[i].R; r != nil {
-				vm.heap.RecordWrite(r)
-			}
-		}
-	}
-	t.pendingArgs = args
+	// Same publication discipline as SpawnThread: the thread stays Done —
+	// which the root scan skips — until its frames are fully built, so a
+	// stop-the-world scan on another goroutine never reads t.frames while
+	// this one writes them. The atomic state flip below is the
+	// publication point; the staged-args registry keeps the arguments
+	// alive (and SATB-recorded) while the thread is invisible.
+	vm.stageEntryArgs(t, creator, args)
 	err := vm.pushFrame(t, m, args, nil)
-	t.pendingArgs = nil
 	if err != nil {
+		vm.unstageEntryArgs(t)
 		vm.finishThread(t)
 		t.err = err
 		return err
 	}
 	// Same arrival-stamp placement as SpawnThread.
 	t.spawnTick = vm.NowTicks()
+	t.setState(StateRunnable)
+	// Scannable now (a scan that misses the staged entry must have
+	// acquired threadsMu after this delete, hence after the state flip
+	// above, so it walks the completed frames instead).
+	vm.unstageEntryArgs(t)
 	vm.notifyThreadSpawned(t)
 	return nil
 }

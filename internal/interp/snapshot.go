@@ -68,6 +68,12 @@ type Snapshot struct {
 	// snapshot's lifetime so clones stay valid after the template dies.
 	pinned []*heap.Object
 
+	// frozen is the undo record of arrays this capture speculatively
+	// froze (FreezeShared). Only a failed capture consults it — success
+	// clears it, because an established snapshot's frozen graphs must
+	// stay immutable for the clones' lifetime.
+	frozen []*heap.Object
+
 	account core.Account
 	alloc   heap.AllocStats
 
@@ -142,9 +148,18 @@ func (vm *VM) CaptureSnapshot(src *core.Isolate, opts SnapshotOptions) (*Snapsho
 		err = vm.captureStopped(snap, src, opts)
 	})
 	if err != nil {
+		// Unwind everything the partial capture did to the template:
+		// thaw the arrays this capture froze (still inside the stopped
+		// world on the flattener's path out, but harmless here too — no
+		// guest observed the bits), then drop every shared pin taken so
+		// far so the pin table is exactly as it was. A failed capture
+		// must be a pure no-op: the template keeps serving.
+		heap.Unfreeze(snap.frozen)
+		snap.frozen = nil
 		snap.Release()
 		return nil, err
 	}
+	snap.frozen = nil
 	return snap, nil
 }
 
@@ -229,7 +244,12 @@ func (fl *flattener) flatten(o *heap.Object) (int32, error) {
 		return idx, nil
 	}
 	if fl.opts.FreezeShared && o.IsArray() {
-		if err := heap.Freeze(o); err == nil {
+		if flipped, err := heap.FreezeTracked(o); err == nil {
+			// Record the newly frozen arrays so a capture that fails on a
+			// later record can thaw them — otherwise the failed capture
+			// would permanently poison the template's statics (stores
+			// into frozen arrays throw).
+			fl.snap.frozen = append(fl.snap.frozen, flipped...)
 			share()
 			return idx, nil
 		}
@@ -342,24 +362,62 @@ func (vm *VM) CloneIsolate(snap *Snapshot, name string) (*core.Isolate, error) {
 	defer roots.Release()
 	objs, classObjs, err := vm.materializeGraph(snap, iso, roots)
 	if err != nil {
-		return nil, err
+		return nil, vm.unwindClone(iso, roots, err)
 	}
 	mirrors := make(map[int]*core.TaskClassMirror, len(snap.classes))
 	for i := range snap.classes {
 		sc := &snap.classes[i]
 		m, err := vm.buildMirror(snap, sc, iso, roots, objs, classObjs)
 		if err != nil {
-			return nil, err
+			return nil, vm.unwindClone(iso, roots, err)
 		}
 		mirrors[sc.class.StaticsID] = m
 	}
 	if err := vm.world.InstallMirrors(iso, mirrors); err != nil {
-		return nil, err
+		return nil, vm.unwindClone(iso, roots, err)
 	}
 	iso.AdoptStringPool(snap.pool)
 	iso.Account().Seed(snap.account)
 	vm.heap.SeedAllocCounters(iso.ID(), snap.alloc)
 	return iso, nil
+}
+
+// unwindClone rolls back a mid-materialization clone failure so the
+// attempt leaves no trace: the half-built isolate consumed a dense
+// isolate ID, a registry loader slot, heap bytes for the partial copy,
+// and possibly an installed mirror column — all of which would leak if
+// the error return simply abandoned them (the clone pool retries clone
+// failures forever; a leak per attempt would exhaust the ID space and
+// the heap). The unwind reuses the sanctioned teardown pipeline, in
+// dependency order:
+//
+//	release roots -> kill -> collect -> FreeIsolate
+//
+// Releasing the HostRoots batch first unroots the partial copies;
+// killing the (never-run) isolate removes its mirrors from the root set;
+// the accounting collection then sweeps every byte the attempt charged
+// and flips the corpse to Disposed (nothing else can root a clone that
+// never ran); FreeIsolate finally returns the dense ID to the world's
+// free list, clears any installed mirror column, resets the heap
+// counters and releases the classless loader back to the registry. Every
+// step is host-side and safepoint-aware, so a failed clone behind a live
+// scheduler unwinds without stopping tenant progress beyond the one
+// collection. The original cause is returned, annotated if the unwind
+// itself could not complete (which would indicate a bug, not a full
+// heap).
+func (vm *VM) unwindClone(iso *core.Isolate, roots *HostRoots, cause error) error {
+	roots.Release()
+	if err := vm.KillIsolate(nil, iso); err != nil {
+		return fmt.Errorf("%w (clone unwind: kill failed: %v)", cause, err)
+	}
+	vm.CollectGarbage(nil)
+	if !iso.Disposed() {
+		return fmt.Errorf("%w (clone unwind: isolate %s not disposed after sweep)", cause, iso.Name())
+	}
+	if err := vm.FreeIsolate(iso); err != nil {
+		return fmt.Errorf("%w (clone unwind: free failed: %v)", cause, err)
+	}
+	return cause
 }
 
 // materializeGraph allocates the private copies of the captured graph,

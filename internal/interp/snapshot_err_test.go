@@ -1,0 +1,200 @@
+package interp_test
+
+import (
+	"testing"
+
+	"ijvm/internal/core"
+	"ijvm/internal/heap"
+	"ijvm/internal/interp"
+)
+
+// Error-path regression tests for the snapshot/clone machinery: a failed
+// CaptureSnapshot must leave the shared-pin table and the template's
+// frozen bits exactly as it found them, and a failed CloneIsolate must
+// return its consumed dense isolate ID and registry loader slot. Both
+// paths run forever in a serving gateway (the clone pool retries
+// failures), so any per-attempt leak is fatal at density.
+
+// appMirror finds the snap/App mirror entry of iso.
+func appMirror(t *testing.T, vm *interp.VM, iso *core.Isolate) core.MirrorEntry {
+	t.Helper()
+	for _, e := range vm.World().MirrorEntries(iso) {
+		if e.Class.Name == snapApp {
+			return e
+		}
+	}
+	t.Fatalf("no %s mirror for %s", snapApp, iso.Name())
+	return core.MirrorEntry{}
+}
+
+// TestCaptureFailureRestoresPinsAndFrozenBits forces CaptureSnapshot to
+// fail mid-flatten (an opaque native payload parked in a static — the
+// documented unsnapshotable shape) after the flattener has already
+// pinned the string pool and, on the FreezeShared leg, frozen and pinned
+// the statics table. The failed captures must restore the pin table
+// refcounts and thaw the speculatively frozen array; afterwards the
+// template must still capture, clone and serve.
+func TestCaptureFailureRestoresPinsAndFrozenBits(t *testing.T) {
+	vm, warmer := snapVM(t)
+	if got := snapCall(t, vm, warmer, 5); got != 32 {
+		t.Fatalf("warm-up bump = %d, want 32", got)
+	}
+	basePins := vm.Heap().SharedPins()
+
+	snapA, err := vm.CaptureSnapshot(warmer, interp.SnapshotOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pinsA := vm.Heap().SharedPins()
+	if pinsA <= basePins {
+		t.Fatalf("good capture pinned nothing: base=%d with-snapshot=%d", basePins, pinsA)
+	}
+
+	m := appMirror(t, vm, warmer)
+	table := m.Mirror.Statics[1].R // statics order: count, table, msg, alias, ring
+	origMsg := m.Mirror.Statics[2]
+	bad, err := vm.AllocNativeIn(nil, m.Class, 42, 64, false, warmer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Mirror.Statics[2] = heap.RefVal(bad)
+
+	if _, err := vm.CaptureSnapshot(warmer, interp.SnapshotOptions{}); err == nil {
+		t.Fatal("capture of opaque native payload succeeded")
+	}
+	if got := vm.Heap().SharedPins(); got != pinsA {
+		t.Fatalf("failed capture leaked pins: %d, want %d", got, pinsA)
+	}
+
+	// FreezeShared leg: the flattener freezes+pins the table static
+	// before it reaches the poisoned msg slot; the failure must thaw it.
+	if _, err := vm.CaptureSnapshot(warmer, interp.SnapshotOptions{FreezeShared: true}); err == nil {
+		t.Fatal("FreezeShared capture of opaque native payload succeeded")
+	}
+	if got := vm.Heap().SharedPins(); got != pinsA {
+		t.Fatalf("failed FreezeShared capture leaked pins: %d, want %d", got, pinsA)
+	}
+	if table.Frozen() {
+		t.Fatal("failed FreezeShared capture left the statics table frozen")
+	}
+
+	// The template must be fully serviceable after the failures.
+	m.Mirror.Statics[2] = origMsg
+	snapB, err := vm.CaptureSnapshot(warmer, interp.SnapshotOptions{FreezeShared: true})
+	if err != nil {
+		t.Fatalf("capture after restored static: %v", err)
+	}
+	if !table.Frozen() {
+		t.Fatal("successful FreezeShared capture did not freeze the table")
+	}
+	clone, err := vm.CloneIsolate(snapB, "after-fail")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := snapCall(t, vm, clone, 5); got != 37 {
+		t.Fatalf("clone bump = %d, want 37", got)
+	}
+
+	// Releasing both snapshots must return the pin table to its pre-test
+	// state. This also catches refcount (not just distinct-entry) leaks:
+	// pool strings are pinned by both snapshots, so a stray count left by
+	// a failed capture would keep the entry alive past the final release.
+	snapB.Release()
+	snapA.Release()
+	if got := vm.Heap().SharedPins(); got != basePins {
+		t.Fatalf("pins after releasing all snapshots: %d, want %d", got, basePins)
+	}
+}
+
+// TestCloneFailureReturnsIDAndLoader drives CloneIsolate into
+// mid-materialization failure (heap exhausted by host-rooted filler) and
+// asserts the attempt consumes nothing: the registry loader count, the
+// world isolate table, and the dense-ID free list are all exactly as
+// before, proven by the next successful clone adopting the same recycled
+// ID a pre-failure clone used.
+func TestCloneFailureReturnsIDAndLoader(t *testing.T) {
+	vm, warmer := snapVM(t)
+	if got := snapCall(t, vm, warmer, 5); got != 32 {
+		t.Fatalf("warm-up bump = %d, want 32", got)
+	}
+	snap, err := vm.CaptureSnapshot(warmer, interp.SnapshotOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer snap.Release()
+
+	// Establish a recycled slot: clone once, kill, sweep, free.
+	probe, err := vm.CloneIsolate(snap, "probe")
+	if err != nil {
+		t.Fatal(err)
+	}
+	probeID := probe.ID()
+	if err := vm.KillIsolate(nil, probe); err != nil {
+		t.Fatal(err)
+	}
+	vm.CollectGarbage(nil)
+	if !probe.Disposed() {
+		t.Fatal("probe clone not disposed after sweep")
+	}
+	if err := vm.FreeIsolate(probe); err != nil {
+		t.Fatal(err)
+	}
+
+	var runtimeIso *core.Isolate
+	for _, iso := range vm.World().Isolates() {
+		if iso.Name() == "runtime" {
+			runtimeIso = iso
+		}
+	}
+	if runtimeIso == nil {
+		t.Fatal("no runtime isolate")
+	}
+
+	// Fill the heap to the brim with host-rooted arrays (descending
+	// sizes, so even a one-element allocation fails afterwards). The
+	// rooted filler survives the unwind's collections, keeping every
+	// retry failing at materialization.
+	vm.CollectGarbage(nil)
+	arrClass := appMirror(t, vm, warmer).Mirror.Statics[1].R.Class
+	filler := vm.NewHostRoots(runtimeIso)
+	defer filler.Release()
+	for _, n := range []int{4096, 256, 16, 1} {
+		for {
+			if _, err := vm.AllocArrayRooted(filler, arrClass, n, runtimeIso); err != nil {
+				break
+			}
+		}
+	}
+
+	loaders := vm.Registry().NumLoaders()
+	isolates := vm.World().NumIsolates()
+	for i := 0; i < 3; i++ {
+		if _, err := vm.CloneIsolate(snap, "oom-clone"); err == nil {
+			t.Fatalf("clone %d against a full heap succeeded", i)
+		}
+		if got := vm.Registry().NumLoaders(); got != loaders {
+			t.Fatalf("failed clone %d leaked a loader: %d, want %d", i, got, loaders)
+		}
+		if got := vm.World().NumIsolates(); got != isolates {
+			t.Fatalf("failed clone %d leaked an isolate slot: %d, want %d", i, got, isolates)
+		}
+	}
+
+	// Un-fill and prove the free list is intact: the next clone must
+	// reuse the exact ID the probe clone returned.
+	filler.Release()
+	vm.CollectGarbage(nil)
+	clone, err := vm.CloneIsolate(snap, "after-oom")
+	if err != nil {
+		t.Fatalf("clone after releasing filler: %v", err)
+	}
+	if clone.ID() != probeID {
+		t.Fatalf("clone got ID %d, want recycled %d — failed clones disturbed the free list", clone.ID(), probeID)
+	}
+	if got := vm.Registry().NumLoaders(); got != loaders {
+		t.Fatalf("loader count after recovery: %d, want %d", got, loaders)
+	}
+	if got := snapCall(t, vm, clone, 5); got != 37 {
+		t.Fatalf("recovered clone bump = %d, want 37", got)
+	}
+}

@@ -154,13 +154,24 @@ type VM struct {
 	ptable *[256]phandler
 	pmode  int
 
-	// threadsMu guards the thread registry (threads, nextThreadID);
-	// liveThreads is atomic so schedulers can poll it lock-free.
+	// threadsMu guards the thread registry (threads, nextThreadID) and
+	// stagedEntryArgs; liveThreads is atomic so schedulers can poll it
+	// lock-free.
 	threadsMu    sync.Mutex
 	threads      []*Thread
 	nextThreadID int64
 	liveThreads  atomic.Int64
 	rrIndex      int // sequential engine only
+
+	// stagedEntryArgs roots spawn/respawn entry-argument windows while
+	// their thread is invisible to the GC root scan — unlisted, or
+	// listed but still Done (see SpawnThread's publication discipline).
+	// Each entry's refs slice is immutable once inserted, so the scan
+	// reads it safely under threadsMu alone. This deliberately does not
+	// use the pinMu-guarded HostRoots registry: finalizer scheduling
+	// spawns threads from inside the stopped world while CollectGarbage
+	// still holds pinMu.
+	stagedEntryArgs map[*Thread]stagedArgs
 
 	// schedMu serializes the park/wake state machine: wait sets, sleep
 	// deadlines and cross-thread state transitions. No allocation and no
@@ -280,6 +291,8 @@ func NewVM(opts Options) *VM {
 		pinned:    make(map[heap.IsolateID][]*heap.Object),
 		hostRoots: make(map[*HostRoots]struct{}),
 		waiters:   make(map[*heap.Object][]*Thread),
+
+		stagedEntryArgs: make(map[*Thread]stagedArgs),
 		wellKnown: make(map[string]*classfile.Class),
 		rng:       0x9E3779B97F4A7C15,
 	}
@@ -567,6 +580,11 @@ func (vm *VM) buildRootSetsLocked() []heap.RootSet {
 	}
 	vm.threadsMu.Lock()
 	threads := append([]*Thread(nil), vm.threads...)
+	// Entry-argument windows of threads still being set up (not yet
+	// listed, or listed but Done pending a respawn's publication flip).
+	for _, sa := range vm.stagedEntryArgs {
+		rootsByIso[sa.iso] = append(rootsByIso[sa.iso], sa.refs...)
+	}
 	vm.threadsMu.Unlock()
 	for _, t := range threads {
 		if t.Done() {

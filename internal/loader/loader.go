@@ -192,20 +192,18 @@ func (l *Loader) link(c *classfile.Class) error {
 		f.Slot = i
 	}
 	c.NumStaticSlots = len(c.StaticFields)
-	c.StaticsID = l.registry.nextStaticsID
-	l.registry.nextStaticsID++
-	for _, m := range c.Methods {
-		m.ID = l.registry.nextMethodID
-		l.registry.nextMethodID++
-	}
 	c.LoaderID = l.id
 	if l.IsBootstrap() {
 		c.Flags |= classfile.FlagSystem
 	}
 	c.HasFinalizer = c.DeclaredMethod(FinalizeName, "()V") != nil ||
 		(c.Super != nil && c.Super.HasFinalizer)
+	// ID assignment and index publication go last, under the registry
+	// lock: once the class appears in the statics-ID table it is fully
+	// linked, so lock-free readers (invoke path, GC mirror-root walk)
+	// never observe a half-linked class.
+	l.registry.registerLinked(c)
 	c.Linked = true
-	l.registry.classesByStaticsID = append(l.registry.classesByStaticsID, c)
 	return nil
 }
 

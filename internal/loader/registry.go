@@ -18,14 +18,15 @@ func (t *loaderTable) publish(ls []*Loader) { t.p.Store(&ls) }
 
 // Registry owns all loaders of one VM and hands out link-time IDs.
 //
-// Concurrency: the loader table is published copy-on-write through an
-// atomic pointer so the interpreter's invoke path (Loader by ID on every
-// cross-loader call) stays lock-free while the snapshot-clone path
-// creates tenant loaders concurrently with running scheduler workers;
-// regMu serializes creation and release. Class definition (Define/link)
-// is not concurrent with guest execution of the same loader's classes —
-// classes are immutable once linked, and the definition phase happens
-// before the defining isolate runs.
+// Concurrency: the loader table and the statics-ID class index are both
+// published copy-on-write through atomic pointers so the interpreter's
+// invoke path (Loader by ID on every cross-loader call) and the GC's
+// mirror-root walk (ClassByStaticsID for every installed mirror) stay
+// lock-free while the snapshot-clone path creates tenant loaders — and
+// concurrent cold provisioning defines whole class sets — behind a
+// running scheduler; regMu serializes creation, release, and ID
+// assignment (registerLinked). Classes are immutable once linked; only
+// the registry-wide counters and the published index need the lock.
 type Registry struct {
 	regMu       sync.Mutex
 	loaders     loaderTable
@@ -34,7 +35,45 @@ type Registry struct {
 	bootstrap          *Loader
 	nextStaticsID      int
 	nextMethodID       int
-	classesByStaticsID []*classfile.Class
+	classesByStaticsID classTable
+}
+
+// classTable is the copy-on-write published statics-ID -> class index.
+type classTable struct {
+	p atomic.Pointer[[]*classfile.Class]
+}
+
+func (t *classTable) load() []*classfile.Class {
+	if cs := t.p.Load(); cs != nil {
+		return *cs
+	}
+	return nil
+}
+
+func (t *classTable) publish(cs []*classfile.Class) { t.p.Store(&cs) }
+
+// registerLinked assigns the class (and its methods) their registry-wide
+// IDs and publishes the class in the statics-ID index, all under regMu.
+// link calls it exactly once per class, as its final step: everything
+// else about the class is already immutable by then, so a reader that
+// loads the new table sees a fully linked class. Keeping the counters
+// and the append under the lock is what lets clone-pool refill and cold
+// tenant provisioning define classes concurrently without torn IDs or a
+// lost index entry.
+func (r *Registry) registerLinked(c *classfile.Class) {
+	r.regMu.Lock()
+	defer r.regMu.Unlock()
+	c.StaticsID = r.nextStaticsID
+	r.nextStaticsID++
+	for _, m := range c.Methods {
+		m.ID = r.nextMethodID
+		r.nextMethodID++
+	}
+	cur := r.classesByStaticsID.load()
+	grown := make([]*classfile.Class, len(cur)+1)
+	copy(grown, cur)
+	grown[len(cur)] = c
+	r.classesByStaticsID.publish(grown)
 }
 
 // NewRegistry creates a registry with a fresh bootstrap loader.
@@ -120,13 +159,17 @@ func (r *Registry) Loader(id int) *Loader {
 // NumLoaders returns the number of loaders including bootstrap.
 func (r *Registry) NumLoaders() int { return len(r.loaders.load()) }
 
-// NumClasses returns the total number of linked classes.
-func (r *Registry) NumClasses() int { return len(r.classesByStaticsID) }
+// NumClasses returns the total number of linked classes. Lock-free (one
+// atomic load).
+func (r *Registry) NumClasses() int { return len(r.classesByStaticsID.load()) }
 
 // ClassByStaticsID returns the class whose StaticsID is id, or nil.
+// Lock-free — the GC's mirror-root walk calls it for every installed
+// mirror while loaders keep linking classes.
 func (r *Registry) ClassByStaticsID(id int) *classfile.Class {
-	if id < 0 || id >= len(r.classesByStaticsID) {
+	cur := r.classesByStaticsID.load()
+	if id < 0 || id >= len(cur) {
 		return nil
 	}
-	return r.classesByStaticsID[id]
+	return cur[id]
 }
